@@ -1,0 +1,188 @@
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation (§4), plus the ablations DESIGN.md calls out. Each
+// benchmark regenerates its exhibit at a reduced packet budget and
+// reports headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation in one run. Full-budget TSVs come from
+// cmd/experiments.
+package packetmill
+
+import (
+	"strconv"
+	"testing"
+
+	"packetmill/internal/exp"
+)
+
+// benchScale keeps each exhibit's regeneration to benchmark-friendly
+// runtimes; cmd/experiments runs the same code at scale 1.0.
+const benchScale = 0.15
+
+// runExperiment executes one registered experiment per iteration and
+// reports a headline metric extracted from its table.
+func runExperiment(b *testing.B, id string, metric func(t *exp.Table) (string, float64)) {
+	b.Helper()
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var tables []*exp.Table
+	for i := 0; i < b.N; i++ {
+		tables = e.Run(benchScale)
+	}
+	if len(tables) > 0 && metric != nil {
+		name, v := metric(tables[0])
+		b.ReportMetric(v, name)
+	}
+}
+
+// lastFloat pulls column col of the last row matching the given prefix
+// cells.
+func lastFloat(t *exp.Table, match map[int]string, col int) float64 {
+	out := 0.0
+	for _, r := range t.Rows {
+		ok := true
+		for i, want := range match {
+			if r[i] != want {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			if v, err := strconv.ParseFloat(r[col], 64); err == nil {
+				out = v
+			}
+		}
+	}
+	return out
+}
+
+// BenchmarkFig1LatencyThroughput regenerates Figure 1 (p99 latency vs
+// throughput for the router at 2.3 GHz) and reports PacketMill's
+// saturated throughput.
+func BenchmarkFig1LatencyThroughput(b *testing.B) {
+	runExperiment(b, "fig1", func(t *exp.Table) (string, float64) {
+		return "pm-sat-gbps", lastFloat(t, map[int]string{0: "packetmill", 1: "100.0"}, 2)
+	})
+}
+
+// BenchmarkFig4CodeOptimizations regenerates Figure 4 (five code-
+// optimization variants across frequency) and reports the all-opts build's
+// 3-GHz throughput.
+func BenchmarkFig4CodeOptimizations(b *testing.B) {
+	runExperiment(b, "fig4", func(t *exp.Table) (string, float64) {
+		return "all@3GHz-gbps", lastFloat(t, map[int]string{0: "all", 1: "3.0"}, 2)
+	})
+}
+
+// BenchmarkTable1Microarch regenerates Table 1 (LLC loads/misses, IPC,
+// Mpps at 3 GHz) and reports the vanilla build's Mpps.
+func BenchmarkTable1Microarch(b *testing.B) {
+	runExperiment(b, "tab1", func(t *exp.Table) (string, float64) {
+		return "vanilla-mpps", lastFloat(t, map[int]string{0: "vanilla"}, 4)
+	})
+}
+
+// BenchmarkFig5aMetadataModels regenerates Figure 5a (the three metadata
+// models on one NIC) and reports X-Change's 3-GHz throughput.
+func BenchmarkFig5aMetadataModels(b *testing.B) {
+	runExperiment(b, "fig5a", func(t *exp.Table) (string, float64) {
+		return "xchg@3GHz-gbps", lastFloat(t, map[int]string{0: "x-change", 1: "3.0"}, 2)
+	})
+}
+
+// BenchmarkFig5bTwoNICs regenerates Figure 5b (two NICs, one core) and
+// reports X-Change's total throughput — the >100-Gbps headline.
+func BenchmarkFig5bTwoNICs(b *testing.B) {
+	runExperiment(b, "fig5b", func(t *exp.Table) (string, float64) {
+		return "xchg-total-gbps", lastFloat(t, map[int]string{0: "x-change", 1: "3.0"}, 2)
+	})
+}
+
+// BenchmarkFig6PacketSize regenerates Figure 6 (router throughput and PPS
+// vs packet size at 2.3 GHz) and reports PacketMill's 64-B rate.
+func BenchmarkFig6PacketSize(b *testing.B) {
+	runExperiment(b, "fig6", func(t *exp.Table) (string, float64) {
+		return "pm-64B-mpps", lastFloat(t, map[int]string{0: "packetmill", 1: "64"}, 3)
+	})
+}
+
+// BenchmarkFig7WorkPackage regenerates Figure 7 (the W × S improvement
+// surface for N ∈ {1,5}) and reports the lightest-point improvement.
+func BenchmarkFig7WorkPackage(b *testing.B) {
+	runExperiment(b, "fig7", func(t *exp.Table) (string, float64) {
+		return "light-improve-pct", lastFloat(t, map[int]string{0: "1", 1: "0", 2: "0"}, 5)
+	})
+}
+
+// BenchmarkFig8IDSRouter regenerates Figure 8 (IDS+router across
+// frequency) and reports PacketMill's 3-GHz throughput.
+func BenchmarkFig8IDSRouter(b *testing.B) {
+	runExperiment(b, "fig8", func(t *exp.Table) (string, float64) {
+		return "pm@3GHz-gbps", lastFloat(t, map[int]string{0: "packetmill", 1: "3.0"}, 2)
+	})
+}
+
+// BenchmarkFig9MemoryFootprint regenerates Figure 9 (the N=1, W=4 memory
+// slice) and reports vanilla's LLC miss percentage at S=20 MB.
+func BenchmarkFig9MemoryFootprint(b *testing.B) {
+	runExperiment(b, "fig9", func(t *exp.Table) (string, float64) {
+		return "miss-pct@20MB", lastFloat(t, map[int]string{0: "vanilla", 1: "20"}, 3)
+	})
+}
+
+// BenchmarkFig10MulticoreNAT regenerates Figure 10 (NAT across 1–4 cores)
+// and reports PacketMill's 4-core throughput.
+func BenchmarkFig10MulticoreNAT(b *testing.B) {
+	runExperiment(b, "fig10", func(t *exp.Table) (string, float64) {
+		return "pm-4core-gbps", lastFloat(t, map[int]string{0: "packetmill", 1: "4"}, 2)
+	})
+}
+
+// BenchmarkFig11aDPDKApps regenerates Figure 11a (l2fwd vs l2fwd-xchg vs
+// FastClick vs PacketMill) and reports l2fwd-xchg's 64-B throughput.
+func BenchmarkFig11aDPDKApps(b *testing.B) {
+	runExperiment(b, "fig11a", func(t *exp.Table) (string, float64) {
+		return "l2fwd-xchg-64B-gbps", lastFloat(t, map[int]string{0: "l2fwd-xchg", 1: "64"}, 2)
+	})
+}
+
+// BenchmarkFig11bFrameworks regenerates Figure 11b (VPP, FastClick,
+// FastClick-Light, BESS, PacketMill) and reports PacketMill's 64-B lead.
+func BenchmarkFig11bFrameworks(b *testing.B) {
+	runExperiment(b, "fig11b", func(t *exp.Table) (string, float64) {
+		return "pm-64B-gbps", lastFloat(t, map[int]string{0: "packetmill", 1: "64"}, 2)
+	})
+}
+
+// BenchmarkAblationDescriptorPool sweeps the X-Change descriptor-pool
+// size (cache-residency cliff).
+func BenchmarkAblationDescriptorPool(b *testing.B) {
+	runExperiment(b, "abl-pool", func(t *exp.Table) (string, float64) {
+		return "fifo-32k-gbps", lastFloat(t, map[int]string{0: "fifo-cycling", 1: "32768"}, 2)
+	})
+}
+
+// BenchmarkAblationReorderCriterion compares LTO and the two reordering
+// criteria (§3.2.2's implemented vs future-work sort).
+func BenchmarkAblationReorderCriterion(b *testing.B) {
+	runExperiment(b, "abl-reorder", func(t *exp.Table) (string, float64) {
+		return "lto+reorder-gbps", lastFloat(t, map[int]string{0: "lto+reorder-count"}, 1)
+	})
+}
+
+// BenchmarkAblationBurst sweeps the BURST constant.
+func BenchmarkAblationBurst(b *testing.B) {
+	runExperiment(b, "abl-burst", func(t *exp.Table) (string, float64) {
+		return "burst32-gbps", lastFloat(t, map[int]string{0: "32"}, 1)
+	})
+}
+
+// BenchmarkAblationDDIO sweeps the DDIO window width.
+func BenchmarkAblationDDIO(b *testing.B) {
+	runExperiment(b, "abl-ddio", func(t *exp.Table) (string, float64) {
+		return "ways8-gbps", lastFloat(t, map[int]string{0: "8"}, 1)
+	})
+}

@@ -1,0 +1,73 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated testbed and writes one TSV per exhibit.
+//
+//	experiments -list
+//	experiments -run fig4 -scale 0.5
+//	experiments -run all -out results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"packetmill/internal/exp"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		run   = flag.String("run", "all", "experiment id to run, or 'all'")
+		scale = flag.Float64("scale", 1.0, "packet-count scale (0,1]")
+		out   = flag.String("out", "", "directory for TSV files (default: stdout)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var todo []exp.Experiment
+	if *run == "all" {
+		todo = exp.All()
+	} else {
+		e, ok := exp.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown id %q (try -list)\n", *run)
+			os.Exit(1)
+		}
+		todo = []exp.Experiment{e}
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %s — %s...\n", e.ID, e.Title)
+		tables := e.Run(*scale)
+		for _, t := range tables {
+			if *out == "" {
+				fmt.Print(t.TSV())
+				fmt.Println()
+				continue
+			}
+			path := filepath.Join(*out, t.ID+".tsv")
+			if err := os.WriteFile(path, []byte(t.TSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "  wrote %s\n", path)
+		}
+		fmt.Fprintf(os.Stderr, "  done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,221 @@
+// Command packetmill is the pipeline CLI: read a Click configuration,
+// optionally grind it through the mill's passes, pick a metadata model,
+// run it on the simulated 100-GbE testbed, and report throughput, latency,
+// and perf counters. With -emit-ir it prints the dispatch-level IR of the
+// (optimized) build instead of running.
+//
+// Examples:
+//
+//	packetmill -config router.click -freq 2.3 -rate 100
+//	packetmill -config router.click -mill -model x-change -freq 2.3
+//	packetmill -builtin router -mill -emit-ir
+//	packetmill -builtin forwarder -model overlaying -sweep-freq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"packetmill/internal/click"
+	"packetmill/internal/core"
+	_ "packetmill/internal/elements"
+	"packetmill/internal/layout"
+	"packetmill/internal/nf"
+	"packetmill/internal/stats"
+	"packetmill/internal/testbed"
+	"packetmill/internal/verify"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "Click configuration file")
+		builtin    = flag.String("builtin", "", "built-in NF: forwarder|mirror|router|ids|nat|workpackage")
+		model      = flag.String("model", "copying", "metadata model: copying|overlaying|x-change")
+		doMill     = flag.Bool("mill", false, "apply PacketMill source-code passes")
+		doReorder  = flag.Bool("reorder", false, "run the profile-guided metadata reordering pass")
+		doPrune    = flag.Bool("prune", false, "run the profile-guided dead-field removal pass")
+		repeats    = flag.Int("repeats", 1, "repeat the run N times with varied seeds, report the median (NPF style)")
+		verifyRun  = flag.Bool("verify", false, "differentially verify this build against vanilla FastClick (byte-identical output)")
+		emitIR     = flag.Bool("emit-ir", false, "print the dispatch-level IR and exit")
+		freq       = flag.Float64("freq", 2.3, "core frequency (GHz)")
+		rate       = flag.Float64("rate", 100, "offered load per NIC (Gbps)")
+		packets    = flag.Int("packets", 50000, "frames to offer per NIC")
+		size       = flag.Int("size", 0, "fixed frame size (0 = campus mix)")
+		cores      = flag.Int("cores", 1, "DUT cores")
+		nics       = flag.Int("nics", 1, "NICs")
+		sweepFreq  = flag.Bool("sweep-freq", false, "sweep 1.2–3.0 GHz and print a table")
+		seed       = flag.Uint64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+
+	config, err := loadConfig(*configPath, *builtin)
+	if err != nil {
+		fatal(err)
+	}
+
+	p, err := core.Parse(config)
+	if err != nil {
+		fatal(err)
+	}
+	switch strings.ToLower(*model) {
+	case "copying":
+		p.Model = click.Copying
+	case "overlaying":
+		p.Model = click.Overlaying
+	case "x-change", "xchange", "xchg":
+		p.Model = click.XChange
+	default:
+		fatal(fmt.Errorf("unknown model %q", *model))
+	}
+	if *doMill {
+		if err := p.Mill(); err != nil {
+			fatal(err)
+		}
+	}
+
+	base := testbed.Options{
+		FreqGHz: *freq, RateGbps: *rate, Packets: *packets,
+		FixedSize: *size, Cores: *cores, NICs: *nics, Seed: *seed,
+	}
+
+	if *doPrune {
+		prof := base
+		prof.Packets = *packets / 10
+		if err := p.PruneMetadata(prof); err != nil {
+			fatal(err)
+		}
+	}
+	if *doReorder {
+		prof := base
+		prof.Packets = *packets / 10
+		if err := p.ReorderMetadata(prof, layout.ByAccessCount); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *emitIR {
+		fmt.Print(p.IR().Dump())
+		return
+	}
+
+	for _, n := range p.Notes() {
+		fmt.Printf("; pass: %s\n", n)
+	}
+
+	if *verifyRun {
+		vanilla, err := core.Parse(config)
+		if err != nil {
+			fatal(err)
+		}
+		vanilla.Model = click.Copying
+		vo := base
+		vo.Model = click.Copying
+		vo.RateGbps = base.RateGbps / 4 // headroom: compare behaviour, not congestion
+		bo := pipelineOptions(p, base)
+		bo.RateGbps = vo.RateGbps
+		rep, err := verify.DifferentialGraphs(vanilla.Plan.Graph, p.Plan.Graph, vo, bo)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("verification:", rep)
+		if !rep.Equivalent() {
+			os.Exit(1)
+		}
+	}
+
+	if *sweepFreq {
+		fmt.Println("freq_ghz\tthroughput_gbps\tmpps\tmedian_us\tp99_us")
+		for f := 1.2; f <= 3.01; f += 0.2 {
+			o := base
+			o.FreqGHz = f
+			res, err := p.Run(o)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%.1f\t%.1f\t%.2f\t%.1f\t%.1f\n", f, res.Gbps(), res.Mpps(),
+				stats.MicrosFromNS(res.Latency.Median()), stats.MicrosFromNS(res.Latency.P99()))
+		}
+		return
+	}
+
+	if *repeats > 1 {
+		res, spread, err := testbed.RunRepeatedGraph(p.Plan.Graph, pipelineOptions(p, base), *repeats)
+		if err != nil {
+			fatal(err)
+		}
+		report(res)
+		fmt.Printf("spread:         %d runs, throughput %.2f–%.2f Gbps\n",
+			*repeats, spread.MinGbps, spread.MaxGbps)
+		return
+	}
+	res, err := p.Run(base)
+	if err != nil {
+		fatal(err)
+	}
+	report(res)
+}
+
+// pipelineOptions folds the pipeline's plan into testbed options the same
+// way Pipeline.Run does (kept here to avoid exporting the helper).
+func pipelineOptions(p *core.Pipeline, o testbed.Options) testbed.Options {
+	o.Model = p.Model
+	o.Opt = p.Plan.Opt
+	if p.Plan.MetaLayout != nil {
+		o.MetaLayout = p.Plan.MetaLayout
+	}
+	return o
+}
+
+func loadConfig(path, builtin string) (string, error) {
+	if path != "" {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	switch strings.ToLower(builtin) {
+	case "forwarder":
+		return nf.Forwarder(0, 32), nil
+	case "mirror":
+		return nf.Mirror(0, 32), nil
+	case "router":
+		return nf.Router(32), nil
+	case "ids":
+		return nf.IDSRouter(32), nil
+	case "nat":
+		return nf.NATRouter(32), nil
+	case "workpackage":
+		return nf.WorkPackageForwarder(32, 4, 1, 4), nil
+	case "":
+		return "", fmt.Errorf("need -config FILE or -builtin NAME")
+	default:
+		return "", fmt.Errorf("unknown builtin %q", builtin)
+	}
+}
+
+func report(res *testbed.Result) {
+	fmt.Printf("throughput:     %.2f Gbps (%.3f Mpps)\n", res.Gbps(), res.Mpps())
+	fmt.Printf("latency:        median %.1f µs, p99 %.1f µs, max %.1f µs\n",
+		stats.MicrosFromNS(res.Latency.Median()),
+		stats.MicrosFromNS(res.Latency.P99()),
+		stats.MicrosFromNS(res.Latency.Max()))
+	fmt.Printf("offered/lost:   %d offered, %d dropped\n", res.Offered, res.Dropped)
+	c := res.Counters
+	perPkt := func(v float64) float64 {
+		if res.Packets == 0 {
+			return 0
+		}
+		return v / float64(res.Packets)
+	}
+	fmt.Printf("perf:           IPC %.2f, %.0f instr/pkt, %.2f LLC-loads/pkt, %.3f LLC-misses/pkt, %.3f TLB-walks/pkt\n",
+		c.IPC(), perPkt(float64(c.Instructions)), perPkt(float64(c.LLCLoads)),
+		perPkt(float64(c.LLCLoadMisses)), perPkt(float64(c.TLBMisses)))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "packetmill:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,15 @@
+
+// Standard IP router (Appendix A.2)
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+c :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+rt :: LookupIPRoute(10.1.0.0/16 0, 10.0.0.0/8 0, 0.0.0.0/0 10.1.0.1 0);
+arpq :: ARPQuerier(10.1.0.254, 02:00:00:00:00:02);
+
+input -> c;
+c[0] -> ARPResponder(10.1.0.254 02:00:00:00:00:02) -> output;
+c[1] -> [1]arpq;
+c[2] -> Strip(14) -> CheckIPHeader(0) -> rt;
+c[3] -> Discard;
+rt[0] -> DecIPTTL -> [0]arpq;
+arpq[0] -> output;

@@ -1,0 +1,7 @@
+
+// WorkPackage forwarder (Appendix A.4)
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+input -> WorkPackage(S 4, N 1, W 4)
+      -> EtherRewrite(SRC 02:00:00:00:00:02, DST 02:00:00:00:00:01)
+      -> output;

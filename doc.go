@@ -1,0 +1,11 @@
+// Package packetmill is a full reproduction, in pure Go, of "PacketMill:
+// Toward Per-Core 100-Gbps Networking" (ASPLOS 2021): the X-Change
+// metadata-management model, the configuration-driven code-optimization
+// passes, the FastClick-style modular packet-processing framework they
+// apply to, and the simulated Xeon + 100-GbE testbed the evaluation runs
+// on. See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduced tables and figures.
+//
+// The root package carries the benchmark harness (bench_test.go): one
+// benchmark per table and figure of the paper's evaluation section.
+package packetmill

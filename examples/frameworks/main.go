@@ -1,0 +1,85 @@
+// Framework shoot-out (Figure 11b): the same one-hop forwarding NF
+// expressed in five engines — VPP graph nodes, default FastClick
+// (Copying), FastClick-Light (Overlaying), a BESS module pipeline, and
+// PacketMill — all driven by the identical simulated testbed. This is
+// also the tour of the baseline-engine APIs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"packetmill/internal/bess"
+	"packetmill/internal/click"
+	"packetmill/internal/core"
+	_ "packetmill/internal/elements"
+	"packetmill/internal/layout"
+	"packetmill/internal/netpkt"
+	"packetmill/internal/nf"
+	"packetmill/internal/testbed"
+	"packetmill/internal/vpp"
+)
+
+func main() {
+	src := netpkt.MAC{0x02, 0, 0, 0, 0, 2}
+	dst := netpkt.MAC{0x02, 0, 0, 0, 0, 1}
+	opts := func(size int) testbed.Options {
+		return testbed.Options{FreqGHz: 1.2, RateGbps: 100, Packets: 20000, FixedSize: size}
+	}
+
+	type entry struct {
+		name string
+		run  func(size int) (*testbed.Result, error)
+	}
+	engines := []entry{
+		{"vpp", func(size int) (*testbed.Result, error) {
+			o := opts(size)
+			o.Model = click.Overlaying
+			o.MetaLayout = layout.VLIBBuffer()
+			return testbed.RunEngines(o, func(d *testbed.DUT, c int) (testbed.Engine, error) {
+				return vpp.New(d.PortsFor[c][0], vpp.L2Rewrite{Src: src, Dst: dst}), nil
+			})
+		}},
+		{"fastclick", func(size int) (*testbed.Result, error) {
+			o := opts(size)
+			o.Model = click.Copying
+			return testbed.Run(nf.Forwarder(0, 32), o)
+		}},
+		{"fastclick-light", func(size int) (*testbed.Result, error) {
+			o := opts(size)
+			o.Model = click.Overlaying
+			return testbed.Run(nf.Forwarder(0, 32), o)
+		}},
+		{"bess", func(size int) (*testbed.Result, error) {
+			o := opts(size)
+			o.Model = click.Overlaying
+			return testbed.RunEngines(o, func(d *testbed.DUT, c int) (testbed.Engine, error) {
+				return bess.New(d.PortsFor[c][0], bess.Update{Src: src, Dst: dst}), nil
+			})
+		}},
+		{"packetmill", func(size int) (*testbed.Result, error) {
+			p, err := core.Parse(nf.Forwarder(0, 32))
+			if err != nil {
+				return nil, err
+			}
+			p.Model = click.XChange
+			if err := p.Mill(); err != nil {
+				return nil, err
+			}
+			return p.Run(opts(size))
+		}},
+	}
+
+	fmt.Println("framework\t64B_gbps\t512B_gbps\t1472B_gbps")
+	for _, e := range engines {
+		var row []float64
+		for _, size := range []int{64, 512, 1472} {
+			res, err := e.run(size)
+			if err != nil {
+				log.Fatalf("%s@%d: %v", e.name, size, err)
+			}
+			row = append(row, res.Gbps())
+		}
+		fmt.Printf("%s\t%.1f\t%.1f\t%.1f\n", e.name, row[0], row[1], row[2])
+	}
+}

@@ -1,0 +1,48 @@
+// Multicore NAT: Appendix A.3's stateful NAPT with a cuckoo-hash flow
+// table, scaled across cores with RSS — the Figure 10 experiment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"packetmill/internal/click"
+	"packetmill/internal/core"
+	_ "packetmill/internal/elements"
+	"packetmill/internal/nf"
+	"packetmill/internal/testbed"
+)
+
+func main() {
+	cfg := nf.NATRouter(32)
+	fmt.Println("cores\tvanilla_gbps\tpacketmill_gbps\timprovement_pct")
+	for _, cores := range []int{1, 2, 3, 4} {
+		o := testbed.Options{
+			FreqGHz: 2.3, Cores: cores, RateGbps: 100,
+			Packets: 25000, FixedSize: 1024,
+		}
+		vp, err := core.Parse(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vp.Model = click.Copying
+		v, err := vp.Run(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mp, err := core.Parse(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mp.Model = click.XChange
+		if err := mp.Mill(); err != nil {
+			log.Fatal(err)
+		}
+		m, err := mp.Run(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d\t%.1f\t%.1f\t%+.1f%%\n", cores, v.Gbps(), m.Gbps(),
+			(m.Gbps()-v.Gbps())/v.Gbps()*100)
+	}
+}

@@ -1,0 +1,3 @@
+module packetmill
+
+go 1.23

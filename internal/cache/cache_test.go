@@ -1,0 +1,320 @@
+package cache
+
+import (
+	"testing"
+
+	"packetmill/internal/memsim"
+)
+
+func newTestSystem() (*System, *Hierarchy) {
+	s := NewSystem(DefaultSystemConfig())
+	return s, s.NewCore()
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	_, h := newTestSystem()
+	c1 := h.AccessLine(0x10000, false)
+	if c1.ServedBy != DRAM {
+		t.Fatalf("first access served by %v, want DRAM", c1.ServedBy)
+	}
+	c2 := h.AccessLine(0x10000, false)
+	if c2.ServedBy != L1 {
+		t.Fatalf("second access served by %v, want L1", c2.ServedBy)
+	}
+	if c2.Cycles >= c1.NS+c1.Cycles {
+		t.Fatal("L1 hit not cheaper than DRAM miss")
+	}
+}
+
+func TestSameLineSharing(t *testing.T) {
+	_, h := newTestSystem()
+	h.AccessLine(0x10000, false)
+	c := h.AccessLine(0x10020, false) // same 64-B line
+	if c.ServedBy != L1 {
+		t.Fatalf("same-line access served by %v, want L1", c.ServedBy)
+	}
+}
+
+func TestL1EvictionFallsToL2(t *testing.T) {
+	s := NewSystem(DefaultSystemConfig())
+	h := s.NewCore()
+	// Touch enough distinct lines to overflow the 32-KiB L1 (512 lines).
+	for i := 0; i < 2048; i++ {
+		h.AccessLine(memsim.Addr(i*memsim.CacheLineSize), false)
+	}
+	// The first line is long gone from L1 but must still be in L2.
+	c := h.AccessLine(0, false)
+	if c.ServedBy != L2 {
+		t.Fatalf("evicted line served by %v, want L2", c.ServedBy)
+	}
+}
+
+func TestLLCServesAfterL2Eviction(t *testing.T) {
+	s := NewSystem(DefaultSystemConfig())
+	h := s.NewCore()
+	// Overflow the 1-MiB L2 (16384 lines) with a 4-MiB sweep.
+	lines := 4 << 20 / memsim.CacheLineSize
+	for i := 0; i < lines; i++ {
+		h.AccessLine(memsim.Addr(i*memsim.CacheLineSize), false)
+	}
+	c := h.AccessLine(0, false)
+	if c.ServedBy != LLC {
+		t.Fatalf("line served by %v, want LLC", c.ServedBy)
+	}
+}
+
+func TestDRAMAfterLLCOverflow(t *testing.T) {
+	s := NewSystem(DefaultSystemConfig())
+	h := s.NewCore()
+	// Sweep 2× the 24-MiB LLC.
+	lines := 48 << 20 / memsim.CacheLineSize
+	for i := 0; i < lines; i++ {
+		h.AccessLine(memsim.Addr(i*memsim.CacheLineSize), false)
+	}
+	c := h.AccessLine(0, false)
+	if c.ServedBy != DRAM {
+		t.Fatalf("line served by %v, want DRAM after LLC overflow", c.ServedBy)
+	}
+}
+
+func TestWorkingSetResidency(t *testing.T) {
+	// A small hot set (the X-Change scenario: 32 metadata buffers) must
+	// hit L1 on every revisit.
+	_, h := newTestSystem()
+	addrs := make([]memsim.Addr, 32)
+	for i := range addrs {
+		addrs[i] = memsim.Addr(0x100000 + i*memsim.CacheLineSize)
+	}
+	for _, a := range addrs {
+		h.AccessLine(a, true)
+	}
+	for round := 0; round < 10; round++ {
+		for _, a := range addrs {
+			if c := h.AccessLine(a, false); c.ServedBy != L1 {
+				t.Fatalf("hot line %#x served by %v on round %d", a, c.ServedBy, round)
+			}
+		}
+	}
+}
+
+func TestMultiLineAccessCost(t *testing.T) {
+	_, h := newTestSystem()
+	c := h.Access(0x40000, 256, false) // 4 lines, all cold
+	if c.ServedBy != DRAM {
+		t.Fatalf("served by %v", c.ServedBy)
+	}
+	single := h.Access(0x80000, 1, false)
+	if c.NS < 3*single.NS {
+		t.Fatalf("4-line access (%v ns) not ≈4× 1-line (%v ns)", c.NS, single.NS)
+	}
+}
+
+func TestZeroSizeAccessFree(t *testing.T) {
+	_, h := newTestSystem()
+	c := h.Access(0x40000, 0, false)
+	if c.Cycles != 0 || c.NS != 0 {
+		t.Fatal("zero-size access charged")
+	}
+}
+
+func TestDMAWriteLandsInLLC(t *testing.T) {
+	s, h := newTestSystem()
+	s.DMAWrite(0x200000, 1500)
+	c := h.AccessLine(0x200000, false)
+	if c.ServedBy != LLC {
+		t.Fatalf("DMA'd line served by %v, want LLC (DDIO)", c.ServedBy)
+	}
+}
+
+func TestDMAInvalidatesCoreCaches(t *testing.T) {
+	s, h := newTestSystem()
+	h.AccessLine(0x300000, false) // pull into L1
+	s.DMAWrite(0x300000, 64)      // device overwrites it
+	c := h.AccessLine(0x300000, false)
+	if c.ServedBy != LLC {
+		t.Fatalf("stale line served by %v, want LLC after DMA invalidation", c.ServedBy)
+	}
+}
+
+func TestDDIOWindowLimitsOccupancy(t *testing.T) {
+	// Warm a working set into the LLC, blast a huge DMA region over it,
+	// and count how many lines survive. With a 2-way DDIO window most of
+	// the set must survive; with the window as wide as the cache, the
+	// DMA wipes nearly everything. This is exactly the DDIO-thrashing
+	// effect the paper cites from [25].
+	survivors := func(ddioWays int) int {
+		cfg := DefaultSystemConfig()
+		cfg.DDIOWays = ddioWays
+		s := NewSystem(cfg)
+		h := s.NewCore()
+		const nLines = 4096
+		for i := 0; i < nLines; i++ {
+			h.AccessLine(memsim.Addr(i*memsim.CacheLineSize), false)
+		}
+		s.DMAWrite(0x8000000, 128<<20) // 128-MiB DMA blast
+		// Probe through a fresh core so private caches don't mask LLC state.
+		h2 := s.NewCore()
+		n := 0
+		for i := 0; i < nLines; i++ {
+			if c := h2.AccessLine(memsim.Addr(i*memsim.CacheLineSize), false); c.ServedBy == LLC {
+				n++
+			}
+		}
+		return n
+	}
+	narrow := survivors(2)
+	wide := survivors(12)
+	if narrow <= wide {
+		t.Fatalf("DDIO window not protecting LLC: %d survivors (2-way) vs %d (12-way)", narrow, wide)
+	}
+	if narrow < 2048 {
+		t.Fatalf("2-way DDIO window let DMA evict too much: %d/4096 survivors", narrow)
+	}
+}
+
+func TestDDIOHitMissCounters(t *testing.T) {
+	s, _ := newTestSystem()
+	s.DMAWrite(0x500000, 64)
+	s.DMAWrite(0x500000, 64)
+	if s.DDIOMisses != 1 || s.DDIOHits != 1 {
+		t.Fatalf("DDIO counters = hits %d misses %d, want 1/1", s.DDIOHits, s.DDIOMisses)
+	}
+}
+
+func TestLLCCountersMove(t *testing.T) {
+	s, h := newTestSystem()
+	before, beforeMiss, _, _ := s.LLCCounters()
+	h.AccessLine(0x600000, false)
+	loads, misses, _, _ := s.LLCCounters()
+	if loads != before+1 || misses != beforeMiss+1 {
+		t.Fatalf("LLC counters did not record cold miss: loads %d→%d misses %d→%d",
+			before, loads, beforeMiss, misses)
+	}
+	h.AccessLine(0x600000, false) // L1 hit; LLC counters must not move
+	loads2, _, _, _ := s.LLCCounters()
+	if loads2 != loads {
+		t.Fatal("L1 hit incremented LLC loads")
+	}
+}
+
+func TestTLBMissCharged(t *testing.T) {
+	_, h := newTestSystem()
+	h.AccessLine(0x1000000, false)
+	if h.TLBMisses != 1 {
+		t.Fatalf("TLBMisses = %d, want 1", h.TLBMisses)
+	}
+	h.AccessLine(0x1000040, false) // same page
+	if h.TLBMisses != 1 {
+		t.Fatalf("second access on same page walked again: %d", h.TLBMisses)
+	}
+	h.AccessLine(0x1002000, false) // next page
+	if h.TLBMisses != 2 {
+		t.Fatalf("TLBMisses = %d, want 2", h.TLBMisses)
+	}
+}
+
+func TestStoreCountsSeparately(t *testing.T) {
+	_, h := newTestSystem()
+	h.AccessLine(0x700000, true)
+	l1Loads, _, _, _ := h.CoreCounters()
+	if l1Loads != 0 {
+		t.Fatalf("store counted as load: %d", l1Loads)
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	s, h := newTestSystem()
+	h.AccessLine(0x800000, false)
+	s.DMAWrite(0x900000, 128)
+	s.Reset()
+	if l, m, _, _ := s.LLCCounters(); l != 0 || m != 0 {
+		t.Fatal("LLC counters survived reset")
+	}
+	if s.DDIOHits != 0 || s.DDIOMisses != 0 {
+		t.Fatal("DDIO counters survived reset")
+	}
+	if h.TLBMisses != 0 {
+		t.Fatal("TLB counter survived reset")
+	}
+	if c := h.AccessLine(0x800000, false); c.ServedBy != DRAM {
+		t.Fatalf("cache contents survived reset: served by %v", c.ServedBy)
+	}
+}
+
+func TestPrivateCachesAreIsolatedAcrossCores(t *testing.T) {
+	s := NewSystem(DefaultSystemConfig())
+	h1 := s.NewCore()
+	h2 := s.NewCore()
+	h1.AccessLine(0xA00000, false)
+	c := h2.AccessLine(0xA00000, false)
+	if c.ServedBy == L1 || c.ServedBy == L2 {
+		t.Fatalf("core 2 hit core 1's private cache: %v", c.ServedBy)
+	}
+	if c.ServedBy != LLC {
+		t.Fatalf("shared LLC did not serve second core: %v", c.ServedBy)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two sets")
+		}
+	}()
+	newSetAssoc(Config{Name: "bad", SizeB: 3 * 64, Ways: 1})
+}
+
+func TestLevelString(t *testing.T) {
+	if L1.String() != "L1" || DRAM.String() != "DRAM" || LLC.String() != "LLC" || L2.String() != "L2" {
+		t.Fatal("Level.String broken")
+	}
+	if Level(99).String() == "" {
+		t.Fatal("unknown level string empty")
+	}
+}
+
+func TestDeterministicReplayProperty(t *testing.T) {
+	// Two hierarchies fed the same access sequence must serve every
+	// access from the same level — the simulator has no hidden state.
+	seq := make([]struct {
+		addr  memsim.Addr
+		write bool
+	}, 5000)
+	r := uint64(12345)
+	next := func() uint64 { r = r*6364136223846793005 + 1442695040888963407; return r }
+	for i := range seq {
+		seq[i].addr = memsim.Addr(next() % (64 << 20))
+		seq[i].write = next()%3 == 0
+	}
+	run := func() []Level {
+		s := NewSystem(DefaultSystemConfig())
+		h := s.NewCore()
+		out := make([]Level, len(seq))
+		for i, a := range seq {
+			out[i] = h.AccessLine(a.addr, a.write).ServedBy
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestImmediateReaccessHitsL1Property(t *testing.T) {
+	// Whatever happened before, touching a line then touching it again
+	// must be an L1 hit (no pathological self-eviction).
+	s := NewSystem(DefaultSystemConfig())
+	h := s.NewCore()
+	r := uint64(99)
+	next := func() uint64 { r = r*6364136223846793005 + 1; return r }
+	for i := 0; i < 5000; i++ {
+		addr := memsim.Addr(next() % (256 << 20))
+		h.AccessLine(addr, next()%2 == 0)
+		if c := h.AccessLine(addr, false); c.ServedBy != L1 {
+			t.Fatalf("immediate re-access of %#x served by %v", addr, c.ServedBy)
+		}
+	}
+}

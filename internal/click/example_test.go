@@ -1,0 +1,39 @@
+package click_test
+
+import (
+	"fmt"
+
+	"packetmill/internal/click"
+)
+
+// ExampleParse shows the configuration front end on the paper's Listing 3.
+func ExampleParse() {
+	g, err := click.Parse(`
+// Listing 3: a simple forwarder
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+input -> EtherMirror -> output;
+`)
+	if err != nil {
+		panic(err)
+	}
+	for _, e := range g.Elements {
+		fmt.Printf("%s :: %s (%d args)\n", e.Name, e.Class, len(e.Args))
+	}
+	for _, c := range g.Conns {
+		fmt.Printf("%s[%d] -> [%d]%s\n", c.From, c.FromPort, c.ToPort, c.To)
+	}
+	// Output:
+	// input :: FromDPDKDevice (3 args)
+	// output :: ToDPDKDevice (2 args)
+	// EtherMirror@1 :: EtherMirror (0 args)
+	// input[0] -> [0]EtherMirror@1
+	// EtherMirror@1[0] -> [0]output
+}
+
+// ExampleSplitArgs shows top-level comma splitting of element arguments.
+func ExampleSplitArgs() {
+	fmt.Printf("%q\n", click.SplitArgs("12/0806 20/0001, 12/0800, -"))
+	// Output:
+	// ["12/0806 20/0001" "12/0800" "-"]
+}

@@ -1,0 +1,32 @@
+package click
+
+import "testing"
+
+// FuzzParse guards the configuration front end: arbitrary input must
+// either parse cleanly or return an error — never panic — and whatever
+// parses must re-parse from its normalized form.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"input :: FromDPDKDevice(PORT 0, BURST 32);\ninput -> EtherMirror -> output;",
+		"a :: X; b :: Y; a[1] -> [0]b;",
+		"x :: Classifier(12/0806 20/0001, -);",
+		"/* c */ a :: B(1,2,(3,4)); a -> C(5) -> a;",
+		"a :: B;;; a -> b :: C;",
+		"",
+		"-> ;",
+		"a :: B(",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if _, err := Parse(g.String()); err != nil {
+			t.Fatalf("normalized form does not re-parse: %v\noriginal: %q\nnormalized: %q",
+				err, src, g.String())
+		}
+	})
+}

@@ -1,0 +1,442 @@
+// Package click implements the modular packet-processing framework the
+// paper optimizes: a Click-language configuration parser, an element
+// graph with push ports, linked-list packet batches, and a driver — the
+// FastClick of this repository.
+//
+// This file is the configuration language front end. It accepts the
+// subset of the Click language the paper's NF configurations use
+// (Appendix A):
+//
+//	// declarations
+//	input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 32);
+//	output :: ToDPDKDevice(PORT 0, BURST 32);
+//	// processing graph, with optional port numbers and inline elements
+//	input -> EtherMirror -> output;
+//	c[1] -> Paint(2) -> [0]rt;
+package click
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ElementDecl is one element instance in a configuration.
+type ElementDecl struct {
+	Name  string
+	Class string
+	Args  []string
+	// Anonymous marks inline elements synthesized from connections.
+	Anonymous bool
+}
+
+// Connection is one edge of the processing graph.
+type Connection struct {
+	From     string
+	FromPort int
+	To       string
+	ToPort   int
+}
+
+// Graph is a parsed configuration.
+type Graph struct {
+	Elements []*ElementDecl
+	Conns    []Connection
+	byName   map[string]*ElementDecl
+}
+
+// Element returns the declaration for name, or nil.
+func (g *Graph) Element(name string) *ElementDecl { return g.byName[name] }
+
+// String renders the graph back in Click syntax (normalized).
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, e := range g.Elements {
+		fmt.Fprintf(&b, "%s :: %s(%s);\n", e.Name, e.Class, strings.Join(e.Args, ", "))
+	}
+	for _, c := range g.Conns {
+		fmt.Fprintf(&b, "%s[%d] -> [%d]%s;\n", c.From, c.FromPort, c.ToPort, c.To)
+	}
+	return b.String()
+}
+
+// --- lexer ---
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokColonColon
+	tokArrow
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokSemi
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int // byte offset for error messages
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.peek(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.peek(1) == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("click: line %d: unterminated block comment", l.line)
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		case c == ':' && l.peek(1) == ':':
+			l.emit(tokColonColon, "::")
+			l.pos += 2
+		case c == '-' && l.peek(1) == '>':
+			l.emit(tokArrow, "->")
+			l.pos += 2
+		case c == '(':
+			// Capture the balanced argument text verbatim; argument
+			// grammar is element-specific in Click.
+			text, nl, err := l.balanced()
+			if err != nil {
+				return nil, err
+			}
+			l.emit(tokLParen, text)
+			l.line += nl
+		case c == ')':
+			return nil, fmt.Errorf("click: line %d: unbalanced ')'", l.line)
+		case c == '[':
+			l.emit(tokLBracket, "[")
+			l.pos++
+		case c == ']':
+			l.emit(tokRBracket, "]")
+			l.pos++
+		case c == ';':
+			l.emit(tokSemi, ";")
+			l.pos++
+		case isIdentStart(c):
+			start := l.pos
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			l.emit(tokIdent, l.src[start:l.pos])
+		case c >= '0' && c <= '9':
+			start := l.pos
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			l.emit(tokNumber, l.src[start:l.pos])
+		default:
+			return nil, fmt.Errorf("click: line %d: unexpected character %q", l.line, c)
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.toks, nil
+}
+
+func (l *lexer) peek(n int) byte {
+	if l.pos+n < len(l.src) {
+		return l.src[l.pos+n]
+	}
+	return 0
+}
+
+func (l *lexer) emit(k tokKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos, line: l.line})
+}
+
+// balanced consumes a parenthesized argument list starting at '(' and
+// returns the inner text.
+func (l *lexer) balanced() (string, int, error) {
+	depth := 0
+	start := l.pos + 1
+	nl := 0
+	for i := l.pos; i < len(l.src); i++ {
+		switch l.src[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				l.pos = i + 1
+				return l.src[start:i], nl, nil
+			}
+		case '\n':
+			nl++
+		}
+	}
+	return "", 0, fmt.Errorf("click: line %d: unterminated '('", l.line)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '@' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+// SplitArgs splits a Click argument string on top-level commas and trims
+// whitespace: "PORT 0, BURST 32" → ["PORT 0", "BURST 32"]. Nested parens
+// and brackets do not split.
+func SplitArgs(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(', '[':
+			depth++
+		case ')', ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" || len(out) > 0 {
+		out = append(out, last)
+	}
+	if len(out) == 1 && out[0] == "" {
+		return nil
+	}
+	return out
+}
+
+// KeywordArgs interprets args of the form "KEYWORD value" and returns the
+// map plus the positional (non-keyword) arguments in order. A keyword is
+// an all-caps first word.
+func KeywordArgs(args []string) (map[string]string, []string) {
+	kw := map[string]string{}
+	var pos []string
+	for _, a := range args {
+		sp := strings.IndexAny(a, " \t")
+		if sp > 0 {
+			head := a[:sp]
+			if head == strings.ToUpper(head) && strings.IndexFunc(head, unicode.IsLetter) >= 0 {
+				kw[head] = strings.TrimSpace(a[sp+1:])
+				continue
+			}
+		}
+		pos = append(pos, a)
+	}
+	return kw, pos
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	i    int
+	g    *Graph
+	anon int
+}
+
+// Parse parses a Click configuration into a Graph.
+func Parse(src string) (*Graph, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, g: &Graph{byName: map[string]*ElementDecl{}}}
+	for p.cur().kind != tokEOF {
+		if p.cur().kind == tokSemi {
+			p.i++
+			continue
+		}
+		if err := p.statement(); err != nil {
+			return nil, err
+		}
+	}
+	return p.g, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("click: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	if p.cur().kind != k {
+		return token{}, p.errf("expected %s, got %q", what, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+// statement parses either a declaration or a connection chain.
+func (p *parser) statement() error {
+	// Lookahead: IDENT '::' → declaration.
+	if p.cur().kind == tokIdent && p.toks[p.i+1].kind == tokColonColon {
+		return p.declaration()
+	}
+	return p.connection()
+}
+
+func (p *parser) declaration() error {
+	name, _ := p.expect(tokIdent, "element name")
+	p.next() // '::'
+	class, err := p.expect(tokIdent, "element class")
+	if err != nil {
+		return err
+	}
+	var args []string
+	if p.cur().kind == tokLParen {
+		args = SplitArgs(p.next().text)
+	}
+	if _, err := p.expect(tokSemi, "';'"); err != nil {
+		return err
+	}
+	if _, dup := p.g.byName[name.text]; dup {
+		return fmt.Errorf("click: line %d: element %q redeclared", name.line, name.text)
+	}
+	decl := &ElementDecl{Name: name.text, Class: class.text, Args: args}
+	p.g.Elements = append(p.g.Elements, decl)
+	p.g.byName[name.text] = decl
+	return nil
+}
+
+// endpoint is one element reference in a connection chain with its
+// resolved input/output port numbers.
+type endpoint struct {
+	name    string
+	inPort  int
+	outPort int
+}
+
+func (p *parser) connection() error {
+	first, err := p.endpoint()
+	if err != nil {
+		return err
+	}
+	prev := first
+	for p.cur().kind == tokArrow {
+		p.next()
+		nxt, err := p.endpoint()
+		if err != nil {
+			return err
+		}
+		p.g.Conns = append(p.g.Conns, Connection{
+			From: prev.name, FromPort: prev.outPort,
+			To: nxt.name, ToPort: nxt.inPort,
+		})
+		prev = nxt
+	}
+	if prev == first {
+		return p.errf("connection with a single endpoint")
+	}
+	_, err = p.expect(tokSemi, "';'")
+	return err
+}
+
+// endpoint := [ '[' NUM ']' ] elem [ '[' NUM ']' ]
+func (p *parser) endpoint() (endpoint, error) {
+	ep := endpoint{}
+	if p.cur().kind == tokLBracket {
+		p.next()
+		n, err := p.expect(tokNumber, "input port number")
+		if err != nil {
+			return ep, err
+		}
+		fmt.Sscanf(n.text, "%d", &ep.inPort)
+		if _, err := p.expect(tokRBracket, "']'"); err != nil {
+			return ep, err
+		}
+	}
+	id, err := p.expect(tokIdent, "element")
+	if err != nil {
+		return ep, err
+	}
+	// Inline *named* declaration inside a chain: "name :: Class(args)".
+	if p.cur().kind == tokColonColon {
+		p.next()
+		class, err := p.expect(tokIdent, "element class")
+		if err != nil {
+			return ep, err
+		}
+		var args []string
+		if p.cur().kind == tokLParen {
+			args = SplitArgs(p.next().text)
+		}
+		if _, dup := p.g.byName[id.text]; dup {
+			return ep, fmt.Errorf("click: line %d: element %q redeclared", id.line, id.text)
+		}
+		decl := &ElementDecl{Name: id.text, Class: class.text, Args: args}
+		p.g.Elements = append(p.g.Elements, decl)
+		p.g.byName[id.text] = decl
+		ep.name = id.text
+		if p.cur().kind == tokLBracket {
+			p.next()
+			n, err := p.expect(tokNumber, "output port number")
+			if err != nil {
+				return ep, err
+			}
+			fmt.Sscanf(n.text, "%d", &ep.outPort)
+			if _, err := p.expect(tokRBracket, "']'"); err != nil {
+				return ep, err
+			}
+		}
+		return ep, nil
+	}
+	// Inline anonymous element: "Class(args)" or an undeclared
+	// capitalized class name.
+	if p.cur().kind == tokLParen {
+		args := SplitArgs(p.next().text)
+		ep.name = p.declareAnon(id.text, args)
+	} else if _, known := p.g.byName[id.text]; known {
+		ep.name = id.text
+	} else if len(id.text) > 0 && unicode.IsUpper(rune(id.text[0])) {
+		ep.name = p.declareAnon(id.text, nil)
+	} else {
+		return ep, fmt.Errorf("click: line %d: undeclared element %q", id.line, id.text)
+	}
+	if p.cur().kind == tokLBracket {
+		p.next()
+		n, err := p.expect(tokNumber, "output port number")
+		if err != nil {
+			return ep, err
+		}
+		fmt.Sscanf(n.text, "%d", &ep.outPort)
+		if _, err := p.expect(tokRBracket, "']'"); err != nil {
+			return ep, err
+		}
+	}
+	return ep, nil
+}
+
+func (p *parser) declareAnon(class string, args []string) string {
+	p.anon++
+	name := fmt.Sprintf("%s@%d", class, p.anon)
+	decl := &ElementDecl{Name: name, Class: class, Args: args, Anonymous: true}
+	p.g.Elements = append(p.g.Elements, decl)
+	p.g.byName[name] = decl
+	return name
+}

@@ -1,0 +1,175 @@
+package click
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDeclarationsAndChain(t *testing.T) {
+	g, err := Parse(`
+// a comment
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+input -> EtherMirror -> output;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Elements) != 3 {
+		t.Fatalf("%d elements", len(g.Elements))
+	}
+	in := g.Element("input")
+	if in == nil || in.Class != "FromDPDKDevice" {
+		t.Fatalf("input decl: %+v", in)
+	}
+	if len(in.Args) != 3 || in.Args[0] != "PORT 0" || in.Args[2] != "BURST 32" {
+		t.Fatalf("args: %v", in.Args)
+	}
+	if len(g.Conns) != 2 {
+		t.Fatalf("%d conns", len(g.Conns))
+	}
+	if g.Conns[0].From != "input" || !strings.HasPrefix(g.Conns[0].To, "EtherMirror@") {
+		t.Fatalf("conn 0: %+v", g.Conns[0])
+	}
+	anon := g.Element(g.Conns[0].To)
+	if anon == nil || !anon.Anonymous || anon.Class != "EtherMirror" {
+		t.Fatalf("anon: %+v", anon)
+	}
+}
+
+func TestParsePorts(t *testing.T) {
+	g, err := Parse(`
+c :: Classifier(12/0806, -);
+d :: Discard;
+e :: Discard;
+c[0] -> d;
+c[1] -> [0]e;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Conns[0].FromPort != 0 || g.Conns[1].FromPort != 1 || g.Conns[1].ToPort != 0 {
+		t.Fatalf("ports: %+v", g.Conns)
+	}
+}
+
+func TestParseInlineElementWithArgs(t *testing.T) {
+	g, err := Parse(`
+a :: Discard;
+b :: Discard;
+a -> Paint(3) -> b;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paint *ElementDecl
+	for _, e := range g.Elements {
+		if e.Class == "Paint" {
+			paint = e
+		}
+	}
+	if paint == nil || len(paint.Args) != 1 || paint.Args[0] != "3" {
+		t.Fatalf("paint: %+v", paint)
+	}
+}
+
+func TestParseBlockComments(t *testing.T) {
+	g, err := Parse(`
+/* multi
+   line */ x :: Discard;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Element("x") == nil {
+		t.Fatal("declaration after block comment lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`x :: ;`,                      // missing class
+		`x :: Discard`,                // missing semicolon
+		`a -> b;`,                     // undeclared lowercase elements
+		`x :: Discard; x :: Discard;`, // redeclared
+		`x :: Discard; x;`,            // single-endpoint connection
+		`x :: Broken(`,                // unterminated args
+		`/* unterminated`,             // unterminated comment
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestSplitArgs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"PORT 0, BURST 32", []string{"PORT 0", "BURST 32"}},
+		{"", nil},
+		{"a(b,c), d", []string{"a(b,c)", "d"}},
+		{"12/0806 20/0001, -", []string{"12/0806 20/0001", "-"}},
+	}
+	for _, c := range cases {
+		got := SplitArgs(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("SplitArgs(%q) = %v", c.in, got)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SplitArgs(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestKeywordArgs(t *testing.T) {
+	kw, pos := KeywordArgs([]string{"PORT 0", "BURST 32", "10.0.0.0/8 1"})
+	if kw["PORT"] != "0" || kw["BURST"] != "32" {
+		t.Fatalf("kw: %v", kw)
+	}
+	if len(pos) != 1 || pos[0] != "10.0.0.0/8 1" {
+		t.Fatalf("pos: %v", pos)
+	}
+}
+
+func TestGraphStringRoundTrips(t *testing.T) {
+	src := `
+input :: FromDPDKDevice(PORT 0);
+output :: ToDPDKDevice(PORT 0);
+input -> output;
+`
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Parse(g.String())
+	if err != nil {
+		t.Fatalf("re-parse of String() failed: %v\n%s", err, g.String())
+	}
+	if len(g2.Elements) != len(g.Elements) || len(g2.Conns) != len(g.Conns) {
+		t.Fatal("round trip changed the graph")
+	}
+}
+
+func TestOptLevelStrings(t *testing.T) {
+	if (OptLevel{}).String() != "vanilla" {
+		t.Fatal("vanilla string")
+	}
+	s := AllOpts().String()
+	for _, want := range []string{"devirtualize", "constembed", "staticgraph", "reorder"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("AllOpts string missing %s: %s", want, s)
+		}
+	}
+}
+
+func TestMetadataModelStrings(t *testing.T) {
+	if Copying.String() != "copying" || Overlaying.String() != "overlaying" || XChange.String() != "x-change" {
+		t.Fatal("model strings")
+	}
+}

@@ -1,0 +1,86 @@
+// PacketPool: the framework's recycled Packet-descriptor pool used by the
+// Copying model — FastClick's per-thread packet pool. Descriptors are
+// freed as soon as the packet has been handed back to DPDK, so the pool
+// runs LIFO-hot: a batch's worth of descriptors cycles in cache.
+package click
+
+import (
+	"packetmill/internal/layout"
+	"packetmill/internal/machine"
+	"packetmill/internal/memsim"
+	"packetmill/internal/pktbuf"
+)
+
+// PacketPool recycles framework Packet descriptors.
+type PacketPool struct {
+	free []*pktbuf.Meta
+	all  []*pktbuf.Meta
+	// headAddr is the pool's free-list head; each op touches it.
+	headAddr memsim.Addr
+
+	Gets, Puts uint64
+}
+
+// PacketPoolOpInstr is the instruction cost of a pool get or put (Click's
+// pool is a simple thread-local stack, much leaner than a DPDK mempool).
+const PacketPoolOpInstr = 8
+
+// NewPacketPool allocates n descriptors with the given layout. Placement:
+// the heap in the vanilla build, the static arena when the static-graph
+// pass runs (it knows every pool size from the embedded constants).
+func NewPacketPool(n int, l *layout.Layout, bc *BuildCtx, prof *layout.OrderProfile) *PacketPool {
+	pp := &PacketPool{}
+	for i := 0; i < n; i++ {
+		var base memsim.Addr
+		if bc.UseStatic {
+			base = bc.Static.Alloc(uint64(l.Size()), memsim.CacheLineSize)
+		} else {
+			base = bc.Heap.Alloc(uint64(l.Size()))
+		}
+		m := &pktbuf.Meta{Base: base, L: l, Prof: prof}
+		pp.all = append(pp.all, m)
+		pp.free = append(pp.free, m)
+	}
+	if bc.UseStatic {
+		pp.headAddr = bc.Static.Alloc(64, memsim.CacheLineSize)
+	} else {
+		pp.headAddr = bc.Heap.Alloc(64)
+	}
+	return pp
+}
+
+// Get pops a descriptor, charging the pool op.
+func (pp *PacketPool) Get(core *machine.Core) *pktbuf.Meta {
+	if len(pp.free) == 0 {
+		return nil
+	}
+	core.Load(pp.headAddr, 8)
+	core.Compute(PacketPoolOpInstr)
+	m := pp.free[len(pp.free)-1]
+	pp.free = pp.free[:len(pp.free)-1]
+	pp.Gets++
+	return m
+}
+
+// Put recycles a descriptor.
+func (pp *PacketPool) Put(core *machine.Core, m *pktbuf.Meta) {
+	core.Store(pp.headAddr, 8)
+	core.Compute(PacketPoolOpInstr)
+	m.ClearValues()
+	pp.free = append(pp.free, m)
+	pp.Puts++
+}
+
+// FreeCount reports available descriptors.
+func (pp *PacketPool) FreeCount() int { return len(pp.free) }
+
+// Size reports the pool's total descriptor count.
+func (pp *PacketPool) Size() int { return len(pp.all) }
+
+// SetLayout swaps every descriptor's layout (the reorder pass applying its
+// result between runs).
+func (pp *PacketPool) SetLayout(l *layout.Layout) {
+	for _, m := range pp.all {
+		m.L = l
+	}
+}

@@ -1,0 +1,114 @@
+package click
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"packetmill/internal/simrand"
+)
+
+// genGraphSource builds a random but well-formed configuration: a chain of
+// declarations with assorted argument shapes and random port annotations.
+func genGraphSource(r *simrand.Rand) (string, int, int) {
+	classes := []struct {
+		class string
+		args  []string
+	}{
+		{"FromDPDKDevice", []string{"PORT 0", "BURST 32"}},
+		{"EtherMirror", nil},
+		{"Counter", nil},
+		{"Paint", []string{"3"}},
+		{"Strip", []string{"14"}},
+		{"Classifier", []string{"12/0800", "-"}},
+		{"Discard", nil},
+	}
+	var b strings.Builder
+	n := 2 + r.Intn(6)
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		c := classes[r.Intn(len(classes))]
+		names[i] = fmt.Sprintf("e%d", i)
+		fmt.Fprintf(&b, "%s :: %s(%s);\n", names[i], c.class, strings.Join(c.args, ", "))
+	}
+	conns := 0
+	for i := 0; i+1 < n; i++ {
+		// Random port annotations (always port 0 to stay in range).
+		switch r.Intn(3) {
+		case 0:
+			fmt.Fprintf(&b, "%s -> %s;\n", names[i], names[i+1])
+		case 1:
+			fmt.Fprintf(&b, "%s[0] -> %s;\n", names[i], names[i+1])
+		default:
+			fmt.Fprintf(&b, "%s[0] -> [0]%s;\n", names[i], names[i+1])
+		}
+		conns++
+	}
+	return b.String(), n, conns
+}
+
+func TestParseRoundTripProperty(t *testing.T) {
+	r := simrand.New(0xC11C)
+	if err := quick.Check(func(seed uint32) bool {
+		_ = seed
+		src, wantN, wantC := genGraphSource(r)
+		g, err := Parse(src)
+		if err != nil {
+			t.Logf("parse failed for:\n%s\n%v", src, err)
+			return false
+		}
+		if len(g.Elements) != wantN || len(g.Conns) != wantC {
+			return false
+		}
+		// Normalized form must re-parse to the identical structure.
+		g2, err := Parse(g.String())
+		if err != nil {
+			t.Logf("re-parse failed for:\n%s\n%v", g.String(), err)
+			return false
+		}
+		if len(g2.Elements) != len(g.Elements) || len(g2.Conns) != len(g.Conns) {
+			return false
+		}
+		for i := range g.Elements {
+			a, b := g.Elements[i], g2.Elements[i]
+			if a.Name != b.Name || a.Class != b.Class || len(a.Args) != len(b.Args) {
+				return false
+			}
+		}
+		for i := range g.Conns {
+			if g.Conns[i] != g2.Conns[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitArgsJoinProperty(t *testing.T) {
+	// Property: splitting a join of clean (comma-free) args returns the
+	// original list.
+	r := simrand.New(7)
+	words := []string{"PORT 0", "BURST 32", "10.0.0.0/8 1", "a(b,c)", "-", "x y z"}
+	if err := quick.Check(func(k uint8) bool {
+		n := int(k%4) + 1
+		var parts []string
+		for i := 0; i < n; i++ {
+			parts = append(parts, words[r.Intn(len(words))])
+		}
+		got := SplitArgs(strings.Join(parts, ", "))
+		if len(got) != len(parts) {
+			return false
+		}
+		for i := range got {
+			if got[i] != parts[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

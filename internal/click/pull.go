@@ -1,0 +1,83 @@
+// The pull path: Click connects push outputs to push inputs, but also
+// supports pull connections, where a downstream element (classically a
+// device's transmit side, here Unqueue) *asks* upstream for packets.
+// Queues are the push-to-pull boundary. The paper's configurations are
+// full-push (FastClick's preferred mode), but the framework supports both
+// so queueing NFs can be expressed.
+package click
+
+import (
+	"fmt"
+
+	"packetmill/internal/machine"
+	"packetmill/internal/memsim"
+	"packetmill/internal/pktbuf"
+)
+
+// PullElement is implemented by elements whose outputs are pull ports
+// (Queue). Pull returns up to max packets from output port.
+type PullElement interface {
+	Pull(ec *ExecCtx, port int, max int) *pktbuf.Batch
+}
+
+// PullConsumer is implemented by elements whose inputs are pull ports
+// (Unqueue): they drive their upstream by pulling rather than being
+// pushed into.
+type PullConsumer interface {
+	PullsInput(port int) bool
+}
+
+// InputPort is the wired upstream reference a pull consumer uses; the
+// mirror of OutputPort with the same dispatch cost model.
+type InputPort struct {
+	From     *Instance
+	FromPort int
+	Kind     machine.CallKind
+	ConnAddr memsim.Addr
+	Embedded bool
+}
+
+// Pull asks the upstream element for up to max packets, charging dispatch
+// like a push hand-off in the opposite direction.
+func (ip *InputPort) Pull(ec *ExecCtx, max int) *pktbuf.Batch {
+	core := ec.Core
+	if !ip.Embedded {
+		core.Load(ip.ConnAddr, 16)
+	}
+	core.Call(ip.Kind, ip.From.State.Base)
+	pe, ok := ip.From.El.(PullElement)
+	if !ok {
+		// Build validates this; a miss here is a program bug.
+		panic(fmt.Sprintf("click: pull from non-pull element %s", ip.From.Name))
+	}
+	return pe.Pull(ec, ip.FromPort, max)
+}
+
+// Input returns inst's wired input port i (nil when unconnected).
+func (inst *Instance) Input(i int) *InputPort {
+	if i < 0 || i >= len(inst.Inputs) {
+		return nil
+	}
+	return inst.Inputs[i]
+}
+
+// validatePullAgreement checks every connection's push/pull agreement:
+// a pull output (PullElement) may only feed a pull input (PullConsumer),
+// and vice versa — Click's configure-time port-kind check.
+func validatePullAgreement(rt *Router, g *Graph) error {
+	for _, c := range g.Conns {
+		from := rt.byName[c.From]
+		to := rt.byName[c.To]
+		_, fromPull := from.El.(PullElement)
+		toPull := false
+		if pc, ok := to.El.(PullConsumer); ok {
+			toPull = pc.PullsInput(c.ToPort)
+		}
+		if fromPull != toPull {
+			kind := map[bool]string{true: "pull", false: "push"}
+			return fmt.Errorf("click: %s[%d] (%s output) -> [%d]%s (%s input): port kinds disagree",
+				c.From, c.FromPort, kind[fromPull], c.ToPort, c.To, kind[toPull])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package click
+
+import (
+	"testing"
+
+	"packetmill/internal/machine"
+	"packetmill/internal/pktbuf"
+)
+
+// countingTask is a fake source element counting RunTask invocations,
+// with configurable tickets.
+type countingTask struct {
+	Base
+	tickets int
+	runs    int
+}
+
+func (e *countingTask) Class() string { return "CountingTask" }
+func (e *countingTask) Configure(args []string, bc *BuildCtx) error {
+	e.InitBase(bc)
+	if len(args) == 1 {
+		n, err := ParseInt(args[0])
+		if err != nil {
+			return err
+		}
+		e.tickets = n
+	}
+	bc.AllocState(0, 0)
+	return nil
+}
+func (e *countingTask) Push(*ExecCtx, int, *pktbuf.Batch) {}
+func (e *countingTask) RunTask(*ExecCtx) int              { e.runs++; return 1 }
+func (e *countingTask) Tickets() int                      { return e.tickets }
+
+func init() {
+	Register("CountingTask", func() Element { return &countingTask{} })
+}
+
+func TestStrideSchedulerProportionalShares(t *testing.T) {
+	g, err := Parse(`
+a :: CountingTask(1024);
+b :: CountingTask(3072);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Build(g, BuildEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, core := machine.Default(2.0)
+	ec := &ExecCtx{Core: core, Rt: rt}
+	for i := 0; i < 400; i++ {
+		rt.Step(ec)
+	}
+	a := rt.Instance("a").El.(*countingTask)
+	b := rt.Instance("b").El.(*countingTask)
+	if a.runs == 0 || b.runs == 0 {
+		t.Fatalf("starvation: a=%d b=%d", a.runs, b.runs)
+	}
+	ratio := float64(b.runs) / float64(a.runs)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Fatalf("ticket ratio 3:1 gave run ratio %.2f (a=%d b=%d)", ratio, a.runs, b.runs)
+	}
+}
+
+func TestStrideSchedulerEqualTicketsRoundRobin(t *testing.T) {
+	g, err := Parse(`
+a :: CountingTask(1024);
+b :: CountingTask(1024);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Build(g, BuildEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, core := machine.Default(2.0)
+	ec := &ExecCtx{Core: core, Rt: rt}
+	for i := 0; i < 100; i++ {
+		rt.Step(ec)
+	}
+	a := rt.Instance("a").El.(*countingTask)
+	b := rt.Instance("b").El.(*countingTask)
+	if a.runs != b.runs {
+		t.Fatalf("equal tickets diverged: a=%d b=%d", a.runs, b.runs)
+	}
+}

@@ -1,0 +1,116 @@
+// Package core is PacketMill's top-level pipeline — the public face of
+// the system of Figure 3. A Pipeline takes an NF configuration file,
+// grinds it through the mill's source-code passes, optionally runs the
+// profile-guided metadata-reordering pass, selects the metadata-management
+// model (X-Change, Overlaying, or Copying), and produces a specialized
+// build that the simulated two-node testbed can drive.
+//
+// Typical use (the quickstart example):
+//
+//	p, _ := core.Parse(nf.Forwarder(0, 32))
+//	p.Model = click.XChange
+//	_ = p.Mill()                       // devirtualize+constembed+staticgraph
+//	res, _ := p.Run(testbed.Options{FreqGHz: 2.3, RateGbps: 100})
+//	fmt.Println(res.Gbps(), "Gbps")
+package core
+
+import (
+	"fmt"
+
+	"packetmill/internal/click"
+	"packetmill/internal/ir"
+	"packetmill/internal/layout"
+	"packetmill/internal/mill"
+	"packetmill/internal/testbed"
+)
+
+// Pipeline is one NF's journey from configuration to specialized build.
+type Pipeline struct {
+	// Plan holds the (possibly transformed) graph and pass decisions.
+	Plan *mill.Plan
+	// Model is the metadata-management model of the build.
+	Model click.MetadataModel
+}
+
+// Parse starts a pipeline from Click configuration source.
+func Parse(config string) (*Pipeline, error) {
+	plan, err := mill.NewPlan(config)
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{Plan: plan, Model: click.XChange}, nil
+}
+
+// Mill applies the given passes (default: the full PacketMill pipeline —
+// dead-code elimination, devirtualization, constant embedding, static
+// graph).
+func (p *Pipeline) Mill(passes ...mill.Pass) error {
+	if len(passes) == 0 {
+		passes = mill.PacketMill()
+	}
+	return p.Plan.Apply(passes...)
+}
+
+// options folds the plan into testbed options.
+func (p *Pipeline) options(o testbed.Options) testbed.Options {
+	o.Model = p.Model
+	o.Opt = p.Plan.Opt
+	if p.Plan.MetaLayout != nil {
+		o.MetaLayout = p.Plan.MetaLayout
+	}
+	return o
+}
+
+// Run drives the specialized build on the simulated testbed.
+func (p *Pipeline) Run(o testbed.Options) (*testbed.Result, error) {
+	return testbed.RunGraph(p.Plan.Graph, p.options(o))
+}
+
+// ReorderMetadata runs the profile-guided metadata-reordering pass
+// (§3.2.2): execute a short profiling run with the current build, then
+// re-pack the descriptor layout by the measured access counts. profileOpts
+// configures the profiling run (a few thousand packets suffice).
+func (p *Pipeline) ReorderMetadata(profileOpts testbed.Options, crit layout.SortCriterion) error {
+	profileOpts.Profile = true
+	po := p.options(profileOpts)
+	res, err := testbed.RunGraph(p.Plan.Graph, po)
+	if err != nil {
+		return fmt.Errorf("core: profiling run: %w", err)
+	}
+	if res.Prof == nil || res.Prof.Total() == 0 {
+		return fmt.Errorf("core: profiling run recorded no metadata accesses")
+	}
+	base := po.MetaLayout
+	if base == nil {
+		base = click.DefaultMetaLayout(p.Model)
+	}
+	return p.Plan.Apply(mill.ReorderMeta{Base: base, Profile: res.Prof, Criterion: crit})
+}
+
+// PruneMetadata runs the profile-guided dead-field removal pass (the
+// future-work extension of §3.2.2): execute a short profiling run, then
+// drop descriptor fields the NF never touches.
+func (p *Pipeline) PruneMetadata(profileOpts testbed.Options) error {
+	profileOpts.Profile = true
+	po := p.options(profileOpts)
+	res, err := testbed.RunGraph(p.Plan.Graph, po)
+	if err != nil {
+		return fmt.Errorf("core: profiling run: %w", err)
+	}
+	if res.Prof == nil || res.Prof.Total() == 0 {
+		return fmt.Errorf("core: profiling run recorded no metadata accesses")
+	}
+	base := po.MetaLayout
+	if base == nil {
+		base = click.DefaultMetaLayout(p.Model)
+	}
+	return p.Plan.Apply(mill.PruneMeta{Base: base, Profile: res.Prof})
+}
+
+// IR renders the current plan as a dispatch-level IR module.
+func (p *Pipeline) IR() *ir.Module {
+	return mill.BuildModule(p.Plan, p.Model)
+}
+
+// Notes returns the pass log.
+func (p *Pipeline) Notes() []string { return p.Plan.Notes }

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"packetmill/internal/click"
+	_ "packetmill/internal/elements"
+	"packetmill/internal/layout"
+	"packetmill/internal/nf"
+	"packetmill/internal/testbed"
+)
+
+func quickOpts() testbed.Options {
+	return testbed.Options{FreqGHz: 2.3, RateGbps: 20, Packets: 3000}
+}
+
+func TestParseAndRunVanilla(t *testing.T) {
+	p, err := Parse(nf.Forwarder(0, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Model = click.Copying
+	res, err := p.Run(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets == 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestParseError(t *testing.T) {
+	if _, err := Parse("this is not click"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestMillChangesIRAndSpeedsUp(t *testing.T) {
+	mk := func(milled bool) (*Pipeline, *testbed.Result) {
+		p, err := Parse(nf.Router(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Model = click.Copying
+		if milled {
+			if err := p.Mill(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		o := quickOpts()
+		o.RateGbps = 100
+		o.FreqGHz = 1.2
+		o.Packets = 6000
+		res, err := p.Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, res
+	}
+	vp, vres := mk(false)
+	mp, mres := mk(true)
+	if mres.Gbps() <= vres.Gbps() {
+		t.Fatalf("mill did not speed up: %.1f vs %.1f", mres.Gbps(), vres.Gbps())
+	}
+	if strings.Contains(vp.IR().Dump(), "inlined body") {
+		t.Fatal("vanilla IR already inlined")
+	}
+	if !strings.Contains(mp.IR().Dump(), "inlined body") {
+		t.Fatal("milled IR not inlined")
+	}
+	if len(mp.Notes()) == 0 {
+		t.Fatal("no pass notes")
+	}
+}
+
+func TestReorderMetadataPipeline(t *testing.T) {
+	p, err := Parse(nf.Router(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Model = click.Copying
+	if err := p.ReorderMetadata(quickOpts(), layout.ByAccessCount); err != nil {
+		t.Fatal(err)
+	}
+	if p.Plan.MetaLayout == nil {
+		t.Fatal("no reordered layout")
+	}
+	// The router's hot annotation must land in the first cache line.
+	if off := p.Plan.MetaLayout.Offset(layout.FieldAnnoDstIP); off >= 64 {
+		t.Fatalf("anno_dst_ip at %d after reorder:\n%s", off, p.Plan.MetaLayout)
+	}
+	// And the reordered build still runs.
+	res, err := p.Run(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets == 0 {
+		t.Fatal("reordered build forwarded nothing")
+	}
+}
+
+func TestReorderedLayoutNotSlower(t *testing.T) {
+	// §4.1: LTO + reordering improves throughput "at no additional
+	// cost". At minimum the reordered build must not regress.
+	run := func(reorder bool) float64 {
+		p, err := Parse(nf.Router(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Model = click.Copying
+		if reorder {
+			if err := p.ReorderMetadata(quickOpts(), layout.ByAccessCount); err != nil {
+				t.Fatal(err)
+			}
+		}
+		o := testbed.Options{FreqGHz: 1.2, RateGbps: 100, Packets: 8000}
+		res, err := p.Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Gbps()
+	}
+	base, reordered := run(false), run(true)
+	t.Logf("base=%.2f reordered=%.2f Gbps", base, reordered)
+	if reordered < base*0.995 {
+		t.Fatalf("reordering regressed throughput: %.2f -> %.2f", base, reordered)
+	}
+}

@@ -1,0 +1,230 @@
+// Package cuckoo implements a bucketed cuckoo hash table in the style of
+// DPDK's rte_hash, which the paper's NAT configuration uses for its flow
+// table ("the DPDK Cuckoo hash table, resulting in more lookups and higher
+// memory usage", Appendix A.3). Keys hash to two candidate buckets of
+// four slots each; inserts displace residents along a bounded cuckoo path.
+//
+// Lookups charge their bucket probes through the simulated cache, so a
+// NAT's flow-table footprint shows up in the LLC exactly like Figure 9's
+// WorkPackage sweeps.
+package cuckoo
+
+import (
+	"fmt"
+
+	"packetmill/internal/machine"
+	"packetmill/internal/memsim"
+)
+
+// SlotsPerBucket matches rte_hash's bucket width.
+const SlotsPerBucket = 4
+
+// maxDisplacements bounds the cuckoo path before declaring the table full.
+const maxDisplacements = 128
+
+// Key is the 5-tuple-sized fixed key (src/dst IP, src/dst port, proto).
+type Key struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+type slot struct {
+	occupied bool
+	tag      uint16 // short fingerprint checked before full compare
+	key      Key
+	value    uint64
+}
+
+type bucket struct {
+	slots [SlotsPerBucket]slot
+}
+
+// bucketBytes is the simulated footprint of one bucket (a cache line,
+// like rte_hash's 64-byte buckets).
+const bucketBytes = memsim.CacheLineSize
+
+// Table is a fixed-capacity cuckoo hash table. Not safe for concurrent
+// use; the NAT runs per-core tables.
+type Table struct {
+	buckets []bucket
+	mask    uint32
+	base    memsim.Addr
+	count   int
+	seed    uint64
+}
+
+// New builds a table with at least capacity slots (rounded up to a power
+// of two bucket count), placing its buckets in the given arena.
+func New(capacity int, arena *memsim.Arena, seed uint64) *Table {
+	if capacity <= 0 {
+		panic("cuckoo: capacity must be positive")
+	}
+	nb := 1
+	for nb*SlotsPerBucket < capacity {
+		nb <<= 1
+	}
+	// Head-room: cuckoo tables degrade near full; keep load factor ≤ ~94%.
+	nb <<= 1
+	return &Table{
+		buckets: make([]bucket, nb),
+		mask:    uint32(nb - 1),
+		base:    arena.Alloc(uint64(nb)*bucketBytes, memsim.PageSize),
+		seed:    seed,
+	}
+}
+
+// Len returns the number of stored entries.
+func (t *Table) Len() int { return t.count }
+
+// Capacity returns the total slot count.
+func (t *Table) Capacity() int { return len(t.buckets) * SlotsPerBucket }
+
+// hash mixes the key with the table seed (xxhash-like avalanche).
+func (t *Table) hash(k Key) uint64 {
+	h := t.seed ^ 0x9e3779b97f4a7c15
+	mix := func(v uint64) {
+		h ^= v
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+	}
+	mix(uint64(k.SrcIP)<<32 | uint64(k.DstIP))
+	mix(uint64(k.SrcPort)<<32 | uint64(k.DstPort)<<16 | uint64(k.Proto))
+	return h
+}
+
+// indices derives the two candidate buckets and the tag.
+func (t *Table) indices(k Key) (uint32, uint32, uint16) {
+	h := t.hash(k)
+	tag := uint16(h>>48) | 1 // never zero
+	i1 := uint32(h) & t.mask
+	// Partial-key cuckoo: the alternate bucket is derived from the tag so
+	// displacement can compute it without the full key's hash.
+	i2 := (i1 ^ (uint32(tag) * 0x5bd1e995)) & t.mask
+	return i1, i2, tag
+}
+
+func (t *Table) chargeBucket(core *machine.Core, idx uint32) {
+	if core != nil {
+		core.Load(t.base+memsim.Addr(idx)*bucketBytes, bucketBytes)
+		core.Compute(6) // tag compares across the bucket
+	}
+}
+
+// Lookup finds k, charging one or two bucket probes.
+func (t *Table) Lookup(core *machine.Core, k Key) (uint64, bool) {
+	i1, i2, tag := t.indices(k)
+	t.chargeBucket(core, i1)
+	if v, ok := t.searchBucket(i1, tag, k); ok {
+		return v, true
+	}
+	t.chargeBucket(core, i2)
+	return t.searchBucket(i2, tag, k)
+}
+
+func (t *Table) searchBucket(idx uint32, tag uint16, k Key) (uint64, bool) {
+	b := &t.buckets[idx]
+	for s := range b.slots {
+		if b.slots[s].occupied && b.slots[s].tag == tag && b.slots[s].key == k {
+			return b.slots[s].value, true
+		}
+	}
+	return 0, false
+}
+
+// Insert stores k→v (updating in place if present). It returns an error
+// when the cuckoo path is exhausted (table effectively full).
+func (t *Table) Insert(core *machine.Core, k Key, v uint64) error {
+	i1, i2, tag := t.indices(k)
+	t.chargeBucket(core, i1)
+	if t.updateInBucket(i1, tag, k, v) {
+		return nil
+	}
+	t.chargeBucket(core, i2)
+	if t.updateInBucket(i2, tag, k, v) {
+		return nil
+	}
+	if t.placeInBucket(core, i1, tag, k, v) || t.placeInBucket(core, i2, tag, k, v) {
+		t.count++
+		return nil
+	}
+	// Displace along a cuckoo path starting from i1, journaling every
+	// swap so a dead-end path can be rolled back without losing any
+	// resident entry.
+	type step struct {
+		idx    uint32
+		victim int
+		old    slot
+	}
+	var journal []step
+	cur := slot{occupied: true, tag: tag, key: k, value: v}
+	idx := i1
+	victim := 0
+	for hop := 0; hop < maxDisplacements; hop++ {
+		b := &t.buckets[idx]
+		journal = append(journal, step{idx: idx, victim: victim, old: b.slots[victim]})
+		cur, b.slots[victim] = b.slots[victim], cur
+		if core != nil {
+			core.Store(t.base+memsim.Addr(idx)*bucketBytes, bucketBytes)
+			core.Compute(8)
+		}
+		// Move the displaced entry to its alternate bucket.
+		alt := (idx ^ (uint32(cur.tag) * 0x5bd1e995)) & t.mask
+		t.chargeBucket(core, alt)
+		if t.placeSlot(alt, cur) {
+			t.count++
+			return nil
+		}
+		idx = alt
+		victim = (victim + hop) % SlotsPerBucket
+	}
+	// Roll back: undo swaps newest-first, restoring each displaced entry.
+	for i := len(journal) - 1; i >= 0; i-- {
+		s := journal[i]
+		t.buckets[s.idx].slots[s.victim] = s.old
+	}
+	return fmt.Errorf("cuckoo: table full (%d/%d entries)", t.count, t.Capacity())
+}
+
+func (t *Table) updateInBucket(idx uint32, tag uint16, k Key, v uint64) bool {
+	b := &t.buckets[idx]
+	for s := range b.slots {
+		if b.slots[s].occupied && b.slots[s].tag == tag && b.slots[s].key == k {
+			b.slots[s].value = v
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Table) placeInBucket(core *machine.Core, idx uint32, tag uint16, k Key, v uint64) bool {
+	return t.placeSlot(idx, slot{occupied: true, tag: tag, key: k, value: v})
+}
+
+func (t *Table) placeSlot(idx uint32, s slot) bool {
+	b := &t.buckets[idx]
+	for i := range b.slots {
+		if !b.slots[i].occupied {
+			b.slots[i] = s
+			return true
+		}
+	}
+	return false
+}
+
+// Delete removes k, reporting whether it was present.
+func (t *Table) Delete(core *machine.Core, k Key) bool {
+	i1, i2, tag := t.indices(k)
+	for _, idx := range [2]uint32{i1, i2} {
+		t.chargeBucket(core, idx)
+		b := &t.buckets[idx]
+		for s := range b.slots {
+			if b.slots[s].occupied && b.slots[s].tag == tag && b.slots[s].key == k {
+				b.slots[s] = slot{}
+				t.count--
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,180 @@
+package cuckoo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"packetmill/internal/machine"
+	"packetmill/internal/memsim"
+	"packetmill/internal/simrand"
+)
+
+func newTable(capacity int) *Table {
+	return New(capacity, memsim.NewArena("cuckoo", memsim.HeapBase, 1<<28), 42)
+}
+
+func key(i uint32) Key {
+	return Key{SrcIP: 0x0a000000 + i, DstIP: 0x0b000000 + i*7, SrcPort: uint16(i), DstPort: 80, Proto: 6}
+}
+
+func TestInsertLookup(t *testing.T) {
+	tb := newTable(1024)
+	if err := tb.Insert(nil, key(1), 100); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := tb.Lookup(nil, key(1))
+	if !ok || v != 100 {
+		t.Fatalf("lookup: %d %v", v, ok)
+	}
+	if _, ok := tb.Lookup(nil, key(2)); ok {
+		t.Fatal("phantom entry")
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("len %d", tb.Len())
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	tb := newTable(1024)
+	tb.Insert(nil, key(1), 100)
+	tb.Insert(nil, key(1), 200)
+	if tb.Len() != 1 {
+		t.Fatalf("update grew table: %d", tb.Len())
+	}
+	if v, _ := tb.Lookup(nil, key(1)); v != 200 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tb := newTable(1024)
+	tb.Insert(nil, key(1), 100)
+	if !tb.Delete(nil, key(1)) {
+		t.Fatal("delete missed")
+	}
+	if tb.Delete(nil, key(1)) {
+		t.Fatal("double delete succeeded")
+	}
+	if _, ok := tb.Lookup(nil, key(1)); ok || tb.Len() != 0 {
+		t.Fatal("entry survived delete")
+	}
+}
+
+func TestManyEntriesWithDisplacement(t *testing.T) {
+	tb := newTable(4096)
+	const n = 4096
+	for i := uint32(0); i < n; i++ {
+		if err := tb.Insert(nil, key(i), uint64(i)); err != nil {
+			t.Fatalf("insert %d/%d: %v", i, n, err)
+		}
+	}
+	if tb.Len() != n {
+		t.Fatalf("len %d", tb.Len())
+	}
+	for i := uint32(0); i < n; i++ {
+		v, ok := tb.Lookup(nil, key(i))
+		if !ok || v != uint64(i) {
+			t.Fatalf("entry %d lost after displacements (v=%d ok=%v)", i, v, ok)
+		}
+	}
+}
+
+func TestFullTableFailsWithoutLosingEntries(t *testing.T) {
+	tb := newTable(64) // real capacity: rounded up + headroom
+	inserted := map[uint32]bool{}
+	var i uint32
+	for {
+		if err := tb.Insert(nil, key(i), uint64(i)); err != nil {
+			break
+		}
+		inserted[i] = true
+		i++
+		if i > 1<<20 {
+			t.Fatal("table never filled")
+		}
+	}
+	// Every successfully inserted key must still be present (rollback
+	// must not have evicted anyone).
+	for k := range inserted {
+		if v, ok := tb.Lookup(nil, key(k)); !ok || v != uint64(k) {
+			t.Fatalf("key %d lost after failed insert", k)
+		}
+	}
+}
+
+func TestChargedOpsCost(t *testing.T) {
+	_, core := machine.Default(2.0)
+	tb := newTable(1024)
+	before := core.Snapshot()
+	tb.Insert(core, key(1), 1)
+	tb.Lookup(core, key(1))
+	tb.Delete(core, key(1))
+	if d := core.Snapshot().Delta(before); d.Instructions == 0 {
+		t.Fatal("table ops were free")
+	}
+}
+
+func TestLargeTableLookupsTouchLLC(t *testing.T) {
+	// A NAT-scale table (1M slots ≈ 16 MiB of buckets) probed randomly
+	// must generate LLC traffic — the memory-intensiveness effect of
+	// Figure 9.
+	_, core := machine.Default(2.0)
+	tb := New(1<<20, memsim.NewArena("cuckoo", memsim.HeapBase, 1<<30), 7)
+	r := simrand.New(1)
+	for i := 0; i < 10000; i++ {
+		tb.Insert(nil, key(uint32(r.Intn(1<<30))), 1)
+	}
+	before := core.Snapshot()
+	for i := 0; i < 1000; i++ {
+		tb.Lookup(core, key(uint32(r.Intn(1<<30))))
+	}
+	if d := core.Snapshot().Delta(before); d.LLCLoads < 500 {
+		t.Fatalf("random probes of a 16-MiB table produced only %d LLC loads", d.LLCLoads)
+	}
+}
+
+func TestCapacityAndHeadroom(t *testing.T) {
+	tb := newTable(1000)
+	if tb.Capacity() < 1000 {
+		t.Fatalf("capacity %d < requested", tb.Capacity())
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	newTable(0)
+}
+
+func TestPropertyMatchesMapModel(t *testing.T) {
+	tb := newTable(8192)
+	model := map[Key]uint64{}
+	r := simrand.New(99)
+	if err := quick.Check(func(op uint8, kSeed uint32, v uint64) bool {
+		k := key(kSeed % 2000)
+		switch op % 3 {
+		case 0:
+			if err := tb.Insert(nil, k, v); err == nil {
+				model[k] = v
+			}
+		case 1:
+			got, ok := tb.Lookup(nil, k)
+			want, wantOK := model[k]
+			if ok != wantOK || (ok && got != want) {
+				return false
+			}
+		case 2:
+			if tb.Delete(nil, k) != (func() bool { _, ok := model[k]; return ok })() {
+				return false
+			}
+			delete(model, k)
+		}
+		_ = r
+		return tb.Len() == len(model)
+	}, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}

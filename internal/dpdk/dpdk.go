@@ -1,0 +1,392 @@
+// Package dpdk models the kernel-bypass I/O layer the paper's frameworks
+// sit on: hugepage-backed packet mempools with rte_mbuf-style descriptors,
+// and a poll-mode driver (PMD) that moves packets between the simulated
+// NIC's rings and the application.
+//
+// The PMD never assigns wire metadata directly; every touch point goes
+// through an xchg.Binding (the paper's conversion functions), so the same
+// driver code serves stock DPDK (rte_mbuf), Overlaying (framework struct
+// cast over the mbuf), and X-Change (application descriptors + buffer
+// exchange) — selected by "linking" a different binding, exactly the
+// workflow of §3.1.
+package dpdk
+
+import (
+	"fmt"
+
+	"packetmill/internal/layout"
+	"packetmill/internal/machine"
+	"packetmill/internal/memsim"
+	"packetmill/internal/nic"
+	"packetmill/internal/pktbuf"
+	"packetmill/internal/xchg"
+)
+
+// Buffer geometry defaults, matching DPDK's RTE_PKTMBUF_HEADROOM and the
+// common 2-KiB dataroom.
+const (
+	DefaultHeadroom = 128
+	DefaultDataRoom = 2048
+	// MbufStructSize is the rte_mbuf region preceding the headroom.
+	MbufStructSize = 128
+)
+
+// BufSpec describes the buffers a mempool carves.
+type BufSpec struct {
+	// MetaLayout is the descriptor layout placed at the buffer head.
+	// With SeparateMbuf the layout must be the rte_mbuf layout and the
+	// descriptor is attached as Packet.Mbuf; otherwise it is attached as
+	// Packet.Meta (the Overlaying cast).
+	MetaLayout   *layout.Layout
+	SeparateMbuf bool
+	Headroom     int
+	DataRoom     int
+	// Prof, when non-nil, profiles descriptor accesses (reorder pass input).
+	Prof *layout.OrderProfile
+}
+
+// DefaultBufSpec returns the stock-DPDK buffer shape (separate rte_mbuf).
+func DefaultBufSpec() BufSpec {
+	return BufSpec{
+		MetaLayout:   layout.RteMbuf(),
+		SeparateMbuf: true,
+		Headroom:     DefaultHeadroom,
+		DataRoom:     DefaultDataRoom,
+	}
+}
+
+// Mempool is a fixed-size packet-buffer pool in hugepage memory with a
+// LIFO free list (DPDK's per-lcore mempool cache behaviour: the most
+// recently freed object is handed out next).
+type Mempool struct {
+	name     string
+	spec     BufSpec
+	free     []*pktbuf.Packet
+	capacity int
+	// ringBase is the simulated address of the free-list array; every
+	// get/put touches one 8-byte slot, like the mempool cache does.
+	ringBase memsim.Addr
+	// Cost knobs: instructions per get/put, covering DPDK's generic
+	// mempool bookkeeping ("supporting many unnecessary features").
+	opInstr float64
+
+	Gets, Puts, Fails uint64
+}
+
+// MempoolOpInstr is the instruction cost of one mempool get or put
+// (DPDK's generic mempool maintains rings, caches, and statistics —
+// the "many unnecessary features" of §3.1).
+const MempoolOpInstr = 40
+
+// NewMempool carves n buffers out of the hugepage arena.
+func NewMempool(name string, n int, arena *memsim.Arena, spec BufSpec) *Mempool {
+	if spec.MetaLayout == nil {
+		panic("dpdk: mempool needs a metadata layout")
+	}
+	mp := &Mempool{
+		name:     name,
+		spec:     spec,
+		capacity: n,
+		ringBase: arena.Alloc(uint64(n)*8, memsim.CacheLineSize),
+		opInstr:  MempoolOpInstr,
+	}
+	metaSize := uint64(spec.MetaLayout.Size())
+	if spec.SeparateMbuf {
+		metaSize = MbufStructSize
+	}
+	for i := 0; i < n; i++ {
+		base := arena.Alloc(metaSize+uint64(spec.Headroom+spec.DataRoom), memsim.CacheLineSize)
+		bufAddr := base + memsim.Addr(metaSize)
+		p := pktbuf.NewPacket(make([]byte, spec.Headroom+spec.DataRoom), bufAddr, spec.Headroom)
+		m := &pktbuf.Meta{Base: base, L: spec.MetaLayout, Prof: spec.Prof}
+		m.Poke(layout.FieldBufAddr, uint64(bufAddr))
+		if spec.SeparateMbuf {
+			p.Mbuf = m
+		} else {
+			p.Meta = m
+		}
+		mp.free = append(mp.free, p)
+	}
+	return mp
+}
+
+// Capacity returns the pool's total buffer count.
+func (mp *Mempool) Capacity() int { return mp.capacity }
+
+// Available returns the free buffer count.
+func (mp *Mempool) Available() int { return len(mp.free) }
+
+// Get allocates a buffer, charging the free-list access, the mempool
+// bookkeeping, and the mbuf rearm stores (rte_pktmbuf_reset touches the
+// descriptor's first line). Returns nil when the pool is exhausted.
+func (mp *Mempool) Get(core *machine.Core) *pktbuf.Packet {
+	if len(mp.free) == 0 {
+		mp.Fails++
+		return nil
+	}
+	idx := len(mp.free) - 1
+	p := mp.free[idx]
+	mp.free = mp.free[:idx]
+	mp.Gets++
+
+	core.Load(mp.ringBase+memsim.Addr(idx*8), 8)
+	core.Compute(mp.opInstr)
+
+	// Rearm: reset offsets/refcount on the descriptor.
+	m := mp.meta(p)
+	m.Set(core, layout.FieldDataOff, uint64(mp.spec.Headroom))
+	m.Set(core, layout.FieldRefCnt, 1)
+	m.Set(core, layout.FieldNbSegs, 1)
+	p.Reset(mp.spec.Headroom)
+	return p
+}
+
+// Put frees a buffer back to the pool.
+func (mp *Mempool) Put(core *machine.Core, p *pktbuf.Packet) {
+	if len(mp.free) >= mp.capacity {
+		panic("dpdk: mempool over-free")
+	}
+	core.Store(mp.ringBase+memsim.Addr(len(mp.free)*8), 8)
+	core.Compute(mp.opInstr)
+	// rte_pktmbuf_free reads the descriptor before recycling: the
+	// refcount in the RX line and the pool/next pointers in the TX line
+	// (cold — nothing touched it since this buffer's last rearm).
+	m := mp.meta(p)
+	core.Load(m.Base+memsim.Addr(m.L.Offset(layout.FieldRefCnt)), 2)
+	core.Load(m.Base+64, 16)
+	if mp.spec.SeparateMbuf {
+		// The framework descriptor (if any) was detached by the app;
+		// only the mbuf returns with the buffer.
+		p.Meta = nil
+	}
+	mp.free = append(mp.free, p)
+	mp.Puts++
+}
+
+func (mp *Mempool) meta(p *pktbuf.Packet) *pktbuf.Meta {
+	if mp.spec.SeparateMbuf {
+		return p.Mbuf
+	}
+	return p.Meta
+}
+
+// AllocRawBuffers carves n bare buffers (headroom+dataroom, no descriptor)
+// for the X-Change workflow, where metadata lives in the application's
+// descriptor pool instead of in front of every buffer.
+func AllocRawBuffers(arena *memsim.Arena, n, headroom, dataroom int) []*pktbuf.Packet {
+	out := make([]*pktbuf.Packet, n)
+	for i := range out {
+		base := arena.Alloc(uint64(headroom+dataroom), memsim.CacheLineSize)
+		out[i] = pktbuf.NewPacket(make([]byte, headroom+dataroom), base, headroom)
+	}
+	return out
+}
+
+// Port is one PMD-driven NIC queue pair.
+type Port struct {
+	ID    int
+	NIC   *nic.NIC
+	Queue int
+	Pool  *Mempool // nil under buffer-exchange bindings
+	Bind  xchg.Binding
+	Burst int
+
+	// spare holds application-provided buffers awaiting RX posting
+	// (X-Change) .
+	spare []*pktbuf.Packet
+
+	descs []nic.Descriptor
+	reap  []*pktbuf.Packet
+
+	// RxConvInstr approximates the per-packet descriptor-parsing work in
+	// the RX hot loop (CQE decode, flags).
+	RxConvInstr float64
+	// TxConvInstr approximates per-packet SQE preparation work.
+	TxConvInstr float64
+
+	// Vectorized enables the SIMD receive path: compressed CQEs are
+	// decoded four at a time with vector instructions, halving the
+	// per-packet conversion work and quartering descriptor reads. The
+	// paper's X-Change prototype does not support it ("we have disabled
+	// it in all of our experiments, except in §4.1"), and neither does
+	// ours: SetVectorized rejects exchange bindings.
+	Vectorized bool
+}
+
+// Per-packet PMD instruction costs (beyond the charged memory accesses).
+const (
+	DefaultRxConvInstr = 30
+	DefaultTxConvInstr = 26
+)
+
+// NewPort wires a PMD onto nic queue q.
+func NewPort(id int, n *nic.NIC, q int, pool *Mempool, bind xchg.Binding, burst int) *Port {
+	if burst <= 0 {
+		burst = 32
+	}
+	return &Port{
+		ID: id, NIC: n, Queue: q, Pool: pool, Bind: bind, Burst: burst,
+		descs:       make([]nic.Descriptor, burst),
+		reap:        make([]*pktbuf.Packet, burst*2),
+		RxConvInstr: DefaultRxConvInstr,
+		TxConvInstr: DefaultTxConvInstr,
+	}
+}
+
+// SetVectorized switches the RX path to the SIMD implementation. It
+// returns an error under an exchange binding, mirroring the paper's
+// prototype limitation.
+func (pt *Port) SetVectorized(on bool) error {
+	if on && pt.Bind.ExchangesBuffers() {
+		return fmt.Errorf("dpdk: port %d: vectorized PMD does not support X-Change (paper §4, footnote)", pt.ID)
+	}
+	pt.Vectorized = on
+	return nil
+}
+
+// ProvideBuffers lends application buffers to the driver (X-Change setup
+// and steady-state exchange).
+func (pt *Port) ProvideBuffers(bufs []*pktbuf.Packet) {
+	pt.spare = append(pt.spare, bufs...)
+}
+
+// SpareCount reports application buffers waiting to be posted.
+func (pt *Port) SpareCount() int { return len(pt.spare) }
+
+// SetupRX fills the receive ring with buffers: from the mempool under
+// stock bindings, from the application's provided buffers under exchange
+// bindings. It charges nothing (initialization phase).
+func (pt *Port) SetupRX() error {
+	rxq := pt.NIC.RX(pt.Queue)
+	want := pt.NIC.Cfg.RXRingSize - rxq.PostedCount() - rxq.PendingCount()
+	for i := 0; i < want; i++ {
+		var b *pktbuf.Packet
+		if pt.Bind.ExchangesBuffers() {
+			if len(pt.spare) == 0 {
+				return fmt.Errorf("dpdk: port %d: %d app buffers short for RX ring", pt.ID, want-i)
+			}
+			b = pt.spare[len(pt.spare)-1]
+			pt.spare = pt.spare[:len(pt.spare)-1]
+		} else {
+			if b = pt.takeFromPoolInit(); b == nil {
+				return fmt.Errorf("dpdk: port %d: mempool too small for RX ring", pt.ID)
+			}
+		}
+		rxq.Post(b)
+	}
+	return nil
+}
+
+// takeFromPoolInit pops a buffer without charging (init phase).
+func (pt *Port) takeFromPoolInit() *pktbuf.Packet {
+	if pt.Pool == nil || len(pt.Pool.free) == 0 {
+		return nil
+	}
+	idx := len(pt.Pool.free) - 1
+	p := pt.Pool.free[idx]
+	pt.Pool.free = pt.Pool.free[:idx]
+	return p
+}
+
+// RxBurst polls up to len(out) receptions ready by nowNS, runs the
+// conversion functions for each, refills the ring, and returns the count.
+// This is rte_eth_rx_burst with the X-Change patch applied.
+func (pt *Port) RxBurst(core *machine.Core, nowNS float64, out []*pktbuf.Packet) int {
+	max := len(out)
+	if max > len(pt.descs) {
+		max = len(pt.descs)
+	}
+	rxq := pt.NIC.RX(pt.Queue)
+	var n int
+	if pt.Vectorized {
+		n = rxq.PollCompressed(core, nowNS, max, out, pt.descs)
+	} else {
+		n = rxq.Poll(core, nowNS, max, out, pt.descs)
+	}
+	if n == 0 {
+		// An empty poll still costs the CQE peek.
+		core.Compute(4)
+		return 0
+	}
+	conv := pt.RxConvInstr
+	if pt.Vectorized {
+		conv /= 2 // SIMD decode amortizes the per-packet scalar work
+	}
+	for i := 0; i < n; i++ {
+		p, d := out[i], pt.descs[i]
+		core.Compute(conv)
+		pt.Bind.SetDataLen(core, p, uint16(d.Len))
+		pt.Bind.SetPktLen(core, p, uint32(d.Len))
+		pt.Bind.SetPort(core, p, uint16(pt.ID))
+		pt.Bind.SetRSSHash(core, p, d.RSSHash)
+		pt.Bind.SetPacketType(core, p, d.PktType)
+		if d.VlanTCI != 0 {
+			pt.Bind.SetVlanTCI(core, p, d.VlanTCI)
+		}
+	}
+	// Ring refill: replacement buffers come from the pool (stock) or the
+	// application's exchanged spares (X-Change).
+	for i := 0; i < n; i++ {
+		var b *pktbuf.Packet
+		if pt.Bind.ExchangesBuffers() {
+			if len(pt.spare) == 0 {
+				break // application under-provisioned; ring shrinks
+			}
+			b = pt.spare[len(pt.spare)-1]
+			pt.spare = pt.spare[:len(pt.spare)-1]
+			b.Reset(DefaultHeadroom)
+			core.Compute(4) // exchange bookkeeping, no pool machinery
+		} else {
+			if b = pt.Pool.Get(core); b == nil {
+				break
+			}
+		}
+		rxq.Post(b)
+	}
+	return n
+}
+
+// TxBurst reaps completed transmissions (recycling their buffers) and
+// enqueues pkts[0:n]; returns how many were accepted.
+func (pt *Port) TxBurst(core *machine.Core, nowNS float64, pkts []*pktbuf.Packet) int {
+	txq := pt.NIC.TX(pt.Queue)
+
+	// Reap finished frames first, releasing buffers for reuse.
+	for {
+		r := txq.Reap(nowNS, pt.reap)
+		if r == 0 {
+			break
+		}
+		for i := 0; i < r; i++ {
+			done := pt.reap[i]
+			if pt.Bind.ExchangesBuffers() {
+				if cb, ok := pt.Bind.(*xchg.CustomBinding); ok {
+					cb.Release(done)
+				}
+				pt.spare = append(pt.spare, done)
+				core.Compute(2)
+			} else {
+				pt.Pool.Put(core, done)
+			}
+		}
+	}
+
+	sent := 0
+	for _, p := range pkts {
+		core.Compute(pt.TxConvInstr)
+		pt.Bind.GetDataLen(core, p)
+		pt.Bind.GetBufAddr(core, p)
+		if !txq.Enqueue(core, p, nowNS) {
+			break
+		}
+		if cb, ok := pt.Bind.(*xchg.CustomBinding); ok {
+			// X-Change TX swap (§3.1): the metadata has been converted
+			// into the SQE, so the application descriptor is free the
+			// moment the packet sits in the ring — only the *buffer*
+			// stays with the NIC until the wire drains it.
+			cb.Release(p)
+		}
+		sent++
+	}
+	return sent
+}

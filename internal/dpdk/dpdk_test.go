@@ -1,0 +1,404 @@
+package dpdk
+
+import (
+	"testing"
+
+	"packetmill/internal/layout"
+	"packetmill/internal/machine"
+	"packetmill/internal/memsim"
+	"packetmill/internal/netpkt"
+	"packetmill/internal/nic"
+	"packetmill/internal/pktbuf"
+	"packetmill/internal/xchg"
+)
+
+type rig struct {
+	mach *machine.Machine
+	core *machine.Core
+	nic  *nic.NIC
+	huge *memsim.Arena
+}
+
+func newRig() *rig {
+	m, core := machine.Default(2.0)
+	huge := memsim.NewArena("huge", memsim.HugeBase, 1<<30)
+	cfg := nic.DefaultConfig("nic0")
+	cfg.RXRingSize = 256
+	cfg.TXRingSize = 256
+	cfg.MaxQueuePPS = 0
+	return &rig{mach: m, core: core, nic: nic.New(cfg, m.Sys, huge), huge: huge}
+}
+
+func frame(size int) []byte {
+	return netpkt.BuildUDP(make([]byte, 2048), netpkt.UDPPacketSpec{
+		SrcIP: netpkt.IPv4{10, 0, 0, 1}, DstIP: netpkt.IPv4{10, 0, 0, 2},
+		SrcPort: 40000, DstPort: 53, TotalLen: size,
+	})
+}
+
+func TestMempoolGetPutLIFO(t *testing.T) {
+	r := newRig()
+	mp := NewMempool("mb", 8, r.huge, DefaultBufSpec())
+	if mp.Capacity() != 8 || mp.Available() != 8 {
+		t.Fatalf("cap=%d avail=%d", mp.Capacity(), mp.Available())
+	}
+	a := mp.Get(r.core)
+	b := mp.Get(r.core)
+	if a == nil || b == nil || a == b {
+		t.Fatal("get broken")
+	}
+	mp.Put(r.core, b)
+	if c := mp.Get(r.core); c != b {
+		t.Fatal("pool not LIFO")
+	}
+}
+
+func TestMempoolExhaustion(t *testing.T) {
+	r := newRig()
+	mp := NewMempool("mb", 2, r.huge, DefaultBufSpec())
+	mp.Get(r.core)
+	mp.Get(r.core)
+	if mp.Get(r.core) != nil {
+		t.Fatal("got buffer from empty pool")
+	}
+	if mp.Fails != 1 {
+		t.Fatalf("Fails = %d", mp.Fails)
+	}
+}
+
+func TestMempoolOverFreePanics(t *testing.T) {
+	r := newRig()
+	mp := NewMempool("mb", 1, r.huge, DefaultBufSpec())
+	p := mp.Get(r.core)
+	mp.Put(r.core, p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	mp.Put(r.core, p)
+}
+
+func TestMempoolSeparateMbufGeometry(t *testing.T) {
+	r := newRig()
+	mp := NewMempool("mb", 4, r.huge, DefaultBufSpec())
+	p := mp.Get(r.core)
+	if p.Mbuf == nil || p.Meta != nil {
+		t.Fatal("separate-mbuf spec must attach Mbuf only")
+	}
+	if p.Mbuf.L.Name() != "rte_mbuf" {
+		t.Fatalf("mbuf layout %s", p.Mbuf.L.Name())
+	}
+	// Buffer must start right after the 128-B descriptor.
+	if p.BufAddr != p.Mbuf.Base+MbufStructSize {
+		t.Fatalf("buffer at %#x, mbuf at %#x", p.BufAddr, p.Mbuf.Base)
+	}
+	if p.Headroom() != DefaultHeadroom {
+		t.Fatalf("headroom %d", p.Headroom())
+	}
+	if got := memsim.Addr(p.Mbuf.Peek(layout.FieldBufAddr)); got != p.BufAddr {
+		t.Fatalf("buf_addr field %#x", got)
+	}
+}
+
+func TestMempoolOverlayGeometry(t *testing.T) {
+	r := newRig()
+	spec := DefaultBufSpec()
+	spec.MetaLayout = layout.OverlayPacket()
+	spec.SeparateMbuf = false
+	mp := NewMempool("ov", 4, r.huge, spec)
+	p := mp.Get(r.core)
+	if p.Meta == nil || p.Mbuf != nil {
+		t.Fatal("overlay spec must attach Meta only")
+	}
+	if p.BufAddr != p.Meta.Base+memsim.Addr(layout.OverlayPacket().Size()) {
+		t.Fatal("overlay buffer not after the fat descriptor")
+	}
+}
+
+func TestMempoolRearmChargesDescriptor(t *testing.T) {
+	r := newRig()
+	mp := NewMempool("mb", 4, r.huge, DefaultBufSpec())
+	before := r.core.Snapshot()
+	mp.Get(r.core)
+	d := r.core.Snapshot().Delta(before)
+	if d.Instructions < MempoolOpInstr {
+		t.Fatalf("get under-charged: %+v", d)
+	}
+}
+
+func newDefaultPort(r *rig, poolSize int) *Port {
+	mp := NewMempool("mb", poolSize, r.huge, DefaultBufSpec())
+	pt := NewPort(0, r.nic, 0, mp, xchg.NewDefaultBinding(true), 32)
+	if err := pt.SetupRX(); err != nil {
+		panic(err)
+	}
+	return pt
+}
+
+func TestPortSetupFillsRing(t *testing.T) {
+	r := newRig()
+	pt := newDefaultPort(r, 512)
+	if got := r.nic.RX(0).PostedCount(); got != 256 {
+		t.Fatalf("posted %d, want ring size 256", got)
+	}
+	if pt.Pool.Available() != 512-256 {
+		t.Fatalf("pool available %d", pt.Pool.Available())
+	}
+}
+
+func TestPortSetupPoolTooSmall(t *testing.T) {
+	r := newRig()
+	mp := NewMempool("mb", 10, r.huge, DefaultBufSpec())
+	if err := NewPort(0, r.nic, 0, mp, xchg.NewDefaultBinding(true), 32).SetupRX(); err == nil {
+		t.Fatal("expected error for undersized pool")
+	}
+}
+
+func TestRxBurstDefaultBinding(t *testing.T) {
+	r := newRig()
+	pt := newDefaultPort(r, 512)
+	for i := 0; i < 10; i++ {
+		if !r.nic.Deliver(0, frame(200), float64(i)) {
+			t.Fatalf("deliver %d failed", i)
+		}
+	}
+	out := make([]*pktbuf.Packet, 32)
+	n := pt.RxBurst(r.core, 1e6, out)
+	if n != 10 {
+		t.Fatalf("rx %d", n)
+	}
+	p := out[0]
+	if p.Mbuf.Peek(layout.FieldDataLen) != 200 || p.Mbuf.Peek(layout.FieldPktLen) != 200 {
+		t.Fatalf("metadata: dataLen=%d", p.Mbuf.Peek(layout.FieldDataLen))
+	}
+	// The ring must be refilled to capacity.
+	if got := r.nic.RX(0).PostedCount(); got != 256 {
+		t.Fatalf("ring refill: posted %d", got)
+	}
+}
+
+func TestRxBurstEmptyChargesPeek(t *testing.T) {
+	r := newRig()
+	pt := newDefaultPort(r, 512)
+	before := r.core.Snapshot()
+	if n := pt.RxBurst(r.core, 0, make([]*pktbuf.Packet, 32)); n != 0 {
+		t.Fatalf("rx %d from idle port", n)
+	}
+	if d := r.core.Snapshot().Delta(before); d.Instructions == 0 {
+		t.Fatal("empty poll was free")
+	}
+}
+
+func TestTxBurstSendsAndRecycles(t *testing.T) {
+	r := newRig()
+	pt := newDefaultPort(r, 512)
+	for i := 0; i < 4; i++ {
+		r.nic.Deliver(0, frame(100), 0)
+	}
+	out := make([]*pktbuf.Packet, 32)
+	n := pt.RxBurst(r.core, 1e6, out)
+	availAfterRx := pt.Pool.Available()
+	if sent := pt.TxBurst(r.core, 1e6, out[:n]); sent != n {
+		t.Fatalf("sent %d of %d", sent, n)
+	}
+	// After wire departure, a later TxBurst reap returns buffers to pool.
+	pt.TxBurst(r.core, 1e9, nil)
+	if pt.Pool.Available() != availAfterRx+n {
+		t.Fatalf("pool did not recover: %d vs %d+%d", pt.Pool.Available(), availAfterRx, n)
+	}
+	if r.nic.Stats.TxSent != uint64(n) {
+		t.Fatalf("TxSent = %d", r.nic.Stats.TxSent)
+	}
+}
+
+func newXchgPort(r *rig) (*Port, *xchg.CustomBinding) {
+	static := memsim.NewArena("static", memsim.StaticBase, 1<<20)
+	dp := xchg.NewDescriptorPool(64, layout.XchgPacket(), static, nil)
+	bind := xchg.NewCustomBinding("x-change", dp, true)
+	pt := NewPort(0, r.nic, 0, nil, bind, 32)
+	pt.ProvideBuffers(AllocRawBuffers(r.huge, 256+64, DefaultHeadroom, DefaultDataRoom))
+	if err := pt.SetupRX(); err != nil {
+		panic(err)
+	}
+	return pt, bind
+}
+
+func TestXchgRxAttachesAppDescriptors(t *testing.T) {
+	r := newRig()
+	pt, bind := newXchgPort(r)
+	for i := 0; i < 8; i++ {
+		r.nic.Deliver(0, frame(150), 0)
+	}
+	out := make([]*pktbuf.Packet, 32)
+	n := pt.RxBurst(r.core, 1e6, out)
+	if n != 8 {
+		t.Fatalf("rx %d", n)
+	}
+	for i := 0; i < n; i++ {
+		if out[i].Meta == nil || out[i].Mbuf != nil {
+			t.Fatal("xchg packet must carry app descriptor, no mbuf")
+		}
+		if out[i].Meta.L.Name() != "xchg_packet" {
+			t.Fatalf("layout %s", out[i].Meta.L.Name())
+		}
+		if out[i].Meta.Peek(layout.FieldDataLen) != 150 {
+			t.Fatalf("dataLen %d", out[i].Meta.Peek(layout.FieldDataLen))
+		}
+	}
+	if bind.Pool.FreeCount() != 64-8 {
+		t.Fatalf("descriptor pool free %d", bind.Pool.FreeCount())
+	}
+}
+
+func TestXchgBufferExchangeConservation(t *testing.T) {
+	r := newRig()
+	pt, bind := newXchgPort(r)
+	out := make([]*pktbuf.Packet, 32)
+	// Run several RX→TX cycles; buffers and descriptors must be conserved.
+	now := 0.0
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 16; i++ {
+			r.nic.Deliver(0, frame(100), now)
+		}
+		now += 1e5
+		n := pt.RxBurst(r.core, now, out)
+		pt.TxBurst(r.core, now, out[:n])
+	}
+	// Let everything drain and reap.
+	pt.TxBurst(r.core, now+1e9, nil)
+	if got := bind.Pool.FreeCount(); got != 64 {
+		t.Fatalf("descriptor leak: %d/64 free", got)
+	}
+	// All buffers either posted in the ring or spare.
+	total := r.nic.RX(0).PostedCount() + pt.SpareCount()
+	if total != 256+64 {
+		t.Fatalf("buffer leak: %d posted+spare, want 320", total)
+	}
+}
+
+func TestXchgWritesFewerMetadataLines(t *testing.T) {
+	// Per received packet, the X-Change binding must dirty fewer
+	// distinct metadata bytes than the default rte_mbuf binding; compare
+	// charged work on the same traffic.
+	run := func(exchange bool) float64 {
+		r := newRig()
+		var pt *Port
+		if exchange {
+			pt, _ = newXchgPort(r)
+		} else {
+			pt = newDefaultPort(r, 512)
+		}
+		for i := 0; i < 32; i++ {
+			r.nic.Deliver(0, frame(100), 0)
+		}
+		out := make([]*pktbuf.Packet, 32)
+		before := r.core.Snapshot()
+		pt.RxBurst(r.core, 1e6, out)
+		d := r.core.Snapshot().Delta(before)
+		return d.BusyCycles
+	}
+	def, xc := run(false), run(true)
+	if xc >= def {
+		t.Fatalf("X-Change RX not cheaper: %v vs %v cycles", xc, def)
+	}
+}
+
+func TestTxBurstRingFullStops(t *testing.T) {
+	r := newRig()
+	pt := newDefaultPort(r, 1024)
+	// Fill the TX ring beyond capacity by never letting time advance.
+	var pkts []*pktbuf.Packet
+	for i := 0; i < 300; i++ {
+		p := pt.Pool.Get(r.core)
+		if p == nil {
+			t.Fatal("pool dry")
+		}
+		p.SetFrame(frame(64))
+		pkts = append(pkts, p)
+	}
+	sent := pt.TxBurst(r.core, 0, pkts)
+	if sent != 256 {
+		t.Fatalf("sent %d, want TX ring size 256", sent)
+	}
+}
+
+func TestAllocRawBuffers(t *testing.T) {
+	huge := memsim.NewArena("huge", memsim.HugeBase, 1<<24)
+	bufs := AllocRawBuffers(huge, 10, 128, 2048)
+	if len(bufs) != 10 {
+		t.Fatalf("%d buffers", len(bufs))
+	}
+	for _, b := range bufs {
+		if b.Meta != nil || b.Mbuf != nil {
+			t.Fatal("raw buffer carries a descriptor")
+		}
+		if b.Headroom() != 128 {
+			t.Fatalf("headroom %d", b.Headroom())
+		}
+	}
+	if bufs[1].BufAddr == bufs[0].BufAddr {
+		t.Fatal("buffers share addresses")
+	}
+}
+
+func TestVectorizedPMDRejectsExchange(t *testing.T) {
+	r := newRig()
+	pt, _ := newXchgPort(r)
+	if err := pt.SetVectorized(true); err == nil {
+		t.Fatal("vectorized accepted under an exchange binding")
+	}
+	if err := pt.SetVectorized(false); err != nil {
+		t.Fatalf("disabling must always work: %v", err)
+	}
+}
+
+func TestVectorizedPMDCheaperRx(t *testing.T) {
+	cost := func(vec bool) float64 {
+		r := newRig()
+		pt := newDefaultPort(r, 512)
+		if err := pt.SetVectorized(vec); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 32; i++ {
+			r.nic.Deliver(0, frame(100), 0)
+		}
+		out := make([]*pktbuf.Packet, 32)
+		before := r.core.Snapshot()
+		if n := pt.RxBurst(r.core, 1e6, out); n != 32 {
+			t.Fatalf("rx %d", n)
+		}
+		return r.core.Snapshot().Delta(before).BusyCycles
+	}
+	scalar, vector := cost(false), cost(true)
+	if vector >= scalar {
+		t.Fatalf("vectorized RX not cheaper: %v vs %v cycles", vector, scalar)
+	}
+}
+
+func TestVectorizedPMDSameSemantics(t *testing.T) {
+	// Vectorized and scalar paths must deliver identical packets.
+	rx := func(vec bool) []*pktbuf.Packet {
+		r := newRig()
+		pt := newDefaultPort(r, 512)
+		pt.SetVectorized(vec)
+		for i := 0; i < 10; i++ {
+			r.nic.Deliver(0, frame(100+i), float64(i))
+		}
+		out := make([]*pktbuf.Packet, 32)
+		n := pt.RxBurst(r.core, 1e6, out)
+		return out[:n]
+	}
+	a, b := rx(false), rx(true)
+	if len(a) != len(b) {
+		t.Fatalf("counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Len() != b[i].Len() {
+			t.Fatalf("packet %d length differs: %d vs %d", i, a[i].Len(), b[i].Len())
+		}
+		if a[i].Mbuf.Peek(layout.FieldDataLen) != b[i].Mbuf.Peek(layout.FieldDataLen) {
+			t.Fatalf("packet %d metadata differs", i)
+		}
+	}
+}

@@ -1,0 +1,440 @@
+package elements_test
+
+import (
+	"testing"
+
+	"packetmill/internal/click"
+	"packetmill/internal/elements"
+	"packetmill/internal/netpkt"
+	"packetmill/internal/pktbuf"
+	"packetmill/internal/testbed"
+)
+
+// harness builds a one-core DUT around a config, lets tests inject raw
+// frames, step the router, and capture what leaves the wire.
+type harness struct {
+	t        *testing.T
+	dut      *testbed.DUT
+	rt       *click.Router
+	ec       click.ExecCtx
+	captured [][]byte
+}
+
+func newHarness(t *testing.T, config string, model click.MetadataModel) *harness {
+	t.Helper()
+	d, err := testbed.NewDUT(testbed.Options{FreqGHz: 2.3, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := click.Parse(config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routers, err := d.BuildRouters(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{t: t, dut: d, rt: routers[0]}
+	for _, n := range d.NICs {
+		n.OnDepart = func(p *pktbuf.Packet, _ float64) {
+			cp := make([]byte, p.Len())
+			copy(cp, p.Bytes())
+			h.captured = append(h.captured, cp)
+		}
+	}
+	h.ec = click.ExecCtx{Core: d.Cores[0], Rt: h.rt}
+	return h
+}
+
+// inject delivers a frame to NIC 0 queue 0 at the core's current time.
+func (h *harness) inject(frame []byte) {
+	if !h.dut.NICs[0].Deliver(0, frame, h.dut.Cores[0].NowNS()) {
+		h.t.Fatal("frame rejected by NIC")
+	}
+}
+
+// step runs driver iterations until the router goes idle.
+func (h *harness) step() {
+	for i := 0; i < 64; i++ {
+		h.ec.Now = h.dut.Cores[0].NowNS() + 1
+		h.dut.Cores[0].Idle(h.ec.Now)
+		if h.rt.Step(&h.ec) == 0 && i > 2 {
+			return
+		}
+	}
+}
+
+// element fetches a wired element by instance name.
+func (h *harness) element(name string) click.Element {
+	inst := h.rt.Instance(name)
+	if inst == nil {
+		h.t.Fatalf("no element %q", name)
+	}
+	return inst.El
+}
+
+func udpFrame(size int, src, dst netpkt.IPv4) []byte {
+	return netpkt.BuildUDP(make([]byte, 2048), netpkt.UDPPacketSpec{
+		SrcMAC: netpkt.MAC{0x02, 0, 0, 0, 0, 1}, DstMAC: netpkt.MAC{0x02, 0, 0, 0, 0, 2},
+		SrcIP: src, DstIP: dst, SrcPort: 4000, DstPort: 80, TotalLen: size,
+	})
+}
+
+const ioWrap = `
+input :: FromDPDKDevice(PORT 0, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+`
+
+func TestEtherMirrorSwapsAddresses(t *testing.T) {
+	h := newHarness(t, ioWrap+`input -> EtherMirror -> output;`, click.Copying)
+	f := udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1})
+	h.inject(f)
+	h.step()
+	if len(h.captured) != 1 {
+		t.Fatalf("captured %d frames", len(h.captured))
+	}
+	eh, _ := netpkt.ParseEther(h.captured[0])
+	if eh.Src != (netpkt.MAC{0x02, 0, 0, 0, 0, 2}) || eh.Dst != (netpkt.MAC{0x02, 0, 0, 0, 0, 1}) {
+		t.Fatalf("not mirrored: %v -> %v", eh.Src, eh.Dst)
+	}
+}
+
+func TestEtherRewriteSetsConstants(t *testing.T) {
+	h := newHarness(t, ioWrap+
+		`input -> EtherRewrite(SRC 0a:0b:0c:0d:0e:0f, DST 0f:0e:0d:0c:0b:0a) -> output;`,
+		click.Copying)
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1}))
+	h.step()
+	eh, _ := netpkt.ParseEther(h.captured[0])
+	want, _ := netpkt.ParseMAC("0a:0b:0c:0d:0e:0f")
+	if eh.Src != want {
+		t.Fatalf("src = %v", eh.Src)
+	}
+}
+
+func TestClassifierSplitsTraffic(t *testing.T) {
+	h := newHarness(t, ioWrap+`
+c :: Classifier(12/0806, 12/0800, -);
+arpCnt :: Counter;
+ipCnt :: Counter;
+input -> c;
+c[0] -> arpCnt -> Discard;
+c[1] -> ipCnt -> output;
+c[2] -> Discard;
+`, click.Copying)
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1}))
+	arp := make([]byte, 64)
+	netpkt.PutEther(arp, netpkt.EtherHeader{EtherType: netpkt.EtherTypeARP})
+	h.inject(arp)
+	h.step()
+	if got := h.element("arpCnt").(*elements.Counter).Packets; got != 1 {
+		t.Fatalf("arp counter = %d", got)
+	}
+	if got := h.element("ipCnt").(*elements.Counter).Packets; got != 1 {
+		t.Fatalf("ip counter = %d", got)
+	}
+}
+
+func TestCheckIPHeaderDropsBadChecksum(t *testing.T) {
+	h := newHarness(t, ioWrap+
+		`input -> Strip(14) -> chk :: CheckIPHeader(0) -> Unstrip(14) -> output;`,
+		click.Copying)
+	good := udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1})
+	bad := udpFrame(100, netpkt.IPv4{10, 0, 0, 2}, netpkt.IPv4{10, 1, 0, 1})
+	bad[netpkt.EtherHdrLen+10] ^= 0xff // corrupt checksum
+	h.inject(good)
+	h.inject(bad)
+	h.step()
+	if len(h.captured) != 1 {
+		t.Fatalf("captured %d, want only the good frame", len(h.captured))
+	}
+	if got := h.element("chk").(*elements.CheckIPHeader).Bad; got != 1 {
+		t.Fatalf("bad counter = %d", got)
+	}
+	if h.rt.Drops != 1 {
+		t.Fatalf("router drops = %d", h.rt.Drops)
+	}
+}
+
+func TestDecIPTTLDecrementsAndDropsExpired(t *testing.T) {
+	h := newHarness(t, ioWrap+
+		`input -> Strip(14) -> ttl :: DecIPTTL -> Unstrip(14) -> output;`,
+		click.Copying)
+	f := udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1})
+	h.inject(f)
+	expired := udpFrame(100, netpkt.IPv4{10, 0, 0, 3}, netpkt.IPv4{10, 1, 0, 1})
+	// Rebuild with TTL 1.
+	netpkt.PutIPv4(expired[netpkt.EtherHdrLen:], netpkt.IPv4Header{
+		TotalLen: 86, TTL: 1, Protocol: netpkt.ProtoUDP,
+		Src: netpkt.IPv4{10, 0, 0, 3}, Dst: netpkt.IPv4{10, 1, 0, 1}})
+	h.inject(expired)
+	h.step()
+	if len(h.captured) != 1 {
+		t.Fatalf("captured %d", len(h.captured))
+	}
+	ih, _, err := netpkt.ParseIPv4Header(h.captured[0][netpkt.EtherHdrLen:])
+	if err != nil || ih.TTL != 63 {
+		t.Fatalf("ttl = %d err %v", ih.TTL, err)
+	}
+	if !netpkt.VerifyIPv4Checksum(h.captured[0][netpkt.EtherHdrLen:]) {
+		t.Fatal("checksum broken after TTL decrement")
+	}
+	if got := h.element("ttl").(*elements.DecIPTTL).Expired; got != 1 {
+		t.Fatalf("expired counter = %d", got)
+	}
+}
+
+func TestLookupIPRouteSelectsPort(t *testing.T) {
+	h := newHarness(t, ioWrap+`
+rt :: LookupIPRoute(10.1.0.0/16 0, 10.2.0.0/16 1);
+aCnt :: Counter;
+bCnt :: Counter;
+input -> Strip(14) -> CheckIPHeader(0) -> rt;
+rt[0] -> aCnt -> Unstrip(14) -> output;
+rt[1] -> bCnt -> Discard;
+`, click.Copying)
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 5, 5}))
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 2, 5, 5}))
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{77, 1, 1, 1})) // no route
+	h.step()
+	if got := h.element("aCnt").(*elements.Counter).Packets; got != 1 {
+		t.Fatalf("port0 counter = %d", got)
+	}
+	if got := h.element("bCnt").(*elements.Counter).Packets; got != 1 {
+		t.Fatalf("port1 counter = %d", got)
+	}
+}
+
+func TestIDSDropsMalformedTCP(t *testing.T) {
+	h := newHarness(t, ioWrap+
+		`input -> ids :: CheckTCPHeader(14) -> output;`, click.Copying)
+	good := netpkt.BuildTCP(make([]byte, 2048), netpkt.TCPPacketSpec{
+		SrcIP: netpkt.IPv4{10, 0, 0, 1}, DstIP: netpkt.IPv4{10, 1, 0, 1},
+		SrcPort: 1, DstPort: 2, TotalLen: 100,
+	})
+	bad := netpkt.BuildTCP(make([]byte, 2048), netpkt.TCPPacketSpec{
+		SrcIP: netpkt.IPv4{10, 0, 0, 2}, DstIP: netpkt.IPv4{10, 1, 0, 1},
+		SrcPort: 1, DstPort: 2, TotalLen: 100,
+		Flags: netpkt.TCPFlagSYN | netpkt.TCPFlagFIN, // invalid combo
+	})
+	h.inject(good)
+	h.inject(bad)
+	h.step()
+	if len(h.captured) != 1 {
+		t.Fatalf("captured %d", len(h.captured))
+	}
+	if got := h.element("ids").(*elements.CheckTCPHeader).Bad; got != 1 {
+		t.Fatalf("bad = %d", got)
+	}
+}
+
+func TestIDSPassesNonTCP(t *testing.T) {
+	h := newHarness(t, ioWrap+`input -> CheckTCPHeader(14) -> output;`, click.Copying)
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1}))
+	h.step()
+	if len(h.captured) != 1 {
+		t.Fatal("UDP did not pass the TCP checker")
+	}
+}
+
+func TestNATRewritesSource(t *testing.T) {
+	h := newHarness(t, ioWrap+
+		`input -> nat :: IPRewriter(EXTIP 192.168.9.9) -> output;`, click.Copying)
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 7}, netpkt.IPv4{10, 1, 0, 1}))
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 7}, netpkt.IPv4{10, 1, 0, 1})) // same flow
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 8}, netpkt.IPv4{10, 1, 0, 1})) // new flow
+	h.step()
+	if len(h.captured) != 3 {
+		t.Fatalf("captured %d", len(h.captured))
+	}
+	nat := h.element("nat").(*elements.IPRewriter)
+	if nat.Flows != 2 || nat.Rewritten != 3 {
+		t.Fatalf("flows=%d rewritten=%d", nat.Flows, nat.Rewritten)
+	}
+	for i, f := range h.captured {
+		ih, _, err := netpkt.ParseIPv4Header(f[netpkt.EtherHdrLen:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ih.Src.String() != "192.168.9.9" {
+			t.Fatalf("frame %d src = %s", i, ih.Src)
+		}
+		if !netpkt.VerifyIPv4Checksum(f[netpkt.EtherHdrLen:]) {
+			t.Fatalf("frame %d checksum broken after NAT", i)
+		}
+	}
+	// Same flow must keep the same external port.
+	p0, _ := netpkt.ParseUDP(h.captured[0][netpkt.EtherHdrLen+netpkt.IPv4HdrLen:])
+	p1, _ := netpkt.ParseUDP(h.captured[1][netpkt.EtherHdrLen+netpkt.IPv4HdrLen:])
+	p2, _ := netpkt.ParseUDP(h.captured[2][netpkt.EtherHdrLen+netpkt.IPv4HdrLen:])
+	if p0.SrcPort != p1.SrcPort {
+		t.Fatalf("same flow got ports %d and %d", p0.SrcPort, p1.SrcPort)
+	}
+	if p2.SrcPort == p0.SrcPort {
+		t.Fatal("distinct flows share an external port")
+	}
+}
+
+func TestVLANEncapDecap(t *testing.T) {
+	h := newHarness(t, ioWrap+
+		`input -> VLANEncap(VLAN_ID 42, VLAN_PCP 3) -> output;`, click.Copying)
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1}))
+	h.step()
+	f := h.captured[0]
+	if len(f) != 104 {
+		t.Fatalf("tagged length %d", len(f))
+	}
+	tag, inner, err := netpkt.ParseVLAN(f)
+	if err != nil || tag.VID != 42 || tag.PCP != 3 || inner != netpkt.EtherTypeIPv4 {
+		t.Fatalf("tag %+v inner %#x err %v", tag, inner, err)
+	}
+	if !netpkt.VerifyIPv4Checksum(f[netpkt.EtherHdrLen+netpkt.VLANTagLen:]) {
+		t.Fatal("payload corrupted by encap")
+	}
+
+	// And back off again.
+	h2 := newHarness(t, ioWrap+
+		`input -> VLANEncap(VLAN_ID 7) -> VLANDecap -> output;`, click.Copying)
+	h2.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1}))
+	h2.step()
+	if len(h2.captured[0]) != 100 {
+		t.Fatalf("decap length %d", len(h2.captured[0]))
+	}
+	if !netpkt.VerifyIPv4Checksum(h2.captured[0][netpkt.EtherHdrLen:]) {
+		t.Fatal("payload corrupted by encap+decap")
+	}
+}
+
+func TestARPResponderReplies(t *testing.T) {
+	h := newHarness(t, ioWrap+
+		`input -> ARPResponder(10.1.0.254 02:aa:bb:cc:dd:ee) -> output;`, click.Copying)
+	req := make([]byte, 64)
+	netpkt.PutEther(req, netpkt.EtherHeader{
+		Dst:       netpkt.MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		Src:       netpkt.MAC{0x02, 0, 0, 0, 0, 1},
+		EtherType: netpkt.EtherTypeARP,
+	})
+	netpkt.PutARP(req[netpkt.EtherHdrLen:], netpkt.ARPPacket{
+		Op:       netpkt.ARPRequest,
+		SenderHA: netpkt.MAC{0x02, 0, 0, 0, 0, 1},
+		SenderIP: netpkt.IPv4{10, 1, 0, 9},
+		TargetIP: netpkt.IPv4{10, 1, 0, 254},
+	})
+	h.inject(req)
+	// A request for someone else must be dropped.
+	other := make([]byte, len(req))
+	copy(other, req)
+	netpkt.PutARP(other[netpkt.EtherHdrLen:], netpkt.ARPPacket{
+		Op: netpkt.ARPRequest, TargetIP: netpkt.IPv4{10, 1, 0, 77},
+	})
+	h.inject(other)
+	h.step()
+	if len(h.captured) != 1 {
+		t.Fatalf("captured %d", len(h.captured))
+	}
+	rep, err := netpkt.ParseARP(h.captured[0][netpkt.EtherHdrLen:])
+	if err != nil || rep.Op != netpkt.ARPReply {
+		t.Fatalf("reply: %+v err %v", rep, err)
+	}
+	wantMAC, _ := netpkt.ParseMAC("02:aa:bb:cc:dd:ee")
+	if rep.SenderHA != wantMAC || rep.SenderIP != (netpkt.IPv4{10, 1, 0, 254}) {
+		t.Fatalf("reply sender: %v %v", rep.SenderHA, rep.SenderIP)
+	}
+	if rep.TargetIP != (netpkt.IPv4{10, 1, 0, 9}) {
+		t.Fatalf("reply target: %v", rep.TargetIP)
+	}
+}
+
+func TestPaintSetsAnnotation(t *testing.T) {
+	h := newHarness(t, ioWrap+`input -> Paint(9) -> paintCnt :: Counter -> output;`, click.Copying)
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1}))
+	h.step()
+	if len(h.captured) != 1 {
+		t.Fatal("frame lost")
+	}
+}
+
+func TestDiscardCountsAndRecycles(t *testing.T) {
+	h2 := newHarness(t, `
+input :: FromDPDKDevice(PORT 0, BURST 32);
+input -> d :: Discard;
+`, click.Copying)
+	for i := 0; i < 10; i++ {
+		h2.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1}))
+	}
+	h2.step()
+	if got := h2.element("d").(*elements.Discard).Count; got != 10 {
+		t.Fatalf("discard count = %d", got)
+	}
+	if h2.rt.Drops != 10 {
+		t.Fatalf("router drops = %d", h2.rt.Drops)
+	}
+}
+
+func TestWorkPackageForwards(t *testing.T) {
+	h := newHarness(t, ioWrap+`input -> WorkPackage(S 2, N 3, W 5) -> output;`, click.Copying)
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1}))
+	h.step()
+	if len(h.captured) != 1 {
+		t.Fatal("WorkPackage lost the packet")
+	}
+}
+
+func TestXChangeModelEndToEndFrames(t *testing.T) {
+	h := newHarness(t, ioWrap+`input -> EtherMirror -> output;`, click.XChange)
+	f := udpFrame(200, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1})
+	h.inject(f)
+	h.step()
+	if len(h.captured) != 1 || len(h.captured[0]) != 200 {
+		t.Fatalf("x-change path broke the frame: %d frames", len(h.captured))
+	}
+}
+
+func TestOverlayingModelEndToEndFrames(t *testing.T) {
+	h := newHarness(t, ioWrap+`input -> EtherMirror -> output;`, click.Overlaying)
+	h.inject(udpFrame(200, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1}))
+	h.step()
+	if len(h.captured) != 1 {
+		t.Fatal("overlay path lost the frame")
+	}
+}
+
+// buildFails reports whether the configuration is rejected at parse or
+// build time.
+func buildFails(t *testing.T, cfg string) bool {
+	t.Helper()
+	d, err := testbed.NewDUT(testbed.Options{FreqGHz: 2.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := click.Parse(cfg)
+	if err != nil {
+		return true
+	}
+	_, err = d.BuildRouters(g)
+	return err != nil
+}
+
+func TestBadElementConfigs(t *testing.T) {
+	cases := []string{
+		ioWrap + `input -> Strip(nope) -> output;`,
+		ioWrap + `input -> Classifier() -> output;`,
+		ioWrap + `input -> EtherRewrite(SRC banana) -> output;`,
+		ioWrap + `input -> LookupIPRoute(999.0.0.0/8 0) -> output;`,
+		ioWrap + `input -> Paint(1, 2) -> output;`,
+		`in :: FromDPDKDevice(PORT 7); in -> Discard;`, // no such port
+	}
+	for _, cfg := range cases {
+		d, err := testbed.NewDUT(testbed.Options{FreqGHz: 2.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := click.Parse(cfg)
+		if err != nil {
+			continue // parse-level rejection also fine
+		}
+		if _, err := d.BuildRouters(g); err == nil {
+			t.Errorf("config accepted: %s", cfg)
+		}
+	}
+}

@@ -1,0 +1,444 @@
+// Ethernet-layer elements: EtherMirror, EtherRewrite, EtherEncap,
+// DropBroadcasts, Classifier, ARPResponder, ARPQuerier.
+package elements
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"packetmill/internal/click"
+	"packetmill/internal/netpkt"
+	"packetmill/internal/pktbuf"
+)
+
+func init() {
+	click.Register("EtherMirror", func() click.Element { return &EtherMirror{} })
+	click.Register("EtherRewrite", func() click.Element { return &EtherRewrite{} })
+	click.Register("EtherEncap", func() click.Element { return &EtherEncap{} })
+	click.Register("DropBroadcasts", func() click.Element { return &DropBroadcasts{} })
+	click.Register("Classifier", func() click.Element { return &Classifier{} })
+	click.Register("ARPResponder", func() click.Element { return &ARPResponder{} })
+	click.Register("ARPQuerier", func() click.Element { return &ARPQuerier{} })
+}
+
+// EtherMirror swaps source and destination MAC addresses — the simple
+// forwarder's only work (Appendix A.1 uses EtherRewrite; §3.2's Listing 3
+// uses EtherMirror; both are provided).
+type EtherMirror struct {
+	click.Base
+}
+
+// Class implements click.Element.
+func (e *EtherMirror) Class() string { return "EtherMirror" }
+
+// Configure implements click.Element.
+func (e *EtherMirror) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	bc.AllocState(0, 0)
+	return nil
+}
+
+// Push implements click.Element.
+func (e *EtherMirror) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		if p.Len() >= netpkt.EtherHdrLen {
+			hdr := p.Load(core, 0, 12)
+			p.Store(core, 0, 12)
+			netpkt.SwapEtherAddrs(hdr)
+			core.Compute(20)
+		}
+		return true
+	})
+	e.Inst.Output(ec, 0, b)
+}
+
+// EtherRewrite overwrites both MAC addresses with configured constants
+// (the simple forwarder of Appendix A.1).
+type EtherRewrite struct {
+	click.Base
+	Src, Dst netpkt.MAC
+}
+
+// Class implements click.Element.
+func (e *EtherRewrite) Class() string { return "EtherRewrite" }
+
+// Configure implements click.Element. Args: SRC mac, DST mac (or two
+// positional MACs: src, dst).
+func (e *EtherRewrite) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	kw, pos := click.KeywordArgs(args)
+	var err error
+	src, dst := "02:00:00:00:00:01", "02:00:00:00:00:02"
+	if v, ok := kw["SRC"]; ok {
+		src = v
+	} else if len(pos) > 0 {
+		src = pos[0]
+	}
+	if v, ok := kw["DST"]; ok {
+		dst = v
+	} else if len(pos) > 1 {
+		dst = pos[1]
+	}
+	if e.Src, err = netpkt.ParseMAC(src); err != nil {
+		return err
+	}
+	if e.Dst, err = netpkt.ParseMAC(dst); err != nil {
+		return err
+	}
+	bc.AllocState(16, 2)
+	return nil
+}
+
+// Push implements click.Element.
+func (e *EtherRewrite) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	e.Inst.LoadParam(ec, 0)
+	e.Inst.LoadParam(ec, 1)
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		if p.Len() >= netpkt.EtherHdrLen {
+			hdr := p.Store(core, 0, 12)
+			copy(hdr[0:6], e.Dst[:])
+			copy(hdr[6:12], e.Src[:])
+			core.Compute(14)
+		}
+		return true
+	})
+	e.Inst.Output(ec, 0, b)
+}
+
+// EtherEncap prepends a fresh Ethernet header (after Strip in the router
+// graph).
+type EtherEncap struct {
+	click.Base
+	EtherType uint16
+	Src, Dst  netpkt.MAC
+}
+
+// Class implements click.Element.
+func (e *EtherEncap) Class() string { return "EtherEncap" }
+
+// Configure implements click.Element. Args: ethertype, src, dst.
+func (e *EtherEncap) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	_, pos := click.KeywordArgs(args)
+	if len(pos) != 3 {
+		return fmt.Errorf("EtherEncap: want ETHERTYPE SRC DST, got %d args", len(pos))
+	}
+	var et int
+	if _, err := fmt.Sscanf(strings.TrimPrefix(pos[0], "0x"), "%x", &et); err != nil {
+		return fmt.Errorf("EtherEncap: bad ethertype %q", pos[0])
+	}
+	e.EtherType = uint16(et)
+	var err error
+	if e.Src, err = netpkt.ParseMAC(pos[1]); err != nil {
+		return err
+	}
+	if e.Dst, err = netpkt.ParseMAC(pos[2]); err != nil {
+		return err
+	}
+	bc.AllocState(16, 3)
+	return nil
+}
+
+// Push implements click.Element.
+func (e *EtherEncap) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	e.Inst.LoadParam(ec, 0)
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		p.Push(netpkt.EtherHdrLen)
+		hdr := p.Store(core, 0, netpkt.EtherHdrLen)
+		netpkt.PutEther(hdr, netpkt.EtherHeader{Dst: e.Dst, Src: e.Src, EtherType: e.EtherType})
+		core.Compute(16)
+		return true
+	})
+	e.Inst.Output(ec, 0, b)
+}
+
+// DropBroadcasts kills frames whose destination has the group bit set.
+type DropBroadcasts struct {
+	click.Base
+}
+
+// Class implements click.Element.
+func (e *DropBroadcasts) Class() string { return "DropBroadcasts" }
+
+// Configure implements click.Element.
+func (e *DropBroadcasts) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	bc.AllocState(0, 0)
+	return nil
+}
+
+// Push implements click.Element.
+func (e *DropBroadcasts) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	var keep, dead pktbuf.Batch
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		hdr := p.Load(core, 0, 1)
+		core.Compute(8)
+		if hdr[0]&1 == 1 {
+			dead.Append(core, p)
+		} else {
+			keep.Append(core, p)
+		}
+		return true
+	})
+	ec.Rt.Kill(ec, &dead)
+	if !keep.Empty() {
+		e.Inst.Output(ec, 0, &keep)
+	}
+}
+
+// Classifier dispatches packets by byte patterns ("offset/value" in hex,
+// "-" for the catch-all), the front door of the standard router:
+//
+//	Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -)
+type Classifier struct {
+	click.Base
+	patterns [][]match
+	hasDash  bool
+	dashPort int
+}
+
+type match struct {
+	offset int
+	value  []byte
+}
+
+// Class implements click.Element.
+func (e *Classifier) Class() string { return "Classifier" }
+
+// BatchAware implements click.BatchElement: Click's classifier decides
+// packet by packet, so the vanilla binary pays per-packet dispatch here.
+func (e *Classifier) BatchAware() bool { return false }
+
+// Configure implements click.Element.
+func (e *Classifier) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	if len(args) == 0 {
+		return fmt.Errorf("Classifier: no patterns")
+	}
+	for i, a := range args {
+		a = strings.TrimSpace(a)
+		if a == "-" {
+			e.patterns = append(e.patterns, nil)
+			e.hasDash, e.dashPort = true, i
+			continue
+		}
+		var ms []match
+		for _, part := range strings.Fields(a) {
+			var off int
+			var hexStr string
+			if _, err := fmt.Sscanf(part, "%d/%s", &off, &hexStr); err != nil {
+				return fmt.Errorf("Classifier: bad pattern %q", part)
+			}
+			if len(hexStr)%2 != 0 {
+				return fmt.Errorf("Classifier: odd hex in %q", part)
+			}
+			val := make([]byte, len(hexStr)/2)
+			for j := 0; j < len(val); j++ {
+				var b int
+				if _, err := fmt.Sscanf(hexStr[2*j:2*j+2], "%02x", &b); err != nil {
+					return fmt.Errorf("Classifier: bad hex in %q", part)
+				}
+				val[j] = byte(b)
+			}
+			ms = append(ms, match{offset: off, value: val})
+		}
+		e.patterns = append(e.patterns, ms)
+	}
+	// The decision DAG lives in element state; size scales with patterns.
+	bc.AllocState(uint64(64*len(e.patterns)), 1)
+	return nil
+}
+
+// NOutputs implements click.Element.
+func (e *Classifier) NOutputs() int { return len(e.patterns) }
+
+// Push implements click.Element.
+func (e *Classifier) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	outs := make([]pktbuf.Batch, len(e.patterns))
+	// Walking the decision DAG touches the element's pattern table.
+	e.Inst.TouchState(ec, 0, uint64(16*len(e.patterns)))
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		port := -1
+		for i, ms := range e.patterns {
+			if ms == nil {
+				continue // dash matches only if nothing else did
+			}
+			ok := true
+			for _, m := range ms {
+				core.Compute(10)
+				if m.offset+len(m.value) > p.Len() {
+					ok = false
+					break
+				}
+				got := p.Load(core, m.offset, len(m.value))
+				for j := range m.value {
+					if got[j] != m.value[j] {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				port = i
+				break
+			}
+		}
+		if port < 0 && e.hasDash {
+			port = e.dashPort
+		}
+		if port < 0 {
+			var dead pktbuf.Batch
+			dead.Append(core, p)
+			ec.Rt.Kill(ec, &dead)
+			return true
+		}
+		outs[port].Append(core, p)
+		return true
+	})
+	for i := range outs {
+		if !outs[i].Empty() {
+			e.CheckedOutput(ec, i, &outs[i])
+		}
+	}
+}
+
+// ARPResponder answers ARP requests for a configured address (the router's
+// control path).
+type ARPResponder struct {
+	click.Base
+	IP  netpkt.IPv4
+	MAC netpkt.MAC
+}
+
+// Class implements click.Element.
+func (e *ARPResponder) Class() string { return "ARPResponder" }
+
+// Configure implements click.Element. Arg: "ip mac".
+func (e *ARPResponder) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	if len(args) != 1 {
+		return fmt.Errorf("ARPResponder: want one \"IP MAC\" entry")
+	}
+	fields := strings.Fields(args[0])
+	if len(fields) != 2 {
+		return fmt.Errorf("ARPResponder: bad entry %q", args[0])
+	}
+	var err error
+	if e.IP, err = netpkt.ParseIPv4(fields[0]); err != nil {
+		return err
+	}
+	if e.MAC, err = netpkt.ParseMAC(fields[1]); err != nil {
+		return err
+	}
+	bc.AllocState(64, 1)
+	return nil
+}
+
+// Push implements click.Element: rewrites requests into replies in place.
+func (e *ARPResponder) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	var replies, dead pktbuf.Batch
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		if p.Len() < netpkt.EtherHdrLen+netpkt.ARPLen {
+			dead.Append(core, p)
+			return true
+		}
+		body := p.Load(core, netpkt.EtherHdrLen, netpkt.ARPLen)
+		req, err := netpkt.ParseARP(body)
+		if err != nil || req.Op != netpkt.ARPRequest || req.TargetIP != e.IP {
+			dead.Append(core, p)
+			return true
+		}
+		// Build the reply in place.
+		hdr := p.Store(core, 0, netpkt.EtherHdrLen+netpkt.ARPLen)
+		netpkt.PutEther(hdr, netpkt.EtherHeader{Dst: req.SenderHA, Src: e.MAC, EtherType: netpkt.EtherTypeARP})
+		netpkt.PutARP(hdr[netpkt.EtherHdrLen:], netpkt.ARPPacket{
+			Op: netpkt.ARPReply, SenderHA: e.MAC, SenderIP: e.IP,
+			TargetHA: req.SenderHA, TargetIP: req.SenderIP,
+		})
+		core.Compute(40)
+		replies.Append(core, p)
+		return true
+	})
+	ec.Rt.Kill(ec, &dead)
+	if !replies.Empty() {
+		e.Inst.Output(ec, 0, &replies)
+	}
+}
+
+// ARPQuerier encapsulates IP packets with an Ethernet header using a
+// (statically resolved) neighbour table — the router's egress element.
+// Input 1, when wired, accepts ARP replies to refresh the table.
+type ARPQuerier struct {
+	click.Base
+	IP  netpkt.IPv4
+	MAC netpkt.MAC
+	// nextHopMAC is what every data packet gets as destination; real
+	// Click resolves per-gateway, our testbed has one peer per port.
+	nextHopMAC netpkt.MAC
+	tableAddr  uint64
+}
+
+// Class implements click.Element.
+func (e *ARPQuerier) Class() string { return "ARPQuerier" }
+
+// Configure implements click.Element. Args: IP, MAC.
+func (e *ARPQuerier) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	_, pos := click.KeywordArgs(args)
+	if len(pos) != 2 {
+		return fmt.Errorf("ARPQuerier: want IP MAC")
+	}
+	var err error
+	if e.IP, err = netpkt.ParseIPv4(pos[0]); err != nil {
+		return err
+	}
+	if e.MAC, err = netpkt.ParseMAC(pos[1]); err != nil {
+		return err
+	}
+	// The generator's MAC is the peer in our two-node testbed.
+	e.nextHopMAC = netpkt.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+	st := bc.AllocState(256, 2) // neighbour table
+	e.tableAddr = uint64(st.Base) + 64
+	return nil
+}
+
+// Push implements click.Element.
+func (e *ARPQuerier) Push(ec *click.ExecCtx, port int, b *pktbuf.Batch) {
+	core := ec.Core
+	if port == 1 {
+		// ARP replies refresh the neighbour table.
+		b.ForEach(core, func(p *pktbuf.Packet) bool {
+			body := p.Load(core, netpkt.EtherHdrLen, netpkt.ARPLen)
+			if rep, err := netpkt.ParseARP(body); err == nil && rep.Op == netpkt.ARPReply {
+				e.nextHopMAC = rep.SenderHA
+				e.Inst.StoreState(ec, 64, 16)
+			}
+			return true
+		})
+		ec.Rt.Kill(ec, b)
+		return
+	}
+	// Data path: prepend Ethernet, reading the neighbour entry.
+	e.Inst.TouchState(ec, 64, 16)
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		p.Push(netpkt.EtherHdrLen)
+		hdr := p.Store(core, 0, netpkt.EtherHdrLen)
+		netpkt.PutEther(hdr, netpkt.EtherHeader{Dst: e.nextHopMAC, Src: e.MAC, EtherType: netpkt.EtherTypeIPv4})
+		core.Compute(24)
+		return true
+	})
+	e.Inst.Output(ec, 0, b)
+}
+
+// readU16 is a small helper some elements share.
+func readU16(b []byte) uint16 { return binary.BigEndian.Uint16(b) }

@@ -1,0 +1,238 @@
+// Package elements is the element library: the building blocks the
+// paper's five NF configurations (Appendix A) are composed from. Every
+// element performs its real protocol work on real packet bytes and
+// charges its memory traffic and computation to the simulated core.
+package elements
+
+import (
+	"fmt"
+
+	"packetmill/internal/click"
+	"packetmill/internal/layout"
+	"packetmill/internal/memsim"
+	"packetmill/internal/pktbuf"
+)
+
+func init() {
+	click.Register("FromDPDKDevice", func() click.Element { return &FromDPDKDevice{} })
+	click.Register("ToDPDKDevice", func() click.Element { return &ToDPDKDevice{} })
+}
+
+// FromDPDKDevice polls a DPDK port and pushes batches into the graph —
+// the element where the three metadata models diverge (Figure 2).
+type FromDPDKDevice struct {
+	click.Base
+	PortNo  int
+	NQueues int
+	Burst   int
+
+	bc      *click.BuildCtx
+	scratch []*pktbuf.Packet
+}
+
+// Class implements click.Element.
+func (e *FromDPDKDevice) Class() string { return "FromDPDKDevice" }
+
+// NInputs implements click.Element.
+func (e *FromDPDKDevice) NInputs() int { return 0 }
+
+// NOutputs implements click.Element.
+func (e *FromDPDKDevice) NOutputs() int { return 1 }
+
+// Configure implements click.Element. Args: PORT n, N_QUEUES q, BURST b.
+func (e *FromDPDKDevice) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	e.NQueues, e.Burst = 1, 32
+	kw, pos := click.KeywordArgs(args)
+	if v, ok := kw["PORT"]; ok {
+		n, err := click.ParseInt(v)
+		if err != nil {
+			return err
+		}
+		e.PortNo = n
+	} else if len(pos) > 0 {
+		n, err := click.ParseInt(pos[0])
+		if err != nil {
+			return err
+		}
+		e.PortNo = n
+	}
+	if v, ok := kw["N_QUEUES"]; ok {
+		n, err := click.ParseInt(v)
+		if err != nil {
+			return err
+		}
+		e.NQueues = n
+	}
+	if v, ok := kw["BURST"]; ok {
+		n, err := click.ParseInt(v)
+		if err != nil {
+			return err
+		}
+		e.Burst = n
+	}
+	if _, ok := bc.Ports[e.PortNo]; !ok {
+		return fmt.Errorf("FromDPDKDevice: no DPDK port %d", e.PortNo)
+	}
+	e.bc = bc
+	e.scratch = make([]*pktbuf.Packet, e.Burst)
+	bc.AllocState(96, 3) // port struct, queue state + PORT/N_QUEUES/BURST params
+	return nil
+}
+
+// Push implements click.Element (never called; source element).
+func (e *FromDPDKDevice) Push(*click.ExecCtx, int, *pktbuf.Batch) {}
+
+// RunTask implements click.Task: one receive burst through the configured
+// metadata model, then one push down the graph.
+func (e *FromDPDKDevice) RunTask(ec *click.ExecCtx) int {
+	core := ec.Core
+	port := e.bc.Ports[e.PortNo]
+	// The RX loop reads its burst/port parameters unless they were
+	// constant-embedded.
+	e.Inst.LoadParam(ec, 0)
+	e.Inst.LoadParam(ec, 2)
+
+	n := port.RxBurst(core, ec.Now, e.scratch)
+	if n == 0 {
+		return 0
+	}
+
+	var b pktbuf.Batch
+	for i := 0; i < n; i++ {
+		p := e.scratch[i]
+		switch e.bc.Model {
+		case click.Copying:
+			// Allocate the framework descriptor and copy the useful
+			// fields out of the rte_mbuf — the double conversion of
+			// §2.2 ("Copying").
+			m := e.bc.PacketPool.Get(core)
+			if m == nil {
+				ec.Rt.Drops++
+				if ec.Rt.Recycle != nil {
+					ec.Rt.Recycle(ec, p)
+				}
+				continue
+			}
+			p.Meta = m
+			m.CopyField(core, p.Mbuf, layout.FieldBufAddr)
+			m.CopyField(core, p.Mbuf, layout.FieldDataOff)
+			m.CopyField(core, p.Mbuf, layout.FieldDataLen)
+			m.CopyField(core, p.Mbuf, layout.FieldPktLen)
+			m.CopyField(core, p.Mbuf, layout.FieldTimestamp)
+			// Packet::make clears the 48-B annotation area (a memset,
+			// not per-field stores — charged as one ranged write).
+			core.Store(m.Base+memsim.Addr(m.L.Offset(layout.FieldAnnoPaint)), 48)
+			// Packet construction: vtable init, header-pointer setup,
+			// headroom/tailroom bookkeeping, destructor registration —
+			// the generality tax of the Copying model's per-packet
+			// framework object.
+			core.Compute(150)
+		case click.Overlaying:
+			// The descriptor *is* the mbuf (cast); nothing to copy.
+		case click.XChange:
+			// The driver already wrote the application descriptor.
+		}
+		// Set the MAC-header annotation, as FastClick's RX path does.
+		if p.Meta.L.Has(layout.FieldMacHeader) {
+			p.Meta.Set(core, layout.FieldMacHeader, uint64(p.DataAddr()))
+		}
+		core.Compute(18) // per-packet RX loop body
+		b.Append(core, p)
+	}
+	if b.Empty() {
+		return 0
+	}
+	e.Inst.Output(ec, 0, &b)
+	return n
+}
+
+// ToDPDKDevice transmits batches on a DPDK port, converting framework
+// metadata back to what the driver needs.
+type ToDPDKDevice struct {
+	click.Base
+	PortNo int
+	Burst  int
+
+	bc  *click.BuildCtx
+	out []*pktbuf.Packet
+
+	// Sent counts packets accepted by the NIC.
+	Sent uint64
+}
+
+// Class implements click.Element.
+func (e *ToDPDKDevice) Class() string { return "ToDPDKDevice" }
+
+// NInputs implements click.Element.
+func (e *ToDPDKDevice) NInputs() int { return 1 }
+
+// NOutputs implements click.Element.
+func (e *ToDPDKDevice) NOutputs() int { return 0 }
+
+// Configure implements click.Element. Args: PORT n, BURST b.
+func (e *ToDPDKDevice) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	e.Burst = 32
+	kw, pos := click.KeywordArgs(args)
+	if v, ok := kw["PORT"]; ok {
+		n, err := click.ParseInt(v)
+		if err != nil {
+			return err
+		}
+		e.PortNo = n
+	} else if len(pos) > 0 {
+		n, err := click.ParseInt(pos[0])
+		if err != nil {
+			return err
+		}
+		e.PortNo = n
+	}
+	if v, ok := kw["BURST"]; ok {
+		n, err := click.ParseInt(v)
+		if err != nil {
+			return err
+		}
+		e.Burst = n
+	}
+	if _, ok := bc.Ports[e.PortNo]; !ok {
+		return fmt.Errorf("ToDPDKDevice: no DPDK port %d", e.PortNo)
+	}
+	e.bc = bc
+	bc.AllocState(128, 2) // internal queue bookkeeping + PORT/BURST params
+	return nil
+}
+
+// Push implements click.Element.
+func (e *ToDPDKDevice) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	e.Inst.LoadParam(ec, 1)
+	e.out = e.out[:0]
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		if e.bc.Model == click.Copying {
+			// Convert framework descriptor back into the mbuf and
+			// recycle the descriptor (it is free the moment the mbuf
+			// owns the truth again).
+			p.Mbuf.CopyField(core, p.Meta, layout.FieldDataLen)
+			p.Mbuf.CopyField(core, p.Meta, layout.FieldPktLen)
+			e.bc.PacketPool.Put(core, p.Meta)
+			p.Meta = nil
+			// Packet destruction mirror of the construction tax.
+			core.Compute(60)
+		}
+		core.Compute(14)
+		e.out = append(e.out, p)
+		return true
+	})
+	port := e.bc.Ports[e.PortNo]
+	sent := port.TxBurst(core, ec.Now, e.out)
+	e.Sent += uint64(sent)
+	// Packets the ring rejected are dropped by the element (Click's
+	// blocking=false behaviour).
+	for _, p := range e.out[sent:] {
+		ec.Rt.Drops++
+		if ec.Rt.Recycle != nil {
+			ec.Rt.Recycle(ec, p)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+// IPFilter: Click's rule-based packet filter. Each configuration argument
+// is one rule — an action followed by a conjunction of predicates — and
+// the first matching rule decides a packet's fate:
+//
+//	IPFilter(allow src net 10.0.0.0/8 && dst port 80,
+//	         drop tcp && src port 23,
+//	         1 icmp,
+//	         deny all)
+//
+// Actions: `allow` (output 0), `drop`/`deny` (kill), or an output port
+// number. Predicates: `tcp`, `udp`, `icmp`, `src|dst host A`,
+// `src|dst net A/L`, `src|dst port N`, `all`/`any`, each optionally
+// negated with a leading `!`.
+package elements
+
+import (
+	"fmt"
+	"strings"
+
+	"packetmill/internal/click"
+	"packetmill/internal/netpkt"
+	"packetmill/internal/pktbuf"
+)
+
+func init() {
+	click.Register("IPFilter", func() click.Element { return &IPFilter{} })
+}
+
+// predKind enumerates predicate types.
+type predKind int
+
+const (
+	predAll predKind = iota
+	predProto
+	predHost
+	predNet
+	predPort
+)
+
+// pred is one compiled predicate.
+type pred struct {
+	kind   predKind
+	negate bool
+	src    bool // src vs dst (host/net/port)
+	proto  uint8
+	addr   uint32
+	mask   uint32
+	port   uint16
+}
+
+// rule is one compiled filter rule.
+type rule struct {
+	outPort int // -1 = drop
+	preds   []pred
+}
+
+// IPFilter evaluates compiled rules against each packet.
+type IPFilter struct {
+	click.Base
+	rules []rule
+	nOut  int
+
+	// Matched counts per-rule hits (index-aligned with the rules).
+	Matched []uint64
+	// Dropped counts packets killed by drop rules or no-match.
+	Dropped uint64
+}
+
+// Class implements click.Element.
+func (e *IPFilter) Class() string { return "IPFilter" }
+
+// BatchAware implements click.BatchElement: rule evaluation is per packet.
+func (e *IPFilter) BatchAware() bool { return false }
+
+// NOutputs implements click.Element.
+func (e *IPFilter) NOutputs() int { return e.nOut }
+
+// Configure implements click.Element.
+func (e *IPFilter) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	if len(args) == 0 {
+		return fmt.Errorf("IPFilter: no rules")
+	}
+	e.nOut = 1
+	for _, a := range args {
+		r, err := parseRule(a)
+		if err != nil {
+			return fmt.Errorf("IPFilter: %w", err)
+		}
+		if r.outPort+1 > e.nOut {
+			e.nOut = r.outPort + 1
+		}
+		e.rules = append(e.rules, r)
+	}
+	e.Matched = make([]uint64, len(e.rules))
+	// The compiled classification program lives in element state.
+	bc.AllocState(uint64(32*len(e.rules)), 1)
+	return nil
+}
+
+// parseRule compiles "action pred [&& pred]...".
+func parseRule(s string) (rule, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return rule{}, fmt.Errorf("empty rule")
+	}
+	r := rule{}
+	switch fields[0] {
+	case "allow":
+		r.outPort = 0
+	case "drop", "deny":
+		r.outPort = -1
+	default:
+		n, err := click.ParseInt(fields[0])
+		if err != nil || n < 0 {
+			return rule{}, fmt.Errorf("bad action %q", fields[0])
+		}
+		r.outPort = n
+	}
+	toks := fields[1:]
+	if len(toks) == 0 {
+		return rule{}, fmt.Errorf("rule %q has no predicates", s)
+	}
+	for len(toks) > 0 {
+		if toks[0] == "&&" || toks[0] == "and" {
+			toks = toks[1:]
+			continue
+		}
+		p := pred{}
+		if toks[0] == "!" {
+			p.negate = true
+			toks = toks[1:]
+			if len(toks) == 0 {
+				return rule{}, fmt.Errorf("dangling '!' in %q", s)
+			}
+		} else if strings.HasPrefix(toks[0], "!") {
+			p.negate = true
+			toks[0] = toks[0][1:]
+		}
+		switch toks[0] {
+		case "all", "any":
+			p.kind = predAll
+			toks = toks[1:]
+		case "tcp":
+			p.kind, p.proto = predProto, netpkt.ProtoTCP
+			toks = toks[1:]
+		case "udp":
+			p.kind, p.proto = predProto, netpkt.ProtoUDP
+			toks = toks[1:]
+		case "icmp":
+			p.kind, p.proto = predProto, netpkt.ProtoICMP
+			toks = toks[1:]
+		case "src", "dst":
+			p.src = toks[0] == "src"
+			if len(toks) < 3 {
+				return rule{}, fmt.Errorf("truncated predicate in %q", s)
+			}
+			what, arg := toks[1], toks[2]
+			toks = toks[3:]
+			switch what {
+			case "host":
+				ip, err := netpkt.ParseIPv4(arg)
+				if err != nil {
+					return rule{}, err
+				}
+				p.kind, p.addr, p.mask = predHost, ip.Uint32(), ^uint32(0)
+			case "net":
+				slash := strings.IndexByte(arg, '/')
+				if slash < 0 {
+					return rule{}, fmt.Errorf("net %q needs a /length", arg)
+				}
+				ip, err := netpkt.ParseIPv4(arg[:slash])
+				if err != nil {
+					return rule{}, err
+				}
+				l, err := click.ParseInt(arg[slash+1:])
+				if err != nil || l < 0 || l > 32 {
+					return rule{}, fmt.Errorf("bad prefix length in %q", arg)
+				}
+				p.kind = predNet
+				if l == 0 {
+					p.mask = 0
+				} else {
+					p.mask = ^uint32(0) << (32 - l)
+				}
+				p.addr = ip.Uint32() & p.mask
+			case "port":
+				n, err := click.ParseInt(arg)
+				if err != nil || n < 0 || n > 65535 {
+					return rule{}, fmt.Errorf("bad port %q", arg)
+				}
+				p.kind, p.port = predPort, uint16(n)
+			default:
+				return rule{}, fmt.Errorf("unknown qualifier %q", what)
+			}
+		default:
+			return rule{}, fmt.Errorf("unknown predicate %q", toks[0])
+		}
+		r.preds = append(r.preds, p)
+	}
+	return r, nil
+}
+
+// pktView is the parsed header view rule evaluation works on.
+type pktView struct {
+	valid            bool
+	proto            uint8
+	src, dst         uint32
+	srcPort, dstPort uint16
+	hasPorts         bool
+}
+
+func (e *IPFilter) view(ec *click.ExecCtx, p *pktbuf.Packet) pktView {
+	var v pktView
+	l4, proto, _, ok := ipHeaderAt(ec, p, netpkt.EtherHdrLen)
+	if !ok {
+		return v
+	}
+	hdr := p.Load(ec.Core, netpkt.EtherHdrLen+12, 8)
+	v.valid = true
+	v.proto = proto
+	v.src = uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3])
+	v.dst = uint32(hdr[4])<<24 | uint32(hdr[5])<<16 | uint32(hdr[6])<<8 | uint32(hdr[7])
+	if (proto == netpkt.ProtoTCP || proto == netpkt.ProtoUDP) && p.Len() >= l4+4 {
+		ports := p.Load(ec.Core, l4, 4)
+		v.srcPort = uint16(ports[0])<<8 | uint16(ports[1])
+		v.dstPort = uint16(ports[2])<<8 | uint16(ports[3])
+		v.hasPorts = true
+	}
+	return v
+}
+
+func (p pred) match(v pktView) bool {
+	var m bool
+	switch p.kind {
+	case predAll:
+		m = true
+	case predProto:
+		m = v.valid && v.proto == p.proto
+	case predHost, predNet:
+		a := v.dst
+		if p.src {
+			a = v.src
+		}
+		m = v.valid && a&p.mask == p.addr
+	case predPort:
+		pt := v.dstPort
+		if p.src {
+			pt = v.srcPort
+		}
+		m = v.valid && v.hasPorts && pt == p.port
+	}
+	if p.negate {
+		return !m
+	}
+	return m
+}
+
+// Push implements click.Element.
+func (e *IPFilter) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	outs := make([]pktbuf.Batch, e.nOut)
+	var dead pktbuf.Batch
+	e.Inst.TouchState(ec, 0, uint64(16*len(e.rules)))
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		v := e.view(ec, p)
+		decided := false
+		for i, r := range e.rules {
+			ok := true
+			for _, pr := range r.preds {
+				core.Compute(5)
+				if !pr.match(v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				e.Matched[i]++
+				if r.outPort < 0 {
+					e.Dropped++
+					dead.Append(core, p)
+				} else {
+					outs[r.outPort].Append(core, p)
+				}
+				decided = true
+				break
+			}
+		}
+		if !decided { // Click's IPFilter drops unmatched packets
+			e.Dropped++
+			dead.Append(core, p)
+		}
+		return true
+	})
+	ec.Rt.Kill(ec, &dead)
+	for i := range outs {
+		if !outs[i].Empty() {
+			e.CheckedOutput(ec, i, &outs[i])
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package elements_test
+
+import (
+	"testing"
+
+	"packetmill/internal/click"
+	"packetmill/internal/elements"
+	"packetmill/internal/netpkt"
+)
+
+func TestIPFilterAllowAndDrop(t *testing.T) {
+	h := newHarness(t, ioWrap+`
+f :: IPFilter(allow src net 10.0.0.0/8 && dst port 80, deny all);
+input -> f -> output;
+`, click.Copying)
+	// Matches rule 0.
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1}))
+	// Wrong source net: falls through to deny.
+	h.inject(udpFrame(100, netpkt.IPv4{192, 168, 0, 1}, netpkt.IPv4{10, 1, 0, 1}))
+	h.step()
+	if len(h.captured) != 1 {
+		t.Fatalf("captured %d", len(h.captured))
+	}
+	f := h.element("f").(*elements.IPFilter)
+	if f.Matched[0] != 1 || f.Matched[1] != 1 || f.Dropped != 1 {
+		t.Fatalf("matched=%v dropped=%d", f.Matched, f.Dropped)
+	}
+}
+
+func TestIPFilterPortOutputsAndProto(t *testing.T) {
+	h := newHarness(t, ioWrap+`
+f :: IPFilter(1 icmp, 0 tcp, drop all);
+tcpCnt :: Counter;
+icmpCnt :: Counter;
+input -> f;
+f[0] -> tcpCnt -> output;
+f[1] -> icmpCnt -> Discard;
+`, click.Copying)
+	tcp := netpkt.BuildTCP(make([]byte, 2048), netpkt.TCPPacketSpec{
+		SrcIP: netpkt.IPv4{10, 0, 0, 1}, DstIP: netpkt.IPv4{10, 1, 0, 1},
+		SrcPort: 1, DstPort: 2, TotalLen: 100})
+	icmp := netpkt.BuildICMPEcho(make([]byte, 2048),
+		netpkt.MAC{2, 0, 0, 0, 0, 1}, netpkt.MAC{2, 0, 0, 0, 0, 2},
+		netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1}, 1, 1, 98)
+	udp := udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1})
+	h.inject(tcp)
+	h.inject(icmp)
+	h.inject(udp) // dropped
+	h.step()
+	if got := h.element("tcpCnt").(*elements.Counter).Packets; got != 1 {
+		t.Fatalf("tcp out %d", got)
+	}
+	if got := h.element("icmpCnt").(*elements.Counter).Packets; got != 1 {
+		t.Fatalf("icmp out %d", got)
+	}
+	if got := h.element("f").(*elements.IPFilter).Dropped; got != 1 {
+		t.Fatalf("dropped %d", got)
+	}
+}
+
+func TestIPFilterNegationAndHost(t *testing.T) {
+	h := newHarness(t, ioWrap+`
+f :: IPFilter(allow !src host 10.0.0.9, drop all);
+input -> f -> output;
+`, click.Copying)
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 9}, netpkt.IPv4{10, 1, 0, 1})) // blocked host
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 7}, netpkt.IPv4{10, 1, 0, 1})) // anyone else
+	h.step()
+	if len(h.captured) != 1 {
+		t.Fatalf("captured %d", len(h.captured))
+	}
+	ih, _, _ := netpkt.ParseIPv4Header(h.captured[0][netpkt.EtherHdrLen:])
+	if ih.Src != (netpkt.IPv4{10, 0, 0, 7}) {
+		t.Fatalf("wrong packet passed: %v", ih.Src)
+	}
+}
+
+func TestIPFilterSrcPort(t *testing.T) {
+	h := newHarness(t, ioWrap+`
+f :: IPFilter(allow udp && src port 4000, drop all);
+input -> f -> output;
+`, click.Copying)
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1})) // src port 4000
+	h.step()
+	if len(h.captured) != 1 {
+		t.Fatalf("captured %d", len(h.captured))
+	}
+}
+
+func TestIPFilterUnmatchedDefaultDrop(t *testing.T) {
+	h := newHarness(t, ioWrap+`
+f :: IPFilter(allow tcp);
+input -> f -> output;
+`, click.Copying)
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1}))
+	h.step()
+	if len(h.captured) != 0 {
+		t.Fatal("unmatched packet passed")
+	}
+}
+
+func TestIPFilterBadRules(t *testing.T) {
+	for _, cfg := range []string{
+		ioWrap + `input -> IPFilter() -> output;`,
+		ioWrap + `input -> IPFilter(allow) -> output;`,
+		ioWrap + `input -> IPFilter(banana all) -> output;`,
+		ioWrap + `input -> IPFilter(allow src host nonsense) -> output;`,
+		ioWrap + `input -> IPFilter(allow src net 10.0.0.0) -> output;`,
+		ioWrap + `input -> IPFilter(allow dst port 99999) -> output;`,
+		ioWrap + `input -> IPFilter(allow src banana 1) -> output;`,
+		ioWrap + `input -> IPFilter(allow !) -> output;`,
+	} {
+		if !buildFails(t, cfg) {
+			t.Errorf("accepted: %s", cfg)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Transport-layer sanity checks — the IDS configuration of Appendix A.3:
+// "checks the correctness of TCP, UDP, and ICMP headers, except for the
+// checksum that can be verified in hardware."
+package elements
+
+import (
+	"packetmill/internal/click"
+	"packetmill/internal/netpkt"
+	"packetmill/internal/pktbuf"
+)
+
+func init() {
+	click.Register("CheckTCPHeader", func() click.Element { return &CheckTCPHeader{} })
+	click.Register("CheckUDPHeader", func() click.Element { return &CheckUDPHeader{} })
+	click.Register("CheckICMPHeader", func() click.Element { return &CheckICMPHeader{} })
+	click.Register("IPClassifier", func() click.Element { return &IPClassifier{} })
+}
+
+// ipHeaderAt parses the IP header at offset off, returning the L4 offset
+// and protocol; ok=false when malformed.
+func ipHeaderAt(ec *click.ExecCtx, p *pktbuf.Packet, off int) (l4 int, proto uint8, ipLen int, ok bool) {
+	if p.Len() < off+netpkt.IPv4HdrLen {
+		return 0, 0, 0, false
+	}
+	hdr := p.Load(ec.Core, off, netpkt.IPv4HdrLen)
+	h, ihl, err := netpkt.ParseIPv4Header(hdr)
+	if err != nil {
+		return 0, 0, 0, false
+	}
+	return off + ihl, h.Protocol, int(h.TotalLen), true
+}
+
+// CheckTCPHeader verifies TCP header sanity: data offset, flag
+// combinations, and that the segment fits the IP length.
+type CheckTCPHeader struct {
+	click.Base
+	Offset int
+	Bad    uint64
+}
+
+// Class implements click.Element.
+func (e *CheckTCPHeader) Class() string { return "CheckTCPHeader" }
+
+// Configure implements click.Element.
+func (e *CheckTCPHeader) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	e.Offset = netpkt.EtherHdrLen
+	if len(args) > 0 {
+		n, err := click.ParseInt(args[0])
+		if err != nil {
+			return err
+		}
+		e.Offset = n
+	}
+	bc.AllocState(8, 1)
+	return nil
+}
+
+// Push implements click.Element.
+func (e *CheckTCPHeader) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	var good, bad pktbuf.Batch
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		l4, proto, ipLen, ok := ipHeaderAt(ec, p, e.Offset)
+		if ok && proto == netpkt.ProtoTCP && p.Len() >= l4+netpkt.TCPHdrLen {
+			seg := p.Load(core, l4, netpkt.TCPHdrLen)
+			core.Compute(48)
+			th, hdrLen, err := netpkt.ParseTCP(seg)
+			segLen := ipLen - (l4 - e.Offset)
+			valid := err == nil && segLen >= hdrLen &&
+				// SYN+FIN and null flags are invalid combinations.
+				th.Flags&(netpkt.TCPFlagSYN|netpkt.TCPFlagFIN) != (netpkt.TCPFlagSYN|netpkt.TCPFlagFIN) &&
+				th.Flags != 0
+			if valid {
+				good.Append(core, p)
+				return true
+			}
+		} else if ok && proto != netpkt.ProtoTCP {
+			// Not TCP: pass through untouched (the IDS chain stacks
+			// one checker per protocol).
+			core.Compute(10)
+			good.Append(core, p)
+			return true
+		}
+		e.Bad++
+		bad.Append(core, p)
+		return true
+	})
+	e.CheckedOutput(ec, 1, &bad)
+	if !good.Empty() {
+		e.Inst.Output(ec, 0, &good)
+	}
+}
+
+// CheckUDPHeader verifies the UDP length field.
+type CheckUDPHeader struct {
+	click.Base
+	Offset int
+	Bad    uint64
+}
+
+// Class implements click.Element.
+func (e *CheckUDPHeader) Class() string { return "CheckUDPHeader" }
+
+// Configure implements click.Element.
+func (e *CheckUDPHeader) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	e.Offset = netpkt.EtherHdrLen
+	if len(args) > 0 {
+		n, err := click.ParseInt(args[0])
+		if err != nil {
+			return err
+		}
+		e.Offset = n
+	}
+	bc.AllocState(8, 1)
+	return nil
+}
+
+// Push implements click.Element.
+func (e *CheckUDPHeader) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	var good, bad pktbuf.Batch
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		l4, proto, ipLen, ok := ipHeaderAt(ec, p, e.Offset)
+		if ok && proto == netpkt.ProtoUDP && p.Len() >= l4+netpkt.UDPHdrLen {
+			seg := p.Load(core, l4, netpkt.UDPHdrLen)
+			core.Compute(28)
+			uh, err := netpkt.ParseUDP(seg)
+			if err == nil && int(uh.Length) == ipLen-(l4-e.Offset) && uh.Length >= netpkt.UDPHdrLen {
+				good.Append(core, p)
+				return true
+			}
+		} else if ok && proto != netpkt.ProtoUDP {
+			core.Compute(10)
+			good.Append(core, p)
+			return true
+		}
+		e.Bad++
+		bad.Append(core, p)
+		return true
+	})
+	e.CheckedOutput(ec, 1, &bad)
+	if !good.Empty() {
+		e.Inst.Output(ec, 0, &good)
+	}
+}
+
+// CheckICMPHeader verifies ICMP type/code sanity.
+type CheckICMPHeader struct {
+	click.Base
+	Offset int
+	Bad    uint64
+}
+
+// Class implements click.Element.
+func (e *CheckICMPHeader) Class() string { return "CheckICMPHeader" }
+
+// Configure implements click.Element.
+func (e *CheckICMPHeader) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	e.Offset = netpkt.EtherHdrLen
+	if len(args) > 0 {
+		n, err := click.ParseInt(args[0])
+		if err != nil {
+			return err
+		}
+		e.Offset = n
+	}
+	bc.AllocState(8, 1)
+	return nil
+}
+
+// Push implements click.Element.
+func (e *CheckICMPHeader) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	var good, bad pktbuf.Batch
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		l4, proto, _, ok := ipHeaderAt(ec, p, e.Offset)
+		if ok && proto == netpkt.ProtoICMP && p.Len() >= l4+netpkt.ICMPHdrLen {
+			seg := p.Load(core, l4, netpkt.ICMPHdrLen)
+			core.Compute(22)
+			h, err := netpkt.ParseICMP(seg)
+			if err == nil && (h.Type <= 18) {
+				good.Append(core, p)
+				return true
+			}
+		} else if ok && proto != netpkt.ProtoICMP {
+			core.Compute(10)
+			good.Append(core, p)
+			return true
+		}
+		e.Bad++
+		bad.Append(core, p)
+		return true
+	})
+	e.CheckedOutput(ec, 1, &bad)
+	if !good.Empty() {
+		e.Inst.Output(ec, 0, &good)
+	}
+}
+
+// IPClassifier splits traffic by IP protocol: one arg per output, each
+// "tcp", "udp", "icmp", or "-".
+type IPClassifier struct {
+	click.Base
+	protos []int // -1 = catch-all
+}
+
+// Class implements click.Element.
+func (e *IPClassifier) Class() string { return "IPClassifier" }
+
+// BatchAware implements click.BatchElement.
+func (e *IPClassifier) BatchAware() bool { return false }
+
+// Configure implements click.Element.
+func (e *IPClassifier) Configure(args []string, bc *click.BuildCtx) error {
+	for _, a := range args {
+		switch a {
+		case "tcp":
+			e.protos = append(e.protos, netpkt.ProtoTCP)
+		case "udp":
+			e.protos = append(e.protos, netpkt.ProtoUDP)
+		case "icmp":
+			e.protos = append(e.protos, netpkt.ProtoICMP)
+		case "-":
+			e.protos = append(e.protos, -1)
+		default:
+			return errBadPattern(a)
+		}
+	}
+	e.InitBase(bc)
+	bc.AllocState(uint64(32*len(e.protos)), 1)
+	return nil
+}
+
+type errBadPattern string
+
+func (e errBadPattern) Error() string { return "IPClassifier: bad pattern " + string(e) }
+
+// NOutputs implements click.Element.
+func (e *IPClassifier) NOutputs() int { return len(e.protos) }
+
+// Push implements click.Element.
+func (e *IPClassifier) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	outs := make([]pktbuf.Batch, len(e.protos))
+	var dead pktbuf.Batch
+	e.Inst.TouchState(ec, 0, uint64(8*len(e.protos)))
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		proto := -2
+		if p.Len() >= netpkt.EtherHdrLen+netpkt.IPv4HdrLen {
+			hdr := p.Load(core, netpkt.EtherHdrLen+9, 1)
+			proto = int(hdr[0])
+		}
+		core.Compute(10)
+		for i, want := range e.protos {
+			if want == proto || want == -1 {
+				outs[i].Append(core, p)
+				return true
+			}
+		}
+		dead.Append(core, p)
+		return true
+	})
+	ec.Rt.Kill(ec, &dead)
+	for i := range outs {
+		if !outs[i].Empty() {
+			e.CheckedOutput(ec, i, &outs[i])
+		}
+	}
+}

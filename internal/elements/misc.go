@@ -1,0 +1,240 @@
+// Utility elements: Counter, AverageCounter, Discard, Paint, and the
+// WorkPackage microbenchmark element of Appendix A.4.
+package elements
+
+import (
+	"fmt"
+
+	"packetmill/internal/click"
+	"packetmill/internal/layout"
+	"packetmill/internal/memsim"
+	"packetmill/internal/pktbuf"
+	"packetmill/internal/simrand"
+)
+
+func init() {
+	click.Register("Counter", func() click.Element { return &Counter{} })
+	click.Register("AverageCounter", func() click.Element { return &AverageCounter{} })
+	click.Register("Discard", func() click.Element { return &Discard{} })
+	click.Register("Paint", func() click.Element { return &Paint{} })
+	click.Register("WorkPackage", func() click.Element { return &WorkPackage{} })
+}
+
+// Counter counts packets and bytes.
+type Counter struct {
+	click.Base
+	Packets, Bytes uint64
+}
+
+// Class implements click.Element.
+func (e *Counter) Class() string { return "Counter" }
+
+// Configure implements click.Element.
+func (e *Counter) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	bc.AllocState(16, 0)
+	return nil
+}
+
+// Push implements click.Element.
+func (e *Counter) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	e.Inst.TouchState(ec, 0, 16)
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		e.Packets++
+		e.Bytes += uint64(p.Len())
+		core.Compute(8)
+		return true
+	})
+	e.Inst.StoreState(ec, 0, 16)
+	e.Inst.Output(ec, 0, b)
+}
+
+// AverageCounter reports packet/byte rates over the run window.
+type AverageCounter struct {
+	click.Base
+	Packets, Bytes  uint64
+	FirstNS, LastNS float64
+}
+
+// Class implements click.Element.
+func (e *AverageCounter) Class() string { return "AverageCounter" }
+
+// Configure implements click.Element.
+func (e *AverageCounter) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	bc.AllocState(32, 0)
+	return nil
+}
+
+// Push implements click.Element.
+func (e *AverageCounter) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	e.Inst.TouchState(ec, 0, 32)
+	if e.FirstNS == 0 {
+		e.FirstNS = ec.Now
+	}
+	e.LastNS = ec.Now
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		e.Packets++
+		e.Bytes += uint64(p.Len())
+		core.Compute(8)
+		return true
+	})
+	e.Inst.StoreState(ec, 0, 32)
+	e.Inst.Output(ec, 0, b)
+}
+
+// RateGbps returns the measured goodput across the window.
+func (e *AverageCounter) RateGbps() float64 {
+	if e.LastNS <= e.FirstNS {
+		return 0
+	}
+	return float64(e.Bytes) * 8 / (e.LastNS - e.FirstNS)
+}
+
+// Discard kills everything it receives (recycling buffers).
+type Discard struct {
+	click.Base
+	Count uint64
+}
+
+// Class implements click.Element.
+func (e *Discard) Class() string { return "Discard" }
+
+// NOutputs implements click.Element.
+func (e *Discard) NOutputs() int { return 0 }
+
+// Configure implements click.Element.
+func (e *Discard) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	bc.AllocState(0, 0)
+	return nil
+}
+
+// Push implements click.Element.
+func (e *Discard) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	e.Count += uint64(b.Count())
+	ec.Rt.Kill(ec, b)
+}
+
+// Paint writes the paint annotation.
+type Paint struct {
+	click.Base
+	Color uint8
+}
+
+// Class implements click.Element.
+func (e *Paint) Class() string { return "Paint" }
+
+// Configure implements click.Element.
+func (e *Paint) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	if len(args) != 1 {
+		return fmt.Errorf("Paint: want one color argument")
+	}
+	n, err := click.ParseInt(args[0])
+	if err != nil {
+		return err
+	}
+	e.Color = uint8(n)
+	bc.AllocState(8, 1)
+	return nil
+}
+
+// Push implements click.Element.
+func (e *Paint) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	e.Inst.LoadParam(ec, 0)
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		if p.Meta.L.Has(layout.FieldAnnoPaint) {
+			p.Meta.Set(core, layout.FieldAnnoPaint, uint64(e.Color))
+		}
+		core.Compute(6)
+		return true
+	})
+	e.Inst.Output(ec, 0, b)
+}
+
+// WorkPackage emulates memory- and compute-intensive NFs (Appendix A.4):
+// per packet it performs N random reads into a static array of S MB and
+// generates W pseudo-random numbers.
+type WorkPackage struct {
+	click.Base
+	S int // MB of accessed memory
+	N int // random accesses per packet
+	W int // pseudo-random numbers per packet
+	// PerPacketInstrPerRand approximates one PRNG step's work.
+	arrayBase memsim.Addr
+	arrayLen  uint64
+	rng       *simrand.Rand
+}
+
+// randInstr is the instruction cost of generating one pseudo-random number
+// (a glibc rand() call and the consuming arithmetic).
+const randInstr = 12
+
+// Class implements click.Element.
+func (e *WorkPackage) Class() string { return "WorkPackage" }
+
+// Configure implements click.Element. Args: S mb, N accesses, W randoms
+// (keyword or positional).
+func (e *WorkPackage) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	kw, pos := click.KeywordArgs(args)
+	get := func(name string, idx, def int) (int, error) {
+		if v, ok := kw[name]; ok {
+			return click.ParseInt(v)
+		}
+		if idx < len(pos) {
+			return click.ParseInt(pos[idx])
+		}
+		return def, nil
+	}
+	var err error
+	if e.S, err = get("S", 0, 1); err != nil {
+		return err
+	}
+	if e.N, err = get("N", 1, 1); err != nil {
+		return err
+	}
+	if e.W, err = get("W", 2, 1); err != nil {
+		return err
+	}
+	if e.S < 0 || e.N < 0 || e.W < 0 {
+		return fmt.Errorf("WorkPackage: negative parameter")
+	}
+	if e.S > 0 {
+		e.arrayLen = uint64(e.S) << 20
+		e.arrayBase = bc.AllocAux(e.arrayLen)
+		// The array is long-lived state a steady-state run would have
+		// warmed; install what fits.
+		if bc.Prewarm != nil {
+			bc.Prewarm(e.arrayBase, e.arrayLen)
+		}
+	}
+	e.rng = simrand.New(bc.Seed ^ 0x774b50)
+	bc.AllocState(64, 3)
+	return nil
+}
+
+// Push implements click.Element.
+func (e *WorkPackage) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	e.Inst.LoadParam(ec, 0)
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		// W pseudo-random numbers (CPU intensiveness).
+		if e.W > 0 {
+			core.Compute(float64(e.W) * randInstr)
+		}
+		// N random reads into the S-MB array (memory intensiveness).
+		if e.arrayLen > 0 {
+			for i := 0; i < e.N; i++ {
+				off := e.rng.Uint64n(e.arrayLen) &^ 7
+				core.Load(e.arrayBase+memsim.Addr(off), 8)
+			}
+		}
+		return true
+	})
+	e.Inst.Output(ec, 0, b)
+}

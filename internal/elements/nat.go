@@ -1,0 +1,143 @@
+// IPRewriter: the stateful NAPT of Appendix A.3 — "rewrites source IP
+// addresses of outgoing packets ... stateful and uses the DPDK Cuckoo
+// hash table".
+package elements
+
+import (
+	"encoding/binary"
+
+	"packetmill/internal/click"
+	"packetmill/internal/cuckoo"
+	"packetmill/internal/netpkt"
+	"packetmill/internal/pktbuf"
+)
+
+func init() {
+	click.Register("IPRewriter", func() click.Element { return &IPRewriter{} })
+}
+
+// IPRewriter performs source NAPT: every new flow gets an external port
+// from the pool, and both the flow table entry and the reverse mapping
+// are installed in a cuckoo hash table (two inserts, like rte_hash-based
+// NATs — the "more lookups and higher memory usage" of A.3).
+type IPRewriter struct {
+	click.Base
+	ExtIP     netpkt.IPv4
+	TableSize int
+
+	table    *cuckoo.Table
+	nextPort uint16
+
+	// Flows counts distinct flows seen; Rewritten counts packets.
+	Flows     uint64
+	Rewritten uint64
+}
+
+// Class implements click.Element.
+func (e *IPRewriter) Class() string { return "IPRewriter" }
+
+// Configure implements click.Element. Args: EXTIP a.b.c.d [, CAPACITY n].
+func (e *IPRewriter) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	e.TableSize = 65536
+	kw, pos := click.KeywordArgs(args)
+	ext := "192.168.100.1"
+	if v, ok := kw["EXTIP"]; ok {
+		ext = v
+	} else if len(pos) > 0 {
+		ext = pos[0]
+	}
+	var err error
+	if e.ExtIP, err = netpkt.ParseIPv4(ext); err != nil {
+		return err
+	}
+	if v, ok := kw["CAPACITY"]; ok {
+		n, err := click.ParseInt(v)
+		if err != nil {
+			return err
+		}
+		e.TableSize = n
+	}
+	// The flow table lives in hugepages like rte_hash.
+	e.table = cuckoo.New(e.TableSize, bc.Huge, bc.Seed^0x4e4154)
+	e.nextPort = 1024
+	bc.AllocState(64, 2)
+	return nil
+}
+
+// Push implements click.Element.
+func (e *IPRewriter) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	var out, dead pktbuf.Batch
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		ipOff := netpkt.EtherHdrLen
+		l4, proto, _, ok := ipHeaderAt(ec, p, ipOff)
+		if !ok || (proto != netpkt.ProtoTCP && proto != netpkt.ProtoUDP) {
+			// Non-L4 traffic passes through unmodified.
+			core.Compute(10)
+			out.Append(core, p)
+			return true
+		}
+		if p.Len() < l4+4 {
+			dead.Append(core, p)
+			return true
+		}
+		hdr := p.Load(core, ipOff, netpkt.IPv4HdrLen)
+		ports := p.Load(core, l4, 4)
+		key := cuckoo.Key{
+			SrcIP:   binary.BigEndian.Uint32(hdr[12:16]),
+			DstIP:   binary.BigEndian.Uint32(hdr[16:20]),
+			SrcPort: binary.BigEndian.Uint16(ports[0:2]),
+			DstPort: binary.BigEndian.Uint16(ports[2:4]),
+			Proto:   proto,
+		}
+		extPort64, found := e.table.Lookup(core, key)
+		extPort := uint16(extPort64)
+		if !found {
+			// New flow: allocate a port and install both directions.
+			extPort = e.nextPort
+			e.nextPort++
+			if e.nextPort < 1024 {
+				e.nextPort = 1024
+			}
+			e.Inst.StoreState(ec, 0, 8) // port allocator state
+			if err := e.table.Insert(core, key, uint64(extPort)); err != nil {
+				dead.Append(core, p)
+				return true
+			}
+			reverse := cuckoo.Key{
+				SrcIP: key.DstIP, DstIP: e.ExtIP.Uint32(),
+				SrcPort: key.DstPort, DstPort: extPort, Proto: proto,
+			}
+			if err := e.table.Insert(core, reverse, uint64(key.SrcIP)<<16|uint64(key.SrcPort)); err != nil {
+				dead.Append(core, p)
+				return true
+			}
+			e.Flows++
+		}
+		// Rewrite source IP and port, patching both checksums
+		// incrementally (RFC 1624 twice: IP header + pseudo-header).
+		oldIPHi := binary.BigEndian.Uint16(hdr[12:14])
+		oldIPLo := binary.BigEndian.Uint16(hdr[14:16])
+		wr := p.Store(core, ipOff+12, 4)
+		copy(wr, e.ExtIP[:])
+		ck := binary.BigEndian.Uint16(hdr[10:12])
+		ck = netpkt.IncrementalChecksumUpdate16(ck, oldIPHi, binary.BigEndian.Uint16(e.ExtIP[0:2]))
+		ck = netpkt.IncrementalChecksumUpdate16(ck, oldIPLo, binary.BigEndian.Uint16(e.ExtIP[2:4]))
+		ckb := p.Store(core, ipOff+10, 2)
+		binary.BigEndian.PutUint16(ckb, ck)
+		pw := p.Store(core, l4, 2)
+		binary.BigEndian.PutUint16(pw, extPort)
+		core.Compute(60)
+		e.Rewritten++
+		out.Append(core, p)
+		return true
+	})
+	ec.Rt.Kill(ec, &dead)
+	if !out.Empty() {
+		e.Inst.Output(ec, 0, &out)
+	}
+}
+
+// Table exposes the flow table for tests.
+func (e *IPRewriter) Table() *cuckoo.Table { return e.table }

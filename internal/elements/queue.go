@@ -1,0 +1,189 @@
+// Queue and Unqueue: the push-to-pull boundary. A Queue stores packets in
+// a ring of pointers (its own simulated memory); an Unqueue is a
+// scheduled task that pulls a burst from its upstream pull port and
+// pushes it on. Together they express Click's classic buffered pipelines.
+package elements
+
+import (
+	"packetmill/internal/click"
+	"packetmill/internal/memsim"
+	"packetmill/internal/pktbuf"
+)
+
+func init() {
+	click.Register("Queue", func() click.Element { return &Queue{} })
+	click.Register("Unqueue", func() click.Element { return &Unqueue{} })
+}
+
+// Queue buffers packets between a push producer and a pull consumer.
+type Queue struct {
+	click.Base
+	Capacity int
+
+	buf      []*pktbuf.Packet
+	ringAddr memsim.Addr
+
+	// Drops counts packets killed on overflow (tail drop).
+	Drops     uint64
+	HighWater int
+}
+
+// Class implements click.Element.
+func (e *Queue) Class() string { return "Queue" }
+
+// NInputs implements click.Element.
+func (e *Queue) NInputs() int { return 1 }
+
+// NOutputs implements click.Element.
+func (e *Queue) NOutputs() int { return 1 }
+
+// Configure implements click.Element. Arg: capacity (default 1000, like
+// Click).
+func (e *Queue) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	e.Capacity = 1000
+	kw, pos := click.KeywordArgs(args)
+	if v, ok := kw["CAPACITY"]; ok {
+		n, err := click.ParseInt(v)
+		if err != nil {
+			return err
+		}
+		e.Capacity = n
+	} else if len(pos) > 0 {
+		n, err := click.ParseInt(pos[0])
+		if err != nil {
+			return err
+		}
+		e.Capacity = n
+	}
+	if e.Capacity <= 0 {
+		e.Capacity = 1
+	}
+	bc.AllocState(32, 1)
+	e.ringAddr = bc.AllocAux(uint64(e.Capacity) * 8)
+	return nil
+}
+
+// Push implements click.Element: enqueue with tail drop.
+func (e *Queue) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	e.Inst.TouchState(ec, 0, 16) // head/tail indices
+	var dead pktbuf.Batch
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		if len(e.buf) >= e.Capacity {
+			e.Drops++
+			dead.Append(core, p)
+			return true
+		}
+		core.Store(e.ringAddr+memsim.Addr(len(e.buf)%e.Capacity*8), 8)
+		core.Compute(4)
+		e.buf = append(e.buf, p)
+		return true
+	})
+	if len(e.buf) > e.HighWater {
+		e.HighWater = len(e.buf)
+	}
+	e.Inst.StoreState(ec, 0, 16)
+	ec.Rt.Kill(ec, &dead)
+}
+
+// Pull implements click.PullElement: dequeue up to max.
+func (e *Queue) Pull(ec *click.ExecCtx, _ int, max int) *pktbuf.Batch {
+	core := ec.Core
+	e.Inst.TouchState(ec, 0, 16)
+	var out pktbuf.Batch
+	n := max
+	if n > len(e.buf) {
+		n = len(e.buf)
+	}
+	for i := 0; i < n; i++ {
+		core.Load(e.ringAddr+memsim.Addr(i*8), 8)
+		core.Compute(4)
+		out.Append(core, e.buf[i])
+	}
+	e.buf = e.buf[n:]
+	if n > 0 {
+		e.Inst.StoreState(ec, 0, 16)
+	}
+	return &out
+}
+
+// Len reports the current queue depth.
+func (e *Queue) Len() int { return len(e.buf) }
+
+// Unqueue is the scheduled puller that drains a Queue into the push graph.
+type Unqueue struct {
+	click.Base
+	Burst   int
+	tickets int
+
+	Pulled uint64
+}
+
+// Tickets implements click.TaskTickets.
+func (e *Unqueue) Tickets() int { return e.tickets }
+
+// Class implements click.Element.
+func (e *Unqueue) Class() string { return "Unqueue" }
+
+// NInputs implements click.Element.
+func (e *Unqueue) NInputs() int { return 1 }
+
+// NOutputs implements click.Element.
+func (e *Unqueue) NOutputs() int { return 1 }
+
+// PullsInput implements click.PullConsumer.
+func (e *Unqueue) PullsInput(port int) bool { return port == 0 }
+
+// Configure implements click.Element. Arg: BURST (default 32).
+func (e *Unqueue) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	e.Burst = 32
+	kw, pos := click.KeywordArgs(args)
+	if v, ok := kw["BURST"]; ok {
+		n, err := click.ParseInt(v)
+		if err != nil {
+			return err
+		}
+		e.Burst = n
+	} else if len(pos) > 0 {
+		n, err := click.ParseInt(pos[0])
+		if err != nil {
+			return err
+		}
+		e.Burst = n
+	}
+	if v, ok := kw["TICKETS"]; ok {
+		n, err := click.ParseInt(v)
+		if err != nil {
+			return err
+		}
+		e.tickets = n
+	}
+	bc.AllocState(16, 1)
+	return nil
+}
+
+// Push implements click.Element (never pushed into; pull input).
+func (e *Unqueue) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	// A push into a pull input is rejected at build time; killing here
+	// keeps buffer accounting sound if it ever happens.
+	ec.Rt.Kill(ec, b)
+}
+
+// RunTask implements click.Task: pull one burst and push it downstream.
+func (e *Unqueue) RunTask(ec *click.ExecCtx) int {
+	in := e.Inst.Input(0)
+	if in == nil {
+		return 0
+	}
+	e.Inst.LoadParam(ec, 0)
+	b := in.Pull(ec, e.Burst)
+	if b == nil || b.Empty() {
+		return 0
+	}
+	n := b.Count()
+	e.Pulled += uint64(n)
+	e.Inst.Output(ec, 0, b)
+	return n
+}

@@ -1,0 +1,102 @@
+package elements_test
+
+import (
+	"testing"
+
+	"packetmill/internal/click"
+	"packetmill/internal/elements"
+	"packetmill/internal/netpkt"
+	"packetmill/internal/testbed"
+)
+
+const queuedForwarder = `
+input :: FromDPDKDevice(PORT 0, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+q :: Queue(CAPACITY 128);
+uq :: Unqueue(BURST 32);
+input -> q;
+q -> uq -> EtherMirror -> output;
+`
+
+func TestQueueUnqueuePipeline(t *testing.T) {
+	h := newHarness(t, queuedForwarder, click.Copying)
+	for i := 0; i < 10; i++ {
+		h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1}))
+	}
+	h.step()
+	if len(h.captured) != 10 {
+		t.Fatalf("captured %d of 10 through the queue", len(h.captured))
+	}
+	q := h.element("q").(*elements.Queue)
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
+	}
+	if q.HighWater == 0 {
+		t.Fatal("queue never held anything")
+	}
+	uq := h.element("uq").(*elements.Unqueue)
+	if uq.Pulled != 10 {
+		t.Fatalf("unqueue pulled %d", uq.Pulled)
+	}
+	// Frames must still be intact (mirrored MACs, valid payload).
+	eh, _ := netpkt.ParseEther(h.captured[0])
+	if eh.Dst != (netpkt.MAC{0x02, 0, 0, 0, 0, 1}) {
+		t.Fatalf("mirror after queue broken: %v", eh.Dst)
+	}
+}
+
+func TestQueueTailDrop(t *testing.T) {
+	h := newHarness(t, `
+input :: FromDPDKDevice(PORT 0, BURST 32);
+q :: Queue(4);
+input -> q;
+q -> Unqueue(BURST 32) -> dead :: Discard;
+`, click.Copying)
+	// Inject 12 frames; the queue holds 4 and tail-drops while the
+	// Unqueue task is not scheduled (we step only FromDPDKDevice by
+	// injecting before stepping — both tasks run per step, so overflow
+	// needs a burst bigger than capacity).
+	for i := 0; i < 12; i++ {
+		h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1}))
+	}
+	h.step()
+	q := h.element("q").(*elements.Queue)
+	d := h.element("dead").(*elements.Discard)
+	if q.Drops == 0 {
+		t.Fatalf("no tail drops (delivered %d, highwater %d)", d.Count, q.HighWater)
+	}
+	if d.Count+q.Drops+uint64(q.Len()) != 12 {
+		t.Fatalf("conservation: delivered %d + dropped %d + queued %d != 12",
+			d.Count, q.Drops, q.Len())
+	}
+}
+
+func TestPullPortMismatchRejected(t *testing.T) {
+	d, err := testbed.NewDUT(testbed.Options{FreqGHz: 2.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queue's pull output pushed into a plain push element: must fail.
+	g, err := click.Parse(`
+input :: FromDPDKDevice(PORT 0);
+q :: Queue(8);
+input -> q -> EtherMirror -> Discard;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.BuildRouters(g); err == nil {
+		t.Fatal("pull output wired to push input was accepted")
+	}
+	// And the reverse: a push output into Unqueue's pull input.
+	g2, err := click.Parse(`
+input :: FromDPDKDevice(PORT 0);
+input -> Unqueue -> Discard;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.BuildRouters(g2); err == nil {
+		t.Fatal("push output wired to pull input was accepted")
+	}
+}

@@ -1,0 +1,261 @@
+// Switching and shaping elements: Switch, RoundRobinSwitch, PaintSwitch,
+// Pad, Truncate — the small utility classes Click configurations lean on.
+package elements
+
+import (
+	"fmt"
+
+	"packetmill/internal/click"
+	"packetmill/internal/layout"
+	"packetmill/internal/pktbuf"
+)
+
+func init() {
+	click.Register("Switch", func() click.Element { return &Switch{} })
+	click.Register("RoundRobinSwitch", func() click.Element { return &RoundRobinSwitch{} })
+	click.Register("PaintSwitch", func() click.Element { return &PaintSwitch{} })
+	click.Register("Pad", func() click.Element { return &Pad{} })
+	click.Register("Truncate", func() click.Element { return &Truncate{} })
+}
+
+// Switch sends every packet to one statically selected output (−1 drops
+// everything), Click's runtime-steerable demux in its simplest form.
+type Switch struct {
+	click.Base
+	Port int
+	nOut int
+}
+
+// Class implements click.Element.
+func (e *Switch) Class() string { return "Switch" }
+
+// Configure implements click.Element. Args: output port [, N_OUTPUTS].
+func (e *Switch) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	e.nOut = -1
+	_, pos := click.KeywordArgs(args)
+	if len(pos) < 1 {
+		return fmt.Errorf("Switch: want an output port argument")
+	}
+	n, err := click.ParseInt(pos[0])
+	if err != nil {
+		return err
+	}
+	e.Port = n
+	if len(pos) > 1 {
+		if e.nOut, err = click.ParseInt(pos[1]); err != nil {
+			return err
+		}
+		if e.Port >= e.nOut {
+			return fmt.Errorf("Switch: port %d out of range for %d outputs", e.Port, e.nOut)
+		}
+	}
+	bc.AllocState(8, 1)
+	return nil
+}
+
+// NOutputs implements click.Element.
+func (e *Switch) NOutputs() int { return e.nOut }
+
+// Push implements click.Element.
+func (e *Switch) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	e.Inst.LoadParam(ec, 0)
+	if e.Port < 0 {
+		ec.Rt.Kill(ec, b)
+		return
+	}
+	e.CheckedOutput(ec, e.Port, b)
+}
+
+// RoundRobinSwitch spreads successive batches across its outputs.
+type RoundRobinSwitch struct {
+	click.Base
+	nOut int
+	next int
+}
+
+// Class implements click.Element.
+func (e *RoundRobinSwitch) Class() string { return "RoundRobinSwitch" }
+
+// Configure implements click.Element. Arg: number of outputs.
+func (e *RoundRobinSwitch) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	if len(args) != 1 {
+		return fmt.Errorf("RoundRobinSwitch: want an output-count argument")
+	}
+	n, err := click.ParseInt(args[0])
+	if err != nil {
+		return err
+	}
+	if n <= 0 {
+		return fmt.Errorf("RoundRobinSwitch: need at least one output")
+	}
+	e.nOut = n
+	bc.AllocState(8, 1)
+	return nil
+}
+
+// NOutputs implements click.Element.
+func (e *RoundRobinSwitch) NOutputs() int { return e.nOut }
+
+// Push implements click.Element.
+func (e *RoundRobinSwitch) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	e.Inst.TouchState(ec, 0, 8)
+	port := e.next
+	e.next = (e.next + 1) % e.nOut
+	e.Inst.StoreState(ec, 0, 8)
+	ec.Core.Compute(3)
+	e.CheckedOutput(ec, port, b)
+}
+
+// PaintSwitch demuxes on the paint annotation.
+type PaintSwitch struct {
+	click.Base
+	nOut int
+}
+
+// Class implements click.Element.
+func (e *PaintSwitch) Class() string { return "PaintSwitch" }
+
+// BatchAware implements click.BatchElement: per-packet decision.
+func (e *PaintSwitch) BatchAware() bool { return false }
+
+// Configure implements click.Element. Arg: number of outputs.
+func (e *PaintSwitch) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	if len(args) != 1 {
+		return fmt.Errorf("PaintSwitch: want an output-count argument")
+	}
+	n, err := click.ParseInt(args[0])
+	if err != nil {
+		return err
+	}
+	if n <= 0 {
+		return fmt.Errorf("PaintSwitch: need at least one output")
+	}
+	e.nOut = n
+	bc.AllocState(8, 0)
+	return nil
+}
+
+// NOutputs implements click.Element.
+func (e *PaintSwitch) NOutputs() int { return e.nOut }
+
+// Push implements click.Element.
+func (e *PaintSwitch) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	outs := make([]pktbuf.Batch, e.nOut)
+	var dead pktbuf.Batch
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		core.Compute(3)
+		color := -1
+		if p.Meta.L.Has(layout.FieldAnnoPaint) {
+			color = int(p.Meta.Get(core, layout.FieldAnnoPaint))
+		}
+		if color < 0 || color >= e.nOut {
+			dead.Append(core, p)
+			return true
+		}
+		outs[color].Append(core, p)
+		return true
+	})
+	ec.Rt.Kill(ec, &dead)
+	for i := range outs {
+		if !outs[i].Empty() {
+			e.CheckedOutput(ec, i, &outs[i])
+		}
+	}
+}
+
+// Pad extends short frames to a minimum length with zero bytes (tailroom
+// permitting) — Ethernet's 64-byte floor for synthesized packets.
+type Pad struct {
+	click.Base
+	MinLen int
+}
+
+// Class implements click.Element.
+func (e *Pad) Class() string { return "Pad" }
+
+// Configure implements click.Element. Arg: minimum length (default 60,
+// Click's pre-FCS minimum).
+func (e *Pad) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	e.MinLen = 60
+	if len(args) > 0 {
+		n, err := click.ParseInt(args[0])
+		if err != nil {
+			return err
+		}
+		e.MinLen = n
+	}
+	bc.AllocState(8, 1)
+	return nil
+}
+
+// Push implements click.Element.
+func (e *Pad) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	e.Inst.LoadParam(ec, 0)
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		if p.Len() < e.MinLen && p.Tailroom() >= e.MinLen-p.Len() {
+			old := p.Len()
+			p.Extend(e.MinLen - old)
+			pad := p.Store(core, old, e.MinLen-old)
+			for i := range pad {
+				pad[i] = 0
+			}
+			core.Compute(4)
+			// Keep the descriptor's length fields coherent.
+			if p.Meta.L.Has(layout.FieldDataLen) {
+				p.Meta.Set(core, layout.FieldDataLen, uint64(p.Len()))
+			}
+		}
+		return true
+	})
+	e.Inst.Output(ec, 0, b)
+}
+
+// Truncate chops frames to a maximum length.
+type Truncate struct {
+	click.Base
+	MaxLen int
+}
+
+// Class implements click.Element.
+func (e *Truncate) Class() string { return "Truncate" }
+
+// Configure implements click.Element. Arg: maximum length.
+func (e *Truncate) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	if len(args) != 1 {
+		return fmt.Errorf("Truncate: want a length argument")
+	}
+	n, err := click.ParseInt(args[0])
+	if err != nil {
+		return err
+	}
+	if n < 0 {
+		return fmt.Errorf("Truncate: negative length")
+	}
+	e.MaxLen = n
+	bc.AllocState(8, 1)
+	return nil
+}
+
+// Push implements click.Element.
+func (e *Truncate) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	e.Inst.LoadParam(ec, 0)
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		if p.Len() > e.MaxLen {
+			p.Trim(e.MaxLen)
+			core.Compute(3)
+			if p.Meta.L.Has(layout.FieldDataLen) {
+				p.Meta.Set(core, layout.FieldDataLen, uint64(p.Len()))
+			}
+		}
+		return true
+	})
+	e.Inst.Output(ec, 0, b)
+}

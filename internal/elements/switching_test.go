@@ -1,0 +1,121 @@
+package elements_test
+
+import (
+	"testing"
+
+	"packetmill/internal/click"
+	"packetmill/internal/elements"
+	"packetmill/internal/netpkt"
+)
+
+func TestSwitchSteersAndDrops(t *testing.T) {
+	h := newHarness(t, ioWrap+`
+sw :: Switch(1, 2);
+a :: Counter;
+b :: Counter;
+input -> sw;
+sw[0] -> a -> Discard;
+sw[1] -> b -> output;
+`, click.Copying)
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1}))
+	h.step()
+	if got := h.element("a").(*elements.Counter).Packets; got != 0 {
+		t.Fatalf("port 0 got %d", got)
+	}
+	if got := h.element("b").(*elements.Counter).Packets; got != 1 {
+		t.Fatalf("port 1 got %d", got)
+	}
+	// Switch(-1) drops.
+	h2 := newHarness(t, ioWrap+`input -> Switch(-1) -> output;`, click.Copying)
+	h2.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1}))
+	h2.step()
+	if len(h2.captured) != 0 || h2.rt.Drops != 1 {
+		t.Fatalf("Switch(-1): captured %d drops %d", len(h2.captured), h2.rt.Drops)
+	}
+}
+
+func TestRoundRobinSwitchAlternates(t *testing.T) {
+	h := newHarness(t, ioWrap+`
+rr :: RoundRobinSwitch(2);
+a :: Counter;
+b :: Counter;
+input -> rr;
+rr[0] -> a -> output;
+rr[1] -> b -> output;
+`, click.Copying)
+	// Inject one frame per step so each arrives in its own batch.
+	for i := 0; i < 4; i++ {
+		h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, byte(i)}, netpkt.IPv4{10, 1, 0, 1}))
+		h.step()
+	}
+	ca := h.element("a").(*elements.Counter).Packets
+	cb := h.element("b").(*elements.Counter).Packets
+	if ca != 2 || cb != 2 {
+		t.Fatalf("round robin split %d/%d, want 2/2", ca, cb)
+	}
+}
+
+func TestPaintSwitchRoutesByColor(t *testing.T) {
+	h := newHarness(t, ioWrap+`
+ps :: PaintSwitch(2);
+red :: Counter;
+blue :: Counter;
+input -> Paint(1) -> ps;
+ps[0] -> red -> Discard;
+ps[1] -> blue -> output;
+`, click.Copying)
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1}))
+	h.step()
+	if got := h.element("blue").(*elements.Counter).Packets; got != 1 {
+		t.Fatalf("blue got %d", got)
+	}
+	if got := h.element("red").(*elements.Counter).Packets; got != 0 {
+		t.Fatalf("red got %d", got)
+	}
+}
+
+func TestPadExtendsShortFrames(t *testing.T) {
+	h := newHarness(t, ioWrap+`input -> Truncate(50) -> Pad(60) -> output;`, click.Copying)
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1}))
+	h.step()
+	if len(h.captured) != 1 {
+		t.Fatal("frame lost")
+	}
+	if got := len(h.captured[0]); got != 60 {
+		t.Fatalf("frame length %d, want padded 60", got)
+	}
+	// The padded tail must be zeros.
+	for i := 50; i < 60; i++ {
+		if h.captured[0][i] != 0 {
+			t.Fatalf("pad byte %d = %#x", i, h.captured[0][i])
+		}
+	}
+}
+
+func TestTruncateChopsLongFrames(t *testing.T) {
+	h := newHarness(t, ioWrap+`input -> Truncate(80) -> output;`, click.Copying)
+	h.inject(udpFrame(200, netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1}))
+	h.inject(udpFrame(64, netpkt.IPv4{10, 0, 0, 2}, netpkt.IPv4{10, 1, 0, 1}))
+	h.step()
+	if len(h.captured) != 2 {
+		t.Fatalf("captured %d", len(h.captured))
+	}
+	if len(h.captured[0]) != 80 || len(h.captured[1]) != 64 {
+		t.Fatalf("lengths %d/%d, want 80/64", len(h.captured[0]), len(h.captured[1]))
+	}
+}
+
+func TestSwitchBadConfigs(t *testing.T) {
+	for _, cfg := range []string{
+		ioWrap + `input -> Switch() -> output;`,
+		ioWrap + `input -> RoundRobinSwitch(0) -> output;`,
+		ioWrap + `input -> PaintSwitch(-1) -> output;`,
+		ioWrap + `input -> Truncate() -> output;`,
+		// Switch port beyond declared output count.
+		ioWrap + `sw :: Switch(5, 2); input -> sw; sw[0] -> output;`,
+	} {
+		if !buildFails(t, cfg) {
+			t.Errorf("accepted: %s", cfg)
+		}
+	}
+}

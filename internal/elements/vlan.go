@@ -1,0 +1,117 @@
+// VLAN elements — the encapsulation supplement of Appendix A.3.
+package elements
+
+import (
+	"packetmill/internal/click"
+	"packetmill/internal/layout"
+	"packetmill/internal/netpkt"
+	"packetmill/internal/pktbuf"
+)
+
+func init() {
+	click.Register("VLANEncap", func() click.Element { return &VLANEncap{} })
+	click.Register("VLANDecap", func() click.Element { return &VLANDecap{} })
+}
+
+// VLANEncap inserts an 802.1Q shim after the MAC addresses using the
+// buffer headroom (zero-copy: the addresses slide forward 4 bytes).
+type VLANEncap struct {
+	click.Base
+	Tag netpkt.VLANTag
+}
+
+// Class implements click.Element.
+func (e *VLANEncap) Class() string { return "VLANEncap" }
+
+// Configure implements click.Element. Args: VLAN_ID n [, VLAN_PCP p].
+func (e *VLANEncap) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	kw, pos := click.KeywordArgs(args)
+	if v, ok := kw["VLAN_ID"]; ok {
+		n, err := click.ParseInt(v)
+		if err != nil {
+			return err
+		}
+		e.Tag.VID = uint16(n)
+	} else if len(pos) > 0 {
+		n, err := click.ParseInt(pos[0])
+		if err != nil {
+			return err
+		}
+		e.Tag.VID = uint16(n)
+	}
+	if v, ok := kw["VLAN_PCP"]; ok {
+		n, err := click.ParseInt(v)
+		if err != nil {
+			return err
+		}
+		e.Tag.PCP = uint8(n)
+	}
+	bc.AllocState(8, 2)
+	return nil
+}
+
+// Push implements click.Element.
+func (e *VLANEncap) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	e.Inst.LoadParam(ec, 0)
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		if p.Headroom() < netpkt.VLANTagLen || p.Len() < netpkt.EtherHdrLen {
+			return true
+		}
+		// Slide the MAC addresses 4 bytes forward, then write the shim.
+		old := p.Load(core, 0, 12)
+		var macs [12]byte
+		copy(macs[:], old)
+		p.Push(netpkt.VLANTagLen)
+		front := p.Store(core, 0, 16)
+		copy(front[0:12], macs[:])
+		netpkt.EncodeVLANInPlace(front, e.Tag, 0)
+		core.Compute(28)
+		// Update the VLAN annotation if the descriptor carries one.
+		if p.Meta.L.Has(layout.FieldAnnoVLAN) {
+			tci := uint64(e.Tag.PCP&7)<<13 | uint64(e.Tag.VID&0x0fff)
+			p.Meta.Set(core, layout.FieldAnnoVLAN, tci)
+		}
+		return true
+	})
+	e.Inst.Output(ec, 0, b)
+}
+
+// VLANDecap removes the 802.1Q shim when present.
+type VLANDecap struct {
+	click.Base
+}
+
+// Class implements click.Element.
+func (e *VLANDecap) Class() string { return "VLANDecap" }
+
+// Configure implements click.Element.
+func (e *VLANDecap) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	bc.AllocState(0, 0)
+	return nil
+}
+
+// Push implements click.Element.
+func (e *VLANDecap) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		if p.Len() < netpkt.EtherHdrLen+netpkt.VLANTagLen {
+			return true
+		}
+		hdr := p.Load(core, 12, 2)
+		if readU16(hdr) != netpkt.EtherTypeVLAN {
+			return true
+		}
+		macs := p.Load(core, 0, 12)
+		var save [12]byte
+		copy(save[:], macs)
+		p.Pull(netpkt.VLANTagLen)
+		front := p.Store(core, 0, 12)
+		copy(front, save[:])
+		core.Compute(28)
+		return true
+	})
+	e.Inst.Output(ec, 0, b)
+}

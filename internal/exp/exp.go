@@ -1,0 +1,125 @@
+// Package exp regenerates every table and figure of the paper's
+// evaluation (§4): each Experiment runs the corresponding workloads on
+// the simulated testbed and reports the same rows/series the paper plots.
+// Absolute numbers come from a simulator, not the authors' Xeon testbed;
+// the shapes — who wins, by what factor, where the knees fall — are the
+// reproduction targets (see EXPERIMENTS.md).
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"packetmill/internal/click"
+	"packetmill/internal/core"
+	_ "packetmill/internal/elements"
+	"packetmill/internal/nf"
+	"packetmill/internal/testbed"
+)
+
+// Table is one reproduced exhibit.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Add appends a formatted row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// TSV renders the table as tab-separated values with a header.
+func (t *Table) TSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — %s\n", t.ID, t.Title)
+	b.WriteString(strings.Join(t.Columns, "\t"))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, "\t"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Experiment produces one or more tables. scale (0,1] shrinks packet
+// counts for quick runs; 1.0 is the full configuration.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(scale float64) []*Table
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(scale float64) []*Table) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every registered experiment, ordered by ID.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// pkts scales a packet budget.
+func pkts(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < 2000 {
+		n = 2000
+	}
+	return n
+}
+
+// runVanilla runs a config under the vanilla FastClick build (Copying
+// model, no optimizations).
+func runVanilla(config string, o testbed.Options) (*testbed.Result, error) {
+	o.Model = click.Copying
+	o.Opt = click.OptLevel{}
+	return testbed.Run(config, o)
+}
+
+// runPacketMill runs a config under the full PacketMill build: X-Change
+// plus the source-code optimizations (Figure 1's legend: "X-Change +
+// Source-Code Optimizations"; the combined impact excludes metadata
+// reordering, matching §4.4's footnote).
+func runPacketMill(config string, o testbed.Options) (*testbed.Result, error) {
+	p, err := core.Parse(config)
+	if err != nil {
+		return nil, err
+	}
+	p.Model = click.XChange
+	if err := p.Mill(); err != nil {
+		return nil, err
+	}
+	return p.Run(o)
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// freqSweep is the paper's frequency axis.
+var freqSweep = []float64{1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4, 2.6, 2.8, 3.0}
+
+// sizeSweep is Figure 6/11's packet-size axis (subset for runtime).
+var sizeSweep = []int{64, 192, 320, 448, 576, 704, 832, 960, 1088, 1216, 1344, 1472}
+
+// campus configures campus-mix traffic at the given rate; fixed size 0
+// means the mix.
+func campusOpts(freq, rate float64, packets int) testbed.Options {
+	return testbed.Options{FreqGHz: freq, RateGbps: rate, Packets: packets}
+}
+
+var _ = nf.Forwarder // imported by sibling files

@@ -1,0 +1,182 @@
+package exp
+
+import (
+	"testing"
+)
+
+// allRows returns every row matching the given column values.
+func allRows(tb *Table, match map[int]string) [][]string {
+	var out [][]string
+	for _, r := range tb.Rows {
+		ok := true
+		for i, want := range match {
+			if r[i] != want {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestFig7Shape(t *testing.T) {
+	tb := fig7(tiny)[0]
+	// Improvement must be positive everywhere, and the heavy corner's
+	// improvement must be below the light corner's (gains shrink as NFs
+	// get memory/compute-bound).
+	light := cell(t, tb, map[int]string{0: "1", 1: "0", 2: "0"}, 5)
+	heavy := cell(t, tb, map[int]string{0: "5", 1: "20", 2: "16"}, 5)
+	if light <= 0 || heavy <= 0 {
+		t.Fatalf("negative improvement: light=%.1f heavy=%.1f", light, heavy)
+	}
+	if heavy >= light {
+		t.Fatalf("improvement did not shrink with intensity: light=%.1f heavy=%.1f", light, heavy)
+	}
+	// Vanilla throughput must fall as W grows at fixed S,N.
+	v0 := cell(t, tb, map[int]string{0: "5", 1: "0", 2: "0"}, 3)
+	v20 := cell(t, tb, map[int]string{0: "5", 1: "20", 2: "0"}, 3)
+	if v20 >= v0 {
+		t.Fatalf("compute intensity free: W=0 %.1f, W=20 %.1f", v0, v20)
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	tb := fig8(tiny)[0]
+	for _, fr := range []string{"1.2", "3.0"} {
+		v := cell(t, tb, map[int]string{0: "vanilla", 1: fr}, 2)
+		p := cell(t, tb, map[int]string{0: "packetmill", 1: fr}, 2)
+		if p <= v {
+			t.Errorf("@%s GHz: packetmill %.1f ≤ vanilla %.1f", fr, p, v)
+		}
+	}
+	// Latency falls with frequency for the vanilla build.
+	l12 := cell(t, tb, map[int]string{0: "vanilla", 1: "1.2"}, 3)
+	l30 := cell(t, tb, map[int]string{0: "vanilla", 1: "3.0"}, 3)
+	if l30 >= l12 {
+		t.Errorf("median latency not falling: %.0f -> %.0f µs", l12, l30)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tb := fig10(tiny)[0]
+	v1 := cell(t, tb, map[int]string{0: "vanilla", 1: "1"}, 2)
+	v4 := cell(t, tb, map[int]string{0: "vanilla", 1: "4"}, 2)
+	p1 := cell(t, tb, map[int]string{0: "packetmill", 1: "1"}, 2)
+	p2 := cell(t, tb, map[int]string{0: "packetmill", 1: "2"}, 2)
+	if v4 < v1*1.5 {
+		t.Errorf("vanilla NAT not scaling: %.1f -> %.1f", v1, v4)
+	}
+	if p1 <= v1 {
+		t.Errorf("single-core: packetmill %.1f ≤ vanilla %.1f", p1, v1)
+	}
+	if p2 < 90 {
+		t.Errorf("packetmill 2-core NAT below line-rate band: %.1f", p2)
+	}
+}
+
+func TestFig11aShape(t *testing.T) {
+	tb := fig11a(tiny)[0]
+	for _, size := range []string{"64", "704"} {
+		fc := cell(t, tb, map[int]string{0: "fastclick-copying", 1: size}, 2)
+		l2 := cell(t, tb, map[int]string{0: "l2fwd", 1: size}, 2)
+		pm := cell(t, tb, map[int]string{0: "packetmill", 1: size}, 2)
+		lx := cell(t, tb, map[int]string{0: "l2fwd-xchg", 1: size}, 2)
+		if !(lx > l2) {
+			t.Errorf("size %s: l2fwd-xchg %.1f ≤ l2fwd %.1f", size, lx, l2)
+		}
+		if !(pm > fc) {
+			t.Errorf("size %s: packetmill %.1f ≤ fastclick %.1f", size, pm, fc)
+		}
+		if !(pm > l2) {
+			t.Errorf("size %s: packetmill %.1f ≤ plain l2fwd %.1f (the paper's surprise win)", size, pm, l2)
+		}
+	}
+}
+
+func TestFig11bShape(t *testing.T) {
+	tb := fig11b(tiny)[0]
+	size := "64"
+	vpp := cell(t, tb, map[int]string{0: "vpp", 1: size}, 2)
+	fc := cell(t, tb, map[int]string{0: "fastclick-copying", 1: size}, 2)
+	fl := cell(t, tb, map[int]string{0: "fastclick-light", 1: size}, 2)
+	bs := cell(t, tb, map[int]string{0: "bess", 1: size}, 2)
+	pm := cell(t, tb, map[int]string{0: "packetmill", 1: size}, 2)
+	if !(pm > bs && pm > vpp && pm > fc && pm > fl) {
+		t.Errorf("packetmill (%.1f) not best overall: vpp=%.1f fc=%.1f fl=%.1f bess=%.1f",
+			pm, vpp, fc, fl, bs)
+	}
+	// VPP lands near FastClick-Copying (both pay a copy); both trail the
+	// overlay engines.
+	if !(bs > fc) {
+		t.Errorf("bess %.1f ≤ fastclick-copying %.1f", bs, fc)
+	}
+	if !(fl > fc) {
+		t.Errorf("fastclick-light %.1f ≤ fastclick-copying %.1f", fl, fc)
+	}
+}
+
+func TestAblPoolShape(t *testing.T) {
+	tb := ablPool(tiny)[0]
+	// LIFO flat; FIFO degrades with size.
+	lifoSmall := cell(t, tb, map[int]string{0: "lifo-warm", 1: "33"}, 2)
+	lifoBig := cell(t, tb, map[int]string{0: "lifo-warm", 1: "32768"}, 2)
+	fifoSmall := cell(t, tb, map[int]string{0: "fifo-cycling", 1: "33"}, 2)
+	fifoBig := cell(t, tb, map[int]string{0: "fifo-cycling", 1: "32768"}, 2)
+	if lifoBig < lifoSmall*0.97 {
+		t.Errorf("LIFO degraded with pool size: %.2f -> %.2f", lifoSmall, lifoBig)
+	}
+	if fifoBig >= fifoSmall*0.99 {
+		t.Errorf("FIFO cycling shows no residency cliff: %.2f -> %.2f", fifoSmall, fifoBig)
+	}
+	if rows := allRows(tb, map[int]string{0: "lifo-warm"}); len(rows) != 5 {
+		t.Errorf("lifo rows: %d", len(rows))
+	}
+}
+
+func TestAblDDIOShape(t *testing.T) {
+	tb := ablDDIO(tiny)[0]
+	miss1 := cell(t, tb, map[int]string{0: "1"}, 2)
+	miss8 := cell(t, tb, map[int]string{0: "8"}, 2)
+	if miss1 <= miss8 {
+		t.Errorf("narrow DDIO window not worse: 1-way %.1f%% vs 8-way %.1f%%", miss1, miss8)
+	}
+}
+
+func TestAblReorderShape(t *testing.T) {
+	tb := ablReorder(tiny)[0]
+	noLTO := cell(t, tb, map[int]string{0: "no-lto"}, 1)
+	lto := cell(t, tb, map[int]string{0: "lto"}, 1)
+	reord := cell(t, tb, map[int]string{0: "lto+reorder-count"}, 1)
+	if lto <= noLTO {
+		t.Errorf("LTO inlining free: %.1f vs %.1f", lto, noLTO)
+	}
+	if reord < lto*0.99 {
+		t.Errorf("reordering regressed: %.2f vs %.2f", reord, lto)
+	}
+}
+
+func TestFig4FitsShape(t *testing.T) {
+	tables := fig4(tiny)
+	if len(tables) != 2 {
+		t.Fatalf("fig4 returned %d tables", len(tables))
+	}
+	fits := tables[1]
+	for _, variant := range []string{"vanilla", "all"} {
+		a := cell(t, fits, map[int]string{0: variant}, 1)
+		b := cell(t, fits, map[int]string{0: variant}, 2)
+		r2 := cell(t, fits, map[int]string{0: variant}, 3)
+		if a <= 0 || b <= 0 {
+			t.Errorf("%s: throughput fit %0.2f + %0.2f·f lacks the paper's positive intercept/slope", variant, a, b)
+		}
+		if r2 < 0.95 {
+			t.Errorf("%s: throughput fit R² = %.3f, not near-linear", variant, r2)
+		}
+		latC := cell(t, fits, map[int]string{0: variant}, 6)
+		if latC <= 0 {
+			t.Errorf("%s: latency quadratic curvature %.2f not positive", variant, latC)
+		}
+	}
+}

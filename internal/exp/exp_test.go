@@ -1,0 +1,172 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tiny scale for CI-speed runs.
+const tiny = 0.1
+
+func cell(t *testing.T, tb *Table, rowMatch map[int]string, col int) float64 {
+	t.Helper()
+	for _, r := range tb.Rows {
+		ok := true
+		for i, want := range rowMatch {
+			if r[i] != want {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			v, err := strconv.ParseFloat(r[col], 64)
+			if err != nil {
+				t.Fatalf("cell %v/%d: %v", rowMatch, col, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("row %v not found in %s", rowMatch, tb.ID)
+	return 0
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"abl-burst", "abl-ddio", "abl-pool", "abl-reorder", "abl-vector",
+		"fig1", "fig10", "fig11a", "fig11b", "fig4", "fig5a", "fig5b",
+		"fig6", "fig7", "fig8", "fig9", "tab1"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("%d experiments registered, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Fatalf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+	}
+	if _, ok := ByID("fig4"); !ok {
+		t.Fatal("ByID broken")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID found a ghost")
+	}
+}
+
+func TestTSVRendering(t *testing.T) {
+	tb := &Table{ID: "x", Title: "y", Columns: []string{"a", "b"}}
+	tb.Add("1", "2")
+	s := tb.TSV()
+	if !strings.Contains(s, "a\tb") || !strings.Contains(s, "1\t2") {
+		t.Fatalf("TSV: %q", s)
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	tb := fig1(tiny)[0]
+	// PacketMill's knee is to the right: at 100 Gbps offered it must
+	// push more throughput at lower p99 than vanilla.
+	vThr := cell(t, tb, map[int]string{0: "vanilla", 1: "100.0"}, 2)
+	pThr := cell(t, tb, map[int]string{0: "packetmill", 1: "100.0"}, 2)
+	vP99 := cell(t, tb, map[int]string{0: "vanilla", 1: "100.0"}, 3)
+	pP99 := cell(t, tb, map[int]string{0: "packetmill", 1: "100.0"}, 3)
+	if pThr <= vThr {
+		t.Errorf("saturated throughput: packetmill %.1f ≤ vanilla %.1f", pThr, vThr)
+	}
+	if pP99 >= vP99 {
+		t.Errorf("saturated p99: packetmill %.1f ≥ vanilla %.1f µs", pP99, vP99)
+	}
+	// At light load both serve with low latency.
+	vLight := cell(t, tb, map[int]string{0: "vanilla", 1: "5.0"}, 3)
+	if vLight >= vP99 {
+		t.Errorf("no latency knee: light-load p99 %.1f ≥ saturated %.1f", vLight, vP99)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tb := fig4(tiny)[0]
+	// Throughput grows with frequency for every variant, and the fully
+	// optimized build dominates vanilla at every frequency.
+	for _, f := range []string{"1.2", "2.2", "3.0"} {
+		v := cell(t, tb, map[int]string{0: "vanilla", 1: f}, 2)
+		a := cell(t, tb, map[int]string{0: "all", 1: f}, 2)
+		if a <= v {
+			t.Errorf("@%s GHz: all %.1f ≤ vanilla %.1f", f, a, v)
+		}
+	}
+	lo := cell(t, tb, map[int]string{0: "vanilla", 1: "1.2"}, 2)
+	hi := cell(t, tb, map[int]string{0: "vanilla", 1: "3.0"}, 2)
+	if hi <= lo {
+		t.Errorf("vanilla not scaling with frequency: %.1f → %.1f", lo, hi)
+	}
+	// Median latency at saturation falls as throughput rises.
+	lLo := cell(t, tb, map[int]string{0: "vanilla", 1: "1.2"}, 3)
+	lHi := cell(t, tb, map[int]string{0: "vanilla", 1: "3.0"}, 3)
+	if lHi >= lLo {
+		t.Errorf("median latency not falling with frequency: %.1f → %.1f µs", lLo, lHi)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	tb := tab1(tiny)[0]
+	vMpps := cell(t, tb, map[int]string{0: "vanilla"}, 4)
+	aMpps := cell(t, tb, map[int]string{0: "all"}, 4)
+	if aMpps <= vMpps {
+		t.Errorf("Mpps: all %.2f ≤ vanilla %.2f", aMpps, vMpps)
+	}
+	vIPC := cell(t, tb, map[int]string{0: "vanilla"}, 3)
+	aIPC := cell(t, tb, map[int]string{0: "all"}, 3)
+	if aIPC <= vIPC {
+		t.Errorf("IPC: all %.2f ≤ vanilla %.2f", aIPC, vIPC)
+	}
+	// IPC in a plausible band (Table 1: 2.24–2.59).
+	if vIPC < 0.8 || vIPC > 4 {
+		t.Errorf("vanilla IPC %.2f implausible", vIPC)
+	}
+}
+
+func TestFig5aShape(t *testing.T) {
+	tb := fig5a(tiny)[0]
+	for _, f := range []string{"1.2", "2.0"} {
+		cp := cell(t, tb, map[int]string{0: "copying", 1: f}, 2)
+		ov := cell(t, tb, map[int]string{0: "overlaying", 1: f}, 2)
+		xc := cell(t, tb, map[int]string{0: "x-change", 1: f}, 2)
+		if !(xc > ov && ov > cp) {
+			t.Errorf("@%s GHz: ordering violated cp=%.1f ov=%.1f xc=%.1f", f, cp, ov, xc)
+		}
+	}
+	// X-Change saturates: its 2.4→3.0 gain is marginal.
+	x24 := cell(t, tb, map[int]string{0: "x-change", 1: "2.4"}, 2)
+	x30 := cell(t, tb, map[int]string{0: "x-change", 1: "3.0"}, 2)
+	if x30 > x24*1.1 {
+		t.Errorf("x-change did not saturate: %.1f → %.1f", x24, x30)
+	}
+}
+
+func TestFig5bCrosses100G(t *testing.T) {
+	tb := fig5b(tiny)[0]
+	xc := cell(t, tb, map[int]string{0: "x-change", 1: "3.0"}, 2)
+	cp := cell(t, tb, map[int]string{0: "copying", 1: "3.0"}, 2)
+	if xc <= 100 {
+		t.Errorf("two-NIC X-Change = %.1f Gbps, want >100", xc)
+	}
+	if cp >= xc {
+		t.Errorf("copying %.1f ≥ x-change %.1f on two NICs", cp, xc)
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	tb := fig6(tiny)[0]
+	// PacketMill leads at every size; PPS falls once goodput saturates.
+	for _, size := range []string{"64", "704", "1472"} {
+		v := cell(t, tb, map[int]string{0: "vanilla", 1: size}, 2)
+		p := cell(t, tb, map[int]string{0: "packetmill", 1: size}, 2)
+		if p <= v {
+			t.Errorf("size %s: packetmill %.1f ≤ vanilla %.1f", size, p, v)
+		}
+	}
+	pps832 := cell(t, tb, map[int]string{0: "packetmill", 1: "832"}, 3)
+	pps1472 := cell(t, tb, map[int]string{0: "packetmill", 1: "1472"}, 3)
+	if pps1472 >= pps832 {
+		t.Errorf("PPS roll-off missing: %.2f @832 ≤ %.2f @1472", pps832, pps1472)
+	}
+}

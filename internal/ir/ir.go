@@ -1,0 +1,200 @@
+// Package ir is the dispatch-level intermediate representation of a
+// compiled network function — the artifact PacketMill's passes transform
+// (Figure 3's "Merged IR Code" → "Optimized IR Code").
+//
+// Element *bodies* stay native (they are Go methods, as they are C++ in
+// FastClick); what the IR captures is everything the configuration-driven
+// passes change: how each element hop dispatches (virtual / direct /
+// inlined), where each element's state lives (.data vs heap), whether each
+// parameter is a memory load or an immediate, and the metadata struct's
+// field offsets. The textual form is deliberately LLVM-flavoured so dumps
+// read like the paper's Listing 4.
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"packetmill/internal/layout"
+	"packetmill/internal/machine"
+)
+
+// Segment says where an element object lives.
+type Segment int
+
+// Placement segments.
+const (
+	SegHeap Segment = iota
+	SegData         // static .data/.bss (contiguous)
+)
+
+func (s Segment) String() string {
+	if s == SegData {
+		return ".data"
+	}
+	return "heap"
+}
+
+// ParamKind says how a configuration parameter reaches the code.
+type ParamKind int
+
+// Parameter kinds.
+const (
+	ParamLoad  ParamKind = iota // loaded from element state each use
+	ParamConst                  // embedded immediate (constant propagation)
+)
+
+func (p ParamKind) String() string {
+	if p == ParamConst {
+		return "const"
+	}
+	return "load"
+}
+
+// Param is one element parameter.
+type Param struct {
+	Name  string
+	Value string
+	Kind  ParamKind
+}
+
+// Func is one element instance's entry point.
+type Func struct {
+	Name   string // instance name
+	Class  string
+	Seg    Segment
+	Params []Param
+	// Calls are the outgoing hops in output-port order (nil for
+	// unconnected ports).
+	Calls []*Call
+}
+
+// Call is one element hand-off site.
+type Call struct {
+	Callee string
+	ToPort int
+	Kind   machine.CallKind
+}
+
+// Module is a whole compiled NF.
+type Module struct {
+	Name  string
+	Funcs []*Func
+	// Meta is the packet-descriptor layout in effect.
+	Meta *layout.Layout
+	// Notes records what each pass did (the paper's pass pipeline log).
+	Notes []string
+}
+
+// Func returns the function named name, or nil.
+func (m *Module) Func(name string) *Func {
+	for _, f := range m.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Note appends a pass note.
+func (m *Module) Note(format string, args ...any) {
+	m.Notes = append(m.Notes, fmt.Sprintf(format, args...))
+}
+
+// Stats summarizes dispatch kinds for tests and reports.
+type Stats struct {
+	Virtual, Direct, Inlined int
+	HeapFuncs, DataFuncs     int
+	ConstParams, LoadParams  int
+}
+
+// Stats computes the module's dispatch/placement statistics.
+func (m *Module) Stats() Stats {
+	var s Stats
+	for _, f := range m.Funcs {
+		if f.Seg == SegData {
+			s.DataFuncs++
+		} else {
+			s.HeapFuncs++
+		}
+		for _, p := range f.Params {
+			if p.Kind == ParamConst {
+				s.ConstParams++
+			} else {
+				s.LoadParams++
+			}
+		}
+		for _, c := range f.Calls {
+			if c == nil {
+				continue
+			}
+			switch c.Kind {
+			case machine.CallVirtual:
+				s.Virtual++
+			case machine.CallDirect:
+				s.Direct++
+			case machine.CallInlined:
+				s.Inlined++
+			}
+		}
+	}
+	return s
+}
+
+// Dump renders the module in an LLVM-flavoured textual form.
+func (m *Module) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; module %s\n", m.Name)
+	for _, n := range m.Notes {
+		fmt.Fprintf(&b, "; pass: %s\n", n)
+	}
+	if m.Meta != nil {
+		fmt.Fprintf(&b, "%%class.Packet = type ; %s\n", m.Meta.String())
+	}
+	for _, f := range m.Funcs {
+		fmt.Fprintf(&b, "\n@%s.state = global %%class.%s section %q\n", f.Name, f.Class, f.Seg.String())
+		fmt.Fprintf(&b, "define void @%s.push(%%class.PacketBatch* %%b) {\n", f.Name)
+		for _, p := range f.Params {
+			switch p.Kind {
+			case ParamConst:
+				fmt.Fprintf(&b, "  %%%s = i64 %s ; constant-embedded\n", sanitize(p.Name), p.Value)
+			default:
+				fmt.Fprintf(&b, "  %%%s = load i64, i64* getelementptr(@%s.state, %s)\n",
+					sanitize(p.Name), f.Name, p.Name)
+			}
+		}
+		for port, c := range f.Calls {
+			if c == nil {
+				fmt.Fprintf(&b, "  ; output %d unconnected\n", port)
+				continue
+			}
+			switch c.Kind {
+			case machine.CallInlined:
+				fmt.Fprintf(&b, "  ; inlined body of @%s.push (port %d -> [%d])\n", c.Callee, port, c.ToPort)
+			case machine.CallDirect:
+				fmt.Fprintf(&b, "  call void @%s.push(%%b) ; port %d -> [%d]\n", c.Callee, port, c.ToPort)
+			default:
+				fmt.Fprintf(&b, "  %%vtbl%d = load void(...)**, @%s.state\n", port, f.Name)
+				fmt.Fprintf(&b, "  call void %%vtbl%d(%%b) ; virtual, port %d -> [%d]@%s\n", port, port, c.ToPort, c.Callee)
+			}
+		}
+		b.WriteString("  ret void\n}\n")
+	}
+	return b.String()
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, strings.ToLower(s))
+}
+
+// SortFuncs orders functions by name for deterministic dumps.
+func (m *Module) SortFuncs() {
+	sort.Slice(m.Funcs, func(i, j int) bool { return m.Funcs[i].Name < m.Funcs[j].Name })
+}

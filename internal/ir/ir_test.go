@@ -1,0 +1,113 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"packetmill/internal/layout"
+	"packetmill/internal/machine"
+)
+
+func sampleModule() *Module {
+	m := &Module{Name: "test", Meta: layout.ClickPacket()}
+	f1 := &Func{Name: "input", Class: "FromDPDKDevice", Seg: SegHeap,
+		Params: []Param{{Name: "arg0", Value: "PORT 0", Kind: ParamLoad}},
+		Calls:  []*Call{{Callee: "mirror", Kind: machine.CallVirtual}},
+	}
+	f2 := &Func{Name: "mirror", Class: "EtherMirror", Seg: SegHeap,
+		Calls: []*Call{{Callee: "output", Kind: machine.CallVirtual}},
+	}
+	f3 := &Func{Name: "output", Class: "ToDPDKDevice", Seg: SegHeap}
+	m.Funcs = []*Func{f1, f2, f3}
+	return m
+}
+
+func TestStats(t *testing.T) {
+	m := sampleModule()
+	st := m.Stats()
+	if st.Virtual != 2 || st.Direct != 0 || st.Inlined != 0 {
+		t.Fatalf("dispatch stats: %+v", st)
+	}
+	if st.HeapFuncs != 3 || st.DataFuncs != 0 {
+		t.Fatalf("placement stats: %+v", st)
+	}
+	if st.LoadParams != 1 || st.ConstParams != 0 {
+		t.Fatalf("param stats: %+v", st)
+	}
+}
+
+func TestStatsAfterTransform(t *testing.T) {
+	m := sampleModule()
+	for _, f := range m.Funcs {
+		f.Seg = SegData
+		for i := range f.Params {
+			f.Params[i].Kind = ParamConst
+		}
+		for _, c := range f.Calls {
+			c.Kind = machine.CallInlined
+		}
+	}
+	st := m.Stats()
+	if st.Inlined != 2 || st.Virtual != 0 || st.DataFuncs != 3 || st.ConstParams != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestDumpContainsStructure(t *testing.T) {
+	m := sampleModule()
+	m.Note("test pass: did a thing")
+	d := m.Dump()
+	for _, want := range []string{
+		"; module test",
+		"; pass: test pass: did a thing",
+		"%class.Packet",
+		"@input.state",
+		"define void @input.push",
+		"%vtbl",
+		"load i64", // the load-kind param
+		`section "heap"`,
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestDumpUnconnectedPort(t *testing.T) {
+	m := &Module{Name: "x"}
+	m.Funcs = []*Func{{Name: "c", Class: "Classifier",
+		Calls: []*Call{nil, {Callee: "d", Kind: machine.CallDirect}}}}
+	d := m.Dump()
+	if !strings.Contains(d, "output 0 unconnected") {
+		t.Fatalf("dump: %s", d)
+	}
+	if !strings.Contains(d, "call void @d.push") {
+		t.Fatalf("dump: %s", d)
+	}
+}
+
+func TestFuncLookupAndSort(t *testing.T) {
+	m := sampleModule()
+	if m.Func("mirror") == nil || m.Func("ghost") != nil {
+		t.Fatal("Func lookup broken")
+	}
+	m.SortFuncs()
+	if m.Funcs[0].Name != "input" || m.Funcs[2].Name != "output" {
+		t.Fatalf("sort order: %s %s %s", m.Funcs[0].Name, m.Funcs[1].Name, m.Funcs[2].Name)
+	}
+}
+
+func TestSegmentAndParamStrings(t *testing.T) {
+	if SegHeap.String() != "heap" || SegData.String() != ".data" {
+		t.Fatal("segment strings")
+	}
+	if ParamLoad.String() != "load" || ParamConst.String() != "const" {
+		t.Fatal("param strings")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if got := sanitize("Ether@Mirror-1"); strings.ContainsAny(got, "@-") {
+		t.Fatalf("sanitize: %q", got)
+	}
+}

@@ -1,0 +1,72 @@
+package l2fwd
+
+import (
+	"testing"
+
+	"packetmill/internal/click"
+	"packetmill/internal/layout"
+	"packetmill/internal/nic"
+	"packetmill/internal/testbed"
+)
+
+func runApp(t *testing.T, model click.MetadataModel, ml *layout.Layout, freq float64) *testbed.Result {
+	t.Helper()
+	return runAppSized(t, model, ml, freq, 512, nil)
+}
+
+func runAppSized(t *testing.T, model click.MetadataModel, ml *layout.Layout, freq float64, size int, nicCfg *nic.Config) *testbed.Result {
+	t.Helper()
+	res, err := testbed.RunEngines(testbed.Options{
+		FreqGHz: freq, Model: model, MetaLayout: ml, NICConfig: nicCfg,
+		FixedSize: size, RateGbps: 100, Packets: 6000,
+	}, func(d *testbed.DUT, core int) (testbed.Engine, error) {
+		return New(d.PortsFor[core][0]), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestL2fwdForwards(t *testing.T) {
+	res := runApp(t, click.Copying, nil, 2.3)
+	if res.Packets == 0 {
+		t.Fatal("nothing forwarded")
+	}
+	if res.Dropped > res.Offered/2 {
+		t.Fatalf("dropped %d of %d", res.Dropped, res.Offered)
+	}
+}
+
+func TestL2fwdXchgForwards(t *testing.T) {
+	res := runApp(t, click.XChange, MinimalDescriptorLayout(), 2.3)
+	if res.Packets == 0 {
+		t.Fatal("nothing forwarded")
+	}
+}
+
+func TestXchgFasterThanStock(t *testing.T) {
+	// Figure 11a: l2fwd-xchg forwards up to ~59% faster than l2fwd at
+	// small packet sizes. Run both CPU-bound at 1.2 GHz.
+	// Lift the NIC's per-queue PPS ceiling so the cores, not the
+	// adapter, are the bottleneck (the paper's vectorized-PMD caveat).
+	cfg := nic.DefaultConfig("uncapped")
+	cfg.MaxQueuePPS = 0
+	stock := runAppSized(t, click.Copying, nil, 1.2, 64, &cfg)
+	xchg := runAppSized(t, click.XChange, MinimalDescriptorLayout(), 1.2, 64, &cfg)
+	ratio := xchg.Mpps() / stock.Mpps()
+	t.Logf("l2fwd=%.2f Mpps l2fwd-xchg=%.2f Mpps ratio=%.2f", stock.Mpps(), xchg.Mpps(), ratio)
+	if ratio < 1.15 {
+		t.Fatalf("l2fwd-xchg only %.2fx faster than l2fwd", ratio)
+	}
+}
+
+func TestPayloadIntact(t *testing.T) {
+	// The rewrite must not corrupt anything beyond the MAC addresses;
+	// validated indirectly by the forwarded byte count matching packet
+	// count × size.
+	res := runApp(t, click.Copying, nil, 2.3)
+	if res.Bytes != res.Packets*512 {
+		t.Fatalf("bytes %d for %d packets of 512", res.Bytes, res.Packets)
+	}
+}

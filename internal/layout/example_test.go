@@ -1,0 +1,33 @@
+package layout_test
+
+import (
+	"fmt"
+
+	"packetmill/internal/layout"
+)
+
+// ExampleReorder shows the §3.2.2 pass: profile which fields an NF
+// touches, then re-pack the struct so the hot ones share the first cache
+// line.
+func ExampleReorder() {
+	l := layout.ClickPacket()
+	var prof layout.OrderProfile
+	// A router's hot set: lengths and the routing annotation.
+	for i := 0; i < 100; i++ {
+		prof.Record(layout.FieldDataLen)
+		prof.Record(layout.FieldAnnoDstIP)
+	}
+	prof.Record(layout.FieldTimestamp)
+
+	fmt.Printf("before: anno_dst_ip at offset %d (line %d)\n",
+		l.Offset(layout.FieldAnnoDstIP), l.LineOf(layout.FieldAnnoDstIP))
+	nl := layout.Reorder(l, &prof, layout.ByAccessCount)
+	fmt.Printf("after:  anno_dst_ip at offset %d (line %d)\n",
+		nl.Offset(layout.FieldAnnoDstIP), nl.LineOf(layout.FieldAnnoDstIP))
+	fmt.Printf("hot lines touched: %d -> %d\n",
+		layout.LinesTouched(l, &prof), layout.LinesTouched(nl, &prof))
+	// Output:
+	// before: anno_dst_ip at offset 76 (line 1)
+	// after:  anno_dst_ip at offset 4 (line 0)
+	// hot lines touched: 2 -> 1
+}

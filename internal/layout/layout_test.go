@@ -1,0 +1,290 @@
+package layout
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"packetmill/internal/memsim"
+)
+
+func TestFieldSizesComplete(t *testing.T) {
+	for f := FieldID(0); f < NumFields; f++ {
+		if f.Size() == 0 {
+			t.Errorf("field %s has zero size", f)
+		}
+		if f.String() == "" {
+			t.Errorf("field %d has no name", f)
+		}
+	}
+}
+
+func TestNewPacksWithAlignment(t *testing.T) {
+	l := New("t", []FieldID{FieldAnnoPaint, FieldPktLen, FieldBufAddr})
+	if l.Offset(FieldAnnoPaint) != 0 {
+		t.Fatalf("paint at %d", l.Offset(FieldAnnoPaint))
+	}
+	if l.Offset(FieldPktLen)%4 != 0 {
+		t.Fatalf("u32 misaligned: %d", l.Offset(FieldPktLen))
+	}
+	if l.Offset(FieldBufAddr)%8 != 0 {
+		t.Fatalf("u64 misaligned: %d", l.Offset(FieldBufAddr))
+	}
+	if l.Size()%memsim.CacheLineSize != 0 {
+		t.Fatalf("size %d not line multiple", l.Size())
+	}
+}
+
+func TestOffsetsNeverOverlap(t *testing.T) {
+	check := func(l *Layout) {
+		t.Helper()
+		type span struct {
+			f      FieldID
+			lo, hi uint32
+		}
+		var spans []span
+		for _, f := range l.Fields() {
+			lo := l.Offset(f)
+			hi := lo + f.Size()
+			for _, s := range spans {
+				if lo < s.hi && hi > s.lo {
+					t.Fatalf("%s: %s [%d,%d) overlaps %s [%d,%d)",
+						l.Name(), f, lo, hi, s.f, s.lo, s.hi)
+				}
+			}
+			if hi > l.Size() {
+				t.Fatalf("%s: %s extends past struct size", l.Name(), f)
+			}
+			spans = append(spans, span{f, lo, hi})
+		}
+	}
+	for _, l := range []*Layout{RteMbuf(), ClickPacket(), OverlayPacket(), XchgPacket(), MinimalXchg(), VLIBBuffer()} {
+		check(l)
+	}
+}
+
+func TestCanonicalLayoutShapes(t *testing.T) {
+	if got := RteMbuf().Size(); got != 128 {
+		t.Errorf("rte_mbuf size = %d, want 128 (two cache lines)", got)
+	}
+	// RX-hot fields must sit in the first line of rte_mbuf, as in DPDK.
+	m := RteMbuf()
+	for _, f := range []FieldID{FieldBufAddr, FieldPktLen, FieldDataLen, FieldVlanTCI, FieldRSSHash} {
+		if m.LineOf(f) != 0 {
+			t.Errorf("rte_mbuf: %s in line %d, want 0", f, m.LineOf(f))
+		}
+	}
+	if m.LineOf(FieldPool) != 1 {
+		t.Errorf("rte_mbuf: pool in line %d, want 1", m.LineOf(FieldPool))
+	}
+	if got := MinimalXchg().Size(); got != 64 {
+		t.Errorf("minimal xchg size = %d, want 64 (one line)", got)
+	}
+	if ov := OverlayPacket(); ov.FixedPrefix() != 128 {
+		t.Errorf("overlay prefix = %d", ov.FixedPrefix())
+	}
+	// Overlay must be strictly fatter than the xchg descriptor.
+	if OverlayPacket().Size() <= XchgPacket().Size() {
+		t.Error("overlay layout not fatter than xchg layout")
+	}
+}
+
+func TestDuplicateFieldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate field")
+		}
+	}()
+	New("dup", []FieldID{FieldPktLen, FieldPktLen})
+}
+
+func TestOffsetPanicsOnMissingField(t *testing.T) {
+	l := MinimalXchg()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on absent field")
+		}
+	}()
+	l.Offset(FieldAnnoDstIP)
+}
+
+func TestHasAndFields(t *testing.T) {
+	l := MinimalXchg()
+	if !l.Has(FieldBufAddr) || l.Has(FieldPool) {
+		t.Fatal("Has broken")
+	}
+	fs := l.Fields()
+	if len(fs) != 2 || fs[0] != FieldBufAddr || fs[1] != FieldDataLen {
+		t.Fatalf("Fields = %v", fs)
+	}
+}
+
+func TestStringMentionsEveryField(t *testing.T) {
+	s := ClickPacket().String()
+	for _, f := range ClickPacket().Fields() {
+		if !strings.Contains(s, f.String()) {
+			t.Errorf("String() missing %s", f)
+		}
+	}
+}
+
+func TestProfileRecordAndHottest(t *testing.T) {
+	var p Profile
+	for i := 0; i < 10; i++ {
+		p.Record(FieldDataLen)
+	}
+	for i := 0; i < 5; i++ {
+		p.Record(FieldAnnoDstIP)
+	}
+	p.Record(FieldPktLen)
+	if p.Total() != 16 {
+		t.Fatalf("total = %d", p.Total())
+	}
+	h := p.Hottest()
+	if len(h) != 3 || h[0] != FieldDataLen || h[1] != FieldAnnoDstIP || h[2] != FieldPktLen {
+		t.Fatalf("hottest = %v", h)
+	}
+	p.Reset()
+	if p.Total() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestReorderPutsHotFieldsFirst(t *testing.T) {
+	l := ClickPacket()
+	var p OrderProfile
+	// The router's hot set: data pointer, lengths, annotations.
+	for i := 0; i < 100; i++ {
+		p.Record(FieldAnnoDstIP)
+		p.Record(FieldDataLen)
+	}
+	for i := 0; i < 3; i++ {
+		p.Record(FieldTimestamp)
+	}
+	nl := Reorder(l, &p, ByAccessCount)
+	if nl.Offset(FieldAnnoDstIP) >= memsim.CacheLineSize || nl.Offset(FieldDataLen) >= memsim.CacheLineSize {
+		t.Fatalf("hot fields not in first line: %s", nl)
+	}
+	// All original fields must survive.
+	for _, f := range l.Fields() {
+		if !nl.Has(f) {
+			t.Fatalf("reorder dropped %s", f)
+		}
+	}
+	if nl.Size() > l.Size() {
+		t.Fatalf("reorder grew the struct: %d > %d", nl.Size(), l.Size())
+	}
+}
+
+func TestReorderReducesLinesTouched(t *testing.T) {
+	l := ClickPacket()
+	var p OrderProfile
+	// Touch a hot set that the declaration order spreads across lines:
+	// anno fields live in line 1+, data_len in line 0.
+	for i := 0; i < 50; i++ {
+		p.Record(FieldDataLen)
+		p.Record(FieldAnnoDstIP)
+		p.Record(FieldAnnoVLAN)
+		p.Record(FieldAnnoPaint)
+	}
+	before := LinesTouched(l, &p)
+	after := LinesTouched(Reorder(l, &p, ByAccessCount), &p)
+	if after > before {
+		t.Fatalf("reorder made locality worse: %d -> %d lines", before, after)
+	}
+	if after != 1 {
+		t.Fatalf("4 small hot fields should fit one line, got %d", after)
+	}
+}
+
+func TestReorderRespectsFixedPrefix(t *testing.T) {
+	l := OverlayPacket()
+	var p OrderProfile
+	for i := 0; i < 10; i++ {
+		p.Record(FieldAnnoDstIP)
+	}
+	nl := Reorder(l, &p, ByAccessCount)
+	if nl.FixedPrefix() != 128 {
+		t.Fatalf("prefix lost: %d", nl.FixedPrefix())
+	}
+	if nl.Offset(FieldAnnoDstIP) < 128 {
+		t.Fatalf("reorder moved a field into the overlaid rte_mbuf prefix: %s", nl)
+	}
+}
+
+func TestReorderByFirstAccess(t *testing.T) {
+	l := ClickPacket()
+	var p OrderProfile
+	// First touched: timestamp (once); then data_len many times.
+	p.Record(FieldTimestamp)
+	for i := 0; i < 99; i++ {
+		p.Record(FieldDataLen)
+	}
+	byCount := Reorder(l, &p, ByAccessCount)
+	byOrder := Reorder(l, &p, ByFirstAccess)
+	if byCount.Fields()[0] != FieldDataLen {
+		t.Fatalf("ByAccessCount first field = %s", byCount.Fields()[0])
+	}
+	if byOrder.Fields()[0] != FieldTimestamp {
+		t.Fatalf("ByFirstAccess first field = %s", byOrder.Fields()[0])
+	}
+}
+
+func TestReorderDeterministic(t *testing.T) {
+	l := ClickPacket()
+	var p OrderProfile
+	p.Record(FieldDataLen)
+	p.Record(FieldPktLen) // tie: both count 1
+	a := Reorder(l, &p, ByAccessCount).String()
+	b := Reorder(l, &p, ByAccessCount).String()
+	if a != b {
+		t.Fatal("reorder nondeterministic")
+	}
+}
+
+func TestReorderPreservesFieldSetProperty(t *testing.T) {
+	// Property: for random profiles, Reorder preserves the field set and
+	// never overlaps fields.
+	l := ClickPacket()
+	if err := quick.Check(func(counts [8]uint16) bool {
+		var p OrderProfile
+		fs := l.Fields()
+		for i, c := range counts {
+			for j := 0; j < int(c%50); j++ {
+				p.Record(fs[i%len(fs)])
+			}
+		}
+		nl := Reorder(l, &p, ByAccessCount)
+		if len(nl.Fields()) != len(fs) {
+			return false
+		}
+		for _, f := range fs {
+			if !nl.Has(f) {
+				return false
+			}
+		}
+		// No overlaps.
+		occupied := map[uint32]FieldID{}
+		for _, f := range nl.Fields() {
+			for b := nl.Offset(f); b < nl.Offset(f)+f.Size(); b++ {
+				if _, dup := occupied[b]; dup {
+					return false
+				}
+				occupied[b] = f
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderProfileFirstSeenStable(t *testing.T) {
+	var p OrderProfile
+	p.Record(FieldPktLen)
+	p.Record(FieldDataLen)
+	p.Record(FieldPktLen) // re-touch must not change first-seen order
+	if p.firstSeen[FieldPktLen] >= p.firstSeen[FieldDataLen] {
+		t.Fatal("first-seen ordering wrong")
+	}
+}

@@ -1,0 +1,182 @@
+// Package lpm implements longest-prefix-match IPv4 route lookup with a
+// DIR-24-8 table (the classic two-level scheme DPDK's rte_lpm uses): one
+// 2^24-entry first level indexed by the top 24 address bits, and overflow
+// groups of 256 entries for prefixes longer than /24. Lookups are one
+// memory access for the common case and two for long prefixes, which is
+// also what we charge in the simulator via the table's simulated address.
+package lpm
+
+import (
+	"fmt"
+
+	"packetmill/internal/machine"
+	"packetmill/internal/memsim"
+)
+
+// entry encoding: bit 15 = valid, bit 14 = indirect (points into tbl8),
+// low 14 bits = next-hop index or tbl8 group number.
+const (
+	flagValid    = 1 << 15
+	flagIndirect = 1 << 14
+	valueMask    = 0x3fff
+)
+
+// Table is a DIR-24-8 LPM table. Create with New; not safe for concurrent
+// mutation (the router installs routes at configuration time).
+type Table struct {
+	tbl24 []uint16 // 2^24 entries
+	tbl8  []uint16 // groups of 256
+	// depth24 tracks the prefix length that wrote each tbl24 slot so a
+	// shorter prefix never overwrites a longer one.
+	depth24 []uint8
+	depth8  []uint8
+	// nextHops registry.
+	nextHops []NextHop
+	// base is the table's simulated address; lookups charge reads here.
+	base   memsim.Addr
+	routes int
+}
+
+// NextHop is the routing decision payload.
+type NextHop struct {
+	Port    int
+	Gateway uint32 // next-hop IP (0 = directly connected)
+}
+
+// New allocates the table's first level in the given arena (the second
+// level grows on demand). The 64-MiB tbl24 region is charged at lookup
+// time like the real rte_lpm.
+func New(arena *memsim.Arena) *Table {
+	return &Table{
+		tbl24:   make([]uint16, 1<<24),
+		depth24: make([]uint8, 1<<24),
+		base:    arena.Alloc((1<<24)*2, memsim.PageSize),
+	}
+}
+
+// AddRoute installs prefix/length -> nh. Routes may be added in any order;
+// longer prefixes always win.
+func (t *Table) AddRoute(prefix uint32, length int, nh NextHop) error {
+	if length < 0 || length > 32 {
+		return fmt.Errorf("lpm: bad prefix length %d", length)
+	}
+	if len(t.nextHops) >= valueMask {
+		return fmt.Errorf("lpm: next-hop table full")
+	}
+	nhIdx := uint16(len(t.nextHops))
+	t.nextHops = append(t.nextHops, nh)
+	prefix &= maskOf(length)
+
+	if length <= 24 {
+		start := prefix >> 8
+		count := uint32(1) << (24 - length)
+		for i := start; i < start+count; i++ {
+			e := t.tbl24[i]
+			if e&flagValid != 0 && e&flagIndirect != 0 {
+				// Push into the existing tbl8 group where depth allows.
+				grp := uint32(e & valueMask)
+				for j := uint32(0); j < 256; j++ {
+					k := grp*256 + j
+					if t.depth8[k] <= uint8(length) {
+						t.tbl8[k] = flagValid | nhIdx
+						t.depth8[k] = uint8(length)
+					}
+				}
+				continue
+			}
+			if t.depth24[i] <= uint8(length) {
+				t.tbl24[i] = flagValid | nhIdx
+				t.depth24[i] = uint8(length)
+			}
+		}
+		t.routes++
+		return nil
+	}
+
+	// /25../32: need a tbl8 group under one tbl24 slot.
+	slot := prefix >> 8
+	e := t.tbl24[slot]
+	var grp uint32
+	if e&flagValid != 0 && e&flagIndirect != 0 {
+		grp = uint32(e & valueMask)
+	} else {
+		// Allocate a fresh group, seeding it with the current /<=24
+		// decision so shorter prefixes keep matching.
+		grp = uint32(len(t.tbl8) / 256)
+		if grp > valueMask {
+			return fmt.Errorf("lpm: tbl8 space exhausted")
+		}
+		seed, seedDepth := uint16(0), uint8(0)
+		if e&flagValid != 0 {
+			seed, seedDepth = e, t.depth24[slot]
+		}
+		for j := 0; j < 256; j++ {
+			t.tbl8 = append(t.tbl8, seed)
+			t.depth8 = append(t.depth8, seedDepth)
+		}
+		t.tbl24[slot] = flagValid | flagIndirect | uint16(grp)
+		// depth24 keeps the depth of the *shorter* route that seeded
+		// the group; the slot itself is now structural.
+	}
+	start := prefix & 0xff
+	count := uint32(1) << (32 - length)
+	for j := start; j < start+count; j++ {
+		k := grp*256 + j
+		if t.depth8[k] <= uint8(length) {
+			t.tbl8[k] = flagValid | nhIdx
+			t.depth8[k] = uint8(length)
+		}
+	}
+	t.routes++
+	return nil
+}
+
+func maskOf(length int) uint32 {
+	if length == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - length)
+}
+
+// Routes returns the number of installed routes.
+func (t *Table) Routes() int { return t.routes }
+
+// Lookup resolves addr, charging the table reads to core (one 2-byte read
+// in tbl24, plus one in tbl8 for long prefixes). ok is false when no route
+// matches.
+func (t *Table) Lookup(core *machine.Core, addr uint32) (NextHop, bool) {
+	i := addr >> 8
+	core.Load(t.base+memsim.Addr(i*2), 2)
+	e := t.tbl24[i]
+	if e&flagValid == 0 {
+		return NextHop{}, false
+	}
+	if e&flagIndirect != 0 {
+		grp := uint32(e & valueMask)
+		k := grp*256 + addr&0xff
+		// tbl8 lives after tbl24 in our simulated address space.
+		core.Load(t.base+memsim.Addr((1<<24)*2+k*2), 2)
+		e = t.tbl8[k]
+		if e&flagValid == 0 {
+			return NextHop{}, false
+		}
+	}
+	return t.nextHops[e&valueMask], true
+}
+
+// LookupNoCharge resolves addr without touching the simulator — for tests
+// and control-plane use.
+func (t *Table) LookupNoCharge(addr uint32) (NextHop, bool) {
+	i := addr >> 8
+	e := t.tbl24[i]
+	if e&flagValid == 0 {
+		return NextHop{}, false
+	}
+	if e&flagIndirect != 0 {
+		e = t.tbl8[uint32(e&valueMask)*256+addr&0xff]
+		if e&flagValid == 0 {
+			return NextHop{}, false
+		}
+	}
+	return t.nextHops[e&valueMask], true
+}

@@ -1,0 +1,204 @@
+package lpm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"packetmill/internal/machine"
+	"packetmill/internal/memsim"
+	"packetmill/internal/netpkt"
+)
+
+func newTable() *Table {
+	return New(memsim.NewArena("lpm", memsim.HeapBase, 1<<28))
+}
+
+func ip(s string) uint32 {
+	v, err := netpkt.ParseIPv4(s)
+	if err != nil {
+		panic(err)
+	}
+	return v.Uint32()
+}
+
+func TestDefaultRouteMatchesEverything(t *testing.T) {
+	tb := newTable()
+	if err := tb.AddRoute(0, 0, NextHop{Port: 9}); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []string{"0.0.0.0", "8.8.8.8", "255.255.255.255"} {
+		nh, ok := tb.LookupNoCharge(ip(a))
+		if !ok || nh.Port != 9 {
+			t.Fatalf("lookup %s: %+v ok=%v", a, nh, ok)
+		}
+	}
+}
+
+func TestLongestPrefixWins(t *testing.T) {
+	tb := newTable()
+	tb.AddRoute(ip("10.0.0.0"), 8, NextHop{Port: 1})
+	tb.AddRoute(ip("10.1.0.0"), 16, NextHop{Port: 2})
+	tb.AddRoute(ip("10.1.2.0"), 24, NextHop{Port: 3})
+	cases := []struct {
+		addr string
+		port int
+	}{
+		{"10.9.9.9", 1},
+		{"10.1.9.9", 2},
+		{"10.1.2.9", 3},
+	}
+	for _, c := range cases {
+		nh, ok := tb.LookupNoCharge(ip(c.addr))
+		if !ok || nh.Port != c.port {
+			t.Errorf("%s -> port %d (ok=%v), want %d", c.addr, nh.Port, ok, c.port)
+		}
+	}
+}
+
+func TestInsertionOrderIrrelevant(t *testing.T) {
+	a, b := newTable(), newTable()
+	a.AddRoute(ip("10.0.0.0"), 8, NextHop{Port: 1})
+	a.AddRoute(ip("10.1.0.0"), 16, NextHop{Port: 2})
+	b.AddRoute(ip("10.1.0.0"), 16, NextHop{Port: 2})
+	b.AddRoute(ip("10.0.0.0"), 8, NextHop{Port: 1})
+	for _, addr := range []string{"10.0.0.1", "10.1.0.1", "10.255.0.1"} {
+		na, _ := a.LookupNoCharge(ip(addr))
+		nb, _ := b.LookupNoCharge(ip(addr))
+		if na.Port != nb.Port {
+			t.Fatalf("order-dependent result for %s: %d vs %d", addr, na.Port, nb.Port)
+		}
+	}
+}
+
+func TestLongPrefixesUseTbl8(t *testing.T) {
+	tb := newTable()
+	tb.AddRoute(ip("192.168.1.0"), 24, NextHop{Port: 1})
+	tb.AddRoute(ip("192.168.1.128"), 25, NextHop{Port: 2})
+	tb.AddRoute(ip("192.168.1.42"), 32, NextHop{Port: 3})
+	cases := []struct {
+		addr string
+		port int
+	}{
+		{"192.168.1.1", 1},
+		{"192.168.1.200", 2},
+		{"192.168.1.42", 3},
+	}
+	for _, c := range cases {
+		nh, ok := tb.LookupNoCharge(ip(c.addr))
+		if !ok || nh.Port != c.port {
+			t.Errorf("%s -> %d (ok=%v), want %d", c.addr, nh.Port, ok, c.port)
+		}
+	}
+}
+
+func TestHostRouteBeforeCoveringPrefix(t *testing.T) {
+	tb := newTable()
+	tb.AddRoute(ip("192.168.1.42"), 32, NextHop{Port: 3})
+	tb.AddRoute(ip("192.168.1.0"), 24, NextHop{Port: 1})
+	nh, _ := tb.LookupNoCharge(ip("192.168.1.42"))
+	if nh.Port != 3 {
+		t.Fatalf("host route lost: port %d", nh.Port)
+	}
+	nh, _ = tb.LookupNoCharge(ip("192.168.1.43"))
+	if nh.Port != 1 {
+		t.Fatalf("covering /24 broken: port %d", nh.Port)
+	}
+}
+
+func TestNoMatch(t *testing.T) {
+	tb := newTable()
+	tb.AddRoute(ip("10.0.0.0"), 8, NextHop{Port: 1})
+	if _, ok := tb.LookupNoCharge(ip("11.0.0.1")); ok {
+		t.Fatal("matched a route that does not cover the address")
+	}
+}
+
+func TestBadPrefixLength(t *testing.T) {
+	tb := newTable()
+	if err := tb.AddRoute(0, 33, NextHop{}); err == nil {
+		t.Fatal("accepted /33")
+	}
+	if err := tb.AddRoute(0, -1, NextHop{}); err == nil {
+		t.Fatal("accepted /-1")
+	}
+}
+
+func TestRoutesCounter(t *testing.T) {
+	tb := newTable()
+	tb.AddRoute(ip("10.0.0.0"), 8, NextHop{Port: 1})
+	tb.AddRoute(ip("10.1.0.0"), 16, NextHop{Port: 2})
+	if tb.Routes() != 2 {
+		t.Fatalf("routes = %d", tb.Routes())
+	}
+}
+
+func TestChargedLookupMatchesUncharged(t *testing.T) {
+	_, core := machine.Default(2.0)
+	tb := newTable()
+	tb.AddRoute(ip("10.0.0.0"), 8, NextHop{Port: 1})
+	tb.AddRoute(ip("10.1.2.200"), 26, NextHop{Port: 5})
+	for _, a := range []string{"10.0.0.1", "10.1.2.201", "10.1.2.1"} {
+		c1, ok1 := tb.Lookup(core, ip(a))
+		c2, ok2 := tb.LookupNoCharge(ip(a))
+		if c1 != c2 || ok1 != ok2 {
+			t.Fatalf("charged/uncharged disagree on %s", a)
+		}
+	}
+}
+
+func TestChargedLookupCosts(t *testing.T) {
+	_, core := machine.Default(2.0)
+	tb := newTable()
+	tb.AddRoute(ip("10.0.0.0"), 8, NextHop{Port: 1})
+	before := core.Snapshot()
+	tb.Lookup(core, ip("10.0.0.1"))
+	if d := core.Snapshot().Delta(before); d.Instructions == 0 {
+		t.Fatal("lookup was free")
+	}
+}
+
+func TestAgainstLinearScanProperty(t *testing.T) {
+	// Reference model: linear scan over the route list picking the
+	// longest matching prefix (earliest-added wins ties at same length
+	// by our overwrite rule: later same-depth overwrites — emulate that).
+	type route struct {
+		prefix uint32
+		length int
+		port   int
+	}
+	routes := []route{
+		{ip("0.0.0.0"), 0, 0},
+		{ip("10.0.0.0"), 8, 1},
+		{ip("10.128.0.0"), 9, 2},
+		{ip("10.1.0.0"), 16, 3},
+		{ip("10.1.2.0"), 24, 4},
+		{ip("10.1.2.128"), 25, 5},
+		{ip("10.1.2.129"), 32, 6},
+		{ip("172.16.0.0"), 12, 7},
+	}
+	tb := newTable()
+	for _, r := range routes {
+		if err := tb.AddRoute(r.prefix, r.length, NextHop{Port: r.port}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref := func(addr uint32) (int, bool) {
+		best, bestLen, found := 0, -1, false
+		for _, r := range routes {
+			if addr&maskOf(r.length) == r.prefix&maskOf(r.length) && r.length >= bestLen {
+				best, bestLen, found = r.port, r.length, true
+			}
+		}
+		return best, found
+	}
+	if err := quick.Check(func(addr uint32) bool {
+		nh, ok := tb.LookupNoCharge(addr)
+		wantPort, wantOK := ref(addr)
+		if ok != wantOK {
+			return false
+		}
+		return !ok || nh.Port == wantPort
+	}, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"packetmill/internal/cache"
+	"packetmill/internal/memsim"
+)
+
+func TestComputeScalesWithFrequency(t *testing.T) {
+	_, slow := Default(1.0)
+	_, fast := Default(2.0)
+	slow.Compute(4000)
+	fast.Compute(4000)
+	if r := slow.NowNS() / fast.NowNS(); math.Abs(r-2.0) > 1e-9 {
+		t.Fatalf("compute time ratio = %v, want 2.0", r)
+	}
+}
+
+func TestMemoryStallsDoNotScaleWithFrequency(t *testing.T) {
+	_, slow := Default(1.0)
+	_, fast := Default(3.0)
+	// Cold DRAM miss: dominated by fixed NS.
+	slow.Load(0x5000000, 1)
+	fast.Load(0x5000000, 1)
+	sn, fn := slow.NowNS(), fast.NowNS()
+	// The DRAM + TLB-walk part is identical; only the small L1-fill
+	// cycle portion scales. Ratio must be far below the 3× compute ratio.
+	if sn/fn > 1.5 {
+		t.Fatalf("memory stall scaled with frequency: %v vs %v ns", sn, fn)
+	}
+}
+
+func TestIPCBandIsPlausible(t *testing.T) {
+	// A compute-heavy loop with occasional L1 hits should land between
+	// 1 and 4 IPC, like Table 1's 2.2–2.6.
+	_, c := Default(3.0)
+	c.Store(0x1000, 8)
+	for i := 0; i < 1000; i++ {
+		c.Compute(10)
+		c.Load(0x1000, 8)
+	}
+	ipc := c.Snapshot().IPC()
+	if ipc < 1 || ipc > 4 {
+		t.Fatalf("IPC = %v, want within (1,4)", ipc)
+	}
+}
+
+func TestCallCostsOrdered(t *testing.T) {
+	m, _ := Default(2.0)
+	virt := m.AddCore(2.0)
+	dir := m.AddCore(2.0)
+	inl := m.AddCore(2.0)
+	obj := memsim.Addr(0x2000)
+	// Warm the vtable line so virtual pays only dispatch, not a cold miss.
+	virt.Load(obj, 8)
+	base := virt.NowNS()
+	for i := 0; i < 100; i++ {
+		virt.Call(CallVirtual, obj)
+	}
+	virtCost := virt.NowNS() - base
+	for i := 0; i < 100; i++ {
+		dir.Call(CallDirect, 0)
+	}
+	for i := 0; i < 100; i++ {
+		inl.Call(CallInlined, 0)
+	}
+	if !(virtCost > dir.NowNS() && dir.NowNS() > inl.NowNS()) {
+		t.Fatalf("call cost ordering violated: virt=%v direct=%v inlined=%v",
+			virtCost, dir.NowNS(), inl.NowNS())
+	}
+}
+
+func TestVirtualCallMispredictsDeterministically(t *testing.T) {
+	run := func() float64 {
+		_, c := Default(2.0)
+		c.Load(0x2000, 8)
+		for i := 0; i < 1000; i++ {
+			c.Call(CallVirtual, 0x2000)
+		}
+		return c.NowNS()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("virtual-call cost nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestIdleAdvancesClock(t *testing.T) {
+	_, c := Default(2.0)
+	c.Compute(100)
+	now := c.NowNS()
+	c.Idle(now + 500)
+	if got := c.NowNS(); math.Abs(got-(now+500)) > 1e-9 {
+		t.Fatalf("Idle: now = %v, want %v", got, now+500)
+	}
+	// Idle into the past must be a no-op.
+	c.Idle(10)
+	if got := c.NowNS(); math.Abs(got-(now+500)) > 1e-9 {
+		t.Fatal("Idle moved the clock backwards")
+	}
+}
+
+func TestIdleExcludedFromBusyCycles(t *testing.T) {
+	_, c := Default(2.0)
+	c.Compute(1000)
+	busy := c.Snapshot().BusyCycles
+	c.Idle(c.NowNS() + 1e6)
+	if c.Snapshot().BusyCycles != busy {
+		t.Fatal("idle time leaked into busy cycles")
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	_, c := Default(2.0)
+	c.Compute(100)
+	a := c.Snapshot()
+	c.Compute(100)
+	c.Load(0x9000000, 1)
+	d := c.Snapshot().Delta(a)
+	if d.Instructions != 101 {
+		t.Fatalf("delta instructions = %d, want 101", d.Instructions)
+	}
+	if d.LLCLoads != 1 || d.LLCLoadMisses != 1 {
+		t.Fatalf("delta LLC = %d/%d, want 1/1", d.LLCLoads, d.LLCLoadMisses)
+	}
+}
+
+func TestLoadReturnsServiceLevel(t *testing.T) {
+	_, c := Default(2.0)
+	if lvl := c.Load(0x3000, 8); lvl != cache.DRAM {
+		t.Fatalf("cold load served by %v", lvl)
+	}
+	if lvl := c.Load(0x3000, 8); lvl != cache.L1 {
+		t.Fatalf("warm load served by %v", lvl)
+	}
+}
+
+func TestAddCorePanicsOnBadFreq(t *testing.T) {
+	m := New(cache.DefaultSystemConfig(), DefaultCostModel())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.AddCore(0)
+}
+
+func TestCoresShareLLC(t *testing.T) {
+	m := New(cache.DefaultSystemConfig(), DefaultCostModel())
+	c1 := m.AddCore(2.0)
+	c2 := m.AddCore(2.0)
+	c1.Load(0xB00000, 8)
+	if lvl := c2.Load(0xB00000, 8); lvl != cache.LLC {
+		t.Fatalf("second core load served by %v, want shared LLC", lvl)
+	}
+	if len(m.Cores()) != 2 {
+		t.Fatalf("Cores() = %d", len(m.Cores()))
+	}
+}
+
+func TestThroughputFrequencyShape(t *testing.T) {
+	// rate(f) must grow with f but sublinearly once fixed-NS stalls are
+	// present — the Figure 4 family.
+	perPkt := func(f float64) float64 {
+		_, c := Default(f)
+		for i := 0; i < 1000; i++ {
+			c.Compute(300)
+			c.Load(memsim.Addr(0x4000000+i*4096), 64) // cold misses
+		}
+		return c.NowNS() / 1000
+	}
+	t12, t30 := perPkt(1.2), perPkt(3.0)
+	if t30 >= t12 {
+		t.Fatal("higher frequency not faster")
+	}
+	speedup := t12 / t30
+	if speedup >= 3.0/1.2 {
+		t.Fatalf("speedup %v ≥ frequency ratio; fixed stalls missing", speedup)
+	}
+	if speedup < 1.2 {
+		t.Fatalf("speedup %v too small; compute not scaling", speedup)
+	}
+}
+
+func TestCallKindString(t *testing.T) {
+	if CallVirtual.String() != "virtual" || CallDirect.String() != "direct" || CallInlined.String() != "inlined" {
+		t.Fatal("CallKind.String broken")
+	}
+}
+
+func TestClockMonotonicProperty(t *testing.T) {
+	// No operation may ever move a core's clock backwards.
+	_, c := Default(2.0)
+	r := uint64(4242)
+	next := func() uint64 { r = r*6364136223846793005 + 1; return r }
+	last := c.NowNS()
+	for i := 0; i < 20000; i++ {
+		switch next() % 5 {
+		case 0:
+			c.Compute(float64(next() % 100))
+		case 1:
+			c.Load(memsim.Addr(next()%(64<<20)), 8)
+		case 2:
+			c.Store(memsim.Addr(next()%(64<<20)), 8)
+		case 3:
+			c.Call(CallKind(next()%3), memsim.Addr(next()%(1<<20)))
+		case 4:
+			c.Idle(c.NowNS() + float64(next()%50))
+		}
+		now := c.NowNS()
+		if now < last {
+			t.Fatalf("clock went backwards at op %d: %v -> %v", i, last, now)
+		}
+		last = now
+	}
+}

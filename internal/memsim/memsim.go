@@ -1,0 +1,188 @@
+// Package memsim models the DUT's physical address space.
+//
+// Nothing in this package stores payload bytes; it only hands out simulated
+// addresses. The point is that *where* an object lives decides which cache
+// sets, cache lines, and TLB pages its accesses touch, and PacketMill's
+// "static graph" optimization is exactly a placement change: element objects
+// move from a fragmented heap into one contiguous static arena. By making
+// placement explicit we can reproduce that effect instead of asserting it.
+//
+// Address map (all sizes are simulation constants, not host memory):
+//
+//	0x0000_0000_0000 –          : static/.data arena (contiguous)
+//	0x0000_4000_0000 –          : heap (fragmented allocator)
+//	0x0000_8000_0000 –          : hugepage region for DPDK mempools & rings
+//	0x0000_c000_0000 –          : per-NIC MMIO / descriptor shadow space
+package memsim
+
+import "fmt"
+
+// Addr is a simulated physical address.
+type Addr uint64
+
+// Base addresses of the regions. They are far enough apart that no
+// allocator can run into its neighbour under any workload in this repo.
+const (
+	StaticBase Addr = 0x0000_0000_1000 // skip page zero
+	HeapBase   Addr = 0x0000_4000_0000
+	HugeBase   Addr = 0x0000_8000_0000
+	MMIOBase   Addr = 0x0000_c000_0000
+)
+
+const (
+	// CacheLineSize is the line size assumed by the whole simulator.
+	CacheLineSize = 64
+	// PageSize is the small-page size used by the TLB model for heap and
+	// static data.
+	PageSize = 4096
+	// HugePageSize is the page size of the hugepage region (DPDK pools).
+	HugePageSize = 2 << 20
+)
+
+// align rounds addr up to a multiple of a (a must be a power of two).
+func align(addr Addr, a Addr) Addr {
+	return (addr + a - 1) &^ (a - 1)
+}
+
+// Arena hands out addresses from a contiguous region. It is the model for
+// the static/.data segment and for hugepage pools: objects placed here sit
+// back to back, so a working set of N small objects touches close to the
+// minimal number of cache lines and pages.
+type Arena struct {
+	name string
+	base Addr
+	next Addr
+	end  Addr
+}
+
+// NewArena returns an arena spanning [base, base+size).
+func NewArena(name string, base Addr, size uint64) *Arena {
+	return &Arena{name: name, base: base, next: base, end: base + Addr(size)}
+}
+
+// Alloc reserves size bytes aligned to alignTo (power of two; 0 means
+// cache-line alignment) and returns the base address.
+func (a *Arena) Alloc(size uint64, alignTo uint64) Addr {
+	if alignTo == 0 {
+		alignTo = CacheLineSize
+	}
+	p := align(a.next, Addr(alignTo))
+	if p+Addr(size) > a.end {
+		panic(fmt.Sprintf("memsim: arena %q exhausted (%d bytes requested)", a.name, size))
+	}
+	a.next = p + Addr(size)
+	return p
+}
+
+// Used reports the number of bytes consumed so far.
+func (a *Arena) Used() uint64 { return uint64(a.next - a.base) }
+
+// Reset forgets every allocation. Callers must not use previously returned
+// addresses afterwards.
+func (a *Arena) Reset() { a.next = a.base }
+
+// Heap models a general-purpose allocator after a process has been running:
+// allocations of different sizes land in different size-class runs and are
+// separated by allocator metadata and fragmentation. The practical effect —
+// the one that matters for the cache and TLB — is that consecutive
+// allocations are *not* adjacent. We model that with a per-size-class
+// cursor plus a deterministic stride of slack between objects.
+type Heap struct {
+	base    Addr
+	end     Addr
+	classes map[uint64]*heapClass
+	// slackFn decides the gap inserted after each object; deterministic,
+	// derived from the allocation counter so runs are reproducible.
+	count uint64
+}
+
+type heapClass struct {
+	next Addr
+	end  Addr
+}
+
+// heapClassSpan is the virtual span reserved per size class.
+const heapClassSpan = 64 << 20
+
+// NewHeap returns an empty fragmented-heap model.
+func NewHeap() *Heap {
+	return &Heap{base: HeapBase, end: HeapBase + 0x4000_0000, classes: map[uint64]*heapClass{}}
+}
+
+// sizeClass buckets a request the way tcmalloc-family allocators do:
+// small sizes to rounded classes, large sizes to page multiples.
+func sizeClass(size uint64) uint64 {
+	switch {
+	case size <= 64:
+		return 64
+	case size <= 128:
+		return 128
+	case size <= 256:
+		return 256
+	case size <= 512:
+		return 512
+	case size <= 1024:
+		return 1024
+	case size <= 4096:
+		return align(Addr(size), 1024).u()
+	default:
+		return align(Addr(size), PageSize).u()
+	}
+}
+
+func (a Addr) u() uint64 { return uint64(a) }
+
+// Alloc reserves size bytes on the heap and returns the address. Objects in
+// the same size class are spread out: each allocation is followed by
+// allocator slack, and every few allocations skip to a fresh page, the way
+// real heaps leave holes once earlier garbage has been freed.
+func (h *Heap) Alloc(size uint64) Addr {
+	cls := sizeClass(size)
+	c, ok := h.classes[cls]
+	if !ok {
+		// Each class gets its own span, so two objects of different
+		// classes are automatically far apart.
+		base := h.base + Addr(uint64(len(h.classes))*heapClassSpan)
+		if base+heapClassSpan > h.end {
+			panic("memsim: heap exhausted (too many size classes)")
+		}
+		c = &heapClass{next: base, end: base + heapClassSpan}
+		h.classes[cls] = c
+	}
+	p := align(c.next, CacheLineSize)
+	if p+Addr(cls) > c.end {
+		panic("memsim: heap size class exhausted")
+	}
+	h.count++
+	// Fragmentation model: one line of allocator slack after every
+	// object, and a jump to a fresh page every 7th allocation.
+	next := p + Addr(cls) + CacheLineSize
+	if h.count%7 == 0 {
+		next = align(next, PageSize) + Addr(cls)
+	}
+	c.next = next
+	return p
+}
+
+// Object is a placed simulated object: a base address plus a size. It is a
+// convenience for code that wants to talk about "the element's state" or
+// "this descriptor" without tracking raw addresses.
+type Object struct {
+	Base Addr
+	Size uint64
+}
+
+// Contains reports whether addr falls inside the object.
+func (o Object) Contains(addr Addr) bool {
+	return addr >= o.Base && addr < o.Base+Addr(o.Size)
+}
+
+// Lines reports how many distinct cache lines the object spans.
+func (o Object) Lines() int {
+	if o.Size == 0 {
+		return 0
+	}
+	first := uint64(o.Base) / CacheLineSize
+	last := (uint64(o.Base) + o.Size - 1) / CacheLineSize
+	return int(last-first) + 1
+}

@@ -1,0 +1,155 @@
+package memsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestArenaContiguity(t *testing.T) {
+	a := NewArena("static", StaticBase, 1<<20)
+	p1 := a.Alloc(64, 64)
+	p2 := a.Alloc(64, 64)
+	if p2 != p1+64 {
+		t.Fatalf("arena not contiguous: %#x then %#x", p1, p2)
+	}
+}
+
+func TestArenaAlignment(t *testing.T) {
+	a := NewArena("static", StaticBase, 1<<20)
+	a.Alloc(3, 1)
+	p := a.Alloc(128, 128)
+	if uint64(p)%128 != 0 {
+		t.Fatalf("misaligned: %#x", p)
+	}
+}
+
+func TestArenaDefaultAlignIsCacheLine(t *testing.T) {
+	a := NewArena("static", StaticBase, 1<<20)
+	a.Alloc(1, 0)
+	p := a.Alloc(1, 0)
+	if uint64(p)%CacheLineSize != 0 {
+		t.Fatalf("default alignment not cache line: %#x", p)
+	}
+}
+
+func TestArenaExhaustionPanics(t *testing.T) {
+	a := NewArena("tiny", StaticBase, 128)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on exhaustion")
+		}
+	}()
+	a.Alloc(256, 64)
+}
+
+func TestArenaReset(t *testing.T) {
+	a := NewArena("static", StaticBase, 1<<20)
+	p1 := a.Alloc(64, 64)
+	a.Reset()
+	p2 := a.Alloc(64, 64)
+	if p1 != p2 {
+		t.Fatalf("reset did not rewind: %#x vs %#x", p1, p2)
+	}
+	if a.Used() != 64 {
+		t.Fatalf("Used() = %d after reset+alloc", a.Used())
+	}
+}
+
+func TestHeapScatters(t *testing.T) {
+	h := NewHeap()
+	p1 := h.Alloc(64)
+	p2 := h.Alloc(64)
+	if p2 == p1+64 {
+		t.Fatal("heap allocations came out adjacent; fragmentation model broken")
+	}
+	if p2 <= p1 {
+		t.Fatalf("heap cursor went backwards: %#x then %#x", p1, p2)
+	}
+}
+
+func TestHeapClassesAreSeparated(t *testing.T) {
+	h := NewHeap()
+	small := h.Alloc(64)
+	big := h.Alloc(2048)
+	diff := int64(big) - int64(small)
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff < heapClassSpan/2 {
+		t.Fatalf("size classes too close: %#x vs %#x", small, big)
+	}
+}
+
+func TestHeapAddressesNeverOverlap(t *testing.T) {
+	h := NewHeap()
+	type span struct{ base, end uint64 }
+	var spans []span
+	sizes := []uint64{24, 64, 100, 128, 500, 1024, 1500, 4096}
+	for i := 0; i < 500; i++ {
+		sz := sizes[i%len(sizes)]
+		p := uint64(h.Alloc(sz))
+		for _, s := range spans {
+			if p < s.end && p+sz > s.base {
+				t.Fatalf("overlap: [%#x,%#x) with [%#x,%#x)", p, p+sz, s.base, s.end)
+			}
+		}
+		spans = append(spans, span{p, p + sz})
+	}
+}
+
+func TestHeapDeterministic(t *testing.T) {
+	h1, h2 := NewHeap(), NewHeap()
+	for i := 0; i < 100; i++ {
+		if a, b := h1.Alloc(64), h2.Alloc(64); a != b {
+			t.Fatalf("heap nondeterministic at %d: %#x vs %#x", i, a, b)
+		}
+	}
+}
+
+func TestObjectLines(t *testing.T) {
+	cases := []struct {
+		base Addr
+		size uint64
+		want int
+	}{
+		{0, 64, 1},
+		{0, 65, 2},
+		{63, 2, 2},
+		{64, 64, 1},
+		{0, 0, 0},
+		{10, 128, 3},
+	}
+	for _, c := range cases {
+		o := Object{Base: c.base, Size: c.size}
+		if got := o.Lines(); got != c.want {
+			t.Errorf("Lines(%#x,%d) = %d, want %d", c.base, c.size, got, c.want)
+		}
+	}
+}
+
+func TestObjectContains(t *testing.T) {
+	o := Object{Base: 100, Size: 10}
+	if !o.Contains(100) || !o.Contains(109) || o.Contains(110) || o.Contains(99) {
+		t.Fatal("Contains boundary check failed")
+	}
+}
+
+func TestAlignProperty(t *testing.T) {
+	if err := quick.Check(func(a uint32, shift uint8) bool {
+		al := Addr(1) << (shift % 12)
+		got := align(Addr(a), al)
+		return got >= Addr(a) && uint64(got)%uint64(al) == 0 && got-Addr(a) < al
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeClassMonotonicAndCovering(t *testing.T) {
+	if err := quick.Check(func(n uint16) bool {
+		sz := uint64(n) + 1
+		cls := sizeClass(sz)
+		return cls >= sz
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,318 @@
+// Package mill is PacketMill's optimizer: the pipeline of Figure 3 that
+// turns an NF configuration plus the vanilla framework into a specialized
+// build plan. It hosts the source-code passes (§3.2.1: devirtualization,
+// constant embedding, static graph, dead-code elimination) and the
+// IR-level metadata-reordering pass (§3.2.2), and renders the result as a
+// dispatch-level IR module for inspection.
+package mill
+
+import (
+	"fmt"
+
+	"packetmill/internal/click"
+	"packetmill/internal/ir"
+	"packetmill/internal/layout"
+	"packetmill/internal/machine"
+)
+
+// Plan is the mill's working object: the parsed graph plus everything the
+// passes decide. testbed/core lower a Plan into a runnable build.
+type Plan struct {
+	Graph *click.Graph
+	Opt   click.OptLevel
+	// MetaLayout, when non-nil, overrides the model's default packet
+	// descriptor layout (set by the reorder pass).
+	MetaLayout *layout.Layout
+	// Notes logs what each pass did.
+	Notes []string
+}
+
+// NewPlan parses a configuration into a vanilla plan.
+func NewPlan(config string) (*Plan, error) {
+	g, err := click.Parse(config)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Graph: g}, nil
+}
+
+func (p *Plan) note(format string, args ...any) {
+	p.Notes = append(p.Notes, fmt.Sprintf(format, args...))
+}
+
+// Pass is one mill transformation.
+type Pass interface {
+	Name() string
+	Run(p *Plan) error
+}
+
+// Apply runs passes in order.
+func (p *Plan) Apply(passes ...Pass) error {
+	for _, pass := range passes {
+		if err := pass.Run(p); err != nil {
+			return fmt.Errorf("mill: pass %s: %w", pass.Name(), err)
+		}
+	}
+	return nil
+}
+
+// --- passes ---
+
+// Devirtualize is click-devirtualize: with the graph known, every element
+// hand-off becomes a direct call.
+type Devirtualize struct{}
+
+// Name implements Pass.
+func (Devirtualize) Name() string { return "devirtualize" }
+
+// Run implements Pass.
+func (Devirtualize) Run(p *Plan) error {
+	p.Opt.Devirtualize = true
+	p.note("devirtualize: %d connections rewritten to direct calls", len(p.Graph.Conns))
+	return nil
+}
+
+// ConstEmbed embeds constant element parameters into the generated source
+// so the compiler can propagate and fold them.
+type ConstEmbed struct{}
+
+// Name implements Pass.
+func (ConstEmbed) Name() string { return "constembed" }
+
+// Run implements Pass.
+func (ConstEmbed) Run(p *Plan) error {
+	p.Opt.ConstEmbed = true
+	n := 0
+	for _, e := range p.Graph.Elements {
+		n += len(e.Args)
+	}
+	p.note("constembed: %d parameters embedded as immediates", n)
+	return nil
+}
+
+// StaticGraph declares the elements statically (contiguous .data
+// placement) and embeds the connection graph, enabling full inlining.
+// Per the paper it subsumes devirtualization.
+type StaticGraph struct{}
+
+// Name implements Pass.
+func (StaticGraph) Name() string { return "staticgraph" }
+
+// Run implements Pass.
+func (StaticGraph) Run(p *Plan) error {
+	p.Opt.StaticGraph = true
+	p.Opt.Devirtualize = true
+	p.note("staticgraph: %d elements moved to .data, %d connections embedded",
+		len(p.Graph.Elements), len(p.Graph.Conns))
+	return nil
+}
+
+// DeadCode removes elements unreachable from any source element — the
+// dead-code elimination the paper borrows from classic compilation (and
+// NFReducer's "excluding unrelated logic").
+type DeadCode struct{}
+
+// Name implements Pass.
+func (DeadCode) Name() string { return "deadcode" }
+
+// Run implements Pass.
+func (DeadCode) Run(p *Plan) error {
+	g := p.Graph
+	// Roots: schedulable source elements (FromDPDKDevice and friends) —
+	// packets can only originate there.
+	reach := map[string]bool{}
+	var walk func(name string)
+	walk = func(name string) {
+		if reach[name] {
+			return
+		}
+		reach[name] = true
+		for _, c := range g.Conns {
+			if c.From == name {
+				walk(c.To)
+			}
+		}
+	}
+	for _, e := range g.Elements {
+		if click.IsSourceClass(e.Class) {
+			walk(e.Name)
+		}
+	}
+	var kept []*click.ElementDecl
+	removed := 0
+	for _, e := range g.Elements {
+		if reach[e.Name] {
+			kept = append(kept, e)
+		} else {
+			removed++
+		}
+	}
+	if removed > 0 {
+		var keptConns []click.Connection
+		for _, c := range g.Conns {
+			if reach[c.From] && reach[c.To] {
+				keptConns = append(keptConns, c)
+			}
+		}
+		ng, err := rebuildGraph(kept, keptConns)
+		if err != nil {
+			return err
+		}
+		p.Graph = ng
+	}
+	p.note("deadcode: removed %d unreachable elements", removed)
+	return nil
+}
+
+// rebuildGraph reconstructs a Graph from kept declarations/connections by
+// re-parsing the normalized source — it keeps the Graph's internal name
+// index consistent without exporting it. Anonymous names ("Class@3")
+// remain valid identifiers in the Click lexer.
+func rebuildGraph(elems []*click.ElementDecl, conns []click.Connection) (*click.Graph, error) {
+	var b []byte
+	for _, e := range elems {
+		args := ""
+		for i, a := range e.Args {
+			if i > 0 {
+				args += ", "
+			}
+			args += a
+		}
+		b = append(b, fmt.Sprintf("%s :: %s(%s);\n", e.Name, e.Class, args)...)
+	}
+	for _, c := range conns {
+		b = append(b, fmt.Sprintf("%s[%d] -> [%d]%s;\n", c.From, c.FromPort, c.ToPort, c.To)...)
+	}
+	return click.Parse(string(b))
+}
+
+// ReorderMeta is the IR pass of §3.2.2: given an access profile measured
+// on a previous run, re-pack the packet descriptor's fields so the hot
+// ones share the first cache line(s). Like the paper's pass it only
+// applies to reorderable layouts (the fixed prefix of an overlay is
+// pinned).
+type ReorderMeta struct {
+	Base      *layout.Layout
+	Profile   *layout.OrderProfile
+	Criterion layout.SortCriterion
+}
+
+// Name implements Pass.
+func (ReorderMeta) Name() string { return "reorder-meta" }
+
+// Run implements Pass.
+func (r ReorderMeta) Run(p *Plan) error {
+	if r.Base == nil || r.Profile == nil {
+		return fmt.Errorf("reorder-meta: need a base layout and a profile")
+	}
+	nl := layout.Reorder(r.Base, r.Profile, r.Criterion)
+	p.MetaLayout = nl
+	p.Opt.ReorderMeta = true
+	var before, after int
+	before = layout.LinesTouched(r.Base, r.Profile)
+	after = layout.LinesTouched(nl, r.Profile)
+	p.note("reorder-meta: hot fields span %d line(s), was %d (%d profiled accesses)",
+		after, before, r.Profile.Total())
+	return nil
+}
+
+// PruneMeta implements the extension §3.2.2 leaves as future work: "one
+// could also remove unused variables/fields". Fields the profile never
+// saw are dropped from the descriptor entirely, shrinking its cache
+// footprint; driver-essential fields (buffer address, lengths) are kept
+// regardless, since the PMD hardware path writes them.
+type PruneMeta struct {
+	Base    *layout.Layout
+	Profile *layout.OrderProfile
+}
+
+// Name implements Pass.
+func (PruneMeta) Name() string { return "prune-meta" }
+
+// essentialFields must survive pruning: the RX/TX driver path touches them
+// unconditionally.
+var essentialFields = []layout.FieldID{
+	layout.FieldBufAddr, layout.FieldDataLen, layout.FieldPktLen,
+}
+
+// Run implements Pass.
+func (r PruneMeta) Run(p *Plan) error {
+	if r.Base == nil || r.Profile == nil {
+		return fmt.Errorf("prune-meta: need a base layout and a profile")
+	}
+	if r.Base.FixedPrefix() > 0 {
+		return fmt.Errorf("prune-meta: cannot prune an overlay layout (fixed prefix)")
+	}
+	essential := map[layout.FieldID]bool{}
+	for _, f := range essentialFields {
+		essential[f] = true
+	}
+	var kept []layout.FieldID
+	removed := 0
+	for _, f := range r.Base.Fields() {
+		if r.Profile.Counts[f] > 0 || essential[f] {
+			kept = append(kept, f)
+		} else {
+			removed++
+		}
+	}
+	nl := layout.New(r.Base.Name()+"+pruned", kept)
+	p.MetaLayout = nl
+	p.note("prune-meta: removed %d dead fields, %dB -> %dB descriptor",
+		removed, r.Base.Size(), nl.Size())
+	return nil
+}
+
+// PacketMill returns the full pass pipeline of the paper's headline
+// configuration (source-code passes; run ReorderMeta separately once a
+// profile exists).
+func PacketMill() []Pass {
+	return []Pass{DeadCode{}, Devirtualize{}, ConstEmbed{}, StaticGraph{}}
+}
+
+// --- IR rendering ---
+
+// BuildModule renders a plan (with its model's descriptor layout) as a
+// dispatch-level IR module.
+func BuildModule(p *Plan, model click.MetadataModel) *ir.Module {
+	m := &ir.Module{Name: "nf", Notes: p.Notes}
+	if p.MetaLayout != nil {
+		m.Meta = p.MetaLayout
+	} else {
+		m.Meta = click.DefaultMetaLayout(model)
+	}
+	seg := ir.SegHeap
+	if p.Opt.StaticGraph {
+		seg = ir.SegData
+	}
+	pk := ir.ParamLoad
+	if p.Opt.ConstEmbed {
+		pk = ir.ParamConst
+	}
+	kind := machine.CallVirtual
+	switch {
+	case p.Opt.StaticGraph:
+		kind = machine.CallInlined
+	case p.Opt.Devirtualize:
+		kind = machine.CallDirect
+	}
+	funcs := map[string]*ir.Func{}
+	for _, e := range p.Graph.Elements {
+		f := &ir.Func{Name: e.Name, Class: e.Class, Seg: seg}
+		for i, a := range e.Args {
+			f.Params = append(f.Params, ir.Param{
+				Name: fmt.Sprintf("arg%d", i), Value: a, Kind: pk,
+			})
+		}
+		funcs[e.Name] = f
+		m.Funcs = append(m.Funcs, f)
+	}
+	for _, c := range p.Graph.Conns {
+		f := funcs[c.From]
+		for len(f.Calls) <= c.FromPort {
+			f.Calls = append(f.Calls, nil)
+		}
+		f.Calls[c.FromPort] = &ir.Call{Callee: c.To, ToPort: c.ToPort, Kind: kind}
+	}
+	return m
+}

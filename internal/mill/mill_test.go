@@ -1,0 +1,256 @@
+package mill
+
+import (
+	"strings"
+	"testing"
+
+	"packetmill/internal/click"
+	_ "packetmill/internal/elements"
+	"packetmill/internal/layout"
+	"packetmill/internal/machine"
+	"packetmill/internal/nf"
+)
+
+func plan(t *testing.T, config string) *Plan {
+	t.Helper()
+	p, err := NewPlan(config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDevirtualizePass(t *testing.T) {
+	p := plan(t, nf.Router(32))
+	if err := p.Apply(Devirtualize{}); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Opt.Devirtualize || p.Opt.StaticGraph {
+		t.Fatalf("opt = %+v", p.Opt)
+	}
+	if len(p.Notes) == 0 {
+		t.Fatal("pass left no note")
+	}
+}
+
+func TestStaticGraphImpliesDevirtualize(t *testing.T) {
+	p := plan(t, nf.Router(32))
+	if err := p.Apply(StaticGraph{}); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Opt.StaticGraph || !p.Opt.Devirtualize {
+		t.Fatalf("opt = %+v", p.Opt)
+	}
+}
+
+func TestPacketMillPipeline(t *testing.T) {
+	p := plan(t, nf.Router(32))
+	if err := p.Apply(PacketMill()...); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Opt.StaticGraph || !p.Opt.ConstEmbed || !p.Opt.Devirtualize {
+		t.Fatalf("opt = %+v", p.Opt)
+	}
+	if len(p.Notes) < 4 {
+		t.Fatalf("notes: %v", p.Notes)
+	}
+}
+
+func TestDeadCodeRemovesUnreachable(t *testing.T) {
+	cfg := nf.Forwarder(0, 32) + `
+orphan :: Counter;
+orphan2 :: Discard;
+orphan -> orphan2;
+`
+	p := plan(t, cfg)
+	nBefore := len(p.Graph.Elements)
+	if err := p.Apply(DeadCode{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Graph.Elements); got != nBefore-2 {
+		t.Fatalf("elements %d -> %d, want -2", nBefore, got)
+	}
+	if p.Graph.Element("orphan") != nil {
+		t.Fatal("orphan survived")
+	}
+	if p.Graph.Element("input") == nil || p.Graph.Element("output") == nil {
+		t.Fatal("live elements removed")
+	}
+}
+
+func TestDeadCodeKeepsEverythingReachable(t *testing.T) {
+	p := plan(t, nf.Router(32))
+	n := len(p.Graph.Elements)
+	c := len(p.Graph.Conns)
+	if err := p.Apply(DeadCode{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Graph.Elements) != n || len(p.Graph.Conns) != c {
+		t.Fatalf("deadcode mangled a fully-live graph: %d/%d -> %d/%d",
+			n, c, len(p.Graph.Elements), len(p.Graph.Conns))
+	}
+}
+
+func TestDeadCodeGraphStillBuilds(t *testing.T) {
+	p := plan(t, nf.Router(32)+"\nzombie :: Counter;\nzombie -> Discard;\n")
+	if err := p.Apply(DeadCode{}); err != nil {
+		t.Fatal(err)
+	}
+	// The transformed graph must still build into a runnable router.
+	if _, err := click.Build(p.Graph, click.BuildEnv{
+		Ports: nil,
+	}); err == nil {
+		t.Fatal("expected port error (no ports provided) — but graph parsed")
+	} else if !strings.Contains(err.Error(), "no DPDK port") {
+		t.Fatalf("unexpected build failure: %v", err)
+	}
+}
+
+func TestReorderMetaPass(t *testing.T) {
+	p := plan(t, nf.Forwarder(0, 32))
+	var prof layout.OrderProfile
+	for i := 0; i < 100; i++ {
+		prof.Record(layout.FieldAnnoDstIP)
+		prof.Record(layout.FieldDataLen)
+	}
+	err := p.Apply(ReorderMeta{Base: layout.ClickPacket(), Profile: &prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MetaLayout == nil {
+		t.Fatal("no layout produced")
+	}
+	if p.MetaLayout.Offset(layout.FieldAnnoDstIP) >= 64 {
+		t.Fatalf("hot field not in first line: %s", p.MetaLayout)
+	}
+	if !p.Opt.ReorderMeta {
+		t.Fatal("flag not set")
+	}
+}
+
+func TestReorderMetaRequiresInputs(t *testing.T) {
+	p := plan(t, nf.Forwarder(0, 32))
+	if err := p.Apply(ReorderMeta{}); err == nil {
+		t.Fatal("pass accepted nil inputs")
+	}
+}
+
+func TestPruneMetaRemovesDeadFields(t *testing.T) {
+	p := plan(t, nf.Forwarder(0, 32))
+	var prof layout.OrderProfile
+	// The forwarder only ever touches lengths and the routing anno.
+	prof.Record(layout.FieldDataLen)
+	prof.Record(layout.FieldAnnoDstIP)
+	base := layout.XchgPacket()
+	if err := p.Apply(PruneMeta{Base: base, Profile: &prof}); err != nil {
+		t.Fatal(err)
+	}
+	nl := p.MetaLayout
+	if nl == nil {
+		t.Fatal("no pruned layout")
+	}
+	// Dead fields gone; profiled + essential fields kept.
+	if nl.Has(layout.FieldAnnoPaint) || nl.Has(layout.FieldVlanTCI) {
+		t.Fatalf("dead fields survived: %s", nl)
+	}
+	for _, f := range []layout.FieldID{layout.FieldBufAddr, layout.FieldDataLen,
+		layout.FieldPktLen, layout.FieldAnnoDstIP} {
+		if !nl.Has(f) {
+			t.Fatalf("pruned an essential/live field %s: %s", f, nl)
+		}
+	}
+	if nl.Size() > base.Size() {
+		t.Fatalf("pruning grew the struct: %d > %d", nl.Size(), base.Size())
+	}
+}
+
+func TestPruneMetaRefusesOverlay(t *testing.T) {
+	p := plan(t, nf.Forwarder(0, 32))
+	var prof layout.OrderProfile
+	prof.Record(layout.FieldDataLen)
+	if err := p.Apply(PruneMeta{Base: layout.OverlayPacket(), Profile: &prof}); err == nil {
+		t.Fatal("pruned an overlay layout")
+	}
+}
+
+func TestPruneMetaRequiresInputs(t *testing.T) {
+	p := plan(t, nf.Forwarder(0, 32))
+	if err := p.Apply(PruneMeta{}); err == nil {
+		t.Fatal("pass accepted nil inputs")
+	}
+}
+
+func TestBuildModuleVanilla(t *testing.T) {
+	p := plan(t, nf.Forwarder(0, 32))
+	m := BuildModule(p, click.Copying)
+	st := m.Stats()
+	if st.Virtual == 0 || st.Direct != 0 || st.Inlined != 0 {
+		t.Fatalf("vanilla stats: %+v", st)
+	}
+	if st.HeapFuncs == 0 || st.DataFuncs != 0 {
+		t.Fatalf("vanilla placement: %+v", st)
+	}
+	if st.LoadParams == 0 || st.ConstParams != 0 {
+		t.Fatalf("vanilla params: %+v", st)
+	}
+}
+
+func TestBuildModuleMilled(t *testing.T) {
+	p := plan(t, nf.Forwarder(0, 32))
+	if err := p.Apply(PacketMill()...); err != nil {
+		t.Fatal(err)
+	}
+	m := BuildModule(p, click.Copying)
+	st := m.Stats()
+	if st.Virtual != 0 || st.Inlined == 0 {
+		t.Fatalf("milled stats: %+v", st)
+	}
+	if st.HeapFuncs != 0 || st.DataFuncs == 0 {
+		t.Fatalf("milled placement: %+v", st)
+	}
+	if st.LoadParams != 0 || st.ConstParams == 0 {
+		t.Fatalf("milled params: %+v", st)
+	}
+}
+
+func TestIRDumpShapes(t *testing.T) {
+	p := plan(t, nf.Forwarder(0, 32))
+	vanilla := BuildModule(p, click.Copying).Dump()
+	if !strings.Contains(vanilla, "%vtbl") {
+		t.Fatal("vanilla dump has no virtual dispatch")
+	}
+	if !strings.Contains(vanilla, `section "heap"`) {
+		t.Fatal("vanilla dump has no heap placement")
+	}
+	if err := p.Apply(PacketMill()...); err != nil {
+		t.Fatal(err)
+	}
+	milled := BuildModule(p, click.Copying).Dump()
+	if strings.Contains(milled, "%vtbl") {
+		t.Fatal("milled dump still has virtual dispatch")
+	}
+	if !strings.Contains(milled, `section ".data"`) {
+		t.Fatal("milled dump not in .data")
+	}
+	if !strings.Contains(milled, "inlined body") {
+		t.Fatal("milled dump not inlined")
+	}
+	if !strings.Contains(milled, "constant-embedded") {
+		t.Fatal("milled dump has no constants")
+	}
+}
+
+func TestModuleStatsKinds(t *testing.T) {
+	p := plan(t, nf.Forwarder(0, 32))
+	if err := p.Apply(Devirtualize{}); err != nil {
+		t.Fatal(err)
+	}
+	m := BuildModule(p, click.Copying)
+	for _, f := range m.Funcs {
+		for _, c := range f.Calls {
+			if c != nil && c.Kind != machine.CallDirect {
+				t.Fatalf("call kind %v after devirtualize", c.Kind)
+			}
+		}
+	}
+}

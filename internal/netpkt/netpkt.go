@@ -1,0 +1,557 @@
+// Package netpkt builds and parses the on-wire packet formats the network
+// functions operate on: Ethernet (with 802.1Q VLAN), ARP, IPv4 (including
+// header checksums), UDP, TCP, and ICMP. The elements in
+// internal/elements perform their real protocol work — checksum
+// verification, TTL decrement with incremental checksum update, header
+// validation — on bytes produced here, so correctness is testable against
+// the RFC arithmetic rather than being assumed.
+package netpkt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// ParseMAC parses the usual colon form ("aa:bb:cc:dd:ee:ff").
+func ParseMAC(s string) (MAC, error) {
+	var m MAC
+	n, err := fmt.Sscanf(s, "%02x:%02x:%02x:%02x:%02x:%02x",
+		&m[0], &m[1], &m[2], &m[3], &m[4], &m[5])
+	if err != nil || n != 6 {
+		return MAC{}, fmt.Errorf("netpkt: bad MAC %q", s)
+	}
+	return m, nil
+}
+
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether the address is ff:ff:ff:ff:ff:ff.
+func (m MAC) IsBroadcast() bool {
+	return m == MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+}
+
+// IsMulticast reports whether the group bit is set.
+func (m MAC) IsMulticast() bool { return m[0]&1 == 1 }
+
+// IPv4 is an IPv4 address in host-friendly array form.
+type IPv4 [4]byte
+
+// ParseIPv4 parses dotted-quad notation.
+func ParseIPv4(s string) (IPv4, error) {
+	var ip IPv4
+	var a, b, c, d int
+	n, err := fmt.Sscanf(s, "%d.%d.%d.%d", &a, &b, &c, &d)
+	if err != nil || n != 4 || a|b|c|d < 0 || a > 255 || b > 255 || c > 255 || d > 255 {
+		return IPv4{}, fmt.Errorf("netpkt: bad IPv4 %q", s)
+	}
+	ip[0], ip[1], ip[2], ip[3] = byte(a), byte(b), byte(c), byte(d)
+	return ip, nil
+}
+
+func (ip IPv4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// Uint32 returns the address as a big-endian integer (for LPM lookups).
+func (ip IPv4) Uint32() uint32 { return binary.BigEndian.Uint32(ip[:]) }
+
+// IPv4FromUint32 converts back from integer form.
+func IPv4FromUint32(v uint32) IPv4 {
+	var ip IPv4
+	binary.BigEndian.PutUint32(ip[:], v)
+	return ip
+}
+
+// EtherTypes and IP protocol numbers used throughout.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeARP  = 0x0806
+	EtherTypeVLAN = 0x8100
+
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// Header sizes.
+const (
+	EtherHdrLen = 14
+	VLANTagLen  = 4
+	IPv4HdrLen  = 20 // without options
+	UDPHdrLen   = 8
+	TCPHdrLen   = 20 // without options
+	ICMPHdrLen  = 8
+	ARPLen      = 28
+)
+
+// Checksum computes the Internet checksum (RFC 1071) over b with an
+// initial partial sum.
+func Checksum(b []byte, initial uint32) uint16 {
+	sum := initial
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// IncrementalChecksumUpdate16 applies RFC 1624 incremental update to an
+// existing checksum when a 16-bit field changes from old to new.
+func IncrementalChecksumUpdate16(check, old, new uint16) uint16 {
+	// HC' = ~(~HC + ~m + m') (RFC 1624 eqn. 3)
+	sum := uint32(^check) + uint32(^old) + uint32(new)
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// --- Ethernet ---
+
+// EtherHeader is a decoded Ethernet header.
+type EtherHeader struct {
+	Dst, Src  MAC
+	EtherType uint16
+}
+
+// PutEther writes an Ethernet header at b[0:14].
+func PutEther(b []byte, h EtherHeader) {
+	copy(b[0:6], h.Dst[:])
+	copy(b[6:12], h.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], h.EtherType)
+}
+
+// ParseEther decodes the Ethernet header at the front of b.
+func ParseEther(b []byte) (EtherHeader, error) {
+	if len(b) < EtherHdrLen {
+		return EtherHeader{}, fmt.Errorf("netpkt: short ethernet frame (%d bytes)", len(b))
+	}
+	var h EtherHeader
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.EtherType = binary.BigEndian.Uint16(b[12:14])
+	return h, nil
+}
+
+// SwapEtherAddrs exchanges the source and destination MACs in place — the
+// core of the EtherMirror element.
+func SwapEtherAddrs(b []byte) {
+	for i := 0; i < 6; i++ {
+		b[i], b[6+i] = b[6+i], b[i]
+	}
+}
+
+// --- 802.1Q VLAN ---
+
+// VLANTag is the 4-byte 802.1Q shim: TPID is implicit (0x8100).
+type VLANTag struct {
+	PCP uint8  // priority
+	VID uint16 // VLAN ID (12 bits)
+}
+
+// InsertVLAN returns b with a VLAN tag spliced in after the MAC addresses.
+// headroom permitting, callers should prefer shifting in place; this helper
+// allocates for clarity at test level. innerType is the original EtherType.
+func InsertVLAN(b []byte, tag VLANTag) []byte {
+	if len(b) < EtherHdrLen {
+		return b
+	}
+	out := make([]byte, len(b)+VLANTagLen)
+	copy(out, b[:12])
+	binary.BigEndian.PutUint16(out[12:14], EtherTypeVLAN)
+	tci := uint16(tag.PCP&7)<<13 | tag.VID&0x0fff
+	binary.BigEndian.PutUint16(out[14:16], tci)
+	copy(out[16:], b[12:]) // original ethertype + payload
+	return out
+}
+
+// EncodeVLANInPlace writes the 802.1Q shim into b[12:16], assuming the
+// caller has already shifted the MAC addresses 4 bytes toward the front
+// (the zero-copy headroom trick VLANEncap uses).
+func EncodeVLANInPlace(b []byte, tag VLANTag, innerType uint16) {
+	binary.BigEndian.PutUint16(b[12:14], EtherTypeVLAN)
+	tci := uint16(tag.PCP&7)<<13 | tag.VID&0x0fff
+	binary.BigEndian.PutUint16(b[14:16], tci)
+	_ = innerType // inner type already sits at b[16:18] after the shift
+}
+
+// ParseVLAN decodes the tag assuming EtherType 0x8100 at b[12:14].
+func ParseVLAN(b []byte) (VLANTag, uint16, error) {
+	if len(b) < EtherHdrLen+VLANTagLen {
+		return VLANTag{}, 0, fmt.Errorf("netpkt: short vlan frame")
+	}
+	tci := binary.BigEndian.Uint16(b[14:16])
+	inner := binary.BigEndian.Uint16(b[16:18])
+	return VLANTag{PCP: uint8(tci >> 13), VID: tci & 0x0fff}, inner, nil
+}
+
+// --- ARP ---
+
+// ARP operation codes.
+const (
+	ARPRequest = 1
+	ARPReply   = 2
+)
+
+// ARPPacket is a decoded IPv4-over-Ethernet ARP body.
+type ARPPacket struct {
+	Op       uint16
+	SenderHA MAC
+	SenderIP IPv4
+	TargetHA MAC
+	TargetIP IPv4
+}
+
+// PutARP writes a 28-byte ARP body at b.
+func PutARP(b []byte, p ARPPacket) {
+	binary.BigEndian.PutUint16(b[0:2], 1)      // HTYPE ethernet
+	binary.BigEndian.PutUint16(b[2:4], 0x0800) // PTYPE ipv4
+	b[4], b[5] = 6, 4
+	binary.BigEndian.PutUint16(b[6:8], p.Op)
+	copy(b[8:14], p.SenderHA[:])
+	copy(b[14:18], p.SenderIP[:])
+	copy(b[18:24], p.TargetHA[:])
+	copy(b[24:28], p.TargetIP[:])
+}
+
+// ParseARP decodes a 28-byte ARP body.
+func ParseARP(b []byte) (ARPPacket, error) {
+	if len(b) < ARPLen {
+		return ARPPacket{}, fmt.Errorf("netpkt: short ARP body")
+	}
+	var p ARPPacket
+	p.Op = binary.BigEndian.Uint16(b[6:8])
+	copy(p.SenderHA[:], b[8:14])
+	copy(p.SenderIP[:], b[14:18])
+	copy(p.TargetHA[:], b[18:24])
+	copy(p.TargetIP[:], b[24:28])
+	return p, nil
+}
+
+// --- IPv4 ---
+
+// IPv4Header is a decoded (option-less) IPv4 header.
+type IPv4Header struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8 // 3 bits
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src, Dst IPv4
+}
+
+// PutIPv4 writes a 20-byte IPv4 header at b, computing the checksum.
+func PutIPv4(b []byte, h IPv4Header) {
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:4], h.TotalLen)
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	binary.BigEndian.PutUint16(b[6:8], uint16(h.Flags&7)<<13|h.FragOff&0x1fff)
+	b[8] = h.TTL
+	b[9] = h.Protocol
+	b[10], b[11] = 0, 0
+	copy(b[12:16], h.Src[:])
+	copy(b[16:20], h.Dst[:])
+	ck := Checksum(b[:IPv4HdrLen], 0)
+	binary.BigEndian.PutUint16(b[10:12], ck)
+}
+
+// ParseIPv4 decodes the IPv4 header at b without verifying the checksum.
+func ParseIPv4Header(b []byte) (IPv4Header, int, error) {
+	if len(b) < IPv4HdrLen {
+		return IPv4Header{}, 0, fmt.Errorf("netpkt: short IPv4 header")
+	}
+	if b[0]>>4 != 4 {
+		return IPv4Header{}, 0, fmt.Errorf("netpkt: not IPv4 (version %d)", b[0]>>4)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < IPv4HdrLen || len(b) < ihl {
+		return IPv4Header{}, 0, fmt.Errorf("netpkt: bad IHL %d", ihl)
+	}
+	var h IPv4Header
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	ff := binary.BigEndian.Uint16(b[6:8])
+	h.Flags = uint8(ff >> 13)
+	h.FragOff = ff & 0x1fff
+	h.TTL = b[8]
+	h.Protocol = b[9]
+	h.Checksum = binary.BigEndian.Uint16(b[10:12])
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	return h, ihl, nil
+}
+
+// VerifyIPv4Checksum recomputes the header checksum over the IHL bytes.
+func VerifyIPv4Checksum(b []byte) bool {
+	if len(b) < IPv4HdrLen {
+		return false
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < IPv4HdrLen || len(b) < ihl {
+		return false
+	}
+	return Checksum(b[:ihl], 0) == 0
+}
+
+// DecrementTTL decrements the TTL at b[8] and incrementally patches the
+// checksum per RFC 1624 — the DecIPTTL element's inner loop. It reports
+// false (and leaves the packet untouched) when TTL is already ≤ 1.
+func DecrementTTL(b []byte) bool {
+	if len(b) < IPv4HdrLen || b[8] <= 1 {
+		return false
+	}
+	old := binary.BigEndian.Uint16(b[8:10])
+	b[8]--
+	new := binary.BigEndian.Uint16(b[8:10])
+	ck := binary.BigEndian.Uint16(b[10:12])
+	binary.BigEndian.PutUint16(b[10:12], IncrementalChecksumUpdate16(ck, old, new))
+	return true
+}
+
+// --- UDP ---
+
+// UDPHeader is a decoded UDP header.
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+}
+
+// PutUDP writes a UDP header (checksum left zero = disabled, as permitted
+// for IPv4; the IDS checks lengths, not UDP checksums, matching §A.3).
+func PutUDP(b []byte, h UDPHeader) {
+	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], h.Length)
+	binary.BigEndian.PutUint16(b[6:8], h.Checksum)
+}
+
+// ParseUDP decodes a UDP header.
+func ParseUDP(b []byte) (UDPHeader, error) {
+	if len(b) < UDPHdrLen {
+		return UDPHeader{}, fmt.Errorf("netpkt: short UDP header")
+	}
+	return UDPHeader{
+		SrcPort:  binary.BigEndian.Uint16(b[0:2]),
+		DstPort:  binary.BigEndian.Uint16(b[2:4]),
+		Length:   binary.BigEndian.Uint16(b[4:6]),
+		Checksum: binary.BigEndian.Uint16(b[6:8]),
+	}, nil
+}
+
+// --- TCP ---
+
+// TCP flag bits.
+const (
+	TCPFlagFIN = 1 << 0
+	TCPFlagSYN = 1 << 1
+	TCPFlagRST = 1 << 2
+	TCPFlagPSH = 1 << 3
+	TCPFlagACK = 1 << 4
+)
+
+// TCPHeader is a decoded (option-less) TCP header.
+type TCPHeader struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	DataOff          uint8 // in 32-bit words
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+}
+
+// PutTCP writes a 20-byte TCP header.
+func PutTCP(b []byte, h TCPHeader) {
+	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], h.Seq)
+	binary.BigEndian.PutUint32(b[8:12], h.Ack)
+	off := h.DataOff
+	if off == 0 {
+		off = 5
+	}
+	b[12] = off << 4
+	b[13] = h.Flags
+	binary.BigEndian.PutUint16(b[14:16], h.Window)
+	binary.BigEndian.PutUint16(b[16:18], h.Checksum)
+	binary.BigEndian.PutUint16(b[18:20], 0) // urgent
+}
+
+// ParseTCP decodes a TCP header.
+func ParseTCP(b []byte) (TCPHeader, int, error) {
+	if len(b) < TCPHdrLen {
+		return TCPHeader{}, 0, fmt.Errorf("netpkt: short TCP header")
+	}
+	h := TCPHeader{
+		SrcPort:  binary.BigEndian.Uint16(b[0:2]),
+		DstPort:  binary.BigEndian.Uint16(b[2:4]),
+		Seq:      binary.BigEndian.Uint32(b[4:8]),
+		Ack:      binary.BigEndian.Uint32(b[8:12]),
+		DataOff:  b[12] >> 4,
+		Flags:    b[13],
+		Window:   binary.BigEndian.Uint16(b[14:16]),
+		Checksum: binary.BigEndian.Uint16(b[16:18]),
+	}
+	off := int(h.DataOff) * 4
+	if off < TCPHdrLen || len(b) < off {
+		return TCPHeader{}, 0, fmt.Errorf("netpkt: bad TCP data offset %d", h.DataOff)
+	}
+	return h, off, nil
+}
+
+// --- ICMP ---
+
+// ICMP types used by the router configuration.
+const (
+	ICMPEchoReply    = 0
+	ICMPEchoRequest  = 8
+	ICMPTimeExceeded = 11
+)
+
+// ICMPHeader is a decoded ICMP header (echo-style layout).
+type ICMPHeader struct {
+	Type, Code uint8
+	Checksum   uint16
+	ID, Seq    uint16
+}
+
+// PutICMP writes an 8-byte ICMP header with a checksum covering hdr+payload.
+func PutICMP(b []byte, h ICMPHeader, payload []byte) {
+	b[0], b[1] = h.Type, h.Code
+	b[2], b[3] = 0, 0
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	binary.BigEndian.PutUint16(b[6:8], h.Seq)
+	copy(b[8:], payload)
+	ck := Checksum(b[:ICMPHdrLen+len(payload)], 0)
+	binary.BigEndian.PutUint16(b[2:4], ck)
+}
+
+// ParseICMP decodes an ICMP header.
+func ParseICMP(b []byte) (ICMPHeader, error) {
+	if len(b) < ICMPHdrLen {
+		return ICMPHeader{}, fmt.Errorf("netpkt: short ICMP header")
+	}
+	return ICMPHeader{
+		Type:     b[0],
+		Code:     b[1],
+		Checksum: binary.BigEndian.Uint16(b[2:4]),
+		ID:       binary.BigEndian.Uint16(b[4:6]),
+		Seq:      binary.BigEndian.Uint16(b[6:8]),
+	}, nil
+}
+
+// --- whole-packet builders (used by the traffic generator and tests) ---
+
+// UDPPacketSpec describes a UDP-in-IPv4-in-Ethernet packet to synthesize.
+type UDPPacketSpec struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     IPv4
+	SrcPort, DstPort uint16
+	TTL              uint8
+	TotalLen         int // full frame length including Ethernet header
+}
+
+// BuildUDP synthesizes a complete frame of spec.TotalLen bytes into buf
+// (which must be at least that large) and returns the slice. Frames below
+// the minimum viable size are rounded up to 64 bytes.
+func BuildUDP(buf []byte, spec UDPPacketSpec) []byte {
+	if spec.TotalLen < 64 {
+		spec.TotalLen = 64
+	}
+	if spec.TTL == 0 {
+		spec.TTL = 64
+	}
+	b := buf[:spec.TotalLen]
+	PutEther(b, EtherHeader{Dst: spec.DstMAC, Src: spec.SrcMAC, EtherType: EtherTypeIPv4})
+	ipLen := spec.TotalLen - EtherHdrLen
+	PutIPv4(b[EtherHdrLen:], IPv4Header{
+		TotalLen: uint16(ipLen),
+		TTL:      spec.TTL,
+		Protocol: ProtoUDP,
+		Src:      spec.SrcIP,
+		Dst:      spec.DstIP,
+	})
+	PutUDP(b[EtherHdrLen+IPv4HdrLen:], UDPHeader{
+		SrcPort: spec.SrcPort,
+		DstPort: spec.DstPort,
+		Length:  uint16(ipLen - IPv4HdrLen),
+	})
+	return b
+}
+
+// TCPPacketSpec describes a TCP-in-IPv4-in-Ethernet packet.
+type TCPPacketSpec struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     IPv4
+	SrcPort, DstPort uint16
+	Flags            uint8
+	TTL              uint8
+	TotalLen         int
+}
+
+// BuildTCP synthesizes a complete TCP frame.
+func BuildTCP(buf []byte, spec TCPPacketSpec) []byte {
+	if spec.TotalLen < 64 {
+		spec.TotalLen = 64
+	}
+	if spec.TTL == 0 {
+		spec.TTL = 64
+	}
+	if spec.Flags == 0 {
+		spec.Flags = TCPFlagACK
+	}
+	b := buf[:spec.TotalLen]
+	PutEther(b, EtherHeader{Dst: spec.DstMAC, Src: spec.SrcMAC, EtherType: EtherTypeIPv4})
+	ipLen := spec.TotalLen - EtherHdrLen
+	PutIPv4(b[EtherHdrLen:], IPv4Header{
+		TotalLen: uint16(ipLen),
+		TTL:      spec.TTL,
+		Protocol: ProtoTCP,
+		Src:      spec.SrcIP,
+		Dst:      spec.DstIP,
+	})
+	PutTCP(b[EtherHdrLen+IPv4HdrLen:], TCPHeader{
+		SrcPort: spec.SrcPort, DstPort: spec.DstPort,
+		Flags: spec.Flags, Window: 65535, DataOff: 5,
+	})
+	return b
+}
+
+// BuildICMPEcho synthesizes an ICMP echo request frame.
+func BuildICMPEcho(buf []byte, srcMAC, dstMAC MAC, srcIP, dstIP IPv4, id, seq uint16, totalLen int) []byte {
+	if totalLen < 64 {
+		totalLen = 64
+	}
+	b := buf[:totalLen]
+	PutEther(b, EtherHeader{Dst: dstMAC, Src: srcMAC, EtherType: EtherTypeIPv4})
+	ipLen := totalLen - EtherHdrLen
+	PutIPv4(b[EtherHdrLen:], IPv4Header{
+		TotalLen: uint16(ipLen),
+		TTL:      64,
+		Protocol: ProtoICMP,
+		Src:      srcIP,
+		Dst:      dstIP,
+	})
+	icmp := b[EtherHdrLen+IPv4HdrLen:]
+	for i := ICMPHdrLen; i < len(icmp); i++ {
+		icmp[i] = 0
+	}
+	PutICMP(icmp, ICMPHeader{Type: ICMPEchoRequest, ID: id, Seq: seq}, icmp[ICMPHdrLen:])
+	return b
+}

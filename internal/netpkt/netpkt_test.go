@@ -1,0 +1,311 @@
+package netpkt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMACRoundTrip(t *testing.T) {
+	m, err := ParseMAC("de:ad:be:ef:00:01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "de:ad:be:ef:00:01" {
+		t.Fatalf("round trip: %s", m)
+	}
+}
+
+func TestParseMACErrors(t *testing.T) {
+	for _, s := range []string{"", "nonsense", "00:11:22:33:44"} {
+		if _, err := ParseMAC(s); err == nil {
+			t.Errorf("ParseMAC(%q) succeeded", s)
+		}
+	}
+}
+
+func TestMACPredicates(t *testing.T) {
+	bc := MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	if !bc.IsBroadcast() || !bc.IsMulticast() {
+		t.Fatal("broadcast predicates")
+	}
+	mc := MAC{0x01, 0, 0x5e, 0, 0, 1}
+	if !mc.IsMulticast() || mc.IsBroadcast() {
+		t.Fatal("multicast predicates")
+	}
+	uni := MAC{0x02, 0, 0, 0, 0, 1}
+	if uni.IsMulticast() {
+		t.Fatal("unicast flagged multicast")
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	ip, err := ParseIPv4("192.168.7.42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.String() != "192.168.7.42" {
+		t.Fatalf("round trip: %s", ip)
+	}
+	if got := IPv4FromUint32(ip.Uint32()); got != ip {
+		t.Fatalf("uint32 round trip: %s", got)
+	}
+}
+
+func TestParseIPv4Errors(t *testing.T) {
+	for _, s := range []string{"", "1.2.3", "1.2.3.256", "a.b.c.d"} {
+		if _, err := ParseIPv4(s); err == nil {
+			t.Errorf("ParseIPv4(%q) succeeded", s)
+		}
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example-style header.
+	hdr := []byte{
+		0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00,
+		0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01,
+		0xc0, 0xa8, 0x00, 0xc7,
+	}
+	ck := Checksum(hdr, 0)
+	if ck != 0xb861 {
+		t.Fatalf("checksum = %#04x, want 0xb861", ck)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	even := Checksum([]byte{0x12, 0x34, 0x56, 0x00}, 0)
+	odd := Checksum([]byte{0x12, 0x34, 0x56}, 0)
+	if even != odd {
+		t.Fatalf("odd-length padding wrong: %#x vs %#x", odd, even)
+	}
+}
+
+func TestPutIPv4ChecksumSelfVerifies(t *testing.T) {
+	b := make([]byte, IPv4HdrLen)
+	PutIPv4(b, IPv4Header{TotalLen: 100, TTL: 64, Protocol: ProtoUDP,
+		Src: IPv4{10, 0, 0, 1}, Dst: IPv4{10, 0, 0, 2}})
+	if !VerifyIPv4Checksum(b) {
+		t.Fatal("freshly built header fails checksum")
+	}
+	b[8] ^= 0xff // corrupt TTL
+	if VerifyIPv4Checksum(b) {
+		t.Fatal("corrupted header passes checksum")
+	}
+}
+
+func TestIPv4HeaderRoundTrip(t *testing.T) {
+	want := IPv4Header{TOS: 0x10, TotalLen: 1500, ID: 77, Flags: 2, FragOff: 100,
+		TTL: 33, Protocol: ProtoTCP, Src: IPv4{1, 2, 3, 4}, Dst: IPv4{5, 6, 7, 8}}
+	b := make([]byte, IPv4HdrLen)
+	PutIPv4(b, want)
+	got, ihl, err := ParseIPv4Header(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ihl != 20 {
+		t.Fatalf("ihl = %d", ihl)
+	}
+	want.Checksum = got.Checksum // computed on write
+	if got != want {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestParseIPv4HeaderErrors(t *testing.T) {
+	if _, _, err := ParseIPv4Header(make([]byte, 10)); err == nil {
+		t.Fatal("short header accepted")
+	}
+	b := make([]byte, IPv4HdrLen)
+	b[0] = 0x65 // version 6
+	if _, _, err := ParseIPv4Header(b); err == nil {
+		t.Fatal("IPv6 version accepted")
+	}
+	b[0] = 0x44 // IHL 4 < 5
+	if _, _, err := ParseIPv4Header(b); err == nil {
+		t.Fatal("bad IHL accepted")
+	}
+}
+
+func TestDecrementTTLIncrementalChecksum(t *testing.T) {
+	b := make([]byte, IPv4HdrLen)
+	PutIPv4(b, IPv4Header{TotalLen: 500, TTL: 64, Protocol: ProtoUDP,
+		Src: IPv4{10, 1, 1, 1}, Dst: IPv4{10, 2, 2, 2}})
+	for ttl := 63; ttl >= 1; ttl-- {
+		if !DecrementTTL(b) {
+			t.Fatalf("DecrementTTL refused at ttl %d", ttl+1)
+		}
+		if int(b[8]) != ttl {
+			t.Fatalf("TTL = %d, want %d", b[8], ttl)
+		}
+		if !VerifyIPv4Checksum(b) {
+			t.Fatalf("incremental checksum wrong at ttl %d", ttl)
+		}
+	}
+	if DecrementTTL(b) {
+		t.Fatal("TTL decremented below 1")
+	}
+}
+
+func TestIncrementalChecksumMatchesRecompute(t *testing.T) {
+	if err := quick.Check(func(ttl uint8, src, dst uint32) bool {
+		if ttl < 2 {
+			ttl = 2
+		}
+		b := make([]byte, IPv4HdrLen)
+		PutIPv4(b, IPv4Header{TotalLen: 200, TTL: ttl, Protocol: ProtoTCP,
+			Src: IPv4FromUint32(src), Dst: IPv4FromUint32(dst)})
+		DecrementTTL(b)
+		return VerifyIPv4Checksum(b)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEtherRoundTripAndSwap(t *testing.T) {
+	b := make([]byte, EtherHdrLen)
+	src, _ := ParseMAC("02:00:00:00:00:01")
+	dst, _ := ParseMAC("02:00:00:00:00:02")
+	PutEther(b, EtherHeader{Dst: dst, Src: src, EtherType: EtherTypeIPv4})
+	h, err := ParseEther(b)
+	if err != nil || h.Src != src || h.Dst != dst || h.EtherType != EtherTypeIPv4 {
+		t.Fatalf("round trip: %+v err %v", h, err)
+	}
+	SwapEtherAddrs(b)
+	h2, _ := ParseEther(b)
+	if h2.Src != dst || h2.Dst != src {
+		t.Fatalf("swap failed: %+v", h2)
+	}
+}
+
+func TestParseEtherShort(t *testing.T) {
+	if _, err := ParseEther(make([]byte, 5)); err == nil {
+		t.Fatal("short frame accepted")
+	}
+}
+
+func TestVLANInsertAndParse(t *testing.T) {
+	spec := UDPPacketSpec{TotalLen: 100, SrcIP: IPv4{1, 1, 1, 1}, DstIP: IPv4{2, 2, 2, 2}}
+	orig := BuildUDP(make([]byte, 100), spec)
+	tagged := InsertVLAN(orig, VLANTag{PCP: 5, VID: 42})
+	if len(tagged) != len(orig)+VLANTagLen {
+		t.Fatalf("tagged len = %d", len(tagged))
+	}
+	h, _ := ParseEther(tagged)
+	if h.EtherType != EtherTypeVLAN {
+		t.Fatalf("outer ethertype = %#x", h.EtherType)
+	}
+	tag, inner, err := ParseVLAN(tagged)
+	if err != nil || tag.VID != 42 || tag.PCP != 5 || inner != EtherTypeIPv4 {
+		t.Fatalf("tag = %+v inner %#x err %v", tag, inner, err)
+	}
+	// IP header must be intact after the shim.
+	if !VerifyIPv4Checksum(tagged[EtherHdrLen+VLANTagLen:]) {
+		t.Fatal("payload corrupted by VLAN insertion")
+	}
+}
+
+func TestARPRoundTrip(t *testing.T) {
+	want := ARPPacket{Op: ARPRequest,
+		SenderHA: MAC{1, 2, 3, 4, 5, 6}, SenderIP: IPv4{10, 0, 0, 1},
+		TargetHA: MAC{}, TargetIP: IPv4{10, 0, 0, 2}}
+	b := make([]byte, ARPLen)
+	PutARP(b, want)
+	got, err := ParseARP(b)
+	if err != nil || got != want {
+		t.Fatalf("round trip: %+v err %v", got, err)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	want := UDPHeader{SrcPort: 1234, DstPort: 53, Length: 100}
+	b := make([]byte, UDPHdrLen)
+	PutUDP(b, want)
+	got, err := ParseUDP(b)
+	if err != nil || got != want {
+		t.Fatalf("round trip: %+v err %v", got, err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	want := TCPHeader{SrcPort: 80, DstPort: 50000, Seq: 1e9, Ack: 2e9,
+		DataOff: 5, Flags: TCPFlagSYN | TCPFlagACK, Window: 4096}
+	b := make([]byte, TCPHdrLen)
+	PutTCP(b, want)
+	got, off, err := ParseTCP(b)
+	if err != nil || off != 20 {
+		t.Fatalf("off %d err %v", off, err)
+	}
+	if got != want {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestParseTCPBadOffset(t *testing.T) {
+	b := make([]byte, TCPHdrLen)
+	b[12] = 3 << 4 // data offset 3 words < 5
+	if _, _, err := ParseTCP(b); err == nil {
+		t.Fatal("bad data offset accepted")
+	}
+}
+
+func TestBuildUDPWholeFrame(t *testing.T) {
+	spec := UDPPacketSpec{
+		SrcIP: IPv4{10, 0, 0, 1}, DstIP: IPv4{10, 0, 0, 2},
+		SrcPort: 5000, DstPort: 6000, TotalLen: 200,
+	}
+	b := BuildUDP(make([]byte, 1600), spec)
+	if len(b) != 200 {
+		t.Fatalf("len = %d", len(b))
+	}
+	ih, _, err := ParseIPv4Header(b[EtherHdrLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(ih.TotalLen) != 200-EtherHdrLen || ih.Protocol != ProtoUDP {
+		t.Fatalf("ip header: %+v", ih)
+	}
+	if !VerifyIPv4Checksum(b[EtherHdrLen:]) {
+		t.Fatal("checksum")
+	}
+	uh, _ := ParseUDP(b[EtherHdrLen+IPv4HdrLen:])
+	if uh.SrcPort != 5000 || uh.DstPort != 6000 {
+		t.Fatalf("udp header: %+v", uh)
+	}
+	if int(uh.Length) != 200-EtherHdrLen-IPv4HdrLen {
+		t.Fatalf("udp length: %d", uh.Length)
+	}
+}
+
+func TestBuildUDPMinimumSize(t *testing.T) {
+	b := BuildUDP(make([]byte, 1600), UDPPacketSpec{TotalLen: 10})
+	if len(b) != 64 {
+		t.Fatalf("min frame = %d, want 64", len(b))
+	}
+}
+
+func TestBuildTCPWholeFrame(t *testing.T) {
+	b := BuildTCP(make([]byte, 1600), TCPPacketSpec{
+		SrcIP: IPv4{1, 1, 1, 1}, DstIP: IPv4{2, 2, 2, 2},
+		SrcPort: 1, DstPort: 2, TotalLen: 128,
+	})
+	ih, _, _ := ParseIPv4Header(b[EtherHdrLen:])
+	if ih.Protocol != ProtoTCP {
+		t.Fatalf("protocol = %d", ih.Protocol)
+	}
+	th, _, err := ParseTCP(b[EtherHdrLen+IPv4HdrLen:])
+	if err != nil || th.Flags != TCPFlagACK {
+		t.Fatalf("tcp: %+v err %v", th, err)
+	}
+}
+
+func TestBuildICMPEchoChecksum(t *testing.T) {
+	b := BuildICMPEcho(make([]byte, 1600), MAC{}, MAC{}, IPv4{1, 1, 1, 1}, IPv4{2, 2, 2, 2}, 7, 9, 98)
+	icmp := b[EtherHdrLen+IPv4HdrLen:]
+	if Checksum(icmp, 0) != 0 {
+		t.Fatal("ICMP checksum does not verify")
+	}
+	h, err := ParseICMP(icmp)
+	if err != nil || h.Type != ICMPEchoRequest || h.ID != 7 || h.Seq != 9 {
+		t.Fatalf("icmp: %+v err %v", h, err)
+	}
+}

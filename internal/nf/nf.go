@@ -1,0 +1,121 @@
+// Package nf holds the paper's network-function configurations
+// (Appendix A) as Click-language sources, parameterized where the
+// experiments sweep them. These are the inputs PacketMill's pipeline
+// consumes.
+package nf
+
+import "fmt"
+
+// Forwarder is the simple forwarder of A.1: receive, rewrite the MAC
+// addresses, transmit.
+func Forwarder(port, burst int) string {
+	return fmt.Sprintf(`
+// Simple forwarder (Appendix A.1)
+input :: FromDPDKDevice(PORT %d, N_QUEUES 1, BURST %d);
+output :: ToDPDKDevice(PORT %d, BURST %d);
+input -> EtherRewrite(SRC 02:00:00:00:00:02, DST 02:00:00:00:00:01) -> output;
+`, port, burst, port, burst)
+}
+
+// Mirror is the EtherMirror forwarder of Listing 3.
+func Mirror(port, burst int) string {
+	return fmt.Sprintf(`
+// Listing 3 forwarder
+input :: FromDPDKDevice(PORT %d, N_QUEUES 1, BURST %d);
+output :: ToDPDKDevice(PORT %d, BURST %d);
+input -> EtherMirror -> output;
+`, port, burst, port, burst)
+}
+
+// TwoNICForwarder forwards between two ports with one core (Figure 5b).
+func TwoNICForwarder(burst int) string {
+	return fmt.Sprintf(`
+// Two-NIC forwarder, one core (Fig. 5b)
+in0 :: FromDPDKDevice(PORT 0, BURST %d);
+out0 :: ToDPDKDevice(PORT 0, BURST %d);
+in1 :: FromDPDKDevice(PORT 1, BURST %d);
+out1 :: ToDPDKDevice(PORT 1, BURST %d);
+in0 -> EtherRewrite(SRC 02:00:00:00:00:02, DST 02:00:00:00:00:01) -> out0;
+in1 -> EtherRewrite(SRC 02:00:00:00:00:02, DST 02:00:00:00:00:01) -> out1;
+`, burst, burst, burst, burst)
+}
+
+// Router is the standard-compliant IP router of A.2: classify
+// ARP/IP, validate, route, decrement TTL, re-encapsulate.
+func Router(burst int) string {
+	return fmt.Sprintf(`
+// Standard IP router (Appendix A.2)
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST %d);
+output :: ToDPDKDevice(PORT 0, BURST %d);
+c :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+rt :: LookupIPRoute(10.1.0.0/16 0, 10.0.0.0/8 0, 0.0.0.0/0 10.1.0.1 0);
+arpq :: ARPQuerier(10.1.0.254, 02:00:00:00:00:02);
+
+input -> c;
+c[0] -> ARPResponder(10.1.0.254 02:00:00:00:00:02) -> output;
+c[1] -> [1]arpq;
+c[2] -> Strip(14) -> CheckIPHeader(0) -> rt;
+c[3] -> Discard;
+rt[0] -> DecIPTTL -> [0]arpq;
+arpq[0] -> output;
+`, burst, burst)
+}
+
+// IDSRouter is the router preceded by the IDS checks and followed by VLAN
+// encapsulation (A.3, §4.4's "IDS+router").
+func IDSRouter(burst int) string {
+	return fmt.Sprintf(`
+// IDS + router + VLAN (Appendix A.3)
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST %d);
+output :: ToDPDKDevice(PORT 0, BURST %d);
+c :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+ids :: CheckTCPHeader(14);
+idsu :: CheckUDPHeader(14);
+idsi :: CheckICMPHeader(14);
+rt :: LookupIPRoute(10.1.0.0/16 0, 10.0.0.0/8 0, 0.0.0.0/0 10.1.0.1 0);
+arpq :: ARPQuerier(10.1.0.254, 02:00:00:00:00:02);
+
+input -> c;
+c[0] -> ARPResponder(10.1.0.254 02:00:00:00:00:02) -> output;
+c[1] -> [1]arpq;
+c[2] -> ids -> idsu -> idsi -> Strip(14) -> CheckIPHeader(0) -> rt;
+c[3] -> Discard;
+rt[0] -> DecIPTTL -> [0]arpq;
+arpq[0] -> VLANEncap(VLAN_ID 42, VLAN_PCP 0) -> output;
+`, burst, burst)
+}
+
+// NATRouter is the router plus the stateful NAPT of A.3 (§4.5's
+// multicore NF).
+func NATRouter(burst int) string {
+	return fmt.Sprintf(`
+// Router + NAT (Appendix A.3)
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST %d);
+output :: ToDPDKDevice(PORT 0, BURST %d);
+c :: Classifier(12/0806 20/0001, 12/0806 20/0002, 12/0800, -);
+nat :: IPRewriter(EXTIP 192.168.100.1, CAPACITY 65536);
+rt :: LookupIPRoute(10.1.0.0/16 0, 10.0.0.0/8 0, 0.0.0.0/0 10.1.0.1 0);
+arpq :: ARPQuerier(10.1.0.254, 02:00:00:00:00:02);
+
+input -> c;
+c[0] -> ARPResponder(10.1.0.254 02:00:00:00:00:02) -> output;
+c[1] -> [1]arpq;
+c[2] -> nat -> Strip(14) -> CheckIPHeader(0) -> rt;
+c[3] -> Discard;
+rt[0] -> DecIPTTL -> [0]arpq;
+arpq[0] -> output;
+`, burst, burst)
+}
+
+// WorkPackageForwarder is the synthetic NF of A.4: the forwarder with a
+// WorkPackage element of S MB, N accesses, and W random numbers.
+func WorkPackageForwarder(burst, s, n, w int) string {
+	return fmt.Sprintf(`
+// WorkPackage forwarder (Appendix A.4)
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST %d);
+output :: ToDPDKDevice(PORT %d, BURST %d);
+input -> WorkPackage(S %d, N %d, W %d)
+      -> EtherRewrite(SRC 02:00:00:00:00:02, DST 02:00:00:00:00:01)
+      -> output;
+`, burst, 0, burst, s, n, w)
+}

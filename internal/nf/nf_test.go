@@ -1,0 +1,113 @@
+package nf
+
+import (
+	"os"
+	"testing"
+
+	"packetmill/internal/click"
+	_ "packetmill/internal/elements"
+)
+
+// Every configuration in the catalog must parse and reference only
+// registered element classes with sane port usage.
+func TestAllConfigsParse(t *testing.T) {
+	configs := map[string]string{
+		"forwarder":   Forwarder(0, 32),
+		"mirror":      Mirror(0, 32),
+		"two-nic":     TwoNICForwarder(32),
+		"router":      Router(32),
+		"ids-router":  IDSRouter(32),
+		"nat-router":  NATRouter(32),
+		"workpackage": WorkPackageForwarder(32, 4, 1, 4),
+	}
+	for name, cfg := range configs {
+		g, err := click.Parse(cfg)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if len(g.Elements) == 0 || len(g.Conns) == 0 {
+			t.Errorf("%s: empty graph", name)
+		}
+		for _, e := range g.Elements {
+			if _, err := click.NewElement(e.Class); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		}
+		// Exactly the sources a config should have.
+		srcs := 0
+		for _, e := range g.Elements {
+			if click.IsSourceClass(e.Class) {
+				srcs++
+			}
+		}
+		want := 1
+		if name == "two-nic" {
+			want = 2
+		}
+		if srcs != want {
+			t.Errorf("%s: %d sources, want %d", name, srcs, want)
+		}
+	}
+}
+
+func TestBurstParameterPropagates(t *testing.T) {
+	g, err := click.Parse(Router(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := g.Element("input")
+	found := false
+	for _, a := range in.Args {
+		if a == "BURST 64" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("BURST not propagated: %v", in.Args)
+	}
+}
+
+func TestRouterHasClassifierFanout(t *testing.T) {
+	g, err := click.Parse(Router(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := g.Element("c")
+	if c == nil || c.Class != "Classifier" || len(c.Args) != 4 {
+		t.Fatalf("classifier: %+v", c)
+	}
+	outs := 0
+	for _, conn := range g.Conns {
+		if conn.From == "c" {
+			outs++
+		}
+	}
+	if outs != 4 {
+		t.Fatalf("classifier fanout %d", outs)
+	}
+}
+
+// TestShippedConfigFilesInSync verifies the .click files under configs/
+// stay identical to the generated catalog (they are the documented CLI
+// inputs: `packetmill -config configs/router.click`).
+func TestShippedConfigFilesInSync(t *testing.T) {
+	files := map[string]string{
+		"../../configs/forwarder.click":   Forwarder(0, 32),
+		"../../configs/mirror.click":      Mirror(0, 32),
+		"../../configs/router.click":      Router(32),
+		"../../configs/ids-router.click":  IDSRouter(32),
+		"../../configs/nat-router.click":  NATRouter(32),
+		"../../configs/workpackage.click": WorkPackageForwarder(32, 4, 1, 4),
+	}
+	for path, want := range files {
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		if string(got) != want {
+			t.Errorf("%s is out of sync with the nf catalog", path)
+		}
+	}
+}

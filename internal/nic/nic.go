@@ -1,0 +1,379 @@
+// Package nic simulates a 100-GbE network adapter: receive and transmit
+// descriptor rings, DMA through the DDIO window of the shared LLC, RSS
+// spreading across queues, a line-rate serialization model, and the
+// per-queue packet-rate ceiling that caps single-queue throughput on real
+// ConnectX-5 hardware (the "other NIC-related issues" of §4.2 that make
+// X-Change flatten out above 2.2 GHz on one NIC).
+//
+// The NIC is passive: a driver (internal/dpdk's poll-mode driver, with or
+// without X-Change bindings) posts buffers, polls completions, and enqueues
+// transmissions; the testbed delivers generator frames with Deliver.
+package nic
+
+import (
+	"fmt"
+	"math"
+
+	"packetmill/internal/cache"
+	"packetmill/internal/machine"
+	"packetmill/internal/memsim"
+	"packetmill/internal/netpkt"
+	"packetmill/internal/pktbuf"
+)
+
+// Config describes one adapter.
+type Config struct {
+	Name        string
+	LinkGbps    float64 // line rate, e.g. 100
+	MaxQueuePPS float64 // per-queue completion ceiling; 0 disables
+	RXRingSize  int
+	TXRingSize  int
+	NumQueues   int
+}
+
+// DefaultConfig returns the ConnectX-5-like adapter used by every
+// experiment: 100 Gbps, 4096-descriptor rings, 11.8-Mpps single-queue
+// ceiling.
+func DefaultConfig(name string) Config {
+	return Config{
+		Name:        name,
+		LinkGbps:    100,
+		MaxQueuePPS: 11.8e6,
+		RXRingSize:  4096,
+		TXRingSize:  4096,
+		NumQueues:   1,
+	}
+}
+
+// Stats aggregates adapter counters.
+type Stats struct {
+	RxDelivered uint64 // frames accepted into an RX ring
+	RxDropNoBuf uint64 // dropped: no posted buffer
+	RxDropFull  uint64 // dropped: completion ring full
+	TxSent      uint64
+	TxDropFull  uint64
+	TxBytes     uint64
+	RxBytes     uint64
+}
+
+// rxEntry is a completed receive awaiting the driver's poll.
+type rxEntry struct {
+	pkt     *pktbuf.Packet
+	desc    Descriptor
+	readyNS float64
+}
+
+// Descriptor carries the wire metadata the NIC extracted for a received
+// frame — the CQE contents the PMD converts into application metadata.
+type Descriptor struct {
+	Len     int
+	VlanTCI uint16
+	RSSHash uint32
+	PktType uint32
+	Queue   int
+}
+
+// RXQueue is one receive queue: posted buffers plus completed entries.
+type RXQueue struct {
+	nic        *NIC
+	id         int
+	posted     []*pktbuf.Packet
+	completed  []rxEntry
+	cqBase     memsim.Addr
+	cqHead     uint64 // absolute index of next completion the driver reads
+	lastCompNS float64
+}
+
+// TXQueue is one transmit queue. Transmission uses two pipelined
+// resources: the wire serializer (one frame-time each) and the descriptor
+// engine (one MaxQueuePPS-gap each); a frame departs when both are done
+// with it. Modelling them separately matters for mixed-size traffic —
+// taking max(wire, gap) per frame would undercount the pipelining and cap
+// mixed traffic below the true queue rate.
+type TXQueue struct {
+	nic      *NIC
+	id       int
+	inflight []txEntry
+	sqBase   memsim.Addr
+	sqTail   uint64
+	// wireDoneNS / descDoneNS are the two resources' clocks.
+	wireDoneNS float64
+	descDoneNS float64
+}
+
+type txEntry struct {
+	pkt      *pktbuf.Packet
+	departNS float64
+}
+
+// NIC is one simulated adapter.
+type NIC struct {
+	Cfg   Config
+	Stats Stats
+	sys   *cache.System
+	rx    []*RXQueue
+	tx    []*TXQueue
+	// OnDepart, when set, observes every transmitted packet with its
+	// wire departure time — the testbed's latency probe.
+	OnDepart func(p *pktbuf.Packet, departNS float64)
+}
+
+// New builds an adapter, carving descriptor rings out of the hugepage
+// arena so CQE/SQE accesses land at stable simulated addresses.
+func New(cfg Config, sys *cache.System, hugepages *memsim.Arena) *NIC {
+	if cfg.NumQueues <= 0 {
+		cfg.NumQueues = 1
+	}
+	if cfg.RXRingSize <= 0 || cfg.TXRingSize <= 0 {
+		panic("nic: ring sizes must be positive")
+	}
+	n := &NIC{Cfg: cfg, sys: sys}
+	for q := 0; q < cfg.NumQueues; q++ {
+		n.rx = append(n.rx, &RXQueue{
+			nic:        n,
+			id:         q,
+			cqBase:     hugepages.Alloc(uint64(cfg.RXRingSize)*cqeSize, memsim.PageSize),
+			lastCompNS: math.Inf(-1),
+		})
+		n.tx = append(n.tx, &TXQueue{
+			nic:        n,
+			id:         q,
+			sqBase:     hugepages.Alloc(uint64(cfg.TXRingSize)*sqeSize, memsim.PageSize),
+			wireDoneNS: math.Inf(-1),
+			descDoneNS: math.Inf(-1),
+		})
+	}
+	return n
+}
+
+// Descriptor entry sizes (bytes) — an MLX5 CQE is 64 B, an SQE segment 64 B.
+const (
+	cqeSize = 64
+	sqeSize = 64
+)
+
+// RX returns receive queue q.
+func (n *NIC) RX(q int) *RXQueue { return n.rx[q] }
+
+// TX returns transmit queue q.
+func (n *NIC) TX(q int) *TXQueue { return n.tx[q] }
+
+// RSSQueue picks the receive queue for a frame using a flow hash over the
+// IPv4 addresses and L4 ports (symmetric simple hash; distribution, not
+// cryptography, is what matters).
+func (n *NIC) RSSQueue(frame []byte) int {
+	if n.Cfg.NumQueues == 1 {
+		return 0
+	}
+	h := rssHash(frame)
+	return int(h % uint32(n.Cfg.NumQueues))
+}
+
+func rssHash(frame []byte) uint32 {
+	if len(frame) < netpkt.EtherHdrLen+netpkt.IPv4HdrLen {
+		return 0
+	}
+	ip := frame[netpkt.EtherHdrLen:]
+	if frame[12] != 0x08 || frame[13] != 0x00 {
+		return 0
+	}
+	var h uint32 = 2166136261
+	mix := func(b byte) { h = (h ^ uint32(b)) * 16777619 }
+	for _, b := range ip[12:20] { // src+dst IP
+		mix(b)
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if len(ip) >= ihl+4 && (ip[9] == netpkt.ProtoTCP || ip[9] == netpkt.ProtoUDP) {
+		for _, b := range ip[ihl : ihl+4] { // ports
+			mix(b)
+		}
+	}
+	return h
+}
+
+// Deliver presents a frame on the wire at time ns. The frame is DMA'd into
+// the next posted buffer of queue q (or dropped, matching hardware drop
+// semantics). Returns true if the frame entered the ring.
+func (n *NIC) Deliver(q int, frame []byte, ns float64) bool {
+	rxq := n.rx[q]
+	if len(rxq.completed) >= n.Cfg.RXRingSize {
+		n.Stats.RxDropFull++
+		return false
+	}
+	if len(rxq.posted) == 0 {
+		n.Stats.RxDropNoBuf++
+		return false
+	}
+	pkt := rxq.posted[0]
+	rxq.posted = rxq.posted[1:]
+
+	pkt.SetFrame(frame)
+	pkt.ArrivalNS = ns
+
+	// DMA: payload into the buffer, CQE write-back into the ring.
+	n.sys.DMAWrite(pkt.DataAddr(), uint64(len(frame)))
+	cqe := rxq.cqBase + memsim.Addr((rxq.cqHead+uint64(len(rxq.completed)))%uint64(n.Cfg.RXRingSize)*cqeSize)
+	n.sys.DMAWrite(cqe, cqeSize)
+
+	// Completion pacing: the queue cannot complete faster than its PPS
+	// ceiling.
+	ready := ns
+	if n.Cfg.MaxQueuePPS > 0 {
+		minGap := 1e9 / n.Cfg.MaxQueuePPS
+		if rxq.lastCompNS+minGap > ready {
+			ready = rxq.lastCompNS + minGap
+		}
+	}
+	rxq.lastCompNS = ready
+
+	desc := Descriptor{Len: len(frame), Queue: q, RSSHash: rssHash(frame)}
+	if len(frame) >= 14 && frame[12] == 0x81 && frame[13] == 0x00 {
+		desc.VlanTCI = uint16(frame[14])<<8 | uint16(frame[15])
+	}
+	rxq.completed = append(rxq.completed, rxEntry{pkt: pkt, desc: desc, readyNS: ready})
+	n.Stats.RxDelivered++
+	n.Stats.RxBytes += uint64(len(frame))
+	return true
+}
+
+// Post hands a fresh buffer to the queue for future DMA. The driver calls
+// this during ring refill.
+func (q *RXQueue) Post(p *pktbuf.Packet) {
+	if len(q.posted)+len(q.completed) >= q.nic.Cfg.RXRingSize {
+		// The driver posted more buffers than descriptors; treat as a
+		// programming error.
+		panic("nic: RX ring over-posted")
+	}
+	q.posted = append(q.posted, p)
+}
+
+// PostedCount reports buffers currently posted.
+func (q *RXQueue) PostedCount() int { return len(q.posted) }
+
+// PendingCount reports completions waiting for the driver.
+func (q *RXQueue) PendingCount() int { return len(q.completed) }
+
+// Poll pops up to max completed receptions that are ready by nowNS,
+// charging the CQE reads to core. It returns the packets and their wire
+// descriptors.
+func (q *RXQueue) Poll(core *machine.Core, nowNS float64, max int,
+	pkts []*pktbuf.Packet, descs []Descriptor) int {
+	n := 0
+	for n < max && len(q.completed) > 0 {
+		e := q.completed[0]
+		if e.readyNS > nowNS {
+			break
+		}
+		// Driver reads the CQE.
+		cqe := q.cqBase + memsim.Addr(q.cqHead%uint64(q.nic.Cfg.RXRingSize)*cqeSize)
+		core.Load(cqe, cqeSize)
+		q.cqHead++
+		q.completed = q.completed[1:]
+		pkts[n] = e.pkt
+		descs[n] = e.desc
+		n++
+	}
+	return n
+}
+
+// PollCompressed is Poll for a vectorized driver using CQE compression:
+// one 64-B read covers a session of up to four completions (mlx5's
+// compressed CQE format), so descriptor traffic drops ~4x.
+func (q *RXQueue) PollCompressed(core *machine.Core, nowNS float64, max int,
+	pkts []*pktbuf.Packet, descs []Descriptor) int {
+	n := 0
+	for n < max && len(q.completed) > 0 {
+		e := q.completed[0]
+		if e.readyNS > nowNS {
+			break
+		}
+		if q.cqHead%4 == 0 || n == 0 {
+			cqe := q.cqBase + memsim.Addr(q.cqHead%uint64(q.nic.Cfg.RXRingSize)*cqeSize)
+			core.Load(cqe, cqeSize)
+		}
+		q.cqHead++
+		q.completed = q.completed[1:]
+		pkts[n] = e.pkt
+		descs[n] = e.desc
+		n++
+	}
+	return n
+}
+
+// NextReadyNS returns the readiness time of the oldest pending completion,
+// or +Inf when the queue is idle — the testbed uses it to fast-forward an
+// idle core.
+func (q *RXQueue) NextReadyNS() float64 {
+	if len(q.completed) == 0 {
+		return inf
+	}
+	return q.completed[0].readyNS
+}
+
+var inf = math.Inf(1)
+
+// Enqueue queues a frame for transmission at time nowNS, charging the SQE
+// write to core. It returns false when the TX ring is full.
+func (q *TXQueue) Enqueue(core *machine.Core, p *pktbuf.Packet, nowNS float64) bool {
+	if len(q.inflight) >= q.nic.Cfg.TXRingSize {
+		q.nic.Stats.TxDropFull++
+		return false
+	}
+	sqe := q.sqBase + memsim.Addr(q.sqTail%uint64(q.nic.Cfg.TXRingSize)*sqeSize)
+	core.Store(sqe, sqeSize)
+	q.sqTail++
+
+	// The adapter DMA-reads the frame.
+	q.nic.sys.DMARead(p.DataAddr(), uint64(p.Len()))
+
+	// Serialization: the wire takes one frame-time, the descriptor
+	// engine one PPS-gap; the two overlap across frames.
+	wire := float64(p.Len()+20) * 8 / q.nic.Cfg.LinkGbps // +20B preamble/IFG/FCS overhead
+	start := nowNS
+	if q.wireDoneNS > start {
+		start = q.wireDoneNS
+	}
+	q.wireDoneNS = start + wire
+	depart := q.wireDoneNS
+	if q.nic.Cfg.MaxQueuePPS > 0 {
+		gap := 1e9 / q.nic.Cfg.MaxQueuePPS
+		d := nowNS
+		if q.descDoneNS > d {
+			d = q.descDoneNS
+		}
+		q.descDoneNS = d + gap
+		if q.descDoneNS > depart {
+			depart = q.descDoneNS
+		}
+	}
+
+	q.inflight = append(q.inflight, txEntry{pkt: p, departNS: depart})
+	q.nic.Stats.TxSent++
+	q.nic.Stats.TxBytes += uint64(p.Len())
+	if q.nic.OnDepart != nil {
+		q.nic.OnDepart(p, depart)
+	}
+	return true
+}
+
+// Reap returns buffers whose frames have fully left the wire by nowNS so
+// the driver can recycle them.
+func (q *TXQueue) Reap(nowNS float64, out []*pktbuf.Packet) int {
+	n := 0
+	for n < len(out) && len(q.inflight) > 0 && q.inflight[0].departNS <= nowNS {
+		out[n] = q.inflight[0].pkt
+		q.inflight = q.inflight[1:]
+		n++
+	}
+	return n
+}
+
+// InflightCount reports frames queued but not yet departed.
+func (q *TXQueue) InflightCount() int { return len(q.inflight) }
+
+// String summarizes the adapter state for debugging.
+func (n *NIC) String() string {
+	return fmt.Sprintf("%s: rx=%d dropNoBuf=%d dropFull=%d tx=%d txDrop=%d",
+		n.Cfg.Name, n.Stats.RxDelivered, n.Stats.RxDropNoBuf, n.Stats.RxDropFull,
+		n.Stats.TxSent, n.Stats.TxDropFull)
+}

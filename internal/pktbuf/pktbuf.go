@@ -1,0 +1,266 @@
+// Package pktbuf defines the simulated packet buffer: real payload bytes
+// paired with simulated addresses, plus a metadata descriptor whose fields
+// are read and written *through* a layout so every access is charged to
+// the cache hierarchy at the right line.
+//
+// A Packet is the unit every engine in this repository moves around. The
+// three metadata-management models differ only in how Packets are wired:
+//
+//   - Copying: Packet.Mbuf is a distinct rte_mbuf descriptor in the DPDK
+//     mempool; Packet.Meta is the framework's own object elsewhere, and
+//     the RX path copies fields from one to the other.
+//   - Overlaying: Packet.Meta sits at the mbuf's address with a layout
+//     that carries the whole rte_mbuf as a fixed prefix; Mbuf is nil.
+//   - X-Change: Packet.Meta is an application descriptor from a small
+//     recycled pool; the driver writes it directly; Mbuf is nil.
+package pktbuf
+
+import (
+	"fmt"
+
+	"packetmill/internal/layout"
+	"packetmill/internal/machine"
+	"packetmill/internal/memsim"
+)
+
+// Meta is one metadata descriptor instance: a simulated base address, the
+// layout giving each field its offset, and the current field values.
+// Values live host-side; the address+layout exist so accesses can be
+// charged at the correct simulated cache line.
+type Meta struct {
+	Base memsim.Addr
+	L    *layout.Layout
+	// Prof, when non-nil, accumulates the access profile the reordering
+	// pass consumes.
+	Prof *layout.OrderProfile
+	vals [layout.NumFields]uint64
+}
+
+// Get loads field f, charging the read to core.
+func (m *Meta) Get(core *machine.Core, f layout.FieldID) uint64 {
+	core.Load(m.Base+memsim.Addr(m.L.Offset(f)), uint64(f.Size()))
+	if m.Prof != nil {
+		m.Prof.Record(f)
+	}
+	return m.vals[f]
+}
+
+// Set stores v into field f, charging the write to core.
+func (m *Meta) Set(core *machine.Core, f layout.FieldID, v uint64) {
+	core.Store(m.Base+memsim.Addr(m.L.Offset(f)), uint64(f.Size()))
+	if m.Prof != nil {
+		m.Prof.Record(f)
+	}
+	m.vals[f] = v
+}
+
+// Peek reads a field without charging — for assertions, tests, and host
+// bookkeeping that has no hardware counterpart.
+func (m *Meta) Peek(f layout.FieldID) uint64 { return m.vals[f] }
+
+// Poke writes a field without charging.
+func (m *Meta) Poke(f layout.FieldID, v uint64) { m.vals[f] = v }
+
+// CopyField copies field f from src, charging one load on src and one
+// store on dst — the Copying model's per-field cost.
+func (m *Meta) CopyField(core *machine.Core, src *Meta, f layout.FieldID) {
+	m.Set(core, f, src.Get(core, f))
+}
+
+// ClearValues zeroes all field values (host side only).
+func (m *Meta) ClearValues() { m.vals = [layout.NumFields]uint64{} }
+
+// Packet is a packet in flight: payload bytes plus its descriptor(s).
+type Packet struct {
+	// buf is the full backing store: headroom followed by data room.
+	buf []byte
+	// BufAddr is the simulated address of buf[0].
+	BufAddr memsim.Addr
+	// dataOff/dataLen delimit the frame within buf.
+	dataOff, dataLen int
+
+	// Meta is the application-visible descriptor (always non-nil once
+	// the packet is in an engine).
+	Meta *Meta
+	// Mbuf is the separate DPDK descriptor under the Copying model;
+	// nil when Meta overlays or replaces it.
+	Mbuf *Meta
+
+	// ArrivalNS is the wire arrival timestamp, for latency measurement.
+	ArrivalNS float64
+
+	// next links packets into a Batch (FastClick's linked-list batching).
+	next *Packet
+}
+
+// NewPacket wraps a backing buffer of the given simulated address and
+// headroom. The data region is empty until SetFrame or DMA fills it.
+func NewPacket(buf []byte, addr memsim.Addr, headroom int) *Packet {
+	if headroom > len(buf) {
+		panic("pktbuf: headroom larger than buffer")
+	}
+	return &Packet{buf: buf, BufAddr: addr, dataOff: headroom}
+}
+
+// Reset rewinds the packet to an empty frame at the given headroom and
+// forgets chaining. Field values in Meta/Mbuf are left to the caller.
+func (p *Packet) Reset(headroom int) {
+	p.dataOff = headroom
+	p.dataLen = 0
+	p.next = nil
+	p.ArrivalNS = 0
+}
+
+// SetFrame copies frame into the data region (host bytes only; DMA cost is
+// charged by the NIC model).
+func (p *Packet) SetFrame(frame []byte) {
+	if p.dataOff+len(frame) > len(p.buf) {
+		panic(fmt.Sprintf("pktbuf: frame %dB exceeds buffer room %dB", len(frame), len(p.buf)-p.dataOff))
+	}
+	copy(p.buf[p.dataOff:], frame)
+	p.dataLen = len(frame)
+}
+
+// Bytes returns the current frame bytes (no charge; pair with Load/Store
+// for accounting).
+func (p *Packet) Bytes() []byte { return p.buf[p.dataOff : p.dataOff+p.dataLen] }
+
+// Len returns the frame length.
+func (p *Packet) Len() int { return p.dataLen }
+
+// DataAddr returns the simulated address of the first frame byte.
+func (p *Packet) DataAddr() memsim.Addr { return p.BufAddr + memsim.Addr(p.dataOff) }
+
+// Headroom returns the bytes available before the frame.
+func (p *Packet) Headroom() int { return p.dataOff }
+
+// Tailroom returns the bytes available after the frame.
+func (p *Packet) Tailroom() int { return len(p.buf) - p.dataOff - p.dataLen }
+
+// Load charges a read of frame bytes [off, off+n) and returns the slice.
+func (p *Packet) Load(core *machine.Core, off, n int) []byte {
+	p.check(off, n)
+	core.Load(p.DataAddr()+memsim.Addr(off), uint64(n))
+	return p.buf[p.dataOff+off : p.dataOff+off+n]
+}
+
+// Store charges a write of frame bytes [off, off+n) and returns the slice
+// for the caller to fill.
+func (p *Packet) Store(core *machine.Core, off, n int) []byte {
+	p.check(off, n)
+	core.Store(p.DataAddr()+memsim.Addr(off), uint64(n))
+	return p.buf[p.dataOff+off : p.dataOff+off+n]
+}
+
+func (p *Packet) check(off, n int) {
+	if off < 0 || n < 0 || off+n > p.dataLen {
+		panic(fmt.Sprintf("pktbuf: access [%d,%d) outside frame of %dB", off, off+n, p.dataLen))
+	}
+}
+
+// Push extends the frame n bytes into the headroom (for encapsulation) and
+// returns the new front slice. It charges nothing; callers charge their
+// own writes via Store.
+func (p *Packet) Push(n int) []byte {
+	if n > p.dataOff {
+		panic("pktbuf: Push exceeds headroom")
+	}
+	p.dataOff -= n
+	p.dataLen += n
+	return p.buf[p.dataOff : p.dataOff+n]
+}
+
+// Pull shrinks the frame from the front by n bytes (decapsulation).
+func (p *Packet) Pull(n int) {
+	if n > p.dataLen {
+		panic("pktbuf: Pull exceeds frame")
+	}
+	p.dataOff += n
+	p.dataLen -= n
+}
+
+// Trim shrinks the frame from the back to length n.
+func (p *Packet) Trim(n int) {
+	if n > p.dataLen {
+		panic("pktbuf: Trim grows frame")
+	}
+	p.dataLen = n
+}
+
+// Extend grows the frame n bytes into the tailroom (for padding); the new
+// bytes keep whatever the buffer held.
+func (p *Packet) Extend(n int) {
+	if n > p.Tailroom() {
+		panic("pktbuf: Extend exceeds tailroom")
+	}
+	p.dataLen += n
+}
+
+// Batch is FastClick's linked-list packet batch. Chaining uses the
+// packets' metadata Next field so batch construction and traversal are
+// charged like the pointer chases they are.
+type Batch struct {
+	head, tail *Packet
+	count      int
+}
+
+// Append links p at the end of the batch, charging the Next-field store on
+// the previous tail when the layout carries a Next field (array-based
+// engines pass core=nil to skip charging and use host-side links only).
+func (b *Batch) Append(core *machine.Core, p *Packet) {
+	p.next = nil
+	if b.tail == nil {
+		b.head, b.tail = p, p
+	} else {
+		if core != nil && b.tail.Meta != nil && b.tail.Meta.L.Has(layout.FieldNext) {
+			b.tail.Meta.Set(core, layout.FieldNext, uint64(p.BufAddr))
+		}
+		b.tail.next = p
+		b.tail = p
+	}
+	b.count++
+}
+
+// Head returns the first packet (nil if empty).
+func (b *Batch) Head() *Packet { return b.head }
+
+// Count returns the number of packets.
+func (b *Batch) Count() int { return b.count }
+
+// Empty reports whether the batch holds no packets.
+func (b *Batch) Empty() bool { return b.count == 0 }
+
+// Next returns p's successor, charging the Next-field load when charged
+// chaining is in use.
+func (b *Batch) Next(core *machine.Core, p *Packet) *Packet {
+	if p.next != nil && core != nil && p.Meta != nil && p.Meta.L.Has(layout.FieldNext) {
+		p.Meta.Get(core, layout.FieldNext)
+	}
+	return p.next
+}
+
+// ForEach traverses the batch, charging Next loads, and calls fn for each
+// packet. fn returning false stops early.
+func (b *Batch) ForEach(core *machine.Core, fn func(*Packet) bool) {
+	for p := b.head; p != nil; {
+		nxt := b.Next(core, p)
+		if !fn(p) {
+			return
+		}
+		p = nxt
+	}
+}
+
+// Take removes and returns all packets as a slice (host-side helper for
+// engines that work array-at-a-time); the batch becomes empty.
+func (b *Batch) Take() []*Packet {
+	out := make([]*Packet, 0, b.count)
+	for p := b.head; p != nil; {
+		nxt := p.next
+		p.next = nil
+		out = append(out, p)
+		p = nxt
+	}
+	b.head, b.tail, b.count = nil, nil, 0
+	return out
+}

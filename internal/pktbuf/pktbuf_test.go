@@ -1,0 +1,277 @@
+package pktbuf
+
+import (
+	"bytes"
+	"testing"
+
+	"packetmill/internal/layout"
+	"packetmill/internal/machine"
+	"packetmill/internal/memsim"
+)
+
+func testCore() *machine.Core {
+	_, c := machine.Default(2.0)
+	return c
+}
+
+func newMeta(base memsim.Addr) *Meta {
+	return &Meta{Base: base, L: layout.ClickPacket()}
+}
+
+func TestMetaGetSetRoundTrip(t *testing.T) {
+	c := testCore()
+	m := newMeta(0x1000)
+	m.Set(c, layout.FieldDataLen, 1500)
+	if got := m.Get(c, layout.FieldDataLen); got != 1500 {
+		t.Fatalf("Get = %d", got)
+	}
+	if m.Peek(layout.FieldDataLen) != 1500 {
+		t.Fatal("Peek mismatch")
+	}
+}
+
+func TestMetaAccessIsCharged(t *testing.T) {
+	c := testCore()
+	m := newMeta(0x1000)
+	before := c.Snapshot()
+	m.Set(c, layout.FieldDataLen, 99)
+	d := c.Snapshot().Delta(before)
+	if d.Instructions == 0 || d.BusyCycles == 0 {
+		t.Fatal("metadata access was free")
+	}
+}
+
+func TestMetaAccessChargedAtFieldOffset(t *testing.T) {
+	// Two fields in different cache lines of the struct must touch
+	// different simulated lines: a cold miss each.
+	c := testCore()
+	l := layout.RteMbuf()
+	m := &Meta{Base: 0x10000, L: l}
+	before := c.Snapshot()
+	m.Set(c, layout.FieldBufAddr, 1) // line 0
+	m.Set(c, layout.FieldPool, 2)    // line 1
+	d := c.Snapshot().Delta(before)
+	if d.LLCLoadMisses+d.LLCStoreMisses < 2 {
+		t.Fatalf("cross-line fields did not cause two cold misses: %+v", d)
+	}
+}
+
+func TestMetaProfileRecording(t *testing.T) {
+	c := testCore()
+	m := newMeta(0x1000)
+	var prof layout.OrderProfile
+	m.Prof = &prof
+	m.Set(c, layout.FieldAnnoDstIP, 1)
+	m.Get(c, layout.FieldAnnoDstIP)
+	if prof.Counts[layout.FieldAnnoDstIP] != 2 {
+		t.Fatalf("profile count = %d", prof.Counts[layout.FieldAnnoDstIP])
+	}
+}
+
+func TestCopyFieldChargesBothSides(t *testing.T) {
+	c := testCore()
+	src := &Meta{Base: 0x2000, L: layout.RteMbuf()}
+	dst := newMeta(0x3000)
+	src.Poke(layout.FieldDataLen, 777)
+	before := c.Snapshot()
+	dst.CopyField(c, src, layout.FieldDataLen)
+	d := c.Snapshot().Delta(before)
+	if dst.Peek(layout.FieldDataLen) != 777 {
+		t.Fatal("value not copied")
+	}
+	if d.Instructions < 2 {
+		t.Fatal("copy under-charged")
+	}
+}
+
+func TestPacketFrameOps(t *testing.T) {
+	p := NewPacket(make([]byte, 2048), 0x40000, 128)
+	frame := bytes.Repeat([]byte{0xAB}, 100)
+	p.SetFrame(frame)
+	if p.Len() != 100 || p.Headroom() != 128 || p.Tailroom() != 2048-128-100 {
+		t.Fatalf("geometry: len=%d head=%d tail=%d", p.Len(), p.Headroom(), p.Tailroom())
+	}
+	if !bytes.Equal(p.Bytes(), frame) {
+		t.Fatal("bytes mismatch")
+	}
+	if p.DataAddr() != 0x40000+128 {
+		t.Fatalf("data addr %#x", p.DataAddr())
+	}
+}
+
+func TestPacketLoadStoreCharged(t *testing.T) {
+	c := testCore()
+	p := NewPacket(make([]byte, 2048), 0x40000, 128)
+	p.SetFrame(make([]byte, 200))
+	before := c.Snapshot()
+	b := p.Load(c, 0, 14)
+	if len(b) != 14 {
+		t.Fatalf("load slice len %d", len(b))
+	}
+	d := c.Snapshot().Delta(before)
+	if d.Instructions == 0 {
+		t.Fatal("data load was free")
+	}
+	w := p.Store(c, 0, 6)
+	copy(w, []byte{1, 2, 3, 4, 5, 6})
+	if p.Bytes()[0] != 1 {
+		t.Fatal("store slice not aliased to frame")
+	}
+}
+
+func TestPacketAccessBoundsPanics(t *testing.T) {
+	c := testCore()
+	p := NewPacket(make([]byte, 256), 0x40000, 64)
+	p.SetFrame(make([]byte, 64))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-frame access did not panic")
+		}
+	}()
+	p.Load(c, 60, 10)
+}
+
+func TestPushPullTrim(t *testing.T) {
+	p := NewPacket(make([]byte, 512), 0x50000, 64)
+	p.SetFrame(bytes.Repeat([]byte{7}, 100))
+	front := p.Push(4)
+	if len(front) != 4 || p.Len() != 104 || p.Headroom() != 60 {
+		t.Fatalf("push: len=%d head=%d", p.Len(), p.Headroom())
+	}
+	copy(front, []byte{1, 2, 3, 4})
+	if p.Bytes()[0] != 1 || p.Bytes()[4] != 7 {
+		t.Fatal("push corrupted frame")
+	}
+	p.Pull(4)
+	if p.Len() != 100 || p.Bytes()[0] != 7 {
+		t.Fatal("pull broken")
+	}
+	p.Trim(50)
+	if p.Len() != 50 {
+		t.Fatal("trim broken")
+	}
+}
+
+func TestPushBeyondHeadroomPanics(t *testing.T) {
+	p := NewPacket(make([]byte, 256), 0x50000, 8)
+	p.SetFrame(make([]byte, 10))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.Push(9)
+}
+
+func TestSetFrameOverflowPanics(t *testing.T) {
+	p := NewPacket(make([]byte, 128), 0x50000, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.SetFrame(make([]byte, 100))
+}
+
+func TestResetRewinds(t *testing.T) {
+	p := NewPacket(make([]byte, 256), 0x60000, 32)
+	p.SetFrame(make([]byte, 100))
+	p.Pull(10)
+	p.ArrivalNS = 42
+	p.Reset(32)
+	if p.Len() != 0 || p.Headroom() != 32 || p.ArrivalNS != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func makePkt(addr memsim.Addr) *Packet {
+	p := NewPacket(make([]byte, 256), addr, 32)
+	p.Meta = &Meta{Base: addr - 0x100, L: layout.ClickPacket()}
+	p.SetFrame(make([]byte, 64))
+	return p
+}
+
+func TestBatchAppendTraverse(t *testing.T) {
+	c := testCore()
+	var b Batch
+	if !b.Empty() {
+		t.Fatal("fresh batch not empty")
+	}
+	var pkts []*Packet
+	for i := 0; i < 5; i++ {
+		p := makePkt(memsim.Addr(0x10000 + i*0x1000))
+		pkts = append(pkts, p)
+		b.Append(c, p)
+	}
+	if b.Count() != 5 || b.Head() != pkts[0] {
+		t.Fatalf("count=%d", b.Count())
+	}
+	i := 0
+	b.ForEach(c, func(p *Packet) bool {
+		if p != pkts[i] {
+			t.Fatalf("order broken at %d", i)
+		}
+		i++
+		return true
+	})
+	if i != 5 {
+		t.Fatalf("visited %d", i)
+	}
+}
+
+func TestBatchForEachEarlyStop(t *testing.T) {
+	c := testCore()
+	var b Batch
+	for i := 0; i < 5; i++ {
+		b.Append(c, makePkt(memsim.Addr(0x20000+i*0x1000)))
+	}
+	n := 0
+	b.ForEach(c, func(*Packet) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestBatchChainingCharged(t *testing.T) {
+	c := testCore()
+	var b Batch
+	b.Append(c, makePkt(0x30000))
+	before := c.Snapshot()
+	b.Append(c, makePkt(0x31000)) // must charge the Next store on tail
+	d := c.Snapshot().Delta(before)
+	if d.Instructions == 0 {
+		t.Fatal("chaining store was free")
+	}
+}
+
+func TestBatchUnchargedMode(t *testing.T) {
+	var b Batch
+	p1, p2 := makePkt(0x40000), makePkt(0x41000)
+	b.Append(nil, p1)
+	b.Append(nil, p2)
+	if b.Count() != 2 {
+		t.Fatal("uncharged append broken")
+	}
+	got := 0
+	b.ForEach(nil, func(*Packet) bool { got++; return true })
+	if got != 2 {
+		t.Fatal("uncharged traversal broken")
+	}
+}
+
+func TestBatchTake(t *testing.T) {
+	c := testCore()
+	var b Batch
+	for i := 0; i < 4; i++ {
+		b.Append(c, makePkt(memsim.Addr(0x50000+i*0x1000)))
+	}
+	out := b.Take()
+	if len(out) != 4 || !b.Empty() || b.Head() != nil {
+		t.Fatalf("take: %d left empty=%v", len(out), b.Empty())
+	}
+	for _, p := range out {
+		if p.next != nil {
+			t.Fatal("take left links behind")
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package simrand provides deterministic pseudo-random number generators
+// used throughout the simulator. Everything in this repository that needs
+// randomness takes an explicit *Rand so that every experiment is exactly
+// reproducible from its seed; we never touch math/rand's global state.
+//
+// The core generator is xoshiro256** seeded via SplitMix64, the combination
+// recommended by Blackman & Vigna. It is small, fast, and has no global
+// locks, which matters because the traffic generator draws a few values per
+// simulated packet.
+package simrand
+
+import "math"
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used only for seeding the main generator.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a deterministic xoshiro256** generator.
+// The zero value is not valid; use New.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via SplitMix64.
+// Two generators built from the same seed produce identical streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("simrand: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("simrand: Uint64n with zero n")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Classic rejection on the top bits to avoid modulo bias.
+	max := ^uint64(0) - ^uint64(0)%n
+	for {
+		v := r.Uint64()
+		if v <= max {
+			return v % n
+		}
+	}
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// ExpFloat64 returns an exponentially distributed value with mean 1,
+// suitable for Poisson inter-arrival times.
+func (r *Rand) ExpFloat64() float64 {
+	// Inverse transform; clamp the argument away from zero so Log never
+	// sees 0.
+	u := r.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -math.Log(1 - u)
+}
+
+// Perm returns a random permutation of [0, n) (Fisher–Yates).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle pseudo-randomly swaps the n elements using the provided swap
+// function, matching the contract of math/rand.Shuffle.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Zipf draws from a Zipf(s, v) distribution over [0, n), the classic
+// heavy-tailed popularity law used to pick flow identifiers. It uses the
+// rejection-inversion sampler of Hörmann & Derflinger, the same algorithm
+// as math/rand.Zipf, reimplemented here so it runs on our generator.
+type Zipf struct {
+	r                *Rand
+	imax             float64
+	v, q             float64
+	oneMinusQ        float64
+	oneMinusQInv     float64
+	hxm, hx0MinusHxm float64
+	s                float64
+}
+
+// NewZipf returns a Zipf sampler producing values in [0, imax].
+// Requires s > 1, v >= 1. Panics otherwise.
+func NewZipf(r *Rand, s, v float64, imax uint64) *Zipf {
+	if s <= 1 || v < 1 {
+		panic("simrand: NewZipf requires s > 1 and v >= 1")
+	}
+	z := &Zipf{r: r, imax: float64(imax), v: v, q: s}
+	z.oneMinusQ = 1 - z.q
+	z.oneMinusQInv = 1 / z.oneMinusQ
+	z.hxm = z.h(z.imax + 0.5)
+	z.hx0MinusHxm = z.h(0.5) - math.Exp(math.Log(z.v)*(-z.q)) - z.hxm
+	z.s = 1 - z.hinv(z.h(1.5)-math.Exp(-z.q*math.Log(z.v+1)))
+	return z
+}
+
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(z.oneMinusQ*math.Log(z.v+x)) * z.oneMinusQInv
+}
+
+func (z *Zipf) hinv(x float64) float64 {
+	return math.Exp(z.oneMinusQInv*math.Log(z.oneMinusQ*x)) - z.v
+}
+
+// Uint64 draws the next Zipf value.
+func (z *Zipf) Uint64() uint64 {
+	for {
+		r := z.r.Float64()
+		ur := z.hxm + r*z.hx0MinusHxm
+		x := z.hinv(ur)
+		k := math.Floor(x + 0.5)
+		if k-x <= z.s {
+			return uint64(k)
+		}
+		if ur >= z.h(k+0.5)-math.Exp(-math.Log(k+z.v)*z.q) {
+			return uint64(k)
+		}
+	}
+}

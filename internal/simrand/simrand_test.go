@@ -1,0 +1,162 @@
+package simrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at %d: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestZeroSeedValid(t *testing.T) {
+	r := New(0)
+	v := r.Uint64()
+	w := r.Uint64()
+	if v == 0 && w == 0 {
+		t.Fatal("zero seed produced a stuck all-zero stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	if err := quick.Check(func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nPowerOfTwoAndOdd(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		if v := r.Uint64n(64); v >= 64 {
+			t.Fatalf("Uint64n(64) = %d", v)
+		}
+		if v := r.Uint64n(13); v >= 13 {
+			t.Fatalf("Uint64n(13) = %d", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(12)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := New(13)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / n
+	if math.Abs(mean-1.0) > 0.02 {
+		t.Fatalf("exponential mean = %v, want ≈1", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(14)
+	p := r.Perm(257)
+	seen := make([]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= len(p) || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(15)
+	s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	sum2 := 0
+	for _, v := range s {
+		sum2 += v
+	}
+	if sum != sum2 {
+		t.Fatalf("shuffle changed contents: %v", s)
+	}
+}
+
+func TestZipfSkewAndRange(t *testing.T) {
+	r := New(16)
+	z := NewZipf(r, 1.2, 1, 999)
+	counts := map[uint64]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := z.Uint64()
+		if v > 999 {
+			t.Fatalf("zipf out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate rank 100 heavily under s=1.2.
+	if counts[0] < counts[100]*5 {
+		t.Fatalf("zipf not skewed: rank0=%d rank100=%d", counts[0], counts[100])
+	}
+}
+
+func TestZipfPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewZipf(s=1) did not panic")
+		}
+	}()
+	NewZipf(New(1), 1.0, 1, 10)
+}

@@ -1,0 +1,101 @@
+// Least-squares fits: Figure 4 of the paper annotates every curve with a
+// fitted model — linear throughput(f) = a + b·f and quadratic
+// latency(f) = a + b·f + c·f² — plus R². These helpers reproduce those
+// annotations.
+package stats
+
+import "math"
+
+// LinearFit returns the least-squares a, b for y ≈ a + b·x and the R²
+// coefficient of determination. It needs at least two points.
+func LinearFit(xs, ys []float64) (a, b, r2 float64) {
+	n := float64(len(xs))
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return sy / n, 0, 0
+	}
+	b = (n*sxy - sx*sy) / den
+	a = (sy - b*sx) / n
+	r2 = rSquared(ys, func(i int) float64 { return a + b*xs[i] })
+	return a, b, r2
+}
+
+// QuadFit returns the least-squares a, b, c for y ≈ a + b·x + c·x² and R².
+// It needs at least three points; degenerate systems return zeros.
+func QuadFit(xs, ys []float64) (a, b, c, r2 float64) {
+	if len(xs) != len(ys) || len(xs) < 3 {
+		return 0, 0, 0, 0
+	}
+	// Normal equations for the 3-parameter polynomial.
+	var s [5]float64 // sums of x^0..x^4
+	var t [3]float64 // sums of y·x^0..x^2
+	for i := range xs {
+		x := xs[i]
+		xp := 1.0
+		for k := 0; k < 5; k++ {
+			s[k] += xp
+			if k < 3 {
+				t[k] += ys[i] * xp
+			}
+			xp *= x
+		}
+	}
+	// Solve the symmetric 3x3 system M·[a b c]^T = t with Cramer's rule.
+	m := [3][3]float64{
+		{s[0], s[1], s[2]},
+		{s[1], s[2], s[3]},
+		{s[2], s[3], s[4]},
+	}
+	det := det3(m)
+	if math.Abs(det) < 1e-12 {
+		return 0, 0, 0, 0
+	}
+	sub := func(col int) float64 {
+		mm := m
+		for r := 0; r < 3; r++ {
+			mm[r][col] = t[r]
+		}
+		return det3(mm) / det
+	}
+	a, b, c = sub(0), sub(1), sub(2)
+	r2 = rSquared(ys, func(i int) float64 { return a + b*xs[i] + c*xs[i]*xs[i] })
+	return a, b, c, r2
+}
+
+func det3(m [3][3]float64) float64 {
+	return m[0][0]*(m[1][1]*m[2][2]-m[1][2]*m[2][1]) -
+		m[0][1]*(m[1][0]*m[2][2]-m[1][2]*m[2][0]) +
+		m[0][2]*(m[1][0]*m[2][1]-m[1][1]*m[2][0])
+}
+
+func rSquared(ys []float64, pred func(i int) float64) float64 {
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	var ssRes, ssTot float64
+	for i, y := range ys {
+		d := y - pred(i)
+		ssRes += d * d
+		m := y - mean
+		ssTot += m * m
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1.2, 1.6, 2.0, 2.4, 2.8}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 6.854 + 22.50*x // the paper's Vanilla(f) fit
+	}
+	a, b, r2 := LinearFit(xs, ys)
+	if !approx(a, 6.854, 1e-9) || !approx(b, 22.50, 1e-9) || !approx(r2, 1, 1e-12) {
+		t.Fatalf("a=%v b=%v r2=%v", a, b, r2)
+	}
+}
+
+func TestLinearFitNoise(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := []float64{2.1, 3.9, 6.2, 7.8, 10.1, 11.9}
+	a, b, r2 := LinearFit(xs, ys)
+	if !approx(b, 2, 0.1) || !approx(a, 0, 0.4) {
+		t.Fatalf("a=%v b=%v", a, b)
+	}
+	if r2 < 0.99 {
+		t.Fatalf("r2=%v", r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if _, _, r2 := LinearFit([]float64{1}, []float64{2}); r2 != 0 {
+		t.Fatal("single point fit")
+	}
+	// All-equal x: zero slope, no crash.
+	a, b, _ := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if b != 0 || !approx(a, 2, 1e-9) {
+		t.Fatalf("vertical fit: a=%v b=%v", a, b)
+	}
+}
+
+func TestQuadFitExact(t *testing.T) {
+	// The paper's Vanilla latency fit: 874.522 - 367.700f + 63.707f².
+	xs := []float64{1.2, 1.4, 1.8, 2.2, 2.6, 3.0}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 874.522 - 367.700*x + 63.707*x*x
+	}
+	a, b, c, r2 := QuadFit(xs, ys)
+	if !approx(a, 874.522, 1e-6) || !approx(b, -367.700, 1e-6) || !approx(c, 63.707, 1e-6) {
+		t.Fatalf("a=%v b=%v c=%v", a, b, c)
+	}
+	if !approx(r2, 1, 1e-9) {
+		t.Fatalf("r2=%v", r2)
+	}
+}
+
+func TestQuadFitDegenerate(t *testing.T) {
+	if _, _, _, r2 := QuadFit([]float64{1, 2}, []float64{1, 2}); r2 != 0 {
+		t.Fatal("two-point quad fit")
+	}
+	// Identical xs: singular system → zeros, no panic.
+	a, b, c, _ := QuadFit([]float64{1, 1, 1, 1}, []float64{1, 2, 3, 4})
+	if a != 0 || b != 0 || c != 0 {
+		t.Fatalf("singular system: %v %v %v", a, b, c)
+	}
+}
+
+func TestQuadFitRecoversRandomPolynomials(t *testing.T) {
+	xs := []float64{0.5, 1, 1.5, 2, 2.5, 3, 3.5}
+	if err := quick.Check(func(ai, bi, ci int8) bool {
+		a0, b0, c0 := float64(ai), float64(bi), float64(ci)
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a0 + b0*x + c0*x*x
+		}
+		a, b, c, _ := QuadFit(xs, ys)
+		return approx(a, a0, 1e-6) && approx(b, b0, 1e-6) && approx(c, c0, 1e-6)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRSquaredBounds(t *testing.T) {
+	// A constant series predicted perfectly → R² = 1; predicted wrong → 0.
+	ys := []float64{5, 5, 5}
+	if r := rSquared(ys, func(int) float64 { return 5 }); r != 1 {
+		t.Fatalf("perfect constant fit r2=%v", r)
+	}
+	if r := rSquared(ys, func(int) float64 { return 7 }); r != 0 {
+		t.Fatalf("wrong constant fit r2=%v", r)
+	}
+}

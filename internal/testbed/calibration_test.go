@@ -1,0 +1,95 @@
+package testbed
+
+import (
+	"testing"
+
+	"packetmill/internal/click"
+	_ "packetmill/internal/elements"
+	"packetmill/internal/nf"
+)
+
+// costPerPacket runs a saturated workload and reports the per-packet
+// budget in core-clock-equivalent cycles (busy cycles / packets), the
+// number the paper's Mpps figures translate to.
+func costPerPacket(t *testing.T, config string, o Options) (cyc, instr, llcLoads float64) {
+	t.Helper()
+	o.RateGbps = 100
+	if o.Packets == 0 {
+		o.Packets = 8000
+	}
+	if o.FixedSize == 0 && o.Traffic == nil {
+		o.FixedSize = 1024
+	}
+	res, err := Run(config, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets == 0 {
+		t.Fatal("no packets measured")
+	}
+	n := float64(res.Packets)
+	return res.Counters.BusyCycles / n,
+		float64(res.Counters.Instructions) / n,
+		float64(res.Counters.LLCLoads) / n
+}
+
+// TestCalibrationReport logs the per-packet budgets for the key operating
+// points the paper's numbers imply. It asserts only the wide bands; the
+// log output is the tuning dashboard.
+func TestCalibrationReport(t *testing.T) {
+	type scenario struct {
+		name   string
+		config string
+		opts   Options
+		minCyc float64
+		maxCyc float64
+	}
+	scenarios := []scenario{
+		// Paper: X-Change forwarder saturates an 11.8-Mpps queue at
+		// 2.2 GHz → ≈ 150–190 cycle-equivalents per packet.
+		{"forwarder/x-change@3.0", nf.Forwarder(0, 32), Options{FreqGHz: 3.0, Model: click.XChange}, 90, 220},
+		// Fig 5a: Overlaying ≈ 9.5–10 Mpps at 3 GHz → ≈ 300 cyc.
+		{"forwarder/overlay@3.0", nf.Forwarder(0, 32), Options{FreqGHz: 3.0, Model: click.Overlaying}, 130, 280},
+		// Fig 5a: Copying ≈ 7.5–8 Mpps at 3 GHz → ≈ 380 cyc.
+		{"forwarder/copying@3.0", nf.Forwarder(0, 32), Options{FreqGHz: 3.0, Model: click.Copying}, 250, 440},
+		// Table 1: vanilla router 8.66 Mpps at 3 GHz → ≈ 346 cyc.
+		{"router/vanilla@3.0", nf.Router(32), Options{FreqGHz: 3.0, Model: click.Copying}, 350, 580},
+		// Table 1: all-opt router 10.41 Mpps at 3 GHz → ≈ 288 cyc.
+		{"router/all@3.0", nf.Router(32), Options{FreqGHz: 3.0, Model: click.Copying, Opt: click.AllOpts()}, 300, 540},
+	}
+	for _, s := range scenarios {
+		cyc, instr, llc := costPerPacket(t, s.config, s.opts)
+		t.Logf("%-26s %7.1f cyc/pkt %6.1f instr/pkt %5.2f LLC-loads/pkt", s.name, cyc, instr, llc)
+		if cyc < s.minCyc || cyc > s.maxCyc {
+			t.Errorf("%s: %.1f cyc/pkt outside calibration band [%v, %v]", s.name, cyc, s.minCyc, s.maxCyc)
+		}
+	}
+}
+
+// TestTable1Deltas checks the *relative* savings of the code
+// optimizations against the paper's Table 1 (per-packet cycles saved at
+// 3 GHz: devirtualization ≈ 15, constants ≈ 2, static graph ≈ 50 vs
+// vanilla). Bands are generous — shape, not absolute numbers.
+func TestTable1Deltas(t *testing.T) {
+	cost := func(opt click.OptLevel) float64 {
+		cyc, _, _ := costPerPacket(t, nf.Router(32), Options{FreqGHz: 3.0, Model: click.Copying, Opt: opt})
+		return cyc
+	}
+	vanilla := cost(click.OptLevel{})
+	devirt := cost(click.OptLevel{Devirtualize: true})
+	constant := cost(click.OptLevel{Devirtualize: true, ConstEmbed: true})
+	static := cost(click.OptLevel{Devirtualize: true, ConstEmbed: true, StaticGraph: true})
+	t.Logf("vanilla=%.1f devirt=%.1f const=%.1f static=%.1f cyc/pkt", vanilla, devirt, constant, static)
+	dDevirt := vanilla - devirt
+	dConst := devirt - constant
+	dStatic := constant - static
+	if dDevirt < 3 || dDevirt > 60 {
+		t.Errorf("devirtualization delta %.1f cyc/pkt outside [3,60]", dDevirt)
+	}
+	if dConst < 0.5 || dConst > 30 {
+		t.Errorf("constant-embedding delta %.1f cyc/pkt outside [0.5,30]", dConst)
+	}
+	if dStatic < 10 || dStatic > 90 {
+		t.Errorf("static-graph delta %.1f cyc/pkt outside [10,90]", dStatic)
+	}
+}

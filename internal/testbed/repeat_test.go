@@ -1,0 +1,86 @@
+package testbed
+
+import (
+	"sort"
+	"testing"
+
+	"packetmill/internal/click"
+	_ "packetmill/internal/elements"
+	"packetmill/internal/nf"
+)
+
+func TestRunRepeatedMedian(t *testing.T) {
+	res, sp, err := RunRepeated(nf.Forwarder(0, 32), Options{
+		FreqGHz: 1.4, Model: click.Copying, FixedSize: 512,
+		RateGbps: 100, Packets: 4000,
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets == 0 {
+		t.Fatal("median run empty")
+	}
+	if len(sp.Gbps) != 5 {
+		t.Fatalf("spread has %d runs", len(sp.Gbps))
+	}
+	if !sort.Float64sAreSorted(sp.Gbps) {
+		t.Fatal("spread not sorted")
+	}
+	if sp.MinGbps > sp.MaxGbps {
+		t.Fatal("spread inverted")
+	}
+	med := res.Gbps()
+	if med < sp.MinGbps || med > sp.MaxGbps {
+		t.Fatalf("median %.2f outside [%.2f, %.2f]", med, sp.MinGbps, sp.MaxGbps)
+	}
+}
+
+func TestRunRepeatedSeedsVaryRuns(t *testing.T) {
+	// With the campus mix the interleavings differ per seed; the runs
+	// must not be byte-identical in throughput (that would mean seeds
+	// aren't applied).
+	_, sp, err := RunRepeated(nf.Router(32), Options{
+		FreqGHz: 1.2, Model: click.Copying, RateGbps: 100, Packets: 4000,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.MinGbps == sp.MaxGbps {
+		t.Fatal("all repeats identical; seed variation not applied")
+	}
+}
+
+func TestRunRepeatedBadConfig(t *testing.T) {
+	if _, _, err := RunRepeated("nope", Options{}, 2); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestFindLossFreeRate(t *testing.T) {
+	// The vanilla router at 1.2 GHz caps well below 100 Gbps; the search
+	// must find a loss-free rate below the cap but above a trivial floor.
+	rate, res, err := FindLossFreeRate(nf.Router(32), Options{
+		FreqGHz: 1.2, Model: click.Copying, FixedSize: 1024,
+		RateGbps: 100, Packets: 6000,
+	}, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 5 || rate > 90 {
+		t.Fatalf("loss-free rate %.1f Gbps implausible", rate)
+	}
+	if res.Dropped > res.Offered/1000 {
+		t.Fatalf("final run lossy: %d/%d", res.Dropped, res.Offered)
+	}
+	// Sanity: offering well above the found rate must drop packets.
+	over, err := Run(nf.Router(32), Options{
+		FreqGHz: 1.2, Model: click.Copying, FixedSize: 1024,
+		RateGbps: 100, Packets: 20000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Dropped == 0 {
+		t.Fatal("line-rate run did not drop; loss-free search is meaningless")
+	}
+}

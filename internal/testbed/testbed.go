@@ -1,0 +1,614 @@
+// Package testbed is the two-node experiment harness (the repository's
+// NPF): a packet generator wired to a device under test over simulated
+// 100-GbE links. It assembles the DUT — machine, NICs, DPDK ports with
+// the binding matching the chosen metadata model, and the engine under
+// test — offers load, and measures end-to-end latency and throughput the
+// way the paper's generator server does.
+package testbed
+
+import (
+	"fmt"
+	"math"
+
+	"packetmill/internal/cache"
+	"packetmill/internal/click"
+	"packetmill/internal/dpdk"
+	"packetmill/internal/layout"
+	"packetmill/internal/machine"
+	"packetmill/internal/memsim"
+	"packetmill/internal/nic"
+	"packetmill/internal/pktbuf"
+	"packetmill/internal/stats"
+	"packetmill/internal/trafficgen"
+	"packetmill/internal/xchg"
+)
+
+// Engine is anything the testbed can drive: a Click router, a BESS/VPP
+// pipeline, or a raw DPDK application.
+type Engine interface {
+	// Step runs one scheduling round on core at time now; returns the
+	// number of packets moved (0 = idle poll).
+	Step(core *machine.Core, now float64) int
+}
+
+// Options configures a run.
+type Options struct {
+	// FreqGHz is the DUT core frequency (the paper sweeps 1.2–3.0).
+	FreqGHz float64
+	// Cores is the DUT core count (RSS spreads flows across them).
+	Cores int
+	// NICs is the adapter count (Figure 5b uses two).
+	NICs int
+	// Model selects the metadata-management model.
+	Model click.MetadataModel
+	// Opt selects the PacketMill source-code optimizations.
+	Opt click.OptLevel
+	// MetaLayout overrides the framework descriptor layout (reorder pass).
+	MetaLayout *layout.Layout
+	// Profile records the metadata access profile during the run.
+	Profile bool
+
+	// RateGbps is the offered wire rate per NIC.
+	RateGbps float64
+	// Packets is the per-NIC frame count to offer.
+	Packets int
+	// Traffic builds the per-NIC source; nil defaults to the campus mix.
+	Traffic func(nicID int, cfg trafficgen.Config) trafficgen.Source
+	// FixedSize, when >0 and Traffic is nil, offers fixed-size frames.
+	FixedSize int
+
+	// Warmup is the number of departures excluded from measurement.
+	Warmup int
+
+	// DescPool sizes the X-Change descriptor pool (default 64 ≈ burst +
+	// software queue, per §3.1).
+	DescPool int
+	// DescPoolFIFO recycles descriptors in FIFO order (ablation: cycling
+	// like mbufs instead of staying warm).
+	DescPoolFIFO bool
+	// MempoolSize sizes the per-port DPDK mempool beyond the RX ring.
+	MempoolSize int
+	// NICConfig overrides the adapter model; nil uses the ConnectX-5
+	// defaults.
+	NICConfig *nic.Config
+	// DDIOWays overrides the LLC's DDIO window width (0 = default 8).
+	DDIOWays int
+	// InlineLTO controls conversion-function inlining (default true).
+	NoLTO bool
+	// VectorizedPMD enables the SIMD receive path (compressed CQEs);
+	// rejected under the X-Change model, like the paper's prototype.
+	VectorizedPMD bool
+
+	// Tap, when set, observes every frame that leaves the DUT (after the
+	// latency probe) — the hook differential verification uses.
+	Tap func(frame []byte, departNS float64)
+
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.FreqGHz == 0 {
+		o.FreqGHz = 2.3
+	}
+	if o.Cores <= 0 {
+		o.Cores = 1
+	}
+	if o.NICs <= 0 {
+		o.NICs = 1
+	}
+	if o.RateGbps == 0 {
+		o.RateGbps = 100
+	}
+	if o.Packets == 0 {
+		o.Packets = 50000
+	}
+	if o.Warmup == 0 {
+		o.Warmup = o.Packets / 10
+	}
+	if o.DescPool == 0 {
+		o.DescPool = 64
+	}
+	if o.MempoolSize == 0 {
+		o.MempoolSize = 2048
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Result is everything a run measured.
+type Result struct {
+	stats.Throughput
+	Latency *stats.LatencyRecorder
+	// Counters is the perf delta over the measurement window, aggregated
+	// across cores (LLC counters are system-wide).
+	Counters machine.Counters
+	// Offered is the total frames offered; Dropped the frames lost at
+	// the NIC or inside the engine.
+	Offered uint64
+	Dropped uint64
+	// Prof is the metadata access profile (when Options.Profile).
+	Prof *layout.OrderProfile
+	// Routers are the per-core built engines (for inspection).
+	Routers []*click.Router
+}
+
+// DUT is an assembled device under test, reusable across the build-run
+// plumbing of cmd/packetmill and the experiments.
+type DUT struct {
+	Opts   Options
+	Mach   *machine.Machine
+	Cores  []*machine.Core
+	NICs   []*nic.NIC
+	Huge   *memsim.Arena
+	Static *memsim.Arena
+	Heap   *memsim.Heap
+	// PortsFor maps (core, click PORT number) to PMD ports: core-indexed
+	// slice of maps.
+	PortsFor []map[int]*dpdk.Port
+	// pools/bindings for recycling.
+	mempools map[*dpdk.Port]*dpdk.Mempool
+	bindings map[*dpdk.Port]xchg.Binding
+}
+
+// NewDUT assembles machine, NICs, and per-core PMD ports according to the
+// metadata model.
+func NewDUT(o Options) (*DUT, error) {
+	o = o.withDefaults()
+	memCfg := cache.DefaultSystemConfig()
+	if o.DDIOWays > 0 {
+		memCfg.DDIOWays = o.DDIOWays
+	}
+	mach := machine.New(memCfg, machine.DefaultCostModel())
+	d := &DUT{
+		Opts:     o,
+		Mach:     mach,
+		Huge:     memsim.NewArena("hugepages", memsim.HugeBase, 1<<30),
+		Static:   memsim.NewArena("static", memsim.StaticBase, 512<<20),
+		Heap:     memsim.NewHeap(),
+		mempools: map[*dpdk.Port]*dpdk.Mempool{},
+		bindings: map[*dpdk.Port]xchg.Binding{},
+	}
+	for c := 0; c < o.Cores; c++ {
+		d.Cores = append(d.Cores, mach.AddCore(o.FreqGHz))
+		d.PortsFor = append(d.PortsFor, map[int]*dpdk.Port{})
+	}
+	for n := 0; n < o.NICs; n++ {
+		cfg := nic.DefaultConfig(fmt.Sprintf("nic%d", n))
+		if o.NICConfig != nil {
+			cfg = *o.NICConfig
+			cfg.Name = fmt.Sprintf("nic%d", n)
+		}
+		cfg.NumQueues = o.Cores
+		d.NICs = append(d.NICs, nic.New(cfg, mach.Sys, d.Huge))
+	}
+
+	// One PMD port per (core, NIC): queue c of NIC n appears as Click
+	// PORT n on core c.
+	for c := 0; c < o.Cores; c++ {
+		for n := 0; n < o.NICs; n++ {
+			port, err := d.buildPort(n, c)
+			if err != nil {
+				return nil, err
+			}
+			d.PortsFor[c][n] = port
+		}
+	}
+	return d, nil
+}
+
+// buildPort creates queue `queue` of NIC `nicID` as a PMD port with the
+// binding the metadata model calls for, fully posted.
+func (d *DUT) buildPort(nicID, queue int) (*dpdk.Port, error) {
+	o := d.Opts
+	n := d.NICs[nicID]
+	ringSize := n.Cfg.RXRingSize
+
+	switch o.Model {
+	case click.XChange:
+		descLayout := layout.XchgPacket()
+		if o.MetaLayout != nil {
+			descLayout = o.MetaLayout
+		}
+		var prof *layout.OrderProfile
+		// Profiling of the X-Change descriptor is attached later by the
+		// engine builder when requested; the pool starts unprofiled.
+		dp := xchg.NewDescriptorPool(o.DescPool, descLayout, d.Static, prof)
+		dp.SetFIFO(o.DescPoolFIFO)
+		bind := xchg.NewCustomBinding("x-change", dp, !o.NoLTO)
+		port := dpdk.NewPort(nicID, n, queue, nil, bind, 32)
+		if err := port.SetVectorized(o.VectorizedPMD); err != nil {
+			return nil, err
+		}
+		port.ProvideBuffers(dpdk.AllocRawBuffers(d.Huge, ringSize+o.DescPool,
+			dpdk.DefaultHeadroom, dpdk.DefaultDataRoom))
+		if err := port.SetupRX(); err != nil {
+			return nil, err
+		}
+		d.bindings[port] = bind
+		return port, nil
+
+	case click.Overlaying:
+		spec := dpdk.DefaultBufSpec()
+		spec.MetaLayout = layout.OverlayPacket()
+		if o.MetaLayout != nil {
+			spec.MetaLayout = o.MetaLayout
+		}
+		spec.SeparateMbuf = false
+		pool := dpdk.NewMempool(fmt.Sprintf("ov%d-%d", nicID, queue),
+			ringSize+o.MempoolSize, d.Huge, spec)
+		bind := xchg.NewDefaultBinding(!o.NoLTO)
+		port := dpdk.NewPort(nicID, n, queue, pool, bind, 32)
+		if err := port.SetVectorized(o.VectorizedPMD); err != nil {
+			return nil, err
+		}
+		if err := port.SetupRX(); err != nil {
+			return nil, err
+		}
+		d.mempools[port] = pool
+		d.bindings[port] = bind
+		return port, nil
+
+	default: // Copying
+		pool := dpdk.NewMempool(fmt.Sprintf("mb%d-%d", nicID, queue),
+			ringSize+o.MempoolSize, d.Huge, dpdk.DefaultBufSpec())
+		bind := xchg.NewDefaultBinding(!o.NoLTO)
+		port := dpdk.NewPort(nicID, n, queue, pool, bind, 32)
+		if err := port.SetVectorized(o.VectorizedPMD); err != nil {
+			return nil, err
+		}
+		if err := port.SetupRX(); err != nil {
+			return nil, err
+		}
+		d.mempools[port] = pool
+		d.bindings[port] = bind
+		return port, nil
+	}
+}
+
+// RecycleFor returns the buffer-recycling function for the ports of core
+// c — what click.Router.Kill calls for dropped packets.
+func (d *DUT) RecycleFor(c int) func(ec *click.ExecCtx, p *pktbuf.Packet) {
+	ports := d.PortsFor[c]
+	return func(ec *click.ExecCtx, p *pktbuf.Packet) {
+		// Identify the origin port from the descriptor when possible.
+		origin := 0
+		if p.Meta != nil && p.Meta.L.Has(layout.FieldPort) {
+			origin = int(p.Meta.Peek(layout.FieldPort))
+		} else if p.Mbuf != nil {
+			origin = int(p.Mbuf.Peek(layout.FieldPort))
+		}
+		port, ok := ports[origin]
+		if !ok {
+			port = ports[0]
+		}
+		switch d.Opts.Model {
+		case click.XChange:
+			if cb, ok := d.bindings[port].(*xchg.CustomBinding); ok {
+				cb.Release(p)
+			}
+			port.ProvideBuffers([]*pktbuf.Packet{p})
+		case click.Copying:
+			if p.Meta != nil && ec.Rt.PacketPool != nil {
+				ec.Rt.PacketPool.Put(ec.Core, p.Meta)
+				p.Meta = nil
+			}
+			d.mempools[port].Put(ec.Core, p)
+		default:
+			d.mempools[port].Put(ec.Core, p)
+		}
+	}
+}
+
+// BuildRouters builds one router per core from a parsed graph
+// (FastClick's thread model: each core runs the whole graph on its own
+// queue).
+func (d *DUT) BuildRouters(g *click.Graph) ([]*click.Router, error) {
+	var routers []*click.Router
+	for c := 0; c < d.Opts.Cores; c++ {
+		env := click.BuildEnv{
+			Opt:        d.Opts.Opt,
+			Model:      d.Opts.Model,
+			Heap:       d.Heap,
+			Static:     d.Static,
+			Huge:       d.Huge,
+			Ports:      d.PortsFor[c],
+			MetaLayout: d.Opts.MetaLayout,
+			Profile:    d.Opts.Profile,
+			Seed:       d.Opts.Seed + uint64(c),
+			Prewarm:    d.Mach.Sys.Prewarm,
+		}
+		rt, err := click.Build(g, env)
+		if err != nil {
+			return nil, err
+		}
+		rt.Recycle = d.RecycleFor(c)
+		if d.Opts.Model == click.XChange && rt.Prof != nil {
+			// Attach the profile to every live X-Change descriptor pool
+			// this core's ports use.
+			for _, port := range d.PortsFor[c] {
+				if cb, ok := d.bindings[port].(*xchg.CustomBinding); ok {
+					cb.Pool.SetProfile(rt.Prof)
+				}
+			}
+		}
+		routers = append(routers, rt)
+	}
+	return routers, nil
+}
+
+// Run assembles a DUT, builds the Click configuration, offers traffic,
+// and measures. This is the single entry point the experiments and the
+// CLI use.
+func Run(config string, o Options) (*Result, error) {
+	g, err := click.Parse(config)
+	if err != nil {
+		return nil, err
+	}
+	return RunGraph(g, o)
+}
+
+// RunGraph is Run for an already-parsed (possibly mill-transformed) graph.
+func RunGraph(g *click.Graph, o Options) (*Result, error) {
+	o = o.withDefaults()
+	d, err := NewDUT(o)
+	if err != nil {
+		return nil, err
+	}
+	routers, err := d.BuildRouters(g)
+	if err != nil {
+		return nil, err
+	}
+	engines := make([]Engine, len(routers))
+	for i, rt := range routers {
+		engines[i] = &clickEngine{rt: rt, core: d.Cores[i]}
+	}
+	res, err := d.Drive(engines)
+	if err != nil {
+		return nil, err
+	}
+	res.Routers = routers
+	for _, rt := range routers {
+		res.Dropped += rt.Drops
+	}
+	if o.Profile && len(routers) > 0 {
+		res.Prof = routers[0].Prof
+	}
+	return res, nil
+}
+
+// RunEngines assembles a DUT and drives one custom engine per core —
+// the entry point for the non-Click baselines (BESS, VPP, l2fwd).
+func RunEngines(o Options, build func(d *DUT, core int) (Engine, error)) (*Result, error) {
+	o = o.withDefaults()
+	d, err := NewDUT(o)
+	if err != nil {
+		return nil, err
+	}
+	engines := make([]Engine, o.Cores)
+	for c := 0; c < o.Cores; c++ {
+		if engines[c], err = build(d, c); err != nil {
+			return nil, err
+		}
+	}
+	return d.Drive(engines)
+}
+
+// clickEngine adapts a Router to the Engine interface.
+type clickEngine struct {
+	rt   *click.Router
+	core *machine.Core
+	ec   click.ExecCtx
+}
+
+func (e *clickEngine) Step(core *machine.Core, now float64) int {
+	e.ec.Core = core
+	e.ec.Now = now
+	e.ec.Rt = e.rt
+	return e.rt.Step(&e.ec)
+}
+
+// Drive runs the offered load through the engines (one per core) and
+// measures. It is exported so non-Click engines (BESS, VPP, l2fwd) reuse
+// the same harness.
+func (d *DUT) Drive(engines []Engine) (*Result, error) {
+	o := d.Opts
+	if len(engines) != o.Cores {
+		return nil, fmt.Errorf("testbed: %d engines for %d cores", len(engines), o.Cores)
+	}
+
+	// Sources: one per NIC.
+	sources := make([]trafficgen.Source, o.NICs)
+	for n := 0; n < o.NICs; n++ {
+		cfg := trafficgen.Config{
+			Seed:     o.Seed + uint64(100+n),
+			RateGbps: o.RateGbps,
+			Count:    o.Packets,
+		}
+		switch {
+		case o.Traffic != nil:
+			sources[n] = o.Traffic(n, cfg)
+		case o.FixedSize > 0:
+			cfg.TCPShare, cfg.UDPShare, cfg.ICMPShare = 0.9, 0.08, 0.02
+			sources[n] = trafficgen.NewFixedSize(cfg, o.FixedSize)
+		default:
+			sources[n] = trafficgen.NewCampus(cfg)
+		}
+	}
+	// Pending head frame per source.
+	type pending struct {
+		frame []byte
+		ns    float64
+		ok    bool
+	}
+	heads := make([]pending, o.NICs)
+	buf := make([][]byte, o.NICs) // owned copies of head frames
+	pull := func(n int) {
+		f, ns, ok := sources[n].Next()
+		if ok {
+			if buf[n] == nil {
+				buf[n] = make([]byte, 2048)
+			}
+			copy(buf[n], f)
+			heads[n] = pending{frame: buf[n][:len(f)], ns: ns, ok: true}
+		} else {
+			heads[n] = pending{}
+		}
+	}
+	for n := range sources {
+		pull(n)
+	}
+
+	// deliverUntil pushes every frame that has arrived by time t into
+	// the NICs (RSS-spread across core queues).
+	var offered uint64
+	deliverUntil := func(t float64) {
+		for n := range heads {
+			for heads[n].ok && heads[n].ns <= t {
+				q := d.NICs[n].RSSQueue(heads[n].frame)
+				d.NICs[n].Deliver(q, heads[n].frame, heads[n].ns)
+				offered++
+				pull(n)
+			}
+		}
+	}
+	nextArrival := func() float64 {
+		t := math.Inf(1)
+		for n := range heads {
+			if heads[n].ok && heads[n].ns < t {
+				t = heads[n].ns
+			}
+		}
+		return t
+	}
+
+	// Measurement probes.
+	lat := stats.NewLatencyRecorder(1 << 19)
+	var departed, measuredPkts, measuredBytes uint64
+	var measureStartNS float64 = -1
+	var lastDepartNS float64
+	startCounters := make([]machine.Counters, o.Cores)
+	warmup := uint64(o.Warmup)
+	for _, n := range d.NICs {
+		n.OnDepart = func(p *pktbuf.Packet, departNS float64) {
+			departed++
+			if departed <= warmup {
+				return
+			}
+			if measureStartNS < 0 {
+				measureStartNS = departNS
+				for i, c := range d.Cores {
+					startCounters[i] = c.Snapshot()
+				}
+			}
+			lat.Record(departNS - p.ArrivalNS)
+			measuredPkts++
+			measuredBytes += uint64(p.Len())
+			if departNS > lastDepartNS {
+				lastDepartNS = departNS
+			}
+		}
+	}
+	if o.Tap != nil {
+		for _, n := range d.NICs {
+			inner := n.OnDepart
+			n.OnDepart = func(p *pktbuf.Packet, departNS float64) {
+				inner(p, departNS)
+				o.Tap(p.Bytes(), departNS)
+			}
+		}
+	}
+
+	sourcesDone := func() bool {
+		for n := range heads {
+			if heads[n].ok {
+				return false
+			}
+		}
+		return true
+	}
+	pendingRx := func() bool {
+		for _, n := range d.NICs {
+			for q := 0; q < o.Cores; q++ {
+				if n.RX(q).PendingCount() > 0 {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	// Main loop: always run the core that is furthest behind in
+	// simulated time; fast-forward idle cores to the next event. The run
+	// ends when the sources are drained, every ring is empty, and every
+	// core has gone one full pass without work.
+	idleStreak := 0
+	for {
+		ci := 0
+		for i, c := range d.Cores {
+			if c.NowNS() < d.Cores[ci].NowNS() {
+				ci = i
+			}
+		}
+		core := d.Cores[ci]
+		now := core.NowNS()
+		deliverUntil(now)
+		moved := engines[ci].Step(core, now)
+		if moved > 0 {
+			idleStreak = 0
+			continue
+		}
+		idleStreak++
+		if sourcesDone() && !pendingRx() {
+			if idleStreak > 2*o.Cores {
+				break
+			}
+			core.Idle(now + 100)
+			continue
+		}
+		// Jump to the next interesting time for this core.
+		next := nextArrival()
+		for n := range d.NICs {
+			if r := d.NICs[n].RX(ci).NextReadyNS(); r < next {
+				next = r
+			}
+		}
+		if next > now && !math.IsInf(next, 1) {
+			core.Idle(next)
+		} else {
+			// The work belongs to another core's queue; step time
+			// forward a touch so that core gets scheduled.
+			core.Idle(now + 100)
+		}
+	}
+
+	res := &Result{
+		Latency: lat,
+		Offered: offered,
+	}
+	res.Packets = measuredPkts
+	res.Bytes = measuredBytes
+	if lastDepartNS > measureStartNS && measureStartNS >= 0 {
+		res.Duration = lastDepartNS - measureStartNS
+	}
+	// Aggregate per-core counters over the measurement window. The
+	// shared-LLC counters are system-wide and identical in every core's
+	// snapshot, so they are taken from core 0 only.
+	for i, c := range d.Cores {
+		delta := c.Snapshot().Delta(startCounters[i])
+		if i == 0 {
+			res.Counters = delta
+			continue
+		}
+		res.Counters.Instructions += delta.Instructions
+		res.Counters.BusyCycles += delta.BusyCycles
+		res.Counters.TLBMisses += delta.TLBMisses
+	}
+	var rxDrop uint64
+	for _, n := range d.NICs {
+		rxDrop += n.Stats.RxDropNoBuf + n.Stats.RxDropFull
+	}
+	res.Dropped = rxDrop
+	return res, nil
+}

@@ -1,0 +1,32 @@
+package trafficgen
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace guards the binary trace reader against corrupt input:
+// errors are fine, panics and unbounded allocations are not.
+func FuzzReadTrace(f *testing.F) {
+	tr := Record(NewCampus(Config{Seed: 1, RateGbps: 100, Count: 20}), 0)
+	var buf bytes.Buffer
+	tr.WriteTo(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte("PMTR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully read trace must round-trip byte-identically.
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatal(err)
+		}
+		re, err := ReadTrace(&out)
+		if err != nil || re.Len() != got.Len() {
+			t.Fatalf("round trip: %v (%d vs %d)", err, re.Len(), got.Len())
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package trafficgen
+
+import (
+	"bytes"
+	"testing"
+)
+
+func recordCampus(t *testing.T, n int) *Trace {
+	t.Helper()
+	cfg := Config{Seed: 3, Flows: 32, RateGbps: 100, Count: n}
+	return Record(NewCampus(cfg), 0)
+}
+
+func TestRecordCapturesEverything(t *testing.T) {
+	tr := recordCampus(t, 500)
+	if tr.Len() != 500 {
+		t.Fatalf("recorded %d", tr.Len())
+	}
+	if tr.Bytes() == 0 || tr.Duration() <= 0 {
+		t.Fatalf("bytes=%d duration=%v", tr.Bytes(), tr.Duration())
+	}
+}
+
+func TestRecordLimit(t *testing.T) {
+	cfg := Config{Seed: 3, Flows: 8, RateGbps: 100, Count: 1000}
+	tr := Record(NewCampus(cfg), 100)
+	if tr.Len() != 100 {
+		t.Fatalf("limit ignored: %d", tr.Len())
+	}
+}
+
+func TestReplayRepeatsWithContinuousClock(t *testing.T) {
+	tr := recordCampus(t, 100)
+	src := tr.Replay(3)
+	if src.Remaining() != 300 {
+		t.Fatalf("remaining %d", src.Remaining())
+	}
+	var last float64 = -1
+	count := 0
+	var firstFrame []byte
+	for {
+		frame, ns, ok := src.Next()
+		if !ok {
+			break
+		}
+		if count == 0 {
+			firstFrame = append([]byte{}, frame...)
+		}
+		if count == 100 {
+			// First frame of the second repetition: identical bytes.
+			if !bytes.Equal(frame, firstFrame) {
+				t.Fatal("repetition changed frame contents")
+			}
+		}
+		if ns < last {
+			t.Fatalf("clock went backwards at %d: %v < %v", count, ns, last)
+		}
+		last = ns
+		count++
+	}
+	if count != 300 {
+		t.Fatalf("replayed %d", count)
+	}
+	// Total replay time ≈ 3× capture duration.
+	if last < 2.5*tr.Duration() {
+		t.Fatalf("replay duration %v vs capture %v", last, tr.Duration())
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	tr := recordCampus(t, 250)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() || got.Bytes() != tr.Bytes() {
+		t.Fatalf("round trip: %d/%d bytes %d/%d", got.Len(), tr.Len(), got.Bytes(), tr.Bytes())
+	}
+	for i := range tr.frames {
+		if !bytes.Equal(tr.frames[i], got.frames[i]) {
+			t.Fatalf("frame %d differs", i)
+		}
+		if tr.ns[i] != got.ns[i] {
+			t.Fatalf("timestamp %d differs", i)
+		}
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewBufferString("not a trace at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadTrace(bytes.NewBufferString("")); err == nil {
+		t.Fatal("empty accepted")
+	}
+	// Truncated payload.
+	tr := recordCampus(t, 10)
+	var buf bytes.Buffer
+	tr.WriteTo(&buf)
+	cut := buf.Bytes()[:buf.Len()-5]
+	if _, err := ReadTrace(bytes.NewBuffer(cut)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestReplaySingleFrameTrace(t *testing.T) {
+	cfg := Config{Seed: 3, Flows: 1, RateGbps: 100, Count: 1, TCPShare: 1}
+	tr := Record(NewFixedSize(cfg, 128), 0)
+	src := tr.Replay(2)
+	n := 0
+	for {
+		_, _, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("replayed %d", n)
+	}
+}

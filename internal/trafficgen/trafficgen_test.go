@@ -1,0 +1,219 @@
+package trafficgen
+
+import (
+	"math"
+	"testing"
+
+	"packetmill/internal/netpkt"
+)
+
+func baseCfg() Config {
+	return Config{Seed: 1, Flows: 64, RateGbps: 100, Count: 1000}
+}
+
+// ipOnlyCfg disables the ARP share so every frame is IPv4 (fixed-size
+// tests depend on uniform sizes; ARP requests are always 64 B).
+func ipOnlyCfg() Config {
+	cfg := baseCfg()
+	cfg.TCPShare, cfg.UDPShare, cfg.ICMPShare = 0.9, 0.08, 0.02
+	return cfg
+}
+
+func TestFixedSizeFrames(t *testing.T) {
+	g := NewFixedSize(ipOnlyCfg(), 256)
+	n := 0
+	for {
+		frame, _, ok := g.Next()
+		if !ok {
+			break
+		}
+		if len(frame) != 256 {
+			t.Fatalf("frame %d has size %d", n, len(frame))
+		}
+		n++
+	}
+	if n != 1000 {
+		t.Fatalf("produced %d", n)
+	}
+	if g.Remaining() != 0 {
+		t.Fatalf("remaining %d", g.Remaining())
+	}
+}
+
+func TestPacingMatchesRate(t *testing.T) {
+	g := NewFixedSize(ipOnlyCfg(), 1000)
+	_, t0, _ := g.Next()
+	var last float64
+	for {
+		_, ns, ok := g.Next()
+		if !ok {
+			break
+		}
+		last = ns
+	}
+	// 999 gaps of (1000+20)*8/100 = 81.6 ns.
+	want := t0 + 999*81.6
+	if math.Abs(last-want) > 1 {
+		t.Fatalf("last arrival %v, want %v", last, want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1, g2 := NewCampus(baseCfg()), NewCampus(baseCfg())
+	for i := 0; i < 500; i++ {
+		f1, ns1, ok1 := g1.Next()
+		f2, ns2, ok2 := g2.Next()
+		if ok1 != ok2 || ns1 != ns2 || string(f1) != string(f2) {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+}
+
+func TestCampusMeanSize(t *testing.T) {
+	if m := CampusMeanSize(); math.Abs(m-981) > 25 {
+		t.Fatalf("campus mix mean = %v, want ≈981", m)
+	}
+	cfg := baseCfg()
+	cfg.Count = 50000
+	g := NewCampus(cfg)
+	var total, n float64
+	for {
+		frame, _, ok := g.Next()
+		if !ok {
+			break
+		}
+		total += float64(len(frame))
+		n++
+	}
+	if got := total / n; math.Abs(got-981) > 40 {
+		t.Fatalf("empirical mean size = %v, want ≈981", got)
+	}
+}
+
+func TestFramesAreValidPackets(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Count = 2000
+	g := NewCampus(cfg)
+	protos := map[uint8]int{}
+	arp := 0
+	for {
+		frame, _, ok := g.Next()
+		if !ok {
+			break
+		}
+		eh, err := netpkt.ParseEther(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch eh.EtherType {
+		case netpkt.EtherTypeARP:
+			arp++
+			if _, err := netpkt.ParseARP(frame[netpkt.EtherHdrLen:]); err != nil {
+				t.Fatal(err)
+			}
+		case netpkt.EtherTypeIPv4:
+			ip := frame[netpkt.EtherHdrLen:]
+			if !netpkt.VerifyIPv4Checksum(ip) {
+				t.Fatal("generated frame fails IP checksum")
+			}
+			h, _, err := netpkt.ParseIPv4Header(ip)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int(h.TotalLen) != len(frame)-netpkt.EtherHdrLen {
+				t.Fatalf("IP total length %d vs frame %d", h.TotalLen, len(frame))
+			}
+			protos[h.Protocol]++
+		default:
+			t.Fatalf("unexpected ethertype %#x", eh.EtherType)
+		}
+	}
+	if protos[netpkt.ProtoTCP] == 0 || protos[netpkt.ProtoUDP] == 0 {
+		t.Fatalf("protocol mix missing: %v", protos)
+	}
+	if arp == 0 {
+		t.Fatal("no ARP frames in campus mix")
+	}
+	if protos[netpkt.ProtoTCP] < protos[netpkt.ProtoUDP] {
+		t.Fatalf("TCP (%d) should dominate UDP (%d)", protos[netpkt.ProtoTCP], protos[netpkt.ProtoUDP])
+	}
+}
+
+func TestUDPLengthPatched(t *testing.T) {
+	cfg := baseCfg()
+	cfg.TCPShare, cfg.UDPShare, cfg.ICMPShare = 0, 1, 0
+	g := NewFixedSize(cfg, 200)
+	frame, _, _ := g.Next()
+	uh, err := netpkt.ParseUDP(frame[netpkt.EtherHdrLen+netpkt.IPv4HdrLen:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(uh.Length) != 200-netpkt.EtherHdrLen-netpkt.IPv4HdrLen {
+		t.Fatalf("udp length %d", uh.Length)
+	}
+}
+
+func TestFlowSkew(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Count = 20000
+	cfg.TCPShare, cfg.UDPShare, cfg.ICMPShare = 1, 0, 0 // no ARP noise
+	g := NewFixedSize(cfg, 128)
+	counts := map[string]int{}
+	for {
+		frame, _, ok := g.Next()
+		if !ok {
+			break
+		}
+		key := string(frame[26:34]) // src+dst IP
+		counts[key]++
+	}
+	if len(counts) < 16 {
+		t.Fatalf("only %d distinct flows", len(counts))
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 20000/16 {
+		t.Fatalf("no Zipf skew: hottest flow %d/20000", max)
+	}
+}
+
+func TestUniformSizes(t *testing.T) {
+	g := NewUniformSizes(ipOnlyCfg(), []int{64, 1500})
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		frame, _, ok := g.Next()
+		if !ok {
+			break
+		}
+		seen[len(frame)] = true
+	}
+	if !seen[64] || !seen[1500] {
+		t.Fatalf("sizes seen: %v", seen)
+	}
+}
+
+func TestBadRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewFixedSize(Config{Count: 1}, 64)
+}
+
+func TestSizeClamping(t *testing.T) {
+	g := NewFixedSize(ipOnlyCfg(), 10) // below minimum
+	frame, _, _ := g.Next()
+	if len(frame) != 64 {
+		t.Fatalf("size %d, want clamped 64", len(frame))
+	}
+	g2 := NewFixedSize(ipOnlyCfg(), 9000) // jumbo clamped
+	frame2, _, _ := g2.Next()
+	if len(frame2) != 1514 {
+		t.Fatalf("size %d, want clamped 1514", len(frame2))
+	}
+}

@@ -1,0 +1,127 @@
+package verify
+
+import (
+	"testing"
+
+	"packetmill/internal/click"
+	"packetmill/internal/core"
+	_ "packetmill/internal/elements"
+	"packetmill/internal/layout"
+	"packetmill/internal/nf"
+	"packetmill/internal/testbed"
+)
+
+// lightOpts leaves ample headroom so neither build drops packets and the
+// comparison is pure functional equivalence.
+func lightOpts(model click.MetadataModel) testbed.Options {
+	return testbed.Options{
+		FreqGHz: 3.0, Model: model, RateGbps: 10, Packets: 3000, Seed: 7,
+	}
+}
+
+func TestModelsAreFunctionallyEquivalent(t *testing.T) {
+	// §5 FAQ: the metadata model must not change what the NF *does*.
+	for _, cfg := range map[string]string{
+		"forwarder": nf.Forwarder(0, 32),
+		"router":    nf.Router(32),
+		"ids":       nf.IDSRouter(32),
+		"nat":       nf.NATRouter(32),
+	} {
+		for _, m := range []click.MetadataModel{click.Overlaying, click.XChange} {
+			rep, err := Differential(cfg, lightOpts(click.Copying), lightOpts(m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Equivalent() {
+				t.Errorf("copying vs %v: %s", m, rep)
+				if len(rep.Mismatches) > 0 {
+					mm := rep.Mismatches[0]
+					t.Errorf("first mismatch at %d:\nA: %x\nB: %x", mm.Index, mm.A, mm.B)
+				}
+			}
+		}
+	}
+}
+
+func TestMilledBuildIsFunctionallyEquivalent(t *testing.T) {
+	// The optimized binary must forward the exact same frames as the
+	// vanilla one — the verification stage the paper calls for.
+	for name, cfg := range map[string]string{
+		"router": nf.Router(32),
+		"nat":    nf.NATRouter(32),
+	} {
+		vanilla, err := core.Parse(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		milled, err := core.Parse(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := milled.Mill(); err != nil {
+			t.Fatal(err)
+		}
+		a := lightOpts(click.Copying)
+		b := lightOpts(click.Copying)
+		b.Opt = milled.Plan.Opt
+		rep, err := DifferentialGraphs(vanilla.Plan.Graph, milled.Plan.Graph, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Equivalent() {
+			t.Errorf("%s vanilla vs milled: %s", name, rep)
+		}
+	}
+}
+
+func TestReorderedLayoutIsFunctionallyEquivalent(t *testing.T) {
+	base := lightOpts(click.Copying)
+	reordered := lightOpts(click.Copying)
+	p, err := core.Parse(nf.Router(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Model = click.Copying
+	if err := p.ReorderMetadata(lightOpts(click.Copying), layout.ByAccessCount); err != nil {
+		t.Fatal(err)
+	}
+	reordered.MetaLayout = p.Plan.MetaLayout
+	rep, err := Differential(nf.Router(32), base, reordered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Equivalent() {
+		t.Errorf("reordered layout changed behaviour: %s", rep)
+	}
+}
+
+func TestDifferentialDetectsRealDifferences(t *testing.T) {
+	// Negative control: two genuinely different NFs must NOT verify.
+	ga, err := click.Parse(nf.Forwarder(0, 32)) // rewrites MACs
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := click.Parse(nf.Mirror(0, 32)) // swaps MACs
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := DifferentialGraphs(ga, gb, lightOpts(click.Copying), lightOpts(click.Copying))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Equivalent() {
+		t.Fatal("differential failed to distinguish EtherRewrite from EtherMirror")
+	}
+	if len(rep.Mismatches) == 0 {
+		t.Fatal("no mismatch recorded")
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestDifferentialParseErrors(t *testing.T) {
+	if _, err := Differential("garbage", lightOpts(click.Copying), lightOpts(click.Copying)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

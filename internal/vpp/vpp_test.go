@@ -1,0 +1,78 @@
+package vpp
+
+import (
+	"testing"
+
+	"packetmill/internal/click"
+	_ "packetmill/internal/elements"
+	"packetmill/internal/layout"
+	"packetmill/internal/netpkt"
+	"packetmill/internal/nic"
+	"packetmill/internal/testbed"
+)
+
+func runGraph(t *testing.T, freq float64) *testbed.Result {
+	return runGraphCfg(t, freq, 512, nil)
+}
+
+func runGraphCfg(t *testing.T, freq float64, size int, nicCfg *nic.Config) *testbed.Result {
+	t.Helper()
+	res, err := testbed.RunEngines(testbed.Options{
+		FreqGHz: freq, Model: click.Overlaying, MetaLayout: layout.VLIBBuffer(),
+		NICConfig: nicCfg, FixedSize: size, RateGbps: 100, Packets: 6000,
+	}, func(d *testbed.DUT, core int) (testbed.Engine, error) {
+		return New(d.PortsFor[core][0], L2Rewrite{
+			Src: netpkt.MAC{0x02, 0, 0, 0, 0, 2},
+			Dst: netpkt.MAC{0x02, 0, 0, 0, 0, 1},
+		}), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestGraphForwards(t *testing.T) {
+	res := runGraph(t, 2.3)
+	if res.Packets == 0 {
+		t.Fatal("nothing forwarded")
+	}
+	if res.Bytes != res.Packets*512 {
+		t.Fatalf("byte accounting: %d bytes, %d packets", res.Bytes, res.Packets)
+	}
+}
+
+func TestVPPBetweenCopyingAndXChange(t *testing.T) {
+	// Figure 11b: VPP lands near FastClick's Copying model — its 2bis
+	// copy+overlay conversion costs like a copy — and clearly below
+	// PacketMill (X-Change).
+	cfg := nic.DefaultConfig("uncapped")
+	cfg.MaxQueuePPS = 0
+	vpp := runGraphCfg(t, 1.2, 64, &cfg)
+	forwarder := `
+input :: FromDPDKDevice(PORT 0, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+input -> EtherRewrite(SRC 02:00:00:00:00:02, DST 02:00:00:00:00:01) -> output;
+`
+	packetmill, err := testbed.Run(forwarder, testbed.Options{
+		FreqGHz: 1.2, Model: click.XChange, Opt: click.AllOpts(),
+		NICConfig: &cfg, FixedSize: 64, RateGbps: 100, Packets: 6000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("vpp=%.2f Mpps packetmill=%.2f Mpps", vpp.Mpps(), packetmill.Mpps())
+	if packetmill.Mpps() <= vpp.Mpps() {
+		t.Fatalf("PacketMill (%.2f Mpps) not faster than VPP (%.2f Mpps)",
+			packetmill.Mpps(), vpp.Mpps())
+	}
+}
+
+func TestVectorGathersAcrossBursts(t *testing.T) {
+	// With a 256-deep vector and 32-deep bursts, a backlogged ring must
+	// be drained in few Steps (the input node loops).
+	res := runGraph(t, 3.0)
+	if res.Packets == 0 {
+		t.Fatal("no throughput")
+	}
+}

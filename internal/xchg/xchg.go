@@ -1,0 +1,290 @@
+// Package xchg implements X-Change, the paper's metadata-management model
+// (§3.1): an API *inside the driver* made of conversion functions. Instead
+// of the poll-mode driver assigning wire metadata straight into rte_mbuf
+// fields, every assignment goes through a function the application may
+// re-implement:
+//
+//	/* Default DPDK */             pkt->vlan_tci = v;
+//	/* X-Change    */              xchg_set_vlan_tci(pkt, v);
+//
+// Relinking against a different implementation of those functions changes
+// where (and in what layout) the metadata lands — without touching the
+// driver. Package dpdk's PMD calls a Binding at every metadata touch
+// point; the three bindings here reproduce the three models:
+//
+//   - DefaultBinding: writes the rte_mbuf descriptor (stock DPDK; the
+//     Copying and Overlaying applications build on it).
+//   - CustomBinding: writes the application's own descriptor with a
+//     custom layout directly (the real X-Change).
+//
+// A Binding also answers the buffer-exchange half of the model: under
+// X-Change, applications hand their own buffers to the driver and receive
+// back used ones, so no mempool get/put happens per packet.
+package xchg
+
+import (
+	"packetmill/internal/layout"
+	"packetmill/internal/machine"
+	"packetmill/internal/memsim"
+	"packetmill/internal/pktbuf"
+)
+
+// Binding is the set of conversion functions the PMD invokes. The paper's
+// implementation adds one .h of declarations to the MLX5 driver; this
+// interface is its Go equivalent.
+//
+// Every method takes the core so the implementation can charge its own
+// memory traffic — that asymmetry (which lines each binding dirties) *is*
+// the experiment of §4.2.
+type Binding interface {
+	// Name identifies the metadata model in experiment output.
+	Name() string
+
+	// RxMeta returns (and, if needed, attaches) the descriptor the RX
+	// conversion functions write for this packet.
+	RxMeta(p *pktbuf.Packet) *pktbuf.Meta
+
+	// RX-path conversion functions (Listing 1/2 of the paper).
+	SetDataLen(core *machine.Core, p *pktbuf.Packet, v uint16)
+	SetPktLen(core *machine.Core, p *pktbuf.Packet, v uint32)
+	SetVlanTCI(core *machine.Core, p *pktbuf.Packet, v uint16)
+	SetRSSHash(core *machine.Core, p *pktbuf.Packet, v uint32)
+	SetPort(core *machine.Core, p *pktbuf.Packet, v uint16)
+	SetPacketType(core *machine.Core, p *pktbuf.Packet, v uint32)
+
+	// TX-path conversion functions.
+	GetDataLen(core *machine.Core, p *pktbuf.Packet) uint16
+	GetBufAddr(core *machine.Core, p *pktbuf.Packet) memsim.Addr
+
+	// ExchangesBuffers reports whether the application supplies its own
+	// buffers to the driver (the exchange workflow) instead of the
+	// driver allocating and freeing mbufs through a mempool.
+	ExchangesBuffers() bool
+}
+
+// callCost lets a binding charge per-conversion call overhead when LTO is
+// disabled. With LTO (the default) the conversions inline to plain stores,
+// exactly as the paper notes ("these functions will eventually get
+// inlined, as we use LTO").
+type callCost struct {
+	inlined bool
+}
+
+func (cc callCost) charge(core *machine.Core) {
+	if !cc.inlined {
+		core.Call(machine.CallDirect, 0)
+	}
+}
+
+// DefaultBinding reproduces stock DPDK: conversions assign into the
+// packet's rte_mbuf descriptor (p.Mbuf when distinct, else p.Meta for
+// overlay layouts that embed the mbuf).
+type DefaultBinding struct {
+	cc callCost
+}
+
+// NewDefaultBinding returns the stock-DPDK binding. inlineLTO=false
+// charges a direct call per conversion, modelling a build without LTO.
+func NewDefaultBinding(inlineLTO bool) *DefaultBinding {
+	return &DefaultBinding{cc: callCost{inlined: inlineLTO}}
+}
+
+func (b *DefaultBinding) Name() string { return "dpdk-default" }
+
+func (b *DefaultBinding) RxMeta(p *pktbuf.Packet) *pktbuf.Meta {
+	if p.Mbuf != nil {
+		return p.Mbuf
+	}
+	return p.Meta
+}
+
+func (b *DefaultBinding) set(core *machine.Core, p *pktbuf.Packet, f layout.FieldID, v uint64) {
+	b.cc.charge(core)
+	b.RxMeta(p).Set(core, f, v)
+}
+
+func (b *DefaultBinding) SetDataLen(core *machine.Core, p *pktbuf.Packet, v uint16) {
+	b.set(core, p, layout.FieldDataLen, uint64(v))
+}
+func (b *DefaultBinding) SetPktLen(core *machine.Core, p *pktbuf.Packet, v uint32) {
+	b.set(core, p, layout.FieldPktLen, uint64(v))
+}
+func (b *DefaultBinding) SetVlanTCI(core *machine.Core, p *pktbuf.Packet, v uint16) {
+	b.set(core, p, layout.FieldVlanTCI, uint64(v))
+}
+func (b *DefaultBinding) SetRSSHash(core *machine.Core, p *pktbuf.Packet, v uint32) {
+	b.set(core, p, layout.FieldRSSHash, uint64(v))
+}
+func (b *DefaultBinding) SetPort(core *machine.Core, p *pktbuf.Packet, v uint16) {
+	b.set(core, p, layout.FieldPort, uint64(v))
+}
+func (b *DefaultBinding) SetPacketType(core *machine.Core, p *pktbuf.Packet, v uint32) {
+	b.set(core, p, layout.FieldPacketType, uint64(v))
+}
+
+func (b *DefaultBinding) GetDataLen(core *machine.Core, p *pktbuf.Packet) uint16 {
+	b.cc.charge(core)
+	return uint16(b.RxMeta(p).Get(core, layout.FieldDataLen))
+}
+
+func (b *DefaultBinding) GetBufAddr(core *machine.Core, p *pktbuf.Packet) memsim.Addr {
+	b.cc.charge(core)
+	return memsim.Addr(b.RxMeta(p).Get(core, layout.FieldBufAddr))
+}
+
+func (b *DefaultBinding) ExchangesBuffers() bool { return false }
+
+// DescriptorPool is the application's small, recycled set of metadata
+// descriptors under X-Change. Its size is "proportional to the RX burst
+// size + the number of packets enqueued in software" (§3.1), so the
+// descriptors stay cache-warm forever. Descriptors live contiguously in
+// the application's static arena.
+type DescriptorPool struct {
+	free []*pktbuf.Meta
+	all  []*pktbuf.Meta
+	// fifo switches recycling from LIFO (hot descriptors reused first —
+	// the X-Change design point) to FIFO (descriptors cycle through the
+	// whole pool like rte_mbufs cycle through a ring). Exists for the
+	// residency ablation.
+	fifo bool
+}
+
+// NewDescriptorPool carves n descriptors with the given layout out of the
+// arena. Pass the NF's metadata profile to prof to drive the reordering
+// pass (may be nil).
+func NewDescriptorPool(n int, l *layout.Layout, arena *memsim.Arena, prof *layout.OrderProfile) *DescriptorPool {
+	dp := &DescriptorPool{}
+	for i := 0; i < n; i++ {
+		m := &pktbuf.Meta{
+			Base: arena.Alloc(uint64(l.Size()), memsim.CacheLineSize),
+			L:    l,
+			Prof: prof,
+		}
+		dp.all = append(dp.all, m)
+		dp.free = append(dp.free, m)
+	}
+	return dp
+}
+
+// Get pops a free descriptor (LIFO, to stay warm); nil when exhausted.
+func (dp *DescriptorPool) Get() *pktbuf.Meta {
+	if len(dp.free) == 0 {
+		return nil
+	}
+	if dp.fifo {
+		m := dp.free[0]
+		dp.free = dp.free[1:]
+		return m
+	}
+	m := dp.free[len(dp.free)-1]
+	dp.free = dp.free[:len(dp.free)-1]
+	return m
+}
+
+// SetFIFO switches the recycling order (ablation hook).
+func (dp *DescriptorPool) SetFIFO(f bool) { dp.fifo = f }
+
+// Put returns a descriptor for reuse.
+func (dp *DescriptorPool) Put(m *pktbuf.Meta) { dp.free = append(dp.free, m) }
+
+// FreeCount reports available descriptors.
+func (dp *DescriptorPool) FreeCount() int { return len(dp.free) }
+
+// Size reports the total descriptor count.
+func (dp *DescriptorPool) Size() int { return len(dp.all) }
+
+// SetLayout swaps the layout of every descriptor — how the mill applies a
+// reordered layout to a live application between runs.
+func (dp *DescriptorPool) SetLayout(l *layout.Layout) {
+	for _, m := range dp.all {
+		m.L = l
+	}
+}
+
+// SetProfile attaches an access profile to every descriptor (input to the
+// reorder pass).
+func (dp *DescriptorPool) SetProfile(p *layout.OrderProfile) {
+	for _, m := range dp.all {
+		m.Prof = p
+	}
+}
+
+// CustomBinding is the real X-Change: conversions write the application's
+// own descriptor (attached from the DescriptorPool at RX time), and the
+// buffer-exchange workflow replaces mempool traffic.
+type CustomBinding struct {
+	cc   callCost
+	Pool *DescriptorPool
+	name string
+}
+
+// NewCustomBinding builds an X-Change binding over the given descriptor
+// pool.
+func NewCustomBinding(name string, pool *DescriptorPool, inlineLTO bool) *CustomBinding {
+	return &CustomBinding{cc: callCost{inlined: inlineLTO}, Pool: pool, name: name}
+}
+
+func (b *CustomBinding) Name() string { return b.name }
+
+func (b *CustomBinding) RxMeta(p *pktbuf.Packet) *pktbuf.Meta {
+	if p.Meta == nil {
+		m := b.Pool.Get()
+		if m == nil {
+			panic("xchg: descriptor pool exhausted — size it ≥ burst + enqueued packets")
+		}
+		m.ClearValues()
+		p.Meta = m
+	}
+	return p.Meta
+}
+
+func (b *CustomBinding) set(core *machine.Core, p *pktbuf.Packet, f layout.FieldID, v uint64) {
+	b.cc.charge(core)
+	m := b.RxMeta(p)
+	// A custom descriptor stores only the fields its layout declares;
+	// everything else the conversion function drops on the floor — that
+	// is the whole point (no useless stores).
+	if m.L.Has(f) {
+		m.Set(core, f, v)
+	}
+}
+
+func (b *CustomBinding) SetDataLen(core *machine.Core, p *pktbuf.Packet, v uint16) {
+	b.set(core, p, layout.FieldDataLen, uint64(v))
+}
+func (b *CustomBinding) SetPktLen(core *machine.Core, p *pktbuf.Packet, v uint32) {
+	b.set(core, p, layout.FieldPktLen, uint64(v))
+}
+func (b *CustomBinding) SetVlanTCI(core *machine.Core, p *pktbuf.Packet, v uint16) {
+	b.set(core, p, layout.FieldVlanTCI, uint64(v))
+}
+func (b *CustomBinding) SetRSSHash(core *machine.Core, p *pktbuf.Packet, v uint32) {
+	b.set(core, p, layout.FieldRSSHash, uint64(v))
+}
+func (b *CustomBinding) SetPort(core *machine.Core, p *pktbuf.Packet, v uint16) {
+	b.set(core, p, layout.FieldPort, uint64(v))
+}
+func (b *CustomBinding) SetPacketType(core *machine.Core, p *pktbuf.Packet, v uint32) {
+	b.set(core, p, layout.FieldPacketType, uint64(v))
+}
+
+func (b *CustomBinding) GetDataLen(core *machine.Core, p *pktbuf.Packet) uint16 {
+	b.cc.charge(core)
+	return uint16(p.Meta.Get(core, layout.FieldDataLen))
+}
+
+func (b *CustomBinding) GetBufAddr(core *machine.Core, p *pktbuf.Packet) memsim.Addr {
+	b.cc.charge(core)
+	return memsim.Addr(p.Meta.Get(core, layout.FieldBufAddr))
+}
+
+func (b *CustomBinding) ExchangesBuffers() bool { return true }
+
+// Release detaches and recycles the packet's descriptor after transmit —
+// the application-side half of the TX exchange.
+func (b *CustomBinding) Release(p *pktbuf.Packet) {
+	if p.Meta != nil {
+		b.Pool.Put(p.Meta)
+		p.Meta = nil
+	}
+}
