@@ -1,0 +1,27 @@
+# Test tiers. `make test` is the default gate: tier-1 plus the
+# short-budget chaos soak. Tier-2 adds vet and the race detector.
+GO ?= go
+
+.PHONY: test tier1 tier2 soak fuzz
+
+test: tier1 soak
+
+# Tier-1 (the ROADMAP gate): everything builds, every test passes.
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Tier-2: static analysis plus the race detector over the full suite.
+tier2:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# Short-budget chaos soak: randomized fault schedules through the
+# testbed (see internal/testbed/chaos_test.go and EXPERIMENTS.md).
+soak:
+	$(GO) test -run TestChaosSoak -count=1 ./internal/testbed
+
+# Brief fuzz passes over the two grammar front ends.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzParse -fuzztime=30s ./internal/click
+	$(GO) test -run=NONE -fuzz=FuzzFaultSchedule -fuzztime=30s ./internal/faults

@@ -21,8 +21,10 @@ import (
 	"packetmill/internal/click"
 	"packetmill/internal/core"
 	_ "packetmill/internal/elements"
+	"packetmill/internal/faults"
 	"packetmill/internal/layout"
 	"packetmill/internal/nf"
+	"packetmill/internal/simrand"
 	"packetmill/internal/stats"
 	"packetmill/internal/testbed"
 	"packetmill/internal/verify"
@@ -47,6 +49,8 @@ func main() {
 		nics       = flag.Int("nics", 1, "NICs")
 		sweepFreq  = flag.Bool("sweep-freq", false, "sweep 1.2–3.0 GHz and print a table")
 		seed       = flag.Uint64("seed", 1, "experiment seed")
+		faultSpec  = flag.String("faults", "", `fault schedule (e.g. "drop p=0.01; flap at=1ms for=100us"), or "random" for a seeded random draw`)
+		faultSeed  = flag.Uint64("faults-seed", 0, "fault engine seed (0 = derive from -seed)")
 	)
 	flag.Parse()
 
@@ -78,6 +82,15 @@ func main() {
 	base := testbed.Options{
 		FreqGHz: *freq, RateGbps: *rate, Packets: *packets,
 		FixedSize: *size, Cores: *cores, NICs: *nics, Seed: *seed,
+		FaultSeed: *faultSeed,
+	}
+	if *faultSpec != "" {
+		sched, err := parseFaults(*faultSpec, base)
+		if err != nil {
+			fatal(err)
+		}
+		base.Faults = sched
+		fmt.Printf("; faults: %s\n", sched)
 	}
 
 	if *doPrune {
@@ -168,6 +181,24 @@ func pipelineOptions(p *core.Pipeline, o testbed.Options) testbed.Options {
 	return o
 }
 
+// parseFaults reads -faults: a literal schedule, or "random" for a
+// seeded draw scaled to the run's rough duration.
+func parseFaults(spec string, o testbed.Options) (*faults.Schedule, error) {
+	if strings.ToLower(spec) != "random" {
+		return faults.Parse(spec)
+	}
+	seed := o.FaultSeed
+	if seed == 0 {
+		seed = o.Seed ^ 0x5eedfa17
+	}
+	avg := 981.0 // campus-mix mean frame size
+	if o.FixedSize > 0 {
+		avg = float64(o.FixedSize)
+	}
+	durationNS := float64(o.Packets) * (avg + 20) * 8 / o.RateGbps
+	return faults.Random(simrand.New(seed), durationNS), nil
+}
+
 func loadConfig(path, builtin string) (string, error) {
 	if path != "" {
 		b, err := os.ReadFile(path)
@@ -202,7 +233,15 @@ func report(res *testbed.Result) {
 		stats.MicrosFromNS(res.Latency.Median()),
 		stats.MicrosFromNS(res.Latency.P99()),
 		stats.MicrosFromNS(res.Latency.Max()))
-	fmt.Printf("offered/lost:   %d offered, %d dropped\n", res.Offered, res.Dropped)
+	fmt.Printf("offered/lost:   %d offered, %d on wire, %d dropped\n",
+		res.Offered, res.TxWire, res.Dropped)
+	if res.Dropped > 0 {
+		fmt.Printf("drop reasons:   %s\n", res.DropsByReason.String())
+	}
+	if fs := res.FaultStats; fs != nil {
+		fmt.Printf("injected:       wire-drops=%d link-down=%d corruptions=%d truncations=%d\n",
+			fs.WireDrops, fs.LinkDownDrops, fs.Corruptions, fs.Truncations)
+	}
 	c := res.Counters
 	perPkt := func(v float64) float64 {
 		if res.Packets == 0 {

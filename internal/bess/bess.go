@@ -12,6 +12,7 @@ import (
 	"packetmill/internal/machine"
 	"packetmill/internal/netpkt"
 	"packetmill/internal/pktbuf"
+	"packetmill/internal/stats"
 )
 
 // Module is one BESS processing stage. Batches are plain slices (BESS's
@@ -51,7 +52,9 @@ func New(port *dpdk.Port, mods ...Module) *Pipeline {
 
 // Step implements testbed.Engine.
 func (pl *Pipeline) Step(core *machine.Core, now float64) int {
-	n := pl.Port.RxBurst(core, now, pl.rx)
+	// RX-path pool exhaustion is already accounted in the port's drop
+	// counters; only the survivors reach the module chain.
+	n, _ := pl.Port.RxBurst(core, now, pl.rx)
 	if n == 0 {
 		return 0
 	}
@@ -71,7 +74,10 @@ func (pl *Pipeline) Step(core *machine.Core, now float64) int {
 	}
 	pl.Forwarded += uint64(sent)
 	for i := sent; i < len(kept); i++ {
-		pl.Port.Pool.Put(core, kept[i])
+		pl.Port.Drops.Add(stats.DropTxRingFull, 1)
+		if err := pl.Port.Pool.Put(core, kept[i]); err != nil {
+			panic(err) // a packet just held by the pipeline cannot double-free
+		}
 	}
 	// Packets dropped by modules were already recycled by the module.
 	return n

@@ -9,6 +9,7 @@ import (
 	"packetmill/internal/layout"
 	"packetmill/internal/memsim"
 	"packetmill/internal/pktbuf"
+	"packetmill/internal/stats"
 )
 
 // BuildEnv supplies everything a build needs beyond the configuration.
@@ -69,12 +70,22 @@ type Router struct {
 	Recycle func(ec *ExecCtx, p *pktbuf.Packet)
 	// Drops counts killed packets.
 	Drops uint64
+	// DropStats breaks Drops (and element-level overload drops) down by
+	// reason, so the conservation check rx == tx + Σ drops can attribute
+	// every lost packet.
+	DropStats stats.DropCounters
 }
 
 // Kill recycles every packet in b (an element dropping traffic).
 func (rt *Router) Kill(ec *ExecCtx, b *pktbuf.Batch) {
+	rt.KillReason(ec, b, stats.DropEngine)
+}
+
+// KillReason is Kill with an explicit drop reason for the taxonomy.
+func (rt *Router) KillReason(ec *ExecCtx, b *pktbuf.Batch, reason stats.DropReason) {
 	b.ForEach(ec.Core, func(p *pktbuf.Packet) bool {
 		rt.Drops++
+		rt.DropStats.Add(reason, 1)
 		if rt.Recycle != nil {
 			rt.Recycle(ec, p)
 		}
@@ -137,8 +148,12 @@ func Build(g *Graph, env BuildEnv) (*Router, error) {
 		Prewarm:    env.Prewarm,
 	}
 	if env.Model == Copying {
-		bc.PacketPool = NewPacketPool(env.PacketPoolSize, rt.MetaLayout, bc, rt.Prof)
-		rt.PacketPool = bc.PacketPool
+		pp, err := NewPacketPool(env.PacketPoolSize, rt.MetaLayout, bc, rt.Prof)
+		if err != nil {
+			return nil, err
+		}
+		bc.PacketPool = pp
+		rt.PacketPool = pp
 	}
 
 	// Instantiate and configure every element.
@@ -217,6 +232,7 @@ func Build(g *Graph, env BuildEnv) (*Router, error) {
 	}
 
 	// Collect driver tasks into the stride scheduler.
+	hasSource := false
 	for _, inst := range rt.Instances {
 		if t, ok := inst.El.(Task); ok {
 			tickets := DefaultTickets
@@ -227,9 +243,12 @@ func Build(g *Graph, env BuildEnv) (*Router, error) {
 				task:   t,
 				stride: stride1 / float64(tickets),
 			})
+			if inst.El.NInputs() <= 0 {
+				hasSource = true
+			}
 		}
 	}
-	if len(rt.sched) == 0 {
+	if !hasSource {
 		return nil, fmt.Errorf("click: configuration has no schedulable source element")
 	}
 	return rt, nil

@@ -160,14 +160,17 @@ func NewElement(class string) (Element, error) {
 }
 
 // IsSourceClass reports whether class is a schedulable source element
-// (implements Task) — what graph analyses use as reachability roots.
+// (implements Task and has no inputs) — what graph analyses use as
+// reachability roots. Sink-side tasks (e.g. ToDPDKDevice's TX flush)
+// are schedulable but originate no packets.
 func IsSourceClass(class string) bool {
 	f, ok := registry[class]
 	if !ok {
 		return false
 	}
-	_, isTask := f().(Task)
-	return isTask
+	el := f()
+	_, isTask := el.(Task)
+	return isTask && el.NInputs() <= 0
 }
 
 // Classes returns the registered class names, sorted.

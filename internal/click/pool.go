@@ -5,6 +5,8 @@
 package click
 
 import (
+	"fmt"
+
 	"packetmill/internal/layout"
 	"packetmill/internal/machine"
 	"packetmill/internal/memsim"
@@ -27,13 +29,19 @@ const PacketPoolOpInstr = 8
 
 // NewPacketPool allocates n descriptors with the given layout. Placement:
 // the heap in the vanilla build, the static arena when the static-graph
-// pass runs (it knows every pool size from the embedded constants).
-func NewPacketPool(n int, l *layout.Layout, bc *BuildCtx, prof *layout.OrderProfile) *PacketPool {
+// pass runs (it knows every pool size from the embedded constants). A
+// pool that does not fit the static arena returns a typed
+// *memsim.ExhaustedError — pool size is build configuration.
+func NewPacketPool(n int, l *layout.Layout, bc *BuildCtx, prof *layout.OrderProfile) (*PacketPool, error) {
 	pp := &PacketPool{}
 	for i := 0; i < n; i++ {
 		var base memsim.Addr
 		if bc.UseStatic {
-			base = bc.Static.Alloc(uint64(l.Size()), memsim.CacheLineSize)
+			var err error
+			base, err = bc.Static.TryAlloc(uint64(l.Size()), memsim.CacheLineSize)
+			if err != nil {
+				return nil, fmt.Errorf("click: packet pool (%d of %d descriptors placed): %w", i, n, err)
+			}
 		} else {
 			base = bc.Heap.Alloc(uint64(l.Size()))
 		}
@@ -42,11 +50,15 @@ func NewPacketPool(n int, l *layout.Layout, bc *BuildCtx, prof *layout.OrderProf
 		pp.free = append(pp.free, m)
 	}
 	if bc.UseStatic {
-		pp.headAddr = bc.Static.Alloc(64, memsim.CacheLineSize)
+		head, err := bc.Static.TryAlloc(64, memsim.CacheLineSize)
+		if err != nil {
+			return nil, fmt.Errorf("click: packet pool free-list head: %w", err)
+		}
+		pp.headAddr = head
 	} else {
 		pp.headAddr = bc.Heap.Alloc(64)
 	}
-	return pp
+	return pp, nil
 }
 
 // Get pops a descriptor, charging the pool op.

@@ -12,6 +12,7 @@
 package dpdk
 
 import (
+	"errors"
 	"fmt"
 
 	"packetmill/internal/layout"
@@ -19,7 +20,21 @@ import (
 	"packetmill/internal/memsim"
 	"packetmill/internal/nic"
 	"packetmill/internal/pktbuf"
+	"packetmill/internal/stats"
 	"packetmill/internal/xchg"
+)
+
+// Typed datapath errors. They replace the runtime panics this layer used
+// to raise under overload or misuse: a fault-injected or undersized run
+// now degrades with accounting and a detectable error instead of killing
+// the experiment.
+var (
+	// ErrDoubleFree reports a buffer returned to a mempool it is not
+	// currently allocated from (freed twice, or foreign).
+	ErrDoubleFree = errors.New("dpdk: mempool double free")
+	// ErrPoolExhausted reports an RX burst that had to drop packets
+	// because the descriptor pool (or mempool) had nothing free.
+	ErrPoolExhausted = errors.New("dpdk: descriptor pool exhausted on RX path")
 )
 
 // Buffer geometry defaults, matching DPDK's RTE_PKTMBUF_HEADROOM and the
@@ -63,6 +78,11 @@ type Mempool struct {
 	spec     BufSpec
 	free     []*pktbuf.Packet
 	capacity int
+	// out tracks which buffers are currently allocated. It is the
+	// ground truth the double-free detector and the leak audit read:
+	// a Put of a buffer not in this set is ErrDoubleFree, and after a
+	// drained run len(out) must reconcile with the rings' holdings.
+	out map[*pktbuf.Packet]struct{}
 	// ringBase is the simulated address of the free-list array; every
 	// get/put touches one 8-byte slot, like the mempool cache does.
 	ringBase memsim.Addr
@@ -70,7 +90,14 @@ type Mempool struct {
 	// mempool bookkeeping ("supporting many unnecessary features").
 	opInstr float64
 
+	// FaultDeplete, when set, makes Get behave as exhausted while it
+	// returns true for the core's current time — the fault engine's
+	// mempool-depletion hook. Nil in normal runs.
+	FaultDeplete func(nowNS float64) bool
+
 	Gets, Puts, Fails uint64
+	// DoubleFrees counts Put calls rejected with ErrDoubleFree.
+	DoubleFrees uint64
 }
 
 // MempoolOpInstr is the instruction cost of one mempool get or put
@@ -78,16 +105,23 @@ type Mempool struct {
 // the "many unnecessary features" of §3.1).
 const MempoolOpInstr = 40
 
-// NewMempool carves n buffers out of the hugepage arena.
-func NewMempool(name string, n int, arena *memsim.Arena, spec BufSpec) *Mempool {
+// NewMempool carves n buffers out of the hugepage arena. An arena too
+// small for the requested pool returns a typed *memsim.ExhaustedError —
+// pool sizing is run configuration, so it must not crash the process.
+func NewMempool(name string, n int, arena *memsim.Arena, spec BufSpec) (*Mempool, error) {
 	if spec.MetaLayout == nil {
-		panic("dpdk: mempool needs a metadata layout")
+		return nil, fmt.Errorf("dpdk: mempool %q needs a metadata layout", name)
+	}
+	ringBase, err := arena.TryAlloc(uint64(n)*8, memsim.CacheLineSize)
+	if err != nil {
+		return nil, fmt.Errorf("dpdk: mempool %q free list: %w", name, err)
 	}
 	mp := &Mempool{
 		name:     name,
 		spec:     spec,
 		capacity: n,
-		ringBase: arena.Alloc(uint64(n)*8, memsim.CacheLineSize),
+		out:      make(map[*pktbuf.Packet]struct{}, n),
+		ringBase: ringBase,
 		opInstr:  MempoolOpInstr,
 	}
 	metaSize := uint64(spec.MetaLayout.Size())
@@ -95,9 +129,13 @@ func NewMempool(name string, n int, arena *memsim.Arena, spec BufSpec) *Mempool 
 		metaSize = MbufStructSize
 	}
 	for i := 0; i < n; i++ {
-		base := arena.Alloc(metaSize+uint64(spec.Headroom+spec.DataRoom), memsim.CacheLineSize)
+		base, err := arena.TryAlloc(metaSize+uint64(spec.Headroom+spec.DataRoom), memsim.CacheLineSize)
+		if err != nil {
+			return nil, fmt.Errorf("dpdk: mempool %q (%d of %d buffers placed): %w", name, i, n, err)
+		}
 		bufAddr := base + memsim.Addr(metaSize)
 		p := pktbuf.NewPacket(make([]byte, spec.Headroom+spec.DataRoom), bufAddr, spec.Headroom)
+		p.Owner = mp
 		m := &pktbuf.Meta{Base: base, L: spec.MetaLayout, Prof: spec.Prof}
 		m.Poke(layout.FieldBufAddr, uint64(bufAddr))
 		if spec.SeparateMbuf {
@@ -107,7 +145,7 @@ func NewMempool(name string, n int, arena *memsim.Arena, spec BufSpec) *Mempool 
 		}
 		mp.free = append(mp.free, p)
 	}
-	return mp
+	return mp, nil
 }
 
 // Capacity returns the pool's total buffer count.
@@ -116,10 +154,19 @@ func (mp *Mempool) Capacity() int { return mp.capacity }
 // Available returns the free buffer count.
 func (mp *Mempool) Available() int { return len(mp.free) }
 
+// Outstanding reports buffers currently allocated from the pool. After a
+// drained run it must equal the buffers held by the NIC rings — the leak
+// invariant the chaos harness checks.
+func (mp *Mempool) Outstanding() int { return len(mp.out) }
+
 // Get allocates a buffer, charging the free-list access, the mempool
 // bookkeeping, and the mbuf rearm stores (rte_pktmbuf_reset touches the
 // descriptor's first line). Returns nil when the pool is exhausted.
 func (mp *Mempool) Get(core *machine.Core) *pktbuf.Packet {
+	if mp.FaultDeplete != nil && mp.FaultDeplete(core.NowNS()) {
+		mp.Fails++
+		return nil
+	}
 	if len(mp.free) == 0 {
 		mp.Fails++
 		return nil
@@ -127,6 +174,7 @@ func (mp *Mempool) Get(core *machine.Core) *pktbuf.Packet {
 	idx := len(mp.free) - 1
 	p := mp.free[idx]
 	mp.free = mp.free[:idx]
+	mp.out[p] = struct{}{}
 	mp.Gets++
 
 	core.Load(mp.ringBase+memsim.Addr(idx*8), 8)
@@ -141,11 +189,23 @@ func (mp *Mempool) Get(core *machine.Core) *pktbuf.Packet {
 	return p
 }
 
-// Put frees a buffer back to the pool.
-func (mp *Mempool) Put(core *machine.Core, p *pktbuf.Packet) {
-	if len(mp.free) >= mp.capacity {
-		panic("dpdk: mempool over-free")
+// Put frees a buffer back to the pool. A buffer that is not currently
+// allocated from this pool — freed twice, or never taken from it — is
+// rejected with a wrapped ErrDoubleFree and counted; the pool's ledger
+// stays intact, so one buggy (or fault-injected) free cannot corrupt the
+// free list the way rte_mempool's unchecked put does.
+func (mp *Mempool) Put(core *machine.Core, p *pktbuf.Packet) error {
+	if owner, ok := p.Owner.(*Mempool); ok && owner != mp {
+		// rte_pktmbuf_free semantics: a buffer always returns to the pool
+		// it was carved from, no matter which port frees it (multi-NIC
+		// forwarding frees RX buffers of one port on another).
+		return owner.Put(core, p)
 	}
+	if _, ok := mp.out[p]; !ok {
+		mp.DoubleFrees++
+		return fmt.Errorf("mempool %q: %w", mp.name, ErrDoubleFree)
+	}
+	delete(mp.out, p)
 	core.Store(mp.ringBase+memsim.Addr(len(mp.free)*8), 8)
 	core.Compute(mp.opInstr)
 	// rte_pktmbuf_free reads the descriptor before recycling: the
@@ -161,6 +221,7 @@ func (mp *Mempool) Put(core *machine.Core, p *pktbuf.Packet) {
 	}
 	mp.free = append(mp.free, p)
 	mp.Puts++
+	return nil
 }
 
 func (mp *Mempool) meta(p *pktbuf.Packet) *pktbuf.Meta {
@@ -172,14 +233,18 @@ func (mp *Mempool) meta(p *pktbuf.Packet) *pktbuf.Meta {
 
 // AllocRawBuffers carves n bare buffers (headroom+dataroom, no descriptor)
 // for the X-Change workflow, where metadata lives in the application's
-// descriptor pool instead of in front of every buffer.
-func AllocRawBuffers(arena *memsim.Arena, n, headroom, dataroom int) []*pktbuf.Packet {
+// descriptor pool instead of in front of every buffer. An arena too small
+// for the request returns a typed *memsim.ExhaustedError.
+func AllocRawBuffers(arena *memsim.Arena, n, headroom, dataroom int) ([]*pktbuf.Packet, error) {
 	out := make([]*pktbuf.Packet, n)
 	for i := range out {
-		base := arena.Alloc(uint64(headroom+dataroom), memsim.CacheLineSize)
+		base, err := arena.TryAlloc(uint64(headroom+dataroom), memsim.CacheLineSize)
+		if err != nil {
+			return nil, fmt.Errorf("dpdk: raw buffers (%d of %d placed): %w", i, n, err)
+		}
 		out[i] = pktbuf.NewPacket(make([]byte, headroom+dataroom), base, headroom)
 	}
-	return out
+	return out, nil
 }
 
 // Port is one PMD-driven NIC queue pair.
@@ -211,6 +276,16 @@ type Port struct {
 	// it in all of our experiments, except in §4.1"), and neither does
 	// ours: SetVectorized rejects exchange bindings.
 	Vectorized bool
+
+	// Drops is the port's drop ledger: packets this PMD had to shed
+	// (descriptor-pool exhaustion on RX, double-free rejections). The
+	// testbed merges it into the run's taxonomy.
+	Drops stats.DropCounters
+
+	// FaultDescDeplete, when set, makes the RX conversion path treat the
+	// exchange descriptor pool as exhausted while it returns true — the
+	// fault engine's exchange-pool depletion hook. Nil in normal runs.
+	FaultDescDeplete func(nowNS float64) bool
 }
 
 // Per-packet PMD instruction costs (beyond the charged memory accesses).
@@ -272,12 +347,16 @@ func (pt *Port) SetupRX() error {
 				return fmt.Errorf("dpdk: port %d: mempool too small for RX ring", pt.ID)
 			}
 		}
-		rxq.Post(b)
+		if err := rxq.Post(b); err != nil {
+			return fmt.Errorf("dpdk: port %d: %w", pt.ID, err)
+		}
 	}
 	return nil
 }
 
-// takeFromPoolInit pops a buffer without charging (init phase).
+// takeFromPoolInit pops a buffer without charging (init phase). The
+// buffer still enters the allocation ledger: it will come back through
+// Put during the run like any other.
 func (pt *Port) takeFromPoolInit() *pktbuf.Packet {
 	if pt.Pool == nil || len(pt.Pool.free) == 0 {
 		return nil
@@ -285,13 +364,23 @@ func (pt *Port) takeFromPoolInit() *pktbuf.Packet {
 	idx := len(pt.Pool.free) - 1
 	p := pt.Pool.free[idx]
 	pt.Pool.free = pt.Pool.free[:idx]
+	pt.Pool.out[p] = struct{}{}
 	return p
 }
 
 // RxBurst polls up to len(out) receptions ready by nowNS, runs the
-// conversion functions for each, refills the ring, and returns the count.
-// This is rte_eth_rx_burst with the X-Change patch applied.
-func (pt *Port) RxBurst(core *machine.Core, nowNS float64, out []*pktbuf.Packet) int {
+// conversion functions for each, refills the ring, and returns how many
+// packets reached the application. This is rte_eth_rx_burst with the
+// X-Change patch applied.
+//
+// Under an exchange binding, a packet whose application descriptor cannot
+// be attached — the exchange pool is exhausted (§3.1's sizing rule
+// violated at run time) or the fault engine's depletion window is open —
+// is dropped with accounting: the buffer goes straight back to the
+// driver's spare list, the port's PoolExhausted counter advances, and the
+// burst reports a wrapped ErrPoolExhausted alongside the surviving count.
+// The old behaviour was a panic that killed the whole experiment.
+func (pt *Port) RxBurst(core *machine.Core, nowNS float64, out []*pktbuf.Packet) (int, error) {
 	max := len(out)
 	if max > len(pt.descs) {
 		max = len(pt.descs)
@@ -306,14 +395,26 @@ func (pt *Port) RxBurst(core *machine.Core, nowNS float64, out []*pktbuf.Packet)
 	if n == 0 {
 		// An empty poll still costs the CQE peek.
 		core.Compute(4)
-		return 0
+		return 0, nil
 	}
 	conv := pt.RxConvInstr
 	if pt.Vectorized {
 		conv /= 2 // SIMD decode amortizes the per-packet scalar work
 	}
+	kept := 0
+	var exhausted uint64
 	for i := 0; i < n; i++ {
 		p, d := out[i], pt.descs[i]
+		if pt.Bind.ExchangesBuffers() {
+			gated := pt.FaultDescDeplete != nil && pt.FaultDescDeplete(nowNS)
+			if gated || pt.Bind.RxMeta(p) == nil {
+				exhausted++
+				pt.Drops.Add(stats.DropPoolExhausted, 1)
+				p.Reset(DefaultHeadroom)
+				pt.spare = append(pt.spare, p)
+				continue
+			}
+		}
 		core.Compute(conv)
 		pt.Bind.SetDataLen(core, p, uint16(d.Len))
 		pt.Bind.SetPktLen(core, p, uint32(d.Len))
@@ -323,9 +424,12 @@ func (pt *Port) RxBurst(core *machine.Core, nowNS float64, out []*pktbuf.Packet)
 		if d.VlanTCI != 0 {
 			pt.Bind.SetVlanTCI(core, p, d.VlanTCI)
 		}
+		out[kept] = p
+		kept++
 	}
 	// Ring refill: replacement buffers come from the pool (stock) or the
-	// application's exchanged spares (X-Change).
+	// application's exchanged spares (X-Change). n descriptors were
+	// consumed from the ring regardless of how many survived conversion.
 	for i := 0; i < n; i++ {
 		var b *pktbuf.Packet
 		if pt.Bind.ExchangesBuffers() {
@@ -341,9 +445,29 @@ func (pt *Port) RxBurst(core *machine.Core, nowNS float64, out []*pktbuf.Packet)
 				break
 			}
 		}
-		rxq.Post(b)
+		if err := rxq.Post(b); err != nil {
+			// The ring will not take more buffers; return this one and
+			// stop refilling rather than over-posting.
+			pt.unrefill(core, b)
+			break
+		}
 	}
-	return n
+	if exhausted > 0 {
+		return kept, fmt.Errorf("port %d: %d of %d packets dropped: %w",
+			pt.ID, exhausted, n, ErrPoolExhausted)
+	}
+	return kept, nil
+}
+
+// unrefill returns a buffer the RX ring rejected to wherever it came from.
+func (pt *Port) unrefill(core *machine.Core, b *pktbuf.Packet) {
+	if pt.Bind.ExchangesBuffers() {
+		pt.spare = append(pt.spare, b)
+		return
+	}
+	// The buffer was just allocated from the pool, so this cannot
+	// double-free.
+	_ = pt.Pool.Put(core, b)
 }
 
 // TxBurst reaps completed transmissions (recycling their buffers) and
@@ -365,8 +489,11 @@ func (pt *Port) TxBurst(core *machine.Core, nowNS float64, pkts []*pktbuf.Packet
 				}
 				pt.spare = append(pt.spare, done)
 				core.Compute(2)
-			} else {
-				pt.Pool.Put(core, done)
+			} else if err := pt.Pool.Put(core, done); err != nil {
+				// A reaped buffer that is not outstanding means someone
+				// already freed it; the pool rejected the double free
+				// and counted it — nothing else to unwind.
+				continue
 			}
 		}
 	}

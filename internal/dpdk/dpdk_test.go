@@ -1,6 +1,7 @@
 package dpdk
 
 import (
+	"errors"
 	"testing"
 
 	"packetmill/internal/layout"
@@ -9,6 +10,7 @@ import (
 	"packetmill/internal/netpkt"
 	"packetmill/internal/nic"
 	"packetmill/internal/pktbuf"
+	"packetmill/internal/stats"
 	"packetmill/internal/xchg"
 )
 
@@ -36,9 +38,28 @@ func frame(size int) []byte {
 	})
 }
 
+// mustMempool builds a pool that is expected to fit its arena.
+func mustMempool(name string, n int, arena *memsim.Arena, spec BufSpec) *Mempool {
+	mp, err := NewMempool(name, n, arena, spec)
+	if err != nil {
+		panic(err)
+	}
+	return mp
+}
+
+// rxb is RxBurst for tests that expect no pool exhaustion.
+func rxb(t *testing.T, pt *Port, core *machine.Core, now float64, out []*pktbuf.Packet) int {
+	t.Helper()
+	n, err := pt.RxBurst(core, now, out)
+	if err != nil {
+		t.Fatalf("RxBurst: %v", err)
+	}
+	return n
+}
+
 func TestMempoolGetPutLIFO(t *testing.T) {
 	r := newRig()
-	mp := NewMempool("mb", 8, r.huge, DefaultBufSpec())
+	mp := mustMempool("mb", 8, r.huge, DefaultBufSpec())
 	if mp.Capacity() != 8 || mp.Available() != 8 {
 		t.Fatalf("cap=%d avail=%d", mp.Capacity(), mp.Available())
 	}
@@ -55,7 +76,7 @@ func TestMempoolGetPutLIFO(t *testing.T) {
 
 func TestMempoolExhaustion(t *testing.T) {
 	r := newRig()
-	mp := NewMempool("mb", 2, r.huge, DefaultBufSpec())
+	mp := mustMempool("mb", 2, r.huge, DefaultBufSpec())
 	mp.Get(r.core)
 	mp.Get(r.core)
 	if mp.Get(r.core) != nil {
@@ -66,22 +87,90 @@ func TestMempoolExhaustion(t *testing.T) {
 	}
 }
 
-func TestMempoolOverFreePanics(t *testing.T) {
+func TestMempoolDoubleFreeDetected(t *testing.T) {
 	r := newRig()
-	mp := NewMempool("mb", 1, r.huge, DefaultBufSpec())
+	mp := mustMempool("mb", 1, r.huge, DefaultBufSpec())
 	p := mp.Get(r.core)
-	mp.Put(r.core, p)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+	if err := mp.Put(r.core, p); err != nil {
+		t.Fatalf("first free: %v", err)
+	}
+	err := mp.Put(r.core, p)
+	if !errors.Is(err, ErrDoubleFree) {
+		t.Fatalf("second free: err = %v, want ErrDoubleFree", err)
+	}
+	if mp.DoubleFrees != 1 {
+		t.Fatalf("DoubleFrees = %d", mp.DoubleFrees)
+	}
+	// The ledger must be intact: the buffer is free exactly once.
+	if mp.Available() != 1 || mp.Outstanding() != 0 {
+		t.Fatalf("ledger corrupted: avail=%d outstanding=%d", mp.Available(), mp.Outstanding())
+	}
+	// And the pool still works.
+	if mp.Get(r.core) != p {
+		t.Fatal("pool unusable after rejected double free")
+	}
+}
+
+func TestMempoolForeignFreeRoutesToOwner(t *testing.T) {
+	// rte_pktmbuf_free semantics: freeing through the wrong port's pool
+	// must return the buffer to the pool it was carved from.
+	r := newRig()
+	a := mustMempool("a", 2, r.huge, DefaultBufSpec())
+	b := mustMempool("b", 2, r.huge, DefaultBufSpec())
+	p := a.Get(r.core)
+	if err := b.Put(r.core, p); err != nil {
+		t.Fatalf("foreign free: %v", err)
+	}
+	if a.Available() != 2 || b.Available() != 2 {
+		t.Fatalf("buffer migrated: a=%d b=%d", a.Available(), b.Available())
+	}
+	if a.Outstanding() != 0 {
+		t.Fatalf("owner ledger: %d outstanding", a.Outstanding())
+	}
+}
+
+func TestMempoolDepletionRecoveryLedger(t *testing.T) {
+	// Drain the pool to zero, free everything back, repeat — counters
+	// and ledger must reconcile at every point.
+	r := newRig()
+	const capacity = 16
+	mp := mustMempool("mb", capacity, r.huge, DefaultBufSpec())
+	for cycle := 0; cycle < 3; cycle++ {
+		var taken []*pktbuf.Packet
+		for {
+			p := mp.Get(r.core)
+			if p == nil {
+				break
+			}
+			taken = append(taken, p)
 		}
-	}()
-	mp.Put(r.core, p)
+		if len(taken) != capacity {
+			t.Fatalf("cycle %d: drained %d, want %d", cycle, len(taken), capacity)
+		}
+		if mp.Available() != 0 || mp.Outstanding() != capacity {
+			t.Fatalf("cycle %d: avail=%d outstanding=%d", cycle, mp.Available(), mp.Outstanding())
+		}
+		for _, p := range taken {
+			if err := mp.Put(r.core, p); err != nil {
+				t.Fatalf("cycle %d: put: %v", cycle, err)
+			}
+		}
+		if mp.Available() != capacity || mp.Outstanding() != 0 {
+			t.Fatalf("cycle %d after refill: avail=%d outstanding=%d",
+				cycle, mp.Available(), mp.Outstanding())
+		}
+		if mp.Gets-mp.Puts != 0 {
+			t.Fatalf("cycle %d: Gets-Puts = %d", cycle, mp.Gets-mp.Puts)
+		}
+	}
+	if int(mp.Fails) != 3 {
+		t.Fatalf("Fails = %d, want one per drain cycle", mp.Fails)
+	}
 }
 
 func TestMempoolSeparateMbufGeometry(t *testing.T) {
 	r := newRig()
-	mp := NewMempool("mb", 4, r.huge, DefaultBufSpec())
+	mp := mustMempool("mb", 4, r.huge, DefaultBufSpec())
 	p := mp.Get(r.core)
 	if p.Mbuf == nil || p.Meta != nil {
 		t.Fatal("separate-mbuf spec must attach Mbuf only")
@@ -106,7 +195,7 @@ func TestMempoolOverlayGeometry(t *testing.T) {
 	spec := DefaultBufSpec()
 	spec.MetaLayout = layout.OverlayPacket()
 	spec.SeparateMbuf = false
-	mp := NewMempool("ov", 4, r.huge, spec)
+	mp := mustMempool("ov", 4, r.huge, spec)
 	p := mp.Get(r.core)
 	if p.Meta == nil || p.Mbuf != nil {
 		t.Fatal("overlay spec must attach Meta only")
@@ -118,7 +207,7 @@ func TestMempoolOverlayGeometry(t *testing.T) {
 
 func TestMempoolRearmChargesDescriptor(t *testing.T) {
 	r := newRig()
-	mp := NewMempool("mb", 4, r.huge, DefaultBufSpec())
+	mp := mustMempool("mb", 4, r.huge, DefaultBufSpec())
 	before := r.core.Snapshot()
 	mp.Get(r.core)
 	d := r.core.Snapshot().Delta(before)
@@ -128,7 +217,7 @@ func TestMempoolRearmChargesDescriptor(t *testing.T) {
 }
 
 func newDefaultPort(r *rig, poolSize int) *Port {
-	mp := NewMempool("mb", poolSize, r.huge, DefaultBufSpec())
+	mp := mustMempool("mb", poolSize, r.huge, DefaultBufSpec())
 	pt := NewPort(0, r.nic, 0, mp, xchg.NewDefaultBinding(true), 32)
 	if err := pt.SetupRX(); err != nil {
 		panic(err)
@@ -149,7 +238,7 @@ func TestPortSetupFillsRing(t *testing.T) {
 
 func TestPortSetupPoolTooSmall(t *testing.T) {
 	r := newRig()
-	mp := NewMempool("mb", 10, r.huge, DefaultBufSpec())
+	mp := mustMempool("mb", 10, r.huge, DefaultBufSpec())
 	if err := NewPort(0, r.nic, 0, mp, xchg.NewDefaultBinding(true), 32).SetupRX(); err == nil {
 		t.Fatal("expected error for undersized pool")
 	}
@@ -164,7 +253,7 @@ func TestRxBurstDefaultBinding(t *testing.T) {
 		}
 	}
 	out := make([]*pktbuf.Packet, 32)
-	n := pt.RxBurst(r.core, 1e6, out)
+	n := rxb(t, pt, r.core, 1e6, out)
 	if n != 10 {
 		t.Fatalf("rx %d", n)
 	}
@@ -182,7 +271,7 @@ func TestRxBurstEmptyChargesPeek(t *testing.T) {
 	r := newRig()
 	pt := newDefaultPort(r, 512)
 	before := r.core.Snapshot()
-	if n := pt.RxBurst(r.core, 0, make([]*pktbuf.Packet, 32)); n != 0 {
+	if n := rxb(t, pt, r.core, 0, make([]*pktbuf.Packet, 32)); n != 0 {
 		t.Fatalf("rx %d from idle port", n)
 	}
 	if d := r.core.Snapshot().Delta(before); d.Instructions == 0 {
@@ -197,7 +286,7 @@ func TestTxBurstSendsAndRecycles(t *testing.T) {
 		r.nic.Deliver(0, frame(100), 0)
 	}
 	out := make([]*pktbuf.Packet, 32)
-	n := pt.RxBurst(r.core, 1e6, out)
+	n := rxb(t, pt, r.core, 1e6, out)
 	availAfterRx := pt.Pool.Available()
 	if sent := pt.TxBurst(r.core, 1e6, out[:n]); sent != n {
 		t.Fatalf("sent %d of %d", sent, n)
@@ -214,10 +303,17 @@ func TestTxBurstSendsAndRecycles(t *testing.T) {
 
 func newXchgPort(r *rig) (*Port, *xchg.CustomBinding) {
 	static := memsim.NewArena("static", memsim.StaticBase, 1<<20)
-	dp := xchg.NewDescriptorPool(64, layout.XchgPacket(), static, nil)
+	dp, err := xchg.NewDescriptorPool(64, layout.XchgPacket(), static, nil)
+	if err != nil {
+		panic(err)
+	}
 	bind := xchg.NewCustomBinding("x-change", dp, true)
 	pt := NewPort(0, r.nic, 0, nil, bind, 32)
-	pt.ProvideBuffers(AllocRawBuffers(r.huge, 256+64, DefaultHeadroom, DefaultDataRoom))
+	bufs, err := AllocRawBuffers(r.huge, 256+64, DefaultHeadroom, DefaultDataRoom)
+	if err != nil {
+		panic(err)
+	}
+	pt.ProvideBuffers(bufs)
 	if err := pt.SetupRX(); err != nil {
 		panic(err)
 	}
@@ -231,7 +327,7 @@ func TestXchgRxAttachesAppDescriptors(t *testing.T) {
 		r.nic.Deliver(0, frame(150), 0)
 	}
 	out := make([]*pktbuf.Packet, 32)
-	n := pt.RxBurst(r.core, 1e6, out)
+	n := rxb(t, pt, r.core, 1e6, out)
 	if n != 8 {
 		t.Fatalf("rx %d", n)
 	}
@@ -262,7 +358,7 @@ func TestXchgBufferExchangeConservation(t *testing.T) {
 			r.nic.Deliver(0, frame(100), now)
 		}
 		now += 1e5
-		n := pt.RxBurst(r.core, now, out)
+		n := rxb(t, pt, r.core, now, out)
 		pt.TxBurst(r.core, now, out[:n])
 	}
 	// Let everything drain and reap.
@@ -274,6 +370,92 @@ func TestXchgBufferExchangeConservation(t *testing.T) {
 	total := r.nic.RX(0).PostedCount() + pt.SpareCount()
 	if total != 256+64 {
 		t.Fatalf("buffer leak: %d posted+spare, want 320", total)
+	}
+}
+
+func TestRxBurstDescPoolExhausted(t *testing.T) {
+	// Undersize the exchange descriptor pool (violating the §3.1 sizing
+	// rule): the burst must survive, drop the excess with accounting, and
+	// report a typed error — not panic.
+	r := newRig()
+	static := memsim.NewArena("static", memsim.StaticBase, 1<<20)
+	dp, err := xchg.NewDescriptorPool(4, layout.XchgPacket(), static, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bind := xchg.NewCustomBinding("x-change", dp, true)
+	pt := NewPort(0, r.nic, 0, nil, bind, 32)
+	bufs, err := AllocRawBuffers(r.huge, 256+64, DefaultHeadroom, DefaultDataRoom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt.ProvideBuffers(bufs)
+	if err := pt.SetupRX(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		r.nic.Deliver(0, frame(120), 0)
+	}
+	out := make([]*pktbuf.Packet, 32)
+	n, err := pt.RxBurst(r.core, 1e6, out)
+	if !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("err = %v, want ErrPoolExhausted", err)
+	}
+	if n != 4 {
+		t.Fatalf("kept %d, want 4 (pool size)", n)
+	}
+	if got := pt.Drops.Get(stats.DropPoolExhausted); got != 6 {
+		t.Fatalf("PoolExhausted drops = %d, want 6", got)
+	}
+	// Dropped buffers must not leak: ring posted + spare + the 4 held
+	// packets account for every raw buffer.
+	total := r.nic.RX(0).PostedCount() + pt.SpareCount() + n
+	if total != 256+64 {
+		t.Fatalf("buffer leak after exhausted burst: %d, want 320", total)
+	}
+	// Returning the survivors (TX + reap) fully recovers the pool.
+	pt.TxBurst(r.core, 1e6, out[:n])
+	pt.TxBurst(r.core, 1e9, nil)
+	if dp.Outstanding() != 0 {
+		t.Fatalf("descriptor leak: %d outstanding", dp.Outstanding())
+	}
+	// And the next burst succeeds again.
+	for i := 0; i < 4; i++ {
+		r.nic.Deliver(0, frame(80), 2e9)
+	}
+	if got := rxb(t, pt, r.core, 3e9, out); got != 4 {
+		t.Fatalf("post-recovery rx %d", got)
+	}
+}
+
+func TestDescPoolDepletionRecoveryCycles(t *testing.T) {
+	// Repeated exhaust/recover cycles must keep the descriptor ledger
+	// exact: size = free + outstanding at every step.
+	dp, err := xchg.NewDescriptorPool(8, layout.XchgPacket(),
+		memsim.NewArena("static", memsim.StaticBase, 1<<20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < 5; cycle++ {
+		var taken []*pktbuf.Meta
+		for {
+			m := dp.Get()
+			if m == nil {
+				break
+			}
+			taken = append(taken, m)
+		}
+		if len(taken) != 8 || dp.FreeCount() != 0 || dp.Outstanding() != 8 {
+			t.Fatalf("cycle %d: taken=%d free=%d out=%d",
+				cycle, len(taken), dp.FreeCount(), dp.Outstanding())
+		}
+		for _, m := range taken {
+			dp.Put(m)
+		}
+		if dp.FreeCount() != 8 || dp.Outstanding() != 0 {
+			t.Fatalf("cycle %d after refill: free=%d out=%d",
+				cycle, dp.FreeCount(), dp.Outstanding())
+		}
 	}
 }
 
@@ -294,7 +476,9 @@ func TestXchgWritesFewerMetadataLines(t *testing.T) {
 		}
 		out := make([]*pktbuf.Packet, 32)
 		before := r.core.Snapshot()
-		pt.RxBurst(r.core, 1e6, out)
+		if _, err := pt.RxBurst(r.core, 1e6, out); err != nil {
+			t.Fatal(err)
+		}
 		d := r.core.Snapshot().Delta(before)
 		return d.BusyCycles
 	}
@@ -325,7 +509,10 @@ func TestTxBurstRingFullStops(t *testing.T) {
 
 func TestAllocRawBuffers(t *testing.T) {
 	huge := memsim.NewArena("huge", memsim.HugeBase, 1<<24)
-	bufs := AllocRawBuffers(huge, 10, 128, 2048)
+	bufs, err := AllocRawBuffers(huge, 10, 128, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(bufs) != 10 {
 		t.Fatalf("%d buffers", len(bufs))
 	}
@@ -365,7 +552,7 @@ func TestVectorizedPMDCheaperRx(t *testing.T) {
 		}
 		out := make([]*pktbuf.Packet, 32)
 		before := r.core.Snapshot()
-		if n := pt.RxBurst(r.core, 1e6, out); n != 32 {
+		if n := rxb(t, pt, r.core, 1e6, out); n != 32 {
 			t.Fatalf("rx %d", n)
 		}
 		return r.core.Snapshot().Delta(before).BusyCycles
@@ -386,7 +573,7 @@ func TestVectorizedPMDSameSemantics(t *testing.T) {
 			r.nic.Deliver(0, frame(100+i), float64(i))
 		}
 		out := make([]*pktbuf.Packet, 32)
-		n := pt.RxBurst(r.core, 1e6, out)
+		n := rxb(t, pt, r.core, 1e6, out)
 		return out[:n]
 	}
 	a, b := rx(false), rx(true)

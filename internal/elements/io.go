@@ -11,6 +11,7 @@ import (
 	"packetmill/internal/layout"
 	"packetmill/internal/memsim"
 	"packetmill/internal/pktbuf"
+	"packetmill/internal/stats"
 )
 
 func init() {
@@ -93,7 +94,10 @@ func (e *FromDPDKDevice) RunTask(ec *click.ExecCtx) int {
 	e.Inst.LoadParam(ec, 0)
 	e.Inst.LoadParam(ec, 2)
 
-	n := port.RxBurst(core, ec.Now, e.scratch)
+	// A pool-exhaustion error means some of the burst was dropped; the
+	// port has already counted those under pool-exhausted, so the element
+	// just processes the survivors.
+	n, _ := port.RxBurst(core, ec.Now, e.scratch)
 	if n == 0 {
 		return 0
 	}
@@ -109,6 +113,7 @@ func (e *FromDPDKDevice) RunTask(ec *click.ExecCtx) int {
 			m := e.bc.PacketPool.Get(core)
 			if m == nil {
 				ec.Rt.Drops++
+				ec.Rt.DropStats.Add(stats.DropPoolExhausted, 1)
 				if ec.Rt.Recycle != nil {
 					ec.Rt.Recycle(ec, p)
 				}
@@ -148,17 +153,26 @@ func (e *FromDPDKDevice) RunTask(ec *click.ExecCtx) int {
 }
 
 // ToDPDKDevice transmits batches on a DPDK port, converting framework
-// metadata back to what the driver needs.
+// metadata back to what the driver needs. A full TX ring exerts
+// backpressure: rejected packets queue in a bounded pending buffer that
+// the element's flush task retries independently of the RX path, and only
+// pending-buffer overflow drops traffic (reason tx-ring-full).
 type ToDPDKDevice struct {
 	click.Base
 	PortNo int
 	Burst  int
 
-	bc  *click.BuildCtx
-	out []*pktbuf.Packet
+	bc *click.BuildCtx
+
+	// pending holds converted packets the TX ring has not accepted yet,
+	// bounded at queueCap() entries.
+	pending []*pktbuf.Packet
 
 	// Sent counts packets accepted by the NIC.
 	Sent uint64
+	// DropsFull counts packets dropped because the pending buffer
+	// overflowed while the ring stayed full.
+	DropsFull uint64
 }
 
 // Class implements click.Element.
@@ -203,11 +217,14 @@ func (e *ToDPDKDevice) Configure(args []string, bc *click.BuildCtx) error {
 	return nil
 }
 
+// queueCap bounds the pending buffer: a few bursts of slack so transient
+// ring fullness is absorbed, sustained overload still drops.
+func (e *ToDPDKDevice) queueCap() int { return 4 * e.Burst }
+
 // Push implements click.Element.
 func (e *ToDPDKDevice) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 	core := ec.Core
 	e.Inst.LoadParam(ec, 1)
-	e.out = e.out[:0]
 	b.ForEach(core, func(p *pktbuf.Packet) bool {
 		if e.bc.Model == click.Copying {
 			// Convert framework descriptor back into the mbuf and
@@ -221,18 +238,59 @@ func (e *ToDPDKDevice) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 			core.Compute(60)
 		}
 		core.Compute(14)
-		e.out = append(e.out, p)
+		e.pending = append(e.pending, p)
 		return true
 	})
-	port := e.bc.Ports[e.PortNo]
-	sent := port.TxBurst(core, ec.Now, e.out)
-	e.Sent += uint64(sent)
-	// Packets the ring rejected are dropped by the element (Click's
-	// blocking=false behaviour).
-	for _, p := range e.out[sent:] {
-		ec.Rt.Drops++
-		if ec.Rt.Recycle != nil {
-			ec.Rt.Recycle(ec, p)
+	e.flush(ec)
+	// Tail-drop whatever the bounded pending buffer cannot hold (Click's
+	// blocking=false behaviour once the internal queue is full too).
+	if over := len(e.pending) - e.queueCap(); over > 0 {
+		drop := e.pending[len(e.pending)-over:]
+		e.pending = e.pending[:len(e.pending)-over]
+		for _, p := range drop {
+			e.DropsFull++
+			ec.Rt.Drops++
+			ec.Rt.DropStats.Add(stats.DropTxRingFull, 1)
+			if ec.Rt.Recycle != nil {
+				ec.Rt.Recycle(ec, p)
+			}
 		}
 	}
 }
+
+// flush pushes pending packets at the ring in bursts until it rejects
+// one, returning the number accepted.
+func (e *ToDPDKDevice) flush(ec *click.ExecCtx) int {
+	if len(e.pending) == 0 {
+		return 0
+	}
+	core := ec.Core
+	port := e.bc.Ports[e.PortNo]
+	total := 0
+	for len(e.pending) > 0 {
+		n := len(e.pending)
+		if n > e.Burst {
+			n = e.Burst
+		}
+		sent := port.TxBurst(core, ec.Now, e.pending[:n])
+		e.Sent += uint64(sent)
+		total += sent
+		copy(e.pending, e.pending[sent:])
+		e.pending = e.pending[:len(e.pending)-sent]
+		if sent < n {
+			break // ring full; the flush task retries later
+		}
+	}
+	return total
+}
+
+// RunTask implements click.Task: retry the pending buffer so a ring that
+// was full (slow receiver, TX stall) drains without new RX traffic — the
+// backpressure path must make progress on its own.
+func (e *ToDPDKDevice) RunTask(ec *click.ExecCtx) int {
+	return e.flush(ec)
+}
+
+// TxBacklog reports packets queued behind a full ring; the testbed drains
+// it before declaring a run finished.
+func (e *ToDPDKDevice) TxBacklog() int { return len(e.pending) }

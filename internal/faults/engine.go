@@ -1,0 +1,206 @@
+// Engine: the runtime side of the fault layer. One engine is built per
+// run from a (schedule, seed) pair and consulted at the injection points;
+// all randomness flows through one simrand stream in frame order, so the
+// same schedule, seed, and traffic replay identically.
+package faults
+
+import (
+	"math"
+
+	"packetmill/internal/simrand"
+	"packetmill/internal/stats"
+)
+
+// InjectedStats counts what the engine actually did — the ground truth a
+// chaos run checks its conservation invariant against.
+type InjectedStats struct {
+	// WireDrops counts frames consumed by drop clauses.
+	WireDrops uint64
+	// LinkDownDrops counts frames lost to a downed link (flap windows).
+	LinkDownDrops uint64
+	// Corruptions and Truncations count frames mutated in place (the
+	// frame still arrives; truncation below the MAC's minimum frame size
+	// is then dropped by the NIC as a runt).
+	Corruptions, Truncations uint64
+}
+
+// Engine applies a Schedule deterministically.
+type Engine struct {
+	Sched *Schedule
+	rng   *simrand.Rand
+
+	// Per-clause frame counters and burst state for bursty drops.
+	frames    []uint64
+	burstLeft []uint64
+
+	Injected InjectedStats
+}
+
+// NewEngine builds an engine for the schedule; a nil schedule yields an
+// engine whose every hook is a no-op.
+func NewEngine(s *Schedule, seed uint64) *Engine {
+	if s == nil {
+		s = &Schedule{}
+	}
+	return &Engine{
+		Sched:     s,
+		rng:       simrand.New(seed),
+		frames:    make([]uint64, len(s.Clauses)),
+		burstLeft: make([]uint64, len(s.Clauses)),
+	}
+}
+
+// WireResult reports what Wire did to a frame.
+type WireResult struct {
+	// Frame is the (possibly truncated) frame; nil when dropped.
+	Frame []byte
+	// Dropped is true when the wire consumed the frame; Reason then says
+	// why (wire-fault or link-down).
+	Dropped bool
+	Reason  stats.DropReason
+	// Mutated is true when the surviving frame's bytes or length changed.
+	Mutated bool
+}
+
+// Wire runs every wire-level clause over a frame arriving at ns. The
+// frame is mutated in place by corruption (the caller owns the buffer).
+// Clauses apply in schedule order; the first dropping clause wins.
+func (e *Engine) Wire(frame []byte, ns float64) WireResult {
+	res := WireResult{Frame: frame}
+	for i := range e.Sched.Clauses {
+		c := &e.Sched.Clauses[i]
+		switch c.Kind {
+		case KindFlap:
+			if c.active(ns) {
+				e.Injected.LinkDownDrops++
+				return WireResult{Dropped: true, Reason: stats.DropLinkDown}
+			}
+		case KindDrop:
+			e.frames[i]++
+			if c.Every > 0 {
+				if e.frames[i]%c.Every == 0 {
+					e.burstLeft[i] = c.Burst
+				}
+				if e.burstLeft[i] > 0 {
+					e.burstLeft[i]--
+					e.Injected.WireDrops++
+					return WireResult{Dropped: true, Reason: stats.DropWireFault}
+				}
+			} else if e.rng.Float64() < c.P {
+				e.Injected.WireDrops++
+				return WireResult{Dropped: true, Reason: stats.DropWireFault}
+			}
+		case KindCorrupt:
+			if len(res.Frame) > 0 && e.rng.Float64() < c.P {
+				for b := 0; b < c.Bits; b++ {
+					bit := e.rng.Intn(len(res.Frame) * 8)
+					res.Frame[bit/8] ^= 1 << (bit % 8)
+				}
+				e.Injected.Corruptions++
+				res.Mutated = true
+			}
+		case KindTruncate:
+			if len(res.Frame) > 0 && e.rng.Float64() < c.P {
+				min := c.MinLen
+				if min >= len(res.Frame) {
+					break
+				}
+				cut := min + e.rng.Intn(len(res.Frame)-min)
+				res.Frame = res.Frame[:cut]
+				e.Injected.Truncations++
+				res.Mutated = true
+			}
+		}
+	}
+	return res
+}
+
+// RxStall implements the NIC's FaultRxStall hook: the time before which
+// queue q's completions must not surface (0 = no stall at ns).
+func (e *Engine) RxStall(q int, ns float64) float64 {
+	until := 0.0
+	for i := range e.Sched.Clauses {
+		c := &e.Sched.Clauses[i]
+		if c.Kind == KindStall && c.active(ns) && c.At+c.For > until {
+			until = c.At + c.For
+		}
+	}
+	return until
+}
+
+// TxSlowFactor implements the NIC's FaultTxSlow hook: the serialization
+// multiplier at ns (1 = full speed).
+func (e *Engine) TxSlowFactor(ns float64) float64 {
+	f := 1.0
+	for i := range e.Sched.Clauses {
+		c := &e.Sched.Clauses[i]
+		if c.Kind == KindSlowRx && c.active(ns) && c.Factor > f {
+			f = c.Factor
+		}
+	}
+	return f
+}
+
+// depleted reports whether a deplete clause for target is active at ns.
+func (e *Engine) depleted(t Target, ns float64) bool {
+	for i := range e.Sched.Clauses {
+		c := &e.Sched.Clauses[i]
+		if c.Kind == KindDeplete && c.Target == t && c.active(ns) {
+			return true
+		}
+	}
+	return false
+}
+
+// DepleteMempool implements the mempool's FaultDeplete hook.
+func (e *Engine) DepleteMempool(ns float64) bool { return e.depleted(TargetMempool, ns) }
+
+// DepleteDesc implements the port's FaultDescDeplete hook.
+func (e *Engine) DepleteDesc(ns float64) bool { return e.depleted(TargetDesc, ns) }
+
+// Random draws a small random schedule for soak runs: one to four
+// clauses with parameters scaled to a run of roughly durationNS. Every
+// draw is reproducible from the generator's state.
+func Random(r *simrand.Rand, durationNS float64) *Schedule {
+	if durationNS <= 0 {
+		durationNS = 1e6
+	}
+	s := &Schedule{}
+	n := 1 + r.Intn(4)
+	for i := 0; i < n; i++ {
+		at := r.Float64() * durationNS * 0.8
+		dur := (0.05 + 0.2*r.Float64()) * durationNS
+		switch Kind(r.Intn(int(numKinds))) {
+		case KindDrop:
+			if r.Intn(2) == 0 {
+				s.Clauses = append(s.Clauses, Clause{Kind: KindDrop,
+					P: 0.001 + 0.05*r.Float64(), Bits: 1, Factor: 1, For: inf()})
+			} else {
+				s.Clauses = append(s.Clauses, Clause{Kind: KindDrop,
+					Burst: uint64(1 + r.Intn(16)), Every: uint64(64 + r.Intn(1024)),
+					Bits: 1, Factor: 1, For: inf()})
+			}
+		case KindCorrupt:
+			s.Clauses = append(s.Clauses, Clause{Kind: KindCorrupt,
+				P: 0.001 + 0.02*r.Float64(), Bits: 1 + r.Intn(8), Factor: 1, For: inf()})
+		case KindTruncate:
+			s.Clauses = append(s.Clauses, Clause{Kind: KindTruncate,
+				P: 0.001 + 0.02*r.Float64(), Bits: 1, Factor: 1, For: inf()})
+		case KindFlap:
+			s.Clauses = append(s.Clauses, Clause{Kind: KindFlap,
+				At: at, For: dur, Bits: 1, Factor: 1})
+		case KindStall:
+			s.Clauses = append(s.Clauses, Clause{Kind: KindStall,
+				At: at, For: dur * 0.3, Bits: 1, Factor: 1})
+		case KindDeplete:
+			s.Clauses = append(s.Clauses, Clause{Kind: KindDeplete,
+				Target: Target(r.Intn(2)), At: at, For: dur, Bits: 1, Factor: 1})
+		case KindSlowRx:
+			s.Clauses = append(s.Clauses, Clause{Kind: KindSlowRx,
+				At: at, For: dur, Factor: 2 + 6*r.Float64(), Bits: 1})
+		}
+	}
+	return s
+}
+
+func inf() float64 { return math.Inf(1) }

@@ -1,0 +1,289 @@
+package faults
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"packetmill/internal/simrand"
+	"packetmill/internal/stats"
+)
+
+func mustParse(t *testing.T, src string) *Schedule {
+	t.Helper()
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestParseRejectsBadInput(t *testing.T) {
+	bad := []string{
+		"explode p=0.1",                      // unknown kind
+		"drop",                               // neither p nor burst/every
+		"drop p=0.1 burst=4 every=10",        // both forms
+		"drop burst=4",                       // burst without every
+		"drop p=2",                           // not a probability
+		"drop p=NaN",                         // NaN probability
+		"corrupt bits=3",                     // missing p
+		"corrupt p=0.1 bits=0",               // bits out of range
+		"corrupt p=0.1 p=0.2",                // duplicate key
+		"truncate p=0.1 min=-1",              // negative floor
+		"flap at=1ms",                        // missing for
+		"stall for=1ms",                      // missing at
+		"deplete target=gpu at=0 for=1ms",    // unknown target
+		"slowrx at=0 for=1ms",                // missing factor
+		"slowrx factor=0.5",                  // factor < 1
+		"drop p",                             // not key=value
+		"flap at=-5ns for=1ms",               // negative duration
+		"flap at=1xyz for=1ms",               // unparseable duration
+		"drop p=0.1 surprise=1",              // unknown key
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted invalid input", src)
+		}
+	}
+}
+
+func TestParseDurationsAndComments(t *testing.T) {
+	s := mustParse(t, `
+# preamble comment
+flap at=1ms for=100us   # trailing comment
+stall at=2s for=50ns
+`)
+	if len(s.Clauses) != 2 {
+		t.Fatalf("%d clauses", len(s.Clauses))
+	}
+	if s.Clauses[0].At != 1e6 || s.Clauses[0].For != 1e5 {
+		t.Fatalf("flap window: at=%v for=%v", s.Clauses[0].At, s.Clauses[0].For)
+	}
+	if s.Clauses[1].At != 2e9 || s.Clauses[1].For != 50 {
+		t.Fatalf("stall window: at=%v for=%v", s.Clauses[1].At, s.Clauses[1].For)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"drop p=0.01",
+		"drop burst=8 every=1000",
+		"corrupt p=0.001 bits=3; truncate p=0.002 min=20",
+		"flap at=1ms for=100us; stall at=2ms for=50us",
+		"deplete target=desc at=1ms for=200us; deplete target=mempool at=0 for=1us",
+		"slowrx at=1ms factor=8 for=500us",
+		"slowrx factor=4",
+	}
+	for _, src := range srcs {
+		s := mustParse(t, src)
+		canon := s.String()
+		s2 := mustParse(t, canon)
+		if got := s2.String(); got != canon {
+			t.Errorf("round trip not stable: %q -> %q -> %q", src, canon, got)
+		}
+	}
+}
+
+func TestEngineDeterministic(t *testing.T) {
+	// Same schedule, seed, and frame sequence -> bit-identical outcomes.
+	const src = "drop p=0.2; corrupt p=0.3 bits=4; truncate p=0.2 min=10; flap at=5000ns for=2000ns"
+	run := func() ([]WireResult, InjectedStats) {
+		e := NewEngine(mustParse(t, src), 42)
+		var rs []WireResult
+		for i := 0; i < 500; i++ {
+			frame := bytes.Repeat([]byte{byte(i)}, 64+i%100)
+			r := e.Wire(frame, float64(i)*100)
+			// Copy the surviving frame: the buffer is caller-owned.
+			if r.Frame != nil {
+				r.Frame = append([]byte(nil), r.Frame...)
+			}
+			rs = append(rs, r)
+		}
+		return rs, e.Injected
+	}
+	a, sa := run()
+	b, sb := run()
+	if sa != sb {
+		t.Fatalf("injected stats diverged: %+v vs %+v", sa, sb)
+	}
+	for i := range a {
+		if a[i].Dropped != b[i].Dropped || a[i].Reason != b[i].Reason ||
+			a[i].Mutated != b[i].Mutated || !bytes.Equal(a[i].Frame, b[i].Frame) {
+			t.Fatalf("frame %d diverged between identical runs", i)
+		}
+	}
+	if sa.WireDrops == 0 || sa.Corruptions == 0 || sa.Truncations == 0 || sa.LinkDownDrops == 0 {
+		t.Fatalf("schedule did not exercise every clause: %+v", sa)
+	}
+}
+
+func TestEngineSeedChangesOutcomes(t *testing.T) {
+	sched := mustParse(t, "drop p=0.5")
+	outcomes := func(seed uint64) string {
+		e := NewEngine(sched, seed)
+		var b strings.Builder
+		for i := 0; i < 64; i++ {
+			if e.Wire(make([]byte, 64), 0).Dropped {
+				b.WriteByte('D')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		return b.String()
+	}
+	if outcomes(1) == outcomes(2) {
+		t.Fatal("different seeds produced identical drop patterns")
+	}
+}
+
+func TestFlapWindow(t *testing.T) {
+	e := NewEngine(mustParse(t, "flap at=1000ns for=500ns"), 0)
+	cases := []struct {
+		ns   float64
+		down bool
+	}{{999, false}, {1000, true}, {1499, true}, {1500, false}}
+	for _, c := range cases {
+		r := e.Wire(make([]byte, 64), c.ns)
+		if r.Dropped != c.down {
+			t.Fatalf("at %v ns: dropped=%v, want %v", c.ns, r.Dropped, c.down)
+		}
+		if c.down && r.Reason != stats.DropLinkDown {
+			t.Fatalf("at %v ns: reason %v", c.ns, r.Reason)
+		}
+	}
+}
+
+func TestBurstyDropCadence(t *testing.T) {
+	// every=10 burst=3: frames 10,11,12, 20,21,22, ... are lost.
+	e := NewEngine(mustParse(t, "drop burst=3 every=10"), 0)
+	var lost []int
+	for i := 1; i <= 30; i++ {
+		if e.Wire(make([]byte, 64), 0).Dropped {
+			lost = append(lost, i)
+		}
+	}
+	want := []int{10, 11, 12, 20, 21, 22, 30}
+	if len(lost) != len(want) {
+		t.Fatalf("lost %v, want %v", lost, want)
+	}
+	for i := range want {
+		if lost[i] != want[i] {
+			t.Fatalf("lost %v, want %v", lost, want)
+		}
+	}
+}
+
+func TestTruncateRespectsFloor(t *testing.T) {
+	e := NewEngine(mustParse(t, "truncate p=1 min=30"), 7)
+	for i := 0; i < 200; i++ {
+		r := e.Wire(make([]byte, 64), 0)
+		if r.Dropped {
+			t.Fatal("truncate must not drop")
+		}
+		if len(r.Frame) < 30 || len(r.Frame) >= 64 {
+			t.Fatalf("truncated to %d, want [30,64)", len(r.Frame))
+		}
+	}
+	// A frame already at or below the floor passes untouched.
+	r := e.Wire(make([]byte, 30), 0)
+	if len(r.Frame) != 30 || r.Mutated {
+		t.Fatalf("short frame mangled: len=%d mutated=%v", len(r.Frame), r.Mutated)
+	}
+}
+
+func TestCorruptFlipsRequestedBits(t *testing.T) {
+	e := NewEngine(mustParse(t, "corrupt p=1 bits=1"), 3)
+	orig := bytes.Repeat([]byte{0xAA}, 64)
+	frame := append([]byte(nil), orig...)
+	r := e.Wire(frame, 0)
+	if !r.Mutated || r.Dropped {
+		t.Fatalf("mutated=%v dropped=%v", r.Mutated, r.Dropped)
+	}
+	diff := 0
+	for i := range orig {
+		diff += popcount8(orig[i] ^ frame[i])
+	}
+	if diff != 1 {
+		t.Fatalf("%d bits flipped, want exactly 1", diff)
+	}
+}
+
+func popcount8(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+func TestStallAndDepleteWindows(t *testing.T) {
+	e := NewEngine(mustParse(t,
+		"stall at=100ns for=50ns; deplete target=mempool at=200ns for=50ns; deplete target=desc at=300ns for=50ns"), 0)
+	if got := e.RxStall(0, 120); got != 150 {
+		t.Fatalf("RxStall inside window = %v, want 150", got)
+	}
+	if got := e.RxStall(0, 99); got != 0 {
+		t.Fatalf("RxStall before window = %v", got)
+	}
+	if got := e.RxStall(0, 150); got != 0 {
+		t.Fatalf("RxStall at window end = %v", got)
+	}
+	if !e.DepleteMempool(210) || e.DepleteMempool(199) || e.DepleteMempool(250) {
+		t.Fatal("mempool depletion window wrong")
+	}
+	if !e.DepleteDesc(310) || e.DepleteDesc(210) {
+		t.Fatal("desc depletion window wrong (or leaking across targets)")
+	}
+	if e.DepleteMempool(310) {
+		t.Fatal("mempool depleted during desc window")
+	}
+}
+
+func TestTxSlowFactor(t *testing.T) {
+	e := NewEngine(mustParse(t, "slowrx at=100ns factor=8 for=100ns; slowrx at=150ns factor=3 for=100ns"), 0)
+	if f := e.TxSlowFactor(50); f != 1 {
+		t.Fatalf("factor before window = %v", f)
+	}
+	if f := e.TxSlowFactor(160); f != 8 {
+		t.Fatalf("overlapping windows: factor = %v, want max 8", f)
+	}
+	if f := e.TxSlowFactor(210); f != 3 {
+		t.Fatalf("after first window: factor = %v, want 3", f)
+	}
+	// slowrx with no for= stays on forever.
+	e2 := NewEngine(mustParse(t, "slowrx factor=4"), 0)
+	if f := e2.TxSlowFactor(math.MaxFloat64 / 2); f != 4 {
+		t.Fatalf("unbounded slowrx factor = %v", f)
+	}
+}
+
+func TestNilScheduleEngineIsNoOp(t *testing.T) {
+	e := NewEngine(nil, 1)
+	frame := bytes.Repeat([]byte{1}, 64)
+	r := e.Wire(frame, 0)
+	if r.Dropped || r.Mutated || len(r.Frame) != 64 {
+		t.Fatal("no-op engine touched the frame")
+	}
+	if e.RxStall(0, 0) != 0 || e.TxSlowFactor(0) != 1 || e.DepleteMempool(0) || e.DepleteDesc(0) {
+		t.Fatal("no-op engine gated resources")
+	}
+}
+
+func TestRandomSchedulesParseAndRoundTrip(t *testing.T) {
+	r := simrand.New(99)
+	for i := 0; i < 200; i++ {
+		s := Random(r, 1e6)
+		if len(s.Clauses) == 0 {
+			t.Fatal("empty random schedule")
+		}
+		canon := s.String()
+		s2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("random schedule does not re-parse: %v\n%q", err, canon)
+		}
+		if s2.String() != canon {
+			t.Fatalf("random schedule round trip unstable: %q vs %q", canon, s2.String())
+		}
+	}
+}

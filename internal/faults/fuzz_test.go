@@ -1,0 +1,47 @@
+package faults
+
+import "testing"
+
+// FuzzFaultSchedule guards the fault-schedule front end the same way
+// click's FuzzParse guards the configuration language: arbitrary input
+// must either parse cleanly or return an error — never panic — and
+// whatever parses must round-trip through its canonical form.
+func FuzzFaultSchedule(f *testing.F) {
+	seeds := []string{
+		"drop p=0.01",
+		"drop burst=8 every=1000",
+		"corrupt p=0.001 bits=3",
+		"truncate p=0.001 min=0",
+		"flap at=1ms for=100us",
+		"stall at=2ms for=50us",
+		"deplete target=mempool at=1ms for=200us",
+		"deplete target=desc at=0 for=1us",
+		"slowrx at=1ms factor=8 for=500us",
+		"slowrx factor=2",
+		"# comment only\ndrop p=0.5 # trailing",
+		"drop p=0.1; flap at=0 for=1ns\nstall at=5us for=5us",
+		"",
+		";;;",
+		"drop p=",
+		"flap at=1msfor=2ms",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil {
+			return
+		}
+		canon := s.String()
+		s2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse: %v\noriginal: %q\ncanonical: %q",
+				err, src, canon)
+		}
+		if got := s2.String(); got != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q\noriginal: %q",
+				canon, got, src)
+		}
+	})
+}

@@ -1,0 +1,314 @@
+// Package faults is the deterministic fault-injection layer: a parsed
+// fault schedule plus a seeded engine that perturbs the datapath at the
+// points where real deployments fail — on the wire (drops, corruption,
+// truncation, link flaps), at the NIC (descriptor-ring stalls, slow
+// receivers starving TX), and in the allocators (mempool and X-Change
+// descriptor-pool depletion).
+//
+// The package deliberately knows nothing about the NIC, DPDK, or
+// X-Change packages: those expose small hook functions, and the testbed
+// wires an Engine's methods into them. Everything is driven by
+// internal/simrand, so a (schedule, seed, traffic) triple replays
+// bit-identically.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates fault clause kinds.
+type Kind uint8
+
+// The fault taxonomy. Wire-level kinds consume or mutate frames before
+// the NIC sees them; the others gate datapath resources over a time
+// window.
+const (
+	// KindDrop loses frames on the wire: i.i.d. with probability P, or
+	// bursty (every Every-th frame starts a run of Burst losses).
+	KindDrop Kind = iota
+	// KindCorrupt flips Bits random bits in the frame with probability P.
+	KindCorrupt
+	// KindTruncate cuts the frame to a random length in [MinLen, len)
+	// with probability P — short enough frames trip the MAC runt guard.
+	KindTruncate
+	// KindFlap takes the link down during [At, At+For): every frame
+	// arriving in the window is lost (reason link-down).
+	KindFlap
+	// KindStall models an RX descriptor-ring stall: completions during
+	// [At, At+For) are held until the window ends.
+	KindStall
+	// KindDeplete makes the targeted pool's Get fail during [At, At+For).
+	KindDeplete
+	// KindSlowRx models a slow receiver: TX wire serialization is
+	// multiplied by Factor during [At, At+For) (For may be infinite).
+	KindSlowRx
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"drop", "corrupt", "truncate", "flap", "stall", "deplete", "slowrx",
+}
+
+// String returns the clause keyword.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Target names the pool a deplete clause gates.
+type Target uint8
+
+// Deplete targets.
+const (
+	// TargetMempool gates the DPDK mempool (RX buffer allocation).
+	TargetMempool Target = iota
+	// TargetDesc gates the X-Change descriptor pool.
+	TargetDesc
+)
+
+// String returns the target keyword.
+func (t Target) String() string {
+	if t == TargetDesc {
+		return "desc"
+	}
+	return "mempool"
+}
+
+// Clause is one fault directive. Which fields matter depends on Kind;
+// Parse validates the combinations.
+type Clause struct {
+	Kind Kind
+
+	// P is the per-frame probability for drop/corrupt/truncate.
+	P float64
+	// Bits is how many bits a corruption flips (default 1).
+	Bits int
+	// MinLen floors the truncated length (default 0).
+	MinLen int
+	// Burst/Every describe bursty drops: every Every-th frame starts a
+	// run of Burst consecutive losses.
+	Burst, Every uint64
+	// At/For bound the active window in simulated nanoseconds. For is
+	// +Inf for a slowrx clause with no `for=`.
+	At, For float64
+	// Factor multiplies TX serialization time for slowrx.
+	Factor float64
+	// Target selects the pool for deplete.
+	Target Target
+}
+
+// active reports whether ns falls inside the clause's window.
+func (c *Clause) active(ns float64) bool {
+	return ns >= c.At && ns < c.At+c.For
+}
+
+// Schedule is a parsed fault schedule: zero or more clauses, applied in
+// order.
+type Schedule struct {
+	Clauses []Clause
+}
+
+// parseDur parses a duration with an optional ns/us/ms/s suffix (bare
+// numbers are nanoseconds).
+func parseDur(s string) (float64, error) {
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "ns"):
+		s = s[:len(s)-2]
+	case strings.HasSuffix(s, "us"):
+		s, mult = s[:len(s)-2], 1e3
+	case strings.HasSuffix(s, "ms"):
+		s, mult = s[:len(s)-2], 1e6
+	case strings.HasSuffix(s, "s"):
+		s, mult = s[:len(s)-1], 1e9
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return 0, fmt.Errorf("faults: bad duration %q", s)
+	}
+	return v * mult, nil
+}
+
+// formatDur renders a nanosecond count the parser accepts back exactly.
+func formatDur(ns float64) string {
+	return strconv.FormatFloat(ns, 'g', -1, 64) + "ns"
+}
+
+func formatF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Parse reads a fault schedule: clauses separated by semicolons or
+// newlines, each `kind key=value ...`. `#` starts a comment clause. An
+// empty input parses to an empty (no-op) schedule.
+//
+//	drop p=0.01
+//	drop burst=8 every=1000
+//	corrupt p=0.001 bits=3
+//	truncate p=0.001 min=0
+//	flap at=1ms for=100us
+//	stall at=2ms for=50us
+//	deplete target=mempool at=1ms for=200us
+//	slowrx at=1ms factor=8 for=500us
+func Parse(input string) (*Schedule, error) {
+	sched := &Schedule{}
+	norm := strings.NewReplacer("\n", ";", "\r", ";").Replace(input)
+	for _, raw := range strings.Split(norm, ";") {
+		if i := strings.IndexByte(raw, '#'); i >= 0 {
+			raw = raw[:i]
+		}
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		fields := strings.Fields(raw)
+		c := Clause{Bits: 1, Factor: 1, For: math.Inf(1)}
+		kind := fields[0]
+		ki := -1
+		for i, n := range kindNames {
+			if n == kind {
+				ki = i
+				break
+			}
+		}
+		if ki < 0 {
+			return nil, fmt.Errorf("faults: unknown clause kind %q", kind)
+		}
+		c.Kind = Kind(ki)
+		seen := map[string]bool{}
+		for _, f := range fields[1:] {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok || k == "" || v == "" {
+				return nil, fmt.Errorf("faults: %s: bad argument %q (want key=value)", kind, f)
+			}
+			if seen[k] {
+				return nil, fmt.Errorf("faults: %s: duplicate key %q", kind, k)
+			}
+			seen[k] = true
+			var err error
+			switch k {
+			case "p":
+				c.P, err = strconv.ParseFloat(v, 64)
+				if err != nil || math.IsNaN(c.P) || c.P < 0 || c.P > 1 {
+					return nil, fmt.Errorf("faults: %s: p=%q not a probability", kind, v)
+				}
+			case "bits":
+				c.Bits, err = strconv.Atoi(v)
+				if err != nil || c.Bits < 1 || c.Bits > 64 {
+					return nil, fmt.Errorf("faults: %s: bits=%q out of range [1,64]", kind, v)
+				}
+			case "min":
+				c.MinLen, err = strconv.Atoi(v)
+				if err != nil || c.MinLen < 0 {
+					return nil, fmt.Errorf("faults: %s: min=%q invalid", kind, v)
+				}
+			case "burst":
+				c.Burst, err = strconv.ParseUint(v, 10, 32)
+				if err != nil || c.Burst < 1 {
+					return nil, fmt.Errorf("faults: %s: burst=%q invalid", kind, v)
+				}
+			case "every":
+				c.Every, err = strconv.ParseUint(v, 10, 32)
+				if err != nil || c.Every < 1 {
+					return nil, fmt.Errorf("faults: %s: every=%q invalid", kind, v)
+				}
+			case "at":
+				if c.At, err = parseDur(v); err != nil {
+					return nil, fmt.Errorf("faults: %s: at=%q: %w", kind, v, err)
+				}
+			case "for":
+				if c.For, err = parseDur(v); err != nil {
+					return nil, fmt.Errorf("faults: %s: for=%q: %w", kind, v, err)
+				}
+			case "factor":
+				c.Factor, err = strconv.ParseFloat(v, 64)
+				if err != nil || math.IsNaN(c.Factor) || math.IsInf(c.Factor, 0) || c.Factor < 1 {
+					return nil, fmt.Errorf("faults: %s: factor=%q must be >= 1", kind, v)
+				}
+			case "target":
+				switch v {
+				case "mempool":
+					c.Target = TargetMempool
+				case "desc":
+					c.Target = TargetDesc
+				default:
+					return nil, fmt.Errorf("faults: %s: target=%q (want mempool or desc)", kind, v)
+				}
+			default:
+				return nil, fmt.Errorf("faults: %s: unknown key %q", kind, k)
+			}
+		}
+		if err := c.validate(seen); err != nil {
+			return nil, err
+		}
+		sched.Clauses = append(sched.Clauses, c)
+	}
+	return sched, nil
+}
+
+// validate enforces per-kind field combinations.
+func (c *Clause) validate(seen map[string]bool) error {
+	switch c.Kind {
+	case KindDrop:
+		bursty := seen["burst"] || seen["every"]
+		if bursty && (!seen["burst"] || !seen["every"]) {
+			return fmt.Errorf("faults: drop: burst and every go together")
+		}
+		if bursty == seen["p"] {
+			return fmt.Errorf("faults: drop: want either p= or burst=/every=")
+		}
+	case KindCorrupt, KindTruncate:
+		if !seen["p"] {
+			return fmt.Errorf("faults: %s: missing p=", c.Kind)
+		}
+	case KindFlap, KindStall, KindDeplete:
+		if !seen["at"] || !seen["for"] || math.IsInf(c.For, 1) {
+			return fmt.Errorf("faults: %s: needs at= and a finite for=", c.Kind)
+		}
+	case KindSlowRx:
+		if !seen["factor"] {
+			return fmt.Errorf("faults: slowrx: missing factor=")
+		}
+	}
+	return nil
+}
+
+// String renders the schedule in the canonical form Parse accepts;
+// Parse(s.String()) reproduces s exactly.
+func (s *Schedule) String() string {
+	var b strings.Builder
+	for i := range s.Clauses {
+		c := &s.Clauses[i]
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(c.Kind.String())
+		switch c.Kind {
+		case KindDrop:
+			if c.Every > 0 {
+				fmt.Fprintf(&b, " burst=%d every=%d", c.Burst, c.Every)
+			} else {
+				b.WriteString(" p=" + formatF(c.P))
+			}
+		case KindCorrupt:
+			fmt.Fprintf(&b, " p=%s bits=%d", formatF(c.P), c.Bits)
+		case KindTruncate:
+			fmt.Fprintf(&b, " p=%s min=%d", formatF(c.P), c.MinLen)
+		case KindFlap, KindStall:
+			fmt.Fprintf(&b, " at=%s for=%s", formatDur(c.At), formatDur(c.For))
+		case KindDeplete:
+			fmt.Fprintf(&b, " target=%s at=%s for=%s",
+				c.Target, formatDur(c.At), formatDur(c.For))
+		case KindSlowRx:
+			fmt.Fprintf(&b, " at=%s factor=%s", formatDur(c.At), formatF(c.Factor))
+			if !math.IsInf(c.For, 1) {
+				b.WriteString(" for=" + formatDur(c.For))
+			}
+		}
+	}
+	return b.String()
+}

@@ -11,6 +11,7 @@ import (
 	"packetmill/internal/machine"
 	"packetmill/internal/netpkt"
 	"packetmill/internal/pktbuf"
+	"packetmill/internal/stats"
 )
 
 // App is a plain-DPDK forwarding loop over one PMD port.
@@ -42,7 +43,8 @@ func New(port *dpdk.Port) *App {
 
 // Step implements testbed.Engine: one rx burst → MAC rewrite → tx burst.
 func (a *App) Step(core *machine.Core, now float64) int {
-	n := a.Port.RxBurst(core, now, a.rx)
+	// Pool-exhaustion drops are accounted in the port's counters.
+	n, _ := a.Port.RxBurst(core, now, a.rx)
 	if n == 0 {
 		return 0
 	}
@@ -59,6 +61,7 @@ func (a *App) Step(core *machine.Core, now float64) int {
 	a.Forwarded += uint64(sent)
 	// Ring-full drops: recycle like the sample app's rte_pktmbuf_free.
 	for i := sent; i < n; i++ {
+		a.Port.Drops.Add(stats.DropTxRingFull, 1)
 		a.drop(core, a.rx[i])
 	}
 	return n
@@ -66,7 +69,9 @@ func (a *App) Step(core *machine.Core, now float64) int {
 
 func (a *App) drop(core *machine.Core, p *pktbuf.Packet) {
 	if a.Port.Pool != nil {
-		a.Port.Pool.Put(core, p)
+		if err := a.Port.Pool.Put(core, p); err != nil {
+			panic(err) // a packet just held by the loop cannot double-free
+		}
 		return
 	}
 	// X-Change build: hand the buffer straight back to the driver.

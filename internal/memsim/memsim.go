@@ -44,6 +44,25 @@ func align(addr Addr, a Addr) Addr {
 	return (addr + a - 1) &^ (a - 1)
 }
 
+// ExhaustedError reports an allocation that did not fit its region. It is
+// the typed form of every out-of-memory condition in this package, so
+// callers on a runtime path (pool construction sized from user config) can
+// detect it with errors.As and degrade instead of crashing.
+type ExhaustedError struct {
+	// Region names the arena or heap region that ran out.
+	Region string
+	// Requested is the allocation size that failed.
+	Requested uint64
+	// Free is the space that remained in the region.
+	Free uint64
+}
+
+// Error implements error.
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("memsim: region %q exhausted (%d bytes requested, %d free)",
+		e.Region, e.Requested, e.Free)
+}
+
 // Arena hands out addresses from a contiguous region. It is the model for
 // the static/.data segment and for hugepage pools: objects placed here sit
 // back to back, so a working set of N small objects touches close to the
@@ -61,17 +80,36 @@ func NewArena(name string, base Addr, size uint64) *Arena {
 }
 
 // Alloc reserves size bytes aligned to alignTo (power of two; 0 means
-// cache-line alignment) and returns the base address.
+// cache-line alignment) and returns the base address. It panics (with a
+// typed *ExhaustedError) when the arena is out of space — use TryAlloc on
+// paths where exhaustion is a run-time condition rather than a programming
+// error.
 func (a *Arena) Alloc(size uint64, alignTo uint64) Addr {
+	p, err := a.TryAlloc(size, alignTo)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TryAlloc is Alloc returning a typed error instead of panicking when the
+// arena cannot satisfy the request. Pool constructors sized from user
+// configuration use it so an oversized config surfaces as an error the
+// testbed can report, not a crash mid-experiment.
+func (a *Arena) TryAlloc(size uint64, alignTo uint64) (Addr, error) {
 	if alignTo == 0 {
 		alignTo = CacheLineSize
 	}
 	p := align(a.next, Addr(alignTo))
 	if p+Addr(size) > a.end {
-		panic(fmt.Sprintf("memsim: arena %q exhausted (%d bytes requested)", a.name, size))
+		free := uint64(0)
+		if a.end > a.next {
+			free = uint64(a.end - a.next)
+		}
+		return 0, &ExhaustedError{Region: a.name, Requested: size, Free: free}
 	}
 	a.next = p + Addr(size)
-	return p
+	return p, nil
 }
 
 // Used reports the number of bytes consumed so far.
@@ -144,14 +182,16 @@ func (h *Heap) Alloc(size uint64) Addr {
 		// classes are automatically far apart.
 		base := h.base + Addr(uint64(len(h.classes))*heapClassSpan)
 		if base+heapClassSpan > h.end {
-			panic("memsim: heap exhausted (too many size classes)")
+			panic(&ExhaustedError{Region: "heap", Requested: heapClassSpan,
+				Free: uint64(h.end - base)})
 		}
 		c = &heapClass{next: base, end: base + heapClassSpan}
 		h.classes[cls] = c
 	}
 	p := align(c.next, CacheLineSize)
 	if p+Addr(cls) > c.end {
-		panic("memsim: heap size class exhausted")
+		panic(&ExhaustedError{Region: fmt.Sprintf("heap class %d", cls),
+			Requested: cls, Free: uint64(c.end - c.next)})
 	}
 	h.count++
 	// Fragmentation model: one line of allocator slack after every

@@ -11,6 +11,7 @@
 package nic
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -50,11 +51,23 @@ type Stats struct {
 	RxDelivered uint64 // frames accepted into an RX ring
 	RxDropNoBuf uint64 // dropped: no posted buffer
 	RxDropFull  uint64 // dropped: completion ring full
+	RxDropRunt  uint64 // dropped: below the 60-byte Ethernet minimum
 	TxSent      uint64
 	TxDropFull  uint64
 	TxBytes     uint64
 	RxBytes     uint64
 }
+
+// MinFrameSize is the smallest frame the MAC accepts (Ethernet's 64-byte
+// minimum less the 4-byte FCS, which the model does not carry). Anything
+// shorter — e.g. a fault-truncated runt — is discarded at the MAC, as on
+// real hardware.
+const MinFrameSize = 60
+
+// ErrOverPosted reports a driver posting more RX buffers than the ring
+// has descriptors. It replaces the panic that used to kill the run: the
+// driver treats it as "ring full, keep the buffer".
+var ErrOverPosted = errors.New("nic: RX ring over-posted")
 
 // rxEntry is a completed receive awaiting the driver's poll.
 type rxEntry struct {
@@ -116,6 +129,17 @@ type NIC struct {
 	// OnDepart, when set, observes every transmitted packet with its
 	// wire departure time — the testbed's latency probe.
 	OnDepart func(p *pktbuf.Packet, departNS float64)
+
+	// Fault-injection hooks, nil in normal runs (a nil check is the only
+	// cost the fault layer adds to a clean datapath).
+	//
+	// FaultRxStall models a descriptor-ring stall: completions for queue
+	// q at time ns become ready no earlier than the returned absolute
+	// time (0 = no stall).
+	FaultRxStall func(q int, ns float64) float64
+	// FaultTxSlow models a slow receiver starving TX: the returned
+	// factor (≥1) multiplies the wire-serialization time at ns.
+	FaultTxSlow func(ns float64) float64
 }
 
 // New builds an adapter, carving descriptor rings out of the hugepage
@@ -196,6 +220,12 @@ func rssHash(frame []byte) uint32 {
 // semantics). Returns true if the frame entered the ring.
 func (n *NIC) Deliver(q int, frame []byte, ns float64) bool {
 	rxq := n.rx[q]
+	if len(frame) < MinFrameSize {
+		// The MAC discards runts (e.g. fault-truncated frames) before
+		// they consume a descriptor.
+		n.Stats.RxDropRunt++
+		return false
+	}
 	if len(rxq.completed) >= n.Cfg.RXRingSize {
 		n.Stats.RxDropFull++
 		return false
@@ -224,6 +254,13 @@ func (n *NIC) Deliver(q int, frame []byte, ns float64) bool {
 			ready = rxq.lastCompNS + minGap
 		}
 	}
+	if n.FaultRxStall != nil {
+		// Injected descriptor-ring stall: the completion write-back is
+		// deferred to the end of the stall window.
+		if until := n.FaultRxStall(q, ns); until > ready {
+			ready = until
+		}
+	}
 	rxq.lastCompNS = ready
 
 	desc := Descriptor{Len: len(frame), Queue: q, RSSHash: rssHash(frame)}
@@ -237,14 +274,15 @@ func (n *NIC) Deliver(q int, frame []byte, ns float64) bool {
 }
 
 // Post hands a fresh buffer to the queue for future DMA. The driver calls
-// this during ring refill.
-func (q *RXQueue) Post(p *pktbuf.Packet) {
+// this during ring refill. Posting beyond the ring's descriptor count is
+// refused with ErrOverPosted — the caller keeps the buffer and backs off,
+// instead of the old panic that killed the run.
+func (q *RXQueue) Post(p *pktbuf.Packet) error {
 	if len(q.posted)+len(q.completed) >= q.nic.Cfg.RXRingSize {
-		// The driver posted more buffers than descriptors; treat as a
-		// programming error.
-		panic("nic: RX ring over-posted")
+		return ErrOverPosted
 	}
 	q.posted = append(q.posted, p)
+	return nil
 }
 
 // PostedCount reports buffers currently posted.
@@ -329,6 +367,13 @@ func (q *TXQueue) Enqueue(core *machine.Core, p *pktbuf.Packet, nowNS float64) b
 	// Serialization: the wire takes one frame-time, the descriptor
 	// engine one PPS-gap; the two overlap across frames.
 	wire := float64(p.Len()+20) * 8 / q.nic.Cfg.LinkGbps // +20B preamble/IFG/FCS overhead
+	if q.nic.FaultTxSlow != nil {
+		// Injected slow receiver: the link partner's pause frames
+		// stretch every frame's effective serialization time.
+		if f := q.nic.FaultTxSlow(nowNS); f > 1 {
+			wire *= f
+		}
+	}
 	start := nowNS
 	if q.wireDoneNS > start {
 		start = q.wireDoneNS
@@ -373,7 +418,7 @@ func (q *TXQueue) InflightCount() int { return len(q.inflight) }
 
 // String summarizes the adapter state for debugging.
 func (n *NIC) String() string {
-	return fmt.Sprintf("%s: rx=%d dropNoBuf=%d dropFull=%d tx=%d txDrop=%d",
+	return fmt.Sprintf("%s: rx=%d dropNoBuf=%d dropFull=%d dropRunt=%d tx=%d txDrop=%d",
 		n.Cfg.Name, n.Stats.RxDelivered, n.Stats.RxDropNoBuf, n.Stats.RxDropFull,
-		n.Stats.TxSent, n.Stats.TxDropFull)
+		n.Stats.RxDropRunt, n.Stats.TxSent, n.Stats.TxDropFull)
 }

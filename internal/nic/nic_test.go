@@ -1,6 +1,7 @@
 package nic
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -92,19 +93,23 @@ func TestDeliverDropsWhenRingFull(t *testing.T) {
 	}
 }
 
-func TestOverPostPanics(t *testing.T) {
+func TestOverPostReturnsError(t *testing.T) {
 	cfg := DefaultConfig("nic0")
 	cfg.RXRingSize = 2
 	r := newRig(cfg)
 	q := r.nic.RX(0)
-	q.Post(r.freshBuf())
-	q.Post(r.freshBuf())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	q.Post(r.freshBuf())
+	if err := q.Post(r.freshBuf()); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Post(r.freshBuf()); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Post(r.freshBuf()); !errors.Is(err, ErrOverPosted) {
+		t.Fatalf("over-post: err = %v, want ErrOverPosted", err)
+	}
+	if got := q.PostedCount(); got != 2 {
+		t.Fatalf("posted %d after rejected post", got)
+	}
 }
 
 func TestPollRespectsReadyTime(t *testing.T) {

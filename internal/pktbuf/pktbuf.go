@@ -89,6 +89,12 @@ type Packet struct {
 	// ArrivalNS is the wire arrival timestamp, for latency measurement.
 	ArrivalNS float64
 
+	// Owner is the pool the buffer belongs to (rte_mbuf's pool pointer).
+	// A free routed to the wrong pool forwards to the owner instead of
+	// corrupting a foreign free list; pktbuf stays layer-agnostic, so the
+	// field is opaque here.
+	Owner any
+
 	// next links packets into a Batch (FastClick's linked-list batching).
 	next *Packet
 }

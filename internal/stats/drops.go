@@ -1,0 +1,120 @@
+// Drop accounting: a shared taxonomy of the reasons a packet can be lost
+// anywhere in the datapath. Overload is a first-class operating point for
+// a per-core 100-Gbps pipeline — the paper's latency knee (Fig. 1) and the
+// X-Change pool-sizing rule (§3.1) are both overload phenomena — so every
+// layer that sheds load (NIC rings, PMD pools, the Click driver, the fault
+// engine) counts what it dropped and why, instead of panicking or losing
+// packets silently. The testbed folds every layer's counters into one
+// DropCounters per run and checks the conservation invariant
+// rx == tx + Σ drops(by reason) after chaos runs.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DropReason classifies one cause of packet loss.
+type DropReason uint8
+
+const (
+	// DropEngine: the network function deliberately killed the packet
+	// (filter policy, TTL expiry, no route, ...).
+	DropEngine DropReason = iota
+	// DropRxNoBuf: the NIC had no posted RX buffer for an arriving frame
+	// (hardware drop semantics — the driver fell behind on refill).
+	DropRxNoBuf
+	// DropRxRingFull: the RX completion ring was full.
+	DropRxRingFull
+	// DropRxRunt: the frame arrived below the 60-byte Ethernet minimum
+	// (the MAC discards runts before they reach a descriptor).
+	DropRxRunt
+	// DropPoolExhausted: a descriptor pool (X-Change exchange pool, the
+	// Copying model's framework packet pool) or a mempool had nothing
+	// free on the RX path — the §3.1 "pool ≥ burst + enqueued" rule
+	// violated at run time.
+	DropPoolExhausted
+	// DropTxRingFull: the TX ring stayed full and the driver-level
+	// backpressure queue overflowed.
+	DropTxRingFull
+	// DropWireFault: the fault engine discarded the frame on the wire
+	// (random or bursty loss).
+	DropWireFault
+	// DropLinkDown: the frame arrived during an injected link flap.
+	DropLinkDown
+
+	// NumDropReasons bounds the taxonomy.
+	NumDropReasons
+)
+
+var dropNames = [NumDropReasons]string{
+	"engine",
+	"rx-no-buf",
+	"rx-ring-full",
+	"rx-runt",
+	"pool-exhausted",
+	"tx-ring-full",
+	"wire-fault",
+	"link-down",
+}
+
+// String names the reason the way run reports print it.
+func (r DropReason) String() string {
+	if r < NumDropReasons {
+		return dropNames[r]
+	}
+	return fmt.Sprintf("reason-%d", uint8(r))
+}
+
+// DropCounters is a per-reason drop ledger. The zero value is ready to
+// use; layers embed one and the testbed merges them at the end of a run.
+type DropCounters [NumDropReasons]uint64
+
+// Add records n drops for reason r.
+func (d *DropCounters) Add(r DropReason, n uint64) {
+	if r < NumDropReasons {
+		d[r] += n
+	}
+}
+
+// Get returns the count for reason r.
+func (d *DropCounters) Get(r DropReason) uint64 {
+	if r < NumDropReasons {
+		return d[r]
+	}
+	return 0
+}
+
+// Total sums every reason.
+func (d *DropCounters) Total() uint64 {
+	var t uint64
+	for _, v := range d {
+		t += v
+	}
+	return t
+}
+
+// Merge accumulates another ledger into this one.
+func (d *DropCounters) Merge(o *DropCounters) {
+	for i := range d {
+		d[i] += o[i]
+	}
+}
+
+// Reset zeroes the ledger.
+func (d *DropCounters) Reset() { *d = DropCounters{} }
+
+// String renders the non-zero reasons, e.g. "tx-ring-full=12 engine=3";
+// "none" when nothing was dropped.
+func (d *DropCounters) String() string {
+	var parts []string
+	for i, v := range d {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", DropReason(i), v))
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
+}

@@ -9,10 +9,12 @@ package testbed
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"packetmill/internal/cache"
 	"packetmill/internal/click"
 	"packetmill/internal/dpdk"
+	"packetmill/internal/faults"
 	"packetmill/internal/layout"
 	"packetmill/internal/machine"
 	"packetmill/internal/memsim"
@@ -83,6 +85,24 @@ type Options struct {
 	// latency probe) — the hook differential verification uses.
 	Tap func(frame []byte, departNS float64)
 
+	// RxTap, when set, observes every frame presented to a DUT NIC
+	// *after* fault injection (survivors of the injected wire faults,
+	// runts included). The chaos harness records this schedule and
+	// replays it through a clean DUT to check fault/clean equivalence.
+	// The frame buffer is reused; observers must copy.
+	RxTap func(nicID int, frame []byte, ns float64)
+
+	// Faults is the fault schedule injected into the run (see
+	// internal/faults); nil or empty runs clean.
+	Faults *faults.Schedule
+	// FaultSeed seeds the fault engine; 0 derives it from Seed.
+	FaultSeed uint64
+	// WatchdogNS is the stall watchdog: the run fails with *StallError
+	// when work is pending but nothing has progressed for this much
+	// simulated time. 0 picks the 50 ms default; negative disables. It
+	// must exceed any injected stall/flap window.
+	WatchdogNS float64
+
 	Seed uint64
 }
 
@@ -125,9 +145,18 @@ type Result struct {
 	// across cores (LLC counters are system-wide).
 	Counters machine.Counters
 	// Offered is the total frames offered; Dropped the frames lost at
-	// the NIC or inside the engine.
+	// the NIC or inside the engine (Dropped == DropsByReason.Total()).
 	Offered uint64
 	Dropped uint64
+	// TxWire counts frames that left the DUT on the wire (warmup
+	// included). Conservation holds for every run, faulted or clean:
+	// Offered == TxWire + DropsByReason.Total().
+	TxWire uint64
+	// DropsByReason attributes every lost frame to its drop reason.
+	DropsByReason stats.DropCounters
+	// FaultStats reports what the fault engine injected (nil when the
+	// run was clean).
+	FaultStats *faults.InjectedStats
 	// Prof is the metadata access profile (when Options.Profile).
 	Prof *layout.OrderProfile
 	// Routers are the per-core built engines (for inspection).
@@ -150,6 +179,9 @@ type DUT struct {
 	// pools/bindings for recycling.
 	mempools map[*dpdk.Port]*dpdk.Mempool
 	bindings map[*dpdk.Port]xchg.Binding
+	// rawBufTotal counts raw X-Change buffers carved at build time; the
+	// post-run leak audit reconciles spare lists and rings against it.
+	rawBufTotal int
 }
 
 // NewDUT assembles machine, NICs, and per-core PMD ports according to the
@@ -214,15 +246,23 @@ func (d *DUT) buildPort(nicID, queue int) (*dpdk.Port, error) {
 		var prof *layout.OrderProfile
 		// Profiling of the X-Change descriptor is attached later by the
 		// engine builder when requested; the pool starts unprofiled.
-		dp := xchg.NewDescriptorPool(o.DescPool, descLayout, d.Static, prof)
+		dp, err := xchg.NewDescriptorPool(o.DescPool, descLayout, d.Static, prof)
+		if err != nil {
+			return nil, err
+		}
 		dp.SetFIFO(o.DescPoolFIFO)
 		bind := xchg.NewCustomBinding("x-change", dp, !o.NoLTO)
 		port := dpdk.NewPort(nicID, n, queue, nil, bind, 32)
 		if err := port.SetVectorized(o.VectorizedPMD); err != nil {
 			return nil, err
 		}
-		port.ProvideBuffers(dpdk.AllocRawBuffers(d.Huge, ringSize+o.DescPool,
-			dpdk.DefaultHeadroom, dpdk.DefaultDataRoom))
+		bufs, err := dpdk.AllocRawBuffers(d.Huge, ringSize+o.DescPool,
+			dpdk.DefaultHeadroom, dpdk.DefaultDataRoom)
+		if err != nil {
+			return nil, err
+		}
+		d.rawBufTotal += len(bufs)
+		port.ProvideBuffers(bufs)
 		if err := port.SetupRX(); err != nil {
 			return nil, err
 		}
@@ -236,8 +276,11 @@ func (d *DUT) buildPort(nicID, queue int) (*dpdk.Port, error) {
 			spec.MetaLayout = o.MetaLayout
 		}
 		spec.SeparateMbuf = false
-		pool := dpdk.NewMempool(fmt.Sprintf("ov%d-%d", nicID, queue),
+		pool, err := dpdk.NewMempool(fmt.Sprintf("ov%d-%d", nicID, queue),
 			ringSize+o.MempoolSize, d.Huge, spec)
+		if err != nil {
+			return nil, err
+		}
 		bind := xchg.NewDefaultBinding(!o.NoLTO)
 		port := dpdk.NewPort(nicID, n, queue, pool, bind, 32)
 		if err := port.SetVectorized(o.VectorizedPMD); err != nil {
@@ -251,8 +294,11 @@ func (d *DUT) buildPort(nicID, queue int) (*dpdk.Port, error) {
 		return port, nil
 
 	default: // Copying
-		pool := dpdk.NewMempool(fmt.Sprintf("mb%d-%d", nicID, queue),
+		pool, err := dpdk.NewMempool(fmt.Sprintf("mb%d-%d", nicID, queue),
 			ringSize+o.MempoolSize, d.Huge, dpdk.DefaultBufSpec())
+		if err != nil {
+			return nil, err
+		}
 		bind := xchg.NewDefaultBinding(!o.NoLTO)
 		port := dpdk.NewPort(nicID, n, queue, pool, bind, 32)
 		if err := port.SetVectorized(o.VectorizedPMD); err != nil {
@@ -294,9 +340,11 @@ func (d *DUT) RecycleFor(c int) func(ec *click.ExecCtx, p *pktbuf.Packet) {
 				ec.Rt.PacketPool.Put(ec.Core, p.Meta)
 				p.Meta = nil
 			}
-			d.mempools[port].Put(ec.Core, p)
+			// A rejected put is a double free; the pool counted it and
+			// kept its ledger intact, and the audit reports it.
+			_ = d.mempools[port].Put(ec.Core, p)
 		default:
-			d.mempools[port].Put(ec.Core, p)
+			_ = d.mempools[port].Put(ec.Core, p)
 		}
 	}
 }
@@ -369,9 +417,6 @@ func RunGraph(g *click.Graph, o Options) (*Result, error) {
 		return nil, err
 	}
 	res.Routers = routers
-	for _, rt := range routers {
-		res.Dropped += rt.Drops
-	}
 	if o.Profile && len(routers) > 0 {
 		res.Prof = routers[0].Prof
 	}
@@ -409,6 +454,116 @@ func (e *clickEngine) Step(core *machine.Core, now float64) int {
 	return e.rt.Step(&e.ec)
 }
 
+// DropStats exposes the router's reason-coded drops to the harness.
+func (e *clickEngine) DropStats() *stats.DropCounters { return &e.rt.DropStats }
+
+// TxBacklog sums packets queued behind full TX rings across the router's
+// output elements.
+func (e *clickEngine) TxBacklog() int {
+	total := 0
+	for _, inst := range e.rt.Instances {
+		if tb, ok := inst.El.(interface{ TxBacklog() int }); ok {
+			total += tb.TxBacklog()
+		}
+	}
+	return total
+}
+
+// dropStatser and txBacklogger are the optional engine interfaces the
+// harness aggregates over.
+type dropStatser interface{ DropStats() *stats.DropCounters }
+type txBacklogger interface{ TxBacklog() int }
+
+// StallError reports a run the watchdog killed: work was pending but
+// nothing progressed for longer than the watchdog budget. Snapshot
+// carries the datapath state for diagnosis.
+type StallError struct {
+	NowNS          float64
+	LastProgressNS float64
+	Snapshot       string
+}
+
+// Error implements error.
+func (e *StallError) Error() string {
+	return fmt.Sprintf("testbed: pipeline stalled: no progress since %.0f ns (now %.0f ns, budget exceeded)\n%s",
+		e.LastProgressNS, e.NowNS, e.Snapshot)
+}
+
+// snapshot renders the datapath state for a StallError.
+func (d *DUT) snapshot(engines []Engine) string {
+	var b strings.Builder
+	for _, n := range d.NICs {
+		fmt.Fprintf(&b, "  %s\n", n)
+	}
+	for c := range d.PortsFor {
+		for id := 0; id < d.Opts.NICs; id++ {
+			port, ok := d.PortsFor[c][id]
+			if !ok {
+				continue
+			}
+			rxq := port.NIC.RX(port.Queue)
+			txq := port.NIC.TX(port.Queue)
+			fmt.Fprintf(&b, "  core%d port%d: drops=[%s] spare=%d posted=%d pendingRx=%d inflightTx=%d\n",
+				c, id, port.Drops.String(), port.SpareCount(),
+				rxq.PostedCount(), rxq.PendingCount(), txq.InflightCount())
+		}
+	}
+	for i, e := range engines {
+		if tb, ok := e.(txBacklogger); ok {
+			fmt.Fprintf(&b, "  engine%d: txBacklog=%d\n", i, tb.TxBacklog())
+		}
+	}
+	return b.String()
+}
+
+// Audit reconciles every buffer ledger after a drained run; any
+// discrepancy is a leak (or a detected double free) and returns an
+// error naming it. The invariant: every buffer is either free in its
+// pool or held by a NIC ring, and every X-Change descriptor is back in
+// its pool.
+func (d *DUT) Audit() error {
+	// Ring holdings per queue (ports map 1:1 onto (nic, queue) pairs).
+	held := 0
+	for _, ports := range d.PortsFor {
+		for _, port := range ports {
+			rxq := port.NIC.RX(port.Queue)
+			txq := port.NIC.TX(port.Queue)
+			held += rxq.PostedCount() + rxq.PendingCount() + txq.InflightCount()
+		}
+	}
+	if d.Opts.Model == click.XChange {
+		spare := 0
+		for _, ports := range d.PortsFor {
+			for _, port := range ports {
+				spare += port.SpareCount()
+				if cb, ok := d.bindings[port].(*xchg.CustomBinding); ok {
+					if n := cb.Pool.Outstanding(); n != 0 {
+						return fmt.Errorf("testbed: port %d: %d X-Change descriptors leaked", port.ID, n)
+					}
+				}
+			}
+		}
+		if spare+held != d.rawBufTotal {
+			return fmt.Errorf("testbed: raw buffer leak: %d spare + %d in rings != %d allocated",
+				spare, held, d.rawBufTotal)
+		}
+		return nil
+	}
+	outstanding, doubleFrees := 0, uint64(0)
+	for _, pool := range d.mempools {
+		outstanding += pool.Outstanding()
+		doubleFrees += pool.DoubleFrees
+	}
+	if doubleFrees > 0 {
+		return fmt.Errorf("testbed: %d double frees detected", doubleFrees)
+	}
+	if outstanding != held {
+		return fmt.Errorf("testbed: mempool leak: %d outstanding != %d held by rings",
+			outstanding, held)
+	}
+	return nil
+}
+
 // Drive runs the offered load through the engines (one per core) and
 // measures. It is exported so non-Click engines (BESS, VPP, l2fwd) reuse
 // the same harness.
@@ -416,6 +571,31 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 	o := d.Opts
 	if len(engines) != o.Cores {
 		return nil, fmt.Errorf("testbed: %d engines for %d cores", len(engines), o.Cores)
+	}
+
+	// Fault engine: built per run, wired into the layers' hooks. A clean
+	// run leaves every hook nil, so the only datapath cost of the fault
+	// layer is one nil check per hook site.
+	var fe *faults.Engine
+	var wireDrops stats.DropCounters
+	if o.Faults != nil && len(o.Faults.Clauses) > 0 {
+		seed := o.FaultSeed
+		if seed == 0 {
+			seed = o.Seed ^ 0x5eedfa17 // distinct stream from the traffic seed
+		}
+		fe = faults.NewEngine(o.Faults, seed)
+		for _, n := range d.NICs {
+			n.FaultRxStall = fe.RxStall
+			n.FaultTxSlow = fe.TxSlowFactor
+		}
+		for _, pool := range d.mempools {
+			pool.FaultDeplete = fe.DepleteMempool
+		}
+		for _, ports := range d.PortsFor {
+			for _, port := range ports {
+				port.FaultDescDeplete = fe.DepleteDesc
+			}
+		}
 	}
 
 	// Sources: one per NIC.
@@ -461,14 +641,33 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 	}
 
 	// deliverUntil pushes every frame that has arrived by time t into
-	// the NICs (RSS-spread across core queues).
+	// the NICs (RSS-spread across core queues). Wire-level faults apply
+	// here, between the generator and the DUT's MAC: a frame is counted
+	// as offered first, then may be consumed (drop, link-down) or
+	// mutated (corruption, truncation) before the NIC sees it.
 	var offered uint64
 	deliverUntil := func(t float64) {
 		for n := range heads {
 			for heads[n].ok && heads[n].ns <= t {
-				q := d.NICs[n].RSSQueue(heads[n].frame)
-				d.NICs[n].Deliver(q, heads[n].frame, heads[n].ns)
+				frame, ns := heads[n].frame, heads[n].ns
 				offered++
+				if fe != nil {
+					wr := fe.Wire(frame, ns)
+					if wr.Dropped {
+						wireDrops.Add(wr.Reason, 1)
+						pull(n)
+						continue
+					}
+					frame = wr.Frame
+				}
+				if o.RxTap != nil {
+					o.RxTap(n, frame, ns)
+				}
+				// RSS hashes the frame as received — a corrupted header
+				// steers to whatever queue the flipped bits select, as on
+				// real hardware.
+				q := d.NICs[n].RSSQueue(frame)
+				d.NICs[n].Deliver(q, frame, ns)
 				pull(n)
 			}
 		}
@@ -539,10 +738,32 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 		return false
 	}
 
+	// txBacklog sums packets the engines still hold behind full TX rings.
+	txBacklog := func() int {
+		total := 0
+		for _, e := range engines {
+			if tb, ok := e.(txBacklogger); ok {
+				total += tb.TxBacklog()
+			}
+		}
+		return total
+	}
+
+	// Watchdog: trip when work is pending but neither the generators,
+	// the engines, nor the wire have progressed for watchdogNS of
+	// simulated time — a livelocked or wedged pipeline.
+	watchdogNS := o.WatchdogNS
+	if watchdogNS == 0 {
+		watchdogNS = 50e6 // 50 simulated ms
+	}
+	var lastProgressNS float64
+	var lastOffered, lastDeparted uint64
+
 	// Main loop: always run the core that is furthest behind in
 	// simulated time; fast-forward idle cores to the next event. The run
-	// ends when the sources are drained, every ring is empty, and every
-	// core has gone one full pass without work.
+	// ends when the sources are drained, every ring is empty, every TX
+	// backlog has flushed, and every core has gone one full pass without
+	// work.
 	idleStreak := 0
 	for {
 		ci := 0
@@ -555,12 +776,24 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 		now := core.NowNS()
 		deliverUntil(now)
 		moved := engines[ci].Step(core, now)
+		if moved > 0 || offered != lastOffered || departed != lastDeparted {
+			lastProgressNS = now
+			lastOffered, lastDeparted = offered, departed
+		}
 		if moved > 0 {
 			idleStreak = 0
 			continue
 		}
 		idleStreak++
-		if sourcesDone() && !pendingRx() {
+		pending := !sourcesDone() || pendingRx() || txBacklog() > 0
+		if watchdogNS > 0 && pending && now-lastProgressNS > watchdogNS {
+			return nil, &StallError{
+				NowNS:          now,
+				LastProgressNS: lastProgressNS,
+				Snapshot:       d.snapshot(engines),
+			}
+		}
+		if !pending {
 			if idleStreak > 2*o.Cores {
 				break
 			}
@@ -577,8 +810,9 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 		if next > now && !math.IsInf(next, 1) {
 			core.Idle(next)
 		} else {
-			// The work belongs to another core's queue; step time
-			// forward a touch so that core gets scheduled.
+			// The work belongs to another core's queue (or is a TX
+			// backlog waiting for the wire); step time forward a touch
+			// so it gets another chance.
 			core.Idle(now + 100)
 		}
 	}
@@ -605,10 +839,29 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 		res.Counters.BusyCycles += delta.BusyCycles
 		res.Counters.TLBMisses += delta.TLBMisses
 	}
-	var rxDrop uint64
+	// Drop taxonomy: every lost frame attributed to one reason, from the
+	// wire through the NIC, the PMD, and the engine.
+	res.DropsByReason.Merge(&wireDrops)
 	for _, n := range d.NICs {
-		rxDrop += n.Stats.RxDropNoBuf + n.Stats.RxDropFull
+		res.DropsByReason.Add(stats.DropRxNoBuf, n.Stats.RxDropNoBuf)
+		res.DropsByReason.Add(stats.DropRxRingFull, n.Stats.RxDropFull)
+		res.DropsByReason.Add(stats.DropRxRunt, n.Stats.RxDropRunt)
 	}
-	res.Dropped = rxDrop
+	for _, ports := range d.PortsFor {
+		for _, port := range ports {
+			res.DropsByReason.Merge(&port.Drops)
+		}
+	}
+	for _, e := range engines {
+		if ds, ok := e.(dropStatser); ok {
+			res.DropsByReason.Merge(ds.DropStats())
+		}
+	}
+	res.Dropped = res.DropsByReason.Total()
+	res.TxWire = departed
+	if fe != nil {
+		st := fe.Injected
+		res.FaultStats = &st
+	}
 	return res, nil
 }

@@ -13,6 +13,7 @@ import (
 	"packetmill/internal/machine"
 	"packetmill/internal/netpkt"
 	"packetmill/internal/pktbuf"
+	"packetmill/internal/stats"
 )
 
 // Node is one VPP graph node processing a frame (vector) of packets.
@@ -60,7 +61,9 @@ func New(port *dpdk.Port, nodes ...Node) *Graph {
 func (g *Graph) Step(core *machine.Core, now float64) int {
 	g.frame = g.frame[:0]
 	for len(g.frame) < g.VectorSize {
-		n := g.Port.RxBurst(core, now, g.rx)
+		// Pool-exhaustion drops are accounted in the port's counters;
+		// the input node only sees survivors.
+		n, _ := g.Port.RxBurst(core, now, g.rx)
 		if n == 0 {
 			break
 		}
@@ -101,7 +104,10 @@ func (g *Graph) Step(core *machine.Core, now float64) int {
 	}
 	g.Forwarded += uint64(sent)
 	for i := sent; i < len(kept); i++ {
-		g.Port.Pool.Put(core, kept[i])
+		g.Port.Drops.Add(stats.DropTxRingFull, 1)
+		if err := g.Port.Pool.Put(core, kept[i]); err != nil {
+			panic(err) // a packet just held by the graph cannot double-free
+		}
 	}
 	return len(g.frame)
 }

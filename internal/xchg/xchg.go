@@ -23,6 +23,8 @@
 package xchg
 
 import (
+	"fmt"
+
 	"packetmill/internal/layout"
 	"packetmill/internal/machine"
 	"packetmill/internal/memsim"
@@ -41,7 +43,9 @@ type Binding interface {
 	Name() string
 
 	// RxMeta returns (and, if needed, attaches) the descriptor the RX
-	// conversion functions write for this packet.
+	// conversion functions write for this packet. Exchange bindings
+	// return nil when their descriptor pool is exhausted; the PMD must
+	// then drop the packet with accounting rather than convert it.
 	RxMeta(p *pktbuf.Packet) *pktbuf.Meta
 
 	// RX-path conversion functions (Listing 1/2 of the paper).
@@ -151,19 +155,21 @@ type DescriptorPool struct {
 
 // NewDescriptorPool carves n descriptors with the given layout out of the
 // arena. Pass the NF's metadata profile to prof to drive the reordering
-// pass (may be nil).
-func NewDescriptorPool(n int, l *layout.Layout, arena *memsim.Arena, prof *layout.OrderProfile) *DescriptorPool {
+// pass (may be nil). A pool too large for the arena returns a typed
+// *memsim.ExhaustedError instead of panicking — pool size is run
+// configuration, not a programming constant.
+func NewDescriptorPool(n int, l *layout.Layout, arena *memsim.Arena, prof *layout.OrderProfile) (*DescriptorPool, error) {
 	dp := &DescriptorPool{}
 	for i := 0; i < n; i++ {
-		m := &pktbuf.Meta{
-			Base: arena.Alloc(uint64(l.Size()), memsim.CacheLineSize),
-			L:    l,
-			Prof: prof,
+		base, err := arena.TryAlloc(uint64(l.Size()), memsim.CacheLineSize)
+		if err != nil {
+			return nil, fmt.Errorf("xchg: descriptor pool (%d of %d descriptors placed): %w", i, n, err)
 		}
+		m := &pktbuf.Meta{Base: base, L: l, Prof: prof}
 		dp.all = append(dp.all, m)
 		dp.free = append(dp.free, m)
 	}
-	return dp
+	return dp, nil
 }
 
 // Get pops a free descriptor (LIFO, to stay warm); nil when exhausted.
@@ -192,6 +198,11 @@ func (dp *DescriptorPool) FreeCount() int { return len(dp.free) }
 
 // Size reports the total descriptor count.
 func (dp *DescriptorPool) Size() int { return len(dp.all) }
+
+// Outstanding reports descriptors currently attached to packets — the
+// chaos harness's leak check requires it to return to zero after a
+// drained run.
+func (dp *DescriptorPool) Outstanding() int { return len(dp.all) - len(dp.free) }
 
 // SetLayout swaps the layout of every descriptor — how the mill applies a
 // reordered layout to a live application between runs.
@@ -226,11 +237,16 @@ func NewCustomBinding(name string, pool *DescriptorPool, inlineLTO bool) *Custom
 
 func (b *CustomBinding) Name() string { return b.name }
 
+// RxMeta attaches (or returns) the packet's application descriptor. It
+// returns nil when the exchange pool is exhausted — the §3.1 sizing rule
+// ("pool ≥ burst + enqueued packets") violated at run time. The PMD treats
+// a nil descriptor as drop-with-accounting (stats.DropPoolExhausted)
+// instead of crashing the run.
 func (b *CustomBinding) RxMeta(p *pktbuf.Packet) *pktbuf.Meta {
 	if p.Meta == nil {
 		m := b.Pool.Get()
 		if m == nil {
-			panic("xchg: descriptor pool exhausted — size it ≥ burst + enqueued packets")
+			return nil
 		}
 		m.ClearValues()
 		p.Meta = m
@@ -241,6 +257,11 @@ func (b *CustomBinding) RxMeta(p *pktbuf.Packet) *pktbuf.Meta {
 func (b *CustomBinding) set(core *machine.Core, p *pktbuf.Packet, f layout.FieldID, v uint64) {
 	b.cc.charge(core)
 	m := b.RxMeta(p)
+	if m == nil {
+		// Exhausted pool: the packet is on its way to being dropped by
+		// the PMD; the conversion becomes a no-op.
+		return
+	}
 	// A custom descriptor stores only the fields its layout declares;
 	// everything else the conversion function drops on the floor — that
 	// is the whole point (no useless stores).

@@ -70,7 +70,11 @@ func TestNonLTOBindingChargesCalls(t *testing.T) {
 
 func newDescPool(n int) *DescriptorPool {
 	arena := memsim.NewArena("static", memsim.StaticBase, 1<<20)
-	return NewDescriptorPool(n, layout.XchgPacket(), arena, nil)
+	dp, err := NewDescriptorPool(n, layout.XchgPacket(), arena, nil)
+	if err != nil {
+		panic(err)
+	}
+	return dp
 }
 
 func TestDescriptorPoolLIFOAndCounts(t *testing.T) {
@@ -154,19 +158,27 @@ func TestCustomBindingReleaseRecycles(t *testing.T) {
 	}
 }
 
-func TestCustomBindingPanicsOnExhaustedPool(t *testing.T) {
+func TestCustomBindingExhaustedPoolIsSurvivable(t *testing.T) {
+	// Violating the §3.1 sizing rule must not crash: RxMeta reports nil
+	// and conversions become no-ops so the PMD can drop with accounting.
 	c := testCore()
 	dp := newDescPool(1)
 	b := NewCustomBinding("x", dp, true)
 	p1 := pktbuf.NewPacket(make([]byte, 2048), 0x90000, 128)
 	b.SetDataLen(c, p1, 1)
 	p2 := pktbuf.NewPacket(make([]byte, 2048), 0x91000, 128)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	b.SetDataLen(c, p2, 1)
+	b.SetDataLen(c, p2, 1) // must not panic
+	if b.RxMeta(p2) != nil || p2.Meta != nil {
+		t.Fatal("exhausted pool must yield nil descriptor")
+	}
+	// Releasing p1 recovers the pool; p2 can then be served.
+	b.Release(p1)
+	if b.RxMeta(p2) == nil {
+		t.Fatal("pool did not recover after release")
+	}
+	if dp.Outstanding() != 1 {
+		t.Fatalf("outstanding = %d", dp.Outstanding())
+	}
 }
 
 func TestCustomBindingDescriptorReuseStaysWarm(t *testing.T) {
