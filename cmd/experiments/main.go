@@ -21,7 +21,8 @@ func main() {
 		list  = flag.Bool("list", false, "list experiments and exit")
 		run   = flag.String("run", "all", "experiment id to run, or 'all'")
 		scale = flag.Float64("scale", 1.0, "packet-count scale (0,1]")
-		out   = flag.String("out", "", "directory for TSV files (default: stdout)")
+		out   = flag.String("out", "", "directory for result files (default: stdout)")
+		asJSON = flag.Bool("json", false, "emit tables as JSON (rows keyed by column) instead of TSV")
 	)
 	flag.Parse()
 
@@ -56,13 +57,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "running %s — %s...\n", e.ID, e.Title)
 		tables := e.Run(*scale)
 		for _, t := range tables {
+			var body []byte
+			ext := ".tsv"
+			if *asJSON {
+				b, err := t.JSON()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+				body, ext = append(b, '\n'), ".json"
+			} else {
+				body = []byte(t.TSV())
+			}
 			if *out == "" {
-				fmt.Print(t.TSV())
+				os.Stdout.Write(body)
 				fmt.Println()
 				continue
 			}
-			path := filepath.Join(*out, t.ID+".tsv")
-			if err := os.WriteFile(path, []byte(t.TSV()), 0o644); err != nil {
+			path := filepath.Join(*out, t.ID+ext)
+			if err := os.WriteFile(path, body, 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
 				os.Exit(1)
 			}

@@ -51,8 +51,27 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "experiment seed")
 		faultSpec  = flag.String("faults", "", `fault schedule (e.g. "drop p=0.01; flap at=1ms for=100us"), or "random" for a seeded random draw`)
 		faultSeed  = flag.Uint64("faults-seed", 0, "fault engine seed (0 = derive from -seed)")
+		reportFmt  = flag.String("report", "text", "report format: text|json (json enables telemetry and prints the full per-core/per-queue/per-element report)")
 	)
 	flag.Parse()
+
+	jsonReport := false
+	switch strings.ToLower(*reportFmt) {
+	case "text":
+	case "json":
+		jsonReport = true
+	default:
+		fatal(fmt.Errorf("unknown report format %q (want text or json)", *reportFmt))
+	}
+	// With -report json, stdout carries exactly one JSON document; pass
+	// notes and fault banners move to stderr.
+	note := func(format string, args ...any) {
+		w := os.Stdout
+		if jsonReport {
+			w = os.Stderr
+		}
+		fmt.Fprintf(w, format, args...)
+	}
 
 	config, err := loadConfig(*configPath, *builtin)
 	if err != nil {
@@ -83,6 +102,7 @@ func main() {
 		FreqGHz: *freq, RateGbps: *rate, Packets: *packets,
 		FixedSize: *size, Cores: *cores, NICs: *nics, Seed: *seed,
 		FaultSeed: *faultSeed,
+		Telemetry: jsonReport,
 	}
 	if *faultSpec != "" {
 		sched, err := parseFaults(*faultSpec, base)
@@ -90,7 +110,7 @@ func main() {
 			fatal(err)
 		}
 		base.Faults = sched
-		fmt.Printf("; faults: %s\n", sched)
+		note("; faults: %s\n", sched)
 	}
 
 	if *doPrune {
@@ -114,7 +134,7 @@ func main() {
 	}
 
 	for _, n := range p.Notes() {
-		fmt.Printf("; pass: %s\n", n)
+		note("; pass: %s\n", n)
 	}
 
 	if *verifyRun {
@@ -132,7 +152,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println("verification:", rep)
+		note("verification: %s\n", rep)
 		if !rep.Equivalent() {
 			os.Exit(1)
 		}
@@ -143,6 +163,7 @@ func main() {
 		for f := 1.2; f <= 3.01; f += 0.2 {
 			o := base
 			o.FreqGHz = f
+			o.Telemetry = false // the sweep prints a table, not a report
 			res, err := p.Run(o)
 			if err != nil {
 				fatal(err)
@@ -158,6 +179,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if jsonReport {
+			emitJSON(res, configName(*configPath, *builtin))
+			note("; spread: %d runs, throughput %.2f–%.2f Gbps\n",
+				*repeats, spread.MinGbps, spread.MaxGbps)
+			return
+		}
 		report(res)
 		fmt.Printf("spread:         %d runs, throughput %.2f–%.2f Gbps\n",
 			*repeats, spread.MinGbps, spread.MaxGbps)
@@ -167,7 +194,34 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if jsonReport {
+		emitJSON(res, configName(*configPath, *builtin))
+		return
+	}
 	report(res)
+}
+
+// configName labels the run for the JSON report's config echo.
+func configName(path, builtin string) string {
+	if path != "" {
+		return path
+	}
+	return "builtin:" + strings.ToLower(builtin)
+}
+
+// emitJSON prints the run's telemetry report as the process's single
+// stdout document.
+func emitJSON(res *testbed.Result, config string) {
+	rep := res.Telemetry
+	if rep == nil {
+		fatal(fmt.Errorf("run produced no telemetry report"))
+	}
+	rep.Config.Config = config
+	raw, err := rep.JSON()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(raw))
 }
 
 // pipelineOptions folds the pipeline's plan into testbed options the same

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ func main() {
 		write   = flag.String("write", "", "record the trace to FILE and exit")
 		read    = flag.String("read", "", "analyze a recorded trace FILE instead of generating")
 		repeats = flag.Int("repeat", 1, "replay the -read trace N times")
+		asJSON  = flag.Bool("json", false, "emit the trace statistics as JSON")
 	)
 	flag.Parse()
 
@@ -116,6 +118,49 @@ func main() {
 		}
 	}
 
+	// Flow skew: top-5 share.
+	var counts []int
+	for _, c := range flowSet {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top := 0
+	for i := 0; i < len(counts) && i < 5; i++ {
+		top += counts[i]
+	}
+
+	if *asJSON {
+		doc := struct {
+			Frames     uint64         `json:"frames"`
+			Bytes      uint64         `json:"bytes"`
+			MeanSize   float64        `json:"mean_size"`
+			Gbps       float64        `json:"gbps,omitempty"`
+			DurationMS float64        `json:"duration_ms,omitempty"`
+			Sizes      map[string]int `json:"sizes"`
+			Protocols  map[string]int `json:"protocols"`
+			Flows      int            `json:"flows"`
+			Top5Share  float64        `json:"top5_share"`
+		}{
+			Frames: n, Bytes: bytes, MeanSize: float64(bytes) / float64(n),
+			Sizes: map[string]int{}, Protocols: protos,
+			Flows: len(flowSet), Top5Share: float64(top) / float64(n),
+		}
+		if lastNS > 0 {
+			doc.Gbps = float64(bytes) * 8 / lastNS
+			doc.DurationMS = lastNS / 1e6
+		}
+		for k, v := range sizes {
+			doc.Sizes[fmt.Sprint(k)] = v
+		}
+		raw, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pktgen:", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(raw))
+		return
+	}
+
 	fmt.Printf("frames:      %d (%.1f MB)\n", n, float64(bytes)/1e6)
 	fmt.Printf("mean size:   %.1f B\n", float64(bytes)/float64(n))
 	if lastNS > 0 {
@@ -139,16 +184,6 @@ func main() {
 	sort.Strings(ps)
 	for _, p := range ps {
 		fmt.Printf("  %-8s %6.2f%%\n", p, float64(protos[p])*100/float64(n))
-	}
-	// Flow skew: top-5 share.
-	var counts []int
-	for _, c := range flowSet {
-		counts = append(counts, c)
-	}
-	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
-	top := 0
-	for i := 0; i < len(counts) && i < 5; i++ {
-		top += counts[i]
 	}
 	fmt.Printf("flows:       %d distinct, top-5 carry %.1f%%\n",
 		len(flowSet), float64(top)*100/float64(n))

@@ -183,6 +183,17 @@ type Hierarchy struct {
 
 	// TLBMisses counts page walks charged to this core.
 	TLBMisses uint64
+
+	// Per-core LLC demand counters: this core's accesses that reached
+	// the shared LLC (L2 misses), and how many missed there too. The
+	// shared llc.Loads/… counters aggregate every core; these scope the
+	// same events to the hierarchy that caused them, which is what lets
+	// a run attribute LLC traffic per core and per element the way
+	// `perf stat --per-core` does.
+	LLCLoads       uint64
+	LLCLoadMisses  uint64
+	LLCStores      uint64
+	LLCStoreMisses uint64
 }
 
 // System owns the shared LLC and global configuration.
@@ -276,6 +287,8 @@ func (s *System) Reset() {
 		c.l2.reset()
 		c.tlb.reset()
 		c.TLBMisses = 0
+		c.LLCLoads, c.LLCLoadMisses = 0, 0
+		c.LLCStores, c.LLCStoreMisses = 0, 0
 	}
 }
 
@@ -367,9 +380,11 @@ func (h *Hierarchy) AccessLine(addr memsim.Addr, write bool) Cost {
 	if write {
 		h.l2.StoreMisses++
 		h.llc.Stores++
+		h.LLCStores++
 	} else {
 		h.l2.LoadMisses++
 		h.llc.Loads++
+		h.LLCLoads++
 	}
 	if h.llc.lookup(line) {
 		h.l2.insert(line, 0)
@@ -378,8 +393,10 @@ func (h *Hierarchy) AccessLine(addr memsim.Addr, write bool) Cost {
 	}
 	if write {
 		h.llc.StoreMisses++
+		h.LLCStoreMisses++
 	} else {
 		h.llc.LoadMisses++
+		h.LLCLoadMisses++
 	}
 	h.llc.insert(line, 0)
 	h.l2.insert(line, 0)

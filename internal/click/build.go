@@ -10,6 +10,7 @@ import (
 	"packetmill/internal/memsim"
 	"packetmill/internal/pktbuf"
 	"packetmill/internal/stats"
+	"packetmill/internal/telemetry"
 )
 
 // BuildEnv supplies everything a build needs beyond the configuration.
@@ -74,6 +75,10 @@ type Router struct {
 	// reason, so the conservation check rx == tx + Σ drops can attribute
 	// every lost packet.
 	DropStats stats.DropCounters
+
+	// Tel, when non-nil, attributes this router's work to spans; the
+	// driver loop installs it into every ExecCtx it runs.
+	Tel *telemetry.Tracker
 }
 
 // Kill recycles every packet in b (an element dropping traffic).
@@ -296,6 +301,13 @@ func (rt *Router) Instance(name string) *Instance { return rt.byName[name] }
 // tasks, each time picking the minimum-pass task (stride scheduling). It
 // returns the number of packets moved.
 func (rt *Router) Step(ec *ExecCtx) int {
+	if ec.Tel == nil {
+		ec.Tel = rt.Tel
+	}
+	// The driver span is the attribution root: every charge in the round
+	// lands in it unless a more specific stage span is open, so the span
+	// set partitions the core's busy cycles.
+	ec.Tel.Enter(telemetry.StageDriver, "driver")
 	moved := 0
 	for i := 0; i < len(rt.sched); i++ {
 		min := 0
@@ -309,6 +321,7 @@ func (rt *Router) Step(ec *ExecCtx) int {
 		ec.Core.Compute(rt.SchedInstr)
 		moved += e.task.RunTask(ec)
 	}
+	ec.Tel.Exit()
 	return moved
 }
 

@@ -14,6 +14,7 @@ import (
 	"packetmill/internal/machine"
 	"packetmill/internal/memsim"
 	"packetmill/internal/pktbuf"
+	"packetmill/internal/telemetry"
 )
 
 // MetadataModel selects how the framework manages packet metadata (§2.2).
@@ -105,6 +106,9 @@ type ExecCtx struct {
 	Core *machine.Core
 	Now  float64
 	Rt   *Router
+	// Tel attributes charged work to datapath spans; nil (the default)
+	// disables attribution at the cost of one branch per hook.
+	Tel *telemetry.Tracker
 }
 
 // Element is the behaviour contract. Elements process batches arriving on
@@ -250,7 +254,13 @@ func (op *OutputPort) Push(ec *ExecCtx, b *pktbuf.Batch) {
 	n := float64(b.Count())
 	core.Compute(instr * n)
 	core.Cycles(bubble * n)
+	// The callee body runs under its own span so graph-walk profiles
+	// attribute cycles to the element that spends them; the hand-off cost
+	// above stays with the caller, like a call instruction in perf.
+	ec.Tel.Enter(telemetry.StageEngine, op.To.Name)
+	ec.Tel.AddPackets(b.Count())
 	op.To.El.Push(ec, op.ToPort, b)
+	ec.Tel.Exit()
 }
 
 // Output pushes b out of inst's port i; elements call this from Push.

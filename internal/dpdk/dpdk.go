@@ -282,10 +282,28 @@ type Port struct {
 	// testbed merges it into the run's taxonomy.
 	Drops stats.DropCounters
 
+	// Stats is the port's poll/refill ledger, read by the telemetry layer.
+	Stats PortStats
+
 	// FaultDescDeplete, when set, makes the RX conversion path treat the
 	// exchange descriptor pool as exhausted while it returns true — the
 	// fault engine's exchange-pool depletion hook. Nil in normal runs.
 	FaultDescDeplete func(nowNS float64) bool
+}
+
+// PortStats counts per-port PMD activity. RefillShort events used to be
+// invisible: the refill loop would silently leave the RX ring short when
+// buffers ran out, and the only symptom was a later RxDropNoBuf surge on
+// the NIC.
+type PortStats struct {
+	// Polls counts RxBurst calls; EmptyPolls those that returned nothing.
+	Polls, EmptyPolls uint64
+	// RxPackets / TxPackets count packets handed to the application /
+	// accepted for transmit.
+	RxPackets, TxPackets uint64
+	// RefillShort counts refill loops that could not restore every
+	// consumed RX descriptor; RefillShortBufs counts the missing buffers.
+	RefillShort, RefillShortBufs uint64
 }
 
 // Per-packet PMD instruction costs (beyond the charged memory accesses).
@@ -392,8 +410,10 @@ func (pt *Port) RxBurst(core *machine.Core, nowNS float64, out []*pktbuf.Packet)
 	} else {
 		n = rxq.Poll(core, nowNS, max, out, pt.descs)
 	}
+	pt.Stats.Polls++
 	if n == 0 {
 		// An empty poll still costs the CQE peek.
+		pt.Stats.EmptyPolls++
 		core.Compute(4)
 		return 0, nil
 	}
@@ -410,7 +430,11 @@ func (pt *Port) RxBurst(core *machine.Core, nowNS float64, out []*pktbuf.Packet)
 			if gated || pt.Bind.RxMeta(p) == nil {
 				exhausted++
 				pt.Drops.Add(stats.DropPoolExhausted, 1)
-				p.Reset(DefaultHeadroom)
+				// Rewind to the buffer's own headroom: exchange pools may
+				// reserve more than DPDK's stock 128 B, and resetting to
+				// the global default would silently grow or shrink the
+				// room every recycle.
+				p.Reset(p.OrigHeadroom())
 				pt.spare = append(pt.spare, p)
 				continue
 			}
@@ -430,6 +454,7 @@ func (pt *Port) RxBurst(core *machine.Core, nowNS float64, out []*pktbuf.Packet)
 	// Ring refill: replacement buffers come from the pool (stock) or the
 	// application's exchanged spares (X-Change). n descriptors were
 	// consumed from the ring regardless of how many survived conversion.
+	refilled := 0
 	for i := 0; i < n; i++ {
 		var b *pktbuf.Packet
 		if pt.Bind.ExchangesBuffers() {
@@ -438,7 +463,7 @@ func (pt *Port) RxBurst(core *machine.Core, nowNS float64, out []*pktbuf.Packet)
 			}
 			b = pt.spare[len(pt.spare)-1]
 			pt.spare = pt.spare[:len(pt.spare)-1]
-			b.Reset(DefaultHeadroom)
+			b.Reset(b.OrigHeadroom())
 			core.Compute(4) // exchange bookkeeping, no pool machinery
 		} else {
 			if b = pt.Pool.Get(core); b == nil {
@@ -447,11 +472,21 @@ func (pt *Port) RxBurst(core *machine.Core, nowNS float64, out []*pktbuf.Packet)
 		}
 		if err := rxq.Post(b); err != nil {
 			// The ring will not take more buffers; return this one and
-			// stop refilling rather than over-posting.
+			// stop refilling rather than over-posting. Not a shortfall:
+			// the ring is already full, so no descriptor went missing.
 			pt.unrefill(core, b)
+			refilled = n
 			break
 		}
+		refilled++
 	}
+	if refilled < n {
+		// Buffer starvation left the ring short — record it so the shrink
+		// shows up in telemetry instead of only as later no-buf drops.
+		pt.Stats.RefillShort++
+		pt.Stats.RefillShortBufs += uint64(n - refilled)
+	}
+	pt.Stats.RxPackets += uint64(kept)
 	if exhausted > 0 {
 		return kept, fmt.Errorf("port %d: %d of %d packets dropped: %w",
 			pt.ID, exhausted, n, ErrPoolExhausted)
@@ -515,5 +550,6 @@ func (pt *Port) TxBurst(core *machine.Core, nowNS float64, pkts []*pktbuf.Packet
 		}
 		sent++
 	}
+	pt.Stats.TxPackets += uint64(sent)
 	return sent
 }

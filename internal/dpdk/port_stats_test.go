@@ -1,0 +1,141 @@
+package dpdk
+
+import (
+	"errors"
+	"testing"
+
+	"packetmill/internal/layout"
+	"packetmill/internal/memsim"
+	"packetmill/internal/pktbuf"
+	"packetmill/internal/xchg"
+)
+
+// newXchgPortHeadroom builds an exchange port whose raw buffers carry a
+// non-default headroom — the configuration the old recycle paths broke by
+// resetting to the global DefaultHeadroom constant.
+func newXchgPortHeadroom(r *rig, descs, bufs, headroom int) (*Port, *xchg.CustomBinding) {
+	static := memsim.NewArena("static", memsim.StaticBase, 1<<20)
+	dp, err := xchg.NewDescriptorPool(descs, layout.XchgPacket(), static, nil)
+	if err != nil {
+		panic(err)
+	}
+	bind := xchg.NewCustomBinding("x-change", dp, true)
+	pt := NewPort(0, r.nic, 0, nil, bind, 32)
+	raw, err := AllocRawBuffers(r.huge, bufs, headroom, DefaultDataRoom)
+	if err != nil {
+		panic(err)
+	}
+	pt.ProvideBuffers(raw)
+	if err := pt.SetupRX(); err != nil {
+		panic(err)
+	}
+	return pt, bind
+}
+
+func TestXchgRefillPreservesCustomHeadroom(t *testing.T) {
+	const headroom = 2 * DefaultHeadroom
+	r := newRig()
+	pt, _ := newXchgPortHeadroom(r, 64, 256+64, headroom)
+	out := make([]*pktbuf.Packet, 32)
+	now := 0.0
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 16; i++ {
+			r.nic.Deliver(0, frame(100), now)
+		}
+		now += 1e5
+		n := rxb(t, pt, r.core, now, out)
+		for i := 0; i < n; i++ {
+			if got := out[i].Headroom(); got != headroom {
+				t.Fatalf("round %d: received packet headroom %d, want %d",
+					round, got, headroom)
+			}
+		}
+		pt.TxBurst(r.core, now, out[:n])
+	}
+	pt.TxBurst(r.core, now+1e9, nil)
+	for i, b := range pt.spare {
+		if got := b.Headroom(); got != headroom {
+			t.Fatalf("spare[%d] headroom %d after recycle, want %d", i, got, headroom)
+		}
+	}
+}
+
+func TestXchgExhaustedDropPreservesCustomHeadroom(t *testing.T) {
+	// The pool-exhausted drop path recycles the buffer straight back to
+	// the spare list; it too must rewind to the buffer's own headroom.
+	const headroom = 3 * DefaultHeadroom / 2
+	r := newRig()
+	pt, _ := newXchgPortHeadroom(r, 2, 256+64, headroom) // 2 descriptors only
+	for i := 0; i < 10; i++ {
+		r.nic.Deliver(0, frame(120), 0)
+	}
+	out := make([]*pktbuf.Packet, 32)
+	if _, err := pt.RxBurst(r.core, 1e6, out); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("err = %v, want ErrPoolExhausted", err)
+	}
+	for i, b := range pt.spare {
+		if got := b.Headroom(); got != headroom {
+			t.Fatalf("spare[%d] headroom %d after exhausted drop, want %d",
+				i, got, headroom)
+		}
+	}
+}
+
+func TestRefillShortCountedWhenSparesDry(t *testing.T) {
+	// Provide exactly ring-size buffers: SetupRX consumes them all, so the
+	// first burst's refill loop finds the spare list empty and the ring
+	// silently shrinks — which must now be ledgered, not silent.
+	r := newRig()
+	pt, _ := newXchgPortHeadroom(r, 64, 256, DefaultHeadroom)
+	if pt.SpareCount() != 0 {
+		t.Fatalf("spare %d after setup, want 0", pt.SpareCount())
+	}
+	for i := 0; i < 8; i++ {
+		r.nic.Deliver(0, frame(100), 0)
+	}
+	out := make([]*pktbuf.Packet, 32)
+	if n := rxb(t, pt, r.core, 1e6, out); n != 8 {
+		t.Fatalf("rx %d", n)
+	}
+	if pt.Stats.RefillShort != 1 || pt.Stats.RefillShortBufs != 8 {
+		t.Fatalf("refill-short = %d events / %d bufs, want 1/8",
+			pt.Stats.RefillShort, pt.Stats.RefillShortBufs)
+	}
+	if got := r.nic.RX(0).PostedCount(); got != 256-8 {
+		t.Fatalf("posted %d, want shrunken ring 248", got)
+	}
+	// Returning buffers via TX reap lets the next burst refill fully.
+	pt.TxBurst(r.core, 1e6, out[:8])
+	pt.TxBurst(r.core, 1e9, nil)
+	for i := 0; i < 4; i++ {
+		r.nic.Deliver(0, frame(100), 2e9)
+	}
+	if n := rxb(t, pt, r.core, 3e9, out); n != 4 {
+		t.Fatalf("post-recovery rx %d", n)
+	}
+	if pt.Stats.RefillShort != 1 {
+		t.Fatalf("refill-short advanced to %d on a healthy burst", pt.Stats.RefillShort)
+	}
+}
+
+func TestPortStatsPollAndPacketCounters(t *testing.T) {
+	r := newRig()
+	pt := newDefaultPort(r, 512)
+	out := make([]*pktbuf.Packet, 32)
+	rxb(t, pt, r.core, 0, out) // empty poll
+	for i := 0; i < 5; i++ {
+		r.nic.Deliver(0, frame(100), 0)
+	}
+	n := rxb(t, pt, r.core, 1e6, out)
+	pt.TxBurst(r.core, 1e6, out[:n])
+	st := pt.Stats
+	if st.Polls != 2 || st.EmptyPolls != 1 {
+		t.Fatalf("polls=%d empty=%d, want 2/1", st.Polls, st.EmptyPolls)
+	}
+	if st.RxPackets != 5 || st.TxPackets != 5 {
+		t.Fatalf("rx=%d tx=%d packets, want 5/5", st.RxPackets, st.TxPackets)
+	}
+	if st.RefillShort != 0 {
+		t.Fatalf("refill-short %d on a provisioned port", st.RefillShort)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"packetmill/internal/memsim"
 	"packetmill/internal/pktbuf"
 	"packetmill/internal/stats"
+	"packetmill/internal/telemetry"
 )
 
 func init() {
@@ -97,11 +98,18 @@ func (e *FromDPDKDevice) RunTask(ec *click.ExecCtx) int {
 	// A pool-exhaustion error means some of the burst was dropped; the
 	// port has already counted those under pool-exhausted, so the element
 	// just processes the survivors.
+	ec.Tel.Enter(telemetry.StageRx, e.Inst.Name)
 	n, _ := port.RxBurst(core, ec.Now, e.scratch)
+	ec.Tel.AddPackets(n)
+	ec.Tel.Exit()
 	if n == 0 {
 		return 0
 	}
 
+	// The per-packet loop below is the framework-side metadata conversion
+	// of §2.2 — the cost the three models disagree about — so it gets its
+	// own stage distinct from the PMD poll above.
+	ec.Tel.Enter(telemetry.StageConv, e.Inst.Name)
 	var b pktbuf.Batch
 	for i := 0; i < n; i++ {
 		p := e.scratch[i]
@@ -145,6 +153,8 @@ func (e *FromDPDKDevice) RunTask(ec *click.ExecCtx) int {
 		core.Compute(18) // per-packet RX loop body
 		b.Append(core, p)
 	}
+	ec.Tel.AddPackets(b.Count())
+	ec.Tel.Exit()
 	if b.Empty() {
 		return 0
 	}
@@ -225,6 +235,10 @@ func (e *ToDPDKDevice) queueCap() int { return 4 * e.Burst }
 func (e *ToDPDKDevice) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 	core := ec.Core
 	e.Inst.LoadParam(ec, 1)
+	// TX-side metadata conversion (framework descriptor back into what
+	// the driver consumes) is conversion-stage work, not engine work.
+	ec.Tel.Enter(telemetry.StageConv, e.Inst.Name)
+	ec.Tel.AddPackets(b.Count())
 	b.ForEach(core, func(p *pktbuf.Packet) bool {
 		if e.bc.Model == click.Copying {
 			// Convert framework descriptor back into the mbuf and
@@ -241,6 +255,7 @@ func (e *ToDPDKDevice) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 		e.pending = append(e.pending, p)
 		return true
 	})
+	ec.Tel.Exit()
 	e.flush(ec)
 	// Tail-drop whatever the bounded pending buffer cannot hold (Click's
 	// blocking=false behaviour once the internal queue is full too).
@@ -267,6 +282,7 @@ func (e *ToDPDKDevice) flush(ec *click.ExecCtx) int {
 	core := ec.Core
 	port := e.bc.Ports[e.PortNo]
 	total := 0
+	ec.Tel.Enter(telemetry.StageTx, e.Inst.Name)
 	for len(e.pending) > 0 {
 		n := len(e.pending)
 		if n > e.Burst {
@@ -281,6 +297,8 @@ func (e *ToDPDKDevice) flush(ec *click.ExecCtx) int {
 			break // ring full; the flush task retries later
 		}
 	}
+	ec.Tel.AddPackets(total)
+	ec.Tel.Exit()
 	return total
 }
 

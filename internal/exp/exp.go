@@ -7,6 +7,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -40,6 +41,27 @@ func (t *Table) TSV() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// JSON renders the table with each row keyed by column name, so exhibit
+// files can be consumed without re-parsing the TSV header.
+func (t *Table) JSON() ([]byte, error) {
+	out := struct {
+		ID      string              `json:"id"`
+		Title   string              `json:"title"`
+		Columns []string            `json:"columns"`
+		Rows    []map[string]string `json:"rows"`
+	}{ID: t.ID, Title: t.Title, Columns: t.Columns}
+	for _, r := range t.Rows {
+		m := make(map[string]string, len(t.Columns))
+		for i, col := range t.Columns {
+			if i < len(r) {
+				m[col] = r[i]
+			}
+		}
+		out.Rows = append(out.Rows, m)
+	}
+	return json.MarshalIndent(out, "", "  ")
 }
 
 // Experiment produces one or more tables. scale (0,1] shrinks packet

@@ -223,7 +223,10 @@ type Counters struct {
 	WallNS     float64
 	IdleNS     float64
 	TLBMisses  uint64
-	// Shared-LLC counters (system wide).
+	// LLC counters, scoped to this core's own demand traffic (its L2
+	// misses and where they were served). Summing the per-core counters
+	// over all cores reproduces the system-wide LLC totals; DMA traffic
+	// is excluded from both, like perf's core LLC events.
 	LLCLoads       uint64
 	LLCLoadMisses  uint64
 	LLCStores      uint64
@@ -238,19 +241,20 @@ func (ct Counters) IPC() float64 {
 	return float64(ct.Instructions) / ct.BusyCycles
 }
 
-// Snapshot reads the core's counters plus the shared LLC counters.
+// Snapshot reads the core's counters. LLC counters are scoped to this
+// core's own demand traffic (see Counters); use Machine.Sys.LLCCounters
+// for the system-wide view.
 func (c *Core) Snapshot() Counters {
-	loads, loadMiss, stores, storeMiss := c.mach.Sys.LLCCounters()
 	return Counters{
 		Instructions:   c.instrs,
 		BusyCycles:     c.coreCycles + c.stallNS*c.FreqGHz,
 		WallNS:         c.NowNS(),
 		IdleNS:         c.idleNS,
 		TLBMisses:      c.Mem.TLBMisses,
-		LLCLoads:       loads,
-		LLCLoadMisses:  loadMiss,
-		LLCStores:      stores,
-		LLCStoreMisses: storeMiss,
+		LLCLoads:       c.Mem.LLCLoads,
+		LLCLoadMisses:  c.Mem.LLCLoadMisses,
+		LLCStores:      c.Mem.LLCStores,
+		LLCStoreMisses: c.Mem.LLCStoreMisses,
 	}
 }
 

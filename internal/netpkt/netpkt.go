@@ -72,6 +72,7 @@ const (
 	EtherTypeIPv4 = 0x0800
 	EtherTypeARP  = 0x0806
 	EtherTypeVLAN = 0x8100
+	EtherTypeQinQ = 0x88a8 // 802.1ad service tag (outer tag of Q-in-Q)
 
 	ProtoICMP = 1
 	ProtoTCP  = 6

@@ -58,6 +58,24 @@ type Stats struct {
 	RxBytes     uint64
 }
 
+// RXQueueStats scopes the receive counters to one queue, so a collapsed
+// RSS distribution or a single starving queue is visible instead of being
+// averaged away in the adapter-global Stats.
+type RXQueueStats struct {
+	Delivered uint64
+	Bytes     uint64
+	DropNoBuf uint64
+	DropFull  uint64
+	DropRunt  uint64
+}
+
+// TXQueueStats scopes the transmit counters to one queue.
+type TXQueueStats struct {
+	Sent     uint64
+	Bytes    uint64
+	DropFull uint64
+}
+
 // MinFrameSize is the smallest frame the MAC accepts (Ethernet's 64-byte
 // minimum less the 4-byte FCS, which the model does not carry). Anything
 // shorter — e.g. a fault-truncated runt — is discarded at the MAC, as on
@@ -95,6 +113,9 @@ type RXQueue struct {
 	cqBase     memsim.Addr
 	cqHead     uint64 // absolute index of next completion the driver reads
 	lastCompNS float64
+	// Stats are this queue's own counters (the adapter-global Stats
+	// aggregate every queue).
+	Stats RXQueueStats
 }
 
 // TXQueue is one transmit queue. Transmission uses two pipelined
@@ -112,6 +133,8 @@ type TXQueue struct {
 	// wireDoneNS / descDoneNS are the two resources' clocks.
 	wireDoneNS float64
 	descDoneNS float64
+	// Stats are this queue's own counters.
+	Stats TXQueueStats
 }
 
 type txEntry struct {
@@ -194,23 +217,51 @@ func (n *NIC) RSSQueue(frame []byte) int {
 }
 
 func rssHash(frame []byte) uint32 {
-	if len(frame) < netpkt.EtherHdrLen+netpkt.IPv4HdrLen {
-		return 0
+	// Walk past up to two 802.1Q/802.1ad shims to find the real
+	// EtherType, the way hardware RSS parses tagged frames. The old code
+	// looked for IPv4 at the untagged offset only, so every VLAN-tagged
+	// frame hashed to 0 and multi-queue runs collapsed onto queue 0.
+	etOff := netpkt.EtherHdrLen - 2 // EtherType position
+	for tags := 0; tags < 2 && len(frame) >= etOff+2; tags++ {
+		et := uint16(frame[etOff])<<8 | uint16(frame[etOff+1])
+		if et != netpkt.EtherTypeVLAN && et != netpkt.EtherTypeQinQ {
+			break
+		}
+		etOff += netpkt.VLANTagLen
 	}
-	ip := frame[netpkt.EtherHdrLen:]
-	if frame[12] != 0x08 || frame[13] != 0x00 {
-		return 0
-	}
-	var h uint32 = 2166136261
-	mix := func(b byte) { h = (h ^ uint32(b)) * 16777619 }
-	for _, b := range ip[12:20] { // src+dst IP
-		mix(b)
-	}
-	ihl := int(ip[0]&0x0f) * 4
-	if len(ip) >= ihl+4 && (ip[9] == netpkt.ProtoTCP || ip[9] == netpkt.ProtoUDP) {
-		for _, b := range ip[ihl : ihl+4] { // ports
+	if len(frame) >= etOff+2 &&
+		frame[etOff] == 0x08 && frame[etOff+1] == 0x00 &&
+		len(frame) >= etOff+2+netpkt.IPv4HdrLen {
+		ip := frame[etOff+2:]
+		var h uint32 = 2166136261
+		mix := func(b byte) { h = (h ^ uint32(b)) * 16777619 }
+		for _, b := range ip[12:20] { // src+dst IP
 			mix(b)
 		}
+		ihl := int(ip[0]&0x0f) * 4
+		if len(ip) >= ihl+4 && (ip[9] == netpkt.ProtoTCP || ip[9] == netpkt.ProtoUDP) {
+			for _, b := range ip[ihl : ihl+4] { // ports
+				mix(b)
+			}
+		}
+		return h
+	}
+	return fallbackHash(frame)
+}
+
+// fallbackHash spreads non-IPv4 traffic (ARP, unknown EtherTypes, runtish
+// frames) by hashing the MAC addresses, the EtherType words, and the
+// first payload bytes — enough entropy that distinct L2 flows land on
+// distinct queues instead of the constant-0 hash that used to pin every
+// such frame (and all its cache pressure) to queue 0.
+func fallbackHash(frame []byte) uint32 {
+	n := len(frame)
+	if n > 34 {
+		n = 34 // MACs + type + ARP sender/target fields
+	}
+	var h uint32 = 0x9dc5b7a1
+	for _, b := range frame[:n] {
+		h = (h ^ uint32(b)) * 16777619
 	}
 	return h
 }
@@ -224,14 +275,17 @@ func (n *NIC) Deliver(q int, frame []byte, ns float64) bool {
 		// The MAC discards runts (e.g. fault-truncated frames) before
 		// they consume a descriptor.
 		n.Stats.RxDropRunt++
+		rxq.Stats.DropRunt++
 		return false
 	}
 	if len(rxq.completed) >= n.Cfg.RXRingSize {
 		n.Stats.RxDropFull++
+		rxq.Stats.DropFull++
 		return false
 	}
 	if len(rxq.posted) == 0 {
 		n.Stats.RxDropNoBuf++
+		rxq.Stats.DropNoBuf++
 		return false
 	}
 	pkt := rxq.posted[0]
@@ -264,12 +318,17 @@ func (n *NIC) Deliver(q int, frame []byte, ns float64) bool {
 	rxq.lastCompNS = ready
 
 	desc := Descriptor{Len: len(frame), Queue: q, RSSHash: rssHash(frame)}
-	if len(frame) >= 14 && frame[12] == 0x81 && frame[13] == 0x00 {
+	// The TCI read needs 16 bytes, not 14: the old guard was only masked
+	// by the runt check above, and a direct short delivery would have
+	// read past the frame.
+	if len(frame) >= 16 && frame[12] == 0x81 && frame[13] == 0x00 {
 		desc.VlanTCI = uint16(frame[14])<<8 | uint16(frame[15])
 	}
 	rxq.completed = append(rxq.completed, rxEntry{pkt: pkt, desc: desc, readyNS: ready})
 	n.Stats.RxDelivered++
 	n.Stats.RxBytes += uint64(len(frame))
+	rxq.Stats.Delivered++
+	rxq.Stats.Bytes += uint64(len(frame))
 	return true
 }
 
@@ -355,6 +414,7 @@ var inf = math.Inf(1)
 func (q *TXQueue) Enqueue(core *machine.Core, p *pktbuf.Packet, nowNS float64) bool {
 	if len(q.inflight) >= q.nic.Cfg.TXRingSize {
 		q.nic.Stats.TxDropFull++
+		q.Stats.DropFull++
 		return false
 	}
 	sqe := q.sqBase + memsim.Addr(q.sqTail%uint64(q.nic.Cfg.TXRingSize)*sqeSize)
@@ -395,6 +455,8 @@ func (q *TXQueue) Enqueue(core *machine.Core, p *pktbuf.Packet, nowNS float64) b
 	q.inflight = append(q.inflight, txEntry{pkt: p, departNS: depart})
 	q.nic.Stats.TxSent++
 	q.nic.Stats.TxBytes += uint64(p.Len())
+	q.Stats.Sent++
+	q.Stats.Bytes += uint64(p.Len())
 	if q.nic.OnDepart != nil {
 		q.nic.OnDepart(p, depart)
 	}

@@ -1,0 +1,140 @@
+package nic
+
+import (
+	"testing"
+
+	"packetmill/internal/netpkt"
+	"packetmill/internal/trafficgen"
+)
+
+// TestRSSSpreadsVLANMix is the queue-collapse regression: a 4-queue NIC
+// offered a VLAN-tagged TCP/UDP/ARP mix must spread traffic so no queue
+// receives more than 2× its fair share. Before the rssHash fix every
+// 802.1Q frame (and every non-IPv4 frame) hashed to 0, pinning the whole
+// load onto queue 0.
+func TestRSSSpreadsVLANMix(t *testing.T) {
+	const queues = 4
+	cfg := DefaultConfig("rss")
+	cfg.NumQueues = queues
+	r := newRig(cfg)
+
+	src := trafficgen.NewFixedSize(trafficgen.Config{
+		Seed: 7, RateGbps: 100, Count: 20000, Flows: 512,
+		TCPShare: 0.55, UDPShare: 0.35, ICMPShare: 0.05, // remainder ARP
+		VLANID: 42,
+	}, 128)
+
+	counts := make([]int, queues)
+	total := 0
+	for {
+		frame, _, ok := src.Next()
+		if !ok {
+			break
+		}
+		if frame[12] != 0x81 || frame[13] != 0x00 {
+			t.Fatalf("generator produced untagged frame")
+		}
+		counts[r.nic.RSSQueue(frame)]++
+		total++
+	}
+	fair := float64(total) / queues
+	for q, c := range counts {
+		if float64(c) > 2*fair {
+			t.Fatalf("queue %d got %d of %d frames (>2x fair share %.0f): %v",
+				q, c, total, fair, counts)
+		}
+		if c == 0 {
+			t.Fatalf("queue %d received nothing: %v", q, counts)
+		}
+	}
+}
+
+// TestRSSTaggedMatchesUntaggedFlow checks the VLAN skip finds the same
+// flow hash as the untagged frame — tagging must not reshuffle flows.
+func TestRSSTaggedMatchesUntaggedFlow(t *testing.T) {
+	frame := netpkt.BuildTCP(make([]byte, 128), netpkt.TCPPacketSpec{
+		SrcMAC: netpkt.MAC{2, 0, 0, 0, 0, 1}, DstMAC: netpkt.MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: netpkt.IPv4{10, 0, 0, 1}, DstIP: netpkt.IPv4{10, 1, 0, 1},
+		SrcPort: 1234, DstPort: 80, TotalLen: 128,
+	})
+	tagged := netpkt.InsertVLAN(frame, netpkt.VLANTag{VID: 7})
+	if h1, h2 := rssHash(frame), rssHash(tagged); h1 != h2 {
+		t.Fatalf("tagged flow hashed %#x, untagged %#x — VLAN shim not skipped", h2, h1)
+	}
+}
+
+// TestRSSNonIPv4NotConstant checks distinct ARP frames no longer share
+// the constant 0 hash.
+func TestRSSNonIPv4NotConstant(t *testing.T) {
+	mk := func(last byte) []byte {
+		f := make([]byte, 64)
+		netpkt.PutEther(f, netpkt.EtherHeader{
+			Dst:       netpkt.MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+			Src:       netpkt.MAC{2, 0, 0, 0, 0, last},
+			EtherType: netpkt.EtherTypeARP,
+		})
+		netpkt.PutARP(f[netpkt.EtherHdrLen:], netpkt.ARPPacket{
+			Op: netpkt.ARPRequest, SenderHA: netpkt.MAC{2, 0, 0, 0, 0, last},
+			SenderIP: netpkt.IPv4{10, 0, 0, last}, TargetIP: netpkt.IPv4{10, 1, 0, 1},
+		})
+		return f
+	}
+	seen := map[uint32]bool{}
+	for i := byte(1); i <= 8; i++ {
+		seen[rssHash(mk(i))] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("8 distinct ARP flows produced only %d hashes", len(seen))
+	}
+}
+
+// TestDeliverShortVLANFrameSafe is the bounds-guard regression for the
+// Deliver TCI read: a frame that looks like 802.1Q but ends before the
+// TCI must not read past the buffer. (Today the runt check drops it
+// first; the guard must hold even if that ordering changes.)
+func TestDeliverShortVLANFrameSafe(t *testing.T) {
+	r := newRig(DefaultConfig("short"))
+	r.nic.RX(0).Post(r.freshBuf())
+	frame := []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 0x81, 0x00, 0xff} // 15B, no TCI
+	if r.nic.Deliver(0, frame, 0) {
+		t.Fatal("15-byte frame accepted")
+	}
+	if r.nic.Stats.RxDropRunt != 1 || r.nic.RX(0).Stats.DropRunt != 1 {
+		t.Fatalf("runt not counted per NIC and per queue: %+v %+v",
+			r.nic.Stats, r.nic.RX(0).Stats)
+	}
+}
+
+// TestPerQueueStatsPartitionNICStats delivers across queues and checks
+// the per-queue ledgers sum to the adapter-global ones.
+func TestPerQueueStatsPartitionNICStats(t *testing.T) {
+	cfg := DefaultConfig("split")
+	cfg.NumQueues = 4
+	r := newRig(cfg)
+	for q := 0; q < 4; q++ {
+		for i := 0; i < q+1; i++ {
+			if err := r.nic.RX(q).Post(r.freshBuf()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	frame := testFrame(64)
+	for q := 0; q < 4; q++ {
+		for i := 0; i < q+2; i++ { // one more than posted: last drops no-buf
+			r.nic.Deliver(q, frame, float64(i))
+		}
+	}
+	var delivered, noBuf uint64
+	for q := 0; q < 4; q++ {
+		st := r.nic.RX(q).Stats
+		if st.Delivered != uint64(q+1) || st.DropNoBuf != 1 {
+			t.Fatalf("queue %d stats: %+v", q, st)
+		}
+		delivered += st.Delivered
+		noBuf += st.DropNoBuf
+	}
+	if delivered != r.nic.Stats.RxDelivered || noBuf != r.nic.Stats.RxDropNoBuf {
+		t.Fatalf("per-queue sums (%d, %d) != NIC stats (%d, %d)",
+			delivered, noBuf, r.nic.Stats.RxDelivered, r.nic.Stats.RxDropNoBuf)
+	}
+}

@@ -78,6 +78,11 @@ type Packet struct {
 	BufAddr memsim.Addr
 	// dataOff/dataLen delimit the frame within buf.
 	dataOff, dataLen int
+	// origHeadroom is the headroom the buffer was created with — the
+	// reset target when a driver recycles it. A pool may configure more
+	// than the stock DPDK headroom (e.g. room for tunnel encapsulation),
+	// so recycling must not assume a global constant.
+	origHeadroom int
 
 	// Meta is the application-visible descriptor (always non-nil once
 	// the packet is in an engine).
@@ -105,8 +110,12 @@ func NewPacket(buf []byte, addr memsim.Addr, headroom int) *Packet {
 	if headroom > len(buf) {
 		panic("pktbuf: headroom larger than buffer")
 	}
-	return &Packet{buf: buf, BufAddr: addr, dataOff: headroom}
+	return &Packet{buf: buf, BufAddr: addr, dataOff: headroom, origHeadroom: headroom}
 }
+
+// OrigHeadroom returns the headroom the packet was created with, i.e. the
+// value a recycling driver should Reset to.
+func (p *Packet) OrigHeadroom() int { return p.origHeadroom }
 
 // Reset rewinds the packet to an empty frame at the given headroom and
 // forgets chaining. Field values in Meta/Mbuf are left to the caller.

@@ -104,6 +104,17 @@ func (d *DropCounters) Merge(o *DropCounters) {
 // Reset zeroes the ledger.
 func (d *DropCounters) Reset() { *d = DropCounters{} }
 
+// Map returns the non-zero reasons keyed by name, for JSON reports.
+func (d *DropCounters) Map() map[string]uint64 {
+	out := map[string]uint64{}
+	for i, v := range d {
+		if v > 0 {
+			out[DropReason(i).String()] = v
+		}
+	}
+	return out
+}
+
 // String renders the non-zero reasons, e.g. "tx-ring-full=12 engine=3";
 // "none" when nothing was dropped.
 func (d *DropCounters) String() string {

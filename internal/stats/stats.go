@@ -119,6 +119,27 @@ func (r *LatencyRecorder) Median() float64 { return r.Percentile(50) }
 // P99 is the 99th percentile (the paper's tail-latency metric).
 func (r *LatencyRecorder) P99() float64 { return r.Percentile(99) }
 
+// Summary is the distribution digest reports embed, in the recorder's
+// native nanoseconds.
+type Summary struct {
+	Count                              uint64
+	Min, Mean, P50, P90, P99, P999, Max float64
+}
+
+// Summarize digests the recorded distribution.
+func (r *LatencyRecorder) Summarize() Summary {
+	return Summary{
+		Count: r.seen,
+		Min:   r.Min(),
+		Mean:  r.Mean(),
+		P50:   r.Percentile(50),
+		P90:   r.Percentile(90),
+		P99:   r.Percentile(99),
+		P999:  r.Percentile(99.9),
+		Max:   r.Max(),
+	}
+}
+
 // Reset clears the recorder.
 func (r *LatencyRecorder) Reset() {
 	r.samples = r.samples[:0]

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+
+	"packetmill/internal/machine"
+	"packetmill/internal/memsim"
+)
+
+// TestExclusiveAttributionSums drives nested spans with real core work and
+// checks the partition property: the buckets' busy-cycle sum equals the
+// core's total busy cycles exactly, and a child's cycles are not double
+// counted in its parent.
+func TestExclusiveAttributionSums(t *testing.T) {
+	_, core := machine.Default(2.3)
+	tr := NewTracker(core)
+
+	tr.Enter(StageDriver, "driver")
+	core.Compute(1000)
+	tr.Enter(StageRx, "rx0")
+	core.Compute(400)
+	core.Load(memsim.HugeBase, 64) // memory stall charged inside rx span
+	tr.AddPackets(32)
+	tr.Exit()
+	core.Compute(200)
+	tr.Enter(StageEngine, "counter")
+	core.Compute(800)
+	tr.Enter(StageEngine, "checker") // nested element pauses the parent
+	core.Compute(300)
+	tr.Exit()
+	core.Compute(50)
+	tr.Exit()
+	tr.Exit()
+
+	if d := tr.Depth(); d != 0 {
+		t.Fatalf("span stack not drained: depth %d", d)
+	}
+	total := core.Snapshot().BusyCycles
+	attr := tr.AttributedCycles()
+	if math.Abs(total-attr) > 1e-6*total {
+		t.Fatalf("attribution %f != core busy %f", attr, total)
+	}
+
+	byName := map[string]*Bucket{}
+	for _, b := range tr.Buckets() {
+		byName[b.Name] = b
+	}
+	if byName["rx0"].Packets != 32 {
+		t.Fatalf("rx0 packets = %d, want 32", byName["rx0"].Packets)
+	}
+	// The rx span held the only memory access; its stall must not leak
+	// into the driver bucket.
+	if byName["rx0"].Delta.LLCLoadMisses == 0 && byName["rx0"].Delta.TLBMisses == 0 {
+		t.Fatalf("rx0 span did not capture its memory traffic")
+	}
+	// checker's 300 instructions are exclusive of counter's.
+	wantCounter := (800.0 + 50.0) / 4 // IssueWidth 4
+	if c := byName["counter"].Delta.BusyCycles; math.Abs(c-wantCounter) > 1e-6 {
+		t.Fatalf("counter cycles = %f, want %f (exclusive of nested span)", c, wantCounter)
+	}
+}
+
+// TestNilTrackerIsFree checks a nil tracker accepts every call.
+func TestNilTrackerIsFree(t *testing.T) {
+	var tr *Tracker
+	tr.Enter(StageRx, "x")
+	tr.AddPackets(5)
+	tr.Exit()
+	if tr.Buckets() != nil || tr.Depth() != 0 || tr.AttributedCycles() != 0 || tr.Core() != nil {
+		t.Fatal("nil tracker misbehaved")
+	}
+}
+
+// TestReportBuildSpans checks the stage/element aggregation and the
+// attribution self-check.
+func TestReportBuildSpans(t *testing.T) {
+	_, core := machine.Default(2.3)
+	tr := NewTracker(core)
+	tr.Enter(StageDriver, "driver")
+	core.Compute(100)
+	tr.Enter(StageEngine, "counter")
+	core.Compute(400)
+	tr.AddPackets(10)
+	tr.Exit()
+	tr.Exit()
+
+	busy := core.Snapshot().BusyCycles
+	var rep Report
+	rep.BuildSpans([]*Tracker{tr}, []float64{busy})
+	if rep.Attribution.Coverage < 0.999 || rep.Attribution.Coverage > 1.001 {
+		t.Fatalf("coverage %f, want ≈1", rep.Attribution.Coverage)
+	}
+	if len(rep.Stages) != 2 || len(rep.Elements) != 2 || len(rep.Spans) != 2 {
+		t.Fatalf("aggregation sizes: stages=%d elements=%d spans=%d",
+			len(rep.Stages), len(rep.Elements), len(rep.Spans))
+	}
+	var engine *StageReport
+	for i := range rep.Stages {
+		if rep.Stages[i].Stage == "engine" {
+			engine = &rep.Stages[i]
+		}
+	}
+	if engine == nil || engine.Packets != 10 || engine.CyclesPerPacket <= 0 {
+		t.Fatalf("engine stage aggregate wrong: %+v", engine)
+	}
+	if _, err := rep.JSON(); err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+}

@@ -1,0 +1,130 @@
+// Report assembly: folding the run's ledgers — per-core perf counters,
+// per-queue NIC/PMD counters, span attribution, interval snapshots — into
+// one telemetry.Report.
+package testbed
+
+import (
+	"fmt"
+
+	"packetmill/internal/stats"
+	"packetmill/internal/telemetry"
+)
+
+// buildReport assembles the telemetry report after a driven run. Core and
+// span numbers cover the whole run (trackers attribute from time zero, so
+// the coverage self-check is exact); Totals keeps the measurement-window
+// view the text reports use.
+func (d *DUT) buildReport(res *Result, lat *stats.LatencyRecorder,
+	intervals []telemetry.Interval) *telemetry.Report {
+	o := d.Opts
+	r := &telemetry.Report{
+		Schema: telemetry.Schema,
+		Config: telemetry.RunConfig{
+			Model:     o.Model.String(),
+			Opt:       o.Opt.String(),
+			FreqGHz:   o.FreqGHz,
+			Cores:     o.Cores,
+			NICs:      o.NICs,
+			RateGbps:  o.RateGbps,
+			Packets:   o.Packets,
+			FixedSize: o.FixedSize,
+			Seed:      o.Seed,
+		},
+		Totals: telemetry.Totals{
+			Offered:      res.Offered,
+			TxWire:       res.TxWire,
+			Dropped:      res.Dropped,
+			Gbps:         res.Gbps(),
+			Mpps:         res.Mpps(),
+			DurationNS:   res.Duration,
+			Instructions: res.Counters.Instructions,
+			BusyCycles:   res.Counters.BusyCycles,
+			IPC:          res.Counters.IPC(),
+			LLCLoads:     res.Counters.LLCLoads,
+			LLCMisses:    res.Counters.LLCLoadMisses,
+			TLBMisses:    res.Counters.TLBMisses,
+		},
+		Drops:     res.DropsByReason.Map(),
+		Intervals: intervals,
+	}
+	if o.Faults != nil && len(o.Faults.Clauses) > 0 {
+		r.Config.Faults = fmt.Sprintf("%d clauses", len(o.Faults.Clauses))
+	}
+
+	s := lat.Summarize()
+	r.LatencyUS = telemetry.LatencyUS{
+		Count: s.Count,
+		Min:   stats.MicrosFromNS(s.Min),
+		Mean:  stats.MicrosFromNS(s.Mean),
+		P50:   stats.MicrosFromNS(s.P50),
+		P90:   stats.MicrosFromNS(s.P90),
+		P99:   stats.MicrosFromNS(s.P99),
+		P999:  stats.MicrosFromNS(s.P999),
+		Max:   stats.MicrosFromNS(s.Max),
+	}
+
+	// Per-core ledgers, full run: the span trackers started at time zero,
+	// so attribution must be compared against the same window.
+	coreBusy := make([]float64, len(d.Cores))
+	for i, c := range d.Cores {
+		ct := c.Snapshot()
+		coreBusy[i] = ct.BusyCycles
+		cr := telemetry.CoreReport{
+			Core:          c.ID,
+			Instructions:  ct.Instructions,
+			BusyCycles:    ct.BusyCycles,
+			BusyNS:        ct.BusyCycles / c.FreqGHz,
+			IdleNS:        ct.IdleNS,
+			WallNS:        ct.WallNS,
+			IPC:           ct.IPC(),
+			LLCLoads:      ct.LLCLoads,
+			LLCLoadMisses: ct.LLCLoadMisses,
+			TLBMisses:     ct.TLBMisses,
+		}
+		if i < len(d.Trackers) {
+			cr.AttributedCycles = d.Trackers[i].AttributedCycles()
+			if ct.BusyCycles > 0 {
+				cr.Coverage = cr.AttributedCycles / ct.BusyCycles
+			}
+		}
+		r.Cores = append(r.Cores, cr)
+	}
+
+	// Per-queue ledgers: NIC-side delivery/drop counters merged with the
+	// PMD port that polls the queue.
+	for c := range d.PortsFor {
+		for id := 0; id < o.NICs; id++ {
+			port, ok := d.PortsFor[c][id]
+			if !ok {
+				continue
+			}
+			rxq := port.NIC.RX(port.Queue)
+			txq := port.NIC.TX(port.Queue)
+			r.Queues = append(r.Queues, telemetry.QueueReport{
+				NIC:             port.NIC.Cfg.Name,
+				Queue:           port.Queue,
+				Core:            c,
+				RxDelivered:     rxq.Stats.Delivered,
+				RxBytes:         rxq.Stats.Bytes,
+				RxDropNoBuf:     rxq.Stats.DropNoBuf,
+				RxDropFull:      rxq.Stats.DropFull,
+				RxDropRunt:      rxq.Stats.DropRunt,
+				TxSent:          txq.Stats.Sent,
+				TxBytes:         txq.Stats.Bytes,
+				TxDropFull:      txq.Stats.DropFull,
+				Polls:           port.Stats.Polls,
+				EmptyPolls:      port.Stats.EmptyPolls,
+				RxPackets:       port.Stats.RxPackets,
+				TxPackets:       port.Stats.TxPackets,
+				RefillShort:     port.Stats.RefillShort,
+				RefillShortBufs: port.Stats.RefillShortBufs,
+				PoolExhausted:   port.Drops.Get(stats.DropPoolExhausted),
+				Posted:          uint64(rxq.PostedCount()),
+				PendingRx:       uint64(rxq.PendingCount()),
+			})
+		}
+	}
+
+	r.BuildSpans(d.Trackers, coreBusy)
+	return r
+}

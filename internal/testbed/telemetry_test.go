@@ -1,0 +1,166 @@
+package testbed
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"packetmill/internal/click"
+	_ "packetmill/internal/elements"
+	"packetmill/internal/nf"
+	"packetmill/internal/trafficgen"
+)
+
+// TestTelemetryAttributionSumsToCoreTotals is the tentpole invariant: the
+// per-span cycle attribution must partition each core's busy cycles, so
+// coverage lands within 1% of 1.0 (it is exact by construction — every
+// charge happens under the driver span or a nested stage span).
+func TestTelemetryAttributionSumsToCoreTotals(t *testing.T) {
+	for _, m := range []click.MetadataModel{click.Copying, click.XChange} {
+		res := run(t, nf.Router(32), Options{
+			FreqGHz: 2.3, Model: m, FixedSize: 512, RateGbps: 20,
+			Telemetry: true,
+		})
+		rep := res.Telemetry
+		if rep == nil {
+			t.Fatalf("%v: no telemetry report", m)
+		}
+		if math.Abs(rep.Attribution.Coverage-1) > 0.01 {
+			t.Fatalf("%v: coverage %.4f (attributed %.0f of %.0f cycles), want within 1%%",
+				m, rep.Attribution.Coverage,
+				rep.Attribution.AttributedCycles, rep.Attribution.CoreBusyCycles)
+		}
+		for _, cr := range rep.Cores {
+			if math.Abs(cr.Coverage-1) > 0.01 {
+				t.Fatalf("%v core %d: coverage %.4f", m, cr.Core, cr.Coverage)
+			}
+		}
+	}
+}
+
+// TestTelemetryReportSections checks the report carries every advertised
+// section with internally consistent numbers.
+func TestTelemetryReportSections(t *testing.T) {
+	const cores = 2
+	res := run(t, nf.Router(32), Options{
+		FreqGHz: 2.3, Cores: cores, Model: click.Copying,
+		FixedSize: 512, RateGbps: 40, Packets: 6000,
+		Telemetry: true,
+	})
+	rep := res.Telemetry
+	if rep == nil {
+		t.Fatal("no telemetry report")
+	}
+	if rep.Schema == "" {
+		t.Fatal("schema missing")
+	}
+	if len(rep.Cores) != cores {
+		t.Fatalf("%d core reports, want %d", len(rep.Cores), cores)
+	}
+	if len(rep.Queues) != cores {
+		t.Fatalf("%d queue reports, want %d (1 NIC x %d queues)", len(rep.Queues), cores, cores)
+	}
+	// Per-queue RX deliveries must sum to the NIC-global delivered count,
+	// and the stage/element tables must cover the datapath.
+	var qDelivered uint64
+	for _, q := range rep.Queues {
+		qDelivered += q.RxDelivered
+		if q.Polls == 0 {
+			t.Fatalf("queue %d/%s never polled", q.Queue, q.NIC)
+		}
+	}
+	if qDelivered == 0 {
+		t.Fatal("queues delivered nothing")
+	}
+	if len(rep.Stages) < 4 {
+		t.Fatalf("only %d stages attributed: %+v", len(rep.Stages), rep.Stages)
+	}
+	seen := map[string]bool{}
+	for _, s := range rep.Stages {
+		seen[s.Stage] = true
+	}
+	for _, want := range []string{"driver", "pmd-rx", "conversion", "engine", "pmd-tx"} {
+		if !seen[want] {
+			t.Fatalf("stage %q missing from report (have %v)", want, seen)
+		}
+	}
+	// Graph elements must appear in the element table with cycles.
+	elems := map[string]bool{}
+	for _, e := range rep.Elements {
+		elems[e.Name] = true
+		if e.Cycles <= 0 {
+			t.Fatalf("element %s attributed no cycles", e.Name)
+		}
+	}
+	if len(elems) < 3 {
+		t.Fatalf("only %d elements attributed: %v", len(elems), elems)
+	}
+	if len(rep.Intervals) == 0 {
+		t.Fatal("no interval snapshots")
+	}
+	last := rep.Intervals[len(rep.Intervals)-1]
+	if last.Offered == 0 || last.TxWire == 0 {
+		t.Fatalf("final interval shows no progress: %+v", last)
+	}
+	// The report must round-trip through JSON.
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"cores", "queues", "stages", "elements", "attribution"} {
+		if _, ok := back[key]; !ok {
+			t.Fatalf("JSON missing %q section", key)
+		}
+	}
+}
+
+// TestTelemetryVLANQueueSpread is the end-to-end RSS acceptance check: a
+// 4-core DUT offered VLAN-tagged traffic must see every queue within 2x
+// its fair share of deliveries. Before the rssHash fix, all tagged frames
+// collapsed onto queue 0.
+func TestTelemetryVLANQueueSpread(t *testing.T) {
+	const cores = 4
+	res := run(t, nf.Forwarder(0, 32), Options{
+		FreqGHz: 2.3, Cores: cores, Model: click.Copying,
+		RateGbps: 40, Packets: 8000, Telemetry: true,
+		Traffic: func(nicID int, cfg trafficgen.Config) trafficgen.Source {
+			cfg.Flows = 256
+			cfg.TCPShare, cfg.UDPShare, cfg.ICMPShare = 0.55, 0.35, 0.05
+			cfg.VLANID = 100
+			return trafficgen.NewFixedSize(cfg, 256)
+		},
+	})
+	rep := res.Telemetry
+	if rep == nil {
+		t.Fatal("no telemetry report")
+	}
+	var total uint64
+	for _, q := range rep.Queues {
+		total += q.RxDelivered
+	}
+	fair := float64(total) / cores
+	for _, q := range rep.Queues {
+		if float64(q.RxDelivered) > 2*fair {
+			t.Fatalf("queue %d got %d of %d deliveries (>2x fair share %.0f)",
+				q.Queue, q.RxDelivered, total, fair)
+		}
+		if q.RxDelivered == 0 {
+			t.Fatalf("queue %d starved; VLAN traffic collapsed onto one queue", q.Queue)
+		}
+	}
+}
+
+// TestTelemetryOffByDefault ensures a plain run carries no report and the
+// trackers stay nil (the zero-cost path).
+func TestTelemetryOffByDefault(t *testing.T) {
+	res := run(t, nf.Forwarder(0, 32), Options{
+		FreqGHz: 2.3, Model: click.Copying, FixedSize: 512, RateGbps: 10,
+	})
+	if res.Telemetry != nil {
+		t.Fatal("telemetry report on an untelemetered run")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"packetmill/internal/nic"
 	"packetmill/internal/pktbuf"
 	"packetmill/internal/stats"
+	"packetmill/internal/telemetry"
 	"packetmill/internal/trafficgen"
 	"packetmill/internal/xchg"
 )
@@ -103,6 +104,14 @@ type Options struct {
 	// must exceed any injected stall/flap window.
 	WatchdogNS float64
 
+	// Telemetry enables the observability layer: per-core span trackers
+	// on every router, per-queue counters, interval snapshots, and a full
+	// telemetry.Report on the Result.
+	Telemetry bool
+	// SnapshotIntervalNS paces the interval snapshots (default 100 µs of
+	// simulated time when Telemetry is on).
+	SnapshotIntervalNS float64
+
 	Seed uint64
 }
 
@@ -134,6 +143,9 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Telemetry && o.SnapshotIntervalNS <= 0 {
+		o.SnapshotIntervalNS = 100e3 // 100 µs of simulated time
+	}
 	return o
 }
 
@@ -161,6 +173,8 @@ type Result struct {
 	Prof *layout.OrderProfile
 	// Routers are the per-core built engines (for inspection).
 	Routers []*click.Router
+	// Telemetry is the full observability report (when Options.Telemetry).
+	Telemetry *telemetry.Report
 }
 
 // DUT is an assembled device under test, reusable across the build-run
@@ -182,6 +196,9 @@ type DUT struct {
 	// rawBufTotal counts raw X-Change buffers carved at build time; the
 	// post-run leak audit reconciles spare lists and rings against it.
 	rawBufTotal int
+	// Trackers are the per-core telemetry span trackers (nil entries when
+	// telemetry is off). BuildRouters installs them into the routers.
+	Trackers []*telemetry.Tracker
 }
 
 // NewDUT assembles machine, NICs, and per-core PMD ports according to the
@@ -203,8 +220,14 @@ func NewDUT(o Options) (*DUT, error) {
 		bindings: map[*dpdk.Port]xchg.Binding{},
 	}
 	for c := 0; c < o.Cores; c++ {
-		d.Cores = append(d.Cores, mach.AddCore(o.FreqGHz))
+		core := mach.AddCore(o.FreqGHz)
+		d.Cores = append(d.Cores, core)
 		d.PortsFor = append(d.PortsFor, map[int]*dpdk.Port{})
+		if o.Telemetry {
+			d.Trackers = append(d.Trackers, telemetry.NewTracker(core))
+		} else {
+			d.Trackers = append(d.Trackers, nil)
+		}
 	}
 	for n := 0; n < o.NICs; n++ {
 		cfg := nic.DefaultConfig(fmt.Sprintf("nic%d", n))
@@ -372,6 +395,7 @@ func (d *DUT) BuildRouters(g *click.Graph) ([]*click.Router, error) {
 			return nil, err
 		}
 		rt.Recycle = d.RecycleFor(c)
+		rt.Tel = d.Trackers[c]
 		if d.Opts.Model == click.XChange && rt.Prof != nil {
 			// Attach the profile to every live X-Change descriptor pool
 			// this core's ports use.
@@ -503,9 +527,10 @@ func (d *DUT) snapshot(engines []Engine) string {
 			}
 			rxq := port.NIC.RX(port.Queue)
 			txq := port.NIC.TX(port.Queue)
-			fmt.Fprintf(&b, "  core%d port%d: drops=[%s] spare=%d posted=%d pendingRx=%d inflightTx=%d\n",
+			fmt.Fprintf(&b, "  core%d port%d: drops=[%s] spare=%d posted=%d pendingRx=%d inflightTx=%d refillShort=%d\n",
 				c, id, port.Drops.String(), port.SpareCount(),
-				rxq.PostedCount(), rxq.PendingCount(), txq.InflightCount())
+				rxq.PostedCount(), rxq.PendingCount(), txq.InflightCount(),
+				port.Stats.RefillShort)
 		}
 	}
 	for i, e := range engines {
@@ -759,6 +784,41 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 	var lastProgressNS float64
 	var lastOffered, lastDeparted uint64
 
+	// Interval snapshots: occupancy + progress sampled on the simulated
+	// clock, so transients (fault windows, ring shrink) stay visible.
+	var intervals []telemetry.Interval
+	nextSampleNS := o.SnapshotIntervalNS
+	var lastSampleNS float64
+	var lastSampleTx uint64
+	sample := func(now float64) {
+		if !o.Telemetry || o.SnapshotIntervalNS <= 0 || now < nextSampleNS {
+			return
+		}
+		var pendRx, posted uint64
+		for _, n := range d.NICs {
+			for q := 0; q < o.Cores; q++ {
+				pendRx += uint64(n.RX(q).PendingCount())
+				posted += uint64(n.RX(q).PostedCount())
+			}
+		}
+		iv := telemetry.Interval{
+			TNS:       now,
+			Offered:   offered,
+			TxWire:    departed,
+			PendingRx: pendRx,
+			TxBacklog: uint64(txBacklog()),
+			Posted:    posted,
+		}
+		if dt := now - lastSampleNS; dt > 0 {
+			iv.Mpps = float64(departed-lastSampleTx) * 1e3 / dt
+		}
+		intervals = append(intervals, iv)
+		lastSampleNS, lastSampleTx = now, departed
+		for now >= nextSampleNS {
+			nextSampleNS += o.SnapshotIntervalNS
+		}
+	}
+
 	// Main loop: always run the core that is furthest behind in
 	// simulated time; fast-forward idle cores to the next event. The run
 	// ends when the sources are drained, every ring is empty, every TX
@@ -775,6 +835,7 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 		core := d.Cores[ci]
 		now := core.NowNS()
 		deliverUntil(now)
+		sample(now)
 		moved := engines[ci].Step(core, now)
 		if moved > 0 || offered != lastOffered || departed != lastDeparted {
 			lastProgressNS = now
@@ -826,9 +887,9 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 	if lastDepartNS > measureStartNS && measureStartNS >= 0 {
 		res.Duration = lastDepartNS - measureStartNS
 	}
-	// Aggregate per-core counters over the measurement window. The
-	// shared-LLC counters are system-wide and identical in every core's
-	// snapshot, so they are taken from core 0 only.
+	// Aggregate per-core counters over the measurement window. LLC
+	// counters are scoped to each core's own demand traffic, so summing
+	// them reproduces the system-wide totals.
 	for i, c := range d.Cores {
 		delta := c.Snapshot().Delta(startCounters[i])
 		if i == 0 {
@@ -838,6 +899,10 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 		res.Counters.Instructions += delta.Instructions
 		res.Counters.BusyCycles += delta.BusyCycles
 		res.Counters.TLBMisses += delta.TLBMisses
+		res.Counters.LLCLoads += delta.LLCLoads
+		res.Counters.LLCLoadMisses += delta.LLCLoadMisses
+		res.Counters.LLCStores += delta.LLCStores
+		res.Counters.LLCStoreMisses += delta.LLCStoreMisses
 	}
 	// Drop taxonomy: every lost frame attributed to one reason, from the
 	// wire through the NIC, the PMD, and the engine.
@@ -862,6 +927,9 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 	if fe != nil {
 		st := fe.Injected
 		res.FaultStats = &st
+	}
+	if o.Telemetry {
+		res.Telemetry = d.buildReport(res, lat, intervals)
 	}
 	return res, nil
 }

@@ -37,6 +37,10 @@ type Config struct {
 	// the remainder is ARP requests). Zero values default to the campus
 	// blend 0.85/0.12/0.02.
 	TCPShare, UDPShare, ICMPShare float64
+	// VLANID, when non-zero, 802.1Q-tags every frame with this VLAN —
+	// the workload that exposed the RSS queue-collapse bug (a NIC that
+	// cannot hash past the tag pins all tagged traffic to queue 0).
+	VLANID uint16
 }
 
 // withDefaults fills unset fields.
@@ -88,10 +92,11 @@ type Gen struct {
 	zipf     *simrand.Zipf
 	flows    []flow
 	sizeOf   func(*simrand.Rand) int
-	produced int
-	clockNS  float64
-	scratch  []byte
-	arpEvery int // every Nth packet becomes an ARP request (0 = never)
+	produced    int
+	clockNS     float64
+	scratch     []byte
+	vlanScratch []byte
+	arpEvery    int // every Nth packet becomes an ARP request (0 = never)
 }
 
 func newGen(cfg Config, sizeOf func(*simrand.Rand) int) *Gen {
@@ -183,11 +188,28 @@ func (g *Gen) Next() ([]byte, float64, bool) {
 		copy(frame, f.template[:size])
 		g.patchLengths(frame, f.proto, size)
 	}
+	if g.cfg.VLANID != 0 {
+		frame = g.tagVLAN(frame)
+	}
 
 	ns := g.clockNS
-	g.clockNS += float64(size+WireOverheadBytes) * 8 / g.cfg.RateGbps
+	g.clockNS += float64(len(frame)+WireOverheadBytes) * 8 / g.cfg.RateGbps
 	g.produced++
 	return frame, ns, true
+}
+
+// tagVLAN splices the 802.1Q shim after the MAC addresses, reusing a
+// scratch buffer so tagging stays allocation-free in the hot path.
+func (g *Gen) tagVLAN(frame []byte) []byte {
+	if g.vlanScratch == nil {
+		g.vlanScratch = make([]byte, 2048)
+	}
+	out := g.vlanScratch[:len(frame)+netpkt.VLANTagLen]
+	copy(out, frame[:12])
+	out[12], out[13] = byte(netpkt.EtherTypeVLAN>>8), byte(netpkt.EtherTypeVLAN&0xff)
+	out[14], out[15] = byte(g.cfg.VLANID>>8), byte(g.cfg.VLANID&0xff)
+	copy(out[16:], frame[12:])
+	return out
 }
 
 // patchLengths fixes IP/L4 length fields and the IP checksum after the
