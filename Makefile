@@ -2,7 +2,7 @@
 # short-budget chaos soak. Tier-2 adds vet and the race detector.
 GO ?= go
 
-.PHONY: test tier1 tier2 soak fuzz
+.PHONY: test tier1 tier2 soak fuzz bench
 
 test: tier1 soak
 
@@ -20,6 +20,11 @@ tier2:
 # testbed (see internal/testbed/chaos_test.go and EXPERIMENTS.md).
 soak:
 	$(GO) test -run TestChaosSoak -count=1 ./internal/testbed
+
+# Benchmark sweep: regenerate every exhibit at a reduced budget and write
+# per-exhibit wall-clock and allocation figures to BENCH_experiments.json.
+bench:
+	$(GO) run ./cmd/experiments -run all -scale 0.15 -bench BENCH_experiments.json
 
 # Brief fuzz passes over the two grammar front ends.
 fuzz:

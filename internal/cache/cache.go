@@ -71,6 +71,12 @@ type setAssoc struct {
 	// once-through stream evicts itself instead of the working set.
 	// Zero means plain LRU (L1/L2/TLB).
 	insertPenalty int64
+	// lastIdx memoizes the way of the most recent hit or insert. Packet
+	// processing re-touches the same lines (header, annotations) many
+	// times per packet, so checking it first turns the common repeat
+	// lookup into one compare instead of a set scan. Tags hold full line
+	// addresses, so a stale memo can never falsely match another line.
+	lastIdx int
 	// counters
 	Loads       uint64
 	LoadMisses  uint64
@@ -98,12 +104,17 @@ func newSetAssoc(cfg Config) *setAssoc {
 
 // lookup probes for line; on hit it refreshes LRU and returns true.
 func (c *setAssoc) lookup(line uint64) bool {
+	c.tick++
+	if c.tags[c.lastIdx] == line {
+		c.age[c.lastIdx] = c.tick
+		return true
+	}
 	set := int(line) & (c.sets - 1)
 	base := set * c.ways
-	c.tick++
 	for w := 0; w < c.ways; w++ {
 		if c.tags[base+w] == line {
 			c.age[base+w] = c.tick
+			c.lastIdx = base + w
 			return true
 		}
 	}
@@ -139,6 +150,7 @@ func (c *setAssoc) insert(line uint64, waysLimit int) uint64 {
 	c.tick++
 	c.tags[victim] = line
 	c.age[victim] = c.tick - c.insertPenalty
+	c.lastIdx = victim
 	return evicted
 }
 

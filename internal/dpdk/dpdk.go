@@ -404,6 +404,15 @@ func (pt *Port) RxBurst(core *machine.Core, nowNS float64, out []*pktbuf.Packet)
 		max = len(pt.descs)
 	}
 	rxq := pt.NIC.RX(pt.Queue)
+	if rxq.NextReadyNS() > nowNS {
+		// Empty-poll fast path: nothing is ready, so skip the poll loop
+		// and conversion setup entirely. The simulated charge is the same
+		// as an empty Poll — just the CQE peek.
+		pt.Stats.Polls++
+		pt.Stats.EmptyPolls++
+		core.Compute(4)
+		return 0, nil
+	}
 	var n int
 	if pt.Vectorized {
 		n = rxq.PollCompressed(core, nowNS, max, out, pt.descs)

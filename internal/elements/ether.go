@@ -159,6 +159,9 @@ func (e *EtherEncap) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 // DropBroadcasts kills frames whose destination has the group bit set.
 type DropBroadcasts struct {
 	click.Base
+	// keep/dead are per-element scratch: stack batches would escape
+	// through the Output/Kill interface calls and allocate every push.
+	keep, dead pktbuf.Batch
 }
 
 // Class implements click.Element.
@@ -174,7 +177,9 @@ func (e *DropBroadcasts) Configure(args []string, bc *click.BuildCtx) error {
 // Push implements click.Element.
 func (e *DropBroadcasts) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 	core := ec.Core
-	var keep, dead pktbuf.Batch
+	keep, dead := &e.keep, &e.dead
+	keep.Reset()
+	dead.Reset()
 	b.ForEach(core, func(p *pktbuf.Packet) bool {
 		hdr := p.Load(core, 0, 1)
 		core.Compute(8)
@@ -185,9 +190,9 @@ func (e *DropBroadcasts) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 		}
 		return true
 	})
-	ec.Rt.Kill(ec, &dead)
+	ec.Rt.Kill(ec, dead)
 	if !keep.Empty() {
-		e.Inst.Output(ec, 0, &keep)
+		e.Inst.Output(ec, 0, keep)
 	}
 }
 
@@ -200,6 +205,11 @@ type Classifier struct {
 	patterns [][]match
 	hasDash  bool
 	dashPort int
+	// outs/dead are reusable per-port scratch batches (allocated once in
+	// Configure) so the per-push make and per-unmatched-packet batch
+	// don't churn the heap.
+	outs []pktbuf.Batch
+	dead pktbuf.Batch
 }
 
 type match struct {
@@ -251,6 +261,7 @@ func (e *Classifier) Configure(args []string, bc *click.BuildCtx) error {
 	}
 	// The decision DAG lives in element state; size scales with patterns.
 	bc.AllocState(uint64(64*len(e.patterns)), 1)
+	e.outs = make([]pktbuf.Batch, len(e.patterns))
 	return nil
 }
 
@@ -260,7 +271,10 @@ func (e *Classifier) NOutputs() int { return len(e.patterns) }
 // Push implements click.Element.
 func (e *Classifier) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 	core := ec.Core
-	outs := make([]pktbuf.Batch, len(e.patterns))
+	outs := e.outs
+	for i := range outs {
+		outs[i].Reset()
+	}
 	// Walking the decision DAG touches the element's pattern table.
 	e.Inst.TouchState(ec, 0, uint64(16*len(e.patterns)))
 	b.ForEach(core, func(p *pktbuf.Packet) bool {
@@ -296,9 +310,9 @@ func (e *Classifier) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 			port = e.dashPort
 		}
 		if port < 0 {
-			var dead pktbuf.Batch
-			dead.Append(core, p)
-			ec.Rt.Kill(ec, &dead)
+			e.dead.Reset()
+			e.dead.Append(core, p)
+			ec.Rt.Kill(ec, &e.dead)
 			return true
 		}
 		outs[port].Append(core, p)
@@ -317,6 +331,8 @@ type ARPResponder struct {
 	click.Base
 	IP  netpkt.IPv4
 	MAC netpkt.MAC
+
+	replies, dead pktbuf.Batch // per-element scratch, reset each push
 }
 
 // Class implements click.Element.
@@ -346,7 +362,9 @@ func (e *ARPResponder) Configure(args []string, bc *click.BuildCtx) error {
 // Push implements click.Element: rewrites requests into replies in place.
 func (e *ARPResponder) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 	core := ec.Core
-	var replies, dead pktbuf.Batch
+	replies, dead := &e.replies, &e.dead
+	replies.Reset()
+	dead.Reset()
 	b.ForEach(core, func(p *pktbuf.Packet) bool {
 		if p.Len() < netpkt.EtherHdrLen+netpkt.ARPLen {
 			dead.Append(core, p)
@@ -369,9 +387,9 @@ func (e *ARPResponder) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 		replies.Append(core, p)
 		return true
 	})
-	ec.Rt.Kill(ec, &dead)
+	ec.Rt.Kill(ec, dead)
 	if !replies.Empty() {
-		e.Inst.Output(ec, 0, &replies)
+		e.Inst.Output(ec, 0, replies)
 	}
 }
 

@@ -30,6 +30,9 @@ type FromDPDKDevice struct {
 
 	bc      *click.BuildCtx
 	scratch []*pktbuf.Packet
+	// rxBatch is reused across polls: a stack-local Batch would escape
+	// through the Output interface call and heap-allocate every poll.
+	rxBatch pktbuf.Batch
 }
 
 // Class implements click.Element.
@@ -110,7 +113,8 @@ func (e *FromDPDKDevice) RunTask(ec *click.ExecCtx) int {
 	// of §2.2 — the cost the three models disagree about — so it gets its
 	// own stage distinct from the PMD poll above.
 	ec.Tel.Enter(telemetry.StageConv, e.Inst.Name)
-	var b pktbuf.Batch
+	b := &e.rxBatch
+	b.Reset()
 	for i := 0; i < n; i++ {
 		p := e.scratch[i]
 		switch e.bc.Model {
@@ -158,7 +162,7 @@ func (e *FromDPDKDevice) RunTask(ec *click.ExecCtx) int {
 	if b.Empty() {
 		return 0
 	}
-	e.Inst.Output(ec, 0, &b)
+	e.Inst.Output(ec, 0, b)
 	return n
 }
 

@@ -104,6 +104,8 @@ type CheckIPHeader struct {
 
 	// Bad counts rejected packets.
 	Bad uint64
+
+	good, bad pktbuf.Batch // per-element scratch, reset each push
 }
 
 // Class implements click.Element.
@@ -133,7 +135,9 @@ func (e *CheckIPHeader) Configure(args []string, bc *click.BuildCtx) error {
 // Push implements click.Element.
 func (e *CheckIPHeader) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 	core := ec.Core
-	var good, bad pktbuf.Batch
+	good, bad := &e.good, &e.bad
+	good.Reset()
+	bad.Reset()
 	b.ForEach(core, func(p *pktbuf.Packet) bool {
 		if p.Len() < e.Offset+netpkt.IPv4HdrLen {
 			e.Bad++
@@ -161,9 +165,9 @@ func (e *CheckIPHeader) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 		good.Append(core, p)
 		return true
 	})
-	e.CheckedOutput(ec, 1, &bad)
+	e.CheckedOutput(ec, 1, bad)
 	if !good.Empty() {
-		e.Inst.Output(ec, 0, &good)
+		e.Inst.Output(ec, 0, good)
 	}
 }
 
@@ -175,6 +179,8 @@ type DecIPTTL struct {
 
 	// Expired counts TTL-exceeded packets.
 	Expired uint64
+
+	live, dead pktbuf.Batch // per-element scratch, reset each push
 }
 
 // Class implements click.Element.
@@ -197,7 +203,9 @@ func (e *DecIPTTL) Configure(args []string, bc *click.BuildCtx) error {
 // Push implements click.Element.
 func (e *DecIPTTL) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 	core := ec.Core
-	var live, dead pktbuf.Batch
+	live, dead := &e.live, &e.dead
+	live.Reset()
+	dead.Reset()
 	b.ForEach(core, func(p *pktbuf.Packet) bool {
 		if p.Len() < e.Offset+netpkt.IPv4HdrLen {
 			dead.Append(core, p)
@@ -214,9 +222,9 @@ func (e *DecIPTTL) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 		live.Append(core, p)
 		return true
 	})
-	e.CheckedOutput(ec, 1, &dead)
+	e.CheckedOutput(ec, 1, dead)
 	if !live.Empty() {
-		e.Inst.Output(ec, 0, &live)
+		e.Inst.Output(ec, 0, live)
 	}
 }
 
@@ -228,6 +236,9 @@ type LookupIPRoute struct {
 	click.Base
 	table  *lpm.Table
 	nports int
+
+	outs []pktbuf.Batch // per-output scratch, reset each push
+	dead pktbuf.Batch
 }
 
 // Class implements click.Element.
@@ -287,6 +298,7 @@ func (e *LookupIPRoute) Configure(args []string, bc *click.BuildCtx) error {
 		}
 	}
 	bc.AllocState(64, 1)
+	e.outs = make([]pktbuf.Batch, e.nports)
 	return nil
 }
 
@@ -296,8 +308,12 @@ func (e *LookupIPRoute) NOutputs() int { return e.nports }
 // Push implements click.Element.
 func (e *LookupIPRoute) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 	core := ec.Core
-	outs := make([]pktbuf.Batch, e.nports)
-	var dead pktbuf.Batch
+	outs := e.outs
+	for i := range outs {
+		outs[i].Reset()
+	}
+	dead := &e.dead
+	dead.Reset()
 	b.ForEach(core, func(p *pktbuf.Packet) bool {
 		var dst uint32
 		if p.Meta.L.Has(layout.FieldAnnoDstIP) {
@@ -321,7 +337,7 @@ func (e *LookupIPRoute) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 		outs[nh.Port].Append(core, p)
 		return true
 	})
-	ec.Rt.Kill(ec, &dead)
+	ec.Rt.Kill(ec, dead)
 	for i := range outs {
 		if !outs[i].Empty() {
 			e.CheckedOutput(ec, i, &outs[i])

@@ -64,6 +64,9 @@ type IPFilter struct {
 	Matched []uint64
 	// Dropped counts packets killed by drop rules or no-match.
 	Dropped uint64
+
+	outs []pktbuf.Batch // per-output scratch, reset each push
+	dead pktbuf.Batch
 }
 
 // Class implements click.Element.
@@ -93,6 +96,7 @@ func (e *IPFilter) Configure(args []string, bc *click.BuildCtx) error {
 		e.rules = append(e.rules, r)
 	}
 	e.Matched = make([]uint64, len(e.rules))
+	e.outs = make([]pktbuf.Batch, e.nOut)
 	// The compiled classification program lives in element state.
 	bc.AllocState(uint64(32*len(e.rules)), 1)
 	return nil
@@ -259,8 +263,12 @@ func (p pred) match(v pktView) bool {
 // Push implements click.Element.
 func (e *IPFilter) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 	core := ec.Core
-	outs := make([]pktbuf.Batch, e.nOut)
-	var dead pktbuf.Batch
+	outs := e.outs
+	for i := range outs {
+		outs[i].Reset()
+	}
+	dead := &e.dead
+	dead.Reset()
 	e.Inst.TouchState(ec, 0, uint64(16*len(e.rules)))
 	b.ForEach(core, func(p *pktbuf.Packet) bool {
 		v := e.view(ec, p)
@@ -292,7 +300,7 @@ func (e *IPFilter) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 		}
 		return true
 	})
-	ec.Rt.Kill(ec, &dead)
+	ec.Rt.Kill(ec, dead)
 	for i := range outs {
 		if !outs[i].Empty() {
 			e.CheckedOutput(ec, i, &outs[i])

@@ -36,6 +36,8 @@ type CheckTCPHeader struct {
 	click.Base
 	Offset int
 	Bad    uint64
+
+	good, bad pktbuf.Batch // per-element scratch, reset each push
 }
 
 // Class implements click.Element.
@@ -59,7 +61,9 @@ func (e *CheckTCPHeader) Configure(args []string, bc *click.BuildCtx) error {
 // Push implements click.Element.
 func (e *CheckTCPHeader) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 	core := ec.Core
-	var good, bad pktbuf.Batch
+	good, bad := &e.good, &e.bad
+	good.Reset()
+	bad.Reset()
 	b.ForEach(core, func(p *pktbuf.Packet) bool {
 		l4, proto, ipLen, ok := ipHeaderAt(ec, p, e.Offset)
 		if ok && proto == netpkt.ProtoTCP && p.Len() >= l4+netpkt.TCPHdrLen {
@@ -86,9 +90,9 @@ func (e *CheckTCPHeader) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 		bad.Append(core, p)
 		return true
 	})
-	e.CheckedOutput(ec, 1, &bad)
+	e.CheckedOutput(ec, 1, bad)
 	if !good.Empty() {
-		e.Inst.Output(ec, 0, &good)
+		e.Inst.Output(ec, 0, good)
 	}
 }
 
@@ -97,6 +101,8 @@ type CheckUDPHeader struct {
 	click.Base
 	Offset int
 	Bad    uint64
+
+	good, bad pktbuf.Batch // per-element scratch, reset each push
 }
 
 // Class implements click.Element.
@@ -120,7 +126,9 @@ func (e *CheckUDPHeader) Configure(args []string, bc *click.BuildCtx) error {
 // Push implements click.Element.
 func (e *CheckUDPHeader) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 	core := ec.Core
-	var good, bad pktbuf.Batch
+	good, bad := &e.good, &e.bad
+	good.Reset()
+	bad.Reset()
 	b.ForEach(core, func(p *pktbuf.Packet) bool {
 		l4, proto, ipLen, ok := ipHeaderAt(ec, p, e.Offset)
 		if ok && proto == netpkt.ProtoUDP && p.Len() >= l4+netpkt.UDPHdrLen {
@@ -140,9 +148,9 @@ func (e *CheckUDPHeader) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 		bad.Append(core, p)
 		return true
 	})
-	e.CheckedOutput(ec, 1, &bad)
+	e.CheckedOutput(ec, 1, bad)
 	if !good.Empty() {
-		e.Inst.Output(ec, 0, &good)
+		e.Inst.Output(ec, 0, good)
 	}
 }
 
@@ -151,6 +159,8 @@ type CheckICMPHeader struct {
 	click.Base
 	Offset int
 	Bad    uint64
+
+	good, bad pktbuf.Batch // per-element scratch, reset each push
 }
 
 // Class implements click.Element.
@@ -174,7 +184,9 @@ func (e *CheckICMPHeader) Configure(args []string, bc *click.BuildCtx) error {
 // Push implements click.Element.
 func (e *CheckICMPHeader) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 	core := ec.Core
-	var good, bad pktbuf.Batch
+	good, bad := &e.good, &e.bad
+	good.Reset()
+	bad.Reset()
 	b.ForEach(core, func(p *pktbuf.Packet) bool {
 		l4, proto, _, ok := ipHeaderAt(ec, p, e.Offset)
 		if ok && proto == netpkt.ProtoICMP && p.Len() >= l4+netpkt.ICMPHdrLen {
@@ -194,9 +206,9 @@ func (e *CheckICMPHeader) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 		bad.Append(core, p)
 		return true
 	})
-	e.CheckedOutput(ec, 1, &bad)
+	e.CheckedOutput(ec, 1, bad)
 	if !good.Empty() {
-		e.Inst.Output(ec, 0, &good)
+		e.Inst.Output(ec, 0, good)
 	}
 }
 
@@ -205,6 +217,9 @@ func (e *CheckICMPHeader) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 type IPClassifier struct {
 	click.Base
 	protos []int // -1 = catch-all
+
+	outs []pktbuf.Batch // per-output scratch, reset each push
+	dead pktbuf.Batch
 }
 
 // Class implements click.Element.
@@ -230,6 +245,7 @@ func (e *IPClassifier) Configure(args []string, bc *click.BuildCtx) error {
 		}
 	}
 	e.InitBase(bc)
+	e.outs = make([]pktbuf.Batch, len(e.protos))
 	bc.AllocState(uint64(32*len(e.protos)), 1)
 	return nil
 }
@@ -244,8 +260,12 @@ func (e *IPClassifier) NOutputs() int { return len(e.protos) }
 // Push implements click.Element.
 func (e *IPClassifier) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 	core := ec.Core
-	outs := make([]pktbuf.Batch, len(e.protos))
-	var dead pktbuf.Batch
+	outs := e.outs
+	for i := range outs {
+		outs[i].Reset()
+	}
+	dead := &e.dead
+	dead.Reset()
 	e.Inst.TouchState(ec, 0, uint64(8*len(e.protos)))
 	b.ForEach(core, func(p *pktbuf.Packet) bool {
 		proto := -2
@@ -263,7 +283,7 @@ func (e *IPClassifier) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 		dead.Append(core, p)
 		return true
 	})
-	ec.Rt.Kill(ec, &dead)
+	ec.Rt.Kill(ec, dead)
 	for i := range outs {
 		if !outs[i].Empty() {
 			e.CheckedOutput(ec, i, &outs[i])

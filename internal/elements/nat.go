@@ -31,6 +31,8 @@ type IPRewriter struct {
 	// Flows counts distinct flows seen; Rewritten counts packets.
 	Flows     uint64
 	Rewritten uint64
+
+	out, dead pktbuf.Batch // per-element scratch, reset each push
 }
 
 // Class implements click.Element.
@@ -68,7 +70,9 @@ func (e *IPRewriter) Configure(args []string, bc *click.BuildCtx) error {
 // Push implements click.Element.
 func (e *IPRewriter) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 	core := ec.Core
-	var out, dead pktbuf.Batch
+	out, dead := &e.out, &e.dead
+	out.Reset()
+	dead.Reset()
 	b.ForEach(core, func(p *pktbuf.Packet) bool {
 		ipOff := netpkt.EtherHdrLen
 		l4, proto, _, ok := ipHeaderAt(ec, p, ipOff)
@@ -133,9 +137,9 @@ func (e *IPRewriter) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 		out.Append(core, p)
 		return true
 	})
-	ec.Rt.Kill(ec, &dead)
+	ec.Rt.Kill(ec, dead)
 	if !out.Empty() {
-		e.Inst.Output(ec, 0, &out)
+		e.Inst.Output(ec, 0, out)
 	}
 }
 

@@ -20,8 +20,15 @@ type Queue struct {
 	click.Base
 	Capacity int
 
+	// buf is a fixed-capacity ring (head + count), allocated once in
+	// Configure; the old slice-append/re-slice version leaked capacity
+	// and reallocated under steady load.
 	buf      []*pktbuf.Packet
+	head     int
+	count    int
 	ringAddr memsim.Addr
+
+	out, dead pktbuf.Batch // per-element scratch, reset each use
 
 	// Drops counts packets killed on overflow (tail drop).
 	Drops     uint64
@@ -59,6 +66,7 @@ func (e *Queue) Configure(args []string, bc *click.BuildCtx) error {
 	if e.Capacity <= 0 {
 		e.Capacity = 1
 	}
+	e.buf = make([]*pktbuf.Packet, e.Capacity)
 	bc.AllocState(32, 1)
 	e.ringAddr = bc.AllocAux(uint64(e.Capacity) * 8)
 	return nil
@@ -68,48 +76,54 @@ func (e *Queue) Configure(args []string, bc *click.BuildCtx) error {
 func (e *Queue) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 	core := ec.Core
 	e.Inst.TouchState(ec, 0, 16) // head/tail indices
-	var dead pktbuf.Batch
+	dead := &e.dead
+	dead.Reset()
 	b.ForEach(core, func(p *pktbuf.Packet) bool {
-		if len(e.buf) >= e.Capacity {
+		if e.count >= e.Capacity {
 			e.Drops++
 			dead.Append(core, p)
 			return true
 		}
-		core.Store(e.ringAddr+memsim.Addr(len(e.buf)%e.Capacity*8), 8)
+		core.Store(e.ringAddr+memsim.Addr(e.count%e.Capacity*8), 8)
 		core.Compute(4)
-		e.buf = append(e.buf, p)
+		e.buf[(e.head+e.count)%e.Capacity] = p
+		e.count++
 		return true
 	})
-	if len(e.buf) > e.HighWater {
-		e.HighWater = len(e.buf)
+	if e.count > e.HighWater {
+		e.HighWater = e.count
 	}
 	e.Inst.StoreState(ec, 0, 16)
-	ec.Rt.Kill(ec, &dead)
+	ec.Rt.Kill(ec, dead)
 }
 
 // Pull implements click.PullElement: dequeue up to max.
 func (e *Queue) Pull(ec *click.ExecCtx, _ int, max int) *pktbuf.Batch {
 	core := ec.Core
 	e.Inst.TouchState(ec, 0, 16)
-	var out pktbuf.Batch
+	out := &e.out
+	out.Reset()
 	n := max
-	if n > len(e.buf) {
-		n = len(e.buf)
+	if n > e.count {
+		n = e.count
 	}
 	for i := 0; i < n; i++ {
 		core.Load(e.ringAddr+memsim.Addr(i*8), 8)
 		core.Compute(4)
-		out.Append(core, e.buf[i])
+		slot := (e.head + i) % e.Capacity
+		out.Append(core, e.buf[slot])
+		e.buf[slot] = nil
 	}
-	e.buf = e.buf[n:]
+	e.head = (e.head + n) % e.Capacity
+	e.count -= n
 	if n > 0 {
 		e.Inst.StoreState(ec, 0, 16)
 	}
-	return &out
+	return out
 }
 
 // Len reports the current queue depth.
-func (e *Queue) Len() int { return len(e.buf) }
+func (e *Queue) Len() int { return e.count }
 
 // Unqueue is the scheduled puller that drains a Queue into the push graph.
 type Unqueue struct {

@@ -112,6 +112,9 @@ func (e *RoundRobinSwitch) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 type PaintSwitch struct {
 	click.Base
 	nOut int
+
+	outs []pktbuf.Batch // per-output scratch, reset each push
+	dead pktbuf.Batch
 }
 
 // Class implements click.Element.
@@ -134,6 +137,7 @@ func (e *PaintSwitch) Configure(args []string, bc *click.BuildCtx) error {
 		return fmt.Errorf("PaintSwitch: need at least one output")
 	}
 	e.nOut = n
+	e.outs = make([]pktbuf.Batch, n)
 	bc.AllocState(8, 0)
 	return nil
 }
@@ -144,8 +148,12 @@ func (e *PaintSwitch) NOutputs() int { return e.nOut }
 // Push implements click.Element.
 func (e *PaintSwitch) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 	core := ec.Core
-	outs := make([]pktbuf.Batch, e.nOut)
-	var dead pktbuf.Batch
+	outs := e.outs
+	for i := range outs {
+		outs[i].Reset()
+	}
+	dead := &e.dead
+	dead.Reset()
 	b.ForEach(core, func(p *pktbuf.Packet) bool {
 		core.Compute(3)
 		color := -1
@@ -159,7 +167,7 @@ func (e *PaintSwitch) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 		outs[color].Append(core, p)
 		return true
 	})
-	ec.Rt.Kill(ec, &dead)
+	ec.Rt.Kill(ec, dead)
 	for i := range outs {
 		if !outs[i].Empty() {
 			e.CheckedOutput(ec, i, &outs[i])

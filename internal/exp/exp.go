@@ -65,17 +65,19 @@ func (t *Table) JSON() ([]byte, error) {
 }
 
 // Experiment produces one or more tables. scale (0,1] shrinks packet
-// counts for quick runs; 1.0 is the full configuration.
+// counts for quick runs; 1.0 is the full configuration. plan decomposes
+// the exhibit into independent run units (see sched.go); Run and
+// RunParallel execute it.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(scale float64) []*Table
+	plan  func(scale float64) *Plan
 }
 
 var registry []Experiment
 
-func register(id, title string, run func(scale float64) []*Table) {
-	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+func register(id, title string, plan func(scale float64) *Plan) {
+	registry = append(registry, Experiment{ID: id, Title: title, plan: plan})
 }
 
 // All returns every registered experiment, ordered by ID.

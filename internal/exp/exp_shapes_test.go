@@ -23,7 +23,7 @@ func allRows(tb *Table, match map[int]string) [][]string {
 }
 
 func TestFig7Shape(t *testing.T) {
-	tb := fig7(tiny)[0]
+	tb := runExp(t, "fig7")[0]
 	// Improvement must be positive everywhere, and the heavy corner's
 	// improvement must be below the light corner's (gains shrink as NFs
 	// get memory/compute-bound).
@@ -44,7 +44,7 @@ func TestFig7Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	tb := fig8(tiny)[0]
+	tb := runExp(t, "fig8")[0]
 	for _, fr := range []string{"1.2", "3.0"} {
 		v := cell(t, tb, map[int]string{0: "vanilla", 1: fr}, 2)
 		p := cell(t, tb, map[int]string{0: "packetmill", 1: fr}, 2)
@@ -61,7 +61,7 @@ func TestFig8Shape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
-	tb := fig10(tiny)[0]
+	tb := runExp(t, "fig10")[0]
 	v1 := cell(t, tb, map[int]string{0: "vanilla", 1: "1"}, 2)
 	v4 := cell(t, tb, map[int]string{0: "vanilla", 1: "4"}, 2)
 	p1 := cell(t, tb, map[int]string{0: "packetmill", 1: "1"}, 2)
@@ -78,7 +78,7 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestFig11aShape(t *testing.T) {
-	tb := fig11a(tiny)[0]
+	tb := runExp(t, "fig11a")[0]
 	for _, size := range []string{"64", "704"} {
 		fc := cell(t, tb, map[int]string{0: "fastclick-copying", 1: size}, 2)
 		l2 := cell(t, tb, map[int]string{0: "l2fwd", 1: size}, 2)
@@ -97,7 +97,7 @@ func TestFig11aShape(t *testing.T) {
 }
 
 func TestFig11bShape(t *testing.T) {
-	tb := fig11b(tiny)[0]
+	tb := runExp(t, "fig11b")[0]
 	size := "64"
 	vpp := cell(t, tb, map[int]string{0: "vpp", 1: size}, 2)
 	fc := cell(t, tb, map[int]string{0: "fastclick-copying", 1: size}, 2)
@@ -119,7 +119,7 @@ func TestFig11bShape(t *testing.T) {
 }
 
 func TestAblPoolShape(t *testing.T) {
-	tb := ablPool(tiny)[0]
+	tb := runExp(t, "abl-pool")[0]
 	// LIFO flat; FIFO degrades with size.
 	lifoSmall := cell(t, tb, map[int]string{0: "lifo-warm", 1: "33"}, 2)
 	lifoBig := cell(t, tb, map[int]string{0: "lifo-warm", 1: "32768"}, 2)
@@ -137,7 +137,7 @@ func TestAblPoolShape(t *testing.T) {
 }
 
 func TestAblDDIOShape(t *testing.T) {
-	tb := ablDDIO(tiny)[0]
+	tb := runExp(t, "abl-ddio")[0]
 	miss1 := cell(t, tb, map[int]string{0: "1"}, 2)
 	miss8 := cell(t, tb, map[int]string{0: "8"}, 2)
 	if miss1 <= miss8 {
@@ -146,7 +146,7 @@ func TestAblDDIOShape(t *testing.T) {
 }
 
 func TestAblReorderShape(t *testing.T) {
-	tb := ablReorder(tiny)[0]
+	tb := runExp(t, "abl-reorder")[0]
 	noLTO := cell(t, tb, map[int]string{0: "no-lto"}, 1)
 	lto := cell(t, tb, map[int]string{0: "lto"}, 1)
 	reord := cell(t, tb, map[int]string{0: "lto+reorder-count"}, 1)
@@ -159,7 +159,7 @@ func TestAblReorderShape(t *testing.T) {
 }
 
 func TestFig4FitsShape(t *testing.T) {
-	tables := fig4(tiny)
+	tables := runExp(t, "fig4")
 	if len(tables) != 2 {
 		t.Fatalf("fig4 returned %d tables", len(tables))
 	}

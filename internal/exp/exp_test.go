@@ -3,11 +3,39 @@ package exp
 import (
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 )
 
 // tiny scale for CI-speed runs.
 const tiny = 0.1
+
+var (
+	expCacheMu sync.Mutex
+	expCache   = map[string][]*Table{}
+)
+
+// runExp runs one exhibit at tiny scale on 4 workers (exercising the
+// parallel scheduler) and caches the tables so shape tests that share an
+// exhibit don't re-run it.
+func runExp(t *testing.T, id string) []*Table {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("exhibit regeneration skipped in -short mode (race tier)")
+	}
+	expCacheMu.Lock()
+	defer expCacheMu.Unlock()
+	if tbs, ok := expCache[id]; ok {
+		return tbs
+	}
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("unknown exhibit %s", id)
+	}
+	tbs := e.RunParallel(tiny, 4)
+	expCache[id] = tbs
+	return tbs
+}
 
 func cell(t *testing.T, tb *Table, rowMatch map[int]string, col int) float64 {
 	t.Helper()
@@ -62,7 +90,7 @@ func TestTSVRendering(t *testing.T) {
 }
 
 func TestFig1Shape(t *testing.T) {
-	tb := fig1(tiny)[0]
+	tb := runExp(t, "fig1")[0]
 	// PacketMill's knee is to the right: at 100 Gbps offered it must
 	// push more throughput at lower p99 than vanilla.
 	vThr := cell(t, tb, map[int]string{0: "vanilla", 1: "100.0"}, 2)
@@ -83,7 +111,7 @@ func TestFig1Shape(t *testing.T) {
 }
 
 func TestFig4Shape(t *testing.T) {
-	tb := fig4(tiny)[0]
+	tb := runExp(t, "fig4")[0]
 	// Throughput grows with frequency for every variant, and the fully
 	// optimized build dominates vanilla at every frequency.
 	for _, f := range []string{"1.2", "2.2", "3.0"} {
@@ -107,7 +135,7 @@ func TestFig4Shape(t *testing.T) {
 }
 
 func TestTable1Shape(t *testing.T) {
-	tb := tab1(tiny)[0]
+	tb := runExp(t, "tab1")[0]
 	vMpps := cell(t, tb, map[int]string{0: "vanilla"}, 4)
 	aMpps := cell(t, tb, map[int]string{0: "all"}, 4)
 	if aMpps <= vMpps {
@@ -125,7 +153,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestFig5aShape(t *testing.T) {
-	tb := fig5a(tiny)[0]
+	tb := runExp(t, "fig5a")[0]
 	for _, f := range []string{"1.2", "2.0"} {
 		cp := cell(t, tb, map[int]string{0: "copying", 1: f}, 2)
 		ov := cell(t, tb, map[int]string{0: "overlaying", 1: f}, 2)
@@ -143,7 +171,7 @@ func TestFig5aShape(t *testing.T) {
 }
 
 func TestFig5bCrosses100G(t *testing.T) {
-	tb := fig5b(tiny)[0]
+	tb := runExp(t, "fig5b")[0]
 	xc := cell(t, tb, map[int]string{0: "x-change", 1: "3.0"}, 2)
 	cp := cell(t, tb, map[int]string{0: "copying", 1: "3.0"}, 2)
 	if xc <= 100 {
@@ -155,7 +183,7 @@ func TestFig5bCrosses100G(t *testing.T) {
 }
 
 func TestFig6Shape(t *testing.T) {
-	tb := fig6(tiny)[0]
+	tb := runExp(t, "fig6")[0]
 	// PacketMill leads at every size; PPS falls once goodput saturates.
 	for _, size := range []string{"64", "704", "1472"} {
 		v := cell(t, tb, map[int]string{0: "vanilla", 1: size}, 2)

@@ -1,0 +1,134 @@
+// Parallel run scheduler. Every exhibit is decomposed into independent
+// run units — one sweep point or variant cell each — that can execute on
+// a bounded worker pool. Each unit is an isolated deterministic
+// simulation whose seed derives from (exhibit id, unit index), and unit
+// results are merged in unit-index order, so the rendered TSV/JSON is
+// byte-identical whether the plan runs serially or on N workers.
+package exp
+
+import (
+	"runtime"
+	"sync"
+
+	"packetmill/internal/simrand"
+)
+
+// rowPatch is one row a unit wants appended to one of the plan's tables.
+type rowPatch struct {
+	table int
+	cells []string
+}
+
+// U is the per-unit context handed to each run unit. Seed is the unit's
+// derived simulation seed; every testbed.Options the unit builds must
+// carry it so the unit's result is independent of scheduling order.
+// Units record rows via Add/AddTo instead of touching tables directly —
+// rows land in the tables only during the deterministic merge.
+type U struct {
+	Seed    uint64
+	patches []rowPatch
+}
+
+// Add records a row for the plan's first table.
+func (u *U) Add(cells ...string) { u.AddTo(0, cells...) }
+
+// AddTo records a row for the plan's table-th table.
+func (u *U) AddTo(table int, cells ...string) {
+	u.patches = append(u.patches, rowPatch{table: table, cells: cells})
+}
+
+// Plan is an exhibit decomposed into independent units. Tables holds the
+// output tables (with columns set, rows empty); units fill them via U.
+type Plan struct {
+	Tables []*Table
+	units  []func(*U)
+	finish func()
+}
+
+// Unit appends an independent run unit. Units never share mutable state
+// except disjoint slots of result slices preallocated by the builder.
+func (p *Plan) Unit(fn func(*U)) { p.units = append(p.units, fn) }
+
+// Finish registers a hook that runs after all units completed and merged,
+// for cross-unit post-processing such as fig4's curve fits.
+func (p *Plan) Finish(fn func()) { p.finish = fn }
+
+// DefaultWorkers is the default fan-out for parallel runs.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// UnitSeed returns the seed the scheduler assigns to unit idx of the
+// given exhibit — exported so tests can assert the derivation is stable.
+func UnitSeed(id string, idx int) uint64 {
+	return simrand.Derive(simrand.HashString(id), uint64(idx))
+}
+
+// Run executes the experiment serially. It is exactly RunParallel with
+// one worker; exhibits produce identical bytes either way.
+func (e Experiment) Run(scale float64) []*Table { return e.RunParallel(scale, 1) }
+
+// RunParallel executes the experiment's units on a pool of the given
+// number of workers (<=1 means serial, in the calling goroutine) and
+// merges the results in unit order.
+func (e Experiment) RunParallel(scale float64, workers int) []*Table {
+	p := e.plan(scale)
+	units := make([]*U, len(p.units))
+	for i := range units {
+		units[i] = &U{Seed: UnitSeed(e.ID, i)}
+	}
+
+	if workers > len(p.units) {
+		workers = len(p.units)
+	}
+	if workers <= 1 {
+		for i, fn := range p.units {
+			fn(units[i])
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstPanic any
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					runUnit(p.units[i], units[i], &mu, &firstPanic)
+				}
+			}()
+		}
+		for i := range p.units {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		// A unit panic (a failed simulation) must surface exactly like it
+		// does in a serial run, after the pool has drained.
+		if firstPanic != nil {
+			panic(firstPanic)
+		}
+	}
+
+	for _, u := range units {
+		for _, pt := range u.patches {
+			p.Tables[pt.table].Add(pt.cells...)
+		}
+	}
+	if p.finish != nil {
+		p.finish()
+	}
+	return p.Tables
+}
+
+func runUnit(fn func(*U), u *U, mu *sync.Mutex, firstPanic *any) {
+	defer func() {
+		if r := recover(); r != nil {
+			mu.Lock()
+			if *firstPanic == nil {
+				*firstPanic = r
+			}
+			mu.Unlock()
+		}
+	}()
+	fn(u)
+}

@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// renderAll renders every table of an exhibit in both output formats, so
+// a byte-compare covers the TSV and the JSON paths.
+func renderAll(t *testing.T, tables []*Table) string {
+	t.Helper()
+	var b strings.Builder
+	for _, tb := range tables {
+		b.WriteString(tb.TSV())
+		j, err := tb.JSON()
+		if err != nil {
+			t.Fatalf("JSON %s: %v", tb.ID, err)
+		}
+		b.Write(j)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestParallelDeterminism is the tentpole's guarantee: a parallel run
+// must be byte-identical to a serial run, and repeatable. The sample
+// covers a plain exhibit (tab1), a PacketMill sweep (abl-burst), and the
+// multi-table Finish path (fig4's fits).
+func TestParallelDeterminism(t *testing.T) {
+	sample := []string{"tab1", "abl-burst", "fig4"}
+	if testing.Short() {
+		// Keep the race tier fast but still push real exhibits through
+		// the worker pool.
+		sample = sample[:2]
+	}
+	for _, id := range sample {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("unknown exhibit %s", id)
+		}
+		serial := renderAll(t, e.Run(tiny))
+		par := renderAll(t, e.RunParallel(tiny, 4))
+		if serial != par {
+			t.Errorf("%s: parallel output differs from serial", id)
+			continue
+		}
+		par2 := renderAll(t, e.RunParallel(tiny, 4))
+		if par != par2 {
+			t.Errorf("%s: two parallel runs differ", id)
+		}
+	}
+}
+
+func TestUnitSeedDerivation(t *testing.T) {
+	if UnitSeed("fig1", 0) == UnitSeed("fig1", 1) {
+		t.Fatal("adjacent units share a seed")
+	}
+	if UnitSeed("fig1", 0) == UnitSeed("fig2", 0) {
+		t.Fatal("distinct exhibits share unit-0 seeds")
+	}
+	if UnitSeed("fig1", 3) != UnitSeed("fig1", 3) {
+		t.Fatal("unit seeds not stable")
+	}
+}
+
+// TestSchedulerMergeOrder checks units merge by index, not completion
+// order, and that Finish sees the fully merged tables.
+func TestSchedulerMergeOrder(t *testing.T) {
+	tb := &Table{ID: "order", Columns: []string{"i"}}
+	var finishRows int
+	p := &Plan{Tables: []*Table{tb}}
+	const n = 64
+	for i := 0; i < n; i++ {
+		p.Unit(func(u *U) { u.Add(fmt.Sprint(i)) })
+	}
+	p.Finish(func() { finishRows = len(tb.Rows) })
+	e := Experiment{ID: "order-test", plan: func(float64) *Plan { return p }}
+	e.RunParallel(1, 8)
+	if finishRows != n {
+		t.Fatalf("Finish saw %d rows, want %d", finishRows, n)
+	}
+	for i, r := range tb.Rows {
+		if r[0] != fmt.Sprint(i) {
+			t.Fatalf("row %d = %s; merge not in unit order", i, r[0])
+		}
+	}
+}
+
+// TestSchedulerPanic checks a unit panic surfaces from RunParallel just
+// like it would from a serial run.
+func TestSchedulerPanic(t *testing.T) {
+	p := &Plan{Tables: []*Table{{ID: "boom"}}}
+	for i := 0; i < 8; i++ {
+		p.Unit(func(u *U) {
+			if i == 5 {
+				panic("unit 5 failed")
+			}
+		})
+	}
+	e := Experiment{ID: "panic-test", plan: func(float64) *Plan { return p }}
+	defer func() {
+		if r := recover(); r != "unit 5 failed" {
+			t.Fatalf("recovered %v, want unit 5's panic", r)
+		}
+	}()
+	e.RunParallel(1, 4)
+	t.Fatal("panic did not propagate")
+}

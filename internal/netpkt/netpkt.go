@@ -161,19 +161,23 @@ type VLANTag struct {
 	VID uint16 // VLAN ID (12 bits)
 }
 
-// InsertVLAN returns b with a VLAN tag spliced in after the MAC addresses.
-// headroom permitting, callers should prefer shifting in place; this helper
-// allocates for clarity at test level. innerType is the original EtherType.
-func InsertVLAN(b []byte, tag VLANTag) []byte {
-	if len(b) < EtherHdrLen {
-		return b
+// InsertVLAN splices a VLAN tag in after the MAC addresses using packet
+// headroom: the frame must sit at buf[off:] with off ≥ VLANTagLen spare
+// bytes in front of it. The MACs shift 4 bytes toward the buffer start
+// and the shim lands where their tail was — the zero-copy trick VLANEncap
+// plays on a live packet's headroom, with no allocation. The frame is
+// modified in place; the returned slice (buf[off-VLANTagLen:]) is the
+// tagged frame.
+func InsertVLAN(buf []byte, off int, tag VLANTag) []byte {
+	frame := buf[off:]
+	if len(frame) < EtherHdrLen || off < VLANTagLen {
+		return frame
 	}
-	out := make([]byte, len(b)+VLANTagLen)
-	copy(out, b[:12])
-	binary.BigEndian.PutUint16(out[12:14], EtherTypeVLAN)
-	tci := uint16(tag.PCP&7)<<13 | tag.VID&0x0fff
-	binary.BigEndian.PutUint16(out[14:16], tci)
-	copy(out[16:], b[12:]) // original ethertype + payload
+	out := buf[off-VLANTagLen:]
+	copy(out[0:12], frame[0:12]) // shift MACs into the headroom
+	// The original EtherType now sits at out[16:18]; the shim overwrites
+	// the vacated out[12:16].
+	EncodeVLANInPlace(out, tag, 0)
 	return out
 }
 

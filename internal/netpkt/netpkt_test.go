@@ -185,8 +185,9 @@ func TestParseEtherShort(t *testing.T) {
 
 func TestVLANInsertAndParse(t *testing.T) {
 	spec := UDPPacketSpec{TotalLen: 100, SrcIP: IPv4{1, 1, 1, 1}, DstIP: IPv4{2, 2, 2, 2}}
-	orig := BuildUDP(make([]byte, 100), spec)
-	tagged := InsertVLAN(orig, VLANTag{PCP: 5, VID: 42})
+	buf := make([]byte, VLANTagLen+100)
+	orig := BuildUDP(buf[VLANTagLen:], spec)
+	tagged := InsertVLAN(buf, VLANTagLen, VLANTag{PCP: 5, VID: 42})
 	if len(tagged) != len(orig)+VLANTagLen {
 		t.Fatalf("tagged len = %d", len(tagged))
 	}

@@ -94,6 +94,38 @@ type rxEntry struct {
 	readyNS float64
 }
 
+// ring is a fixed-capacity FIFO backing a descriptor ring. The queues used
+// to append/re-slice Go slices, which reallocated and retained garbage
+// under steady load; a ring bounded by the descriptor count allocates once
+// at queue construction and never again. Callers guard fullness against
+// the configured ring size before pushing.
+type ring[T any] struct {
+	buf   []T
+	head  int
+	count int
+}
+
+func newRing[T any](capacity int) ring[T] {
+	return ring[T]{buf: make([]T, capacity)}
+}
+
+func (r *ring[T]) len() int { return r.count }
+
+func (r *ring[T]) push(v T) {
+	r.buf[(r.head+r.count)%len(r.buf)] = v
+	r.count++
+}
+
+// front returns the oldest entry; only valid when len() > 0.
+func (r *ring[T]) front() *T { return &r.buf[r.head] }
+
+func (r *ring[T]) pop() {
+	var zero T
+	r.buf[r.head] = zero // drop the packet reference
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+}
+
 // Descriptor carries the wire metadata the NIC extracted for a received
 // frame — the CQE contents the PMD converts into application metadata.
 type Descriptor struct {
@@ -108,8 +140,8 @@ type Descriptor struct {
 type RXQueue struct {
 	nic        *NIC
 	id         int
-	posted     []*pktbuf.Packet
-	completed  []rxEntry
+	posted     ring[*pktbuf.Packet]
+	completed  ring[rxEntry]
 	cqBase     memsim.Addr
 	cqHead     uint64 // absolute index of next completion the driver reads
 	lastCompNS float64
@@ -127,7 +159,7 @@ type RXQueue struct {
 type TXQueue struct {
 	nic      *NIC
 	id       int
-	inflight []txEntry
+	inflight ring[txEntry]
 	sqBase   memsim.Addr
 	sqTail   uint64
 	// wireDoneNS / descDoneNS are the two resources' clocks.
@@ -179,12 +211,15 @@ func New(cfg Config, sys *cache.System, hugepages *memsim.Arena) *NIC {
 		n.rx = append(n.rx, &RXQueue{
 			nic:        n,
 			id:         q,
+			posted:     newRing[*pktbuf.Packet](cfg.RXRingSize),
+			completed:  newRing[rxEntry](cfg.RXRingSize),
 			cqBase:     hugepages.Alloc(uint64(cfg.RXRingSize)*cqeSize, memsim.PageSize),
 			lastCompNS: math.Inf(-1),
 		})
 		n.tx = append(n.tx, &TXQueue{
 			nic:        n,
 			id:         q,
+			inflight:   newRing[txEntry](cfg.TXRingSize),
 			sqBase:     hugepages.Alloc(uint64(cfg.TXRingSize)*sqeSize, memsim.PageSize),
 			wireDoneNS: math.Inf(-1),
 			descDoneNS: math.Inf(-1),
@@ -278,25 +313,25 @@ func (n *NIC) Deliver(q int, frame []byte, ns float64) bool {
 		rxq.Stats.DropRunt++
 		return false
 	}
-	if len(rxq.completed) >= n.Cfg.RXRingSize {
+	if rxq.completed.len() >= n.Cfg.RXRingSize {
 		n.Stats.RxDropFull++
 		rxq.Stats.DropFull++
 		return false
 	}
-	if len(rxq.posted) == 0 {
+	if rxq.posted.len() == 0 {
 		n.Stats.RxDropNoBuf++
 		rxq.Stats.DropNoBuf++
 		return false
 	}
-	pkt := rxq.posted[0]
-	rxq.posted = rxq.posted[1:]
+	pkt := *rxq.posted.front()
+	rxq.posted.pop()
 
 	pkt.SetFrame(frame)
 	pkt.ArrivalNS = ns
 
 	// DMA: payload into the buffer, CQE write-back into the ring.
 	n.sys.DMAWrite(pkt.DataAddr(), uint64(len(frame)))
-	cqe := rxq.cqBase + memsim.Addr((rxq.cqHead+uint64(len(rxq.completed)))%uint64(n.Cfg.RXRingSize)*cqeSize)
+	cqe := rxq.cqBase + memsim.Addr((rxq.cqHead+uint64(rxq.completed.len()))%uint64(n.Cfg.RXRingSize)*cqeSize)
 	n.sys.DMAWrite(cqe, cqeSize)
 
 	// Completion pacing: the queue cannot complete faster than its PPS
@@ -324,7 +359,7 @@ func (n *NIC) Deliver(q int, frame []byte, ns float64) bool {
 	if len(frame) >= 16 && frame[12] == 0x81 && frame[13] == 0x00 {
 		desc.VlanTCI = uint16(frame[14])<<8 | uint16(frame[15])
 	}
-	rxq.completed = append(rxq.completed, rxEntry{pkt: pkt, desc: desc, readyNS: ready})
+	rxq.completed.push(rxEntry{pkt: pkt, desc: desc, readyNS: ready})
 	n.Stats.RxDelivered++
 	n.Stats.RxBytes += uint64(len(frame))
 	rxq.Stats.Delivered++
@@ -337,18 +372,18 @@ func (n *NIC) Deliver(q int, frame []byte, ns float64) bool {
 // refused with ErrOverPosted — the caller keeps the buffer and backs off,
 // instead of the old panic that killed the run.
 func (q *RXQueue) Post(p *pktbuf.Packet) error {
-	if len(q.posted)+len(q.completed) >= q.nic.Cfg.RXRingSize {
+	if q.posted.len()+q.completed.len() >= q.nic.Cfg.RXRingSize {
 		return ErrOverPosted
 	}
-	q.posted = append(q.posted, p)
+	q.posted.push(p)
 	return nil
 }
 
 // PostedCount reports buffers currently posted.
-func (q *RXQueue) PostedCount() int { return len(q.posted) }
+func (q *RXQueue) PostedCount() int { return q.posted.len() }
 
 // PendingCount reports completions waiting for the driver.
-func (q *RXQueue) PendingCount() int { return len(q.completed) }
+func (q *RXQueue) PendingCount() int { return q.completed.len() }
 
 // Poll pops up to max completed receptions that are ready by nowNS,
 // charging the CQE reads to core. It returns the packets and their wire
@@ -356,8 +391,8 @@ func (q *RXQueue) PendingCount() int { return len(q.completed) }
 func (q *RXQueue) Poll(core *machine.Core, nowNS float64, max int,
 	pkts []*pktbuf.Packet, descs []Descriptor) int {
 	n := 0
-	for n < max && len(q.completed) > 0 {
-		e := q.completed[0]
+	for n < max && q.completed.len() > 0 {
+		e := *q.completed.front()
 		if e.readyNS > nowNS {
 			break
 		}
@@ -365,7 +400,7 @@ func (q *RXQueue) Poll(core *machine.Core, nowNS float64, max int,
 		cqe := q.cqBase + memsim.Addr(q.cqHead%uint64(q.nic.Cfg.RXRingSize)*cqeSize)
 		core.Load(cqe, cqeSize)
 		q.cqHead++
-		q.completed = q.completed[1:]
+		q.completed.pop()
 		pkts[n] = e.pkt
 		descs[n] = e.desc
 		n++
@@ -379,8 +414,8 @@ func (q *RXQueue) Poll(core *machine.Core, nowNS float64, max int,
 func (q *RXQueue) PollCompressed(core *machine.Core, nowNS float64, max int,
 	pkts []*pktbuf.Packet, descs []Descriptor) int {
 	n := 0
-	for n < max && len(q.completed) > 0 {
-		e := q.completed[0]
+	for n < max && q.completed.len() > 0 {
+		e := *q.completed.front()
 		if e.readyNS > nowNS {
 			break
 		}
@@ -389,7 +424,7 @@ func (q *RXQueue) PollCompressed(core *machine.Core, nowNS float64, max int,
 			core.Load(cqe, cqeSize)
 		}
 		q.cqHead++
-		q.completed = q.completed[1:]
+		q.completed.pop()
 		pkts[n] = e.pkt
 		descs[n] = e.desc
 		n++
@@ -401,10 +436,10 @@ func (q *RXQueue) PollCompressed(core *machine.Core, nowNS float64, max int,
 // or +Inf when the queue is idle — the testbed uses it to fast-forward an
 // idle core.
 func (q *RXQueue) NextReadyNS() float64 {
-	if len(q.completed) == 0 {
+	if q.completed.len() == 0 {
 		return inf
 	}
-	return q.completed[0].readyNS
+	return q.completed.front().readyNS
 }
 
 var inf = math.Inf(1)
@@ -412,7 +447,7 @@ var inf = math.Inf(1)
 // Enqueue queues a frame for transmission at time nowNS, charging the SQE
 // write to core. It returns false when the TX ring is full.
 func (q *TXQueue) Enqueue(core *machine.Core, p *pktbuf.Packet, nowNS float64) bool {
-	if len(q.inflight) >= q.nic.Cfg.TXRingSize {
+	if q.inflight.len() >= q.nic.Cfg.TXRingSize {
 		q.nic.Stats.TxDropFull++
 		q.Stats.DropFull++
 		return false
@@ -452,7 +487,7 @@ func (q *TXQueue) Enqueue(core *machine.Core, p *pktbuf.Packet, nowNS float64) b
 		}
 	}
 
-	q.inflight = append(q.inflight, txEntry{pkt: p, departNS: depart})
+	q.inflight.push(txEntry{pkt: p, departNS: depart})
 	q.nic.Stats.TxSent++
 	q.nic.Stats.TxBytes += uint64(p.Len())
 	q.Stats.Sent++
@@ -467,16 +502,16 @@ func (q *TXQueue) Enqueue(core *machine.Core, p *pktbuf.Packet, nowNS float64) b
 // the driver can recycle them.
 func (q *TXQueue) Reap(nowNS float64, out []*pktbuf.Packet) int {
 	n := 0
-	for n < len(out) && len(q.inflight) > 0 && q.inflight[0].departNS <= nowNS {
-		out[n] = q.inflight[0].pkt
-		q.inflight = q.inflight[1:]
+	for n < len(out) && q.inflight.len() > 0 && q.inflight.front().departNS <= nowNS {
+		out[n] = q.inflight.front().pkt
+		q.inflight.pop()
 		n++
 	}
 	return n
 }
 
 // InflightCount reports frames queued but not yet departed.
-func (q *TXQueue) InflightCount() int { return len(q.inflight) }
+func (q *TXQueue) InflightCount() int { return q.inflight.len() }
 
 // String summarizes the adapter state for debugging.
 func (n *NIC) String() string {

@@ -278,7 +278,9 @@ func TestVLANDescriptorExtraction(t *testing.T) {
 	r := newRig(DefaultConfig("nic0"))
 	q := r.nic.RX(0)
 	q.Post(r.freshBuf())
-	tagged := netpkt.InsertVLAN(testFrame(100), netpkt.VLANTag{PCP: 3, VID: 7})
+	buf := make([]byte, netpkt.VLANTagLen+100)
+	copy(buf[netpkt.VLANTagLen:], testFrame(100))
+	tagged := netpkt.InsertVLAN(buf, netpkt.VLANTagLen, netpkt.VLANTag{PCP: 3, VID: 7})
 	r.nic.Deliver(0, tagged, 0)
 	pkts := make([]*pktbuf.Packet, 1)
 	descs := make([]Descriptor, 1)

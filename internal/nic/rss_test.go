@@ -57,7 +57,11 @@ func TestRSSTaggedMatchesUntaggedFlow(t *testing.T) {
 		SrcIP: netpkt.IPv4{10, 0, 0, 1}, DstIP: netpkt.IPv4{10, 1, 0, 1},
 		SrcPort: 1234, DstPort: 80, TotalLen: 128,
 	})
-	tagged := netpkt.InsertVLAN(frame, netpkt.VLANTag{VID: 7})
+	// Copy into a fresh buffer with headroom: the in-place insert would
+	// otherwise corrupt the untagged frame we hash against.
+	buf := make([]byte, netpkt.VLANTagLen+len(frame))
+	copy(buf[netpkt.VLANTagLen:], frame)
+	tagged := netpkt.InsertVLAN(buf, netpkt.VLANTagLen, netpkt.VLANTag{VID: 7})
 	if h1, h2 := rssHash(frame), rssHash(tagged); h1 != h2 {
 		t.Fatalf("tagged flow hashed %#x, untagged %#x — VLAN shim not skipped", h2, h1)
 	}

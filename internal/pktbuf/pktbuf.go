@@ -236,6 +236,12 @@ func (b *Batch) Append(core *machine.Core, p *Packet) {
 	b.count++
 }
 
+// Reset empties the batch for reuse without touching the simulated
+// ledger. Steady-state elements keep one Batch per output port and Reset
+// it each poll instead of allocating a fresh one — the linked packets
+// themselves were already handed downstream or killed.
+func (b *Batch) Reset() { b.head, b.tail, b.count = nil, nil, 0 }
+
 // Head returns the first packet (nil if empty).
 func (b *Batch) Head() *Packet { return b.head }
 

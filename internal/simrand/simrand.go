@@ -15,10 +15,46 @@ import "math"
 // It is used only for seeding the main generator.
 func splitMix64(state *uint64) uint64 {
 	*state += 0x9e3779b97f4a7c15
-	z := *state
+	return mix64(*state)
+}
+
+// mix64 is SplitMix64's finalizer: a bijective avalanche function whose
+// output bits all depend on all input bits. Derive builds on it.
+func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
+}
+
+// HashString hashes s with 64-bit FNV-1a. It gives every experiment id a
+// stable numeric identity that seed derivation can mix from, independent
+// of registration order or process state.
+func HashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Derive deterministically combines a base seed with one or more stream
+// indices into a new seed. The same (base, stream...) always yields the
+// same value, and nearby indices yield statistically unrelated seeds — the
+// property the parallel experiment scheduler relies on so that unit i's
+// simulation is identical whether it runs serially or on a worker pool.
+func Derive(base uint64, stream ...uint64) uint64 {
+	s := base
+	for _, v := range stream {
+		s += 0x9e3779b97f4a7c15
+		s ^= mix64(v)
+		s = mix64(s)
+	}
+	return s
 }
 
 // Rand is a deterministic xoshiro256** generator.

@@ -589,6 +589,190 @@ func (d *DUT) Audit() error {
 	return nil
 }
 
+// srcHead is the pending head frame of one traffic source.
+type srcHead struct {
+	frame []byte
+	ns    float64
+	ok    bool
+}
+
+// driver holds one Drive run's state. It replaces the closure nest the
+// loop used to be built from: the per-depart probe and the per-iteration
+// helpers are methods, so the steady-state path carries no captured-
+// variable indirection and allocates nothing per poll.
+type driver struct {
+	d       *DUT
+	o       Options
+	engines []Engine
+
+	// Fault engine (nil in clean runs) and wire-level drop ledger.
+	fe        *faults.Engine
+	wireDrops stats.DropCounters
+
+	// Traffic sources and their pending head frames.
+	sources []trafficgen.Source
+	heads   []srcHead
+	buf     [][]byte // owned copies of head frames
+	offered uint64
+
+	// Measurement probes.
+	lat            *stats.LatencyRecorder
+	departed       uint64
+	measuredPkts   uint64
+	measuredBytes  uint64
+	measureStartNS float64
+	lastDepartNS   float64
+	startCounters  []machine.Counters
+	warmup         uint64
+
+	// Interval snapshots: occupancy + progress sampled on the simulated
+	// clock, so transients (fault windows, ring shrink) stay visible.
+	intervals    []telemetry.Interval
+	nextSampleNS float64
+	lastSampleNS float64
+	lastSampleTx uint64
+}
+
+// pull advances source n to its next frame.
+func (dr *driver) pull(n int) {
+	f, ns, ok := dr.sources[n].Next()
+	if ok {
+		if dr.buf[n] == nil {
+			dr.buf[n] = make([]byte, 2048)
+		}
+		copy(dr.buf[n], f)
+		dr.heads[n] = srcHead{frame: dr.buf[n][:len(f)], ns: ns, ok: true}
+	} else {
+		dr.heads[n] = srcHead{}
+	}
+}
+
+// deliverUntil pushes every frame that has arrived by time t into the
+// NICs (RSS-spread across core queues). Wire-level faults apply here,
+// between the generator and the DUT's MAC: a frame is counted as offered
+// first, then may be consumed (drop, link-down) or mutated (corruption,
+// truncation) before the NIC sees it.
+func (dr *driver) deliverUntil(t float64) {
+	for n := range dr.heads {
+		for dr.heads[n].ok && dr.heads[n].ns <= t {
+			frame, ns := dr.heads[n].frame, dr.heads[n].ns
+			dr.offered++
+			if dr.fe != nil {
+				wr := dr.fe.Wire(frame, ns)
+				if wr.Dropped {
+					dr.wireDrops.Add(wr.Reason, 1)
+					dr.pull(n)
+					continue
+				}
+				frame = wr.Frame
+			}
+			if dr.o.RxTap != nil {
+				dr.o.RxTap(n, frame, ns)
+			}
+			// RSS hashes the frame as received — a corrupted header
+			// steers to whatever queue the flipped bits select, as on
+			// real hardware.
+			q := dr.d.NICs[n].RSSQueue(frame)
+			dr.d.NICs[n].Deliver(q, frame, ns)
+			dr.pull(n)
+		}
+	}
+}
+
+func (dr *driver) nextArrival() float64 {
+	t := math.Inf(1)
+	for n := range dr.heads {
+		if dr.heads[n].ok && dr.heads[n].ns < t {
+			t = dr.heads[n].ns
+		}
+	}
+	return t
+}
+
+// onDepart is the NICs' departure probe: latency/throughput measurement
+// past the warmup prefix, plus the optional user tap (which observes
+// every departure, warmup included).
+func (dr *driver) onDepart(p *pktbuf.Packet, departNS float64) {
+	dr.departed++
+	if dr.departed > dr.warmup {
+		if dr.measureStartNS < 0 {
+			dr.measureStartNS = departNS
+			for i, c := range dr.d.Cores {
+				dr.startCounters[i] = c.Snapshot()
+			}
+		}
+		dr.lat.Record(departNS - p.ArrivalNS)
+		dr.measuredPkts++
+		dr.measuredBytes += uint64(p.Len())
+		if departNS > dr.lastDepartNS {
+			dr.lastDepartNS = departNS
+		}
+	}
+	if dr.o.Tap != nil {
+		dr.o.Tap(p.Bytes(), departNS)
+	}
+}
+
+func (dr *driver) sourcesDone() bool {
+	for n := range dr.heads {
+		if dr.heads[n].ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (dr *driver) pendingRx() bool {
+	for _, n := range dr.d.NICs {
+		for q := 0; q < dr.o.Cores; q++ {
+			if n.RX(q).PendingCount() > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// txBacklog sums packets the engines still hold behind full TX rings.
+func (dr *driver) txBacklog() int {
+	total := 0
+	for _, e := range dr.engines {
+		if tb, ok := e.(txBacklogger); ok {
+			total += tb.TxBacklog()
+		}
+	}
+	return total
+}
+
+func (dr *driver) sample(now float64) {
+	if !dr.o.Telemetry || dr.o.SnapshotIntervalNS <= 0 || now < dr.nextSampleNS {
+		return
+	}
+	var pendRx, posted uint64
+	for _, n := range dr.d.NICs {
+		for q := 0; q < dr.o.Cores; q++ {
+			pendRx += uint64(n.RX(q).PendingCount())
+			posted += uint64(n.RX(q).PostedCount())
+		}
+	}
+	iv := telemetry.Interval{
+		TNS:       now,
+		Offered:   dr.offered,
+		TxWire:    dr.departed,
+		PendingRx: pendRx,
+		TxBacklog: uint64(dr.txBacklog()),
+		Posted:    posted,
+	}
+	if dt := now - dr.lastSampleNS; dt > 0 {
+		iv.Mpps = float64(dr.departed-dr.lastSampleTx) * 1e3 / dt
+	}
+	dr.intervals = append(dr.intervals, iv)
+	dr.lastSampleNS, dr.lastSampleTx = now, dr.departed
+	for now >= dr.nextSampleNS {
+		dr.nextSampleNS += dr.o.SnapshotIntervalNS
+	}
+}
+
 // Drive runs the offered load through the engines (one per core) and
 // measures. It is exported so non-Click engines (BESS, VPP, l2fwd) reuse
 // the same harness.
@@ -598,33 +782,42 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 		return nil, fmt.Errorf("testbed: %d engines for %d cores", len(engines), o.Cores)
 	}
 
+	dr := &driver{
+		d:              d,
+		o:              o,
+		engines:        engines,
+		measureStartNS: -1,
+		lat:            stats.NewLatencyRecorder(1 << 19),
+		startCounters:  make([]machine.Counters, o.Cores),
+		warmup:         uint64(o.Warmup),
+		nextSampleNS:   o.SnapshotIntervalNS,
+	}
+
 	// Fault engine: built per run, wired into the layers' hooks. A clean
 	// run leaves every hook nil, so the only datapath cost of the fault
 	// layer is one nil check per hook site.
-	var fe *faults.Engine
-	var wireDrops stats.DropCounters
 	if o.Faults != nil && len(o.Faults.Clauses) > 0 {
 		seed := o.FaultSeed
 		if seed == 0 {
 			seed = o.Seed ^ 0x5eedfa17 // distinct stream from the traffic seed
 		}
-		fe = faults.NewEngine(o.Faults, seed)
+		dr.fe = faults.NewEngine(o.Faults, seed)
 		for _, n := range d.NICs {
-			n.FaultRxStall = fe.RxStall
-			n.FaultTxSlow = fe.TxSlowFactor
+			n.FaultRxStall = dr.fe.RxStall
+			n.FaultTxSlow = dr.fe.TxSlowFactor
 		}
 		for _, pool := range d.mempools {
-			pool.FaultDeplete = fe.DepleteMempool
+			pool.FaultDeplete = dr.fe.DepleteMempool
 		}
 		for _, ports := range d.PortsFor {
 			for _, port := range ports {
-				port.FaultDescDeplete = fe.DepleteDesc
+				port.FaultDescDeplete = dr.fe.DepleteDesc
 			}
 		}
 	}
 
 	// Sources: one per NIC.
-	sources := make([]trafficgen.Source, o.NICs)
+	dr.sources = make([]trafficgen.Source, o.NICs)
 	for n := 0; n < o.NICs; n++ {
 		cfg := trafficgen.Config{
 			Seed:     o.Seed + uint64(100+n),
@@ -633,146 +826,34 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 		}
 		switch {
 		case o.Traffic != nil:
-			sources[n] = o.Traffic(n, cfg)
+			dr.sources[n] = o.Traffic(n, cfg)
 		case o.FixedSize > 0:
 			cfg.TCPShare, cfg.UDPShare, cfg.ICMPShare = 0.9, 0.08, 0.02
-			sources[n] = trafficgen.NewFixedSize(cfg, o.FixedSize)
+			dr.sources[n] = trafficgen.NewFixedSize(cfg, o.FixedSize)
 		default:
-			sources[n] = trafficgen.NewCampus(cfg)
+			dr.sources[n] = trafficgen.NewCampus(cfg)
 		}
 	}
-	// Pending head frame per source.
-	type pending struct {
-		frame []byte
-		ns    float64
-		ok    bool
-	}
-	heads := make([]pending, o.NICs)
-	buf := make([][]byte, o.NICs) // owned copies of head frames
-	pull := func(n int) {
-		f, ns, ok := sources[n].Next()
-		if ok {
-			if buf[n] == nil {
-				buf[n] = make([]byte, 2048)
-			}
-			copy(buf[n], f)
-			heads[n] = pending{frame: buf[n][:len(f)], ns: ns, ok: true}
-		} else {
-			heads[n] = pending{}
-		}
-	}
-	for n := range sources {
-		pull(n)
+	dr.heads = make([]srcHead, o.NICs)
+	dr.buf = make([][]byte, o.NICs)
+	for n := range dr.sources {
+		dr.pull(n)
 	}
 
-	// deliverUntil pushes every frame that has arrived by time t into
-	// the NICs (RSS-spread across core queues). Wire-level faults apply
-	// here, between the generator and the DUT's MAC: a frame is counted
-	// as offered first, then may be consumed (drop, link-down) or
-	// mutated (corruption, truncation) before the NIC sees it.
-	var offered uint64
-	deliverUntil := func(t float64) {
-		for n := range heads {
-			for heads[n].ok && heads[n].ns <= t {
-				frame, ns := heads[n].frame, heads[n].ns
-				offered++
-				if fe != nil {
-					wr := fe.Wire(frame, ns)
-					if wr.Dropped {
-						wireDrops.Add(wr.Reason, 1)
-						pull(n)
-						continue
-					}
-					frame = wr.Frame
-				}
-				if o.RxTap != nil {
-					o.RxTap(n, frame, ns)
-				}
-				// RSS hashes the frame as received — a corrupted header
-				// steers to whatever queue the flipped bits select, as on
-				// real hardware.
-				q := d.NICs[n].RSSQueue(frame)
-				d.NICs[n].Deliver(q, frame, ns)
-				pull(n)
-			}
-		}
-	}
-	nextArrival := func() float64 {
-		t := math.Inf(1)
-		for n := range heads {
-			if heads[n].ok && heads[n].ns < t {
-				t = heads[n].ns
-			}
-		}
-		return t
-	}
-
-	// Measurement probes.
-	lat := stats.NewLatencyRecorder(1 << 19)
-	var departed, measuredPkts, measuredBytes uint64
-	var measureStartNS float64 = -1
-	var lastDepartNS float64
-	startCounters := make([]machine.Counters, o.Cores)
-	warmup := uint64(o.Warmup)
 	for _, n := range d.NICs {
-		n.OnDepart = func(p *pktbuf.Packet, departNS float64) {
-			departed++
-			if departed <= warmup {
-				return
-			}
-			if measureStartNS < 0 {
-				measureStartNS = departNS
-				for i, c := range d.Cores {
-					startCounters[i] = c.Snapshot()
-				}
-			}
-			lat.Record(departNS - p.ArrivalNS)
-			measuredPkts++
-			measuredBytes += uint64(p.Len())
-			if departNS > lastDepartNS {
-				lastDepartNS = departNS
-			}
-		}
-	}
-	if o.Tap != nil {
-		for _, n := range d.NICs {
-			inner := n.OnDepart
-			n.OnDepart = func(p *pktbuf.Packet, departNS float64) {
-				inner(p, departNS)
-				o.Tap(p.Bytes(), departNS)
-			}
-		}
+		n.OnDepart = dr.onDepart
 	}
 
-	sourcesDone := func() bool {
-		for n := range heads {
-			if heads[n].ok {
-				return false
-			}
-		}
-		return true
-	}
-	pendingRx := func() bool {
-		for _, n := range d.NICs {
-			for q := 0; q < o.Cores; q++ {
-				if n.RX(q).PendingCount() > 0 {
-					return true
-				}
-			}
-		}
-		return false
-	}
+	return dr.run()
+}
 
-	// txBacklog sums packets the engines still hold behind full TX rings.
-	txBacklog := func() int {
-		total := 0
-		for _, e := range engines {
-			if tb, ok := e.(txBacklogger); ok {
-				total += tb.TxBacklog()
-			}
-		}
-		return total
-	}
+// run is the main loop plus result assembly: always run the core that is
+// furthest behind in simulated time; fast-forward idle cores to the next
+// event. The run ends when the sources are drained, every ring is empty,
+// every TX backlog has flushed, and every core has gone one full pass
+// without work.
+func (dr *driver) run() (*Result, error) {
+	d, o, engines := dr.d, dr.o, dr.engines
 
 	// Watchdog: trip when work is pending but neither the generators,
 	// the engines, nor the wire have progressed for watchdogNS of
@@ -784,46 +865,6 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 	var lastProgressNS float64
 	var lastOffered, lastDeparted uint64
 
-	// Interval snapshots: occupancy + progress sampled on the simulated
-	// clock, so transients (fault windows, ring shrink) stay visible.
-	var intervals []telemetry.Interval
-	nextSampleNS := o.SnapshotIntervalNS
-	var lastSampleNS float64
-	var lastSampleTx uint64
-	sample := func(now float64) {
-		if !o.Telemetry || o.SnapshotIntervalNS <= 0 || now < nextSampleNS {
-			return
-		}
-		var pendRx, posted uint64
-		for _, n := range d.NICs {
-			for q := 0; q < o.Cores; q++ {
-				pendRx += uint64(n.RX(q).PendingCount())
-				posted += uint64(n.RX(q).PostedCount())
-			}
-		}
-		iv := telemetry.Interval{
-			TNS:       now,
-			Offered:   offered,
-			TxWire:    departed,
-			PendingRx: pendRx,
-			TxBacklog: uint64(txBacklog()),
-			Posted:    posted,
-		}
-		if dt := now - lastSampleNS; dt > 0 {
-			iv.Mpps = float64(departed-lastSampleTx) * 1e3 / dt
-		}
-		intervals = append(intervals, iv)
-		lastSampleNS, lastSampleTx = now, departed
-		for now >= nextSampleNS {
-			nextSampleNS += o.SnapshotIntervalNS
-		}
-	}
-
-	// Main loop: always run the core that is furthest behind in
-	// simulated time; fast-forward idle cores to the next event. The run
-	// ends when the sources are drained, every ring is empty, every TX
-	// backlog has flushed, and every core has gone one full pass without
-	// work.
 	idleStreak := 0
 	for {
 		ci := 0
@@ -834,19 +875,19 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 		}
 		core := d.Cores[ci]
 		now := core.NowNS()
-		deliverUntil(now)
-		sample(now)
+		dr.deliverUntil(now)
+		dr.sample(now)
 		moved := engines[ci].Step(core, now)
-		if moved > 0 || offered != lastOffered || departed != lastDeparted {
+		if moved > 0 || dr.offered != lastOffered || dr.departed != lastDeparted {
 			lastProgressNS = now
-			lastOffered, lastDeparted = offered, departed
+			lastOffered, lastDeparted = dr.offered, dr.departed
 		}
 		if moved > 0 {
 			idleStreak = 0
 			continue
 		}
 		idleStreak++
-		pending := !sourcesDone() || pendingRx() || txBacklog() > 0
+		pending := !dr.sourcesDone() || dr.pendingRx() || dr.txBacklog() > 0
 		if watchdogNS > 0 && pending && now-lastProgressNS > watchdogNS {
 			return nil, &StallError{
 				NowNS:          now,
@@ -862,7 +903,7 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 			continue
 		}
 		// Jump to the next interesting time for this core.
-		next := nextArrival()
+		next := dr.nextArrival()
 		for n := range d.NICs {
 			if r := d.NICs[n].RX(ci).NextReadyNS(); r < next {
 				next = r
@@ -879,19 +920,19 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 	}
 
 	res := &Result{
-		Latency: lat,
-		Offered: offered,
+		Latency: dr.lat,
+		Offered: dr.offered,
 	}
-	res.Packets = measuredPkts
-	res.Bytes = measuredBytes
-	if lastDepartNS > measureStartNS && measureStartNS >= 0 {
-		res.Duration = lastDepartNS - measureStartNS
+	res.Packets = dr.measuredPkts
+	res.Bytes = dr.measuredBytes
+	if dr.lastDepartNS > dr.measureStartNS && dr.measureStartNS >= 0 {
+		res.Duration = dr.lastDepartNS - dr.measureStartNS
 	}
 	// Aggregate per-core counters over the measurement window. LLC
 	// counters are scoped to each core's own demand traffic, so summing
 	// them reproduces the system-wide totals.
 	for i, c := range d.Cores {
-		delta := c.Snapshot().Delta(startCounters[i])
+		delta := c.Snapshot().Delta(dr.startCounters[i])
 		if i == 0 {
 			res.Counters = delta
 			continue
@@ -906,7 +947,7 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 	}
 	// Drop taxonomy: every lost frame attributed to one reason, from the
 	// wire through the NIC, the PMD, and the engine.
-	res.DropsByReason.Merge(&wireDrops)
+	res.DropsByReason.Merge(&dr.wireDrops)
 	for _, n := range d.NICs {
 		res.DropsByReason.Add(stats.DropRxNoBuf, n.Stats.RxDropNoBuf)
 		res.DropsByReason.Add(stats.DropRxRingFull, n.Stats.RxDropFull)
@@ -923,13 +964,13 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 		}
 	}
 	res.Dropped = res.DropsByReason.Total()
-	res.TxWire = departed
-	if fe != nil {
-		st := fe.Injected
+	res.TxWire = dr.departed
+	if dr.fe != nil {
+		st := dr.fe.Injected
 		res.FaultStats = &st
 	}
 	if o.Telemetry {
-		res.Telemetry = d.buildReport(res, lat, intervals)
+		res.Telemetry = d.buildReport(res, dr.lat, dr.intervals)
 	}
 	return res, nil
 }
