@@ -2,7 +2,7 @@
 # short-budget chaos soak. Tier-2 adds vet and the race detector.
 GO ?= go
 
-.PHONY: test tier1 tier2 soak fuzz bench
+.PHONY: test tier1 tier2 soak fuzz bench pcap-demo
 
 test: tier1 soak
 
@@ -25,6 +25,29 @@ soak:
 # per-exhibit wall-clock and allocation figures to BENCH_experiments.json.
 bench:
 	$(GO) run ./cmd/experiments -run all -scale 0.15 -bench BENCH_experiments.json
+
+# End-to-end capture demo over real sockets: generate a trace as a pcap,
+# compute the expected output by running the milled NAT router in -io
+# pcap mode, then forward the same pcap over loopback datagram sockets
+# (-io wire, with pktgen replaying and capturing on either side) and
+# diff the live capture against the expected one (timestamps ignored).
+DEMO := build/pcap-demo
+
+pcap-demo:
+	rm -rf $(DEMO) && mkdir -p $(DEMO)
+	$(GO) build -o $(DEMO)/pktgen ./cmd/pktgen
+	$(GO) build -o $(DEMO)/packetmill ./cmd/packetmill
+	$(DEMO)/pktgen -write $(DEMO)/in.pcap -trace campus -count 2000 -flows 64 -seed 7 -rate 1
+	$(DEMO)/packetmill -config configs/nat-router.click -mill -model x-change \
+		-io pcap -pcap-in $(DEMO)/in.pcap -pcap-out $(DEMO)/expected.pcap
+	set -e; \
+	$(DEMO)/pktgen -capture $(DEMO)/got.pcap -on unix:$(DEMO)/cap.sock -idle 2s & cap=$$!; \
+	$(DEMO)/packetmill -config configs/nat-router.click -mill -model x-change \
+		-io wire -wire-rx unix:$(DEMO)/rx.sock -wire-tx unix:$(DEMO)/cap.sock \
+		-wire-idle 1500ms & mill=$$!; \
+	$(DEMO)/pktgen -replay $(DEMO)/in.pcap -to unix:$(DEMO)/rx.sock -pps 20000; \
+	wait $$mill && wait $$cap
+	$(DEMO)/pktgen -compare $(DEMO)/got.pcap $(DEMO)/expected.pcap
 
 # Brief fuzz passes over the two grammar front ends.
 fuzz:

@@ -10,13 +10,30 @@
 //	packetmill -config router.click -mill -model x-change -freq 2.3
 //	packetmill -builtin router -mill -emit-ir
 //	packetmill -builtin forwarder -model overlaying -sweep-freq
+//
+// The -io flag selects the packet I/O backend:
+//
+//	-io sim   the simulated two-node testbed (default; all flags apply)
+//	-io pcap  offline: read frames from -pcap-in (pcap/pcapng/native),
+//	          push them through the build on the simulated machine, and
+//	          write every departing frame to -pcap-out
+//	-io wire  live: serve the build on real datagram sockets — frames
+//	          arrive on -wire-rx (unix:PATH or udp:HOST:PORT) and leave
+//	          via -wire-tx; exits after -wire-count packets or once the
+//	          wire has been idle for -wire-idle
+//
+//	packetmill -config nat.click -mill -io pcap -pcap-in in.pcap -pcap-out out.pcap
+//	packetmill -config nat.click -mill -io wire -wire-rx unix:/tmp/mill-rx.sock -wire-tx unix:/tmp/mill-tx.sock
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strings"
+	"time"
 
 	"packetmill/internal/click"
 	"packetmill/internal/core"
@@ -24,10 +41,14 @@ import (
 	"packetmill/internal/faults"
 	"packetmill/internal/layout"
 	"packetmill/internal/nf"
+	"packetmill/internal/nic"
 	"packetmill/internal/simrand"
 	"packetmill/internal/stats"
 	"packetmill/internal/testbed"
+	"packetmill/internal/trafficgen"
 	"packetmill/internal/verify"
+	"packetmill/internal/wire"
+	"packetmill/internal/wire/pcapio"
 )
 
 func main() {
@@ -52,6 +73,15 @@ func main() {
 		faultSpec  = flag.String("faults", "", `fault schedule (e.g. "drop p=0.01; flap at=1ms for=100us"), or "random" for a seeded random draw`)
 		faultSeed  = flag.Uint64("faults-seed", 0, "fault engine seed (0 = derive from -seed)")
 		reportFmt  = flag.String("report", "text", "report format: text|json (json enables telemetry and prints the full per-core/per-queue/per-element report)")
+
+		ioMode     = flag.String("io", "sim", "packet I/O backend: sim|wire|pcap")
+		pcapIn     = flag.String("pcap-in", "", "-io pcap: input capture (pcap/pcapng/native trace)")
+		pcapOut    = flag.String("pcap-out", "", "-io pcap: write departing frames to this capture")
+		pcapRepeat = flag.Int("pcap-repeat", 1, "-io pcap: replay the input N times")
+		wireRx     = flag.String("wire-rx", "", "-io wire: address to receive frames on (unix:PATH or udp:HOST:PORT)")
+		wireTx     = flag.String("wire-tx", "", "-io wire: address to transmit frames to")
+		wireIdle   = flag.Duration("wire-idle", 2*time.Second, "-io wire: exit after this long with no traffic (0 = never)")
+		wireCount  = flag.Int("wire-count", 0, "-io wire: exit after this many packets (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -137,6 +167,18 @@ func main() {
 		note("; pass: %s\n", n)
 	}
 
+	switch strings.ToLower(*ioMode) {
+	case "sim":
+	case "wire":
+		runWire(p, base, *wireRx, *wireTx, *wireIdle, *wireCount, note)
+		return
+	case "pcap":
+		runPcap(p, base, *pcapIn, *pcapOut, *pcapRepeat, jsonReport, *configPath, *builtin)
+		return
+	default:
+		fatal(fmt.Errorf("unknown -io backend %q (want sim, wire, or pcap)", *ioMode))
+	}
+
 	if *verifyRun {
 		vanilla, err := core.Parse(config)
 		if err != nil {
@@ -196,6 +238,111 @@ func main() {
 	}
 	if jsonReport {
 		emitJSON(res, configName(*configPath, *builtin))
+		return
+	}
+	report(res)
+}
+
+// runWire serves the build on live datagram sockets: the -io wire mode.
+func runWire(p *core.Pipeline, base testbed.Options, rxAddr, txAddr string,
+	idle time.Duration, maxPackets int, note func(string, ...any)) {
+	if rxAddr == "" && txAddr == "" {
+		fatal(fmt.Errorf("-io wire needs -wire-rx and/or -wire-tx"))
+	}
+	var rxConn, txConn net.Conn
+	var err error
+	if rxAddr != "" {
+		if rxConn, err = wire.Listen(rxAddr); err != nil {
+			fatal(err)
+		}
+	}
+	if txAddr != "" {
+		if txConn, err = wire.Dial(txAddr); err != nil {
+			fatal(err)
+		}
+	}
+	dev := wire.NewPort(wire.Config{Name: "wire0"}, rxConn, txConn)
+	defer dev.Close()
+
+	o := pipelineOptions(p, base)
+	note("; serving on rx=%s tx=%s (model %s)\n", rxAddr, txAddr, o.Model)
+	d, st, err := testbed.ServeWireGraph(context.Background(), p.Plan.Graph, o,
+		[]nic.Port{dev}, idle, uint64(maxPackets))
+	if err != nil {
+		fatal(err)
+	}
+	rxs, txs := dev.RXStats(), dev.TXStats()
+	fmt.Printf("wire session:   %d scheduling rounds, %d packets moved\n", st.Steps, st.Packets)
+	fmt.Printf("rx:             %d frames (%d bytes), drops: nobuf=%d full=%d runt=%d\n",
+		rxs.Delivered, rxs.Bytes, rxs.DropNoBuf, rxs.DropFull, rxs.DropRunt)
+	fmt.Printf("tx:             %d frames (%d bytes), drops: full=%d\n",
+		txs.Sent, txs.Bytes, txs.DropFull)
+	if err := d.Audit(); err != nil {
+		fatal(err)
+	}
+}
+
+// runPcap mills a capture offline: frames come from a file, traverse the
+// build on the simulated machine, and every departing frame is written
+// to the output capture. This is the -io pcap mode.
+func runPcap(p *core.Pipeline, base testbed.Options, in, out string,
+	repeat int, jsonReport bool, configPath, builtin string) {
+	if in == "" {
+		fatal(fmt.Errorf("-io pcap needs -pcap-in FILE"))
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := trafficgen.ReadAnyTrace(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	if tr.Len() == 0 {
+		fatal(fmt.Errorf("%s holds no frames", in))
+	}
+
+	var w *pcapio.Writer
+	var outFile *os.File
+	if out != "" {
+		if outFile, err = os.Create(out); err != nil {
+			fatal(err)
+		}
+		wo := pcapio.WriterOptions{Format: pcapio.FormatPcap, Nanosecond: true}
+		if strings.HasSuffix(out, ".pcapng") {
+			wo.Format = pcapio.FormatPcapNG
+		}
+		if w, err = pcapio.NewWriter(outFile, wo); err != nil {
+			fatal(err)
+		}
+	}
+
+	o := base
+	o.Packets = tr.Len() * repeat
+	o.Traffic = func(int, trafficgen.Config) trafficgen.Source { return tr.Replay(repeat) }
+	if w != nil {
+		o.Tap = func(frame []byte, departNS float64) {
+			if err := w.WriteFrame(frame, int64(departNS)); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	res, err := p.Run(o)
+	if err != nil {
+		fatal(err)
+	}
+	if w != nil {
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := outFile.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "; wrote %d frames to %s\n", w.Frames(), out)
+	}
+	if jsonReport {
+		emitJSON(res, configName(configPath, builtin))
 		return
 	}
 	report(res)

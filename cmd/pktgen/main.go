@@ -1,52 +1,117 @@
-// Command pktgen inspects the traffic generators: it synthesizes a trace
-// and prints its statistics (size histogram, protocol mix, flow skew,
-// offered rate) — handy for validating workloads before running
-// experiments.
+// Command pktgen is the traffic side of the toolchain: it synthesizes
+// traces, analyzes recorded ones, converts between the native trace
+// format and pcap/pcapng, and — with a live wire — replays captures onto
+// a socket and captures what comes back.
 //
 //	pktgen -trace campus -count 100000
 //	pktgen -trace fixed -size 64 -rate 40
+//	pktgen -trace campus -count 2000 -write input.pcap
+//	pktgen -read input.pcap -json
+//	pktgen -replay input.pcap -to unix:/tmp/mill-rx.sock -pps 50000
+//	pktgen -capture out.pcap -on unix:/tmp/mill-tx.sock -idle 2s
+//	pktgen -compare out.pcap expected.pcap
+//
+// File formats follow the extension: .pcap and .pcapng use the capture
+// codecs in internal/wire (nanosecond timestamps); anything else is the
+// native PMTR trace format. -read and -compare sniff the magic, so they
+// accept any of the three regardless of name.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"packetmill/internal/netpkt"
 	"packetmill/internal/trafficgen"
+	"packetmill/internal/wire"
+	"packetmill/internal/wire/pcapio"
 )
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pktgen:", err)
+	os.Exit(1)
+}
+
+// writeTraceFile writes tr in the format the extension names.
+func writeTraceFile(tr *trafficgen.Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch {
+	case strings.HasSuffix(path, ".pcapng"):
+		err = tr.ToPcap(f, pcapio.WriterOptions{Format: pcapio.FormatPcapNG, Nanosecond: true})
+	case strings.HasSuffix(path, ".pcap"):
+		err = tr.ToPcap(f, pcapio.WriterOptions{Format: pcapio.FormatPcap, Nanosecond: true})
+	default:
+		_, err = tr.WriteTo(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// readTraceFile reads a native or pcap/pcapng trace, sniffing the magic.
+func readTraceFile(path string) (*trafficgen.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trafficgen.ReadAnyTrace(f)
+}
 
 func main() {
 	var (
 		trace   = flag.String("trace", "campus", "trace kind: campus|fixed")
 		size    = flag.Int("size", 64, "frame size for -trace fixed")
 		rate    = flag.Float64("rate", 100, "offered wire rate (Gbps)")
-		count   = flag.Int("count", 100000, "frames to generate")
+		count   = flag.Int("count", 100000, "frames to generate (or to capture with -capture)")
 		flows   = flag.Int("flows", 1024, "distinct flows")
 		seed    = flag.Uint64("seed", 1, "generator seed")
-		write   = flag.String("write", "", "record the trace to FILE and exit")
+		write   = flag.String("write", "", "record the trace to FILE (.pcap/.pcapng/native) and exit")
 		read    = flag.String("read", "", "analyze a recorded trace FILE instead of generating")
 		repeats = flag.Int("repeat", 1, "replay the -read trace N times")
-		asJSON  = flag.Bool("json", false, "emit the trace statistics as JSON")
+		asJSON  = flag.Bool("json", false, "emit results as JSON")
+
+		replay  = flag.String("replay", "", "replay trace FILE onto the wire address given by -to")
+		to      = flag.String("to", "", "wire address to transmit to (unix:PATH or udp:HOST:PORT)")
+		pps     = flag.Float64("pps", 0, "replay pacing in packets/s (0 = as fast as possible)")
+		capture = flag.String("capture", "", "capture frames from -on into FILE")
+		on      = flag.String("on", "", "wire address to listen on (unix:PATH or udp:HOST:PORT)")
+		idle    = flag.Duration("idle", 2*time.Second, "stop a capture after this long without frames")
+		compare = flag.Bool("compare", false, "compare two capture files (args: FILE FILE), ignoring timestamps")
 	)
 	flag.Parse()
+
+	switch {
+	case *compare:
+		runCompare(flag.Arg(0), flag.Arg(1))
+		return
+	case *replay != "":
+		runReplay(*replay, *to, *pps, *repeats, *asJSON)
+		return
+	case *capture != "":
+		runCapture(*capture, *on, *count, *idle, *asJSON)
+		return
+	}
 
 	cfg := trafficgen.Config{Seed: *seed, Flows: *flows, RateGbps: *rate, Count: *count}
 	var src trafficgen.Source
 	switch {
 	case *read != "":
-		f, err := os.Open(*read)
+		tr, err := readTraceFile(*read)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pktgen:", err)
-			os.Exit(1)
-		}
-		tr, err := trafficgen.ReadTrace(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pktgen:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		src = tr.Replay(*repeats)
 	case *trace == "campus":
@@ -54,41 +119,207 @@ func main() {
 	case *trace == "fixed":
 		src = trafficgen.NewFixedSize(cfg, *size)
 	default:
-		fmt.Fprintf(os.Stderr, "pktgen: unknown trace %q\n", *trace)
-		os.Exit(1)
+		fatal(fmt.Errorf("unknown trace %q", *trace))
 	}
 
 	if *write != "" {
 		tr := trafficgen.Record(src, 0)
-		f, err := os.Create(*write)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pktgen:", err)
-			os.Exit(1)
+		if err := writeTraceFile(tr, *write); err != nil {
+			fatal(err)
 		}
-		if _, err := tr.WriteTo(f); err != nil {
-			fmt.Fprintln(os.Stderr, "pktgen:", err)
-			os.Exit(1)
+		if *asJSON {
+			printJSON(map[string]any{
+				"file": *write, "frames": tr.Len(),
+				"bytes": tr.Bytes(), "duration_ns": tr.Duration(),
+			})
+		} else {
+			fmt.Printf("wrote %d frames (%d bytes payload, %.3f ms) to %s\n",
+				tr.Len(), tr.Bytes(), tr.Duration()/1e6, *write)
 		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "pktgen:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote %d frames (%d bytes payload) to %s\n", tr.Len(), tr.Bytes(), *write)
 		return
 	}
 
+	analyze(src, *asJSON)
+}
+
+func printJSON(doc any) {
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(string(raw))
+}
+
+// runReplay pushes every frame of a trace file onto a wire address.
+func runReplay(path, to string, pps float64, repeats int, asJSON bool) {
+	if to == "" {
+		fatal(fmt.Errorf("-replay needs -to ADDR"))
+	}
+	tr, err := readTraceFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	conn, err := wire.Dial(to)
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+
+	var gap time.Duration
+	if pps > 0 {
+		gap = time.Duration(float64(time.Second) / pps)
+	}
+	src := tr.Replay(repeats)
+	start := time.Now()
+	var frames, sent uint64
+	for {
+		frame, _, ok := src.Next()
+		if !ok {
+			break
+		}
+		frames++
+		if _, err := conn.Write(frame); err != nil {
+			fatal(fmt.Errorf("frame %d: %w", frames, err))
+		}
+		sent += uint64(len(frame))
+		if gap > 0 {
+			time.Sleep(gap)
+		}
+	}
+	dur := time.Since(start)
+	if asJSON {
+		printJSON(map[string]any{
+			"file": path, "to": to, "frames": frames, "bytes": sent,
+			"duration_ns": dur.Nanoseconds(),
+			"gbps":        float64(sent) * 8 / float64(dur.Nanoseconds()),
+		})
+	} else {
+		fmt.Printf("replayed %d frames (%d bytes) to %s in %v (%.3f Gbps)\n",
+			frames, sent, to, dur, float64(sent)*8/float64(dur.Nanoseconds()))
+	}
+}
+
+// runCapture records frames arriving on a wire address until the count
+// is reached or the line goes idle, then writes them as a trace file.
+func runCapture(path, on string, count int, idle time.Duration, asJSON bool) {
+	if on == "" {
+		fatal(fmt.Errorf("-capture needs -on ADDR"))
+	}
+	conn, err := wire.Listen(on)
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+
+	var rec captureSource
+	buf := make([]byte, 1<<16)
+	start := time.Now()
+	for count <= 0 || len(rec.frames) < count {
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
+		n, err := conn.Read(buf)
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				break // the wire went quiet
+			}
+			if err == io.EOF {
+				break
+			}
+			fatal(err)
+		}
+		rec.frames = append(rec.frames, append([]byte(nil), buf[:n]...))
+		rec.ns = append(rec.ns, float64(time.Since(start).Nanoseconds()))
+	}
+	tr := trafficgen.Record(&rec, 0)
+	if err := writeTraceFile(tr, path); err != nil {
+		fatal(err)
+	}
+	if asJSON {
+		printJSON(map[string]any{
+			"file": path, "on": on, "frames": tr.Len(),
+			"bytes": tr.Bytes(), "duration_ns": tr.Duration(),
+		})
+	} else {
+		fmt.Printf("captured %d frames (%d bytes, %.3f ms) from %s to %s\n",
+			tr.Len(), tr.Bytes(), tr.Duration()/1e6, on, path)
+	}
+}
+
+// captureSource replays recorded frames as a trafficgen.Source so
+// Record can fold them into a Trace.
+type captureSource struct {
+	frames [][]byte
+	ns     []float64
+	idx    int
+}
+
+func (c *captureSource) Next() ([]byte, float64, bool) {
+	if c.idx >= len(c.frames) {
+		return nil, 0, false
+	}
+	f, ts := c.frames[c.idx], c.ns[c.idx]
+	c.idx++
+	return f, ts, true
+}
+
+func (c *captureSource) Remaining() int { return len(c.frames) - c.idx }
+
+// runCompare diffs two capture files frame by frame, ignoring
+// timestamps — a replayed-and-recaptured trace keeps its bytes but not
+// its clock.
+func runCompare(pathA, pathB string) {
+	if pathA == "" || pathB == "" {
+		fatal(fmt.Errorf("-compare needs two file arguments"))
+	}
+	a, err := readTraceFile(pathA)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", pathA, err))
+	}
+	b, err := readTraceFile(pathB)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", pathB, err))
+	}
+	srcA, srcB := a.Replay(1), b.Replay(1)
+	idx := 0
+	for {
+		fa, _, okA := srcA.Next()
+		fb, _, okB := srcB.Next()
+		if !okA || !okB {
+			if okA != okB {
+				fmt.Fprintf(os.Stderr, "pktgen: %s has %d frames, %s has %d\n",
+					pathA, a.Len(), pathB, b.Len())
+				os.Exit(1)
+			}
+			break
+		}
+		if !bytes.Equal(fa, fb) {
+			fmt.Fprintf(os.Stderr, "pktgen: frame %d differs (%d vs %d bytes)\n",
+				idx, len(fa), len(fb))
+			os.Exit(1)
+		}
+		idx++
+	}
+	fmt.Printf("captures match: %d frames, %d bytes\n", a.Len(), a.Bytes())
+}
+
+// analyze streams a source and prints its statistics.
+func analyze(src trafficgen.Source, asJSON bool) {
 	sizes := map[int]int{}
 	protos := map[string]int{}
 	flowSet := map[string]int{}
-	var bytes, n uint64
-	var lastNS float64
+	var totalBytes, n uint64
+	var firstNS, lastNS float64
 	for {
 		frame, ns, ok := src.Next()
 		if !ok {
 			break
 		}
+		if n == 0 {
+			firstNS = ns
+		}
 		n++
-		bytes += uint64(len(frame))
+		totalBytes += uint64(len(frame))
 		lastNS = ns
 		sizes[len(frame)]++
 		eh, err := netpkt.ParseEther(frame)
@@ -117,6 +348,7 @@ func main() {
 			flowSet[h.Src.String()+">"+h.Dst.String()]++
 		}
 	}
+	durationNS := lastNS - firstNS
 
 	// Flow skew: top-5 share.
 	var counts []int
@@ -129,43 +361,39 @@ func main() {
 		top += counts[i]
 	}
 
-	if *asJSON {
+	if asJSON {
 		doc := struct {
 			Frames     uint64         `json:"frames"`
 			Bytes      uint64         `json:"bytes"`
 			MeanSize   float64        `json:"mean_size"`
 			Gbps       float64        `json:"gbps,omitempty"`
-			DurationMS float64        `json:"duration_ms,omitempty"`
+			DurationNS float64        `json:"duration_ns"`
+			DurationMS float64        `json:"duration_ms"`
 			Sizes      map[string]int `json:"sizes"`
 			Protocols  map[string]int `json:"protocols"`
 			Flows      int            `json:"flows"`
 			Top5Share  float64        `json:"top5_share"`
 		}{
-			Frames: n, Bytes: bytes, MeanSize: float64(bytes) / float64(n),
+			Frames: n, Bytes: totalBytes, MeanSize: float64(totalBytes) / float64(n),
+			DurationNS: durationNS, DurationMS: durationNS / 1e6,
 			Sizes: map[string]int{}, Protocols: protos,
 			Flows: len(flowSet), Top5Share: float64(top) / float64(n),
 		}
-		if lastNS > 0 {
-			doc.Gbps = float64(bytes) * 8 / lastNS
-			doc.DurationMS = lastNS / 1e6
+		if durationNS > 0 {
+			doc.Gbps = float64(totalBytes) * 8 / durationNS
 		}
 		for k, v := range sizes {
 			doc.Sizes[fmt.Sprint(k)] = v
 		}
-		raw, err := json.MarshalIndent(doc, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "pktgen:", err)
-			os.Exit(1)
-		}
-		fmt.Println(string(raw))
+		printJSON(doc)
 		return
 	}
 
-	fmt.Printf("frames:      %d (%.1f MB)\n", n, float64(bytes)/1e6)
-	fmt.Printf("mean size:   %.1f B\n", float64(bytes)/float64(n))
-	if lastNS > 0 {
+	fmt.Printf("frames:      %d (%.1f MB)\n", n, float64(totalBytes)/1e6)
+	fmt.Printf("mean size:   %.1f B\n", float64(totalBytes)/float64(n))
+	if durationNS > 0 {
 		fmt.Printf("offered:     %.1f Gbps goodput over %.3f ms\n",
-			float64(bytes)*8/lastNS, lastNS/1e6)
+			float64(totalBytes)*8/durationNS, durationNS/1e6)
 	}
 	fmt.Println("sizes:")
 	var ks []int

@@ -247,11 +247,12 @@ func AllocRawBuffers(arena *memsim.Arena, n, headroom, dataroom int) ([]*pktbuf.
 	return out, nil
 }
 
-// Port is one PMD-driven NIC queue pair.
+// Port is one PMD-driven NIC queue pair. Dev is the device seam: a
+// simulated queue pair (nic.QueuePair) or a live socket backend
+// (wire.Port) — the PMD cannot tell them apart.
 type Port struct {
 	ID    int
-	NIC   *nic.NIC
-	Queue int
+	Dev   nic.Port
 	Pool  *Mempool // nil under buffer-exchange bindings
 	Bind  xchg.Binding
 	Burst int
@@ -312,13 +313,13 @@ const (
 	DefaultTxConvInstr = 26
 )
 
-// NewPort wires a PMD onto nic queue q.
-func NewPort(id int, n *nic.NIC, q int, pool *Mempool, bind xchg.Binding, burst int) *Port {
+// NewPort wires a PMD onto a device queue pair.
+func NewPort(id int, dev nic.Port, pool *Mempool, bind xchg.Binding, burst int) *Port {
 	if burst <= 0 {
 		burst = 32
 	}
 	return &Port{
-		ID: id, NIC: n, Queue: q, Pool: pool, Bind: bind, Burst: burst,
+		ID: id, Dev: dev, Pool: pool, Bind: bind, Burst: burst,
 		descs:       make([]nic.Descriptor, burst),
 		reap:        make([]*pktbuf.Packet, burst*2),
 		RxConvInstr: DefaultRxConvInstr,
@@ -350,8 +351,8 @@ func (pt *Port) SpareCount() int { return len(pt.spare) }
 // stock bindings, from the application's provided buffers under exchange
 // bindings. It charges nothing (initialization phase).
 func (pt *Port) SetupRX() error {
-	rxq := pt.NIC.RX(pt.Queue)
-	want := pt.NIC.Cfg.RXRingSize - rxq.PostedCount() - rxq.PendingCount()
+	rxq := pt.Dev
+	want := rxq.RXRingSize() - rxq.PostedCount() - rxq.PendingCount()
 	for i := 0; i < want; i++ {
 		var b *pktbuf.Packet
 		if pt.Bind.ExchangesBuffers() {
@@ -403,7 +404,7 @@ func (pt *Port) RxBurst(core *machine.Core, nowNS float64, out []*pktbuf.Packet)
 	if max > len(pt.descs) {
 		max = len(pt.descs)
 	}
-	rxq := pt.NIC.RX(pt.Queue)
+	rxq := pt.Dev
 	if rxq.NextReadyNS() > nowNS {
 		// Empty-poll fast path: nothing is ready, so skip the poll loop
 		// and conversion setup entirely. The simulated charge is the same
@@ -517,7 +518,7 @@ func (pt *Port) unrefill(core *machine.Core, b *pktbuf.Packet) {
 // TxBurst reaps completed transmissions (recycling their buffers) and
 // enqueues pkts[0:n]; returns how many were accepted.
 func (pt *Port) TxBurst(core *machine.Core, nowNS float64, pkts []*pktbuf.Packet) int {
-	txq := pt.NIC.TX(pt.Queue)
+	txq := pt.Dev
 
 	// Reap finished frames first, releasing buffers for reuse.
 	for {

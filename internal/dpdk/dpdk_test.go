@@ -218,7 +218,7 @@ func TestMempoolRearmChargesDescriptor(t *testing.T) {
 
 func newDefaultPort(r *rig, poolSize int) *Port {
 	mp := mustMempool("mb", poolSize, r.huge, DefaultBufSpec())
-	pt := NewPort(0, r.nic, 0, mp, xchg.NewDefaultBinding(true), 32)
+	pt := NewPort(0, r.nic.Port(0), mp, xchg.NewDefaultBinding(true), 32)
 	if err := pt.SetupRX(); err != nil {
 		panic(err)
 	}
@@ -239,7 +239,7 @@ func TestPortSetupFillsRing(t *testing.T) {
 func TestPortSetupPoolTooSmall(t *testing.T) {
 	r := newRig()
 	mp := mustMempool("mb", 10, r.huge, DefaultBufSpec())
-	if err := NewPort(0, r.nic, 0, mp, xchg.NewDefaultBinding(true), 32).SetupRX(); err == nil {
+	if err := NewPort(0, r.nic.Port(0), mp, xchg.NewDefaultBinding(true), 32).SetupRX(); err == nil {
 		t.Fatal("expected error for undersized pool")
 	}
 }
@@ -308,7 +308,7 @@ func newXchgPort(r *rig) (*Port, *xchg.CustomBinding) {
 		panic(err)
 	}
 	bind := xchg.NewCustomBinding("x-change", dp, true)
-	pt := NewPort(0, r.nic, 0, nil, bind, 32)
+	pt := NewPort(0, r.nic.Port(0), nil, bind, 32)
 	bufs, err := AllocRawBuffers(r.huge, 256+64, DefaultHeadroom, DefaultDataRoom)
 	if err != nil {
 		panic(err)
@@ -384,7 +384,7 @@ func TestRxBurstDescPoolExhausted(t *testing.T) {
 		t.Fatal(err)
 	}
 	bind := xchg.NewCustomBinding("x-change", dp, true)
-	pt := NewPort(0, r.nic, 0, nil, bind, 32)
+	pt := NewPort(0, r.nic.Port(0), nil, bind, 32)
 	bufs, err := AllocRawBuffers(r.huge, 256+64, DefaultHeadroom, DefaultDataRoom)
 	if err != nil {
 		t.Fatal(err)

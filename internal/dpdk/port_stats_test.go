@@ -20,7 +20,7 @@ func newXchgPortHeadroom(r *rig, descs, bufs, headroom int) (*Port, *xchg.Custom
 		panic(err)
 	}
 	bind := xchg.NewCustomBinding("x-change", dp, true)
-	pt := NewPort(0, r.nic, 0, nil, bind, 32)
+	pt := NewPort(0, r.nic.Port(0), nil, bind, 32)
 	raw, err := AllocRawBuffers(r.huge, bufs, headroom, DefaultDataRoom)
 	if err != nil {
 		panic(err)

@@ -1,0 +1,141 @@
+package netpkt
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// referenceChecksum is an independent RFC 1071 implementation: sum into
+// 64 bits, fold once at the end. Any divergence from Checksum's
+// fold-as-you-go form is a bug in one of them.
+func referenceChecksum(b []byte, initial uint32) uint16 {
+	var sum uint64 = uint64(initial)
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint64(b[i])<<8 | uint64(b[i+1])
+	}
+	if len(b)%2 == 1 {
+		sum += uint64(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// FuzzChecksum cross-checks Checksum against the independent reference
+// on arbitrary payloads, and pins the RFC 1071 algebraic properties the
+// rewriters rely on.
+func FuzzChecksum(f *testing.F) {
+	f.Add([]byte{}, uint32(0))
+	f.Add([]byte{0x00}, uint32(0))
+	f.Add([]byte{0xff, 0xff}, uint32(0))
+	f.Add([]byte{0x00, 0x00, 0xff, 0xff}, uint32(0xffff))
+	f.Add([]byte{0x45, 0x00, 0x00, 0x54, 0x00, 0x00, 0x40, 0x00, 0x40, 0x01}, uint32(0))
+	f.Fuzz(func(t *testing.T, b []byte, initial uint32) {
+		// Pre-fold oversized initial sums: callers pass partial sums that
+		// are themselves bounded, and the reference folds differently at
+		// the 2^32 boundary otherwise.
+		initial = initial&0xffff + initial>>16
+		got := Checksum(b, initial)
+		want := referenceChecksum(b, initial)
+		if got != want {
+			t.Fatalf("Checksum(%x, %#x) = %#04x, reference %#04x", b, initial, got, want)
+		}
+		// Verification property: a message with its own checksum summed
+		// in verifies to zero (the receiver's check).
+		if len(b)%2 == 0 {
+			full := Checksum(b, initial)
+			if v := Checksum(b, initial+uint32(full)); v != 0 {
+				t.Fatalf("checksum-of-checksummed = %#04x, want 0", v)
+			}
+		}
+	})
+}
+
+// canonical maps the +0 checksum representation to the transmitted -0
+// form (RFC 1624 §4: a computed zero goes on the wire as 0xffff).
+func canonical(c uint16) uint16 {
+	if c == 0 {
+		return 0xffff
+	}
+	return c
+}
+
+// FuzzIncrementalChecksumUpdate16 is the RFC 1624 equivalence gate: for
+// any packet and any single 16-bit field rewrite, patching the checksum
+// incrementally must verify exactly like recomputing it from scratch —
+// including the 0x0000/0xffff folding edge that RFC 1624 exists to fix
+// (eqn. 3 never produces the non-canonical -0 form from a valid sum).
+func FuzzIncrementalChecksumUpdate16(f *testing.F) {
+	f.Add([]byte{0x45, 0x00, 0x00, 0x54, 0x00, 0x00, 0x40, 0x00}, 0, uint16(0x0000))
+	f.Add([]byte{0x45, 0x00, 0x00, 0x54, 0x00, 0x00, 0x40, 0x00}, 2, uint16(0xffff))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}, 0, uint16(0x0000))
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00}, 2, uint16(0xffff))
+	f.Add([]byte{0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc}, 4, uint16(0x9abc))
+	f.Fuzz(func(t *testing.T, b []byte, fieldIdx int, newVal uint16) {
+		if len(b) < 2 || len(b)%2 != 0 {
+			return
+		}
+		nFields := len(b) / 2
+		fieldIdx = ((fieldIdx % nFields) + nFields) % nFields
+		off := fieldIdx * 2
+
+		check := Checksum(b, 0)
+		old := binary.BigEndian.Uint16(b[off:])
+
+		patched := IncrementalChecksumUpdate16(check, old, newVal)
+
+		mod := make([]byte, len(b))
+		copy(mod, b)
+		binary.BigEndian.PutUint16(mod[off:], newVal)
+		full := Checksum(mod, 0)
+
+		// RFC 1624 §3: incremental update and full recomputation may
+		// disagree only in the representation of zero (0x0000 vs
+		// 0xffff, +0 vs -0 in ones' complement). Verification goes
+		// through the canonical form — RFC 1624 §4's rule that a zero
+		// checksum is transmitted as 0xffff, which every IP stack
+		// applies — because the +0 form cannot verify over an all-zero
+		// message.
+		if v := Checksum(mod, uint32(canonical(patched))); v != 0 {
+			t.Fatalf("patched checksum %#04x does not verify (full %#04x, old %#04x, new %#04x)",
+				patched, full, old, newVal)
+		}
+		// And outside the zero representation edge they must be equal.
+		if patched != full && !(patched == 0xffff && full == 0x0000 || patched == 0x0000 && full == 0xffff) {
+			t.Fatalf("incremental %#04x != full %#04x beyond the ±0 edge", patched, full)
+		}
+		// Round trip: undoing the change restores a verifying checksum.
+		back := IncrementalChecksumUpdate16(patched, newVal, old)
+		if v := Checksum(b, uint32(canonical(back))); v != 0 {
+			t.Fatalf("reverted checksum %#04x does not verify", back)
+		}
+	})
+}
+
+// TestIncrementalChecksumZeroEdges pins the folding edge cases by hand:
+// transitions through 0x0000 and 0xffff fields, the classic RFC 1624
+// failure of the RFC 1141 shortcut.
+func TestIncrementalChecksumZeroEdges(t *testing.T) {
+	cases := []struct {
+		b   []byte
+		off int
+		new uint16
+	}{
+		{[]byte{0x00, 0x00, 0x00, 0x00}, 0, 0xffff},
+		{[]byte{0xff, 0xff, 0xff, 0xff}, 0, 0x0000},
+		{[]byte{0x12, 0x34, 0xed, 0xcb}, 2, 0x0000}, // sum is 0xffff before
+		{[]byte{0x00, 0x00, 0xff, 0xff}, 2, 0x0001},
+	}
+	for i, c := range cases {
+		check := Checksum(c.b, 0)
+		old := binary.BigEndian.Uint16(c.b[c.off:])
+		patched := IncrementalChecksumUpdate16(check, old, c.new)
+		mod := make([]byte, len(c.b))
+		copy(mod, c.b)
+		binary.BigEndian.PutUint16(mod[c.off:], c.new)
+		if v := Checksum(mod, uint32(canonical(patched))); v != 0 {
+			t.Errorf("case %d: patched %#04x does not verify", i, patched)
+		}
+	}
+}

@@ -136,6 +136,117 @@ type Descriptor struct {
 	Queue   int
 }
 
+// Port is one RX/TX queue pair as a poll-mode driver sees it: the seam
+// between an adapter and internal/dpdk. The simulated NIC exposes its
+// queue pairs through NIC.Port; internal/wire implements the same surface
+// over live datagram sockets, so the PMD, the metadata bindings, fault
+// injection, and telemetry run unchanged on either backend.
+type Port interface {
+	// PortName names the adapter for reports; QueueID is the queue index.
+	PortName() string
+	QueueID() int
+	// RXRingSize/TXRingSize bound the descriptor rings the driver fills.
+	RXRingSize() int
+	TXRingSize() int
+
+	// Post hands a fresh buffer to the RX ring (refill); ErrOverPosted
+	// when the ring cannot take more.
+	Post(p *pktbuf.Packet) error
+	// PostedCount reports buffers awaiting frames; PendingCount reports
+	// completed receptions awaiting the driver's poll.
+	PostedCount() int
+	PendingCount() int
+	// NextReadyNS is the readiness time of the oldest pending completion
+	// (+Inf when idle; a live backend returns -Inf when frames are
+	// pending, since real arrivals are never in the simulated future).
+	NextReadyNS() float64
+	// Poll pops up to max completed receptions ready by nowNS.
+	Poll(core *machine.Core, nowNS float64, max int, pkts []*pktbuf.Packet, descs []Descriptor) int
+	// PollCompressed is Poll through the compressed-CQE (vectorized) path.
+	PollCompressed(core *machine.Core, nowNS float64, max int, pkts []*pktbuf.Packet, descs []Descriptor) int
+
+	// Enqueue queues a frame for transmission; false when the ring is full.
+	Enqueue(core *machine.Core, p *pktbuf.Packet, nowNS float64) bool
+	// Reap returns buffers whose frames have left the wire by nowNS.
+	Reap(nowNS float64, out []*pktbuf.Packet) int
+	// InflightCount reports frames queued but not yet departed.
+	InflightCount() int
+
+	// RXStats/TXStats snapshot the queue counters for telemetry.
+	RXStats() RXQueueStats
+	TXStats() TXQueueStats
+}
+
+// QueuePair adapts one (RXQueue, TXQueue) pair of the simulated adapter
+// to the Port interface.
+type QueuePair struct {
+	n  *NIC
+	rx *RXQueue
+	tx *TXQueue
+}
+
+var _ Port = (*QueuePair)(nil)
+
+// Port returns queue q of the adapter as a driver-facing Port.
+func (n *NIC) Port(q int) *QueuePair {
+	return &QueuePair{n: n, rx: n.rx[q], tx: n.tx[q]}
+}
+
+// PortName implements Port.
+func (qp *QueuePair) PortName() string { return qp.n.Cfg.Name }
+
+// QueueID implements Port.
+func (qp *QueuePair) QueueID() int { return qp.rx.id }
+
+// RXRingSize implements Port.
+func (qp *QueuePair) RXRingSize() int { return qp.n.Cfg.RXRingSize }
+
+// TXRingSize implements Port.
+func (qp *QueuePair) TXRingSize() int { return qp.n.Cfg.TXRingSize }
+
+// Post implements Port.
+func (qp *QueuePair) Post(p *pktbuf.Packet) error { return qp.rx.Post(p) }
+
+// PostedCount implements Port.
+func (qp *QueuePair) PostedCount() int { return qp.rx.PostedCount() }
+
+// PendingCount implements Port.
+func (qp *QueuePair) PendingCount() int { return qp.rx.PendingCount() }
+
+// NextReadyNS implements Port.
+func (qp *QueuePair) NextReadyNS() float64 { return qp.rx.NextReadyNS() }
+
+// Poll implements Port.
+func (qp *QueuePair) Poll(core *machine.Core, nowNS float64, max int,
+	pkts []*pktbuf.Packet, descs []Descriptor) int {
+	return qp.rx.Poll(core, nowNS, max, pkts, descs)
+}
+
+// PollCompressed implements Port.
+func (qp *QueuePair) PollCompressed(core *machine.Core, nowNS float64, max int,
+	pkts []*pktbuf.Packet, descs []Descriptor) int {
+	return qp.rx.PollCompressed(core, nowNS, max, pkts, descs)
+}
+
+// Enqueue implements Port.
+func (qp *QueuePair) Enqueue(core *machine.Core, p *pktbuf.Packet, nowNS float64) bool {
+	return qp.tx.Enqueue(core, p, nowNS)
+}
+
+// Reap implements Port.
+func (qp *QueuePair) Reap(nowNS float64, out []*pktbuf.Packet) int {
+	return qp.tx.Reap(nowNS, out)
+}
+
+// InflightCount implements Port.
+func (qp *QueuePair) InflightCount() int { return qp.tx.InflightCount() }
+
+// RXStats implements Port.
+func (qp *QueuePair) RXStats() RXQueueStats { return qp.rx.Stats }
+
+// TXStats implements Port.
+func (qp *QueuePair) TXStats() TXQueueStats { return qp.tx.Stats }
+
 // RXQueue is one receive queue: posted buffers plus completed entries.
 type RXQueue struct {
 	nic        *NIC
@@ -251,6 +362,20 @@ func (n *NIC) RSSQueue(frame []byte) int {
 	return int(h % uint32(n.Cfg.NumQueues))
 }
 
+// HashFrame exposes the adapter's RSS flow hash to other backends (the
+// wire NIC computes the same hash so RSS-keyed engines behave identically
+// on real frames).
+func HashFrame(frame []byte) uint32 { return rssHash(frame) }
+
+// FrameVlanTCI extracts the 802.1Q TCI the adapter strips into the
+// descriptor, or 0 for untagged (or too-short) frames.
+func FrameVlanTCI(frame []byte) uint16 {
+	if len(frame) >= 16 && frame[12] == 0x81 && frame[13] == 0x00 {
+		return uint16(frame[14])<<8 | uint16(frame[15])
+	}
+	return 0
+}
+
 func rssHash(frame []byte) uint32 {
 	// Walk past up to two 802.1Q/802.1ad shims to find the real
 	// EtherType, the way hardware RSS parses tagged frames. The old code
@@ -352,13 +477,11 @@ func (n *NIC) Deliver(q int, frame []byte, ns float64) bool {
 	}
 	rxq.lastCompNS = ready
 
-	desc := Descriptor{Len: len(frame), Queue: q, RSSHash: rssHash(frame)}
-	// The TCI read needs 16 bytes, not 14: the old guard was only masked
+	// FrameVlanTCI needs 16 bytes, not 14: the old guard was only masked
 	// by the runt check above, and a direct short delivery would have
 	// read past the frame.
-	if len(frame) >= 16 && frame[12] == 0x81 && frame[13] == 0x00 {
-		desc.VlanTCI = uint16(frame[14])<<8 | uint16(frame[15])
-	}
+	desc := Descriptor{Len: len(frame), Queue: q, RSSHash: rssHash(frame),
+		VlanTCI: FrameVlanTCI(frame)}
 	rxq.completed.push(rxEntry{pkt: pkt, desc: desc, readyNS: ready})
 	n.Stats.RxDelivered++
 	n.Stats.RxBytes += uint64(len(frame))

@@ -98,20 +98,20 @@ func (d *DUT) buildReport(res *Result, lat *stats.LatencyRecorder,
 			if !ok {
 				continue
 			}
-			rxq := port.NIC.RX(port.Queue)
-			txq := port.NIC.TX(port.Queue)
+			rxs := port.Dev.RXStats()
+			txs := port.Dev.TXStats()
 			r.Queues = append(r.Queues, telemetry.QueueReport{
-				NIC:             port.NIC.Cfg.Name,
-				Queue:           port.Queue,
+				NIC:             port.Dev.PortName(),
+				Queue:           port.Dev.QueueID(),
 				Core:            c,
-				RxDelivered:     rxq.Stats.Delivered,
-				RxBytes:         rxq.Stats.Bytes,
-				RxDropNoBuf:     rxq.Stats.DropNoBuf,
-				RxDropFull:      rxq.Stats.DropFull,
-				RxDropRunt:      rxq.Stats.DropRunt,
-				TxSent:          txq.Stats.Sent,
-				TxBytes:         txq.Stats.Bytes,
-				TxDropFull:      txq.Stats.DropFull,
+				RxDelivered:     rxs.Delivered,
+				RxBytes:         rxs.Bytes,
+				RxDropNoBuf:     rxs.DropNoBuf,
+				RxDropFull:      rxs.DropFull,
+				RxDropRunt:      rxs.DropRunt,
+				TxSent:          txs.Sent,
+				TxBytes:         txs.Bytes,
+				TxDropFull:      txs.DropFull,
 				Polls:           port.Stats.Polls,
 				EmptyPolls:      port.Stats.EmptyPolls,
 				RxPackets:       port.Stats.RxPackets,
@@ -119,8 +119,8 @@ func (d *DUT) buildReport(res *Result, lat *stats.LatencyRecorder,
 				RefillShort:     port.Stats.RefillShort,
 				RefillShortBufs: port.Stats.RefillShortBufs,
 				PoolExhausted:   port.Drops.Get(stats.DropPoolExhausted),
-				Posted:          uint64(rxq.PostedCount()),
-				PendingRx:       uint64(rxq.PendingCount()),
+				Posted:          uint64(port.Dev.PostedCount()),
+				PendingRx:       uint64(port.Dev.PendingCount()),
 			})
 		}
 	}

@@ -256,9 +256,14 @@ func NewDUT(o Options) (*DUT, error) {
 // buildPort creates queue `queue` of NIC `nicID` as a PMD port with the
 // binding the metadata model calls for, fully posted.
 func (d *DUT) buildPort(nicID, queue int) (*dpdk.Port, error) {
+	return d.buildPortOn(nicID, d.NICs[nicID].Port(queue))
+}
+
+// buildPortOn wires a PMD port with buffers and the model's binding onto
+// any device queue pair — the simulated NIC's or a live wire backend's.
+func (d *DUT) buildPortOn(portID int, dev nic.Port) (*dpdk.Port, error) {
 	o := d.Opts
-	n := d.NICs[nicID]
-	ringSize := n.Cfg.RXRingSize
+	ringSize := dev.RXRingSize()
 
 	switch o.Model {
 	case click.XChange:
@@ -275,7 +280,7 @@ func (d *DUT) buildPort(nicID, queue int) (*dpdk.Port, error) {
 		}
 		dp.SetFIFO(o.DescPoolFIFO)
 		bind := xchg.NewCustomBinding("x-change", dp, !o.NoLTO)
-		port := dpdk.NewPort(nicID, n, queue, nil, bind, 32)
+		port := dpdk.NewPort(portID, dev, nil, bind, 32)
 		if err := port.SetVectorized(o.VectorizedPMD); err != nil {
 			return nil, err
 		}
@@ -299,13 +304,13 @@ func (d *DUT) buildPort(nicID, queue int) (*dpdk.Port, error) {
 			spec.MetaLayout = o.MetaLayout
 		}
 		spec.SeparateMbuf = false
-		pool, err := dpdk.NewMempool(fmt.Sprintf("ov%d-%d", nicID, queue),
+		pool, err := dpdk.NewMempool(fmt.Sprintf("ov%d-%d", portID, dev.QueueID()),
 			ringSize+o.MempoolSize, d.Huge, spec)
 		if err != nil {
 			return nil, err
 		}
 		bind := xchg.NewDefaultBinding(!o.NoLTO)
-		port := dpdk.NewPort(nicID, n, queue, pool, bind, 32)
+		port := dpdk.NewPort(portID, dev, pool, bind, 32)
 		if err := port.SetVectorized(o.VectorizedPMD); err != nil {
 			return nil, err
 		}
@@ -317,13 +322,13 @@ func (d *DUT) buildPort(nicID, queue int) (*dpdk.Port, error) {
 		return port, nil
 
 	default: // Copying
-		pool, err := dpdk.NewMempool(fmt.Sprintf("mb%d-%d", nicID, queue),
+		pool, err := dpdk.NewMempool(fmt.Sprintf("mb%d-%d", portID, dev.QueueID()),
 			ringSize+o.MempoolSize, d.Huge, dpdk.DefaultBufSpec())
 		if err != nil {
 			return nil, err
 		}
 		bind := xchg.NewDefaultBinding(!o.NoLTO)
-		port := dpdk.NewPort(nicID, n, queue, pool, bind, 32)
+		port := dpdk.NewPort(portID, dev, pool, bind, 32)
 		if err := port.SetVectorized(o.VectorizedPMD); err != nil {
 			return nil, err
 		}
@@ -525,11 +530,10 @@ func (d *DUT) snapshot(engines []Engine) string {
 			if !ok {
 				continue
 			}
-			rxq := port.NIC.RX(port.Queue)
-			txq := port.NIC.TX(port.Queue)
+			dev := port.Dev
 			fmt.Fprintf(&b, "  core%d port%d: drops=[%s] spare=%d posted=%d pendingRx=%d inflightTx=%d refillShort=%d\n",
 				c, id, port.Drops.String(), port.SpareCount(),
-				rxq.PostedCount(), rxq.PendingCount(), txq.InflightCount(),
+				dev.PostedCount(), dev.PendingCount(), dev.InflightCount(),
 				port.Stats.RefillShort)
 		}
 	}
@@ -551,9 +555,7 @@ func (d *DUT) Audit() error {
 	held := 0
 	for _, ports := range d.PortsFor {
 		for _, port := range ports {
-			rxq := port.NIC.RX(port.Queue)
-			txq := port.NIC.TX(port.Queue)
-			held += rxq.PostedCount() + rxq.PendingCount() + txq.InflightCount()
+			held += port.Dev.PostedCount() + port.Dev.PendingCount() + port.Dev.InflightCount()
 		}
 	}
 	if d.Opts.Model == click.XChange {

@@ -1,0 +1,163 @@
+// Wire serving: driving an engine against live internal/wire ports
+// instead of the simulated two-node harness. The same DUT assembly —
+// mempools, bindings, routers, telemetry — runs here; what changes is
+// the clock (wall time, since real sockets do not advance a simulated
+// calendar) and the exit condition (idle timeout or packet budget
+// instead of a drained traffic source).
+package testbed
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"packetmill/internal/cache"
+	"packetmill/internal/click"
+	"packetmill/internal/dpdk"
+	"packetmill/internal/machine"
+	"packetmill/internal/memsim"
+	"packetmill/internal/nic"
+	"packetmill/internal/telemetry"
+	"packetmill/internal/xchg"
+)
+
+// NewWireDUT assembles a single-core DUT whose PMD ports sit on the
+// given live devices (internal/wire ports) instead of simulated
+// adapters. Device i appears as Click PORT i.
+func NewWireDUT(o Options, devs []nic.Port) (*DUT, error) {
+	if len(devs) == 0 {
+		return nil, fmt.Errorf("testbed: wire DUT needs at least one device")
+	}
+	o.Cores = 1
+	o.NICs = len(devs)
+	o = o.withDefaults()
+	memCfg := cache.DefaultSystemConfig()
+	if o.DDIOWays > 0 {
+		memCfg.DDIOWays = o.DDIOWays
+	}
+	mach := machine.New(memCfg, machine.DefaultCostModel())
+	d := &DUT{
+		Opts:     o,
+		Mach:     mach,
+		Huge:     memsim.NewArena("hugepages", memsim.HugeBase, 1<<30),
+		Static:   memsim.NewArena("static", memsim.StaticBase, 512<<20),
+		Heap:     memsim.NewHeap(),
+		mempools: map[*dpdk.Port]*dpdk.Mempool{},
+		bindings: map[*dpdk.Port]xchg.Binding{},
+	}
+	core := mach.AddCore(o.FreqGHz)
+	d.Cores = append(d.Cores, core)
+	d.PortsFor = append(d.PortsFor, map[int]*dpdk.Port{})
+	if o.Telemetry {
+		d.Trackers = append(d.Trackers, telemetry.NewTracker(core))
+	} else {
+		d.Trackers = append(d.Trackers, nil)
+	}
+	for i, dev := range devs {
+		port, err := d.buildPortOn(i, dev)
+		if err != nil {
+			return nil, err
+		}
+		d.PortsFor[0][i] = port
+	}
+	return d, nil
+}
+
+// WireServeStats summarizes a wire-serving session.
+type WireServeStats struct {
+	// Steps is the number of scheduling rounds executed.
+	Steps uint64
+	// Packets counts packets moved across all rounds (RX and TX both
+	// count, as in Engine.Step's contract).
+	Packets uint64
+}
+
+// ServeWire drives the engines against wall-clock time until ctx is
+// canceled, the engines have moved maxPackets packets (0 = no budget),
+// or the datapath has been idle for idleExit (0 = no idle exit). On a
+// normal exit it drains in-flight transmissions so a post-run Audit
+// balances.
+func (d *DUT) ServeWire(ctx context.Context, engines []Engine,
+	idleExit time.Duration, maxPackets uint64) (WireServeStats, error) {
+	start := time.Now()
+	lastWork := start
+	var st WireServeStats
+	for {
+		select {
+		case <-ctx.Done():
+			d.drainWire(engines, start)
+			return st, ctx.Err()
+		default:
+		}
+		now := float64(time.Since(start))
+		moved := 0
+		for i, e := range engines {
+			moved += e.Step(d.Cores[i], now)
+		}
+		st.Steps++
+		if moved > 0 {
+			st.Packets += uint64(moved)
+			lastWork = time.Now()
+			if maxPackets > 0 && st.Packets >= maxPackets {
+				break
+			}
+			continue
+		}
+		if idleExit > 0 && time.Since(lastWork) > idleExit {
+			break
+		}
+		// An empty poll on a live wire should not spin a core flat out.
+		runtime.Gosched()
+	}
+	d.drainWire(engines, start)
+	return st, nil
+}
+
+// drainWire steps the engines and reaps TX rings until nothing moves and
+// nothing is in flight (bounded by a wall-clock deadline), so buffers
+// make it back to their pools before an Audit.
+func (d *DUT) drainWire(engines []Engine, start time.Time) {
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		now := float64(time.Since(start))
+		moved := 0
+		for i, e := range engines {
+			moved += e.Step(d.Cores[i], now)
+		}
+		inflight := 0
+		for c, ports := range d.PortsFor {
+			for _, port := range ports {
+				// An empty TxBurst still reaps departed frames.
+				port.TxBurst(d.Cores[c], now, nil)
+				inflight += port.Dev.InflightCount()
+			}
+		}
+		if moved == 0 && inflight == 0 {
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// ServeWireGraph builds routers for g on a wire DUT and serves: the
+// one-call path cmd/packetmill's -io wire mode uses. The DUT is
+// returned so callers can audit buffers and read telemetry after the
+// session.
+func ServeWireGraph(ctx context.Context, g *click.Graph, o Options,
+	devs []nic.Port, idleExit time.Duration, maxPackets uint64) (*DUT, WireServeStats, error) {
+	d, err := NewWireDUT(o, devs)
+	if err != nil {
+		return nil, WireServeStats{}, err
+	}
+	routers, err := d.BuildRouters(g)
+	if err != nil {
+		return nil, WireServeStats{}, err
+	}
+	engines := make([]Engine, len(routers))
+	for i, rt := range routers {
+		engines[i] = &clickEngine{rt: rt, core: d.Cores[i]}
+	}
+	st, err := d.ServeWire(ctx, engines, idleExit, maxPackets)
+	return d, st, err
+}

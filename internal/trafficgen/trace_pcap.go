@@ -1,0 +1,75 @@
+// Capture interchange: a Trace converts to and from the pcap/pcapng
+// containers in internal/wire/pcapio, so recorded workloads can leave for
+// Wireshark/tcpdump and real captures can come back as replay sources.
+//
+// The native trace format (WriteTo/ReadTrace) remains the tools'
+// lossless interchange: its "PMTR" magic, u32 version (currently 1) and
+// u32 frame count head a flat little-endian sequence of
+// {u32 length, f64 timestamp-ns, payload} records. Timestamps there are
+// float64 nanoseconds, exactly as the generators produce them; pcap
+// necessarily rounds to integer nanoseconds (or truncates to
+// microseconds under classic µs resolution), so a trace whose
+// timestamps carry sub-nanosecond fractions round-trips through PMTR
+// but only approximately through pcap.
+package trafficgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"packetmill/internal/wire/pcapio"
+)
+
+// ToPcap writes the trace as a capture file. Timestamps are rounded to
+// the nearest nanosecond; pass o.Nanosecond=true to keep them (classic
+// microsecond pcap truncates further).
+func (t *Trace) ToPcap(w io.Writer, o pcapio.WriterOptions) error {
+	pw, err := pcapio.NewWriter(w, o)
+	if err != nil {
+		return err
+	}
+	for i, f := range t.frames {
+		if err := pw.WriteFrame(f, int64(math.Round(t.ns[i]))); err != nil {
+			return fmt.Errorf("trafficgen: frame %d: %w", i, err)
+		}
+	}
+	return pw.Flush()
+}
+
+// TraceFromPcap reads an entire pcap or pcapng capture into a Trace.
+func TraceFromPcap(r io.Reader) (*Trace, error) {
+	pr, err := pcapio.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{}
+	for {
+		frame, tsNS, err := pr.Next()
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		cp := make([]byte, len(frame))
+		copy(cp, frame)
+		t.frames = append(t.frames, cp)
+		t.ns = append(t.ns, float64(tsNS))
+	}
+}
+
+// ReadAnyTrace sniffs the leading magic and reads either the native PMTR
+// format or a pcap/pcapng capture — the commands accept both.
+func ReadAnyTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("trafficgen: trace magic: %w", err)
+	}
+	if string(magic) == traceMagic {
+		return ReadTrace(br)
+	}
+	return TraceFromPcap(br)
+}

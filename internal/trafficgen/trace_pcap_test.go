@@ -1,0 +1,78 @@
+package trafficgen
+
+import (
+	"bytes"
+	"testing"
+
+	"packetmill/internal/wire/pcapio"
+)
+
+func pcapTestTrace() *Trace {
+	t := &Trace{}
+	for i, n := range []int{60, 73, 1514} {
+		f := make([]byte, n)
+		for j := range f {
+			f[j] = byte(i + j)
+		}
+		f[12], f[13] = 0x08, 0x00
+		t.frames = append(t.frames, f)
+		// Integer nanoseconds: exactly representable in both formats.
+		t.ns = append(t.ns, float64(1_000_000+i*1_003))
+	}
+	return t
+}
+
+// TestTracePcapRoundTrip sends a trace through a nanosecond pcap and
+// back: frames must be byte-identical and timestamps exact.
+func TestTracePcapRoundTrip(t *testing.T) {
+	for _, format := range []pcapio.Format{pcapio.FormatPcap, pcapio.FormatPcapNG} {
+		src := pcapTestTrace()
+		var buf bytes.Buffer
+		if err := src.ToPcap(&buf, pcapio.WriterOptions{Format: format, Nanosecond: true}); err != nil {
+			t.Fatalf("ToPcap: %v", err)
+		}
+		got, err := TraceFromPcap(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("TraceFromPcap: %v", err)
+		}
+		if got.Len() != src.Len() {
+			t.Fatalf("format %d: %d frames, want %d", format, got.Len(), src.Len())
+		}
+		for i := range src.frames {
+			if !bytes.Equal(got.frames[i], src.frames[i]) {
+				t.Errorf("format %d: frame %d differs", format, i)
+			}
+			if got.ns[i] != src.ns[i] {
+				t.Errorf("format %d: frame %d ts = %v, want %v", format, i, got.ns[i], src.ns[i])
+			}
+		}
+	}
+}
+
+// TestReadAnyTrace sniffs both the native format and pcap.
+func TestReadAnyTrace(t *testing.T) {
+	src := pcapTestTrace()
+
+	var native bytes.Buffer
+	if _, err := src.WriteTo(&native); err != nil {
+		t.Fatal(err)
+	}
+	var capture bytes.Buffer
+	if err := src.ToPcap(&capture, pcapio.WriterOptions{Nanosecond: true}); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{"native": native.Bytes(), "pcap": capture.Bytes()} {
+		got, err := ReadAnyTrace(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Len() != src.Len() {
+			t.Fatalf("%s: %d frames, want %d", name, got.Len(), src.Len())
+		}
+		for i := range src.frames {
+			if !bytes.Equal(got.frames[i], src.frames[i]) {
+				t.Errorf("%s: frame %d differs", name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package pcapio reads and writes capture files: classic pcap and
+// pcapng, both endiannesses, microsecond and nanosecond timestamps. It
+// is pure encoding — stdlib only, no dependency on the rest of the
+// datapath — so trace containers (internal/trafficgen) and the live
+// socket backend (internal/wire) can both speak the interchange
+// formats the wider capture ecosystem uses.
+package pcapio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Format selects a capture container.
+type Format int
+
+const (
+	// FormatPcap is the classic libpcap format: a 24-byte global header
+	// followed by 16-byte-headed records.
+	FormatPcap Format = iota
+	// FormatPcapNG is the block-structured pcapng format (SHB/IDB/EPB).
+	FormatPcapNG
+)
+
+// LinkTypeEthernet is the only link type this repository captures.
+const LinkTypeEthernet = 1
+
+// Classic pcap magic numbers, written in the file's byte order. The
+// second variant declares nanosecond-resolution timestamp fractions.
+const (
+	pcapMagicMicros = 0xa1b2c3d4
+	pcapMagicNanos  = 0xa1b23c4d
+)
+
+// DefaultSnapLen is the snapshot length written when the caller leaves it
+// zero — large enough that no Ethernet frame is ever truncated.
+const DefaultSnapLen = 262144
+
+// WriterOptions shapes a capture file.
+type WriterOptions struct {
+	Format Format
+	// ByteOrder is the file's byte order; nil writes little-endian (the
+	// common choice on x86 capture hosts).
+	ByteOrder binary.ByteOrder
+	// Nanosecond selects nanosecond timestamp resolution: the
+	// 0xa1b23c4d magic for classic pcap, an if_tsresol=9 option for
+	// pcapng. False writes microseconds, the historical default.
+	Nanosecond bool
+	// SnapLen is the capture snapshot length (0 = DefaultSnapLen).
+	SnapLen uint32
+}
+
+// Writer streams frames into a pcap or pcapng capture.
+type Writer struct {
+	bw     *bufio.Writer
+	o      WriterOptions
+	bo     binary.ByteOrder
+	hdr    [32]byte // scratch for record/block headers
+	frames uint64
+}
+
+// NewWriter writes the capture's file/section header and returns a
+// streaming writer. Call Flush when done.
+func NewWriter(w io.Writer, o WriterOptions) (*Writer, error) {
+	if o.ByteOrder == nil {
+		o.ByteOrder = binary.LittleEndian
+	}
+	if o.SnapLen == 0 {
+		o.SnapLen = DefaultSnapLen
+	}
+	pw := &Writer{bw: bufio.NewWriter(w), o: o, bo: o.ByteOrder}
+	var err error
+	switch o.Format {
+	case FormatPcap:
+		err = pw.writePcapHeader()
+	case FormatPcapNG:
+		err = pw.writePcapNGHeader()
+	default:
+		return nil, fmt.Errorf("wire: unknown capture format %d", o.Format)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return pw, nil
+}
+
+func (w *Writer) writePcapHeader() error {
+	h := w.hdr[:24]
+	magic := uint32(pcapMagicMicros)
+	if w.o.Nanosecond {
+		magic = pcapMagicNanos
+	}
+	w.bo.PutUint32(h[0:], magic)
+	w.bo.PutUint16(h[4:], 2) // version 2.4
+	w.bo.PutUint16(h[6:], 4)
+	w.bo.PutUint32(h[8:], 0)  // thiszone
+	w.bo.PutUint32(h[12:], 0) // sigfigs
+	w.bo.PutUint32(h[16:], w.o.SnapLen)
+	w.bo.PutUint32(h[20:], LinkTypeEthernet)
+	_, err := w.bw.Write(h)
+	return err
+}
+
+// Frames reports how many frames have been written.
+func (w *Writer) Frames() uint64 { return w.frames }
+
+// WriteFrame appends one frame with its timestamp in nanoseconds. Under
+// microsecond resolution the timestamp is truncated toward zero, as
+// libpcap does.
+func (w *Writer) WriteFrame(data []byte, tsNS int64) error {
+	if uint32(len(data)) > w.o.SnapLen {
+		data = data[:w.o.SnapLen]
+	}
+	var err error
+	switch w.o.Format {
+	case FormatPcap:
+		err = w.writePcapRecord(data, tsNS)
+	default:
+		err = w.writeEPB(data, tsNS)
+	}
+	if err == nil {
+		w.frames++
+	}
+	return err
+}
+
+func (w *Writer) writePcapRecord(data []byte, tsNS int64) error {
+	h := w.hdr[:16]
+	sec := tsNS / 1e9
+	frac := tsNS % 1e9
+	if !w.o.Nanosecond {
+		frac /= 1000
+	}
+	w.bo.PutUint32(h[0:], uint32(sec))
+	w.bo.PutUint32(h[4:], uint32(frac))
+	w.bo.PutUint32(h[8:], uint32(len(data)))
+	w.bo.PutUint32(h[12:], uint32(len(data))) // orig_len: nothing truncated
+	if _, err := w.bw.Write(h); err != nil {
+		return err
+	}
+	_, err := w.bw.Write(data)
+	return err
+}
+
+// Flush drains buffered output to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Reader decodes pcap and pcapng captures, auto-detecting the container,
+// its byte order, and its timestamp resolution from the file header. The
+// slice returned by Next is reused across calls.
+type Reader struct {
+	br     *bufio.Reader
+	bo     binary.ByteOrder
+	format Format
+	// linkType is the capture's link type (first interface for pcapng).
+	linkType uint32
+	// fracToNS scales a classic-pcap fraction field to nanoseconds.
+	fracToNS int64
+	// pcapng per-section state.
+	ifaces  []ngIface
+	snaplen uint32
+	hdr     [32]byte
+	buf     []byte
+}
+
+// ngIface is one pcapng interface description: how to scale its
+// timestamps to nanoseconds (ns = ticks * scaleNum / scaleDen).
+type ngIface struct {
+	linkType           uint32
+	scaleNum, scaleDen int64
+}
+
+// NewReader sniffs the capture format from the leading magic and returns
+// a frame reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	pr := &Reader{br: bufio.NewReader(r)}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(pr.br, magic); err != nil {
+		return nil, fmt.Errorf("wire: capture header: %w", err)
+	}
+	le := binary.LittleEndian.Uint32(magic)
+	be := binary.BigEndian.Uint32(magic)
+	switch {
+	case le == ngBlockSHB: // palindromic: same in either order
+		pr.format = FormatPcapNG
+		if err := pr.readSHB(); err != nil {
+			return nil, err
+		}
+	case le == pcapMagicMicros:
+		pr.format, pr.bo, pr.fracToNS = FormatPcap, binary.LittleEndian, 1000
+	case le == pcapMagicNanos:
+		pr.format, pr.bo, pr.fracToNS = FormatPcap, binary.LittleEndian, 1
+	case be == pcapMagicMicros:
+		pr.format, pr.bo, pr.fracToNS = FormatPcap, binary.BigEndian, 1000
+	case be == pcapMagicNanos:
+		pr.format, pr.bo, pr.fracToNS = FormatPcap, binary.BigEndian, 1
+	default:
+		return nil, fmt.Errorf("wire: unrecognized capture magic %#08x", le)
+	}
+	if pr.format == FormatPcap {
+		h := pr.hdr[:20] // rest of the 24-byte global header
+		if _, err := io.ReadFull(pr.br, h); err != nil {
+			return nil, fmt.Errorf("wire: pcap global header: %w", err)
+		}
+		if major := pr.bo.Uint16(h[0:]); major != 2 {
+			return nil, fmt.Errorf("wire: unsupported pcap version %d.%d", major, pr.bo.Uint16(h[2:]))
+		}
+		pr.snaplen = pr.bo.Uint32(h[12:])
+		pr.linkType = pr.bo.Uint32(h[16:])
+	}
+	return pr, nil
+}
+
+// Format reports the detected container.
+func (r *Reader) Format() Format { return r.format }
+
+// LinkType reports the capture's link type (pcapng: of the first
+// interface seen, LinkTypeEthernet until one appears).
+func (r *Reader) LinkType() uint32 {
+	if r.format == FormatPcapNG {
+		if len(r.ifaces) == 0 {
+			return LinkTypeEthernet
+		}
+		return r.ifaces[0].linkType
+	}
+	return r.linkType
+}
+
+// Next returns the next frame and its timestamp in nanoseconds, or
+// io.EOF at a clean end of capture. The frame slice is only valid until
+// the following call.
+func (r *Reader) Next() ([]byte, int64, error) {
+	if r.format == FormatPcapNG {
+		return r.nextNG()
+	}
+	h := r.hdr[:16]
+	if _, err := io.ReadFull(r.br, h); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, fmt.Errorf("wire: pcap record header: %w", err)
+	}
+	sec := int64(r.bo.Uint32(h[0:]))
+	frac := int64(r.bo.Uint32(h[4:]))
+	incl := r.bo.Uint32(h[8:])
+	if incl > maxFrameLen {
+		return nil, 0, fmt.Errorf("wire: pcap record of %d bytes exceeds the %d-byte frame bound", incl, maxFrameLen)
+	}
+	r.grow(int(incl))
+	if _, err := io.ReadFull(r.br, r.buf[:incl]); err != nil {
+		return nil, 0, fmt.Errorf("wire: pcap record payload: %w", err)
+	}
+	return r.buf[:incl], sec*1e9 + frac*r.fracToNS, nil
+}
+
+// maxFrameLen bounds a single decoded frame — far above any Ethernet
+// jumbo, low enough that a corrupt length field cannot OOM the process.
+const maxFrameLen = 1 << 20
+
+func (r *Reader) grow(n int) {
+	if cap(r.buf) < n {
+		r.buf = make([]byte, n+512)
+	}
+}

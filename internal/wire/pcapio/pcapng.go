@@ -1,0 +1,340 @@
+// pcapng codec: the block-structured successor to classic pcap
+// (draft-ietf-opsawg-pcapng). The writer emits one section — SHB, one
+// Ethernet IDB carrying an if_tsresol option, then one EPB per frame.
+// The reader walks blocks in either byte order, honors per-interface
+// timestamp resolution, tolerates unknown block types, and accepts
+// multi-section files.
+package pcapio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// pcapng block type codes.
+const (
+	ngBlockSHB = 0x0a0d0d0a // Section Header Block
+	ngBlockIDB = 0x00000001 // Interface Description Block
+	ngBlockSPB = 0x00000003 // Simple Packet Block
+	ngBlockEPB = 0x00000006 // Enhanced Packet Block
+)
+
+// ngByteOrderMagic distinguishes the section's endianness inside the SHB
+// (the SHB type code itself reads the same either way).
+const ngByteOrderMagic = 0x1a2b3c4d
+
+// ngOptTsresol is the IDB option declaring timestamp resolution: one
+// byte, 10^-v seconds (or 2^-v with the MSB set).
+const (
+	ngOptEnd     = 0
+	ngOptTsresol = 9
+)
+
+func pad4(n int) int { return (n + 3) &^ 3 }
+
+// writePcapNGHeader emits the SHB and the single Ethernet IDB.
+func (w *Writer) writePcapNGHeader() error {
+	// SHB: 12 bytes framing + 16 bytes body.
+	h := w.hdr[:28]
+	w.bo.PutUint32(h[0:], ngBlockSHB)
+	w.bo.PutUint32(h[4:], 28)
+	w.bo.PutUint32(h[8:], ngByteOrderMagic)
+	w.bo.PutUint16(h[12:], 1) // version 1.0
+	w.bo.PutUint16(h[14:], 0)
+	// Section length unknown: -1 means "walk the blocks".
+	w.bo.PutUint64(h[16:], ^uint64(0))
+	w.bo.PutUint32(h[24:], 28)
+	if _, err := w.bw.Write(h); err != nil {
+		return err
+	}
+	// IDB: framing + linktype/reserved/snaplen (8) + if_tsresol option
+	// (8 with padding) + end-of-options (4) = 32 bytes total.
+	h = w.hdr[:32]
+	w.bo.PutUint32(h[0:], ngBlockIDB)
+	w.bo.PutUint32(h[4:], 32)
+	w.bo.PutUint16(h[8:], LinkTypeEthernet)
+	w.bo.PutUint16(h[10:], 0) // reserved
+	w.bo.PutUint32(h[12:], w.o.SnapLen)
+	w.bo.PutUint16(h[16:], ngOptTsresol)
+	w.bo.PutUint16(h[18:], 1)
+	resol := byte(6)
+	if w.o.Nanosecond {
+		resol = 9
+	}
+	h[20], h[21], h[22], h[23] = resol, 0, 0, 0 // value + 3 pad
+	w.bo.PutUint16(h[24:], ngOptEnd)
+	w.bo.PutUint16(h[26:], 0)
+	w.bo.PutUint32(h[28:], 32)
+	_, err := w.bw.Write(h)
+	return err
+}
+
+// writeEPB emits one Enhanced Packet Block for interface 0.
+func (w *Writer) writeEPB(data []byte, tsNS int64) error {
+	ticks := uint64(tsNS)
+	if !w.o.Nanosecond {
+		ticks = uint64(tsNS / 1000)
+	}
+	padded := pad4(len(data))
+	total := 12 + 20 + padded
+	h := w.hdr[:28]
+	w.bo.PutUint32(h[0:], ngBlockEPB)
+	w.bo.PutUint32(h[4:], uint32(total))
+	w.bo.PutUint32(h[8:], 0) // interface 0
+	w.bo.PutUint32(h[12:], uint32(ticks>>32))
+	w.bo.PutUint32(h[16:], uint32(ticks))
+	w.bo.PutUint32(h[20:], uint32(len(data)))
+	w.bo.PutUint32(h[24:], uint32(len(data)))
+	if _, err := w.bw.Write(h); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(data); err != nil {
+		return err
+	}
+	var tail [8]byte // up to 3 pad bytes + trailing total length
+	pad := padded - len(data)
+	w.bo.PutUint32(tail[pad:], uint32(total))
+	_, err := w.bw.Write(tail[:pad+4])
+	return err
+}
+
+// readSHB parses a Section Header Block body after its type code has
+// been consumed, establishing the section's byte order.
+func (r *Reader) readSHB() error {
+	// Total length (4) + byte-order magic (4): the BOM fixes endianness,
+	// then the length is re-read in the right order.
+	h := r.hdr[:8]
+	if _, err := io.ReadFull(r.br, h); err != nil {
+		return fmt.Errorf("wire: pcapng SHB: %w", err)
+	}
+	switch {
+	case binary.LittleEndian.Uint32(h[4:]) == ngByteOrderMagic:
+		r.bo = binary.LittleEndian
+	case binary.BigEndian.Uint32(h[4:]) == ngByteOrderMagic:
+		r.bo = binary.BigEndian
+	default:
+		return fmt.Errorf("wire: pcapng byte-order magic %#08x unrecognized", binary.LittleEndian.Uint32(h[4:]))
+	}
+	total := int(r.bo.Uint32(h[0:]))
+	if total < 28 || total%4 != 0 || total > maxFrameLen {
+		return fmt.Errorf("wire: pcapng SHB length %d invalid", total)
+	}
+	// Skip version, section length, options, and the trailing length.
+	if err := r.skip(total - 12); err != nil {
+		return err
+	}
+	// A new section forgets the previous one's interfaces.
+	r.ifaces = r.ifaces[:0]
+	return nil
+}
+
+// nextNG walks blocks until it produces a frame or hits EOF.
+func (r *Reader) nextNG() ([]byte, int64, error) {
+	for {
+		h := r.hdr[:8]
+		if _, err := io.ReadFull(r.br, h); err != nil {
+			if err == io.EOF {
+				return nil, 0, io.EOF
+			}
+			return nil, 0, fmt.Errorf("wire: pcapng block header: %w", err)
+		}
+		typ := r.bo.Uint32(h[0:])
+		if typ == ngBlockSHB {
+			// New section: push back nothing — readSHB wants exactly the
+			// bytes that follow the type code.
+			if err := r.readSHB(); err != nil {
+				return nil, 0, err
+			}
+			continue
+		}
+		total := int(r.bo.Uint32(h[4:]))
+		if total < 12 || total%4 != 0 || total > maxFrameLen+64 {
+			return nil, 0, fmt.Errorf("wire: pcapng block length %d invalid", total)
+		}
+		body := total - 12
+		switch typ {
+		case ngBlockIDB:
+			if err := r.readIDB(body); err != nil {
+				return nil, 0, err
+			}
+		case ngBlockEPB:
+			frame, ts, err := r.readEPB(body)
+			if err != nil {
+				return nil, 0, err
+			}
+			if err := r.skipTrailer(total); err != nil {
+				return nil, 0, err
+			}
+			return frame, ts, nil
+		case ngBlockSPB:
+			frame, err := r.readSPB(body)
+			if err != nil {
+				return nil, 0, err
+			}
+			if err := r.skipTrailer(total); err != nil {
+				return nil, 0, err
+			}
+			return frame, 0, nil
+		default:
+			// Name resolution, statistics, custom blocks: skip.
+			if err := r.skip(body); err != nil {
+				return nil, 0, err
+			}
+		}
+		if err := r.skipTrailer(total); err != nil {
+			return nil, 0, err
+		}
+	}
+}
+
+// readIDB registers an interface with its timestamp scaling.
+func (r *Reader) readIDB(body int) error {
+	if body < 8 {
+		return fmt.Errorf("wire: pcapng IDB body %dB too short", body)
+	}
+	h := r.hdr[:8]
+	if _, err := io.ReadFull(r.br, h); err != nil {
+		return fmt.Errorf("wire: pcapng IDB: %w", err)
+	}
+	iface := ngIface{
+		linkType: uint32(r.bo.Uint16(h[0:])),
+		// Default resolution is microseconds (tsresol absent).
+		scaleNum: 1000, scaleDen: 1,
+	}
+	r.snaplen = r.bo.Uint32(h[4:])
+	rest := body - 8
+	// Options: code u16, len u16, value padded to 4.
+	for rest >= 4 {
+		oh := r.hdr[:4]
+		if _, err := io.ReadFull(r.br, oh); err != nil {
+			return fmt.Errorf("wire: pcapng IDB options: %w", err)
+		}
+		rest -= 4
+		code, olen := r.bo.Uint16(oh[0:]), int(r.bo.Uint16(oh[2:]))
+		if code == ngOptEnd {
+			break
+		}
+		padded := pad4(olen)
+		if padded > rest {
+			return fmt.Errorf("wire: pcapng IDB option %d overruns block", code)
+		}
+		r.grow(padded)
+		if _, err := io.ReadFull(r.br, r.buf[:padded]); err != nil {
+			return err
+		}
+		rest -= padded
+		if code == ngOptTsresol && olen >= 1 {
+			iface.scaleNum, iface.scaleDen = tsresolScale(r.buf[0])
+		}
+	}
+	if err := r.skip(rest); err != nil {
+		return err
+	}
+	r.ifaces = append(r.ifaces, iface)
+	return nil
+}
+
+// tsresolScale converts an if_tsresol byte into the ns = ticks*num/den
+// scaling. MSB clear: 10^-v seconds per tick; MSB set: 2^-v.
+func tsresolScale(v byte) (num, den int64) {
+	if v&0x80 == 0 {
+		e := int(v)
+		switch {
+		case e <= 9:
+			num = 1
+			for i := e; i < 9; i++ {
+				num *= 10
+			}
+			return num, 1
+		default:
+			den = 1
+			for i := 9; i < e && i < 19; i++ {
+				den *= 10
+			}
+			return 1, den
+		}
+	}
+	w := uint(v & 0x7f)
+	if w > 62 {
+		w = 62
+	}
+	return 1e9, int64(1) << w
+}
+
+// readEPB decodes an Enhanced Packet Block body (sans trailer).
+func (r *Reader) readEPB(body int) ([]byte, int64, error) {
+	if body < 20 {
+		return nil, 0, fmt.Errorf("wire: pcapng EPB body %dB too short", body)
+	}
+	h := r.hdr[:20]
+	if _, err := io.ReadFull(r.br, h); err != nil {
+		return nil, 0, fmt.Errorf("wire: pcapng EPB: %w", err)
+	}
+	ifID := int(r.bo.Uint32(h[0:]))
+	ticks := int64(r.bo.Uint32(h[4:]))<<32 | int64(r.bo.Uint32(h[8:]))
+	capLen := int(r.bo.Uint32(h[12:]))
+	if capLen > maxFrameLen || capLen > body-20 {
+		return nil, 0, fmt.Errorf("wire: pcapng EPB captured length %d invalid", capLen)
+	}
+	padded := pad4(capLen)
+	r.grow(padded)
+	if _, err := io.ReadFull(r.br, r.buf[:padded]); err != nil {
+		return nil, 0, fmt.Errorf("wire: pcapng EPB payload: %w", err)
+	}
+	// Skip any trailing options.
+	if err := r.skip(body - 20 - padded); err != nil {
+		return nil, 0, err
+	}
+	num, den := int64(1000), int64(1) // default µs
+	if ifID < len(r.ifaces) {
+		num, den = r.ifaces[ifID].scaleNum, r.ifaces[ifID].scaleDen
+	}
+	return r.buf[:capLen], ticks * num / den, nil
+}
+
+// readSPB decodes a Simple Packet Block body (no timestamp).
+func (r *Reader) readSPB(body int) ([]byte, error) {
+	if body < 4 {
+		return nil, fmt.Errorf("wire: pcapng SPB body %dB too short", body)
+	}
+	h := r.hdr[:4]
+	if _, err := io.ReadFull(r.br, h); err != nil {
+		return nil, err
+	}
+	origLen := int(r.bo.Uint32(h[0:]))
+	capLen := origLen
+	if r.snaplen > 0 && capLen > int(r.snaplen) {
+		capLen = int(r.snaplen)
+	}
+	padded := pad4(capLen)
+	if padded != body-4 || capLen > maxFrameLen {
+		return nil, fmt.Errorf("wire: pcapng SPB length %d inconsistent with block body %d", origLen, body)
+	}
+	r.grow(padded)
+	if _, err := io.ReadFull(r.br, r.buf[:padded]); err != nil {
+		return nil, err
+	}
+	return r.buf[:capLen], nil
+}
+
+// skipTrailer consumes a block's trailing total-length field and checks
+// it matches the leading one.
+func (r *Reader) skipTrailer(total int) error {
+	h := r.hdr[:4]
+	if _, err := io.ReadFull(r.br, h); err != nil {
+		return fmt.Errorf("wire: pcapng block trailer: %w", err)
+	}
+	if got := int(r.bo.Uint32(h)); got != total {
+		return fmt.Errorf("wire: pcapng trailing length %d != leading %d", got, total)
+	}
+	return nil
+}
+
+func (r *Reader) skip(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	_, err := io.CopyN(io.Discard, r.br, int64(n))
+	return err
+}

@@ -1,0 +1,398 @@
+// Package wire is the repository's real packet I/O subsystem: a live
+// NIC backend over datagram sockets implementing the same driver-facing
+// nic.Port surface as the simulated adapter (capture codecs live in the
+// wire/pcapio subpackage). Everything above the port seam — the DPDK
+// PMD, the metadata bindings, fault injection, telemetry — runs
+// unchanged on either backend; this package is the device boundary the
+// paper's X-Change argument is about.
+//
+// The port itself: a nic.Port whose RX and TX sides are datagram
+// sockets instead of the simulated MAC. A background reader drains the
+// RX socket into a fixed ring of preallocated MTU-sized slots — like a
+// hardware FIFO, frames wait there until the driver polls, and overflow
+// is dropped with a counter, never buffered without bound. The driver
+// side (Poll/Post/Enqueue/Reap) is mutex-guarded, allocation-free in
+// steady state, and charges nothing to the simulated memory hierarchy:
+// on a live wire the cycle ledger measures only what the host actually
+// does.
+package wire
+
+import (
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"packetmill/internal/machine"
+	"packetmill/internal/nic"
+	"packetmill/internal/pktbuf"
+)
+
+// Config shapes one live port.
+type Config struct {
+	// Name labels the port in telemetry reports.
+	Name string
+	// Queue is the queue index reported to the driver (default 0).
+	Queue int
+	// LinkGbps paces transmission: each frame occupies the emulated wire
+	// for (len+20)*8/LinkGbps ns of wall-clock time, which delays buffer
+	// reclamation exactly as a real serializer would. 0 means 10 Gbps.
+	LinkGbps float64
+	// MTU is the largest frame the port accepts, RX slot size included.
+	// Larger TX frames are dropped with accounting. 0 means 2048.
+	MTU int
+	// RXRing/TXRing bound the descriptor rings (0 means 256).
+	RXRing, TXRing int
+}
+
+func (c *Config) fill() {
+	if c.Name == "" {
+		c.Name = "wire0"
+	}
+	if c.LinkGbps == 0 {
+		c.LinkGbps = 10
+	}
+	if c.MTU == 0 {
+		c.MTU = 2048
+	}
+	if c.RXRing == 0 {
+		c.RXRing = 256
+	}
+	if c.TXRing == 0 {
+		c.TXRing = 256
+	}
+}
+
+// intRing is a fixed-capacity FIFO of slot indices. Fixed so the hot
+// path never grows a slice.
+type intRing struct {
+	buf  []int
+	head int
+	n    int
+}
+
+func newIntRing(capacity int) intRing { return intRing{buf: make([]int, capacity)} }
+
+func (r *intRing) push(v int) {
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+func (r *intRing) pop() int {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v
+}
+
+// txRec is one in-flight transmission: the buffer the driver lent the
+// port and the wall-clock instant its frame has fully left the wire.
+type txRec struct {
+	pkt        *pktbuf.Packet
+	departWall time.Time
+}
+
+// Port is a live queue pair over datagram sockets. It implements
+// nic.Port, so internal/dpdk, the metadata bindings, fault injection,
+// and telemetry drive it exactly as they drive the simulated adapter.
+type Port struct {
+	cfg    Config
+	rxConn net.Conn
+	txConn net.Conn
+
+	mu sync.Mutex
+	// RX: slots[i][:slotLen[i]] holds a received frame when i sits in
+	// filled; free holds the rest. posted queues driver buffers.
+	slots   [][]byte
+	slotLen []int
+	free    intRing
+	filled  intRing
+	posted  []*pktbuf.Packet
+	// TX: a fixed ring of in-flight buffers awaiting wall-clock depart.
+	inflight   []txRec
+	txHead     int
+	txN        int
+	lastDepart time.Time
+
+	rxStats nic.RXQueueStats
+	txStats nic.TXQueueStats
+
+	closed bool
+	done   chan struct{}
+}
+
+var _ nic.Port = (*Port)(nil)
+
+// NewPort wraps a receive and a transmit socket as a driver-facing port
+// and starts the RX drain goroutine. Either conn may be nil for a
+// one-directional port (capture-only, replay-only).
+func NewPort(cfg Config, rxConn, txConn net.Conn) *Port {
+	cfg.fill()
+	p := &Port{
+		cfg:      cfg,
+		rxConn:   rxConn,
+		txConn:   txConn,
+		slots:    make([][]byte, cfg.RXRing),
+		slotLen:  make([]int, cfg.RXRing),
+		free:     newIntRing(cfg.RXRing),
+		filled:   newIntRing(cfg.RXRing),
+		posted:   make([]*pktbuf.Packet, 0, cfg.RXRing),
+		inflight: make([]txRec, cfg.TXRing),
+		done:     make(chan struct{}),
+	}
+	for i := range p.slots {
+		p.slots[i] = make([]byte, cfg.MTU)
+		p.free.push(i)
+	}
+	if rxConn != nil {
+		go p.drainRX()
+	} else {
+		close(p.done)
+	}
+	return p
+}
+
+// drainRX moves frames from the socket into ring slots. It claims a slot
+// under the lock, reads outside it (so Poll never waits on the kernel),
+// and files the result. With the ring full it still reads — into a
+// sacrificial slot — so the socket buffer cannot silently absorb the
+// overrun; the drop is counted where a NIC would count it.
+func (p *Port) drainRX() {
+	defer close(p.done)
+	scratch := make([]byte, p.cfg.MTU)
+	for {
+		p.mu.Lock()
+		slot := -1
+		if p.free.n > 0 {
+			slot = p.free.pop()
+		}
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return
+		}
+		buf := scratch
+		if slot >= 0 {
+			buf = p.slots[slot]
+		}
+		n, err := p.rxConn.Read(buf)
+		p.mu.Lock()
+		switch {
+		case err != nil:
+			if slot >= 0 {
+				p.free.push(slot)
+			}
+			closed := p.closed
+			p.mu.Unlock()
+			if closed {
+				return
+			}
+			// Transient error on a live socket: keep draining.
+			continue
+		case slot < 0:
+			p.rxStats.DropFull++
+		case n < nic.MinFrameSize:
+			p.rxStats.DropRunt++
+			p.free.push(slot)
+		default:
+			p.slotLen[slot] = n
+			p.filled.push(slot)
+			p.rxStats.Delivered++
+			p.rxStats.Bytes += uint64(n)
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Close shuts both sockets and stops the drain goroutine.
+func (p *Port) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	var err error
+	if p.rxConn != nil {
+		err = p.rxConn.Close()
+	}
+	if p.txConn != nil {
+		if e := p.txConn.Close(); err == nil {
+			err = e
+		}
+	}
+	<-p.done
+	return err
+}
+
+// PortName implements nic.Port.
+func (p *Port) PortName() string { return p.cfg.Name }
+
+// QueueID implements nic.Port.
+func (p *Port) QueueID() int { return p.cfg.Queue }
+
+// RXRingSize implements nic.Port.
+func (p *Port) RXRingSize() int { return p.cfg.RXRing }
+
+// TXRingSize implements nic.Port.
+func (p *Port) TXRingSize() int { return p.cfg.TXRing }
+
+// Post hands a fresh buffer to the RX ring.
+func (p *Port) Post(pkt *pktbuf.Packet) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Unlike the simulated queue, pending frames hold ring *slots*, not
+	// posted buffers — a buffer can always be posted against a parked
+	// frame, so only the posted queue itself is bounded.
+	if len(p.posted) >= p.cfg.RXRing {
+		return nic.ErrOverPosted
+	}
+	p.posted = append(p.posted, pkt)
+	return nil
+}
+
+// PostedCount implements nic.Port.
+func (p *Port) PostedCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.posted)
+}
+
+// PendingCount reports frames sitting in the RX ring awaiting a poll.
+func (p *Port) PendingCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.filled.n
+}
+
+// NextReadyNS returns -Inf when frames are pending — a live arrival is
+// never in the simulated future — and +Inf when the ring is empty, so
+// the driver's empty-poll fast path works unchanged.
+func (p *Port) NextReadyNS() float64 {
+	p.mu.Lock()
+	n := p.filled.n
+	p.mu.Unlock()
+	if n > 0 {
+		return math.Inf(-1)
+	}
+	return math.Inf(1)
+}
+
+// Poll pops up to max received frames into posted buffers. Unlike the
+// simulated queue there is no CQE charge: the host really did the work,
+// and the cycle ledger should not double-count it.
+func (p *Port) Poll(core *machine.Core, nowNS float64, max int,
+	pkts []*pktbuf.Packet, descs []nic.Descriptor) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for n < max && p.filled.n > 0 && len(p.posted) > 0 {
+		slot := p.filled.pop()
+		pkt := p.posted[0]
+		copy(p.posted, p.posted[1:])
+		p.posted = p.posted[:len(p.posted)-1]
+		frame := p.slots[slot][:p.slotLen[slot]]
+		pkt.SetFrame(frame)
+		pkt.ArrivalNS = nowNS
+		pkts[n] = pkt
+		descs[n] = nic.Descriptor{
+			Len:     len(frame),
+			Queue:   p.cfg.Queue,
+			RSSHash: nic.HashFrame(frame),
+			VlanTCI: nic.FrameVlanTCI(frame),
+		}
+		p.free.push(slot)
+		n++
+	}
+	return n
+}
+
+// PollCompressed implements nic.Port; the live backend has no CQE
+// format, so it is plain Poll.
+func (p *Port) PollCompressed(core *machine.Core, nowNS float64, max int,
+	pkts []*pktbuf.Packet, descs []nic.Descriptor) int {
+	return p.Poll(core, nowNS, max, pkts, descs)
+}
+
+// Enqueue writes the frame to the TX socket and parks the buffer until
+// its wall-clock departure. The link-rate pacing delays only *buffer
+// reclamation* — the datagram itself leaves immediately — which is the
+// part of serialization the driver can observe: TX-ring backpressure.
+func (p *Port) Enqueue(core *machine.Core, pkt *pktbuf.Packet, nowNS float64) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.txN >= p.cfg.TXRing {
+		p.txStats.DropFull++
+		return false
+	}
+	now := time.Now()
+	if pkt.Len() > p.cfg.MTU {
+		// Oversize for the emulated link: dropped on the wire, but the
+		// buffer still cycles back through Reap immediately.
+		p.txStats.DropFull++
+		p.pushInflight(txRec{pkt: pkt, departWall: now})
+		return true
+	}
+	if p.txConn != nil {
+		if _, err := p.txConn.Write(pkt.Bytes()); err != nil {
+			// A full peer socket buffer is the wire overrunning the
+			// receiver: drop, recycle the buffer.
+			p.txStats.DropFull++
+			p.pushInflight(txRec{pkt: pkt, departWall: now})
+			return true
+		}
+	}
+	wire := time.Duration(float64(pkt.Len()+20) * 8 / p.cfg.LinkGbps) // ns
+	start := now
+	if p.lastDepart.After(start) {
+		start = p.lastDepart
+	}
+	depart := start.Add(wire)
+	p.lastDepart = depart
+	p.pushInflight(txRec{pkt: pkt, departWall: depart})
+	p.txStats.Sent++
+	p.txStats.Bytes += uint64(pkt.Len())
+	return true
+}
+
+func (p *Port) pushInflight(r txRec) {
+	p.inflight[(p.txHead+p.txN)%len(p.inflight)] = r
+	p.txN++
+}
+
+// Reap returns buffers whose frames have departed. Departure is wall
+// clock — nowNS is the caller's simulated clock and does not apply to a
+// live wire — so a driver spinning on Reap sees buffers come back at
+// the emulated link rate.
+func (p *Port) Reap(nowNS float64, out []*pktbuf.Packet) int {
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for n < len(out) && p.txN > 0 && !p.inflight[p.txHead].departWall.After(now) {
+		out[n] = p.inflight[p.txHead].pkt
+		p.inflight[p.txHead].pkt = nil
+		p.txHead = (p.txHead + 1) % len(p.inflight)
+		p.txN--
+		n++
+	}
+	return n
+}
+
+// InflightCount implements nic.Port.
+func (p *Port) InflightCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.txN
+}
+
+// RXStats implements nic.Port.
+func (p *Port) RXStats() nic.RXQueueStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rxStats
+}
+
+// TXStats implements nic.Port.
+func (p *Port) TXStats() nic.TXQueueStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.txStats
+}

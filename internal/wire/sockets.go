@@ -1,0 +1,122 @@
+// Socket plumbing for the live backend. A wire.Port reads frames from
+// one datagram socket and writes them to another; this file makes those
+// sockets. Datagram semantics matter: one Write is one frame, preserving
+// packet boundaries the way a MAC does, which a stream socket would not.
+package wire
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// Socketpair returns two connected AF_UNIX datagram sockets — an
+// in-process wire segment. Frames written to one end are read from the
+// other, whole, in order.
+func Socketpair() (a, b net.Conn, err error) {
+	fds, err := syscall.Socketpair(syscall.AF_UNIX, syscall.SOCK_DGRAM, 0)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire: socketpair: %w", err)
+	}
+	syscall.CloseOnExec(fds[0])
+	syscall.CloseOnExec(fds[1])
+	fa := os.NewFile(uintptr(fds[0]), "wire-a")
+	fb := os.NewFile(uintptr(fds[1]), "wire-b")
+	// net.FileConn dups the descriptor, so the os.File wrappers close.
+	defer fa.Close()
+	defer fb.Close()
+	if a, err = net.FileConn(fa); err != nil {
+		fb.Close()
+		return nil, nil, fmt.Errorf("wire: socketpair conn: %w", err)
+	}
+	if b, err = net.FileConn(fb); err != nil {
+		a.Close()
+		return nil, nil, fmt.Errorf("wire: socketpair conn: %w", err)
+	}
+	return a, b, nil
+}
+
+// splitAddr parses the "scheme:rest" wire addresses the commands accept:
+// "unix:/path/to.sock" for unix datagram, "udp:host:port" for UDP.
+func splitAddr(addr string) (network, rest string, err error) {
+	i := strings.IndexByte(addr, ':')
+	if i < 0 {
+		return "", "", fmt.Errorf("wire: address %q needs a unix: or udp: scheme", addr)
+	}
+	switch addr[:i] {
+	case "unix":
+		return "unixgram", addr[i+1:], nil
+	case "udp":
+		return "udp", addr[i+1:], nil
+	default:
+		return "", "", fmt.Errorf("wire: unknown address scheme %q (want unix: or udp:)", addr[:i])
+	}
+}
+
+// Listen binds the receive side of a wire address. The returned conn is
+// read-only in practice: frames sent to the address arrive on it.
+func Listen(addr string) (net.Conn, error) {
+	network, rest, err := splitAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	switch network {
+	case "unixgram":
+		// A stale socket file from a crashed run would fail the bind.
+		os.Remove(rest)
+		ua, err := net.ResolveUnixAddr("unixgram", rest)
+		if err != nil {
+			return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
+		}
+		return net.ListenUnixgram("unixgram", ua)
+	default:
+		na, err := net.ResolveUDPAddr("udp", rest)
+		if err != nil {
+			return nil, fmt.Errorf("wire: listen %s: %w", addr, err)
+		}
+		return net.ListenUDP("udp", na)
+	}
+}
+
+// Dial connects the transmit side of a wire address, retrying briefly so
+// a peer started in parallel (make pcap-demo backgrounds the listener)
+// has time to bind.
+func Dial(addr string) (net.Conn, error) {
+	network, rest, err := splitAddr(addr)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		c, err := net.Dial(network, rest)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// Loopback builds two Ports wired back to back over socketpairs: frames
+// port A transmits arrive at port B and vice versa. This is the in-process
+// equivalent of a cable between two NICs, used by the end-to-end tests.
+func Loopback(cfgA, cfgB Config) (*Port, *Port, error) {
+	ab1, ab2, err := Socketpair() // A tx -> B rx
+	if err != nil {
+		return nil, nil, err
+	}
+	ba1, ba2, err := Socketpair() // B tx -> A rx
+	if err != nil {
+		ab1.Close()
+		ab2.Close()
+		return nil, nil, err
+	}
+	a := NewPort(cfgA, ba2, ab1)
+	b := NewPort(cfgB, ab2, ba1)
+	return a, b, nil
+}
