@@ -2,7 +2,7 @@
 # short-budget chaos soak. Tier-2 adds vet and the race detector.
 GO ?= go
 
-.PHONY: test tier1 tier2 soak fuzz bench pcap-demo
+.PHONY: test tier1 tier2 soak fuzz bench pcap-demo trace-demo
 
 test: tier1 soak
 
@@ -48,6 +48,21 @@ pcap-demo:
 	$(DEMO)/pktgen -replay $(DEMO)/in.pcap -to unix:$(DEMO)/rx.sock -pps 20000; \
 	wait $$mill && wait $$cap
 	$(DEMO)/pktgen -compare $(DEMO)/got.pcap $(DEMO)/expected.pcap
+
+# Flight-recorder demo: run the milled router with per-packet tracing
+# and the full JSON report, then print where to load the results. The
+# trace is Chrome trace-event JSON — drop it into https://ui.perfetto.dev
+# (or chrome://tracing) to see sampled packets as spans per element.
+TRACEDEMO := build/trace-demo
+
+trace-demo:
+	rm -rf $(TRACEDEMO) && mkdir -p $(TRACEDEMO)
+	$(GO) build -o $(TRACEDEMO)/packetmill ./cmd/packetmill
+	$(TRACEDEMO)/packetmill -builtin router -mill -model x-change -packets 20000 \
+		-trace-out $(TRACEDEMO)/trace.json -trace-sample 16 \
+		-report json > $(TRACEDEMO)/report.json
+	@echo "report: $(TRACEDEMO)/report.json (percentiles under .latency_us, per-element under .elements[].latency_us)"
+	@echo "trace:  $(TRACEDEMO)/trace.json  (open https://ui.perfetto.dev and drag the file in)"
 
 # Brief fuzz passes over the two grammar front ends.
 fuzz:

@@ -45,6 +45,7 @@ import (
 	"packetmill/internal/simrand"
 	"packetmill/internal/stats"
 	"packetmill/internal/testbed"
+	"packetmill/internal/trace"
 	"packetmill/internal/trafficgen"
 	"packetmill/internal/verify"
 	"packetmill/internal/wire"
@@ -73,6 +74,10 @@ func main() {
 		faultSpec  = flag.String("faults", "", `fault schedule (e.g. "drop p=0.01; flap at=1ms for=100us"), or "random" for a seeded random draw`)
 		faultSeed  = flag.Uint64("faults-seed", 0, "fault engine seed (0 = derive from -seed)")
 		reportFmt  = flag.String("report", "text", "report format: text|json (json enables telemetry and prints the full per-core/per-queue/per-element report)")
+
+		traceOut    = flag.String("trace-out", "", "write a Chrome/Perfetto trace of sampled packets to this file (enables the flight recorder; also the stall-dump path)")
+		traceSample = flag.Int("trace-sample", 64, "with -trace-out: trace one in N received packets")
+		metricsAddr = flag.String("metrics", "", "-io wire: serve live Prometheus metrics on this address (e.g. :9100) at /metrics, full JSON report at /report")
 
 		ioMode     = flag.String("io", "sim", "packet I/O backend: sim|wire|pcap")
 		pcapIn     = flag.String("pcap-in", "", "-io pcap: input capture (pcap/pcapng/native trace)")
@@ -134,6 +139,10 @@ func main() {
 		FaultSeed: *faultSeed,
 		Telemetry: jsonReport,
 	}
+	if *traceOut != "" {
+		base.Trace = trace.NewRecorder(trace.Config{SampleEvery: *traceSample, Seed: *seed})
+		base.StallTracePath = *traceOut
+	}
 	if *faultSpec != "" {
 		sched, err := parseFaults(*faultSpec, base)
 		if err != nil {
@@ -170,10 +179,12 @@ func main() {
 	switch strings.ToLower(*ioMode) {
 	case "sim":
 	case "wire":
-		runWire(p, base, *wireRx, *wireTx, *wireIdle, *wireCount, note)
+		runWire(p, base, *wireRx, *wireTx, *metricsAddr, *wireIdle, *wireCount, note)
+		writeTrace(base.Trace, *traceOut, note)
 		return
 	case "pcap":
 		runPcap(p, base, *pcapIn, *pcapOut, *pcapRepeat, jsonReport, *configPath, *builtin)
+		writeTrace(base.Trace, *traceOut, note)
 		return
 	default:
 		fatal(fmt.Errorf("unknown -io backend %q (want sim, wire, or pcap)", *ioMode))
@@ -225,11 +236,12 @@ func main() {
 			emitJSON(res, configName(*configPath, *builtin))
 			note("; spread: %d runs, throughput %.2f–%.2f Gbps\n",
 				*repeats, spread.MinGbps, spread.MaxGbps)
-			return
+		} else {
+			report(res)
+			fmt.Printf("spread:         %d runs, throughput %.2f–%.2f Gbps\n",
+				*repeats, spread.MinGbps, spread.MaxGbps)
 		}
-		report(res)
-		fmt.Printf("spread:         %d runs, throughput %.2f–%.2f Gbps\n",
-			*repeats, spread.MinGbps, spread.MaxGbps)
+		writeTrace(base.Trace, *traceOut, note)
 		return
 	}
 	res, err := p.Run(base)
@@ -238,16 +250,46 @@ func main() {
 	}
 	if jsonReport {
 		emitJSON(res, configName(*configPath, *builtin))
+	} else {
+		report(res)
+	}
+	writeTrace(base.Trace, *traceOut, note)
+}
+
+// writeTrace dumps the flight recorder as Chrome trace-event JSON —
+// loadable in https://ui.perfetto.dev or chrome://tracing. No-op unless
+// -trace-out enabled the recorder.
+func writeTrace(rec *trace.Recorder, path string, note func(string, ...any)) {
+	if rec == nil || path == "" {
 		return
 	}
-	report(res)
+	if err := os.WriteFile(path, rec.ChromeJSON(), 0o644); err != nil {
+		fatal(err)
+	}
+	var sampled, lost uint64
+	for _, ct := range rec.Cores() {
+		sampled += ct.Sampled()
+		lost += ct.Lost()
+	}
+	note("; trace: %d packets sampled (%d ring-evicted events), wrote %s — open in ui.perfetto.dev\n",
+		sampled, lost, path)
 }
 
 // runWire serves the build on live datagram sockets: the -io wire mode.
-func runWire(p *core.Pipeline, base testbed.Options, rxAddr, txAddr string,
+func runWire(p *core.Pipeline, base testbed.Options, rxAddr, txAddr, metricsAddr string,
 	idle time.Duration, maxPackets int, note func(string, ...any)) {
 	if rxAddr == "" && txAddr == "" {
 		fatal(fmt.Errorf("-io wire needs -wire-rx and/or -wire-tx"))
+	}
+	if metricsAddr != "" {
+		ms, err := trace.NewMetricsServer(metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer ms.Close()
+		base.Metrics = ms
+		base.Telemetry = true // /report serves the full JSON report
+		note("; metrics: http://%s/metrics (Prometheus) and /report (JSON)\n", ms.Addr())
 	}
 	var rxConn, txConn net.Conn
 	var err error

@@ -10,6 +10,8 @@
 //	pktgen -replay input.pcap -to unix:/tmp/mill-rx.sock -pps 50000
 //	pktgen -capture out.pcap -on unix:/tmp/mill-tx.sock -idle 2s
 //	pktgen -compare out.pcap expected.pcap
+//	pktgen -replay in.pcap -to unix:/tmp/mill-rx.sock -record sent.pcap -epoch
+//	pktgen -compare-latency sent.pcap received.pcap
 //
 // File formats follow the extension: .pcap and .pcapng use the capture
 // codecs in internal/wire (nanosecond timestamps); anything else is the
@@ -29,7 +31,10 @@ import (
 	"strings"
 	"time"
 
+	"hash/fnv"
+
 	"packetmill/internal/netpkt"
+	ptrace "packetmill/internal/trace"
 	"packetmill/internal/trafficgen"
 	"packetmill/internal/wire"
 	"packetmill/internal/wire/pcapio"
@@ -86,22 +91,28 @@ func main() {
 		replay  = flag.String("replay", "", "replay trace FILE onto the wire address given by -to")
 		to      = flag.String("to", "", "wire address to transmit to (unix:PATH or udp:HOST:PORT)")
 		pps     = flag.Float64("pps", 0, "replay pacing in packets/s (0 = as fast as possible)")
+		record  = flag.String("record", "", "with -replay: also write the frames with their actual send times to FILE (the SENT side of -compare-latency)")
+		epoch   = flag.Bool("epoch", false, "timestamp -capture and -replay -record frames with absolute wall-clock ns, so two pktgen processes on one host share a time base")
 		capture = flag.String("capture", "", "capture frames from -on into FILE")
 		on      = flag.String("on", "", "wire address to listen on (unix:PATH or udp:HOST:PORT)")
 		idle    = flag.Duration("idle", 2*time.Second, "stop a capture after this long without frames")
 		compare = flag.Bool("compare", false, "compare two capture files (args: FILE FILE), ignoring timestamps")
+		compareLat = flag.Bool("compare-latency", false, "pair the frames of two captures (args: SENT RECEIVED) by payload hash and report the one-way latency distribution (captures must share a time base)")
 	)
 	flag.Parse()
 
 	switch {
+	case *compareLat:
+		runCompareLatency(flag.Arg(0), flag.Arg(1), *asJSON)
+		return
 	case *compare:
 		runCompare(flag.Arg(0), flag.Arg(1))
 		return
 	case *replay != "":
-		runReplay(*replay, *to, *pps, *repeats, *asJSON)
+		runReplay(*replay, *to, *pps, *repeats, *asJSON, *record, *epoch)
 		return
 	case *capture != "":
-		runCapture(*capture, *on, *count, *idle, *asJSON)
+		runCapture(*capture, *on, *count, *idle, *asJSON, *epoch)
 		return
 	}
 
@@ -150,8 +161,11 @@ func printJSON(doc any) {
 	fmt.Println(string(raw))
 }
 
-// runReplay pushes every frame of a trace file onto a wire address.
-func runReplay(path, to string, pps float64, repeats int, asJSON bool) {
+// runReplay pushes every frame of a trace file onto a wire address,
+// optionally recording what it sent with the actual send timestamps so
+// -compare-latency can pair against the far side's capture.
+func runReplay(path, to string, pps float64, repeats int, asJSON bool,
+	record string, epoch bool) {
 	if to == "" {
 		fatal(fmt.Errorf("-replay needs -to ADDR"))
 	}
@@ -171,6 +185,13 @@ func runReplay(path, to string, pps float64, repeats int, asJSON bool) {
 	}
 	src := tr.Replay(repeats)
 	start := time.Now()
+	stamp := func() float64 {
+		if epoch {
+			return float64(time.Now().UnixNano())
+		}
+		return float64(time.Since(start).Nanoseconds())
+	}
+	var rec captureSource
 	var frames, sent uint64
 	for {
 		frame, _, ok := src.Next()
@@ -181,12 +202,21 @@ func runReplay(path, to string, pps float64, repeats int, asJSON bool) {
 		if _, err := conn.Write(frame); err != nil {
 			fatal(fmt.Errorf("frame %d: %w", frames, err))
 		}
+		if record != "" {
+			rec.frames = append(rec.frames, append([]byte(nil), frame...))
+			rec.ns = append(rec.ns, stamp())
+		}
 		sent += uint64(len(frame))
 		if gap > 0 {
 			time.Sleep(gap)
 		}
 	}
 	dur := time.Since(start)
+	if record != "" {
+		if err := writeTraceFile(trafficgen.Record(&rec, 0), record); err != nil {
+			fatal(err)
+		}
+	}
 	if asJSON {
 		printJSON(map[string]any{
 			"file": path, "to": to, "frames": frames, "bytes": sent,
@@ -201,7 +231,7 @@ func runReplay(path, to string, pps float64, repeats int, asJSON bool) {
 
 // runCapture records frames arriving on a wire address until the count
 // is reached or the line goes idle, then writes them as a trace file.
-func runCapture(path, on string, count int, idle time.Duration, asJSON bool) {
+func runCapture(path, on string, count int, idle time.Duration, asJSON, epoch bool) {
 	if on == "" {
 		fatal(fmt.Errorf("-capture needs -on ADDR"))
 	}
@@ -214,6 +244,12 @@ func runCapture(path, on string, count int, idle time.Duration, asJSON bool) {
 	var rec captureSource
 	buf := make([]byte, 1<<16)
 	start := time.Now()
+	stamp := func() float64 {
+		if epoch {
+			return float64(time.Now().UnixNano())
+		}
+		return float64(time.Since(start).Nanoseconds())
+	}
 	for count <= 0 || len(rec.frames) < count {
 		if idle > 0 {
 			conn.SetReadDeadline(time.Now().Add(idle))
@@ -229,7 +265,7 @@ func runCapture(path, on string, count int, idle time.Duration, asJSON bool) {
 			fatal(err)
 		}
 		rec.frames = append(rec.frames, append([]byte(nil), buf[:n]...))
-		rec.ns = append(rec.ns, float64(time.Since(start).Nanoseconds()))
+		rec.ns = append(rec.ns, stamp())
 	}
 	tr := trafficgen.Record(&rec, 0)
 	if err := writeTraceFile(tr, path); err != nil {
@@ -301,6 +337,114 @@ func runCompare(pathA, pathB string) {
 		idx++
 	}
 	fmt.Printf("captures match: %d frames, %d bytes\n", a.Len(), a.Bytes())
+}
+
+// payloadKey hashes the part of a frame a forwarding NF leaves alone:
+// everything past the Ethernet, IPv4, and TCP/UDP headers. MAC rewrite,
+// TTL decrement, NAT address/port translation, and both checksum updates
+// all live in those headers, so a frame pairs with itself across a
+// router or NAT hop. Non-IPv4 or truncated frames hash whole.
+func payloadKey(frame []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(payloadOf(frame))
+	return h.Sum64()
+}
+
+func payloadOf(frame []byte) []byte {
+	eh, err := netpkt.ParseEther(frame)
+	if err != nil || eh.EtherType != netpkt.EtherTypeIPv4 {
+		return frame
+	}
+	ip := frame[netpkt.EtherHdrLen:]
+	iph, hlen, err := netpkt.ParseIPv4Header(ip)
+	if err != nil {
+		return frame
+	}
+	rest := ip[hlen:]
+	switch iph.Protocol {
+	case netpkt.ProtoTCP:
+		if len(rest) >= 20 {
+			if off := int(rest[12]>>4) * 4; off >= 20 && off <= len(rest) {
+				return rest[off:]
+			}
+		}
+	case netpkt.ProtoUDP:
+		if len(rest) >= 8 {
+			return rest[8:]
+		}
+	}
+	return rest
+}
+
+// runCompareLatency pairs the frames of a sent and a received capture by
+// payload hash and digests the per-frame one-way latency. Duplicate
+// payloads pair FIFO. Both captures must share a time base (e.g. replay
+// and capture started by the same wall clock on one host); a constant
+// clock offset shifts every quantile equally, and pairs that come out
+// negative clamp to zero.
+func runCompareLatency(sentPath, recvPath string, asJSON bool) {
+	if sentPath == "" || recvPath == "" {
+		fatal(fmt.Errorf("-compare-latency needs two file arguments: SENT RECEIVED"))
+	}
+	sent, err := readTraceFile(sentPath)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", sentPath, err))
+	}
+	recv, err := readTraceFile(recvPath)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", recvPath, err))
+	}
+	sentAt := map[uint64][]float64{}
+	src := sent.Replay(1)
+	for {
+		frame, ns, ok := src.Next()
+		if !ok {
+			break
+		}
+		k := payloadKey(frame)
+		sentAt[k] = append(sentAt[k], ns)
+	}
+	h := ptrace.NewHist()
+	var unmatched uint64
+	src = recv.Replay(1)
+	for {
+		frame, ns, ok := src.Next()
+		if !ok {
+			break
+		}
+		k := payloadKey(frame)
+		q := sentAt[k]
+		if len(q) == 0 {
+			unmatched++
+			continue
+		}
+		sentAt[k] = q[1:]
+		h.Record(ns - q[0])
+	}
+	s := h.Summary()
+	us := func(ns float64) float64 { return ns / 1e3 }
+	if asJSON {
+		printJSON(map[string]any{
+			"sent": sent.Len(), "received": recv.Len(),
+			"matched": s.Count, "unmatched": unmatched,
+			"latency_us": map[string]float64{
+				"min": us(s.Min), "mean": us(s.Mean),
+				"p50": us(s.P50), "p90": us(s.P90),
+				"p99": us(s.P99), "p999": us(s.P999),
+				"max": us(s.Max),
+			},
+		})
+		return
+	}
+	fmt.Printf("paired:      %d of %d received frames (%d sent, %d unmatched)\n",
+		s.Count, recv.Len(), sent.Len(), unmatched)
+	if s.Count == 0 {
+		return
+	}
+	fmt.Printf("latency:     min %.1f µs, mean %.1f µs, max %.1f µs\n",
+		us(s.Min), us(s.Mean), us(s.Max))
+	fmt.Printf("percentiles: p50 %.1f µs, p90 %.1f µs, p99 %.1f µs, p99.9 %.1f µs\n",
+		us(s.P50), us(s.P90), us(s.P99), us(s.P999))
 }
 
 // analyze streams a source and prints its statistics.

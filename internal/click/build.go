@@ -89,13 +89,25 @@ func (rt *Router) Kill(ec *ExecCtx, b *pktbuf.Batch) {
 // KillReason is Kill with an explicit drop reason for the taxonomy.
 func (rt *Router) KillReason(ec *ExecCtx, b *pktbuf.Batch, reason stats.DropReason) {
 	b.ForEach(ec.Core, func(p *pktbuf.Packet) bool {
-		rt.Drops++
-		rt.DropStats.Add(reason, 1)
-		if rt.Recycle != nil {
-			rt.Recycle(ec, p)
-		}
+		rt.KillPacket(ec, p, reason)
 		return true
 	})
+}
+
+// KillPacket drops a single packet with accounting: taxonomy counter,
+// flight-recorder drop event when the packet is being traced, recycle.
+// Every engine-side drop path funnels through here so no drop can lose
+// its trace or its reason.
+func (rt *Router) KillPacket(ec *ExecCtx, p *pktbuf.Packet, reason stats.DropReason) {
+	rt.Drops++
+	rt.DropStats.Add(reason, 1)
+	if p.TraceID != 0 {
+		ec.Tel.Trace().Drop(p.TraceID, reason.String(), p.Len())
+		p.TraceID = 0
+	}
+	if rt.Recycle != nil {
+		rt.Recycle(ec, p)
+	}
 }
 
 // DefaultMetaLayout returns the framework descriptor layout a metadata

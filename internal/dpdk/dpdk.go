@@ -21,6 +21,7 @@ import (
 	"packetmill/internal/nic"
 	"packetmill/internal/pktbuf"
 	"packetmill/internal/stats"
+	"packetmill/internal/trace"
 	"packetmill/internal/xchg"
 )
 
@@ -290,6 +291,16 @@ type Port struct {
 	// exchange descriptor pool as exhausted while it returns true — the
 	// fault engine's exchange-pool depletion hook. Nil in normal runs.
 	FaultDescDeplete func(nowNS float64) bool
+
+	// Trace is the owning core's flight recorder, or nil. RxBurst runs
+	// the 1-in-N sampler on every packet that survives conversion;
+	// TxBurst emits the matching depart event.
+	Trace *trace.CoreTrace
+
+	// LatHist, when set, receives the RX→TX-enqueue latency of every
+	// transmitted packet in nanoseconds — the port-level end-to-end
+	// distribution behind the live exporter and report percentiles.
+	LatHist *trace.Hist
 }
 
 // PortStats counts per-port PMD activity. RefillShort events used to be
@@ -458,6 +469,9 @@ func (pt *Port) RxBurst(core *machine.Core, nowNS float64, out []*pktbuf.Packet)
 		if d.VlanTCI != 0 {
 			pt.Bind.SetVlanTCI(core, p, d.VlanTCI)
 		}
+		if pt.Trace != nil {
+			p.TraceID = pt.Trace.MaybeSample(d.Len, p.ArrivalNS)
+		}
 		out[kept] = p
 		kept++
 	}
@@ -550,6 +564,11 @@ func (pt *Port) TxBurst(core *machine.Core, nowNS float64, pkts []*pktbuf.Packet
 		pt.Bind.GetBufAddr(core, p)
 		if !txq.Enqueue(core, p, nowNS) {
 			break
+		}
+		pt.LatHist.Record(nowNS - p.ArrivalNS)
+		if p.TraceID != 0 {
+			pt.Trace.Depart(p.TraceID, p.Len())
+			p.TraceID = 0
 		}
 		if cb, ok := pt.Bind.(*xchg.CustomBinding); ok {
 			// X-Change TX swap (§3.1): the metadata has been converted

@@ -124,11 +124,7 @@ func (e *FromDPDKDevice) RunTask(ec *click.ExecCtx) int {
 			// §2.2 ("Copying").
 			m := e.bc.PacketPool.Get(core)
 			if m == nil {
-				ec.Rt.Drops++
-				ec.Rt.DropStats.Add(stats.DropPoolExhausted, 1)
-				if ec.Rt.Recycle != nil {
-					ec.Rt.Recycle(ec, p)
-				}
+				ec.Rt.KillPacket(ec, p, stats.DropPoolExhausted)
 				continue
 			}
 			p.Meta = m
@@ -268,11 +264,7 @@ func (e *ToDPDKDevice) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 		e.pending = e.pending[:len(e.pending)-over]
 		for _, p := range drop {
 			e.DropsFull++
-			ec.Rt.Drops++
-			ec.Rt.DropStats.Add(stats.DropTxRingFull, 1)
-			if ec.Rt.Recycle != nil {
-				ec.Rt.Recycle(ec, p)
-			}
+			ec.Rt.KillPacket(ec, p, stats.DropTxRingFull)
 		}
 	}
 }

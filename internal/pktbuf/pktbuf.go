@@ -94,6 +94,12 @@ type Packet struct {
 	// ArrivalNS is the wire arrival timestamp, for latency measurement.
 	ArrivalNS float64
 
+	// TraceID is nonzero while the packet is being followed by the
+	// flight recorder (internal/trace): the PMD's 1-in-N sampler sets
+	// it at RX and the TX/drop paths emit the matching depart or drop
+	// event and clear it.
+	TraceID uint64
+
 	// Owner is the pool the buffer belongs to (rte_mbuf's pool pointer).
 	// A free routed to the wrong pool forwards to the owner instead of
 	// corrupting a foreign free list; pktbuf stays layer-agnostic, so the
@@ -124,6 +130,7 @@ func (p *Packet) Reset(headroom int) {
 	p.dataLen = 0
 	p.next = nil
 	p.ArrivalNS = 0
+	p.TraceID = 0
 }
 
 // SetFrame copies frame into the data region (host bytes only; DMA cost is

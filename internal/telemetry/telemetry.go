@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"packetmill/internal/machine"
+	"packetmill/internal/trace"
 )
 
 // Stage identifies a datapath stage, mirroring the paper's breakdown of
@@ -59,6 +60,11 @@ type Bucket struct {
 	Visits  uint64 // spans entered
 	Packets uint64 // packets the span owner reported moving
 	Delta   machine.Counters
+	// Dur is the distribution of per-visit *exclusive* span durations
+	// in nanoseconds (core-clock time, so ∝ cycles on sim runs). It
+	// feeds the per-element latency percentiles in the report; merging
+	// the per-core histograms is order-independent.
+	Dur *trace.Hist
 }
 
 func (b *Bucket) add(d machine.Counters) {
@@ -81,6 +87,10 @@ type bucketKey struct {
 type frame struct {
 	b     *Bucket
 	start machine.Counters
+	// accNS accumulates the wall-ns this visit already charged to the
+	// bucket before nested spans paused it, so Exit can record the
+	// visit's full exclusive duration into b.Dur in one observation.
+	accNS float64
 }
 
 // Tracker attributes one core's counter movement to spans. It is not
@@ -90,6 +100,7 @@ type Tracker struct {
 	stack   []frame
 	buckets map[bucketKey]*Bucket
 	order   []bucketKey
+	trace   *trace.CoreTrace
 }
 
 // NewTracker attaches a tracker to a core.
@@ -105,11 +116,29 @@ func (t *Tracker) Core() *machine.Core {
 	return t.core
 }
 
+// SetTrace attaches the core's flight recorder: every span boundary is
+// mirrored into it, giving the trace per-element events without any
+// per-element edits. Safe to leave unset (and on a nil tracker).
+func (t *Tracker) SetTrace(ct *trace.CoreTrace) {
+	if t != nil {
+		t.trace = ct
+	}
+}
+
+// Trace returns the attached flight recorder (nil when tracing is off
+// or the tracker is nil), for drop/fault hooks that need it.
+func (t *Tracker) Trace() *trace.CoreTrace {
+	if t == nil {
+		return nil
+	}
+	return t.trace
+}
+
 func (t *Tracker) bucket(stage Stage, name string) *Bucket {
 	k := bucketKey{stage, name}
 	b, ok := t.buckets[k]
 	if !ok {
-		b = &Bucket{Stage: stage, Name: name}
+		b = &Bucket{Stage: stage, Name: name, Dur: trace.NewHist()}
 		t.buckets[k] = b
 		t.order = append(t.order, k)
 	}
@@ -126,10 +155,12 @@ func (t *Tracker) Enter(stage Stage, name string) {
 	if n := len(t.stack); n > 0 {
 		top := &t.stack[n-1]
 		top.b.add(now.Delta(top.start))
+		top.accNS += now.WallNS - top.start.WallNS
 	}
 	b := t.bucket(stage, name)
 	b.Visits++
 	t.stack = append(t.stack, frame{b: b, start: now})
+	t.trace.SpanEnter()
 }
 
 // Exit closes the innermost span, charging its exclusive delta, and
@@ -145,6 +176,8 @@ func (t *Tracker) Exit() {
 	now := t.core.Snapshot()
 	top := &t.stack[n-1]
 	top.b.add(now.Delta(top.start))
+	top.b.Dur.Record(top.accNS + now.WallNS - top.start.WallNS)
+	t.trace.SpanExit(top.b.Stage.String(), top.b.Name)
 	t.stack = t.stack[:n-1]
 	if n > 1 {
 		t.stack[n-2].start = now
@@ -231,7 +264,19 @@ type Totals struct {
 	TLBMisses    uint64  `json:"tlb_misses"`
 }
 
-// LatencyUS summarizes the latency distribution in microseconds.
+// LatencyUS summarizes a latency distribution. This type is the single
+// place latency units are defined for every report surface (Report,
+// -report json, the experiments tables, and the /report endpoint):
+//
+//   - All values are MICROSECONDS.
+//   - On simulated runs time is core-clock time (cycles ÷ frequency);
+//     on wire runs it is wall-clock time.
+//   - Run-level latency is wire arrival → TX departure, measured over
+//     the FULL post-warmup run (full-run totals, not interval-end
+//     snapshots). Mean/min/max are exact; percentiles come from the
+//     log-bucketed histogram (≤3% relative quantization error).
+//   - Per-element latency (ElementReport.Latency) is the distribution
+//     of per-visit *exclusive* span durations.
 type LatencyUS struct {
 	Count uint64  `json:"count"`
 	Min   float64 `json:"min"`
@@ -241,6 +286,22 @@ type LatencyUS struct {
 	P99   float64 `json:"p99"`
 	P999  float64 `json:"p999"`
 	Max   float64 `json:"max"`
+}
+
+// LatencyFromHist digests a nanosecond histogram into the report's
+// microsecond summary.
+func LatencyFromHist(h *trace.Hist) LatencyUS {
+	s := h.Summary()
+	return LatencyUS{
+		Count: s.Count,
+		Min:   s.Min / 1e3,
+		Mean:  s.Mean / 1e3,
+		P50:   s.P50 / 1e3,
+		P90:   s.P90 / 1e3,
+		P99:   s.P99 / 1e3,
+		P999:  s.P999 / 1e3,
+		Max:   s.Max / 1e3,
+	}
 }
 
 // CoreReport is one core's ledger: perf totals plus the idle/busy split.
@@ -329,6 +390,9 @@ type ElementReport struct {
 	LLCLoads        uint64  `json:"llc_loads"`
 	LLCLoadMisses   uint64  `json:"llc_load_misses"`
 	Share           float64 `json:"share"`
+	// Latency is the per-visit exclusive-duration distribution, merged
+	// across cores (units per LatencyUS).
+	Latency *LatencyUS `json:"latency_us,omitempty"`
 }
 
 // Interval is one periodic snapshot: cumulative progress plus instant
@@ -384,6 +448,7 @@ func (r *Report) BuildSpans(trackers []*Tracker, coreBusy []float64) {
 	stageAgg := map[string]*StageReport{}
 	elemAgg := map[string]*ElementReport{}
 	elemStages := map[string]map[string]bool{}
+	elemDur := map[string]*trace.Hist{}
 	for ci, t := range trackers {
 		if t == nil {
 			continue
@@ -429,8 +494,10 @@ func (r *Report) BuildSpans(trackers []*Tracker, coreBusy []float64) {
 				ea = &ElementReport{Name: sr.Name}
 				elemAgg[sr.Name] = ea
 				elemStages[sr.Name] = map[string]bool{}
+				elemDur[sr.Name] = trace.NewHist()
 			}
 			elemStages[sr.Name][sr.Stage] = true
+			elemDur[sr.Name].Merge(b.Dur)
 			ea.Visits += sr.Visits
 			ea.Packets += sr.Packets
 			ea.Cycles += sr.Cycles
@@ -465,6 +532,10 @@ func (r *Report) BuildSpans(trackers []*Tracker, coreBusy []float64) {
 		}
 		sort.Strings(stages)
 		ea.Stages = joinComma(stages)
+		if d := elemDur[n]; d.Count() > 0 {
+			l := LatencyFromHist(d)
+			ea.Latency = &l
+		}
 		if ea.Packets > 0 {
 			ea.CyclesPerPacket = ea.Cycles / float64(ea.Packets)
 		}

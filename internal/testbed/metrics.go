@@ -1,0 +1,199 @@
+// Live metrics: folding the DUT's counters into trace.Snapshot values
+// for the -metrics HTTP exporter while a wire session is serving. The
+// serve loop owns every counter it reads (single-threaded datapath), so
+// a snapshot is built without locks and published as an immutable value;
+// scrape handlers only ever read published snapshots.
+package testbed
+
+import (
+	"encoding/json"
+	"strconv"
+	"time"
+
+	"packetmill/internal/machine"
+	"packetmill/internal/stats"
+	"packetmill/internal/telemetry"
+	"packetmill/internal/trace"
+	"packetmill/internal/xchg"
+)
+
+// metricsInterval is the wall-clock cadence at which ServeWire publishes
+// fresh snapshots to the exporter.
+const metricsInterval = 500 * time.Millisecond
+
+// publishMetrics builds and publishes a snapshot when the exporter is
+// attached; a no-op otherwise.
+func (d *DUT) publishMetrics(engines []Engine, elapsed time.Duration) {
+	if d.Opts.Metrics == nil {
+		return
+	}
+	d.Opts.Metrics.Publish(d.wireSnapshot(engines, elapsed))
+}
+
+// wireSnapshot assembles the exporter view: port counters, the drop
+// taxonomy, queue depths, latency and per-element duration histograms,
+// and the full telemetry report as JSON for /report.
+func (d *DUT) wireSnapshot(engines []Engine, elapsed time.Duration) *trace.Snapshot {
+	snap := &trace.Snapshot{}
+	add := func(name, help, typ string, labels [][2]string, v float64) {
+		snap.Samples = append(snap.Samples, trace.Sample{
+			Name: name, Help: help, Type: typ, Labels: labels, Value: v,
+		})
+	}
+	add("packetmill_uptime_seconds", "Wall time since serving started.",
+		"gauge", nil, elapsed.Seconds())
+
+	// Port counters and queue depths, in (core, port id) order so the
+	// exposition text is deterministic.
+	var drops stats.DropCounters
+	e2e := trace.NewHist()
+	for c := range d.PortsFor {
+		for id := 0; id < d.Opts.NICs; id++ {
+			port, ok := d.PortsFor[c][id]
+			if !ok {
+				continue
+			}
+			rxs := port.Dev.RXStats()
+			txs := port.Dev.TXStats()
+			pl := [][2]string{
+				{"port", port.Dev.PortName()},
+				{"queue", strconv.Itoa(port.Dev.QueueID())},
+			}
+			add("packetmill_rx_packets_total", "Frames the NIC delivered to the PMD.",
+				"counter", pl, float64(rxs.Delivered))
+			add("packetmill_rx_bytes_total", "Bytes the NIC delivered to the PMD.",
+				"counter", pl, float64(rxs.Bytes))
+			add("packetmill_tx_packets_total", "Frames sent on the wire.",
+				"counter", pl, float64(txs.Sent))
+			add("packetmill_tx_bytes_total", "Bytes sent on the wire.",
+				"counter", pl, float64(txs.Bytes))
+			add("packetmill_polls_total", "PMD receive polls.",
+				"counter", pl, float64(port.Stats.Polls))
+			add("packetmill_empty_polls_total", "PMD receive polls that found nothing.",
+				"counter", pl, float64(port.Stats.EmptyPolls))
+			for _, g := range [...]struct {
+				ring string
+				n    int
+			}{
+				{"posted_rx", port.Dev.PostedCount()},
+				{"pending_rx", port.Dev.PendingCount()},
+				{"inflight_tx", port.Dev.InflightCount()},
+			} {
+				add("packetmill_queue_depth",
+					"Descriptors currently held in a device ring.", "gauge",
+					[][2]string{pl[0], pl[1], {"ring", g.ring}}, float64(g.n))
+			}
+			if cb, ok := d.bindings[port].(*xchg.CustomBinding); ok {
+				add("packetmill_xchg_desc_outstanding",
+					"X-Change descriptors currently attached to buffers.",
+					"gauge", pl, float64(cb.Pool.Outstanding()))
+				add("packetmill_xchg_desc_max_outstanding",
+					"High-water mark of attached X-Change descriptors.",
+					"gauge", pl, float64(cb.Pool.MaxOutstanding))
+				add("packetmill_xchg_desc_get_fails_total",
+					"X-Change descriptor pool exhaustion events.",
+					"counter", pl, float64(cb.Pool.GetFails))
+			}
+			drops.Add(stats.DropRxNoBuf, rxs.DropNoBuf)
+			drops.Add(stats.DropRxRingFull, rxs.DropFull)
+			drops.Add(stats.DropRxRunt, rxs.DropRunt)
+			drops.Add(stats.DropTxRingFull, txs.DropFull)
+			drops.Merge(&port.Drops)
+			e2e.Merge(port.LatHist)
+		}
+	}
+	backlog := 0
+	for _, e := range engines {
+		if ds, ok := e.(dropStatser); ok {
+			drops.Merge(ds.DropStats())
+		}
+		if tb, ok := e.(txBacklogger); ok {
+			backlog += tb.TxBacklog()
+		}
+	}
+	add("packetmill_tx_backlog", "Packets queued behind full TX rings.",
+		"gauge", nil, float64(backlog))
+	// Every reason is exported, including zero counts, so dashboards see
+	// a stable family the moment the endpoint comes up.
+	for r := stats.DropReason(0); r < stats.NumDropReasons; r++ {
+		add("packetmill_drops_total", "Frames lost, by drop taxonomy reason.",
+			"counter", [][2]string{{"reason", r.String()}}, float64(drops.Get(r)))
+	}
+
+	if e2e.Count() > 0 {
+		snap.Hists = append(snap.Hists, trace.PromHist(
+			"packetmill_latency_seconds",
+			"One-way RX-arrival to TX-departure latency through the DUT.",
+			nil, e2e))
+	}
+	for c, t := range d.Trackers {
+		for _, b := range t.Buckets() {
+			if b.Dur.Count() == 0 {
+				continue
+			}
+			snap.Hists = append(snap.Hists, trace.PromHist(
+				"packetmill_element_duration_seconds",
+				"Per-visit exclusive element duration.",
+				[][2]string{
+					{"core", strconv.Itoa(c)},
+					{"element", b.Name},
+					{"stage", b.Stage.String()},
+				}, b.Dur))
+		}
+	}
+
+	snap.ReportJSON = d.wireReportJSON(engines, elapsed, &drops, e2e)
+	return snap
+}
+
+// wireReportJSON renders the same telemetry.Report a -report json run
+// would emit, against the session so far, for the exporter's /report
+// endpoint. Returns nil (the exporter serves "{}") when telemetry is off.
+func (d *DUT) wireReportJSON(engines []Engine, elapsed time.Duration,
+	drops *stats.DropCounters, e2e *trace.Hist) []byte {
+	if !d.Opts.Telemetry {
+		return nil
+	}
+	res := &Result{Latency: stats.NewLatencyRecorder(1)}
+	res.Duration = float64(elapsed)
+	var agg machine.Counters
+	for c := range d.PortsFor {
+		for id := 0; id < d.Opts.NICs; id++ {
+			port, ok := d.PortsFor[c][id]
+			if !ok {
+				continue
+			}
+			rxs := port.Dev.RXStats()
+			txs := port.Dev.TXStats()
+			res.Offered += rxs.Delivered + rxs.DropNoBuf + rxs.DropFull + rxs.DropRunt
+			res.Packets += txs.Sent
+			res.Bytes += txs.Bytes
+			res.TxWire += txs.Sent
+		}
+	}
+	res.DropsByReason = *drops
+	res.Dropped = drops.Total()
+	for _, c := range d.Cores {
+		ct := c.Snapshot()
+		agg.Instructions += ct.Instructions
+		agg.BusyCycles += ct.BusyCycles
+		agg.TLBMisses += ct.TLBMisses
+		agg.LLCLoads += ct.LLCLoads
+		agg.LLCLoadMisses += ct.LLCLoadMisses
+		if ct.WallNS > agg.WallNS {
+			agg.WallNS = ct.WallNS
+		}
+	}
+	res.Counters = agg
+	r := d.buildReport(res, res.Latency, e2e, nil)
+	// The recorder is empty on the wire path; the histogram carries the
+	// exact extremes too, so take the whole digest from it.
+	if e2e.Count() > 0 {
+		r.LatencyUS = telemetry.LatencyFromHist(e2e)
+	}
+	out, err := json.Marshal(r)
+	if err != nil {
+		return nil
+	}
+	return out
+}

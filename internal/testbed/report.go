@@ -8,13 +8,14 @@ import (
 
 	"packetmill/internal/stats"
 	"packetmill/internal/telemetry"
+	"packetmill/internal/trace"
 )
 
 // buildReport assembles the telemetry report after a driven run. Core and
 // span numbers cover the whole run (trackers attribute from time zero, so
 // the coverage self-check is exact); Totals keeps the measurement-window
 // view the text reports use.
-func (d *DUT) buildReport(res *Result, lat *stats.LatencyRecorder,
+func (d *DUT) buildReport(res *Result, lat *stats.LatencyRecorder, e2e *trace.Hist,
 	intervals []telemetry.Interval) *telemetry.Report {
 	o := d.Opts
 	r := &telemetry.Report{
@@ -51,6 +52,12 @@ func (d *DUT) buildReport(res *Result, lat *stats.LatencyRecorder,
 		r.Config.Faults = fmt.Sprintf("%d clauses", len(o.Faults.Clauses))
 	}
 
+	// Latency: full-run totals (see telemetry.LatencyUS for the unit
+	// contract). The histogram covers every post-warmup departure, so
+	// its percentiles are exact up to bucket width; count/min/mean/max
+	// come from the recorder's exact accumulators. The recorder's
+	// reservoir percentiles remain only as the fallback when the
+	// histogram is absent.
 	s := lat.Summarize()
 	r.LatencyUS = telemetry.LatencyUS{
 		Count: s.Count,
@@ -61,6 +68,11 @@ func (d *DUT) buildReport(res *Result, lat *stats.LatencyRecorder,
 		P99:   stats.MicrosFromNS(s.P99),
 		P999:  stats.MicrosFromNS(s.P999),
 		Max:   stats.MicrosFromNS(s.Max),
+	}
+	if e2e.Count() > 0 {
+		h := telemetry.LatencyFromHist(e2e)
+		r.LatencyUS.P50, r.LatencyUS.P90 = h.P50, h.P90
+		r.LatencyUS.P99, r.LatencyUS.P999 = h.P99, h.P999
 	}
 
 	// Per-core ledgers, full run: the span trackers started at time zero,

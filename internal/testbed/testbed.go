@@ -9,6 +9,7 @@ package testbed
 import (
 	"fmt"
 	"math"
+	"os"
 	"strings"
 
 	"packetmill/internal/cache"
@@ -22,6 +23,7 @@ import (
 	"packetmill/internal/pktbuf"
 	"packetmill/internal/stats"
 	"packetmill/internal/telemetry"
+	"packetmill/internal/trace"
 	"packetmill/internal/trafficgen"
 	"packetmill/internal/xchg"
 )
@@ -111,6 +113,22 @@ type Options struct {
 	// SnapshotIntervalNS paces the interval snapshots (default 100 µs of
 	// simulated time when Telemetry is on).
 	SnapshotIntervalNS float64
+
+	// Trace, when non-nil, arms the per-packet flight recorder: the PMD
+	// samples 1-in-N received packets deterministically and every stage
+	// and element they traverse (plus drops and fault injections) lands
+	// in a fixed per-core event ring, exportable as Chrome trace JSON.
+	// Tracing implies span trackers even when Telemetry is off (the
+	// report is still only built under Telemetry).
+	Trace *trace.Recorder
+	// StallTracePath, when set together with Trace, is where the
+	// watchdog writes the flight-recorder dump when it kills a stalled
+	// run — the post-mortem for a StallError.
+	StallTracePath string
+	// Metrics, when non-nil, is the live exporter: ServeWire publishes
+	// periodic snapshots (port counters, drop taxonomy, queue depths,
+	// latency histograms) to its /metrics and /report endpoints.
+	Metrics *trace.MetricsServer
 
 	Seed uint64
 }
@@ -223,7 +241,9 @@ func NewDUT(o Options) (*DUT, error) {
 		core := mach.AddCore(o.FreqGHz)
 		d.Cores = append(d.Cores, core)
 		d.PortsFor = append(d.PortsFor, map[int]*dpdk.Port{})
-		if o.Telemetry {
+		// Tracing rides on the tracker's span seam, so it needs the
+		// trackers even when no report will be built.
+		if o.Telemetry || o.Trace != nil {
 			d.Trackers = append(d.Trackers, telemetry.NewTracker(core))
 		} else {
 			d.Trackers = append(d.Trackers, nil)
@@ -250,7 +270,30 @@ func NewDUT(o Options) (*DUT, error) {
 			d.PortsFor[c][n] = port
 		}
 	}
+	d.attachTrace()
 	return d, nil
+}
+
+// attachTrace binds each core's flight recorder to its clock, its span
+// tracker, and its PMD ports. Also installs the per-port end-to-end
+// latency histogram when telemetry is on.
+func (d *DUT) attachTrace() {
+	for c, core := range d.Cores {
+		if d.Opts.Telemetry || d.Opts.Metrics != nil {
+			for _, port := range d.PortsFor[c] {
+				port.LatHist = trace.NewHist()
+			}
+		}
+		if d.Opts.Trace == nil {
+			continue
+		}
+		ct := d.Opts.Trace.Core(c)
+		ct.SetClock(core.NowNS)
+		d.Trackers[c].SetTrace(ct)
+		for _, port := range d.PortsFor[c] {
+			port.Trace = ct
+		}
+	}
 }
 
 // buildPort creates queue `queue` of NIC `nicID` as a PMD port with the
@@ -617,8 +660,11 @@ type driver struct {
 	buf     [][]byte // owned copies of head frames
 	offered uint64
 
-	// Measurement probes.
+	// Measurement probes. e2e is the full-run wire-to-wire latency
+	// histogram (post-warmup, like lat) the report percentiles come
+	// from; nil when telemetry is off.
 	lat            *stats.LatencyRecorder
+	e2e            *trace.Hist
 	departed       uint64
 	measuredPkts   uint64
 	measuredBytes  uint64
@@ -704,6 +750,7 @@ func (dr *driver) onDepart(p *pktbuf.Packet, departNS float64) {
 			}
 		}
 		dr.lat.Record(departNS - p.ArrivalNS)
+		dr.e2e.Record(departNS - p.ArrivalNS)
 		dr.measuredPkts++
 		dr.measuredBytes += uint64(p.Len())
 		if departNS > dr.lastDepartNS {
@@ -794,6 +841,9 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 		warmup:         uint64(o.Warmup),
 		nextSampleNS:   o.SnapshotIntervalNS,
 	}
+	if o.Telemetry {
+		dr.e2e = trace.NewHist()
+	}
 
 	// Fault engine: built per run, wired into the layers' hooks. A clean
 	// run leaves every hook nil, so the only datapath cost of the fault
@@ -816,6 +866,7 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 				port.FaultDescDeplete = dr.fe.DepleteDesc
 			}
 		}
+		d.traceFaults(dr.fe)
 	}
 
 	// Sources: one per NIC.
@@ -891,10 +942,14 @@ func (dr *driver) run() (*Result, error) {
 		idleStreak++
 		pending := !dr.sourcesDone() || dr.pendingRx() || dr.txBacklog() > 0
 		if watchdogNS > 0 && pending && now-lastProgressNS > watchdogNS {
+			snap := d.snapshot(engines)
+			if path := d.dumpStallTrace(); path != "" {
+				snap += fmt.Sprintf("  flight-recorder dump: %s\n", path)
+			}
 			return nil, &StallError{
 				NowNS:          now,
 				LastProgressNS: lastProgressNS,
-				Snapshot:       d.snapshot(engines),
+				Snapshot:       snap,
 			}
 		}
 		if !pending {
@@ -972,7 +1027,81 @@ func (dr *driver) run() (*Result, error) {
 		res.FaultStats = &st
 	}
 	if o.Telemetry {
-		res.Telemetry = d.buildReport(res, dr.lat, dr.intervals)
+		res.Telemetry = d.buildReport(res, dr.lat, dr.e2e, dr.intervals)
 	}
 	return res, nil
+}
+
+// traceFaults mirrors fault-engine activations into the flight
+// recorder: each hook is wrapped with an edge detector so a fault
+// *window* appends one event when it opens, not one per packet that
+// hits it. No-op when tracing is off.
+func (d *DUT) traceFaults(fe *faults.Engine) {
+	if d.Opts.Trace == nil {
+		return
+	}
+	rec := d.Opts.Trace
+	for _, n := range d.NICs {
+		nn := n
+		stalled := make([]bool, d.Opts.Cores)
+		nn.FaultRxStall = func(q int, ns float64) float64 {
+			until := fe.RxStall(q, ns)
+			active := until > ns
+			if active && q < len(stalled) && !stalled[q] {
+				rec.Core(q).Fault("rx-stall")
+			}
+			if q < len(stalled) {
+				stalled[q] = active
+			}
+			return until
+		}
+		var slowed bool
+		nn.FaultTxSlow = func(ns float64) float64 {
+			f := fe.TxSlowFactor(ns)
+			active := f > 1
+			if active && !slowed {
+				// The hook carries no queue, so the event lands on the
+				// first core's timeline.
+				rec.Core(0).Fault("tx-slow")
+			}
+			slowed = active
+			return f
+		}
+	}
+	edge := func(h func(float64) bool, ct *trace.CoreTrace, name string) func(float64) bool {
+		var active bool
+		return func(ns float64) bool {
+			hit := h(ns)
+			if hit && !active {
+				ct.Fault(name)
+			}
+			active = hit
+			return hit
+		}
+	}
+	for c, ports := range d.PortsFor {
+		ct := rec.Core(c)
+		for _, port := range ports {
+			if pool := d.mempools[port]; pool != nil && pool.FaultDeplete != nil {
+				pool.FaultDeplete = edge(pool.FaultDeplete, ct, "mempool-deplete")
+			}
+			if port.FaultDescDeplete != nil {
+				port.FaultDescDeplete = edge(port.FaultDescDeplete, ct, "desc-deplete")
+			}
+		}
+	}
+}
+
+// dumpStallTrace writes the flight recorder's Chrome trace to
+// Options.StallTracePath (when both are configured), making a watchdog
+// kill post-mortem-debuggable. Returns the path written, or "".
+func (d *DUT) dumpStallTrace() string {
+	o := d.Opts
+	if o.Trace == nil || o.StallTracePath == "" {
+		return ""
+	}
+	if err := os.WriteFile(o.StallTracePath, o.Trace.ChromeJSON(), 0o644); err != nil {
+		return ""
+	}
+	return o.StallTracePath
 }

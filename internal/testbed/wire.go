@@ -49,7 +49,9 @@ func NewWireDUT(o Options, devs []nic.Port) (*DUT, error) {
 	core := mach.AddCore(o.FreqGHz)
 	d.Cores = append(d.Cores, core)
 	d.PortsFor = append(d.PortsFor, map[int]*dpdk.Port{})
-	if o.Telemetry {
+	// Tracing and the live exporter both need the span trackers; the
+	// report itself still requires Telemetry.
+	if o.Telemetry || o.Trace != nil || o.Metrics != nil {
 		d.Trackers = append(d.Trackers, telemetry.NewTracker(core))
 	} else {
 		d.Trackers = append(d.Trackers, nil)
@@ -61,6 +63,7 @@ func NewWireDUT(o Options, devs []nic.Port) (*DUT, error) {
 		}
 		d.PortsFor[0][i] = port
 	}
+	d.attachTrace()
 	return d, nil
 }
 
@@ -82,11 +85,20 @@ func (d *DUT) ServeWire(ctx context.Context, engines []Engine,
 	idleExit time.Duration, maxPackets uint64) (WireServeStats, error) {
 	start := time.Now()
 	lastWork := start
+	// On the wire the flight recorder timestamps events with wall time
+	// (the simulated calendar does not advance against real sockets).
+	if d.Opts.Trace != nil {
+		for _, ct := range d.Opts.Trace.Cores() {
+			ct.SetClock(func() float64 { return float64(time.Since(start)) })
+		}
+	}
+	lastPublish := start
 	var st WireServeStats
 	for {
 		select {
 		case <-ctx.Done():
 			d.drainWire(engines, start)
+			d.publishMetrics(engines, time.Since(start))
 			return st, ctx.Err()
 		default:
 		}
@@ -96,6 +108,10 @@ func (d *DUT) ServeWire(ctx context.Context, engines []Engine,
 			moved += e.Step(d.Cores[i], now)
 		}
 		st.Steps++
+		if d.Opts.Metrics != nil && time.Since(lastPublish) >= metricsInterval {
+			lastPublish = time.Now()
+			d.publishMetrics(engines, time.Since(start))
+		}
 		if moved > 0 {
 			st.Packets += uint64(moved)
 			lastWork = time.Now()
@@ -111,6 +127,9 @@ func (d *DUT) ServeWire(ctx context.Context, engines []Engine,
 		runtime.Gosched()
 	}
 	d.drainWire(engines, start)
+	// A final snapshot so a scrape after the session (the CI check does
+	// this) sees the totals, not a half-second-old view.
+	d.publishMetrics(engines, time.Since(start))
 	return st, nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"packetmill/internal/click"
 	"packetmill/internal/nf"
+	"packetmill/internal/trace"
 	"packetmill/internal/trafficgen"
 )
 
@@ -33,7 +34,14 @@ func campusFrames(n int) [][]byte {
 // forwarder under the given metadata model.
 func mirrorRig(t testing.TB, model click.MetadataModel) (*DUT, *clickEngine) {
 	t.Helper()
-	o := Options{Model: model}.withDefaults()
+	return mirrorRigOpts(t, Options{Model: model})
+}
+
+// mirrorRigOpts is mirrorRig with full control over the options, so the
+// gate can also run with the observability layers switched on.
+func mirrorRigOpts(t testing.TB, o Options) (*DUT, *clickEngine) {
+	t.Helper()
+	o = o.withDefaults()
 	d, err := NewDUT(o)
 	if err != nil {
 		t.Fatal(err)
@@ -92,6 +100,33 @@ func TestSteadyStateZeroAllocsCopying(t *testing.T) {
 
 func TestSteadyStateZeroAllocsXChange(t *testing.T) {
 	testSteadyStateZeroAllocs(t, click.XChange, "x-change")
+}
+
+// The observability gate: the flight recorder at its most aggressive
+// setting (every packet sampled) plus full telemetry must still not
+// allocate per packet once warm — the ring, the span stack, and the
+// histograms are all fixed storage.
+func TestSteadyStateZeroAllocsTraced(t *testing.T) {
+	d, eng := mirrorRigOpts(t, Options{
+		Model:     click.XChange,
+		Telemetry: true,
+		Trace:     trace.NewRecorder(trace.Config{SampleEvery: 1, Seed: 1}),
+	})
+	frames := campusFrames(512)
+	for _, f := range frames[:256] {
+		pumpOne(d, eng, f)
+	}
+	if got := d.Opts.Trace.Core(0).Sampled(); got == 0 {
+		t.Fatal("recorder sampled nothing during warmup; the gate would measure an idle tracer")
+	}
+	next := 256
+	avg := testing.AllocsPerRun(50, func() {
+		pumpOne(d, eng, frames[next%len(frames)])
+		next++
+	})
+	if avg != 0 {
+		t.Errorf("traced steady-state forwarding allocates %.1f times per packet, want 0", avg)
+	}
 }
 
 // BenchmarkSteadyStateForwarding reports the per-packet cost of the warm

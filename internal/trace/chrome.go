@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+)
+
+// ChromeJSON renders every core's retained events as Chrome
+// trace-event JSON (the format Perfetto and chrome://tracing load).
+// Spans become "X" (complete) events and packet milestones become "i"
+// (instant) events; pid is always 0 and tid is the core id, so each
+// core renders as one timeline row.
+//
+// The output is deterministic: cores in id order, events in ring
+// (chronological) order, and all numbers formatted with fixed
+// precision — two runs with the same seed and config produce
+// byte-identical files.
+func (r *Recorder) ChromeJSON() []byte {
+	var b bytes.Buffer
+	b.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	first := true
+	emit := func() {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+	}
+	for _, ct := range r.Cores() {
+		if ct == nil {
+			continue
+		}
+		emit()
+		b.WriteString(`{"ph":"M","pid":0,"tid":`)
+		writeInt(&b, int64(ct.core))
+		b.WriteString(`,"name":"thread_name","args":{"name":"core `)
+		writeInt(&b, int64(ct.core))
+		b.WriteString(`"}}`)
+		for _, ev := range ct.Events() {
+			emit()
+			writeEvent(&b, ev)
+		}
+	}
+	b.WriteString("]}\n")
+	return b.Bytes()
+}
+
+func writeEvent(b *bytes.Buffer, ev Event) {
+	b.WriteString(`{"ph":"`)
+	if ev.Kind == EvSpan {
+		b.WriteByte('X')
+	} else {
+		b.WriteByte('i')
+	}
+	b.WriteString(`","pid":0,"tid":`)
+	writeInt(b, int64(ev.Core))
+	b.WriteString(`,"ts":`)
+	writeMicros(b, ev.TSNS)
+	if ev.Kind == EvSpan {
+		b.WriteString(`,"dur":`)
+		writeMicros(b, ev.DurNS)
+	} else {
+		b.WriteString(`,"s":"t"`)
+	}
+	b.WriteString(`,"cat":`)
+	writeString(b, ev.Stage)
+	b.WriteString(`,"name":`)
+	writeString(b, ev.Name)
+	if ev.Seq != 0 || ev.PktLen != 0 {
+		b.WriteString(`,"args":{"seq":`)
+		b.WriteString(strconv.FormatUint(ev.Seq, 10))
+		b.WriteString(`,"pktlen":`)
+		writeInt(b, int64(ev.PktLen))
+		b.WriteByte('}')
+	}
+	b.WriteByte('}')
+}
+
+// writeMicros writes a nanosecond quantity as microseconds with fixed
+// millinanosecond precision, keeping output byte-stable across runs.
+func writeMicros(b *bytes.Buffer, ns float64) {
+	b.WriteString(strconv.FormatFloat(ns/1e3, 'f', 3, 64))
+}
+
+func writeInt(b *bytes.Buffer, v int64) {
+	b.WriteString(strconv.FormatInt(v, 10))
+}
+
+// writeString JSON-quotes s. Names are internal identifiers, but Click
+// element names come from user configs, so escape properly.
+func writeString(b *bytes.Buffer, s string) {
+	enc, err := json.Marshal(s)
+	if err != nil {
+		b.WriteString(`""`)
+		return
+	}
+	b.Write(enc)
+}

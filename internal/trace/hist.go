@@ -1,0 +1,258 @@
+// Package trace is the observability substrate of the repo: a sampled
+// per-packet flight recorder (fixed-size per-core event rings, Chrome
+// trace-event export), HDR-style log-bucketed latency histograms, and a
+// live Prometheus/JSON exporter for wire runs.
+//
+// The package is a leaf: it imports only simrand and the standard
+// library, so every datapath layer (pktbuf, dpdk, click, telemetry,
+// testbed) can hook into it without cycles. Stage and element names
+// cross the boundary as plain strings.
+//
+// Units. All durations handled by this package are nanoseconds, carried
+// as float64 to match the simulator's clock (machine.Core.NowNS). On
+// simulated runs those nanoseconds are *core* nanoseconds — cycles
+// divided by the core frequency — and on wire runs they are wall-clock
+// nanoseconds. Exports convert at the edge (microseconds in Chrome
+// traces and reports, seconds in Prometheus exposition).
+package trace
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Histogram geometry: a log-linear ("HDR-style") layout. Values below
+// 2^histSubBits land in exact unit buckets; above that, each octave is
+// split into 2^histSubBits sub-buckets, bounding the relative
+// quantization error by 2^-histSubBits (≈3% at 5 bits). The layout is
+// fixed at compile time so Record is a pure array increment and Merge
+// is element-wise addition — commutative and associative, which is what
+// makes cross-core merging order-independent.
+const (
+	histSubBits = 5
+	histSub     = 1 << histSubBits // sub-buckets per octave
+
+	// 64-bit values need bits.Len64 up to 64 → shift up to
+	// 63-histSubBits, and the index for shift s spans
+	// [s*histSub+histSub, (s+1)*histSub+histSub), so the largest index
+	// is (63-histSubBits+2)*histSub - 1.
+	histBuckets = (64 - histSubBits + 1) * histSub
+)
+
+// Hist is a fixed-size log-bucketed histogram of nanosecond durations.
+// Record and Merge never allocate; Min/Max/Sum are tracked exactly so
+// the mean and extremes do not suffer bucket quantization. The zero
+// value is ready to use.
+type Hist struct {
+	counts [histBuckets]uint64
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHist returns an empty histogram.
+func NewHist() *Hist { return &Hist{} }
+
+// histIndex maps a value to its bucket. Values < histSub get exact unit
+// buckets; larger values keep histSubBits of mantissa per octave.
+func histIndex(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	shift := bits.Len64(v) - histSubBits - 1
+	mant := v >> uint(shift) // in [histSub, 2*histSub)
+	return shift*histSub + int(mant)
+}
+
+// histLower returns the inclusive lower bound of bucket i; the bucket
+// covers [histLower(i), histLower(i+1)).
+func histLower(i int) float64 {
+	if i < histSub {
+		return float64(i)
+	}
+	shift := i/histSub - 1
+	return math.Ldexp(float64(histSub+i%histSub), shift)
+}
+
+// histWidth returns the width of bucket i.
+func histWidth(i int) float64 {
+	if i < histSub {
+		return 1
+	}
+	return math.Ldexp(1, i/histSub-1)
+}
+
+// Record adds one nanosecond observation. Negative values clamp to
+// zero (clock skew on wire runs); NaN is dropped.
+func (h *Hist) Record(ns float64) {
+	if h == nil || math.IsNaN(ns) {
+		return
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	v := uint64(ns)
+	h.counts[histIndex(v)]++
+	if h.count == 0 || ns < h.min {
+		h.min = ns
+	}
+	if h.count == 0 || ns > h.max {
+		h.max = ns
+	}
+	h.count++
+	h.sum += ns
+}
+
+// Merge adds o's observations into h. Because buckets are fixed and
+// addition commutes, merging per-core histograms in any order yields
+// the identical result.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.count == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the exact sum of all observations in nanoseconds.
+func (h *Hist) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Min returns the exact minimum observation (0 when empty).
+func (h *Hist) Min() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the exact maximum observation (0 when empty).
+func (h *Hist) Max() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the exact mean (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Quantile returns the q-quantile (q in [0,1]) in nanoseconds,
+// interpolated linearly within the containing bucket and clamped to
+// the exact min/max so the tails never report impossible values.
+func (h *Hist) Quantile(q float64) float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	// Rank of the target observation, 1-based.
+	rank := q * float64(h.count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			frac := (rank - cum) / float64(c)
+			v := histLower(i) + frac*histWidth(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// CountAtOrBelow returns how many observations fall in buckets whose
+// upper bound does not exceed ns — the cumulative count used to render
+// Prometheus `le` buckets. It is conservative at bucket granularity.
+func (h *Hist) CountAtOrBelow(ns float64) uint64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	if ns < 0 {
+		return 0
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if histLower(i)+histWidth(i) > ns {
+			break
+		}
+		cum += c
+	}
+	return cum
+}
+
+// HistSummary is the standard percentile digest, all in nanoseconds.
+type HistSummary struct {
+	Count uint64
+	Min   float64
+	Mean  float64
+	P50   float64
+	P90   float64
+	P99   float64
+	P999  float64
+	Max   float64
+}
+
+// Summary digests the histogram into the percentiles every report in
+// this repo publishes (p50/p90/p99/p99.9 plus exact min/mean/max).
+func (h *Hist) Summary() HistSummary {
+	if h == nil || h.count == 0 {
+		return HistSummary{}
+	}
+	return HistSummary{
+		Count: h.count,
+		Min:   h.min,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.max,
+	}
+}

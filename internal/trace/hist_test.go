@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"packetmill/internal/simrand"
+)
+
+func TestHistIndexMonotone(t *testing.T) {
+	prev := -1
+	for _, v := range []uint64{0, 1, 2, 31, 32, 33, 63, 64, 65, 100, 1000,
+		1 << 20, 1<<20 + 1, 1 << 40, math.MaxUint64} {
+		i := histIndex(v)
+		if i < prev {
+			t.Fatalf("histIndex not monotone at %d: %d < %d", v, i, prev)
+		}
+		if i >= histBuckets {
+			t.Fatalf("histIndex(%d) = %d out of range", v, i)
+		}
+		// The bucket must actually contain the value. float64(v) can
+		// round up to the exclusive upper bound for values near 2^64,
+		// so the top edge compares with ≤.
+		lo, w := histLower(i), histWidth(i)
+		if float64(v) < lo || float64(v) > lo+w {
+			t.Fatalf("value %d not in bucket %d [%g, %g)", v, i, lo, lo+w)
+		}
+		prev = i
+	}
+}
+
+func TestHistRelativeError(t *testing.T) {
+	// Above the unit range, the quantile of a single observation must
+	// be within one sub-bucket (2^-histSubBits relative) of the value.
+	for _, v := range []float64{100, 1234, 99999, 5e6, 3.7e9} {
+		h := NewHist()
+		h.Record(v)
+		got := h.Quantile(0.5)
+		if relErr := math.Abs(got-v) / v; relErr > 1.0/histSub {
+			t.Errorf("Record(%g): q50=%g, rel err %.3f > %.3f", v, got, relErr, 1.0/histSub)
+		}
+	}
+}
+
+func TestHistExactExtremes(t *testing.T) {
+	h := NewHist()
+	for _, v := range []float64{500, 100, 900, 250} {
+		h.Record(v)
+	}
+	if h.Min() != 100 || h.Max() != 900 {
+		t.Fatalf("min/max: got %g/%g, want 100/900", h.Min(), h.Max())
+	}
+	if got := h.Mean(); got != (500+100+900+250)/4.0 {
+		t.Fatalf("mean: got %g", got)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count: got %d", h.Count())
+	}
+	if q := h.Quantile(1); q != 900 {
+		t.Fatalf("q100: got %g", q)
+	}
+	if q := h.Quantile(0); q != 100 {
+		t.Fatalf("q0: got %g", q)
+	}
+}
+
+func TestHistNilAndEmpty(t *testing.T) {
+	var nilH *Hist
+	nilH.Record(5) // must not panic
+	if nilH.Count() != 0 || nilH.Quantile(0.5) != 0 || nilH.Max() != 0 {
+		t.Fatal("nil hist not inert")
+	}
+	h := NewHist()
+	if s := h.Summary(); s != (HistSummary{}) {
+		t.Fatalf("empty summary: %+v", s)
+	}
+	h.Merge(nil)
+	h.Merge(NewHist())
+	if h.Count() != 0 {
+		t.Fatal("merge of empties changed count")
+	}
+}
+
+// TestHistMergeOrderIndependent is the satellite gate: merging per-core
+// histograms must give the same result no matter the merge order.
+func TestHistMergeOrderIndependent(t *testing.T) {
+	rng := simrand.New(42)
+	parts := make([]*Hist, 4)
+	for i := range parts {
+		parts[i] = NewHist()
+		for j := 0; j < 5000; j++ {
+			// Heavy-tailed values spanning several octaves.
+			v := float64(rng.Uint64n(1 << uint(10+4*i)))
+			parts[i].Record(v)
+		}
+	}
+	merge := func(order []int) *Hist {
+		m := NewHist()
+		for _, i := range order {
+			m.Merge(parts[i])
+		}
+		return m
+	}
+	a := merge([]int{0, 1, 2, 3})
+	b := merge([]int{3, 1, 0, 2})
+	if *a != *b {
+		t.Fatal("merge result depends on order")
+	}
+	// And merging must equal recording everything into one histogram.
+	var total uint64
+	for _, p := range parts {
+		total += p.Count()
+	}
+	if a.Count() != total {
+		t.Fatalf("merged count %d != %d", a.Count(), total)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Fatalf("quantile %g differs across merge orders", q)
+		}
+	}
+}
+
+func TestHistCountAtOrBelow(t *testing.T) {
+	h := NewHist()
+	for i := 0; i < 100; i++ {
+		h.Record(float64(i * 1000)) // 0..99 µs
+	}
+	if n := h.CountAtOrBelow(0); n > 1 {
+		t.Fatalf("≤0ns: %d", n)
+	}
+	if n := h.CountAtOrBelow(2e9); n != 100 {
+		t.Fatalf("≤2s: %d, want 100", n)
+	}
+	mid := h.CountAtOrBelow(50_000)
+	if mid == 0 || mid >= 100 {
+		t.Fatalf("≤50µs: %d, want interior", mid)
+	}
+	// Cumulative counts must be monotone in the bound.
+	prev := uint64(0)
+	for ns := 0.0; ns < 2e5; ns += 1500 {
+		n := h.CountAtOrBelow(ns)
+		if n < prev {
+			t.Fatalf("not monotone at %g: %d < %d", ns, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestHistRecordAllocs(t *testing.T) {
+	h := NewHist()
+	if a := testing.AllocsPerRun(100, func() { h.Record(12345) }); a != 0 {
+		t.Fatalf("Record allocates %.1f/op", a)
+	}
+	o := NewHist()
+	o.Record(777)
+	if a := testing.AllocsPerRun(100, func() { h.Merge(o) }); a != 0 {
+		t.Fatalf("Merge allocates %.1f/op", a)
+	}
+}

@@ -1,0 +1,246 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Sample is one scalar exposition line: counter or gauge. Labels are
+// ordered pairs so rendering is deterministic.
+type Sample struct {
+	Name   string
+	Help   string
+	Type   string // "counter" or "gauge"
+	Labels [][2]string
+	Value  float64
+}
+
+// BucketCount is one cumulative histogram bucket: observations with
+// value ≤ LE (seconds).
+type BucketCount struct {
+	LE float64
+	N  uint64
+}
+
+// HistSample is a Prometheus histogram family member.
+type HistSample struct {
+	Name    string
+	Help    string
+	Labels  [][2]string
+	Buckets []BucketCount // cumulative, ascending LE; +Inf appended by the renderer
+	Sum     float64       // seconds
+	Count   uint64
+}
+
+// Snapshot is one immutable export of the run's state. The serving
+// loop builds a fresh Snapshot between engine steps and publishes it
+// atomically; HTTP handlers only ever read published snapshots, so no
+// lock crosses the datapath.
+type Snapshot struct {
+	Samples    []Sample
+	Hists      []HistSample
+	ReportJSON []byte // served verbatim at /report
+}
+
+// promBounds is the exposition bucket ladder in seconds: a 1-2-5
+// decade ladder from 1 µs to 1 s, wide enough for both simulated
+// per-element times and wire round trips.
+var promBounds = func() []float64 {
+	var b []float64
+	for _, decade := range []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1} {
+		b = append(b, 1*decade, 2*decade, 5*decade)
+	}
+	return append(b, 1)
+}()
+
+// PromHist digests h (nanoseconds) into an exposition histogram in
+// seconds on the standard ladder.
+func PromHist(name, help string, labels [][2]string, h *Hist) HistSample {
+	hs := HistSample{
+		Name:   name,
+		Help:   help,
+		Labels: labels,
+		Sum:    h.Sum() * 1e-9,
+		Count:  h.Count(),
+	}
+	hs.Buckets = make([]BucketCount, len(promBounds))
+	for i, le := range promBounds {
+		hs.Buckets[i] = BucketCount{LE: le, N: h.CountAtOrBelow(le * 1e9)}
+	}
+	return hs
+}
+
+// RenderProm renders the snapshot in Prometheus text exposition
+// format (version 0.0.4). HELP/TYPE headers are emitted once per
+// metric family, on first occurrence.
+func RenderProm(s *Snapshot) []byte {
+	var b bytes.Buffer
+	if s == nil {
+		return b.Bytes()
+	}
+	seen := map[string]bool{}
+	header := func(name, help, typ string) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		b.WriteString("# HELP ")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(help)
+		b.WriteString("\n# TYPE ")
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(typ)
+		b.WriteByte('\n')
+	}
+	for _, m := range s.Samples {
+		header(m.Name, m.Help, m.Type)
+		b.WriteString(m.Name)
+		writeLabels(&b, m.Labels, "")
+		b.WriteByte(' ')
+		writeValue(&b, m.Value)
+		b.WriteByte('\n')
+	}
+	for _, h := range s.Hists {
+		header(h.Name, h.Help, "histogram")
+		for _, bk := range h.Buckets {
+			b.WriteString(h.Name)
+			b.WriteString("_bucket")
+			writeLabels(&b, h.Labels, strconv.FormatFloat(bk.LE, 'g', -1, 64))
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(bk.N, 10))
+			b.WriteByte('\n')
+		}
+		b.WriteString(h.Name)
+		b.WriteString("_bucket")
+		writeLabels(&b, h.Labels, "+Inf")
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(h.Count, 10))
+		b.WriteByte('\n')
+		b.WriteString(h.Name)
+		b.WriteString("_sum")
+		writeLabels(&b, h.Labels, "")
+		b.WriteByte(' ')
+		writeValue(&b, h.Sum)
+		b.WriteByte('\n')
+		b.WriteString(h.Name)
+		b.WriteString("_count")
+		writeLabels(&b, h.Labels, "")
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(h.Count, 10))
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+func writeLabels(b *bytes.Buffer, labels [][2]string, le string) {
+	if len(labels) == 0 && le == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, kv := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[0])
+		b.WriteString(`="`)
+		escapeLabel(b, kv[1])
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func escapeLabel(b *bytes.Buffer, v string) {
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+func writeValue(b *bytes.Buffer, v float64) {
+	b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// MetricsServer serves the live endpoints: Prometheus text at
+// /metrics and the latest telemetry report JSON at /report. It holds
+// no locks against the datapath — Publish swaps an atomic pointer and
+// handlers render whatever snapshot is current.
+type MetricsServer struct {
+	lis net.Listener
+	srv *http.Server
+	cur atomic.Pointer[Snapshot]
+}
+
+// NewMetricsServer binds addr (e.g. ":9100" or "127.0.0.1:0") and
+// starts serving in a background goroutine.
+func NewMetricsServer(addr string) (*MetricsServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	m := &MetricsServer{lis: lis}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(RenderProm(m.cur.Load()))
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if s := m.cur.Load(); s != nil && len(s.ReportJSON) > 0 {
+			w.Write(s.ReportJSON)
+			return
+		}
+		w.Write([]byte("{}\n"))
+	})
+	m.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go m.srv.Serve(lis)
+	return m, nil
+}
+
+// Publish makes s the snapshot served from now on. s must not be
+// mutated afterwards.
+func (m *MetricsServer) Publish(s *Snapshot) {
+	if m != nil {
+		m.cur.Store(s)
+	}
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (m *MetricsServer) Addr() string {
+	if m == nil {
+		return ""
+	}
+	return m.lis.Addr().String()
+}
+
+// Close shuts the server down.
+func (m *MetricsServer) Close() error {
+	if m == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return m.srv.Shutdown(ctx)
+}

@@ -1,0 +1,280 @@
+package trace
+
+import (
+	"packetmill/internal/simrand"
+)
+
+// Event kinds. A span covers an element or pipeline-stage visit on a
+// core while at least one sampled packet was in flight there; the
+// instant kinds mark per-packet milestones.
+const (
+	EvSpan   = uint8(iota) // [TSNS, TSNS+DurNS): stage/element visit
+	EvSample               // packet chosen by the 1-in-N sampler at RX
+	EvDepart               // sampled packet handed to the TX ring
+	EvDrop                 // sampled packet dropped; Name is the reason
+	EvFault                // fault injection fired on this core
+)
+
+// Event is one flight-recorder entry: {core, seq, stage/element,
+// time, pktlen}. Strings are static identifiers (stage names, element
+// names, drop reasons), so copying an Event copies headers only.
+type Event struct {
+	TSNS   float64 // start time, ns (core-ns on sim, wall-ns on wire)
+	DurNS  float64 // span duration; 0 for instants
+	Seq    uint64  // sampled-packet id (core<<48|n); 0 when not packet-bound
+	Name   string  // element name, drop reason, or fault label
+	Stage  string  // pipeline stage (driver/pmd-rx/conversion/engine/pmd-tx)
+	Kind   uint8
+	Core   int32
+	PktLen int32
+}
+
+// Config sizes and seeds a Recorder.
+type Config struct {
+	// SampleEvery is the deterministic sampling period: packet k on a
+	// core is traced iff an independent per-core simrand draw hits
+	// 1-in-SampleEvery. <= 0 disables sampling (the recorder still
+	// captures fault events).
+	SampleEvery int
+
+	// RingSize is the per-core event capacity. When full, the oldest
+	// events are overwritten — flight-recorder semantics. Default 4096.
+	RingSize int
+
+	// Seed derives the per-core sampling streams.
+	Seed uint64
+}
+
+const defaultRingSize = 4096
+
+// Recorder owns one CoreTrace per core. A nil *Recorder is valid and
+// inert, as is a nil *CoreTrace — the datapath hooks cost one pointer
+// test when tracing is off.
+type Recorder struct {
+	cfg   Config
+	cores []*CoreTrace
+}
+
+// NewRecorder returns a recorder; per-core traces are materialized on
+// first Core(i) access (setup time, never on the datapath).
+func NewRecorder(cfg Config) *Recorder {
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = defaultRingSize
+	}
+	return &Recorder{cfg: cfg}
+}
+
+// Core returns (creating if needed) the trace for core i. Nil-safe:
+// a nil recorder yields a nil CoreTrace, which every method accepts.
+func (r *Recorder) Core(i int) *CoreTrace {
+	if r == nil {
+		return nil
+	}
+	for len(r.cores) <= i {
+		r.cores = append(r.cores, nil)
+	}
+	if r.cores[i] == nil {
+		var every uint64
+		if r.cfg.SampleEvery > 0 {
+			every = uint64(r.cfg.SampleEvery)
+		}
+		r.cores[i] = &CoreTrace{
+			core:  int32(i),
+			every: every,
+			ring:  make([]Event, r.cfg.RingSize),
+			rng:   simrand.New(simrand.Derive(r.cfg.Seed, 0x7ace, uint64(i))),
+		}
+	}
+	return r.cores[i]
+}
+
+// Cores returns the materialized per-core traces in core order.
+func (r *Recorder) Cores() []*CoreTrace {
+	if r == nil {
+		return nil
+	}
+	return r.cores
+}
+
+// CoreTrace is one core's flight recorder: a fixed ring of events, the
+// sampling stream, and a small span-start stack mirroring the
+// telemetry Tracker's nesting. All methods are single-core (called
+// only from the owning core's engine loop) and allocation-free.
+type CoreTrace struct {
+	core  int32
+	every uint64
+	ring  []Event
+	head  int    // next slot to write
+	total uint64 // events ever pushed (total - len(ring) were lost)
+	rng   *simrand.Rand
+	clock func() float64
+	seq   uint64       // sampled packets so far on this core
+	armed int          // sampled packets currently in flight
+	spans [64]float64  // enter timestamps, one per nesting level
+	depth int
+}
+
+// SetClock installs the timestamp source: the core's simulated clock
+// (machine.Core.NowNS) on sim runs, wall time since start on wire runs.
+func (ct *CoreTrace) SetClock(f func() float64) {
+	if ct != nil {
+		ct.clock = f
+	}
+}
+
+func (ct *CoreTrace) now() float64 {
+	if ct.clock == nil {
+		return 0
+	}
+	return ct.clock()
+}
+
+func (ct *CoreTrace) push(ev Event) {
+	ev.Core = ct.core
+	ct.ring[ct.head] = ev
+	ct.head++
+	if ct.head == len(ct.ring) {
+		ct.head = 0
+	}
+	ct.total++
+}
+
+// MaybeSample runs the 1-in-N draw for a packet that survived RX
+// conversion. On a hit it arms the recorder, emits the sample instant
+// (timestamped at the packet's wire arrival — the driver stage), and
+// returns the packet's nonzero trace id; otherwise 0.
+func (ct *CoreTrace) MaybeSample(pktLen int, arrivalNS float64) uint64 {
+	if ct == nil || ct.every == 0 {
+		return 0
+	}
+	if ct.rng.Uint64n(ct.every) != 0 {
+		return 0
+	}
+	ct.seq++
+	id := uint64(ct.core)<<48 | ct.seq
+	ct.armed++
+	ct.push(Event{
+		TSNS:   arrivalNS,
+		Seq:    id,
+		Name:   "sampled",
+		Stage:  "driver",
+		Kind:   EvSample,
+		PktLen: int32(pktLen),
+	})
+	return id
+}
+
+// SpanEnter marks the start of a stage/element visit. It always tracks
+// nesting — a packet may be sampled mid-span — but records nothing yet.
+func (ct *CoreTrace) SpanEnter() {
+	if ct == nil || ct.depth >= len(ct.spans) {
+		return
+	}
+	ct.spans[ct.depth] = ct.now()
+	ct.depth++
+}
+
+// SpanExit closes the innermost visit; the span is recorded only when
+// a sampled packet is in flight on this core, so an idle (or unsampled)
+// steady state writes nothing.
+func (ct *CoreTrace) SpanExit(stage, name string) {
+	if ct == nil || ct.depth == 0 {
+		return
+	}
+	ct.depth--
+	if ct.armed <= 0 {
+		return
+	}
+	start := ct.spans[ct.depth]
+	ct.push(Event{
+		TSNS:  start,
+		DurNS: ct.now() - start,
+		Name:  name,
+		Stage: stage,
+		Kind:  EvSpan,
+	})
+}
+
+// Depart records a sampled packet entering the TX ring and disarms it.
+func (ct *CoreTrace) Depart(id uint64, pktLen int) {
+	if ct == nil || id == 0 {
+		return
+	}
+	ct.push(Event{
+		TSNS:   ct.now(),
+		Seq:    id,
+		Name:   "depart",
+		Stage:  "pmd-tx",
+		Kind:   EvDepart,
+		PktLen: int32(pktLen),
+	})
+	if ct.armed > 0 {
+		ct.armed--
+	}
+}
+
+// Drop records a sampled packet being dropped, with its DropReason
+// name, and disarms it.
+func (ct *CoreTrace) Drop(id uint64, reason string, pktLen int) {
+	if ct == nil || id == 0 {
+		return
+	}
+	ct.push(Event{
+		TSNS:   ct.now(),
+		Seq:    id,
+		Name:   reason,
+		Stage:  "drop",
+		Kind:   EvDrop,
+		PktLen: int32(pktLen),
+	})
+	if ct.armed > 0 {
+		ct.armed--
+	}
+}
+
+// Fault records a fault injection firing on this core. Faults are rare
+// and always post-mortem-relevant, so they are recorded regardless of
+// sampling state.
+func (ct *CoreTrace) Fault(name string) {
+	if ct == nil {
+		return
+	}
+	ct.push(Event{
+		TSNS:  ct.now(),
+		Name:  name,
+		Stage: "fault",
+		Kind:  EvFault,
+	})
+}
+
+// Sampled returns how many packets this core's sampler selected.
+func (ct *CoreTrace) Sampled() uint64 {
+	if ct == nil {
+		return 0
+	}
+	return ct.seq
+}
+
+// Lost returns how many events the ring overwrote.
+func (ct *CoreTrace) Lost() uint64 {
+	if ct == nil || ct.total <= uint64(len(ct.ring)) {
+		return 0
+	}
+	return ct.total - uint64(len(ct.ring))
+}
+
+// Events returns the retained events oldest-first. It copies, so the
+// result stays valid while the ring keeps recording.
+func (ct *CoreTrace) Events() []Event {
+	if ct == nil || ct.total == 0 {
+		return nil
+	}
+	if ct.total <= uint64(len(ct.ring)) {
+		out := make([]Event, ct.head)
+		copy(out, ct.ring[:ct.head])
+		return out
+	}
+	out := make([]Event, 0, len(ct.ring))
+	out = append(out, ct.ring[ct.head:]...)
+	return append(out, ct.ring[:ct.head]...)
+}

@@ -1,0 +1,268 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// fakeClock is a deterministic monotonic timestamp source.
+type fakeClock struct{ now float64 }
+
+func (c *fakeClock) tick() float64 { c.now += 100; return c.now }
+
+func recordSomething(r *Recorder) {
+	clk := &fakeClock{}
+	ct := r.Core(0)
+	ct.SetClock(clk.tick)
+	for pkt := 0; pkt < 64; pkt++ {
+		id := ct.MaybeSample(64, clk.tick())
+		ct.SpanEnter()
+		ct.SpanEnter()
+		ct.SpanExit("engine", "EtherMirror@1")
+		ct.SpanExit("pmd-rx", "fd0")
+		if id != 0 && pkt%8 == 0 {
+			ct.Drop(id, "tx-ring-full", 64)
+		} else {
+			ct.Depart(id, 64)
+		}
+	}
+	ct.Fault("rx-stall")
+}
+
+func TestNilRecorderInert(t *testing.T) {
+	var r *Recorder
+	ct := r.Core(3)
+	if ct != nil {
+		t.Fatal("nil recorder returned non-nil core")
+	}
+	// Every hook must be a no-op on a nil CoreTrace.
+	if id := ct.MaybeSample(64, 1); id != 0 {
+		t.Fatal("nil core sampled")
+	}
+	ct.SpanEnter()
+	ct.SpanExit("engine", "x")
+	ct.Depart(1, 64)
+	ct.Drop(1, "engine", 64)
+	ct.Fault("x")
+	if ct.Events() != nil || ct.Sampled() != 0 || ct.Lost() != 0 {
+		t.Fatal("nil core not inert")
+	}
+}
+
+func TestSpanRecordedOnlyWhenArmed(t *testing.T) {
+	r := NewRecorder(Config{SampleEvery: 1, RingSize: 128, Seed: 1})
+	clk := &fakeClock{}
+	ct := r.Core(0)
+	ct.SetClock(clk.tick)
+
+	// Not armed: spans must not appear.
+	ct.SpanEnter()
+	ct.SpanExit("engine", "quiet")
+	if n := len(ct.Events()); n != 0 {
+		t.Fatalf("unarmed span recorded: %d events", n)
+	}
+
+	// SampleEvery=1 arms on the first packet; the enclosing span (the
+	// packet is sampled mid-span, as in RxBurst) must be recorded.
+	ct.SpanEnter()
+	id := ct.MaybeSample(128, clk.tick())
+	if id == 0 {
+		t.Fatal("SampleEvery=1 did not sample")
+	}
+	ct.SpanExit("pmd-rx", "fd0")
+	ct.Depart(id, 128)
+	evs := ct.Events()
+	var kinds []uint8
+	for _, ev := range evs {
+		kinds = append(kinds, ev.Kind)
+	}
+	if len(evs) != 3 || evs[0].Kind != EvSample || evs[1].Kind != EvSpan || evs[2].Kind != EvDepart {
+		t.Fatalf("event kinds: %v", kinds)
+	}
+	if evs[1].DurNS <= 0 || evs[1].Name != "fd0" || evs[1].Stage != "pmd-rx" {
+		t.Fatalf("span event: %+v", evs[1])
+	}
+
+	// Disarmed again after depart.
+	ct.SpanEnter()
+	ct.SpanExit("engine", "quiet2")
+	if n := len(ct.Events()); n != 3 {
+		t.Fatalf("post-depart span recorded: %d events", n)
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	r := NewRecorder(Config{SampleEvery: 1, RingSize: 8, Seed: 1})
+	clk := &fakeClock{}
+	ct := r.Core(0)
+	ct.SetClock(clk.tick)
+	for i := 0; i < 20; i++ {
+		id := ct.MaybeSample(64, clk.tick())
+		ct.Depart(id, 64)
+	}
+	evs := ct.Events()
+	if len(evs) != 8 {
+		t.Fatalf("retained %d, want ring size 8", len(evs))
+	}
+	if ct.Lost() != 40-8 {
+		t.Fatalf("lost %d, want %d", ct.Lost(), 40-8)
+	}
+	// Oldest-first: timestamps strictly increasing.
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TSNS <= evs[i-1].TSNS {
+			t.Fatalf("events out of order at %d: %g after %g", i, evs[i].TSNS, evs[i-1].TSNS)
+		}
+	}
+}
+
+func TestSamplingDeterministic(t *testing.T) {
+	pick := func() []int {
+		r := NewRecorder(Config{SampleEvery: 16, RingSize: 64, Seed: 99})
+		ct := r.Core(2)
+		var hits []int
+		for i := 0; i < 1000; i++ {
+			if ct.MaybeSample(64, float64(i)) != 0 {
+				hits = append(hits, i)
+			}
+		}
+		return hits
+	}
+	a, b := pick(), pick()
+	if len(a) == 0 {
+		t.Fatal("no samples in 1000 packets at 1/16")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestChromeJSONDeterministicAndValid(t *testing.T) {
+	gen := func() []byte {
+		r := NewRecorder(Config{SampleEvery: 4, RingSize: 256, Seed: 7})
+		recordSomething(r)
+		return r.ChromeJSON()
+	}
+	a, b := gen(), gen()
+	if !bytes.Equal(a, b) {
+		t.Fatal("ChromeJSON not byte-identical across identical runs")
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Cat  string  `json:"cat"`
+			Name string  `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a, &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	var spans, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.Dur <= 0 {
+				t.Fatalf("span with non-positive dur: %+v", ev)
+			}
+		case "i":
+			instants++
+		}
+	}
+	if spans == 0 || instants == 0 {
+		t.Fatalf("want spans and instants, got %d/%d", spans, instants)
+	}
+	if !strings.Contains(string(a), `"EtherMirror@1"`) {
+		t.Fatal("per-element span name missing")
+	}
+}
+
+func TestTraceHooksZeroAlloc(t *testing.T) {
+	r := NewRecorder(Config{SampleEvery: 1, RingSize: 1024, Seed: 3})
+	clk := &fakeClock{}
+	ct := r.Core(0)
+	ct.SetClock(clk.tick)
+	if a := testing.AllocsPerRun(200, func() {
+		id := ct.MaybeSample(64, clk.tick())
+		ct.SpanEnter()
+		ct.SpanExit("engine", "el")
+		ct.Depart(id, 64)
+	}); a != 0 {
+		t.Fatalf("trace hooks allocate %.1f/op", a)
+	}
+}
+
+func TestMetricsServer(t *testing.T) {
+	m, err := NewMetricsServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get("http://" + m.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	// Before any publish: empty exposition, empty JSON object.
+	if body, _ := get("/report"); strings.TrimSpace(body) != "{}" {
+		t.Fatalf("/report before publish: %q", body)
+	}
+
+	h := NewHist()
+	for i := 1; i <= 1000; i++ {
+		h.Record(float64(i) * 1000) // 1µs .. 1ms
+	}
+	m.Publish(&Snapshot{
+		Samples: []Sample{
+			{Name: "pm_tx_packets_total", Help: "h", Type: "counter",
+				Labels: [][2]string{{"port", "wire0"}}, Value: 12345},
+		},
+		Hists:      []HistSample{PromHist("pm_latency_seconds", "h", nil, h)},
+		ReportJSON: []byte(`{"schema":"x"}`),
+	})
+
+	body, ctype := get("/metrics")
+	if !strings.Contains(ctype, "text/plain") {
+		t.Fatalf("content type: %q", ctype)
+	}
+	for _, want := range []string{
+		"# HELP pm_tx_packets_total h",
+		"# TYPE pm_tx_packets_total counter",
+		`pm_tx_packets_total{port="wire0"} 12345`,
+		"# TYPE pm_latency_seconds histogram",
+		`pm_latency_seconds_bucket{le="+Inf"} 1000`,
+		"pm_latency_seconds_count 1000",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, body)
+		}
+	}
+	// Bucket counts must be cumulative: the 1e-3 bucket holds nearly all.
+	if !strings.Contains(body, `pm_latency_seconds_bucket{le="0.001"} 1000`) &&
+		!strings.Contains(body, `pm_latency_seconds_bucket{le="0.001"} 999`) {
+		t.Fatalf("cumulative le=0.001 bucket wrong:\n%s", body)
+	}
+
+	if body, _ := get("/report"); !strings.Contains(body, `"schema":"x"`) {
+		t.Fatalf("/report: %q", body)
+	}
+}

@@ -151,6 +151,11 @@ type DescriptorPool struct {
 	// whole pool like rte_mbufs cycle through a ring). Exists for the
 	// residency ablation.
 	fifo bool
+
+	// GetFails counts exhausted Get calls; MaxOutstanding is the
+	// attachment high-water mark. Both feed the live metrics exporter.
+	GetFails       uint64
+	MaxOutstanding int
 }
 
 // NewDescriptorPool carves n descriptors with the given layout out of the
@@ -173,17 +178,26 @@ func NewDescriptorPool(n int, l *layout.Layout, arena *memsim.Arena, prof *layou
 }
 
 // Get pops a free descriptor (LIFO, to stay warm); nil when exhausted.
+// Pressure is tracked for the observability layer: GetFails counts
+// exhausted gets and MaxOutstanding the attachment high-water mark, so
+// a pool sized too close to §3.1's bound shows up in live metrics
+// before it starts dropping.
 func (dp *DescriptorPool) Get() *pktbuf.Meta {
 	if len(dp.free) == 0 {
+		dp.GetFails++
 		return nil
 	}
+	var m *pktbuf.Meta
 	if dp.fifo {
-		m := dp.free[0]
+		m = dp.free[0]
 		dp.free = dp.free[1:]
-		return m
+	} else {
+		m = dp.free[len(dp.free)-1]
+		dp.free = dp.free[:len(dp.free)-1]
 	}
-	m := dp.free[len(dp.free)-1]
-	dp.free = dp.free[:len(dp.free)-1]
+	if out := len(dp.all) - len(dp.free); out > dp.MaxOutstanding {
+		dp.MaxOutstanding = out
+	}
 	return m
 }
 
