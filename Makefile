@@ -2,7 +2,7 @@
 # short-budget chaos soak. Tier-2 adds vet and the race detector.
 GO ?= go
 
-.PHONY: test tier1 tier2 soak fuzz bench pcap-demo trace-demo
+.PHONY: test tier1 tier2 soak fuzz bench bench-baseline bench-check overload-demo pcap-demo trace-demo
 
 test: tier1 soak
 
@@ -22,9 +22,33 @@ soak:
 	$(GO) test -run TestChaosSoak -count=1 ./internal/testbed
 
 # Benchmark sweep: regenerate every exhibit at a reduced budget and write
-# per-exhibit wall-clock and allocation figures to BENCH_experiments.json.
+# per-exhibit wall-clock and allocation figures — plus the gated datapath
+# section (simulated pps/core, allocs/packet) — to BENCH_experiments.json.
 bench:
 	$(GO) run ./cmd/experiments -run all -scale 0.15 -bench BENCH_experiments.json
+
+# Refresh the committed performance baseline. Run this (and commit the
+# result) when a deliberate change moves the performance model.
+bench-baseline:
+	$(GO) run ./cmd/experiments -run all -scale 0.15 -bench BENCH_baseline.json
+
+# The perf-trajectory gate: fresh bench against the committed baseline.
+# Fails on >10% simulated pps/core regression or any allocs/packet
+# increase; wall-clock is reported but not gated.
+bench-check: bench
+	$(GO) run ./cmd/benchcheck -baseline BENCH_baseline.json -fresh BENCH_experiments.json
+
+# Overload-control demo: drive the milled WorkPackage forwarder at 4x
+# its capacity with a 10% high-priority share and watch the control
+# plane shed at the RX boundary (attributed drops, bounded hi-class
+# p99) instead of overflowing the ring blind. The same scenario runs as
+# TestOverloadPriorityExhibit in CI.
+overload-demo:
+	$(GO) run ./cmd/packetmill -config configs/overload-demo.click -model x-change \
+		-freq 1.2 -rate 40 -packets 20000 -traffic priority \
+		-overload-policy priority -overload-high 0.1 -overload-low 0.005 \
+		-overload-degrade 0.012 -overload-dwell 5us
+	$(GO) test -race -count=1 -run 'TestOverloadPriorityExhibit|TestOverloadShedVsUncontrolled' -v ./internal/testbed
 
 # End-to-end capture demo over real sockets: generate a trace as a pcap,
 # compute the expected output by running the milled NAT router in -io

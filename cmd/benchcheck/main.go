@@ -1,0 +1,117 @@
+// Command benchcheck gates the performance trajectory: it compares a
+// fresh `make bench` output against the committed BENCH_baseline.json
+// and fails when the datapath regresses.
+//
+//	benchcheck -baseline BENCH_baseline.json -fresh BENCH_experiments.json
+//
+// The gated numbers are the machine-independent ones. Pps/core and
+// Gbps/core come from simulated time, so a drop beyond the tolerance
+// (default 10%) means the performance model itself got slower.
+// Allocs/packet is gated to "no increase" (modulo a small epsilon for
+// runtime background noise) — the zero-alloc steady state is a design
+// invariant, and even setup allocations are deterministic. Wall-clock
+// per exhibit is reported but never gated: CI runners are too noisy
+// for it to mean anything.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type datapathEntry struct {
+	Name         string  `json:"name"`
+	PpsPerCore   float64 `json:"pps_per_core"`
+	GbpsPerCore  float64 `json:"gbps_per_core"`
+	Packets      int     `json:"packets"`
+	AllocsPerPkt float64 `json:"allocs_per_packet"`
+}
+
+type benchEntry struct {
+	ID     string  `json:"id"`
+	WallMS float64 `json:"wall_ms"`
+	Allocs uint64  `json:"allocs"`
+}
+
+type benchFile struct {
+	Scale    float64         `json:"scale"`
+	Datapath []datapathEntry `json:"datapath"`
+	Exhibits []benchEntry    `json:"exhibits"`
+}
+
+func load(path string) (*benchFile, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func main() {
+	var (
+		basePath  = flag.String("baseline", "BENCH_baseline.json", "committed baseline")
+		freshPath = flag.String("fresh", "BENCH_experiments.json", "fresh `make bench` output")
+		tol       = flag.Float64("tol", 0.10, "allowed fractional pps/core regression")
+		allocEps  = flag.Float64("alloc-eps", 0.01, "allowed allocs/packet increase (runtime noise)")
+	)
+	flag.Parse()
+
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+	fresh, err := load(*freshPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(1)
+	}
+
+	freshDP := map[string]datapathEntry{}
+	for _, e := range fresh.Datapath {
+		freshDP[e.Name] = e
+	}
+	failed := false
+	for _, b := range base.Datapath {
+		f, ok := freshDP[b.Name]
+		if !ok {
+			fmt.Printf("FAIL %-24s missing from fresh bench\n", b.Name)
+			failed = true
+			continue
+		}
+		status := "ok  "
+		switch {
+		case f.PpsPerCore < b.PpsPerCore*(1-*tol):
+			status, failed = "FAIL", true
+		case f.AllocsPerPkt > b.AllocsPerPkt+*allocEps:
+			status, failed = "FAIL", true
+		}
+		fmt.Printf("%s %-24s pps/core %11.0f -> %11.0f (%+5.1f%%)  allocs/pkt %6.3f -> %6.3f\n",
+			status, b.Name, b.PpsPerCore, f.PpsPerCore,
+			100*(f.PpsPerCore-b.PpsPerCore)/b.PpsPerCore,
+			b.AllocsPerPkt, f.AllocsPerPkt)
+	}
+
+	// Wall-clock trajectory: informational only.
+	freshEx := map[string]benchEntry{}
+	for _, e := range fresh.Exhibits {
+		freshEx[e.ID] = e
+	}
+	for _, b := range base.Exhibits {
+		if f, ok := freshEx[b.ID]; ok && b.WallMS > 0 {
+			fmt.Printf("info %-24s wall %8.0f ms -> %8.0f ms (not gated)\n", b.ID, b.WallMS, f.WallMS)
+		}
+	}
+
+	if failed {
+		fmt.Println("benchcheck: datapath regression against baseline")
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: within baseline")
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+
+	"packetmill/internal/click"
+	"packetmill/internal/core"
+	"packetmill/internal/nf"
+	"packetmill/internal/overload"
+	"packetmill/internal/testbed"
+)
+
+// datapathEntry is one canonical forwarding loop's row in the bench
+// baseline. PpsPerCore and GbpsPerCore come from simulated time, so they
+// are exactly reproducible across machines — a regression means the
+// performance model changed, not that CI drew a slow runner.
+// AllocsPerPacket is the whole run's heap allocations (setup included)
+// over the frames offered; setup amortizes to a deterministic constant,
+// so any per-packet growth is a real allocation creeping in.
+type datapathEntry struct {
+	Name         string  `json:"name"`
+	PpsPerCore   float64 `json:"pps_per_core"`
+	GbpsPerCore  float64 `json:"gbps_per_core"`
+	Packets      int     `json:"packets"`
+	AllocsPerPkt float64 `json:"allocs_per_packet"`
+}
+
+// datapathBench measures the canonical datapaths the regression gate
+// tracks: the plain mirror under both metadata models, the milled
+// router, and the mirror with the overload control plane armed (the
+// control plane must stay free when the core is healthy).
+func datapathBench() ([]datapathEntry, error) {
+	const packets = 50000
+	cases := []struct {
+		name     string
+		config   string
+		model    click.MetadataModel
+		mill     bool
+		overload *overload.Config
+	}{
+		{name: "mirror-copying", config: nf.Mirror(0, 32), model: click.Copying},
+		{name: "mirror-xchange", config: nf.Mirror(0, 32), model: click.XChange},
+		{name: "router-milled", config: nf.Router(32), model: click.XChange, mill: true},
+		{name: "mirror-xchange-overload", config: nf.Mirror(0, 32), model: click.XChange,
+			overload: &overload.Config{Policy: overload.PolicyTailDrop}},
+	}
+	var out []datapathEntry
+	for _, c := range cases {
+		p, err := core.Parse(c.config)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", c.name, err)
+		}
+		p.Model = c.model
+		if c.mill {
+			if err := p.Mill(); err != nil {
+				return nil, fmt.Errorf("bench %s: %w", c.name, err)
+			}
+		}
+		o := testbed.Options{
+			FreqGHz: 2.3, RateGbps: 100, Packets: packets,
+			Seed: 1, Overload: c.overload,
+		}
+		runtime.GC()
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		res, err := p.Run(o)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", c.name, err)
+		}
+		out = append(out, datapathEntry{
+			Name:         c.name,
+			PpsPerCore:   res.Mpps() * 1e6,
+			GbpsPerCore:  res.Gbps(),
+			Packets:      packets,
+			AllocsPerPkt: float64(after.Mallocs-before.Mallocs) / float64(packets),
+		})
+	}
+	return out, nil
+}

@@ -33,10 +33,11 @@ type benchEntry struct {
 }
 
 type benchFile struct {
-	Scale    float64      `json:"scale"`
-	Parallel int          `json:"parallel"`
-	TotalMS  float64      `json:"total_ms"`
-	Exhibits []benchEntry `json:"exhibits"`
+	Scale    float64         `json:"scale"`
+	Parallel int             `json:"parallel"`
+	TotalMS  float64         `json:"total_ms"`
+	Datapath []datapathEntry `json:"datapath"`
+	Exhibits []benchEntry    `json:"exhibits"`
 }
 
 func fatal(err error) {
@@ -146,6 +147,11 @@ func main() {
 	}
 
 	if *benchOut != "" {
+		dp, err := datapathBench()
+		if err != nil {
+			fatal(err)
+		}
+		bench.Datapath = dp
 		bench.TotalMS = float64(time.Since(totalStart).Microseconds()) / 1e3
 		b, err := json.MarshalIndent(bench, "", "  ")
 		if err != nil {

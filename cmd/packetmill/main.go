@@ -42,6 +42,7 @@ import (
 	"packetmill/internal/layout"
 	"packetmill/internal/nf"
 	"packetmill/internal/nic"
+	"packetmill/internal/overload"
 	"packetmill/internal/simrand"
 	"packetmill/internal/stats"
 	"packetmill/internal/testbed"
@@ -87,6 +88,14 @@ func main() {
 		wireTx     = flag.String("wire-tx", "", "-io wire: address to transmit frames to")
 		wireIdle   = flag.Duration("wire-idle", 2*time.Second, "-io wire: exit after this long with no traffic (0 = never)")
 		wireCount  = flag.Int("wire-count", 0, "-io wire: exit after this many packets (0 = unlimited)")
+
+		trafficKind = flag.String("traffic", "campus", "offered traffic: campus, or priority (campus with a 10% high-precedence share, TOS 0xE0 = class 7)")
+		ovlPolicy   = flag.String("overload-policy", "", "arm the overload control plane with this RX admission policy: none|tail-drop|red|priority")
+		ovlHigh     = flag.Float64("overload-high", 0, "overload: high occupancy watermark, fraction of ring (0 = default 0.85)")
+		ovlLow      = flag.Float64("overload-low", 0, "overload: low occupancy watermark (0 = default 0.35)")
+		ovlLossless = flag.Bool("overload-lossless", false, "overload: lossless backpressure — pause RX instead of mid-graph drops")
+		ovlDegrade  = flag.Float64("overload-degrade", 0, "overload: ring occupancy that leaves Healthy and arms the shedder (0 = default 0.5; set below the shedding equilibrium or the machine flaps)")
+		ovlDwell    = flag.Duration("overload-dwell", 0, "overload: health-state dwell time before another transition (0 = default 50µs)")
 	)
 	flag.Parse()
 
@@ -142,6 +151,31 @@ func main() {
 	if *traceOut != "" {
 		base.Trace = trace.NewRecorder(trace.Config{SampleEvery: *traceSample, Seed: *seed})
 		base.StallTracePath = *traceOut
+	}
+	switch strings.ToLower(*trafficKind) {
+	case "campus", "":
+	case "priority", "prio":
+		base.Traffic = func(nicID int, cfg trafficgen.Config) trafficgen.Source {
+			return trafficgen.NewPriorityMix(cfg, 0.1, 0xE0)
+		}
+	default:
+		fatal(fmt.Errorf("unknown -traffic %q (want campus or priority)", *trafficKind))
+	}
+	if *ovlPolicy != "" || *ovlLossless {
+		policy, err := overload.ParsePolicy(*ovlPolicy)
+		if err != nil {
+			fatal(err)
+		}
+		base.Overload = &overload.Config{
+			Policy:    policy,
+			HighWater: *ovlHigh,
+			LowWater:  *ovlLow,
+			Lossless:  *ovlLossless,
+			Health: overload.HealthConfig{
+				DegradeOcc: *ovlDegrade,
+				DwellNS:    float64(ovlDwell.Nanoseconds()),
+			},
+		}
 	}
 	if *faultSpec != "" {
 		sched, err := parseFaults(*faultSpec, base)
@@ -484,6 +518,18 @@ func report(res *testbed.Result) {
 	if fs := res.FaultStats; fs != nil {
 		fmt.Printf("injected:       wire-drops=%d link-down=%d corruptions=%d truncations=%d\n",
 			fs.WireDrops, fs.LinkDownDrops, fs.Corruptions, fs.Truncations)
+	}
+	for core, st := range res.Overload {
+		fmt.Printf("overload[%d]:    policy=%s state=%s transitions=%d admits=%d sheds=%d pauses=%d paused=%.1fµs\n",
+			core, st.Policy, st.State, st.Transitions, st.AdmitOK, st.Sheds,
+			st.Pauses, stats.MicrosFromNS(st.PausedNS))
+	}
+	for class, h := range res.ClassLat {
+		if h == nil || h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("class %d:        %d frames, p50 %.1f µs, p99 %.1f µs\n",
+			class, h.Count(), stats.MicrosFromNS(h.Quantile(0.5)), stats.MicrosFromNS(h.Quantile(0.99)))
 	}
 	c := res.Counters
 	perPkt := func(v float64) float64 {

@@ -77,26 +77,32 @@ func readTraceFile(path string) (*trafficgen.Trace, error) {
 
 func main() {
 	var (
-		trace   = flag.String("trace", "campus", "trace kind: campus|fixed")
-		size    = flag.Int("size", 64, "frame size for -trace fixed")
-		rate    = flag.Float64("rate", 100, "offered wire rate (Gbps)")
-		count   = flag.Int("count", 100000, "frames to generate (or to capture with -capture)")
-		flows   = flag.Int("flows", 1024, "distinct flows")
-		seed    = flag.Uint64("seed", 1, "generator seed")
-		write   = flag.String("write", "", "record the trace to FILE (.pcap/.pcapng/native) and exit")
-		read    = flag.String("read", "", "analyze a recorded trace FILE instead of generating")
-		repeats = flag.Int("repeat", 1, "replay the -read trace N times")
-		asJSON  = flag.Bool("json", false, "emit results as JSON")
+		trace = flag.String("trace", "campus", "trace kind: campus|fixed|priority|burst|flood (the last three are the overload scenarios)")
+		size  = flag.Int("size", 64, "frame size for -trace fixed")
 
-		replay  = flag.String("replay", "", "replay trace FILE onto the wire address given by -to")
-		to      = flag.String("to", "", "wire address to transmit to (unix:PATH or udp:HOST:PORT)")
-		pps     = flag.Float64("pps", 0, "replay pacing in packets/s (0 = as fast as possible)")
-		record  = flag.String("record", "", "with -replay: also write the frames with their actual send times to FILE (the SENT side of -compare-latency)")
-		epoch   = flag.Bool("epoch", false, "timestamp -capture and -replay -record frames with absolute wall-clock ns, so two pktgen processes on one host share a time base")
-		capture = flag.String("capture", "", "capture frames from -on into FILE")
-		on      = flag.String("on", "", "wire address to listen on (unix:PATH or udp:HOST:PORT)")
-		idle    = flag.Duration("idle", 2*time.Second, "stop a capture after this long without frames")
-		compare = flag.Bool("compare", false, "compare two capture files (args: FILE FILE), ignoring timestamps")
+		hiShare     = flag.Float64("hi-share", 0.1, "-trace priority: share of frames (and rate) in the high-precedence class")
+		hiTOS       = flag.Uint("hi-tos", 0xE0, "-trace priority: IPv4 TOS byte of the high class (0xE0 = class 7, shed last)")
+		burstN      = flag.Int("burst-n", 32, "-trace burst: frames per on/off train")
+		burstGap    = flag.Duration("burst-gap", 10*time.Microsecond, "-trace burst: silence between trains")
+		floodFactor = flag.Float64("flood-factor", 4, "-trace flood: pacing compression (4 = offer 4x the configured rate)")
+		rate        = flag.Float64("rate", 100, "offered wire rate (Gbps)")
+		count       = flag.Int("count", 100000, "frames to generate (or to capture with -capture)")
+		flows       = flag.Int("flows", 1024, "distinct flows")
+		seed        = flag.Uint64("seed", 1, "generator seed")
+		write       = flag.String("write", "", "record the trace to FILE (.pcap/.pcapng/native) and exit")
+		read        = flag.String("read", "", "analyze a recorded trace FILE instead of generating")
+		repeats     = flag.Int("repeat", 1, "replay the -read trace N times")
+		asJSON      = flag.Bool("json", false, "emit results as JSON")
+
+		replay     = flag.String("replay", "", "replay trace FILE onto the wire address given by -to")
+		to         = flag.String("to", "", "wire address to transmit to (unix:PATH or udp:HOST:PORT)")
+		pps        = flag.Float64("pps", 0, "replay pacing in packets/s (0 = as fast as possible)")
+		record     = flag.String("record", "", "with -replay: also write the frames with their actual send times to FILE (the SENT side of -compare-latency)")
+		epoch      = flag.Bool("epoch", false, "timestamp -capture and -replay -record frames with absolute wall-clock ns, so two pktgen processes on one host share a time base")
+		capture    = flag.String("capture", "", "capture frames from -on into FILE")
+		on         = flag.String("on", "", "wire address to listen on (unix:PATH or udp:HOST:PORT)")
+		idle       = flag.Duration("idle", 2*time.Second, "stop a capture after this long without frames")
+		compare    = flag.Bool("compare", false, "compare two capture files (args: FILE FILE), ignoring timestamps")
 		compareLat = flag.Bool("compare-latency", false, "pair the frames of two captures (args: SENT RECEIVED) by payload hash and report the one-way latency distribution (captures must share a time base)")
 	)
 	flag.Parse()
@@ -129,6 +135,12 @@ func main() {
 		src = trafficgen.NewCampus(cfg)
 	case *trace == "fixed":
 		src = trafficgen.NewFixedSize(cfg, *size)
+	case *trace == "priority":
+		src = trafficgen.NewPriorityMix(cfg, *hiShare, uint8(*hiTOS))
+	case *trace == "burst":
+		src = trafficgen.NewBurst(trafficgen.NewCampus(cfg), *burstN, float64(burstGap.Nanoseconds()))
+	case *trace == "flood":
+		src = trafficgen.NewFlood(trafficgen.NewCampus(cfg), *floodFactor)
 	default:
 		fatal(fmt.Errorf("unknown trace %q", *trace))
 	}

@@ -1,0 +1,9 @@
+// Overload-demo forwarder: the heavy WorkPackage NF the overload
+// exhibits drive past capacity (~10 Gbps/core at 1.2 GHz). The small
+// burst keeps the PMD responsive while the control plane sheds at the
+// RX boundary.
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 4);
+output :: ToDPDKDevice(PORT 0, BURST 4);
+input -> WorkPackage(S 16, N 5, W 200)
+      -> EtherRewrite(SRC 02:00:00:00:00:02, DST 02:00:00:00:00:01)
+      -> output;

@@ -8,6 +8,7 @@ import (
 	"packetmill/internal/dpdk"
 	"packetmill/internal/layout"
 	"packetmill/internal/memsim"
+	"packetmill/internal/overload"
 	"packetmill/internal/pktbuf"
 	"packetmill/internal/stats"
 	"packetmill/internal/telemetry"
@@ -79,6 +80,12 @@ type Router struct {
 	// Tel, when non-nil, attributes this router's work to spans; the
 	// driver loop installs it into every ExecCtx it runs.
 	Tel *telemetry.Tracker
+
+	// Overload is the core's overload control plane, or nil. The I/O and
+	// Queue elements consult it for backpressure (lossless pipelines
+	// raise/lower pressure at their watermarks; the PMD RX pauses while
+	// pressure is held) and the PMD prices admissions against it.
+	Overload *overload.Controller
 }
 
 // Kill recycles every packet in b (an element dropping traffic).

@@ -19,6 +19,7 @@ import (
 	"packetmill/internal/machine"
 	"packetmill/internal/memsim"
 	"packetmill/internal/nic"
+	"packetmill/internal/overload"
 	"packetmill/internal/pktbuf"
 	"packetmill/internal/stats"
 	"packetmill/internal/trace"
@@ -301,6 +302,13 @@ type Port struct {
 	// transmitted packet in nanoseconds — the port-level end-to-end
 	// distribution behind the live exporter and report percentiles.
 	LatHist *trace.Hist
+
+	// Overload is the core's overload control plane, or nil. When set,
+	// RxBurst prices every arriving frame against the active admission
+	// policy *before* paying conversion cost; a shed frame costs one
+	// descriptor poll and a class lookup, nothing more. Sheds are booked
+	// in Drops under the DropOverload* reasons so conservation balances.
+	Overload *overload.Controller
 }
 
 // PortStats counts per-port PMD activity. RefillShort events used to be
@@ -442,10 +450,25 @@ func (pt *Port) RxBurst(core *machine.Core, nowNS float64, out []*pktbuf.Packet)
 	if pt.Vectorized {
 		conv /= 2 // SIMD decode amortizes the per-packet scalar work
 	}
+	if pt.Overload != nil {
+		// Admission prices against the ring as it stands at poll time —
+		// the frames still queued plus this burst — not the occupancy
+		// cached at the last health observation.
+		pt.Overload.NoteOccupancy(
+			float64(rxq.PendingCount()+n) / float64(rxq.RXRingSize()))
+	}
 	kept := 0
 	var exhausted uint64
 	for i := 0; i < n; i++ {
 		p, d := out[i], pt.descs[i]
+		if pt.Overload != nil {
+			core.Compute(2) // class lookup + watermark compare
+			if ok, reason := pt.Overload.Admit(overload.ClassOf(p.Bytes())); !ok {
+				pt.Drops.Add(reason, 1)
+				pt.recycleRx(core, p)
+				continue
+			}
+		}
 		if pt.Bind.ExchangesBuffers() {
 			gated := pt.FaultDescDeplete != nil && pt.FaultDescDeplete(nowNS)
 			if gated || pt.Bind.RxMeta(p) == nil {
@@ -516,6 +539,19 @@ func (pt *Port) RxBurst(core *machine.Core, nowNS float64, out []*pktbuf.Packet)
 			pt.ID, exhausted, n, ErrPoolExhausted)
 	}
 	return kept, nil
+}
+
+// recycleRx returns a freshly-polled buffer the admission shedder
+// refused: straight back to the spare list (exchange bindings, where the
+// application descriptor was never attached) or the mempool. The frame
+// never reached conversion, so nothing else holds a reference.
+func (pt *Port) recycleRx(core *machine.Core, p *pktbuf.Packet) {
+	if pt.Bind.ExchangesBuffers() {
+		p.Reset(p.OrigHeadroom())
+		pt.spare = append(pt.spare, p)
+		return
+	}
+	_ = pt.Pool.Put(core, p)
 }
 
 // unrefill returns a buffer the RX ring rejected to wherever it came from.

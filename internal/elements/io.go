@@ -91,6 +91,13 @@ func (e *FromDPDKDevice) Push(*click.ExecCtx, int, *pktbuf.Batch) {}
 // RunTask implements click.Task: one receive burst through the configured
 // metadata model, then one push down the graph.
 func (e *FromDPDKDevice) RunTask(ec *click.ExecCtx) int {
+	// Backpressure: while a downstream stage holds pressure on a lossless
+	// pipeline, the PMD RX pauses instead of feeding packets into queues
+	// that would drop them mid-graph. The NIC ring absorbs the pause (and
+	// sheds at the RX boundary if it overflows, where drops are cheapest).
+	if ec.Rt.Overload.Paused() {
+		return 0
+	}
 	core := ec.Core
 	port := e.bc.Ports[e.PortNo]
 	// The RX loop reads its burst/port parameters unless they were
@@ -183,6 +190,10 @@ type ToDPDKDevice struct {
 	// DropsFull counts packets dropped because the pending buffer
 	// overflowed while the ring stayed full.
 	DropsFull uint64
+
+	// raised tracks whether this element currently holds backpressure on
+	// the core's overload controller (lossless pipelines only).
+	raised bool
 }
 
 // Class implements click.Element.
@@ -267,6 +278,7 @@ func (e *ToDPDKDevice) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 			ec.Rt.KillPacket(ec, p, stats.DropTxRingFull)
 		}
 	}
+	e.updatePressure(ec)
 }
 
 // flush pushes pending packets at the ring in bursts until it rejects
@@ -302,9 +314,54 @@ func (e *ToDPDKDevice) flush(ec *click.ExecCtx) int {
 // was full (slow receiver, TX stall) drains without new RX traffic — the
 // backpressure path must make progress on its own.
 func (e *ToDPDKDevice) RunTask(ec *click.ExecCtx) int {
-	return e.flush(ec)
+	n := e.flush(ec)
+	e.updatePressure(ec)
+	return n
 }
 
 // TxBacklog reports packets queued behind a full ring; the testbed drains
 // it before declaring a run finished.
 func (e *ToDPDKDevice) TxBacklog() int { return len(e.pending) }
+
+// OccupancyFrac reports the pending buffer's fill fraction — one of the
+// occupancy signals the overload control plane observes.
+func (e *ToDPDKDevice) OccupancyFrac() float64 {
+	return float64(len(e.pending)) / float64(e.queueCap())
+}
+
+// updatePressure raises or lowers backpressure at the controller's
+// watermarks, with hysteresis: pressure raised at the high watermark is
+// only released once occupancy falls to the low one.
+func (e *ToDPDKDevice) updatePressure(ec *click.ExecCtx) {
+	ctl := ec.Rt.Overload
+	if !ctl.Lossless() {
+		return
+	}
+	high, low := ctl.Watermarks()
+	occ := e.OccupancyFrac()
+	switch {
+	case !e.raised && occ >= high:
+		e.raised = true
+		ctl.RaisePressure(ec.Now)
+	case e.raised && occ <= low:
+		e.raised = false
+		ctl.LowerPressure(ec.Now)
+	}
+}
+
+// DrainRestart flushes the pending buffer as part of the watchdog's
+// drain-and-restart recovery, booking every flushed packet under
+// overload-restart, and releases any held backpressure. Returns the
+// number of packets flushed.
+func (e *ToDPDKDevice) DrainRestart(ec *click.ExecCtx) int {
+	n := len(e.pending)
+	for _, p := range e.pending {
+		ec.Rt.KillPacket(ec, p, stats.DropOverloadRestart)
+	}
+	e.pending = e.pending[:0]
+	if e.raised {
+		e.raised = false
+		ec.Rt.Overload.LowerPressure(ec.Now)
+	}
+	return n
+}

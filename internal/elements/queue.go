@@ -8,6 +8,7 @@ import (
 	"packetmill/internal/click"
 	"packetmill/internal/memsim"
 	"packetmill/internal/pktbuf"
+	"packetmill/internal/stats"
 )
 
 func init() {
@@ -33,6 +34,10 @@ type Queue struct {
 	// Drops counts packets killed on overflow (tail drop).
 	Drops     uint64
 	HighWater int
+
+	// raised tracks whether this queue currently holds backpressure on
+	// the core's overload controller (lossless pipelines only).
+	raised bool
 }
 
 // Class implements click.Element.
@@ -95,6 +100,7 @@ func (e *Queue) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 	}
 	e.Inst.StoreState(ec, 0, 16)
 	ec.Rt.Kill(ec, dead)
+	e.updatePressure(ec)
 }
 
 // Pull implements click.PullElement: dequeue up to max.
@@ -118,12 +124,57 @@ func (e *Queue) Pull(ec *click.ExecCtx, _ int, max int) *pktbuf.Batch {
 	e.count -= n
 	if n > 0 {
 		e.Inst.StoreState(ec, 0, 16)
+		e.updatePressure(ec)
 	}
 	return out
 }
 
 // Len reports the current queue depth.
 func (e *Queue) Len() int { return e.count }
+
+// OccupancyFrac reports the ring's fill fraction for the overload
+// control plane.
+func (e *Queue) OccupancyFrac() float64 {
+	return float64(e.count) / float64(e.Capacity)
+}
+
+// updatePressure raises backpressure at the controller's high watermark
+// and releases it at the low one (hysteresis), so a lossless pipeline
+// pauses RX instead of tail-dropping here.
+func (e *Queue) updatePressure(ec *click.ExecCtx) {
+	ctl := ec.Rt.Overload
+	if !ctl.Lossless() {
+		return
+	}
+	high, low := ctl.Watermarks()
+	occ := e.OccupancyFrac()
+	switch {
+	case !e.raised && occ >= high:
+		e.raised = true
+		ctl.RaisePressure(ec.Now)
+	case e.raised && occ <= low:
+		e.raised = false
+		ctl.LowerPressure(ec.Now)
+	}
+}
+
+// DrainRestart flushes the ring as part of the watchdog's
+// drain-and-restart recovery, booking the flushed packets under
+// overload-restart, and releases held backpressure.
+func (e *Queue) DrainRestart(ec *click.ExecCtx) int {
+	n := e.count
+	for i := 0; i < n; i++ {
+		slot := (e.head + i) % e.Capacity
+		ec.Rt.KillPacket(ec, e.buf[slot], stats.DropOverloadRestart)
+		e.buf[slot] = nil
+	}
+	e.head, e.count = 0, 0
+	if e.raised {
+		e.raised = false
+		ec.Rt.Overload.LowerPressure(ec.Now)
+	}
+	return n
+}
 
 // Unqueue is the scheduled puller that drains a Queue into the push graph.
 type Unqueue struct {

@@ -180,3 +180,37 @@ func TestFig4FitsShape(t *testing.T) {
 		}
 	}
 }
+
+func TestOverloadShape(t *testing.T) {
+	tb := runExp(t, "overload")[0]
+	if len(tb.Rows) != 12 {
+		t.Fatalf("overload surface has %d rows, want 12 (4 policies × 3 factors)", len(tb.Rows))
+	}
+	// Uncontrolled at 4×: the loss is anonymous — NIC ring overruns, no
+	// attributed sheds. Every armed policy at 4× must shed at the RX
+	// boundary instead and keep the ring from overflowing blind.
+	noneSheds := cell(t, tb, map[int]string{0: "none", 1: "4.0"}, 4)
+	noneNIC := cell(t, tb, map[int]string{0: "none", 1: "4.0"}, 5)
+	if noneSheds != 0 {
+		t.Errorf("policy none booked %v sheds", noneSheds)
+	}
+	if noneNIC == 0 {
+		t.Errorf("policy none at 4×: no NIC-level drops — not actually overloaded")
+	}
+	for _, policy := range []string{"tail-drop", "red", "priority"} {
+		sheds := cell(t, tb, map[int]string{0: policy, 1: "4.0"}, 4)
+		if sheds == 0 {
+			t.Errorf("%s at 4×: no sheds", policy)
+		}
+	}
+	// Priority shedding protects the high class: its p99 at 4× stays
+	// within 2× of the priority run at capacity.
+	base := cell(t, tb, map[int]string{0: "priority", 1: "1.0"}, 6)
+	over := cell(t, tb, map[int]string{0: "priority", 1: "4.0"}, 6)
+	if base <= 0 || over <= 0 {
+		t.Fatalf("priority hi-class p99 missing: base=%.2f over=%.2f", base, over)
+	}
+	if over > 2*base {
+		t.Errorf("priority hi-class p99 blew up under 4× load: %.2f µs vs %.2f µs at capacity", over, base)
+	}
+}

@@ -1,0 +1,104 @@
+// Experiment: the overload control plane's shed/latency surface. Not a
+// paper figure — a robustness exhibit for this repository's overload
+// subsystem: sweep offered load (as a multiple of the DUT's measured
+// capacity) against each admission policy and report where the loss
+// goes (attributed RX-boundary sheds vs anonymous NIC ring overruns)
+// and what happens to the high-priority class's tail latency.
+package exp
+
+import (
+	"fmt"
+
+	"packetmill/internal/click"
+	"packetmill/internal/nf"
+	"packetmill/internal/nic"
+	"packetmill/internal/overload"
+	"packetmill/internal/stats"
+	"packetmill/internal/testbed"
+	"packetmill/internal/trafficgen"
+)
+
+func init() {
+	register("overload", "overload control plane: policy × offered-factor surface @1.2 GHz", overloadExhibit)
+}
+
+// overloadNFCfg is the CPU-bound WorkPackage forwarder the exhibit
+// overloads; service time dwarfs poll cost, so admission control (not
+// ring depth) decides who gets through.
+func overloadNFCfg() string {
+	return nf.WorkPackageForwarder(4, 16, 5, 200)
+}
+
+// overloadControl is the tuned controller the testbed exhibits use:
+// tight watermarks keep the RX ring equilibrium shallow, and the health
+// thresholds sit below it so the shedder stays armed through the
+// overload.
+func overloadControl(policy overload.Policy) *overload.Config {
+	return &overload.Config{
+		Policy:    policy,
+		HighWater: 0.1,
+		LowWater:  0.005,
+		Health: overload.HealthConfig{
+			DegradeOcc:  0.012,
+			OverloadOcc: 0.6,
+			RecoverOcc:  0.006,
+			DwellNS:     5e3,
+		},
+	}
+}
+
+// overloadExhibit sweeps policy × offered factor. Every unit probes its
+// own capacity (same seed stream as its runs, so the factor is honest)
+// and offers factor× that rate with a 10% high-priority share.
+func overloadExhibit(scale float64) *Plan {
+	t := &Table{
+		ID:    "overload",
+		Title: "admission policy × offered load: goodput, loss attribution, hi-class p99",
+		Columns: []string{"policy", "offered_factor", "capacity_gbps", "goodput_gbps",
+			"sheds", "nic_drops", "hi_p99_us", "transitions", "final_state"},
+	}
+	p := &Plan{Tables: []*Table{t}}
+	policies := []overload.Policy{
+		overload.PolicyNone, overload.PolicyTailDrop, overload.PolicyRED, overload.PolicyPriority,
+	}
+	for _, policy := range policies {
+		for _, factor := range []float64{1, 2, 4} {
+			policy, factor := policy, factor
+			p.Unit(func(u *U) {
+				rings := nic.DefaultConfig("overload")
+				rings.RXRingSize = 256
+				rings.TXRingSize = 256
+				probeOpts := campusOpts(1.2, 100, pkts(3000, scale))
+				probeOpts.Model = click.XChange
+				probeOpts.NICConfig = &rings
+				probeOpts.Seed = u.Seed
+				probe, err := testbed.Run(overloadNFCfg(), probeOpts)
+				if err != nil {
+					panic(fmt.Sprintf("overload probe %v: %v", policy, err))
+				}
+				capGbps := float64(probe.Bytes) * 8 / probe.Duration
+
+				o := campusOpts(1.2, factor*capGbps, pkts(6000, scale))
+				o.Model = click.XChange
+				o.NICConfig = &rings
+				o.Overload = overloadControl(policy)
+				o.Seed = u.Seed
+				o.Traffic = func(n int, cfg trafficgen.Config) trafficgen.Source {
+					return trafficgen.NewPriorityMix(cfg, 0.1, 0xE0)
+				}
+				res, err := testbed.Run(overloadNFCfg(), o)
+				if err != nil {
+					panic(fmt.Sprintf("overload %v x%v: %v", policy, factor, err))
+				}
+				st := res.Overload[0]
+				nicDrops := res.DropsByReason.Get(stats.DropRxNoBuf) +
+					res.DropsByReason.Get(stats.DropRxRingFull)
+				hiP99 := res.ClassLat[7].Quantile(0.99) / 1e3
+				u.Add(policy.String(), f1(factor), f1(capGbps), f1(res.Gbps()),
+					fmt.Sprint(st.Sheds), fmt.Sprint(nicDrops),
+					f2(hiP99), fmt.Sprint(st.Transitions), st.State.String())
+			})
+		}
+	}
+	return p
+}

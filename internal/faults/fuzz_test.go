@@ -24,6 +24,17 @@ func FuzzFaultSchedule(f *testing.F) {
 		";;;",
 		"drop p=",
 		"flap at=1msfor=2ms",
+		// Overlapping windows: two resource faults sharing simulated time.
+		"flap at=1ms for=200us; stall at=1.1ms for=200us",
+		"deplete target=mempool at=0 for=2ms; deplete target=desc at=1ms for=2ms",
+		// Zero-duration windows: legal to parse, never active.
+		"stall at=1ms for=0",
+		"slowrx at=1ms factor=2 for=0ns",
+		"flap at=0 for=0",
+		// Mid-run starts: windows that open well after time zero.
+		"stall at=2.5ms for=100us",
+		"slowrx at=4ms factor=1000000 for=1ms",
+		"deplete target=desc at=3ms for=50us; drop p=0.05",
 	}
 	for _, s := range seeds {
 		f.Add(s)

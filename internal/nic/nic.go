@@ -74,6 +74,10 @@ type TXQueueStats struct {
 	Sent     uint64
 	Bytes    uint64
 	DropFull uint64
+	// DropTransient counts frames lost to transient send errors
+	// (EAGAIN/ENOBUFS on a live wire) that stayed failed after
+	// bounded-backoff retries — distinct from ring-full drops.
+	DropTransient uint64
 }
 
 // MinFrameSize is the smallest frame the MAC accepts (Ethernet's 64-byte

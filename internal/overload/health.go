@@ -1,0 +1,165 @@
+// The per-core health state machine: Healthy → Degraded → Overloaded →
+// Recovering, driven by the telemetry signals the datapath already
+// produces (ring occupancy, empty-poll rate, latency p99). Metronome's
+// observation — that ring occupancy is the control signal software
+// datapaths should react to — is the design anchor; the dwell-time
+// hysteresis keeps a noisy signal from flapping the state.
+package overload
+
+import "fmt"
+
+// State is one node of the health lifecycle.
+type State uint8
+
+const (
+	// StateHealthy: occupancy and latency inside budget; no shedding.
+	StateHealthy State = iota
+	// StateDegraded: early pressure — occupancy crossed the degrade
+	// threshold or p99 left its budget. The shedder arms at its
+	// configured watermarks.
+	StateDegraded
+	// StateOverloaded: sustained pressure — occupancy at the overload
+	// threshold. Watermarks tighten so shedding starts earlier.
+	StateOverloaded
+	// StateRecovering: pressure released from Overloaded; watermarks
+	// relax above nominal so the pipeline drains before shedding stops,
+	// preventing an admit-burst from re-triggering overload.
+	StateRecovering
+
+	// NumStates bounds the lifecycle.
+	NumStates
+)
+
+var stateNames = [NumStates]string{"healthy", "degraded", "overloaded", "recovering"}
+
+// String names the state the way /metrics and trace events label it.
+func (s State) String() string {
+	if s < NumStates {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("state-%d", uint8(s))
+}
+
+// Signals is one observation of a core's load, fed to Observe on the
+// control cadence. All fields are instantaneous readings; the state
+// machine supplies the smoothing via dwell-time hysteresis.
+type Signals struct {
+	// Occupancy is the worst ring/queue fill fraction on the core, 0–1.
+	Occupancy float64
+	// EmptyPollRate is the fraction of recent PMD polls that returned
+	// nothing — high when the core is starved of work.
+	EmptyPollRate float64
+	// P99NS is the current p99 of the core's latency histogram in ns
+	// (0 when no histogram is attached).
+	P99NS float64
+}
+
+// HealthConfig tunes the state machine's thresholds.
+type HealthConfig struct {
+	// DegradeOcc: occupancy at or above this enters Degraded. Default 0.5.
+	DegradeOcc float64
+	// OverloadOcc: occupancy at or above this enters Overloaded. Default 0.85.
+	OverloadOcc float64
+	// RecoverOcc: occupancy at or below this releases toward Healthy.
+	// Default 0.30.
+	RecoverOcc float64
+	// P99BudgetNS: a latency budget; p99 beyond it counts as pressure
+	// even at low occupancy. 0 ignores latency.
+	P99BudgetNS float64
+	// DwellNS: minimum time between transitions. Default 50 µs — a few
+	// thousand packet times at 100 Gbps, long enough to ride out bursts.
+	DwellNS float64
+}
+
+func (c HealthConfig) withDefaults() HealthConfig {
+	if c.DegradeOcc <= 0 {
+		c.DegradeOcc = 0.5
+	}
+	if c.OverloadOcc <= 0 {
+		c.OverloadOcc = 0.85
+	}
+	if c.RecoverOcc <= 0 {
+		c.RecoverOcc = 0.30
+	}
+	if c.DwellNS <= 0 {
+		c.DwellNS = 50e3
+	}
+	return c
+}
+
+// health is the state machine proper. Single-core; allocation-free.
+type health struct {
+	cfg          HealthConfig
+	state        State
+	lastChangeNS float64
+	lastObsNS    float64
+	transitions  uint64
+	timeIn       [NumStates]float64
+}
+
+// observe folds one reading into the machine and returns the state it
+// lands in. Transitions are dwell-gated: once the state changes, no
+// further change happens until DwellNS has elapsed, in either direction —
+// that is the anti-flap hysteresis.
+func (h *health) observe(nowNS float64, s Signals) State {
+	if h.lastObsNS > 0 && nowNS > h.lastObsNS {
+		h.timeIn[h.state] += nowNS - h.lastObsNS
+	}
+	h.lastObsNS = nowNS
+	if nowNS-h.lastChangeNS < h.cfg.DwellNS {
+		return h.state
+	}
+	occ := s.Occupancy
+	latBad := h.cfg.P99BudgetNS > 0 && s.P99NS > h.cfg.P99BudgetNS
+	// A starved core with empty queues reads a stale p99 — the histogram
+	// only decays as new packets land — so idleness overrides latency.
+	idle := s.EmptyPollRate > 0.9 && occ <= h.cfg.RecoverOcc
+
+	next := h.state
+	switch h.state {
+	case StateHealthy:
+		if occ >= h.cfg.OverloadOcc {
+			next = StateOverloaded
+		} else if occ >= h.cfg.DegradeOcc || (latBad && !idle) {
+			next = StateDegraded
+		}
+	case StateDegraded:
+		switch {
+		case occ >= h.cfg.OverloadOcc:
+			next = StateOverloaded
+		case occ <= h.cfg.RecoverOcc && (!latBad || idle):
+			next = StateHealthy
+		}
+	case StateOverloaded:
+		if occ < h.cfg.DegradeOcc {
+			next = StateRecovering
+		}
+	case StateRecovering:
+		switch {
+		case occ >= h.cfg.OverloadOcc:
+			next = StateOverloaded
+		case (occ <= h.cfg.RecoverOcc && !latBad) || idle:
+			next = StateHealthy
+		}
+	}
+	if next != h.state {
+		h.state = next
+		h.lastChangeNS = nowNS
+		h.transitions++
+	}
+	return h.state
+}
+
+// force moves the machine straight to a state (watchdog recovery), still
+// counting the transition and restarting the dwell clock.
+func (h *health) force(nowNS float64, s State) {
+	if h.lastObsNS > 0 && nowNS > h.lastObsNS {
+		h.timeIn[h.state] += nowNS - h.lastObsNS
+		h.lastObsNS = nowNS
+	}
+	if s != h.state {
+		h.state = s
+		h.lastChangeNS = nowNS
+		h.transitions++
+	}
+}

@@ -1,0 +1,312 @@
+// Package overload is the per-core overload control plane: it turns the
+// telemetry signals the datapath already exports (ring occupancy,
+// empty-poll rate, latency p99) into control actions — admission control
+// at the PMD RX boundary, end-to-end backpressure for lossless
+// pipelines, and a self-healing health state machine whose transitions
+// select the active shedding posture.
+//
+// The package sits below everything that uses it: it imports only the
+// stats taxonomy and the seeded RNG, so dpdk, click, elements, wire, and
+// testbed can all hold a *Controller without an import cycle. Every
+// method is nil-receiver-safe and allocation-free, so the datapath hooks
+// cost one pointer test when the control plane is off — the same
+// discipline as the trace flight recorder.
+package overload
+
+import (
+	"packetmill/internal/simrand"
+	"packetmill/internal/stats"
+)
+
+// Config shapes one core's controller.
+type Config struct {
+	// Policy selects the RX admission shedder.
+	Policy Policy
+	// HighWater/LowWater are the occupancy watermarks (fractions of ring
+	// capacity) between which shedding ramps. Defaults 0.85 / 0.35.
+	HighWater, LowWater float64
+	// Lossless configures backpressure instead of mid-graph drops:
+	// downstream stages above their high watermark raise pressure, and
+	// the PMD RX pauses until every raiser clears its low watermark.
+	Lossless bool
+	// Health tunes the state machine.
+	Health HealthConfig
+	// Seed derives the RED shedder's probability stream.
+	Seed uint64
+	// OnTransition, when set, observes every health-state change —
+	// the testbed routes it to the trace flight recorder.
+	OnTransition func(nowNS float64, from, to State)
+}
+
+func (c Config) withDefaults() Config {
+	if c.HighWater <= 0 {
+		c.HighWater = 0.85
+	}
+	if c.LowWater <= 0 {
+		c.LowWater = 0.35
+	}
+	if c.LowWater >= c.HighWater {
+		c.LowWater = c.HighWater / 2
+	}
+	c.Health = c.Health.withDefaults()
+	return c
+}
+
+// CoreStatus is a snapshot of one controller for reports and metrics.
+type CoreStatus struct {
+	Policy      Policy
+	State       State
+	Transitions uint64
+	TimeInNS    [NumStates]float64
+	AdmitOK     uint64
+	Sheds       uint64
+	Raises      uint64
+	Pauses      uint64
+	PausedNS    float64
+}
+
+// Controller is one core's control plane. All methods are single-core
+// (called only from the owning engine loop or the driver between steps)
+// and nil-safe.
+type Controller struct {
+	cfg    Config
+	rng    *simrand.Rand
+	health health
+
+	occ float64 // latest observed occupancy, set by Observe
+
+	// backpressure: a counted set of raised stages.
+	sources      int
+	pauseStartNS float64
+	raises       uint64
+	pauses       uint64
+	pausedNS     float64
+	admitOK      uint64
+	sheds        uint64
+}
+
+// New builds a controller. A nil return never happens; callers keep nil
+// *Controller to mean "control plane off".
+func New(cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	return &Controller{
+		cfg:    cfg,
+		rng:    simrand.New(simrand.Derive(cfg.Seed, 0x0fed, 0)),
+		health: health{cfg: cfg.Health},
+	}
+}
+
+// Policy returns the configured shedding policy (PolicyNone when nil).
+func (c *Controller) Policy() Policy {
+	if c == nil {
+		return PolicyNone
+	}
+	return c.cfg.Policy
+}
+
+// State returns the current health state (StateHealthy when nil).
+func (c *Controller) State() State {
+	if c == nil {
+		return StateHealthy
+	}
+	return c.health.state
+}
+
+// Lossless reports whether backpressure (rather than mid-graph drops)
+// is configured.
+func (c *Controller) Lossless() bool { return c != nil && c.cfg.Lossless }
+
+// DwellNS returns the health machine's dwell time — the harness paces
+// its observation cadence off it (a few observations per dwell window).
+func (c *Controller) DwellNS() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.cfg.Health.DwellNS
+}
+
+// Watermarks returns the effective high/low occupancy watermarks for
+// the current health state. Overloaded tightens them so shedding starts
+// earlier; Recovering relaxes them so the pipeline drains fully before
+// admission returns to normal.
+func (c *Controller) Watermarks() (high, low float64) {
+	if c == nil {
+		return 1, 1
+	}
+	high, low = c.cfg.HighWater, c.cfg.LowWater
+	switch c.health.state {
+	case StateOverloaded:
+		high *= 0.7
+		low *= 0.7
+	case StateRecovering:
+		high *= 1.15
+		if high > 1 {
+			high = 1
+		}
+	}
+	return high, low
+}
+
+// NoteOccupancy refreshes the occupancy the shedder prices admissions
+// against, without touching the health machine. The PMD calls this once
+// per burst poll with the live RX-ring fill: admission must see the
+// queue as it is *now*, not as it was at the last Observe — a stale
+// reading turns the shedder bang-bang (whole observation windows of
+// shed-everything alternating with admit-everything overflows).
+func (c *Controller) NoteOccupancy(occ float64) {
+	if c == nil {
+		return
+	}
+	c.occ = occ
+}
+
+// Observe feeds one reading of the core's signals to the health machine
+// and caches the occupancy the shedder prices admissions against.
+func (c *Controller) Observe(nowNS float64, s Signals) {
+	if c == nil {
+		return
+	}
+	c.occ = s.Occupancy
+	from := c.health.state
+	to := c.health.observe(nowNS, s)
+	if to != from && c.cfg.OnTransition != nil {
+		c.cfg.OnTransition(nowNS, from, to)
+	}
+}
+
+// Admit prices one arriving frame against the active policy and the
+// current health state. It returns (true, 0) to admit, or (false,
+// reason) naming the DropOverload* reason to book the shed under. The
+// frame's traffic class (from ClassOf) matters only to PolicyPriority.
+func (c *Controller) Admit(class uint8) (bool, stats.DropReason) {
+	if c == nil || c.cfg.Policy == PolicyNone || c.health.state == StateHealthy {
+		if c != nil {
+			c.admitOK++
+		}
+		return true, 0
+	}
+	high, low := c.Watermarks()
+	occ := c.occ
+	switch c.cfg.Policy {
+	case PolicyTailDrop:
+		if occ >= high {
+			c.sheds++
+			return false, stats.DropOverloadShed
+		}
+	case PolicyRED:
+		if occ >= high {
+			c.sheds++
+			return false, stats.DropOverloadRED
+		}
+		if occ > low {
+			p := (occ - low) / (high - low)
+			if c.rng.Float64() < p {
+				c.sheds++
+				return false, stats.DropOverloadRED
+			}
+		}
+	case PolicyPriority:
+		// Class k sheds once occupancy crosses a per-class threshold
+		// spread across [low, high]: class 0 sheds first, class 7 only
+		// at the high watermark itself.
+		thresh := low + (high-low)*float64(class+1)/float64(NumClasses)
+		if occ >= thresh {
+			c.sheds++
+			return false, stats.DropOverloadPrio
+		}
+	}
+	c.admitOK++
+	return true, 0
+}
+
+// RaisePressure marks one downstream stage above its high watermark.
+// The first raiser starts the pause clock.
+func (c *Controller) RaisePressure(nowNS float64) {
+	if c == nil {
+		return
+	}
+	c.sources++
+	c.raises++
+	if c.sources == 1 {
+		c.pauses++
+		c.pauseStartNS = nowNS
+	}
+}
+
+// LowerPressure clears one raiser. When the last one clears, the pause
+// interval is accounted.
+func (c *Controller) LowerPressure(nowNS float64) {
+	if c == nil || c.sources == 0 {
+		return
+	}
+	c.sources--
+	if c.sources == 0 && nowNS > c.pauseStartNS {
+		c.pausedNS += nowNS - c.pauseStartNS
+	}
+}
+
+// PressureSources returns the number of currently-raised stages.
+func (c *Controller) PressureSources() int {
+	if c == nil {
+		return 0
+	}
+	return c.sources
+}
+
+// Paused reports whether the PMD RX should skip this poll: lossless
+// mode with at least one downstream stage holding pressure.
+func (c *Controller) Paused() bool {
+	return c != nil && c.cfg.Lossless && c.sources > 0
+}
+
+// ResetPressure drops every raised source — the watchdog calls this
+// after drain-and-restart, when the stages that raised pressure have
+// been flushed and will not lower it themselves.
+func (c *Controller) ResetPressure(nowNS float64) {
+	if c == nil {
+		return
+	}
+	if c.sources > 0 && nowNS > c.pauseStartNS {
+		c.pausedNS += nowNS - c.pauseStartNS
+	}
+	c.sources = 0
+}
+
+// ForceRecover moves the health machine to Recovering — the watchdog's
+// drain-and-restart escalation path.
+func (c *Controller) ForceRecover(nowNS float64) {
+	if c == nil {
+		return
+	}
+	from := c.health.state
+	c.health.force(nowNS, StateRecovering)
+	if from != StateRecovering && c.cfg.OnTransition != nil {
+		c.cfg.OnTransition(nowNS, from, StateRecovering)
+	}
+}
+
+// Status snapshots the controller for reports; nowNS closes the open
+// time-in-state and pause intervals.
+func (c *Controller) Status(nowNS float64) CoreStatus {
+	if c == nil {
+		return CoreStatus{}
+	}
+	st := CoreStatus{
+		Policy:      c.cfg.Policy,
+		State:       c.health.state,
+		Transitions: c.health.transitions,
+		TimeInNS:    c.health.timeIn,
+		AdmitOK:     c.admitOK,
+		Sheds:       c.sheds,
+		Raises:      c.raises,
+		Pauses:      c.pauses,
+		PausedNS:    c.pausedNS,
+	}
+	if c.health.lastObsNS > 0 && nowNS > c.health.lastObsNS {
+		st.TimeInNS[c.health.state] += nowNS - c.health.lastObsNS
+	}
+	if c.sources > 0 && nowNS > c.pauseStartNS {
+		st.PausedNS += nowNS - c.pauseStartNS
+	}
+	return st
+}

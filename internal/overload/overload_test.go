@@ -1,0 +1,335 @@
+package overload
+
+import (
+	"testing"
+
+	"packetmill/internal/stats"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]Policy{
+		"":          PolicyNone,
+		"none":      PolicyNone,
+		"off":       PolicyNone,
+		"tail-drop": PolicyTailDrop,
+		"taildrop":  PolicyTailDrop,
+		"RED":       PolicyRED,
+		"priority":  PolicyPriority,
+		"prio":      PolicyPriority,
+	}
+	for in, want := range cases {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy accepted a bogus policy")
+	}
+	for p := Policy(0); p < numPolicies; p++ {
+		back, err := ParsePolicy(p.String())
+		if err != nil || back != p {
+			t.Errorf("policy %v does not round-trip its String form", p)
+		}
+	}
+}
+
+func TestClassOf(t *testing.T) {
+	ipv4 := make([]byte, 64)
+	ipv4[12], ipv4[13] = 0x08, 0x00
+	ipv4[15] = 0xb8 // DSCP EF: precedence 5
+	if got := ClassOf(ipv4); got != 5 {
+		t.Errorf("IPv4 EF frame: class %d, want 5", got)
+	}
+	vlan := make([]byte, 64)
+	vlan[12], vlan[13] = 0x81, 0x00
+	vlan[14] = 0xe0 // PCP 7
+	if got := ClassOf(vlan); got != 7 {
+		t.Errorf("VLAN PCP-7 frame: class %d, want 7", got)
+	}
+	if got := ClassOf(make([]byte, 64)); got != 0 {
+		t.Errorf("untagged non-IP frame: class %d, want 0", got)
+	}
+	if got := ClassOf([]byte{0x08}); got != 0 {
+		t.Error("runt frame must class as 0, not panic")
+	}
+}
+
+// degrade pushes a controller out of Healthy so the shedder arms.
+func degrade(c *Controller, nowNS float64) float64 {
+	c.Observe(nowNS, Signals{Occupancy: 0.6})
+	nowNS += c.cfg.Health.DwellNS + 1
+	c.Observe(nowNS, Signals{Occupancy: 0.6})
+	return nowNS
+}
+
+func TestAdmitPolicies(t *testing.T) {
+	t.Run("none-admits-everything", func(t *testing.T) {
+		c := New(Config{Policy: PolicyNone})
+		degrade(c, 0)
+		c.occ = 0.99
+		if ok, _ := c.Admit(0); !ok {
+			t.Error("PolicyNone shed a frame")
+		}
+	})
+	t.Run("nil-admits-everything", func(t *testing.T) {
+		var c *Controller
+		if ok, _ := c.Admit(0); !ok {
+			t.Error("nil controller shed a frame")
+		}
+	})
+	t.Run("healthy-admits-everything", func(t *testing.T) {
+		c := New(Config{Policy: PolicyTailDrop})
+		c.occ = 0.99 // high occupancy but still Healthy (no Observe yet)
+		if ok, _ := c.Admit(0); !ok {
+			t.Error("Healthy state shed a frame")
+		}
+	})
+	t.Run("tail-drop", func(t *testing.T) {
+		c := New(Config{Policy: PolicyTailDrop, HighWater: 0.8})
+		degrade(c, 0)
+		c.occ = 0.79
+		if ok, _ := c.Admit(0); !ok {
+			t.Error("tail-drop shed below the high watermark")
+		}
+		c.occ = 0.8
+		ok, reason := c.Admit(0)
+		if ok || reason != stats.DropOverloadShed {
+			t.Errorf("tail-drop at watermark: admit=%v reason=%v", ok, reason)
+		}
+	})
+	t.Run("red-ramps", func(t *testing.T) {
+		c := New(Config{Policy: PolicyRED, HighWater: 0.9, LowWater: 0.3, Seed: 42})
+		degrade(c, 0)
+		shedAt := func(occ float64) float64 {
+			c.occ = occ
+			shed := 0
+			for i := 0; i < 2000; i++ {
+				if ok, reason := c.Admit(0); !ok {
+					if reason != stats.DropOverloadRED {
+						t.Fatalf("RED shed under reason %v", reason)
+					}
+					shed++
+				}
+			}
+			return float64(shed) / 2000
+		}
+		if r := shedAt(0.25); r != 0 {
+			t.Errorf("RED shed %.2f below the low watermark", r)
+		}
+		mid := shedAt(0.6)
+		if mid < 0.3 || mid > 0.7 {
+			t.Errorf("RED mid-ramp shed rate %.2f, want ≈0.5", mid)
+		}
+		if r := shedAt(0.95); r != 1 {
+			t.Errorf("RED shed %.2f at the high watermark, want 1", r)
+		}
+	})
+	t.Run("priority-ordering", func(t *testing.T) {
+		c := New(Config{Policy: PolicyPriority, HighWater: 0.9, LowWater: 0.1})
+		degrade(c, 0)
+		c.occ = 0.5
+		lowOK, _ := c.Admit(0)
+		hiOK, _ := c.Admit(7)
+		if lowOK || !hiOK {
+			t.Errorf("at mid occupancy: class0 admit=%v class7 admit=%v; want false,true", lowOK, hiOK)
+		}
+		c.occ = 0.95 // above high: even class 7 sheds
+		if ok, reason := c.Admit(7); ok || reason != stats.DropOverloadPrio {
+			t.Errorf("class 7 above high watermark: admit=%v reason=%v", ok, reason)
+		}
+	})
+}
+
+func TestBackpressureCounting(t *testing.T) {
+	c := New(Config{Lossless: true})
+	if c.Paused() {
+		t.Fatal("paused with no pressure")
+	}
+	c.RaisePressure(100)
+	c.RaisePressure(200)
+	if !c.Paused() || c.PressureSources() != 2 {
+		t.Fatalf("two raisers: paused=%v sources=%d", c.Paused(), c.PressureSources())
+	}
+	c.LowerPressure(300)
+	if !c.Paused() {
+		t.Fatal("unpaused while one raiser remains")
+	}
+	c.LowerPressure(500)
+	if c.Paused() {
+		t.Fatal("still paused after all raisers cleared")
+	}
+	st := c.Status(500)
+	if st.Pauses != 1 || st.PausedNS != 400 {
+		t.Errorf("pause accounting: pauses=%d pausedNS=%v; want 1, 400", st.Pauses, st.PausedNS)
+	}
+	// Lossy controllers never pause even under pressure.
+	lossy := New(Config{})
+	lossy.RaisePressure(0)
+	if lossy.Paused() {
+		t.Error("lossy controller paused")
+	}
+	// ResetPressure clears a wedged raiser set.
+	c.RaisePressure(600)
+	c.ResetPressure(700)
+	if c.Paused() || c.PressureSources() != 0 {
+		t.Error("ResetPressure left pressure raised")
+	}
+}
+
+func TestHealthLifecycle(t *testing.T) {
+	var hops []string
+	c := New(Config{Policy: PolicyTailDrop, OnTransition: func(_ float64, from, to State) {
+		hops = append(hops, from.String()+">"+to.String())
+	}})
+	dwell := c.cfg.Health.DwellNS
+	now := 0.0
+	step := func(occ float64) {
+		now += dwell + 1
+		c.Observe(now, Signals{Occupancy: occ})
+	}
+	step(0.1) // healthy
+	if c.State() != StateHealthy {
+		t.Fatalf("state %v, want healthy", c.State())
+	}
+	step(0.6)
+	if c.State() != StateDegraded {
+		t.Fatalf("state %v, want degraded", c.State())
+	}
+	step(0.95)
+	if c.State() != StateOverloaded {
+		t.Fatalf("state %v, want overloaded", c.State())
+	}
+	step(0.4)
+	if c.State() != StateRecovering {
+		t.Fatalf("state %v, want recovering", c.State())
+	}
+	step(0.1)
+	if c.State() != StateHealthy {
+		t.Fatalf("state %v, want healthy", c.State())
+	}
+	want := []string{"healthy>degraded", "degraded>overloaded", "overloaded>recovering", "recovering>healthy"}
+	if len(hops) != len(want) {
+		t.Fatalf("transitions %v, want %v", hops, want)
+	}
+	for i := range want {
+		if hops[i] != want[i] {
+			t.Fatalf("transition %d = %s, want %s", i, hops[i], want[i])
+		}
+	}
+	st := c.Status(now)
+	if st.Transitions != 4 {
+		t.Errorf("Transitions = %d, want 4", st.Transitions)
+	}
+	var total float64
+	for _, ns := range st.TimeInNS {
+		total += ns
+	}
+	if total <= 0 {
+		t.Error("time-in-state accounting recorded nothing")
+	}
+}
+
+func TestHealthDwellGate(t *testing.T) {
+	c := New(Config{})
+	dwell := c.cfg.Health.DwellNS
+	c.Observe(0, Signals{Occupancy: 0.6})
+	c.Observe(dwell+1, Signals{Occupancy: 0.6}) // -> degraded
+	if c.State() != StateDegraded {
+		t.Fatalf("state %v, want degraded", c.State())
+	}
+	// Inside the dwell window nothing moves, however hard the signal swings.
+	for _, occ := range []float64{0.99, 0.0, 0.99, 0.0} {
+		c.Observe(dwell+2, Signals{Occupancy: occ})
+		if c.State() != StateDegraded {
+			t.Fatalf("state changed to %v inside the dwell window", c.State())
+		}
+	}
+}
+
+func TestLatencyBudgetSignal(t *testing.T) {
+	c := New(Config{Health: HealthConfig{P99BudgetNS: 10_000}})
+	dwell := c.cfg.Health.DwellNS
+	c.Observe(0, Signals{Occupancy: 0.05, P99NS: 50_000})
+	c.Observe(dwell+1, Signals{Occupancy: 0.05, P99NS: 50_000})
+	if c.State() != StateDegraded {
+		t.Fatalf("p99 over budget at low occupancy: state %v, want degraded", c.State())
+	}
+	// A starved core with a stale histogram must recover despite the p99.
+	c.Observe(2*(dwell+1), Signals{Occupancy: 0.0, EmptyPollRate: 0.99, P99NS: 50_000})
+	if c.State() != StateHealthy {
+		t.Fatalf("idle override: state %v, want healthy", c.State())
+	}
+}
+
+// TestOscillationSoak sweeps offered occupancy up and down across the
+// watermarks many times and asserts the state machine is monotone per
+// sweep: each rising sweep walks Healthy→Degraded→Overloaded without
+// revisiting an earlier state, each falling sweep walks back without
+// re-escalating, and no two transitions ever land inside one dwell
+// window. This is the anti-flap guarantee the hysteresis exists for.
+func TestOscillationSoak(t *testing.T) {
+	c := New(Config{Policy: PolicyRED, Seed: 7})
+	dwell := c.cfg.Health.DwellNS
+	var transNS []float64
+	var hops [][2]State
+	c.cfg.OnTransition = func(nowNS float64, from, to State) {
+		transNS = append(transNS, nowNS)
+		hops = append(hops, [2]State{from, to})
+	}
+	rank := map[State]int{StateHealthy: 0, StateRecovering: 1, StateDegraded: 2, StateOverloaded: 3}
+
+	now := 0.0
+	const obsGap = 12_500.0 // DwellNS/4: the testbed's observe cadence
+	sweep := func(from, to float64) {
+		steps := 400
+		for i := 0; i <= steps; i++ {
+			occ := from + (to-from)*float64(i)/float64(steps)
+			now += obsGap
+			c.Observe(now, Signals{Occupancy: occ})
+		}
+	}
+	for cycle := 0; cycle < 20; cycle++ {
+		start := len(hops)
+		sweep(0.05, 0.98) // rising: pressure must only escalate
+		for _, h := range hops[start:] {
+			if rank[h[1]] < rank[h[0]] {
+				t.Fatalf("cycle %d rising sweep de-escalated %v→%v", cycle, h[0], h[1])
+			}
+		}
+		start = len(hops)
+		sweep(0.98, 0.05) // falling: pressure must only release
+		for _, h := range hops[start:] {
+			if rank[h[1]] > rank[h[0]] {
+				t.Fatalf("cycle %d falling sweep re-escalated %v→%v", cycle, h[0], h[1])
+			}
+		}
+		if c.State() != StateHealthy {
+			t.Fatalf("cycle %d did not settle back to healthy (state %v)", cycle, c.State())
+		}
+	}
+	for i := 1; i < len(transNS); i++ {
+		if transNS[i]-transNS[i-1] < dwell {
+			t.Fatalf("transitions %d and %d are %.0f ns apart — flapping inside the %.0f ns dwell window",
+				i-1, i, transNS[i]-transNS[i-1], dwell)
+		}
+	}
+	if len(transNS) == 0 {
+		t.Fatal("soak produced no transitions at all")
+	}
+}
+
+func TestAdmitZeroAlloc(t *testing.T) {
+	c := New(Config{Policy: PolicyRED, Seed: 1})
+	degrade(c, 0)
+	c.occ = 0.6
+	frame := make([]byte, 64)
+	frame[12], frame[13] = 0x08, 0x00
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Admit(ClassOf(frame))
+		c.Observe(1e9, Signals{Occupancy: 0.6})
+	})
+	if allocs != 0 {
+		t.Fatalf("Admit/Observe allocate %.1f per call; the RX hot path must be allocation-free", allocs)
+	}
+}

@@ -1,0 +1,82 @@
+// Admission policies: how a core sheds load at the PMD RX boundary once
+// the control plane decides shedding is necessary. Shedding at RX — before
+// metadata conversion — is the cheapest possible drop: the frame has cost
+// one descriptor poll and nothing else, which is why admission control
+// lives in RxBurst rather than anywhere downstream.
+package overload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Policy selects the admission-control shedder.
+type Policy uint8
+
+const (
+	// PolicyNone admits everything; the health state machine still runs
+	// (for observability and backpressure) but never sheds.
+	PolicyNone Policy = iota
+	// PolicyTailDrop sheds every arrival while occupancy sits at or
+	// above the high watermark — the classic queue-tail behaviour, moved
+	// up to the RX boundary.
+	PolicyTailDrop
+	// PolicyRED sheds probabilistically: admission probability ramps
+	// from 1 at the low watermark to 0 at the high watermark, smearing
+	// drops across flows instead of bursting them (RED without the EWMA,
+	// since ring occupancy is already a smoothed signal here).
+	PolicyRED
+	// PolicyPriority sheds by traffic class: lower classes meet a lower
+	// occupancy threshold, so under sustained overload high-priority
+	// traffic keeps its latency budget while best-effort is shed first.
+	// The class comes from the 802.1Q PCP bits when the frame is tagged,
+	// else the IPv4 precedence bits (top three TOS/DSCP bits).
+	PolicyPriority
+
+	numPolicies
+)
+
+var policyNames = [numPolicies]string{"none", "tail-drop", "red", "priority"}
+
+// String names the policy the way the CLI flags spell it.
+func (p Policy) String() string {
+	if p < numPolicies {
+		return policyNames[p]
+	}
+	return fmt.Sprintf("policy-%d", uint8(p))
+}
+
+// ParsePolicy reads a CLI spelling of a policy name.
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "none", "off":
+		return PolicyNone, nil
+	case "tail-drop", "taildrop", "tail":
+		return PolicyTailDrop, nil
+	case "red":
+		return PolicyRED, nil
+	case "priority", "prio":
+		return PolicyPriority, nil
+	}
+	return PolicyNone, fmt.Errorf("overload: unknown policy %q (want none, tail-drop, red, or priority)", s)
+}
+
+// NumClasses is the traffic-class range ClassOf returns: 3 bits, matching
+// both 802.1Q PCP and IPv4 precedence. Class 7 is shed last.
+const NumClasses = 8
+
+// ClassOf extracts a frame's traffic class for the priority shedder:
+// the 802.1Q PCP bits when tagged, else the IPv4 precedence bits, else 0
+// (best effort). Allocation-free and safe on runts.
+func ClassOf(frame []byte) uint8 {
+	if len(frame) < 15 {
+		return 0
+	}
+	switch {
+	case frame[12] == 0x81 && frame[13] == 0x00: // 802.1Q tag
+		return frame[14] >> 5 // PCP
+	case frame[12] == 0x08 && frame[13] == 0x00: // IPv4
+		return frame[15] >> 5 // TOS precedence (byte 1 of the IP header)
+	}
+	return 0
+}

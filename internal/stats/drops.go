@@ -42,6 +42,22 @@ const (
 	DropWireFault
 	// DropLinkDown: the frame arrived during an injected link flap.
 	DropLinkDown
+	// DropOverloadShed: the overload control plane's tail-drop shedder
+	// refused the frame at the PMD RX boundary, before conversion cost
+	// was paid.
+	DropOverloadShed
+	// DropOverloadRED: the RED-style probabilistic shedder dropped the
+	// frame with occupancy-proportional probability.
+	DropOverloadRED
+	// DropOverloadPrio: the priority-aware shedder refused the frame
+	// because its traffic class did not clear the occupancy threshold.
+	DropOverloadPrio
+	// DropOverloadRestart: the watchdog's drain-and-restart recovery
+	// flushed the frame from a wedged pipeline's queues.
+	DropOverloadRestart
+	// DropTxTransient: a live wire send failed with a transient errno
+	// (EAGAIN/ENOBUFS) and stayed failed after bounded-backoff retries.
+	DropTxTransient
 
 	// NumDropReasons bounds the taxonomy.
 	NumDropReasons
@@ -56,6 +72,18 @@ var dropNames = [NumDropReasons]string{
 	"tx-ring-full",
 	"wire-fault",
 	"link-down",
+	"overload-shed",
+	"overload-red",
+	"overload-prio",
+	"overload-restart",
+	"tx-transient",
+}
+
+// IsOverload reports whether r belongs to the DropOverload* family —
+// sheds and flushes initiated by the overload control plane rather than
+// by resource exhaustion inside the datapath.
+func (r DropReason) IsOverload() bool {
+	return r >= DropOverloadShed && r <= DropOverloadRestart
 }
 
 // String names the reason the way run reports print it.

@@ -336,7 +336,8 @@ type QueueReport struct {
 	RxDropRunt  uint64 `json:"rx_drop_runt"`
 	TxSent      uint64 `json:"tx_sent"`
 	TxBytes     uint64 `json:"tx_bytes"`
-	TxDropFull  uint64 `json:"tx_drop_ring_full"`
+	TxDropFull      uint64 `json:"tx_drop_ring_full"`
+	TxDropTransient uint64 `json:"tx_drop_transient,omitempty"`
 	// PMD side.
 	Polls           uint64 `json:"polls"`
 	EmptyPolls      uint64 `json:"empty_polls"`
@@ -430,6 +431,27 @@ type Report struct {
 	Spans       []SpanReport      `json:"spans"`
 	Attribution Attribution       `json:"attribution"`
 	Intervals   []Interval        `json:"intervals,omitempty"`
+	// Overload is present when the overload control plane ran: one entry
+	// per core with its health lifecycle and shed/backpressure ledger.
+	Overload []OverloadCoreReport `json:"overload,omitempty"`
+}
+
+// OverloadCoreReport is one core's overload-control-plane summary. The
+// state and policy fields carry the control plane's string spellings so
+// the report stays readable without the overload package's enums.
+type OverloadCoreReport struct {
+	Core        int    `json:"core"`
+	Policy      string `json:"policy"`
+	State       string `json:"state"`
+	Transitions uint64 `json:"transitions"`
+	// TimeInUS maps state name to microseconds spent there.
+	TimeInUS map[string]float64 `json:"time_in_us"`
+	AdmitOK  uint64             `json:"admit_ok"`
+	Sheds    uint64             `json:"sheds"`
+	Pauses   uint64             `json:"pauses"`
+	PausedUS float64            `json:"paused_us"`
+	// WatchdogRestarts counts drain-and-restart recoveries on this core.
+	WatchdogRestarts uint64 `json:"watchdog_restarts,omitempty"`
 }
 
 // JSON renders the report with stable indentation.

@@ -98,6 +98,7 @@ func (d *DUT) wireSnapshot(engines []Engine, elapsed time.Duration) *trace.Snaps
 			drops.Add(stats.DropRxRingFull, rxs.DropFull)
 			drops.Add(stats.DropRxRunt, rxs.DropRunt)
 			drops.Add(stats.DropTxRingFull, txs.DropFull)
+			drops.Add(stats.DropTxTransient, txs.DropTransient)
 			drops.Merge(&port.Drops)
 			e2e.Merge(port.LatHist)
 		}
@@ -113,6 +114,27 @@ func (d *DUT) wireSnapshot(engines []Engine, elapsed time.Duration) *trace.Snaps
 	}
 	add("packetmill_tx_backlog", "Packets queued behind full TX rings.",
 		"gauge", nil, float64(backlog))
+	// Overload control plane, one series per core (families appear only
+	// when the control plane is armed).
+	for c, ctl := range d.Ctls {
+		st := ctl.Status(float64(elapsed))
+		cl := [][2]string{{"core", strconv.Itoa(c)}}
+		add("packetmill_health_state",
+			"Overload health state (0 healthy, 1 degraded, 2 overloaded, 3 recovering).",
+			"gauge", cl, float64(st.State))
+		add("packetmill_health_transitions_total",
+			"Health state-machine transitions.", "counter", cl, float64(st.Transitions))
+		add("packetmill_overload_sheds_total",
+			"Frames shed by RX admission control.", "counter", cl, float64(st.Sheds))
+		add("packetmill_overload_admits_total",
+			"Frames admitted past RX admission control.", "counter", cl, float64(st.AdmitOK))
+		add("packetmill_backpressure_sources",
+			"Stages currently holding backpressure on this core.",
+			"gauge", cl, float64(ctl.PressureSources()))
+		add("packetmill_backpressure_pauses_total",
+			"RX pause intervals entered (lossless backpressure).",
+			"counter", cl, float64(st.Pauses))
+	}
 	// Every reason is exported, including zero counts, so dashboards see
 	// a stable family the moment the endpoint comes up.
 	for r := stats.DropReason(0); r < stats.NumDropReasons; r++ {
@@ -173,6 +195,9 @@ func (d *DUT) wireReportJSON(engines []Engine, elapsed time.Duration,
 	}
 	res.DropsByReason = *drops
 	res.Dropped = drops.Total()
+	for _, ctl := range d.Ctls {
+		res.Overload = append(res.Overload, ctl.Status(float64(elapsed)))
+	}
 	for _, c := range d.Cores {
 		ct := c.Snapshot()
 		agg.Instructions += ct.Instructions

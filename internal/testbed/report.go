@@ -6,6 +6,7 @@ package testbed
 import (
 	"fmt"
 
+	"packetmill/internal/overload"
 	"packetmill/internal/stats"
 	"packetmill/internal/telemetry"
 	"packetmill/internal/trace"
@@ -124,6 +125,7 @@ func (d *DUT) buildReport(res *Result, lat *stats.LatencyRecorder, e2e *trace.Hi
 				TxSent:          txs.Sent,
 				TxBytes:         txs.Bytes,
 				TxDropFull:      txs.DropFull,
+				TxDropTransient: txs.DropTransient,
 				Polls:           port.Stats.Polls,
 				EmptyPolls:      port.Stats.EmptyPolls,
 				RxPackets:       port.Stats.RxPackets,
@@ -135,6 +137,28 @@ func (d *DUT) buildReport(res *Result, lat *stats.LatencyRecorder, e2e *trace.Hi
 				PendingRx:       uint64(port.Dev.PendingCount()),
 			})
 		}
+	}
+
+	// Overload control plane: one entry per core, state names spelled
+	// out. WatchdogRestarts is run-level (every engine drains together),
+	// so each core entry carries the same count.
+	for c, st := range res.Overload {
+		timeIn := make(map[string]float64, overload.NumStates)
+		for s := overload.State(0); s < overload.NumStates; s++ {
+			timeIn[s.String()] = st.TimeInNS[s] / 1e3
+		}
+		r.Overload = append(r.Overload, telemetry.OverloadCoreReport{
+			Core:             c,
+			Policy:           st.Policy.String(),
+			State:            st.State.String(),
+			Transitions:      st.Transitions,
+			TimeInUS:         timeIn,
+			AdmitOK:          st.AdmitOK,
+			Sheds:            st.Sheds,
+			Pauses:           st.Pauses,
+			PausedUS:         st.PausedNS / 1e3,
+			WatchdogRestarts: res.WatchdogRestarts,
+		})
 	}
 
 	r.BuildSpans(d.Trackers, coreBusy)

@@ -20,6 +20,7 @@ import (
 	"packetmill/internal/machine"
 	"packetmill/internal/memsim"
 	"packetmill/internal/nic"
+	"packetmill/internal/overload"
 	"packetmill/internal/pktbuf"
 	"packetmill/internal/stats"
 	"packetmill/internal/telemetry"
@@ -130,6 +131,12 @@ type Options struct {
 	// latency histograms) to its /metrics and /report endpoints.
 	Metrics *trace.MetricsServer
 
+	// Overload, when non-nil, arms the per-core overload control plane:
+	// admission shedding at the PMD RX boundary, backpressure for
+	// lossless pipelines, and the self-healing health state machine. The
+	// watchdog escalates stalls to drain-and-restart before failing.
+	Overload *overload.Config
+
 	Seed uint64
 }
 
@@ -193,6 +200,14 @@ type Result struct {
 	Routers []*click.Router
 	// Telemetry is the full observability report (when Options.Telemetry).
 	Telemetry *telemetry.Report
+	// Overload is the per-core control-plane status (when Options.Overload).
+	Overload []overload.CoreStatus
+	// WatchdogRestarts counts drain-and-restart recoveries the watchdog
+	// performed instead of failing the run.
+	WatchdogRestarts uint64
+	// ClassLat are per-traffic-class wire-to-wire latency histograms
+	// (when Options.Overload), indexed by overload.ClassOf.
+	ClassLat []*trace.Hist
 }
 
 // DUT is an assembled device under test, reusable across the build-run
@@ -217,6 +232,19 @@ type DUT struct {
 	// Trackers are the per-core telemetry span trackers (nil entries when
 	// telemetry is off). BuildRouters installs them into the routers.
 	Trackers []*telemetry.Tracker
+	// Ctls are the per-core overload controllers (empty when the control
+	// plane is off). NewDUT attaches them to every PMD port and
+	// BuildRouters installs them into the routers.
+	Ctls []*overload.Controller
+}
+
+// Ctl returns core c's overload controller, or nil when the control
+// plane is off — every consumer is nil-safe.
+func (d *DUT) Ctl(c int) *overload.Controller {
+	if c < len(d.Ctls) {
+		return d.Ctls[c]
+	}
+	return nil
 }
 
 // NewDUT assembles machine, NICs, and per-core PMD ports according to the
@@ -270,8 +298,43 @@ func NewDUT(o Options) (*DUT, error) {
 			d.PortsFor[c][n] = port
 		}
 	}
+	d.buildControllers()
 	d.attachTrace()
 	return d, nil
+}
+
+// buildControllers materializes one overload controller per core (when
+// configured) and attaches it to the core's PMD ports. Each core gets
+// its own seeded RED stream, and health transitions land on the core's
+// flight-recorder timeline when tracing is armed.
+func (d *DUT) buildControllers() {
+	o := d.Opts
+	if o.Overload == nil {
+		return
+	}
+	for c := 0; c < o.Cores; c++ {
+		cfg := *o.Overload
+		if cfg.Seed == 0 {
+			cfg.Seed = o.Seed
+		}
+		cfg.Seed += uint64(c)
+		if o.Trace != nil {
+			ct := o.Trace.Core(c)
+			user := cfg.OnTransition
+			cfg.OnTransition = func(nowNS float64, from, to overload.State) {
+				ct.Health(to.String())
+				if user != nil {
+					user(nowNS, from, to)
+				}
+			}
+		}
+		d.Ctls = append(d.Ctls, overload.New(cfg))
+	}
+	for c := range d.PortsFor {
+		for _, port := range d.PortsFor[c] {
+			port.Overload = d.Ctls[c]
+		}
+	}
 }
 
 // attachTrace binds each core's flight recorder to its clock, its span
@@ -444,6 +507,7 @@ func (d *DUT) BuildRouters(g *click.Graph) ([]*click.Router, error) {
 		}
 		rt.Recycle = d.RecycleFor(c)
 		rt.Tel = d.Trackers[c]
+		rt.Overload = d.Ctl(c)
 		if d.Opts.Model == click.XChange && rt.Prof != nil {
 			// Attach the profile to every live X-Change descriptor pool
 			// this core's ports use.
@@ -541,10 +605,48 @@ func (e *clickEngine) TxBacklog() int {
 	return total
 }
 
-// dropStatser and txBacklogger are the optional engine interfaces the
-// harness aggregates over.
+// Occupancy reports the worst fill fraction across the router's
+// buffering elements — the engine-side component of the overload
+// controller's occupancy signal.
+func (e *clickEngine) Occupancy() float64 {
+	worst := 0.0
+	for _, inst := range e.rt.Instances {
+		if oc, ok := inst.El.(interface{ OccupancyFrac() float64 }); ok {
+			if f := oc.OccupancyFrac(); f > worst {
+				worst = f
+			}
+		}
+	}
+	return worst
+}
+
+// DrainRestart flushes every buffering element in the router — the
+// watchdog's self-healing escalation. Flushed packets are booked under
+// DropOverloadRestart and held backpressure is released.
+func (e *clickEngine) DrainRestart(core *machine.Core, now float64) int {
+	e.ec.Core = core
+	e.ec.Now = now
+	e.ec.Rt = e.rt
+	if e.ec.Tel == nil {
+		e.ec.Tel = e.rt.Tel
+	}
+	n := 0
+	for _, inst := range e.rt.Instances {
+		if dre, ok := inst.El.(interface{ DrainRestart(*click.ExecCtx) int }); ok {
+			n += dre.DrainRestart(&e.ec)
+		}
+	}
+	return n
+}
+
+// dropStatser, txBacklogger, occupier, and drainRestarter are the
+// optional engine interfaces the harness aggregates over.
 type dropStatser interface{ DropStats() *stats.DropCounters }
 type txBacklogger interface{ TxBacklog() int }
+type occupier interface{ Occupancy() float64 }
+type drainRestarter interface {
+	DrainRestart(core *machine.Core, now float64) int
+}
 
 // StallError reports a run the watchdog killed: work was pending but
 // nothing progressed for longer than the watchdog budget. Snapshot
@@ -679,6 +781,67 @@ type driver struct {
 	nextSampleNS float64
 	lastSampleNS float64
 	lastSampleTx uint64
+
+	// Overload control-plane observation cadence (per core) and the
+	// per-class latency probes. Empty-poll rates are deltas between
+	// observations, so the last-seen counters ride along.
+	obsEveryNS       float64
+	nextObsNS        []float64
+	lastPolls        []uint64
+	lastEmpty        []uint64
+	classLat         []*trace.Hist
+	watchdogRestarts uint64
+}
+
+// observe feeds core ci's instantaneous signals to its overload
+// controller on the dwell-derived cadence.
+func (dr *driver) observe(ci int, now float64) {
+	if dr.d.Ctl(ci) == nil || now < dr.nextObsNS[ci] {
+		return
+	}
+	dr.nextObsNS[ci] = now + dr.obsEveryNS
+	dr.d.observeCore(dr.engines[ci], ci, now, &dr.lastPolls[ci], &dr.lastEmpty[ci])
+}
+
+// observeCore reads core c's instantaneous signals — worst ring/queue
+// occupancy, empty-poll rate since the last observation, latency p99 —
+// and feeds them to the core's overload controller. lastPolls/lastEmpty
+// carry the PMD poll counters between observations for the rate delta.
+// Shared between the simulated driver and the wall-clock wire loop.
+func (d *DUT) observeCore(eng Engine, c int, now float64, lastPolls, lastEmpty *uint64) {
+	ctl := d.Ctl(c)
+	if ctl == nil {
+		return
+	}
+	var occ, p99 float64
+	var polls, empty uint64
+	for _, port := range d.PortsFor[c] {
+		dev := port.Dev
+		if f := float64(dev.PendingCount()) / float64(dev.RXRingSize()); f > occ {
+			occ = f
+		}
+		if f := float64(dev.InflightCount()) / float64(dev.TXRingSize()); f > occ {
+			occ = f
+		}
+		polls += port.Stats.Polls
+		empty += port.Stats.EmptyPolls
+		if port.LatHist != nil {
+			if v := port.LatHist.Quantile(0.99); v > p99 {
+				p99 = v
+			}
+		}
+	}
+	if oc, ok := eng.(occupier); ok {
+		if f := oc.Occupancy(); f > occ {
+			occ = f
+		}
+	}
+	var emptyRate float64
+	if dp := polls - *lastPolls; dp > 0 {
+		emptyRate = float64(empty-*lastEmpty) / float64(dp)
+	}
+	*lastPolls, *lastEmpty = polls, empty
+	ctl.Observe(now, overload.Signals{Occupancy: occ, EmptyPollRate: emptyRate, P99NS: p99})
 }
 
 // pull advances source n to its next frame.
@@ -751,6 +914,9 @@ func (dr *driver) onDepart(p *pktbuf.Packet, departNS float64) {
 		}
 		dr.lat.Record(departNS - p.ArrivalNS)
 		dr.e2e.Record(departNS - p.ArrivalNS)
+		if dr.classLat != nil {
+			dr.classLat[overload.ClassOf(p.Bytes())].Record(departNS - p.ArrivalNS)
+		}
 		dr.measuredPkts++
 		dr.measuredBytes += uint64(p.Len())
 		if departNS > dr.lastDepartNS {
@@ -844,6 +1010,21 @@ func (d *DUT) Drive(engines []Engine) (*Result, error) {
 	if o.Telemetry {
 		dr.e2e = trace.NewHist()
 	}
+	if len(d.Ctls) > 0 {
+		// Observe a few times per dwell window so the state machine sees
+		// fresh signals without perturbing the steady-state loop.
+		dr.obsEveryNS = d.Ctls[0].DwellNS() / 4
+		if dr.obsEveryNS <= 0 {
+			dr.obsEveryNS = 12.5e3
+		}
+		dr.nextObsNS = make([]float64, o.Cores)
+		dr.lastPolls = make([]uint64, o.Cores)
+		dr.lastEmpty = make([]uint64, o.Cores)
+		dr.classLat = make([]*trace.Hist, overload.NumClasses)
+		for i := range dr.classLat {
+			dr.classLat[i] = trace.NewHist()
+		}
+	}
 
 	// Fault engine: built per run, wired into the layers' hooks. A clean
 	// run leaves every hook nil, so the only datapath cost of the fault
@@ -917,6 +1098,7 @@ func (dr *driver) run() (*Result, error) {
 	}
 	var lastProgressNS float64
 	var lastOffered, lastDeparted uint64
+	restarted := false // one drain-and-restart per stall window
 
 	idleStreak := 0
 	for {
@@ -930,10 +1112,12 @@ func (dr *driver) run() (*Result, error) {
 		now := core.NowNS()
 		dr.deliverUntil(now)
 		dr.sample(now)
+		dr.observe(ci, now)
 		moved := engines[ci].Step(core, now)
 		if moved > 0 || dr.offered != lastOffered || dr.departed != lastDeparted {
 			lastProgressNS = now
 			lastOffered, lastDeparted = dr.offered, dr.departed
+			restarted = false
 		}
 		if moved > 0 {
 			idleStreak = 0
@@ -942,6 +1126,26 @@ func (dr *driver) run() (*Result, error) {
 		idleStreak++
 		pending := !dr.sourcesDone() || dr.pendingRx() || dr.txBacklog() > 0
 		if watchdogNS > 0 && pending && now-lastProgressNS > watchdogNS {
+			// With the control plane armed, the first trip self-heals:
+			// drain every buffering element (booked as overload-restart
+			// drops), release stuck backpressure, and force the health
+			// machines into Recovering. Only a second consecutive trip —
+			// no progress since the restart — fails the run.
+			if len(d.Ctls) > 0 && !restarted {
+				restarted = true
+				for i, e := range engines {
+					if dre, ok := e.(drainRestarter); ok {
+						dre.DrainRestart(d.Cores[i], d.Cores[i].NowNS())
+					}
+				}
+				for c := 0; c < o.Cores; c++ {
+					d.Ctl(c).ForceRecover(now)
+					d.Ctl(c).ResetPressure(now)
+				}
+				dr.watchdogRestarts++
+				lastProgressNS = now
+				continue
+			}
 			snap := d.snapshot(engines)
 			if path := d.dumpStallTrace(); path != "" {
 				snap += fmt.Sprintf("  flight-recorder dump: %s\n", path)
@@ -1025,6 +1229,19 @@ func (dr *driver) run() (*Result, error) {
 	if dr.fe != nil {
 		st := dr.fe.Injected
 		res.FaultStats = &st
+	}
+	if len(d.Ctls) > 0 {
+		end := 0.0
+		for _, c := range d.Cores {
+			if c.NowNS() > end {
+				end = c.NowNS()
+			}
+		}
+		for _, ctl := range d.Ctls {
+			res.Overload = append(res.Overload, ctl.Status(end))
+		}
+		res.WatchdogRestarts = dr.watchdogRestarts
+		res.ClassLat = dr.classLat
 	}
 	if o.Telemetry {
 		res.Telemetry = d.buildReport(res, dr.lat, dr.e2e, dr.intervals)

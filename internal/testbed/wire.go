@@ -63,6 +63,7 @@ func NewWireDUT(o Options, devs []nic.Port) (*DUT, error) {
 		}
 		d.PortsFor[0][i] = port
 	}
+	d.buildControllers()
 	d.attachTrace()
 	return d, nil
 }
@@ -93,6 +94,20 @@ func (d *DUT) ServeWire(ctx context.Context, engines []Engine,
 		}
 	}
 	lastPublish := start
+	// Overload observation on the wire runs against the wall clock; the
+	// cadence is the same dwell-derived fraction the simulated driver uses.
+	var obsEveryNS float64
+	var nextObsNS []float64
+	var obsPolls, obsEmpty []uint64
+	if len(d.Ctls) > 0 {
+		obsEveryNS = d.Ctls[0].DwellNS() / 4
+		if obsEveryNS <= 0 {
+			obsEveryNS = 12.5e3
+		}
+		nextObsNS = make([]float64, len(engines))
+		obsPolls = make([]uint64, len(engines))
+		obsEmpty = make([]uint64, len(engines))
+	}
 	var st WireServeStats
 	for {
 		select {
@@ -103,6 +118,12 @@ func (d *DUT) ServeWire(ctx context.Context, engines []Engine,
 		default:
 		}
 		now := float64(time.Since(start))
+		for i := range nextObsNS {
+			if i < len(d.Ctls) && now >= nextObsNS[i] {
+				nextObsNS[i] = now + obsEveryNS
+				d.observeCore(engines[i], i, now, &obsPolls[i], &obsEmpty[i])
+			}
+		}
 		moved := 0
 		for i, e := range engines {
 			moved += e.Step(d.Cores[i], now)

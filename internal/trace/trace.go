@@ -13,6 +13,7 @@ const (
 	EvDepart               // sampled packet handed to the TX ring
 	EvDrop                 // sampled packet dropped; Name is the reason
 	EvFault                // fault injection fired on this core
+	EvHealth               // overload health-state transition; Name is the new state
 )
 
 // Event is one flight-recorder entry: {core, seq, stage/element,
@@ -244,6 +245,21 @@ func (ct *CoreTrace) Fault(name string) {
 		Name:  name,
 		Stage: "fault",
 		Kind:  EvFault,
+	})
+}
+
+// Health records an overload health-state transition on this core.
+// Like faults, transitions are rare and always post-mortem-relevant,
+// so they bypass the sampler. Name strings are the static State names.
+func (ct *CoreTrace) Health(state string) {
+	if ct == nil {
+		return
+	}
+	ct.push(Event{
+		TSNS:  ct.now(),
+		Name:  state,
+		Stage: "health",
+		Kind:  EvHealth,
 	})
 }
 

@@ -1,0 +1,167 @@
+// Overload workloads: sources that stress the control plane rather than
+// model a trace. Merge interleaves streams by arrival time (the building
+// block for class mixes), PriorityMix layers a high-precedence stream on
+// the campus mix, Burst re-times any source into on/off trains, and
+// Flood compresses pacing so the same frames arrive at a multiple of the
+// configured rate — the "offered = N× capacity" knob the overload
+// exhibits sweep.
+package trafficgen
+
+import "math"
+
+// Merge interleaves several sources by arrival time. The merged stream
+// is deterministic given its inputs; frames remain valid only until the
+// next call, as the Source contract requires.
+type Merge struct {
+	srcs  []Source
+	heads []srcHead
+	last  int // head to re-pull on the next call (-1 = none)
+}
+
+type srcHead struct {
+	frame []byte
+	ns    float64
+	ok    bool
+}
+
+// NewMerge builds the time-ordered interleaving of srcs.
+func NewMerge(srcs ...Source) *Merge {
+	m := &Merge{srcs: srcs, heads: make([]srcHead, len(srcs)), last: -1}
+	for i := range srcs {
+		m.pull(i)
+	}
+	return m
+}
+
+func (m *Merge) pull(i int) {
+	f, ns, ok := m.srcs[i].Next()
+	m.heads[i] = srcHead{frame: f, ns: ns, ok: ok}
+}
+
+// Next implements Source: the earliest pending head wins.
+func (m *Merge) Next() ([]byte, float64, bool) {
+	// The previously returned frame lives in its source's scratch; only
+	// now that the caller is done with it may that source advance.
+	if m.last >= 0 {
+		m.pull(m.last)
+		m.last = -1
+	}
+	best, bestNS := -1, math.Inf(1)
+	for i, h := range m.heads {
+		if h.ok && h.ns < bestNS {
+			best, bestNS = i, h.ns
+		}
+	}
+	if best < 0 {
+		return nil, 0, false
+	}
+	m.last = best
+	return m.heads[best].frame, m.heads[best].ns, true
+}
+
+// Remaining implements Source.
+func (m *Merge) Remaining() int {
+	n := 0
+	for i, s := range m.srcs {
+		n += s.Remaining()
+		if m.heads[i].ok && i != m.last {
+			n++
+		}
+	}
+	if m.last >= 0 {
+		n += 1 // the un-pulled replacement for the frame just returned
+	}
+	return n
+}
+
+// NewPriorityMix layers a high-precedence campus stream over the normal
+// one: hiShare of the frames (and of the wire rate) carry hiTOS in their
+// IPv4 TOS byte, so the overload priority shedder protects them while
+// the best-effort remainder sheds first. hiTOS 0xE0 maps to class 7.
+func NewPriorityMix(cfg Config, hiShare float64, hiTOS uint8) Source {
+	cfg = cfg.withDefaults()
+	if hiShare <= 0 || hiShare >= 1 {
+		hi := cfg
+		if hiShare >= 1 {
+			hi.TOS = hiTOS
+		}
+		return NewCampus(hi)
+	}
+	hi := cfg
+	hi.TOS = hiTOS
+	hi.Count = int(float64(cfg.Count)*hiShare + 0.5)
+	hi.RateGbps = cfg.RateGbps * hiShare
+	hi.Seed = cfg.Seed ^ 0x9d10
+	lo := cfg
+	lo.Count = cfg.Count - hi.Count
+	lo.RateGbps = cfg.RateGbps * (1 - hiShare)
+	return NewMerge(NewCampus(hi), NewCampus(lo))
+}
+
+// Burst re-times an inner source into on/off trains: frames arrive
+// back-to-back (intraNS apart) in groups of n, with gapNS of silence
+// between groups. The overload state machine's dwell hysteresis is what
+// keeps trains like these from flapping the health state.
+type Burst struct {
+	src     Source
+	n       int
+	gapNS   float64
+	intraNS float64
+	i       int
+	clockNS float64
+}
+
+// NewBurst wraps src; n is the burst length, gapNS the inter-burst gap.
+func NewBurst(src Source, n int, gapNS float64) *Burst {
+	if n <= 0 {
+		n = 32
+	}
+	return &Burst{src: src, n: n, gapNS: gapNS, intraNS: 10}
+}
+
+// Next implements Source.
+func (b *Burst) Next() ([]byte, float64, bool) {
+	f, _, ok := b.src.Next()
+	if !ok {
+		return nil, 0, false
+	}
+	if b.i == b.n {
+		b.i = 0
+		b.clockNS += b.gapNS
+	}
+	ns := b.clockNS + float64(b.i)*b.intraNS
+	b.i++
+	if b.i == b.n {
+		b.clockNS = ns
+	}
+	return f, ns, true
+}
+
+// Remaining implements Source.
+func (b *Burst) Remaining() int { return b.src.Remaining() }
+
+// Flood compresses an inner source's pacing by a constant factor: the
+// same frames arrive in 1/factor the time, offering factor× the
+// configured wire rate. This is the sustained-overload knob: factor 4
+// against a saturated DUT is the acceptance exhibit's 4× load.
+type Flood struct {
+	src    Source
+	factor float64
+}
+
+// NewFlood wraps src with pacing compressed by factor (>1 overloads).
+func NewFlood(src Source, factor float64) *Flood {
+	if factor <= 0 {
+		factor = 1
+	}
+	return &Flood{src: src, factor: factor}
+}
+
+// Next implements Source.
+func (f *Flood) Next() ([]byte, float64, bool) {
+	frame, ns, ok := f.src.Next()
+	return frame, ns / f.factor, ok
+}
+
+// Remaining implements Source.
+func (f *Flood) Remaining() int { return f.src.Remaining() }

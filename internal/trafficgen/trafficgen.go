@@ -41,6 +41,10 @@ type Config struct {
 	// the workload that exposed the RSS queue-collapse bug (a NIC that
 	// cannot hash past the tag pins all tagged traffic to queue 0).
 	VLANID uint16
+	// TOS, when non-zero, is written into every IPv4 header's TOS byte.
+	// Its top three bits (IP precedence) are the traffic class the
+	// overload control plane's priority shedder reads.
+	TOS uint8
 }
 
 // withDefaults fills unset fields.
@@ -154,6 +158,11 @@ func (g *Gen) buildFlows() {
 			f.proto = netpkt.ProtoICMP
 			f.template = netpkt.BuildICMPEcho(make([]byte, maxFrame),
 				g.cfg.SrcMAC, g.cfg.DstMAC, src, dst, uint16(i), 0, maxFrame)
+		}
+		if g.cfg.TOS != 0 {
+			// Stamp the template's TOS byte; patchLengths re-checksums the
+			// IP header per emitted frame, so the stamp survives sizing.
+			f.template[netpkt.EtherHdrLen+1] = g.cfg.TOS
 		}
 		g.flows = append(g.flows, f)
 	}

@@ -18,9 +18,11 @@
 package wire
 
 import (
+	"errors"
 	"math"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 
 	"packetmill/internal/machine"
@@ -43,6 +45,10 @@ type Config struct {
 	MTU int
 	// RXRing/TXRing bound the descriptor rings (0 means 256).
 	RXRing, TXRing int
+	// Redial, when set, reopens the RX socket after repeated read
+	// errors: the old conn is closed and the returned one takes its
+	// place — the self-healing path for a peer that restarted.
+	Redial func() (net.Conn, error)
 }
 
 func (c *Config) fill() {
@@ -116,9 +122,25 @@ type Port struct {
 
 	rxStats nic.RXQueueStats
 	txStats nic.TXQueueStats
+	reopens uint64
 
 	closed bool
 	done   chan struct{}
+}
+
+// txMaxRetries bounds the in-place retries a transient TX errno gets
+// before the frame is booked under the transient-drop counter.
+const txMaxRetries = 3
+
+// isTransient classifies the errnos a loaded-but-alive socket returns —
+// would-block (EAGAIN) and kernel buffer exhaustion (ENOBUFS/ENOMEM) —
+// which deserve a bounded retry rather than an immediate drop. Anything
+// else (peer gone, fd closed) is a hard error.
+func isTransient(err error) bool {
+	return errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.EWOULDBLOCK) ||
+		errors.Is(err, syscall.ENOBUFS) ||
+		errors.Is(err, syscall.ENOMEM)
 }
 
 var _ nic.Port = (*Port)(nil)
@@ -160,6 +182,7 @@ func NewPort(cfg Config, rxConn, txConn net.Conn) *Port {
 func (p *Port) drainRX() {
 	defer close(p.done)
 	scratch := make([]byte, p.cfg.MTU)
+	consecErrs := 0
 	for {
 		p.mu.Lock()
 		slot := -1
@@ -167,6 +190,7 @@ func (p *Port) drainRX() {
 			slot = p.free.pop()
 		}
 		closed := p.closed
+		conn := p.rxConn // snapshot: Redial may swap the field under the lock
 		p.mu.Unlock()
 		if closed {
 			return
@@ -175,7 +199,7 @@ func (p *Port) drainRX() {
 		if slot >= 0 {
 			buf = p.slots[slot]
 		}
-		n, err := p.rxConn.Read(buf)
+		n, err := conn.Read(buf)
 		p.mu.Lock()
 		switch {
 		case err != nil:
@@ -187,7 +211,31 @@ func (p *Port) drainRX() {
 			if closed {
 				return
 			}
-			// Transient error on a live socket: keep draining.
+			// Back off while the socket misbehaves (linear ramp, capped)
+			// so a dead peer doesn't spin this goroutine flat out, then
+			// escalate to a reopen once the errors look persistent.
+			consecErrs++
+			d := time.Duration(consecErrs) * 100 * time.Microsecond
+			if d > 10*time.Millisecond {
+				d = 10 * time.Millisecond
+			}
+			time.Sleep(d)
+			if p.cfg.Redial != nil && consecErrs >= 3 {
+				if nc, rerr := p.cfg.Redial(); rerr == nil {
+					p.mu.Lock()
+					if p.closed {
+						p.mu.Unlock()
+						nc.Close()
+						return
+					}
+					old := p.rxConn
+					p.rxConn = nc
+					p.reopens++
+					p.mu.Unlock()
+					old.Close()
+					consecErrs = 0
+				}
+			}
 			continue
 		case slot < 0:
 			p.rxStats.DropFull++
@@ -200,6 +248,7 @@ func (p *Port) drainRX() {
 			p.rxStats.Delivered++
 			p.rxStats.Bytes += uint64(n)
 		}
+		consecErrs = 0
 		p.mu.Unlock()
 	}
 }
@@ -208,18 +257,27 @@ func (p *Port) drainRX() {
 func (p *Port) Close() error {
 	p.mu.Lock()
 	p.closed = true
+	rx, tx := p.rxConn, p.txConn
 	p.mu.Unlock()
 	var err error
-	if p.rxConn != nil {
-		err = p.rxConn.Close()
+	if rx != nil {
+		err = rx.Close()
 	}
-	if p.txConn != nil {
-		if e := p.txConn.Close(); err == nil {
+	if tx != nil {
+		if e := tx.Close(); err == nil {
 			err = e
 		}
 	}
 	<-p.done
 	return err
+}
+
+// Reopens reports how many times the RX socket was redialed after
+// persistent read errors.
+func (p *Port) Reopens() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.reopens
 }
 
 // PortName implements nic.Port.
@@ -331,10 +389,30 @@ func (p *Port) Enqueue(core *machine.Core, pkt *pktbuf.Packet, nowNS float64) bo
 		return true
 	}
 	if p.txConn != nil {
-		if _, err := p.txConn.Write(pkt.Bytes()); err != nil {
-			// A full peer socket buffer is the wire overrunning the
-			// receiver: drop, recycle the buffer.
-			p.txStats.DropFull++
+		var err error
+		backoff := 50 * time.Microsecond
+		for attempt := 0; ; attempt++ {
+			_, err = p.txConn.Write(pkt.Bytes())
+			if err == nil || !isTransient(err) || attempt >= txMaxRetries || p.closed {
+				break
+			}
+			// Transient errno (EAGAIN/ENOBUFS): bounded doubling backoff,
+			// lock released so Poll/Reap keep moving while we wait.
+			p.mu.Unlock()
+			time.Sleep(backoff)
+			backoff *= 2
+			p.mu.Lock()
+		}
+		if err != nil {
+			// A transient errno that survived the retries is the kernel
+			// buffer overrunning; a hard error is the peer overrun or
+			// gone. Distinct counters so dashboards can tell congestion
+			// from breakage. Either way the buffer cycles back via Reap.
+			if isTransient(err) {
+				p.txStats.DropTransient++
+			} else {
+				p.txStats.DropFull++
+			}
 			p.pushInflight(txRec{pkt: pkt, departWall: now})
 			return true
 		}
