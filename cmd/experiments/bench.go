@@ -37,6 +37,7 @@ func datapathBench() ([]datapathEntry, error) {
 		config   string
 		model    click.MetadataModel
 		mill     bool
+		cores    int
 		overload *overload.Config
 	}{
 		{name: "mirror-copying", config: nf.Mirror(0, 32), model: click.Copying},
@@ -44,6 +45,11 @@ func datapathBench() ([]datapathEntry, error) {
 		{name: "router-milled", config: nf.Router(32), model: click.XChange, mill: true},
 		{name: "mirror-xchange-overload", config: nf.Mirror(0, 32), model: click.XChange,
 			overload: &overload.Config{Policy: overload.PolicyTailDrop}},
+		// The per-core datapaths must not dilute: offered load scales with
+		// the core count (100 Gbps per core), so pps/core at N cores is
+		// gated against the same 10% band as the single-core rows.
+		{name: "mirror-xchange-2core", config: nf.Mirror(0, 32), model: click.XChange, cores: 2},
+		{name: "mirror-xchange-4core", config: nf.Mirror(0, 32), model: click.XChange, cores: 4},
 	}
 	var out []datapathEntry
 	for _, c := range cases {
@@ -57,9 +63,14 @@ func datapathBench() ([]datapathEntry, error) {
 				return nil, fmt.Errorf("bench %s: %w", c.name, err)
 			}
 		}
+		cores := c.cores
+		if cores == 0 {
+			cores = 1
+		}
+		nPackets := packets * cores
 		o := testbed.Options{
-			FreqGHz: 2.3, RateGbps: 100, Packets: packets,
-			Seed: 1, Overload: c.overload,
+			FreqGHz: 2.3, RateGbps: 100 * float64(cores), Packets: nPackets,
+			Seed: 1, Cores: cores, Overload: c.overload,
 		}
 		runtime.GC()
 		runtime.GC()
@@ -72,10 +83,10 @@ func datapathBench() ([]datapathEntry, error) {
 		}
 		out = append(out, datapathEntry{
 			Name:         c.name,
-			PpsPerCore:   res.Mpps() * 1e6,
-			GbpsPerCore:  res.Gbps(),
-			Packets:      packets,
-			AllocsPerPkt: float64(after.Mallocs-before.Mallocs) / float64(packets),
+			PpsPerCore:   res.Mpps() * 1e6 / float64(cores),
+			GbpsPerCore:  res.Gbps() / float64(cores),
+			Packets:      nPackets,
+			AllocsPerPkt: float64(after.Mallocs-before.Mallocs) / float64(nPackets),
 		})
 	}
 	return out, nil

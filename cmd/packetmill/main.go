@@ -337,22 +337,64 @@ func runWire(p *core.Pipeline, base testbed.Options, rxAddr, txAddr, metricsAddr
 			fatal(err)
 		}
 	}
-	dev := wire.NewPort(wire.Config{Name: "wire0"}, rxConn, txConn)
-	defer dev.Close()
-
 	o := pipelineOptions(p, base)
-	note("; serving on rx=%s tx=%s (model %s)\n", rxAddr, txAddr, o.Model)
-	d, st, err := testbed.ServeWireGraph(context.Background(), p.Plan.Graph, o,
-		[]nic.Port{dev}, idle, uint64(maxPackets))
+	var devsPerCore [][]nic.Port
+	var fanout *wire.Fanout
+	if base.Cores > 1 {
+		// N run-to-completion cores behind one socket: a software-RSS
+		// fanout demuxes the RX stream by flow hash into per-core queues
+		// (TX is interleaved onto the shared socket).
+		if rxConn == nil {
+			fatal(fmt.Errorf("-cores %d with -io wire needs -wire-rx (the fanout demuxes the RX stream)", base.Cores))
+		}
+		fanout = wire.NewFanout(wire.Config{Name: "wire0"}, base.Cores, rxConn, txConn)
+		defer fanout.Close()
+		for c := 0; c < base.Cores; c++ {
+			devsPerCore = append(devsPerCore, []nic.Port{fanout.Queue(c)})
+		}
+		note("; serving on rx=%s tx=%s (model %s, %d cores, %d-bucket fanout)\n",
+			rxAddr, txAddr, o.Model, base.Cores, wire.FanoutBuckets)
+	} else {
+		dev := wire.NewPort(wire.Config{Name: "wire0"}, rxConn, txConn)
+		defer dev.Close()
+		devsPerCore = [][]nic.Port{{dev}}
+		note("; serving on rx=%s tx=%s (model %s)\n", rxAddr, txAddr, o.Model)
+	}
+	d, st, err := testbed.ServeWireGraphPerCore(context.Background(), p.Plan.Graph, o,
+		devsPerCore, idle, uint64(maxPackets))
 	if err != nil {
 		fatal(err)
 	}
-	rxs, txs := dev.RXStats(), dev.TXStats()
 	fmt.Printf("wire session:   %d scheduling rounds, %d packets moved\n", st.Steps, st.Packets)
+	var arx nic.RXQueueStats
+	var atx nic.TXQueueStats
+	for c, devs := range devsPerCore {
+		rxs, txs := devs[0].RXStats(), devs[0].TXStats()
+		if len(devsPerCore) > 1 {
+			fmt.Printf("core %d rx:      %d frames (%d bytes), drops: nobuf=%d full=%d runt=%d\n",
+				c, rxs.Delivered, rxs.Bytes, rxs.DropNoBuf, rxs.DropFull, rxs.DropRunt)
+			fmt.Printf("core %d tx:      %d frames (%d bytes), drops: full=%d transient=%d oversize=%d\n",
+				c, txs.Sent, txs.Bytes, txs.DropFull, txs.DropTransient, txs.DropOversize)
+		}
+		arx.Delivered += rxs.Delivered
+		arx.Bytes += rxs.Bytes
+		arx.DropNoBuf += rxs.DropNoBuf
+		arx.DropFull += rxs.DropFull
+		arx.DropRunt += rxs.DropRunt
+		atx.Sent += txs.Sent
+		atx.Bytes += txs.Bytes
+		atx.DropFull += txs.DropFull
+		atx.DropTransient += txs.DropTransient
+		atx.DropOversize += txs.DropOversize
+	}
 	fmt.Printf("rx:             %d frames (%d bytes), drops: nobuf=%d full=%d runt=%d\n",
-		rxs.Delivered, rxs.Bytes, rxs.DropNoBuf, rxs.DropFull, rxs.DropRunt)
-	fmt.Printf("tx:             %d frames (%d bytes), drops: full=%d\n",
-		txs.Sent, txs.Bytes, txs.DropFull)
+		arx.Delivered, arx.Bytes, arx.DropNoBuf, arx.DropFull, arx.DropRunt)
+	fmt.Printf("tx:             %d frames (%d bytes), drops: full=%d transient=%d oversize=%d\n",
+		atx.Sent, atx.Bytes, atx.DropFull, atx.DropTransient, atx.DropOversize)
+	if fanout != nil {
+		fmt.Printf("fanout:         %d bucket migrations, %d socket reopens\n",
+			fanout.Rebalances(), fanout.Reopens())
+	}
 	if err := d.Audit(); err != nil {
 		fatal(err)
 	}

@@ -78,6 +78,9 @@ type TXQueueStats struct {
 	// (EAGAIN/ENOBUFS on a live wire) that stayed failed after
 	// bounded-backoff retries — distinct from ring-full drops.
 	DropTransient uint64
+	// DropOversize counts frames refused at the TX boundary for
+	// exceeding the port MTU — a configuration error, not congestion.
+	DropOversize uint64
 }
 
 // MinFrameSize is the smallest frame the MAC accepts (Ethernet's 64-byte
@@ -371,13 +374,20 @@ func (n *NIC) RSSQueue(frame []byte) int {
 // on real frames).
 func HashFrame(frame []byte) uint32 { return rssHash(frame) }
 
-// FrameVlanTCI extracts the 802.1Q TCI the adapter strips into the
-// descriptor, or 0 for untagged (or too-short) frames.
+// FrameVlanTCI extracts the outer VLAN TCI the adapter strips into the
+// descriptor, or 0 for untagged (or too-short) frames. Both shim TPIDs
+// are accepted — 802.1Q (0x8100) and 802.1ad/QinQ (0x88a8) — matching
+// the shim walk rssHash performs, so a QinQ frame's descriptor carries
+// its service tag instead of a bogus zero.
 func FrameVlanTCI(frame []byte) uint16 {
-	if len(frame) >= 16 && frame[12] == 0x81 && frame[13] == 0x00 {
-		return uint16(frame[14])<<8 | uint16(frame[15])
+	if len(frame) < netpkt.EtherHdrLen+2 {
+		return 0
 	}
-	return 0
+	et := uint16(frame[12])<<8 | uint16(frame[13])
+	if et != netpkt.EtherTypeVLAN && et != netpkt.EtherTypeQinQ {
+		return 0
+	}
+	return uint16(frame[14])<<8 | uint16(frame[15])
 }
 
 func rssHash(frame []byte) uint32 {

@@ -92,6 +92,33 @@ func TestRSSNonIPv4NotConstant(t *testing.T) {
 	}
 }
 
+// TestFrameVlanTCIBothTPIDs: the stripped-tag extraction must accept
+// both shim TPIDs — 802.1Q (0x8100) and 802.1ad/QinQ (0x88a8) — the same
+// way the rssHash shim walk does. Before the fix a QinQ frame's
+// descriptor carried VlanTCI 0 while its RSS hash still skipped the
+// shim, so the two disagreed about whether the frame was tagged.
+func TestFrameVlanTCIBothTPIDs(t *testing.T) {
+	mk := func(tpid, tci uint16) []byte {
+		f := make([]byte, 64)
+		f[12], f[13] = byte(tpid>>8), byte(tpid)
+		f[14], f[15] = byte(tci>>8), byte(tci)
+		f[16], f[17] = 0x08, 0x00
+		return f
+	}
+	if got := FrameVlanTCI(mk(netpkt.EtherTypeVLAN, 0x0123)); got != 0x0123 {
+		t.Fatalf("802.1Q TCI = %#x, want 0x0123", got)
+	}
+	if got := FrameVlanTCI(mk(netpkt.EtherTypeQinQ, 0x2456)); got != 0x2456 {
+		t.Fatalf("QinQ service tag = %#x, want 0x2456", got)
+	}
+	if got := FrameVlanTCI(mk(netpkt.EtherTypeIPv4, 0xbeef)); got != 0 {
+		t.Fatalf("untagged frame TCI = %#x, want 0", got)
+	}
+	if got := FrameVlanTCI(make([]byte, netpkt.EtherHdrLen+1)); got != 0 {
+		t.Fatalf("short frame TCI = %#x, want 0", got)
+	}
+}
+
 // TestDeliverShortVLANFrameSafe is the bounds-guard regression for the
 // Deliver TCI read: a frame that looks like 802.1Q but ends before the
 // TCI must not read past the buffer. (Today the runt check drops it

@@ -58,6 +58,11 @@ const (
 	// DropTxTransient: a live wire send failed with a transient errno
 	// (EAGAIN/ENOBUFS) and stayed failed after bounded-backoff retries.
 	DropTxTransient
+	// DropTxOversize: the frame exceeded the port's MTU and was refused
+	// at the TX boundary — a configuration error (mismatched MTUs, a
+	// missing fragmentation element), not ring congestion, so it gets
+	// its own reason instead of polluting tx-ring-full.
+	DropTxOversize
 
 	// NumDropReasons bounds the taxonomy.
 	NumDropReasons
@@ -77,6 +82,7 @@ var dropNames = [NumDropReasons]string{
 	"overload-prio",
 	"overload-restart",
 	"tx-transient",
+	"tx-oversize",
 }
 
 // IsOverload reports whether r belongs to the DropOverload* family —

@@ -338,6 +338,7 @@ type QueueReport struct {
 	TxBytes     uint64 `json:"tx_bytes"`
 	TxDropFull      uint64 `json:"tx_drop_ring_full"`
 	TxDropTransient uint64 `json:"tx_drop_transient,omitempty"`
+	TxDropOversize  uint64 `json:"tx_drop_oversize,omitempty"`
 	// PMD side.
 	Polls           uint64 `json:"polls"`
 	EmptyPolls      uint64 `json:"empty_polls"`

@@ -1,8 +1,10 @@
 // Live metrics: folding the DUT's counters into trace.Snapshot values
-// for the -metrics HTTP exporter while a wire session is serving. The
-// serve loop owns every counter it reads (single-threaded datapath), so
-// a snapshot is built without locks and published as an immutable value;
-// scrape handlers only ever read published snapshots.
+// for the -metrics HTTP exporter while a wire session is serving. Every
+// counter is single-writer per-core state: the 1-core serve loop owns
+// all of it inline, and the multicore loop quiesces the cores behind the
+// publish gate before snapshotting. Either way a snapshot is built
+// without per-counter locks and published as an immutable value; scrape
+// handlers only ever read published snapshots.
 package testbed
 
 import (
@@ -99,6 +101,7 @@ func (d *DUT) wireSnapshot(engines []Engine, elapsed time.Duration) *trace.Snaps
 			drops.Add(stats.DropRxRunt, rxs.DropRunt)
 			drops.Add(stats.DropTxRingFull, txs.DropFull)
 			drops.Add(stats.DropTxTransient, txs.DropTransient)
+			drops.Add(stats.DropTxOversize, txs.DropOversize)
 			drops.Merge(&port.Drops)
 			e2e.Merge(port.LatHist)
 		}

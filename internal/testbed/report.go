@@ -126,6 +126,7 @@ func (d *DUT) buildReport(res *Result, lat *stats.LatencyRecorder, e2e *trace.Hi
 				TxBytes:         txs.Bytes,
 				TxDropFull:      txs.DropFull,
 				TxDropTransient: txs.DropTransient,
+				TxDropOversize:  txs.DropOversize,
 				Polls:           port.Stats.Polls,
 				EmptyPolls:      port.Stats.EmptyPolls,
 				RxPackets:       port.Stats.RxPackets,

@@ -213,8 +213,14 @@ type Result struct {
 // DUT is an assembled device under test, reusable across the build-run
 // plumbing of cmd/packetmill and the experiments.
 type DUT struct {
-	Opts   Options
-	Mach   *machine.Machine
+	Opts Options
+	Mach *machine.Machine
+	// Machs holds one machine per core on the multicore wire path, where
+	// cores run as concurrent goroutines and the simulated memory
+	// hierarchy (a single-threaded model) cannot be shared. The simulated
+	// DUT steps cores from one goroutine and keeps them all on Mach, so
+	// Machs has a single entry there.
+	Machs  []*machine.Machine
 	Cores  []*machine.Core
 	NICs   []*nic.NIC
 	Huge   *memsim.Arena
@@ -238,6 +244,15 @@ type DUT struct {
 	Ctls []*overload.Controller
 }
 
+// machFor returns core c's machine: its own on the multicore wire path,
+// the shared one everywhere else.
+func (d *DUT) machFor(c int) *machine.Machine {
+	if c < len(d.Machs) {
+		return d.Machs[c]
+	}
+	return d.Mach
+}
+
 // Ctl returns core c's overload controller, or nil when the control
 // plane is off — every consumer is nil-safe.
 func (d *DUT) Ctl(c int) *overload.Controller {
@@ -259,6 +274,7 @@ func NewDUT(o Options) (*DUT, error) {
 	d := &DUT{
 		Opts:     o,
 		Mach:     mach,
+		Machs:    []*machine.Machine{mach},
 		Huge:     memsim.NewArena("hugepages", memsim.HugeBase, 1<<30),
 		Static:   memsim.NewArena("static", memsim.StaticBase, 512<<20),
 		Heap:     memsim.NewHeap(),
@@ -499,7 +515,7 @@ func (d *DUT) BuildRouters(g *click.Graph) ([]*click.Router, error) {
 			MetaLayout: d.Opts.MetaLayout,
 			Profile:    d.Opts.Profile,
 			Seed:       d.Opts.Seed + uint64(c),
-			Prewarm:    d.Mach.Sys.Prewarm,
+			Prewarm:    d.machFor(c).Sys.Prewarm,
 		}
 		rt, err := click.Build(g, env)
 		if err != nil {

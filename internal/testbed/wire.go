@@ -4,12 +4,22 @@
 // the clock (wall time, since real sockets do not advance a simulated
 // calendar) and the exit condition (idle timeout or packet budget
 // instead of a drained traffic source).
+//
+// Multicore serving is the paper's run-to-completion model made literal:
+// core c owns its queue pairs, its pktbuf pools, its span tracker, its
+// overload controller, its Click graph replica, and its own simulated
+// machine — zero shared mutable state on the hot path. The goroutines
+// meet only at an atomic stop flag, padded per-core progress counters
+// the coordinator sums, and (when a metrics exporter is attached) a
+// publish gate that briefly quiesces the cores for a snapshot.
 package testbed
 
 import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"packetmill/internal/cache"
@@ -29,40 +39,59 @@ func NewWireDUT(o Options, devs []nic.Port) (*DUT, error) {
 	if len(devs) == 0 {
 		return nil, fmt.Errorf("testbed: wire DUT needs at least one device")
 	}
-	o.Cores = 1
-	o.NICs = len(devs)
+	return NewWireDUTPerCore(o, [][]nic.Port{devs})
+}
+
+// NewWireDUTPerCore assembles an N-core wire DUT: devsPerCore[c][i] is
+// core c's own queue pair appearing as Click PORT i — typically queue c
+// of a wire.Fanout, or a dedicated socketpair per core. Every core gets
+// a private machine: the cores run as concurrent goroutines and the
+// simulated memory hierarchy is a single-threaded model, and a
+// run-to-completion pipeline shares nothing anyway.
+func NewWireDUTPerCore(o Options, devsPerCore [][]nic.Port) (*DUT, error) {
+	if len(devsPerCore) == 0 || len(devsPerCore[0]) == 0 {
+		return nil, fmt.Errorf("testbed: wire DUT needs at least one core with at least one device")
+	}
+	o.Cores = len(devsPerCore)
+	o.NICs = len(devsPerCore[0])
 	o = o.withDefaults()
 	memCfg := cache.DefaultSystemConfig()
 	if o.DDIOWays > 0 {
 		memCfg.DDIOWays = o.DDIOWays
 	}
-	mach := machine.New(memCfg, machine.DefaultCostModel())
 	d := &DUT{
 		Opts:     o,
-		Mach:     mach,
 		Huge:     memsim.NewArena("hugepages", memsim.HugeBase, 1<<30),
 		Static:   memsim.NewArena("static", memsim.StaticBase, 512<<20),
 		Heap:     memsim.NewHeap(),
 		mempools: map[*dpdk.Port]*dpdk.Mempool{},
 		bindings: map[*dpdk.Port]xchg.Binding{},
 	}
-	core := mach.AddCore(o.FreqGHz)
-	d.Cores = append(d.Cores, core)
-	d.PortsFor = append(d.PortsFor, map[int]*dpdk.Port{})
-	// Tracing and the live exporter both need the span trackers; the
-	// report itself still requires Telemetry.
-	if o.Telemetry || o.Trace != nil || o.Metrics != nil {
-		d.Trackers = append(d.Trackers, telemetry.NewTracker(core))
-	} else {
-		d.Trackers = append(d.Trackers, nil)
-	}
-	for i, dev := range devs {
-		port, err := d.buildPortOn(i, dev)
-		if err != nil {
-			return nil, err
+	for c, devs := range devsPerCore {
+		if len(devs) != o.NICs {
+			return nil, fmt.Errorf("testbed: core %d has %d devices, core 0 has %d", c, len(devs), o.NICs)
 		}
-		d.PortsFor[0][i] = port
+		mach := machine.New(memCfg, machine.DefaultCostModel())
+		d.Machs = append(d.Machs, mach)
+		core := mach.AddCore(o.FreqGHz)
+		d.Cores = append(d.Cores, core)
+		d.PortsFor = append(d.PortsFor, map[int]*dpdk.Port{})
+		// Tracing and the live exporter both need the span trackers; the
+		// report itself still requires Telemetry.
+		if o.Telemetry || o.Trace != nil || o.Metrics != nil {
+			d.Trackers = append(d.Trackers, telemetry.NewTracker(core))
+		} else {
+			d.Trackers = append(d.Trackers, nil)
+		}
+		for i, dev := range devs {
+			port, err := d.buildPortOn(i, dev)
+			if err != nil {
+				return nil, err
+			}
+			d.PortsFor[c][i] = port
+		}
 	}
+	d.Mach = d.Machs[0]
 	d.buildControllers()
 	d.attachTrace()
 	return d, nil
@@ -70,7 +99,8 @@ func NewWireDUT(o Options, devs []nic.Port) (*DUT, error) {
 
 // WireServeStats summarizes a wire-serving session.
 type WireServeStats struct {
-	// Steps is the number of scheduling rounds executed.
+	// Steps is the number of scheduling rounds executed (summed across
+	// cores on a multicore session).
 	Steps uint64
 	// Packets counts packets moved across all rounds (RX and TX both
 	// count, as in Engine.Step's contract).
@@ -81,9 +111,17 @@ type WireServeStats struct {
 // canceled, the engines have moved maxPackets packets (0 = no budget),
 // or the datapath has been idle for idleExit (0 = no idle exit). On a
 // normal exit it drains in-flight transmissions so a post-run Audit
-// balances.
+// balances. One engine runs the classic inline loop; several run one
+// goroutine per core, run to completion, with a coordinator watching
+// the exit conditions.
 func (d *DUT) ServeWire(ctx context.Context, engines []Engine,
 	idleExit time.Duration, maxPackets uint64) (WireServeStats, error) {
+	if len(engines) != len(d.Cores) {
+		return WireServeStats{}, fmt.Errorf("testbed: %d engines for %d cores", len(engines), len(d.Cores))
+	}
+	if len(engines) > 1 {
+		return d.serveWireMulti(ctx, engines, idleExit, maxPackets)
+	}
 	start := time.Now()
 	lastWork := start
 	// On the wire the flight recorder timestamps events with wall time
@@ -154,6 +192,130 @@ func (d *DUT) ServeWire(ctx context.Context, engines []Engine,
 	return st, nil
 }
 
+// coreProgress is the slice of serving state one core shares with the
+// coordinator, padded past a cache line so neighboring cores' counters
+// never false-share.
+type coreProgress struct {
+	steps   atomic.Uint64
+	packets atomic.Uint64
+	// lastWork is the wall offset (ns since serve start) of the last
+	// round that moved packets.
+	lastWork atomic.Int64
+	_        [104]byte
+}
+
+// serveWireMulti is the N-core serve loop: one run-to-completion
+// goroutine per core, each stepping only its own engine, ports, tracker,
+// and overload controller against its own machine. A coordinator sums
+// the per-core progress counters every millisecond to enforce the packet
+// budget and the idle exit (idleness means every core has been idle),
+// and — when an exporter is attached — takes the publish gate's write
+// side so snapshots read quiescent counters.
+func (d *DUT) serveWireMulti(ctx context.Context, engines []Engine,
+	idleExit time.Duration, maxPackets uint64) (WireServeStats, error) {
+	start := time.Now()
+	if d.Opts.Trace != nil {
+		for _, ct := range d.Opts.Trace.Cores() {
+			ct.SetClock(func() float64 { return float64(time.Since(start)) })
+		}
+	}
+	var obsEveryNS float64
+	if len(d.Ctls) > 0 {
+		obsEveryNS = d.Ctls[0].DwellNS() / 4
+		if obsEveryNS <= 0 {
+			obsEveryNS = 12.5e3
+		}
+	}
+	// The gate exists only for the exporter: every per-core counter,
+	// histogram, and tracker is single-writer state owned by its core's
+	// goroutine, so a mid-session snapshot must briefly quiesce the cores
+	// (writer side) while they step under the read side. Without an
+	// exporter the cores never touch it.
+	var gate sync.RWMutex
+	publish := d.Opts.Metrics != nil
+	var stop atomic.Bool
+	prog := make([]coreProgress, len(engines))
+	var wg sync.WaitGroup
+	for i := range engines {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			core, eng, p := d.Cores[ci], engines[ci], &prog[ci]
+			var nextObsNS float64
+			var obsPolls, obsEmpty uint64
+			for !stop.Load() {
+				if publish {
+					gate.RLock()
+				}
+				now := float64(time.Since(start))
+				if obsEveryNS > 0 && now >= nextObsNS {
+					nextObsNS = now + obsEveryNS
+					d.observeCore(eng, ci, now, &obsPolls, &obsEmpty)
+				}
+				moved := eng.Step(core, now)
+				if publish {
+					gate.RUnlock()
+				}
+				p.steps.Add(1)
+				if moved > 0 {
+					p.packets.Add(uint64(moved))
+					p.lastWork.Store(int64(now))
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}(i)
+	}
+
+	sum := func() (pkts uint64, lastWork time.Duration) {
+		for i := range prog {
+			pkts += prog[i].packets.Load()
+			if w := time.Duration(prog[i].lastWork.Load()); w > lastWork {
+				lastWork = w
+			}
+		}
+		return
+	}
+	var err error
+	lastPublish := start
+	tick := time.NewTicker(time.Millisecond)
+watch:
+	for {
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			break watch
+		case <-tick.C:
+		}
+		pkts, lastWork := sum()
+		if maxPackets > 0 && pkts >= maxPackets {
+			break
+		}
+		if idleExit > 0 && time.Since(start)-lastWork > idleExit {
+			break
+		}
+		if publish && time.Since(lastPublish) >= metricsInterval {
+			lastPublish = time.Now()
+			gate.Lock()
+			d.publishMetrics(engines, time.Since(start))
+			gate.Unlock()
+		}
+	}
+	tick.Stop()
+	stop.Store(true)
+	wg.Wait()
+	// Cores are joined: the drain and the final snapshot run
+	// single-threaded over quiescent state, exactly like the 1-core path.
+	d.drainWire(engines, start)
+	d.publishMetrics(engines, time.Since(start))
+	var st WireServeStats
+	for i := range prog {
+		st.Steps += prog[i].steps.Load()
+		st.Packets += prog[i].packets.Load()
+	}
+	return st, err
+}
+
 // drainWire steps the engines and reaps TX rings until nothing moves and
 // nothing is in flight (bounded by a wall-clock deadline), so buffers
 // make it back to their pools before an Audit.
@@ -180,13 +342,24 @@ func (d *DUT) drainWire(engines []Engine, start time.Time) {
 	}
 }
 
-// ServeWireGraph builds routers for g on a wire DUT and serves: the
-// one-call path cmd/packetmill's -io wire mode uses. The DUT is
-// returned so callers can audit buffers and read telemetry after the
+// ServeWireGraph builds routers for g on a single-core wire DUT and
+// serves: the one-call path cmd/packetmill's -io wire mode uses. The DUT
+// is returned so callers can audit buffers and read telemetry after the
 // session.
 func ServeWireGraph(ctx context.Context, g *click.Graph, o Options,
 	devs []nic.Port, idleExit time.Duration, maxPackets uint64) (*DUT, WireServeStats, error) {
-	d, err := NewWireDUT(o, devs)
+	if len(devs) == 0 {
+		return nil, WireServeStats{}, fmt.Errorf("testbed: wire DUT needs at least one device")
+	}
+	return ServeWireGraphPerCore(ctx, g, o, [][]nic.Port{devs}, idleExit, maxPackets)
+}
+
+// ServeWireGraphPerCore is ServeWireGraph for N run-to-completion cores:
+// one router replica per core, each driving that core's own devices
+// (devsPerCore[c][i] is core c's Click PORT i).
+func ServeWireGraphPerCore(ctx context.Context, g *click.Graph, o Options,
+	devsPerCore [][]nic.Port, idleExit time.Duration, maxPackets uint64) (*DUT, WireServeStats, error) {
+	d, err := NewWireDUTPerCore(o, devsPerCore)
 	if err != nil {
 		return nil, WireServeStats{}, err
 	}

@@ -115,9 +115,13 @@ type Port struct {
 	filled  intRing
 	posted  []*pktbuf.Packet
 	// TX: a fixed ring of in-flight buffers awaiting wall-clock depart.
+	// txPending counts Enqueue calls that reserved a slot but are still
+	// inside the unlocked retry backoff; capacity checks use txN+txPending
+	// so a concurrent Enqueue can never overwrite an in-flight record.
 	inflight   []txRec
 	txHead     int
 	txN        int
+	txPending  int
 	lastDepart time.Time
 
 	rxStats nic.RXQueueStats
@@ -253,6 +257,31 @@ func (p *Port) drainRX() {
 	}
 }
 
+// deliver files one received frame into a free RX slot, with the same
+// accounting the drain goroutine performs — the entry point a Fanout
+// reader uses for queue ports that share a single socket and so run no
+// reader of their own. The frame is copied; the caller keeps its buffer.
+func (p *Port) deliver(frame []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	switch {
+	case len(frame) < nic.MinFrameSize:
+		p.rxStats.DropRunt++
+	case p.free.n == 0:
+		p.rxStats.DropFull++
+	default:
+		slot := p.free.pop()
+		n := copy(p.slots[slot], frame)
+		p.slotLen[slot] = n
+		p.filled.push(slot)
+		p.rxStats.Delivered++
+		p.rxStats.Bytes += uint64(n)
+	}
+}
+
 // Close shuts both sockets and stops the drain goroutine.
 func (p *Port) Close() error {
 	p.mu.Lock()
@@ -376,7 +405,7 @@ func (p *Port) PollCompressed(core *machine.Core, nowNS float64, max int,
 func (p *Port) Enqueue(core *machine.Core, pkt *pktbuf.Packet, nowNS float64) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.txN >= p.cfg.TXRing {
+	if p.txN+p.txPending >= p.cfg.TXRing {
 		p.txStats.DropFull++
 		return false
 	}
@@ -384,13 +413,19 @@ func (p *Port) Enqueue(core *machine.Core, pkt *pktbuf.Packet, nowNS float64) bo
 	if pkt.Len() > p.cfg.MTU {
 		// Oversize for the emulated link: dropped on the wire, but the
 		// buffer still cycles back through Reap immediately.
-		p.txStats.DropFull++
+		p.txStats.DropOversize++
 		p.pushInflight(txRec{pkt: pkt, departWall: now})
 		return true
 	}
 	if p.txConn != nil {
 		var err error
 		backoff := 50 * time.Microsecond
+		// Reserve the in-flight slot before any backoff can release the
+		// lock: without the reservation, a concurrent Enqueue could pass
+		// the capacity check during the sleep and pushInflight would then
+		// overwrite the oldest in-flight record — leaking that buffer
+		// (never reaped) and corrupting txN.
+		p.txPending++
 		for attempt := 0; ; attempt++ {
 			_, err = p.txConn.Write(pkt.Bytes())
 			if err == nil || !isTransient(err) || attempt >= txMaxRetries || p.closed {
@@ -403,6 +438,7 @@ func (p *Port) Enqueue(core *machine.Core, pkt *pktbuf.Packet, nowNS float64) bo
 			backoff *= 2
 			p.mu.Lock()
 		}
+		p.txPending--
 		if err != nil {
 			// A transient errno that survived the retries is the kernel
 			// buffer overrunning; a hard error is the peer overrun or

@@ -169,7 +169,9 @@ func TestRuntDropped(t *testing.T) {
 }
 
 // TestOversizeTXRecycles: a frame over the MTU is dropped on the wire but
-// its buffer still comes back through Reap, so the pool cannot leak.
+// its buffer still comes back through Reap, so the pool cannot leak. The
+// drop is booked under its own oversize counter — a configuration error,
+// not ring congestion.
 func TestOversizeTXRecycles(t *testing.T) {
 	a, b, err := Loopback(Config{MTU: 256}, Config{})
 	if err != nil {
@@ -182,8 +184,8 @@ func TestOversizeTXRecycles(t *testing.T) {
 	if !a.Enqueue(nil, tx, 0) {
 		t.Fatal("oversize Enqueue should accept and drop")
 	}
-	if s := a.TXStats(); s.DropFull != 1 || s.Sent != 0 {
-		t.Fatalf("TXStats = %+v, want one drop and no send", s)
+	if s := a.TXStats(); s.DropOversize != 1 || s.DropFull != 0 || s.Sent != 0 {
+		t.Fatalf("TXStats = %+v, want one oversize drop and no send", s)
 	}
 	reap := make([]*pktbuf.Packet, 1)
 	waitCond(t, "oversize reap", func() bool { return a.Reap(0, reap) == 1 })
