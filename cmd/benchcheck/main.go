@@ -98,6 +98,25 @@ func main() {
 			b.AllocsPerPkt, f.AllocsPerPkt)
 	}
 
+	// Cross-entry invariant: profile-guided milling must never lose to the
+	// static mill it extends. Compared within the fresh run (not against
+	// the baseline) so the rule holds on any machine-independent drift.
+	// The relative epsilon forgives last-ULP summation-order noise when
+	// both builds saturate the same bottleneck and genuinely tie.
+	if fused, ok := freshDP["router-milled-fused"]; ok {
+		if static, ok := freshDP["router-milled"]; ok {
+			if fused.PpsPerCore < static.PpsPerCore*(1-1e-9) {
+				fmt.Printf("FAIL %-24s pps/core %11.0f < static router-milled %11.0f\n",
+					"router-milled-fused", fused.PpsPerCore, static.PpsPerCore)
+				failed = true
+			} else {
+				fmt.Printf("ok   %-24s pps/core %11.0f >= static router-milled %11.0f (%+5.1f%%)\n",
+					"router-milled-fused", fused.PpsPerCore, static.PpsPerCore,
+					100*(fused.PpsPerCore-static.PpsPerCore)/static.PpsPerCore)
+			}
+		}
+	}
+
 	// Wall-clock trajectory: informational only.
 	freshEx := map[string]benchEntry{}
 	for _, e := range fresh.Exhibits {

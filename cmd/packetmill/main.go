@@ -8,6 +8,7 @@
 //
 //	packetmill -config router.click -freq 2.3 -rate 100
 //	packetmill -config router.click -mill -model x-change -freq 2.3
+//	packetmill -builtin router -mill -mill-profile auto -freq 2.3
 //	packetmill -builtin router -mill -emit-ir
 //	packetmill -builtin forwarder -model overlaying -sweep-freq
 //
@@ -40,6 +41,7 @@ import (
 	_ "packetmill/internal/elements"
 	"packetmill/internal/faults"
 	"packetmill/internal/layout"
+	"packetmill/internal/mill"
 	"packetmill/internal/nf"
 	"packetmill/internal/nic"
 	"packetmill/internal/overload"
@@ -59,6 +61,7 @@ func main() {
 		builtin    = flag.String("builtin", "", "built-in NF: forwarder|mirror|router|ids|nat|workpackage")
 		model      = flag.String("model", "copying", "metadata model: copying|overlaying|x-change")
 		doMill     = flag.Bool("mill", false, "apply PacketMill source-code passes")
+		millProf   = flag.String("mill-profile", "", `apply the profile-guided passes (hot layout, classifier compilation, element fusion) driven by this telemetry report JSON (from -report json or a /report snapshot); "auto" captures a fresh profile with a short run`)
 		doReorder  = flag.Bool("reorder", false, "run the profile-guided metadata reordering pass")
 		doPrune    = flag.Bool("prune", false, "run the profile-guided dead-field removal pass")
 		repeats    = flag.Int("repeats", 1, "repeat the run N times with varied seeds, report the median (NPF style)")
@@ -186,6 +189,27 @@ func main() {
 		note("; faults: %s\n", sched)
 	}
 
+	if *millProf != "" {
+		var prof *mill.Profile
+		if strings.ToLower(*millProf) == "auto" {
+			po := base
+			po.Packets = *packets / 10
+			if prof, err = p.CaptureProfile(po); err != nil {
+				fatal(err)
+			}
+		} else {
+			raw, err := os.ReadFile(*millProf)
+			if err != nil {
+				fatal(err)
+			}
+			if prof, err = mill.LoadProfile(raw); err != nil {
+				fatal(err)
+			}
+		}
+		if err := p.MillProfileGuided(prof); err != nil {
+			fatal(err)
+		}
+	}
 	if *doPrune {
 		prof := base
 		prof.Packets = *packets / 10

@@ -177,6 +177,19 @@ func IsSourceClass(class string) bool {
 	return isTask && el.NInputs() <= 0
 }
 
+// IsTaskClass reports whether class is schedulable (implements Task),
+// source or sink side. The driver's round-robin order follows the
+// declaration order of these elements, so graph-layout passes must keep
+// their relative order to leave scheduling untouched.
+func IsTaskClass(class string) bool {
+	f, ok := registry[class]
+	if !ok {
+		return false
+	}
+	_, isTask := f().(Task)
+	return isTask
+}
+
 // Classes returns the registered class names, sorted.
 func Classes() []string {
 	out := make([]string, 0, len(registry))

@@ -66,6 +66,29 @@ func (p *Pipeline) Run(o testbed.Options) (*testbed.Result, error) {
 	return testbed.RunGraph(p.Plan.Graph, p.options(o))
 }
 
+// CaptureProfile executes a short telemetered run with the current build
+// and digests the per-element attribution into a profile for the
+// profile-guided passes (a few thousand packets suffice).
+func (p *Pipeline) CaptureProfile(profileOpts testbed.Options) (*mill.Profile, error) {
+	profileOpts.Telemetry = true
+	res, err := testbed.RunGraph(p.Plan.Graph, p.options(profileOpts))
+	if err != nil {
+		return nil, fmt.Errorf("core: profiling run: %w", err)
+	}
+	if res.Telemetry == nil || len(res.Telemetry.Elements) == 0 {
+		return nil, fmt.Errorf("core: profiling run recorded no per-element attribution")
+	}
+	return mill.FromReport(res.Telemetry), nil
+}
+
+// MillProfileGuided applies the profile-guided passes — hot-path layout,
+// classifier compilation, cross-element fusion — on top of whatever
+// passes already ran. prof may be nil: the passes then fall back to
+// structural heuristics (see mill.ProfileGuided).
+func (p *Pipeline) MillProfileGuided(prof *mill.Profile) error {
+	return p.Plan.Apply(mill.ProfileGuided(prof)...)
+}
+
 // ReorderMetadata runs the profile-guided metadata-reordering pass
 // (§3.2.2): execute a short profiling run with the current build, then
 // re-pack the descriptor layout by the measured access counts. profileOpts

@@ -1,0 +1,502 @@
+// The classifier compiler: Classifier/IPClassifier rule lists compiled
+// into decision bytecode, installed by the mill's profile-guided
+// classifier-compilation pass.
+//
+// A compiled Classifier differs from the linear scan three ways:
+//
+//   - Branch order follows observed match frequencies (the HOT argument
+//     the mill appends from the profile), with a reorder that is proven
+//     safe: a rule may only be hoisted above an earlier rule when the two
+//     are *disjoint* — some byte position both constrain to different
+//     values — so first-match semantics are preserved exactly.
+//   - Packet loads are deduplicated through load slots: each distinct
+//     (offset, length) range is read once per packet no matter how many
+//     rules test it, where the linear scan re-loads per rule.
+//   - When a rule's leading test fails, every following rule opening with
+//     the identical test is skipped (the compiler chains them), which is
+//     the decision-tree shortcut a switch on the discriminating field
+//     compiles to.
+//
+// The interpreter exists twice on purpose: Exec charges the simulated
+// core and reads through pktbuf, ExecBytes is a pure function over a raw
+// frame used by the fuzz harness to compare the compiled program against
+// the linear-scan oracle.
+package elements
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"packetmill/internal/click"
+	"packetmill/internal/netpkt"
+	"packetmill/internal/pktbuf"
+)
+
+func init() {
+	click.Register("CompiledClassifier", func() click.Element { return &CompiledClassifier{} })
+	click.Register("CompiledIPClassifier", func() click.Element { return &CompiledIPClassifier{} })
+}
+
+// HotArg is the keyword the mill uses to append observed per-rule match
+// frequencies to a compiled classifier's arguments.
+const HotArg = "HOT"
+
+type slotRef struct{ off, n int }
+
+type classTest struct {
+	slot  int
+	value []byte
+}
+
+type classBlock struct {
+	tests []classTest
+	port  int // original rule index = output port
+	// skipSame is the block index to resume at when tests[0] fails:
+	// every following block opening with the identical first test is
+	// skipped (it would fail the same way).
+	skipSame int
+}
+
+// classProg is a compiled rule list.
+type classProg struct {
+	slots    []slotRef
+	blocks   []classBlock
+	hasDash  bool
+	dashPort int
+	nOut     int
+}
+
+// patternsDisjoint reports whether some byte position is constrained to
+// different values by a and b — no packet can match both, so their
+// relative order is free.
+func patternsDisjoint(a, b []match) bool {
+	for _, ma := range a {
+		for _, mb := range b {
+			lo := ma.offset
+			if mb.offset > lo {
+				lo = mb.offset
+			}
+			hi := ma.offset + len(ma.value)
+			if h := mb.offset + len(mb.value); h < hi {
+				hi = h
+			}
+			for pos := lo; pos < hi; pos++ {
+				if ma.value[pos-ma.offset] != mb.value[pos-mb.offset] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// hotOrder returns idxs reordered hottest-first under the constraint that
+// index c may only precede an originally-earlier index o when
+// disjoint(o, c) holds. The order is deterministic: ties keep original
+// order, and the original order is always a legal fallback.
+func hotOrder(idxs []int, freq []float64, disjoint func(i, j int) bool) []int {
+	f := func(i int) float64 {
+		if freq == nil || i >= len(freq) {
+			return 0
+		}
+		return freq[i]
+	}
+	remaining := append([]int(nil), idxs...)
+	out := make([]int, 0, len(idxs))
+	for len(remaining) > 0 {
+		best := -1
+		for k, c := range remaining {
+			legal := true
+			for _, o := range remaining {
+				if o < c && !disjoint(o, c) {
+					legal = false
+					break
+				}
+			}
+			if !legal {
+				continue
+			}
+			if best == -1 || f(c) > f(remaining[best]) {
+				best = k
+			}
+		}
+		if best == -1 {
+			best = 0 // unreachable: the smallest index is always legal
+		}
+		out = append(out, remaining[best])
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	return out
+}
+
+// compileClassProg compiles a Classifier rule list. freq (optional) maps
+// original rule index to its observed match count.
+func compileClassProg(patterns [][]match, hasDash bool, dashPort int, freq []float64) *classProg {
+	cp := &classProg{hasDash: hasDash, dashPort: dashPort, nOut: len(patterns)}
+	var idxs []int
+	for i, ms := range patterns {
+		if ms != nil {
+			idxs = append(idxs, i)
+		}
+	}
+	order := hotOrder(idxs, freq, func(i, j int) bool {
+		return patternsDisjoint(patterns[i], patterns[j])
+	})
+	slotOf := map[slotRef]int{}
+	for _, pi := range order {
+		blk := classBlock{port: pi}
+		for _, m := range patterns[pi] {
+			ref := slotRef{off: m.offset, n: len(m.value)}
+			s, ok := slotOf[ref]
+			if !ok {
+				s = len(cp.slots)
+				slotOf[ref] = s
+				cp.slots = append(cp.slots, ref)
+			}
+			blk.tests = append(blk.tests, classTest{slot: s, value: m.value})
+		}
+		cp.blocks = append(cp.blocks, blk)
+	}
+	for i := range cp.blocks {
+		j := i + 1
+		for j < len(cp.blocks) && sameFirstTest(&cp.blocks[i], &cp.blocks[j]) {
+			j++
+		}
+		cp.blocks[i].skipSame = j
+	}
+	return cp
+}
+
+func sameFirstTest(a, b *classBlock) bool {
+	if len(a.tests) == 0 || len(b.tests) == 0 {
+		return false
+	}
+	return a.tests[0].slot == b.tests[0].slot &&
+		bytes.Equal(a.tests[0].value, b.tests[0].value)
+}
+
+// ExecBytes runs the program over a raw frame with no cost accounting:
+// the reference interpreter the fuzz harness compares against the
+// linear-scan oracle. Returns the output port, or -1 for kill.
+func (cp *classProg) ExecBytes(frame []byte) int {
+	i := 0
+	for i < len(cp.blocks) {
+		blk := &cp.blocks[i]
+		matched := true
+		failedFirst := false
+		for ti := range blk.tests {
+			t := &blk.tests[ti]
+			s := cp.slots[t.slot]
+			if s.off+s.n > len(frame) || !bytes.Equal(frame[s.off:s.off+s.n], t.value) {
+				matched = false
+				failedFirst = ti == 0
+				break
+			}
+		}
+		if matched {
+			return blk.port
+		}
+		if failedFirst {
+			i = blk.skipSame
+		} else {
+			i++
+		}
+	}
+	if cp.hasDash {
+		return cp.dashPort
+	}
+	return -1
+}
+
+// linearClassifyBytes is the linear-scan oracle over a raw frame —
+// Classifier.Push's decision, byte for byte, without the simulator.
+func linearClassifyBytes(patterns [][]match, hasDash bool, dashPort int, frame []byte) int {
+	for i, ms := range patterns {
+		if ms == nil {
+			continue
+		}
+		ok := true
+		for _, m := range ms {
+			if m.offset+len(m.value) > len(frame) ||
+				!bytes.Equal(frame[m.offset:m.offset+len(m.value)], m.value) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return i
+		}
+	}
+	if hasDash {
+		return dashPort
+	}
+	return -1
+}
+
+// parseClassifierPatterns parses Classifier-style pattern arguments
+// ("offset/hex ..." groups, "-" for the catch-all).
+func parseClassifierPatterns(args []string) (patterns [][]match, hasDash bool, dashPort int, err error) {
+	for i, a := range args {
+		a = strings.TrimSpace(a)
+		if a == "-" {
+			patterns = append(patterns, nil)
+			hasDash, dashPort = true, i
+			continue
+		}
+		var ms []match
+		for _, part := range strings.Fields(a) {
+			var off int
+			var hexStr string
+			if _, err := fmt.Sscanf(part, "%d/%s", &off, &hexStr); err != nil {
+				return nil, false, 0, fmt.Errorf("bad pattern %q", part)
+			}
+			if len(hexStr)%2 != 0 {
+				return nil, false, 0, fmt.Errorf("odd hex in %q", part)
+			}
+			val := make([]byte, len(hexStr)/2)
+			for j := 0; j < len(val); j++ {
+				var b int
+				if _, err := fmt.Sscanf(hexStr[2*j:2*j+2], "%02x", &b); err != nil {
+					return nil, false, 0, fmt.Errorf("bad hex in %q", part)
+				}
+				val[j] = byte(b)
+			}
+			ms = append(ms, match{offset: off, value: val})
+		}
+		patterns = append(patterns, ms)
+	}
+	return patterns, hasDash, dashPort, nil
+}
+
+// splitHotArg strips a trailing "HOT f0 f1 ..." argument, returning the
+// remaining arguments and the parsed frequencies (nil when absent).
+func splitHotArg(args []string) ([]string, []float64, error) {
+	if len(args) == 0 {
+		return args, nil, nil
+	}
+	last := strings.Fields(args[len(args)-1])
+	if len(last) == 0 || last[0] != HotArg {
+		return args, nil, nil
+	}
+	freq := make([]float64, 0, len(last)-1)
+	for _, f := range last[1:] {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad %s weight %q: %v", HotArg, f, err)
+		}
+		freq = append(freq, v)
+	}
+	return args[:len(args)-1], freq, nil
+}
+
+// CompiledClassifier is the milled replacement for Classifier: the same
+// rule list, compiled (see the package comment on the compiler). Port
+// numbering, catch-all, and kill behavior are identical to Classifier's.
+type CompiledClassifier struct {
+	click.Base
+	patterns [][]match
+	prog     *classProg
+
+	// Per-packet load-slot memo (allocated once in Configure).
+	loaded []bool
+	views  [][]byte
+
+	outs []pktbuf.Batch
+	dead pktbuf.Batch
+}
+
+// Class implements click.Element.
+func (e *CompiledClassifier) Class() string { return "CompiledClassifier" }
+
+// BatchAware implements click.BatchElement: like Classifier, the decision
+// is per packet — compilation changes the per-decision cost, not the
+// dispatch model.
+func (e *CompiledClassifier) BatchAware() bool { return false }
+
+// Configure implements click.Element: Classifier's arguments plus an
+// optional trailing "HOT f0 f1 ..." frequency hint.
+func (e *CompiledClassifier) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	rules, freq, err := splitHotArg(args)
+	if err != nil {
+		return fmt.Errorf("CompiledClassifier: %w", err)
+	}
+	if len(rules) == 0 {
+		return fmt.Errorf("CompiledClassifier: no patterns")
+	}
+	patterns, hasDash, dashPort, err := parseClassifierPatterns(rules)
+	if err != nil {
+		return fmt.Errorf("CompiledClassifier: %w", err)
+	}
+	e.patterns = patterns
+	e.prog = compileClassProg(patterns, hasDash, dashPort, freq)
+	e.loaded = make([]bool, len(e.prog.slots))
+	e.views = make([][]byte, len(e.prog.slots))
+	// The compiled program is denser than the pattern table: one decision
+	// block per rule plus the slot table.
+	bc.AllocState(uint64(24*len(patterns)+8*len(e.prog.slots)), 1)
+	e.outs = make([]pktbuf.Batch, len(patterns))
+	return nil
+}
+
+// NOutputs implements click.Element.
+func (e *CompiledClassifier) NOutputs() int { return len(e.patterns) }
+
+// Push implements click.Element.
+func (e *CompiledClassifier) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	cp := e.prog
+	outs := e.outs
+	for i := range outs {
+		outs[i].Reset()
+	}
+	dead := &e.dead
+	dead.Reset()
+	// Walking the compiled program touches its block and slot tables.
+	e.Inst.TouchState(ec, 0, uint64(8*len(cp.blocks)+4*len(cp.slots)))
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		for i := range e.loaded {
+			e.loaded[i] = false
+		}
+		port := -1
+		i := 0
+		for i < len(cp.blocks) {
+			blk := &cp.blocks[i]
+			matched := true
+			failedFirst := false
+			for ti := range blk.tests {
+				t := &blk.tests[ti]
+				core.Compute(4)
+				s := cp.slots[t.slot]
+				if s.off+s.n > p.Len() {
+					matched, failedFirst = false, ti == 0
+					break
+				}
+				if !e.loaded[t.slot] {
+					e.views[t.slot] = p.Load(core, s.off, s.n)
+					e.loaded[t.slot] = true
+				}
+				if !bytes.Equal(e.views[t.slot], t.value) {
+					matched, failedFirst = false, ti == 0
+					break
+				}
+			}
+			if matched {
+				port = blk.port
+				break
+			}
+			if failedFirst {
+				i = blk.skipSame
+			} else {
+				i++
+			}
+		}
+		if port < 0 && cp.hasDash {
+			port = cp.dashPort
+		}
+		if port < 0 {
+			dead.Append(core, p)
+			return true
+		}
+		outs[port].Append(core, p)
+		return true
+	})
+	ec.Rt.Kill(ec, dead)
+	for i := range outs {
+		if !outs[i].Empty() {
+			e.CheckedOutput(ec, i, &outs[i])
+		}
+	}
+}
+
+// CompiledIPClassifier is the milled replacement for IPClassifier: the
+// same protocol dispatch with the checks evaluated hottest-first. The
+// reorder obeys the same disjointness rule as the byte classifier — a
+// catch-all ("-") matches everything, so nothing crosses it.
+type CompiledIPClassifier struct {
+	click.Base
+	protos []int // -1 = catch-all (original order, port = index)
+	order  []int // compiled evaluation order
+
+	outs []pktbuf.Batch
+	dead pktbuf.Batch
+}
+
+// Class implements click.Element.
+func (e *CompiledIPClassifier) Class() string { return "CompiledIPClassifier" }
+
+// BatchAware implements click.BatchElement.
+func (e *CompiledIPClassifier) BatchAware() bool { return false }
+
+// Configure implements click.Element: IPClassifier's arguments plus an
+// optional trailing "HOT f0 f1 ..." frequency hint.
+func (e *CompiledIPClassifier) Configure(args []string, bc *click.BuildCtx) error {
+	e.InitBase(bc)
+	rules, freq, err := splitHotArg(args)
+	if err != nil {
+		return fmt.Errorf("CompiledIPClassifier: %w", err)
+	}
+	for _, a := range rules {
+		switch a {
+		case "tcp":
+			e.protos = append(e.protos, netpkt.ProtoTCP)
+		case "udp":
+			e.protos = append(e.protos, netpkt.ProtoUDP)
+		case "icmp":
+			e.protos = append(e.protos, netpkt.ProtoICMP)
+		case "-":
+			e.protos = append(e.protos, -1)
+		default:
+			return errBadPattern(a)
+		}
+	}
+	idxs := make([]int, len(e.protos))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	e.order = hotOrder(idxs, freq, func(i, j int) bool {
+		return e.protos[i] != e.protos[j] && e.protos[i] != -1 && e.protos[j] != -1
+	})
+	e.outs = make([]pktbuf.Batch, len(e.protos))
+	bc.AllocState(uint64(32*len(e.protos)), 1)
+	return nil
+}
+
+// NOutputs implements click.Element.
+func (e *CompiledIPClassifier) NOutputs() int { return len(e.protos) }
+
+// Push implements click.Element.
+func (e *CompiledIPClassifier) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
+	core := ec.Core
+	outs := e.outs
+	for i := range outs {
+		outs[i].Reset()
+	}
+	dead := &e.dead
+	dead.Reset()
+	e.Inst.TouchState(ec, 0, uint64(8*len(e.protos)))
+	b.ForEach(core, func(p *pktbuf.Packet) bool {
+		proto := -2
+		if p.Len() >= netpkt.EtherHdrLen+netpkt.IPv4HdrLen {
+			hdr := p.Load(core, netpkt.EtherHdrLen+9, 1)
+			proto = int(hdr[0])
+		}
+		core.Compute(10)
+		for _, i := range e.order {
+			if want := e.protos[i]; want == proto || want == -1 {
+				outs[i].Append(core, p)
+				return true
+			}
+		}
+		dead.Append(core, p)
+		return true
+	})
+	ec.Rt.Kill(ec, dead)
+	for i := range outs {
+		if !outs[i].Empty() {
+			e.CheckedOutput(ec, i, &outs[i])
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package elements
+
+import (
+	"testing"
+)
+
+// fuzzRuleSets are the classifier rule lists the fuzzer (and the table
+// test) compile; together they cover dash placement, duplicate rules,
+// overlapping prefixes, and rules that subsume each other.
+var fuzzRuleSets = [][]string{
+	{"12/0806 20/0001", "12/0806 20/0002", "12/0800", "-"},
+	{"12/0800", "12/0806", "12/86dd"},
+	{"0/02", "0/02", "-"},
+	{"12/0800 23/06", "12/0800 23/11", "12/0800", "-"},
+	{"-", "12/0800"},
+	{"14/45"},
+	{"12/0800 23/06", "12/0800", "12/0800 23/11", "-"},
+}
+
+// checkAgainstOracle compiles one rule set under the given frequency hint
+// and requires the program to agree with the linear scan on one frame.
+func checkAgainstOracle(t *testing.T, rules []string, freq []float64, frame []byte) {
+	t.Helper()
+	patterns, hasDash, dashPort, err := parseClassifierPatterns(rules)
+	if err != nil {
+		t.Fatalf("parse %q: %v", rules, err)
+	}
+	cp := compileClassProg(patterns, hasDash, dashPort, freq)
+	got := cp.ExecBytes(frame)
+	want := linearClassifyBytes(patterns, hasDash, dashPort, frame)
+	if got != want {
+		t.Fatalf("rules %q freq %v frame %x: compiled=%d linear=%d",
+			rules, freq, frame, got, want)
+	}
+}
+
+// fuzzFrames are representative frames: ARP request/reply, IPv4 TCP/UDP,
+// runts, and empties.
+func fuzzFrames() [][]byte {
+	arp := make([]byte, 42)
+	arp[12], arp[13] = 0x08, 0x06
+	arp[20], arp[21] = 0x00, 0x01
+	arpRep := append([]byte(nil), arp...)
+	arpRep[21] = 0x02
+	ip := make([]byte, 64)
+	ip[12], ip[13] = 0x08, 0x00
+	ip[14] = 0x45
+	ip[23] = 0x06
+	udp := append([]byte(nil), ip...)
+	udp[23] = 0x11
+	return [][]byte{arp, arpRep, ip, udp, {0x02}, {}, make([]byte, 13)}
+}
+
+func TestCompiledClassifierMatchesOracle(t *testing.T) {
+	freqs := [][]float64{
+		nil,
+		{0, 0, 1e6, 5},
+		{1, 2, 3, 4, 5, 6, 7},
+		{7, 6, 5, 4, 3, 2, 1},
+	}
+	for _, rules := range fuzzRuleSets {
+		for _, freq := range freqs {
+			for _, frame := range fuzzFrames() {
+				checkAgainstOracle(t, rules, freq, frame)
+			}
+		}
+	}
+}
+
+func TestHotOrderKeepsFirstMatchSemantics(t *testing.T) {
+	// Rules 0 and 1 overlap (1 subsumes 0): a huge frequency on rule 1
+	// must NOT let it jump rule 0.
+	patterns, _, _, err := parseClassifierPatterns([]string{"12/0800 23/06", "12/0800", "12/0806"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disjoint := func(i, j int) bool { return patternsDisjoint(patterns[i], patterns[j]) }
+	order := hotOrder([]int{0, 1, 2}, []float64{0, 1e9, 0}, disjoint)
+	pos := make([]int, 3)
+	for at, idx := range order {
+		pos[idx] = at
+	}
+	if pos[1] < pos[0] {
+		t.Fatalf("rule 1 (subsuming) hoisted above rule 0: order %v", order)
+	}
+	// Rule 2 is disjoint from both (different ethertype) and hot: it may
+	// lead.
+	order = hotOrder([]int{0, 1, 2}, []float64{0, 0, 1e9}, disjoint)
+	if order[0] != 2 {
+		t.Fatalf("disjoint hot rule not hoisted: order %v", order)
+	}
+}
+
+func TestHotOrderDeterministicOnTies(t *testing.T) {
+	patterns, _, _, err := parseClassifierPatterns([]string{"12/0800", "12/0806", "12/86dd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disjoint := func(i, j int) bool { return patternsDisjoint(patterns[i], patterns[j]) }
+	want := hotOrder([]int{0, 1, 2}, []float64{5, 5, 5}, disjoint)
+	for r := 0; r < 10; r++ {
+		got := hotOrder([]int{0, 1, 2}, []float64{5, 5, 5}, disjoint)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("tie order unstable: %v vs %v", got, want)
+			}
+		}
+	}
+	// All-equal frequencies keep declaration order.
+	for i, idx := range want {
+		if i != idx {
+			t.Fatalf("tied frequencies reordered rules: %v", want)
+		}
+	}
+}
+
+// FuzzClassProg cross-checks the compiled classifier against the
+// linear-scan oracle on arbitrary frames and frequency hints — the rule
+// sets are fixed (real configs), the inputs are not.
+func FuzzClassProg(f *testing.F) {
+	for i := range fuzzRuleSets {
+		for _, frame := range fuzzFrames() {
+			f.Add(uint8(i), 1.0, 0.0, 100.0, 7.5, frame)
+		}
+	}
+	f.Add(uint8(0), -1.0, 1e300, 0.5, -0.0, []byte{0x08, 0x06})
+	f.Fuzz(func(t *testing.T, sel uint8, f0, f1, f2, f3 float64, frame []byte) {
+		rules := fuzzRuleSets[int(sel)%len(fuzzRuleSets)]
+		checkAgainstOracle(t, rules, []float64{f0, f1, f2, f3}, frame)
+		checkAgainstOracle(t, rules, nil, frame)
+	})
+}
+
+func TestIPClassifierOrderSafety(t *testing.T) {
+	// The CompiledIPClassifier disjointness rule: duplicate protocols and
+	// catch-alls must never be crossed, distinct protocols may.
+	protos := []int{6, 17, 6, -1} // tcp udp tcp -
+	disjoint := func(i, j int) bool {
+		return protos[i] != protos[j] && protos[i] != -1 && protos[j] != -1
+	}
+	order := hotOrder([]int{0, 1, 2, 3}, []float64{0, 0, 1e9, 1e9}, disjoint)
+	pos := make([]int, 4)
+	for at, idx := range order {
+		pos[idx] = at
+	}
+	if pos[2] < pos[0] {
+		t.Fatalf("duplicate tcp rule crossed its twin: %v", order)
+	}
+	if pos[3] != 3 {
+		t.Fatalf("catch-all moved: %v", order)
+	}
+	// The hot udp rule is free to lead.
+	order = hotOrder([]int{0, 1, 2, 3}, []float64{0, 1e9, 0, 0}, disjoint)
+	if order[0] != 1 {
+		t.Fatalf("hot disjoint udp rule not hoisted: %v", order)
+	}
+}

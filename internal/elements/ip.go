@@ -247,6 +247,43 @@ func (e *LookupIPRoute) Class() string { return "LookupIPRoute" }
 // BatchAware implements click.BatchElement.
 func (e *LookupIPRoute) BatchAware() bool { return false }
 
+// parseRouteArg parses one route argument — "prefix/len port" or
+// "prefix/len gateway port" — shared with the fused IP path element.
+func parseRouteArg(a string) (prefix netpkt.IPv4, length int, nh lpm.NextHop, err error) {
+	fields := strings.Fields(a)
+	if len(fields) < 2 || len(fields) > 3 {
+		return prefix, 0, nh, fmt.Errorf("LookupIPRoute: bad route %q", a)
+	}
+	length = 32
+	addr := fields[0]
+	if i := strings.IndexByte(addr, '/'); i >= 0 {
+		var n int
+		if n, err = click.ParseInt(addr[i+1:]); err != nil {
+			return prefix, 0, nh, err
+		}
+		length = n
+		addr = addr[:i]
+	}
+	if prefix, err = netpkt.ParseIPv4(addr); err != nil {
+		return prefix, 0, nh, err
+	}
+	if len(fields) == 3 {
+		var gw netpkt.IPv4
+		if gw, err = netpkt.ParseIPv4(fields[1]); err != nil {
+			return prefix, 0, nh, err
+		}
+		nh.Gateway = gw.Uint32()
+		if nh.Port, err = click.ParseInt(fields[2]); err != nil {
+			return prefix, 0, nh, err
+		}
+	} else {
+		if nh.Port, err = click.ParseInt(fields[1]); err != nil {
+			return prefix, 0, nh, err
+		}
+	}
+	return prefix, length, nh, nil
+}
+
 // Configure implements click.Element. Each arg: "prefix/len port" or
 // "prefix/len gateway port".
 func (e *LookupIPRoute) Configure(args []string, bc *click.BuildCtx) error {
@@ -256,39 +293,9 @@ func (e *LookupIPRoute) Configure(args []string, bc *click.BuildCtx) error {
 	}
 	e.table = lpm.New(bc.Huge)
 	for _, a := range args {
-		fields := strings.Fields(a)
-		if len(fields) < 2 || len(fields) > 3 {
-			return fmt.Errorf("LookupIPRoute: bad route %q", a)
-		}
-		var prefix netpkt.IPv4
-		length := 32
-		addr := fields[0]
-		if i := strings.IndexByte(addr, '/'); i >= 0 {
-			n, err := click.ParseInt(addr[i+1:])
-			if err != nil {
-				return err
-			}
-			length = n
-			addr = addr[:i]
-		}
-		var err error
-		if prefix, err = netpkt.ParseIPv4(addr); err != nil {
+		prefix, length, nh, err := parseRouteArg(a)
+		if err != nil {
 			return err
-		}
-		nh := lpm.NextHop{}
-		if len(fields) == 3 {
-			gw, err := netpkt.ParseIPv4(fields[1])
-			if err != nil {
-				return err
-			}
-			nh.Gateway = gw.Uint32()
-			if nh.Port, err = click.ParseInt(fields[2]); err != nil {
-				return err
-			}
-		} else {
-			if nh.Port, err = click.ParseInt(fields[1]); err != nil {
-				return err
-			}
 		}
 		if err := e.table.AddRoute(prefix.Uint32(), length, nh); err != nil {
 			return err

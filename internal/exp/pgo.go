@@ -1,0 +1,128 @@
+// The profile-guided-milling ablation: each feedback pass — hot layout,
+// classifier compilation, element fusion — toggled on top of the static
+// mill on the canonical router. Every variant row carries a differential
+// equivalence verdict against the unoptimized graph (the §5 bar: byte-
+// identical output frames), and the full build contributes a second table
+// with each pass's graph-shape delta straight from Plan.PassStats.
+package exp
+
+import (
+	"fmt"
+
+	"packetmill/internal/click"
+	"packetmill/internal/core"
+	"packetmill/internal/mill"
+	"packetmill/internal/nf"
+	"packetmill/internal/testbed"
+	"packetmill/internal/verify"
+)
+
+func init() {
+	register("abl-pgo", "ablation: profile-guided milling (hot layout, compiled classifiers, fusion)", ablPGO)
+}
+
+// pgoVariants are the ablation rows. All run the X-Change model so the
+// deltas isolate the codegen passes, not the metadata model. Each
+// feedback pass appears once on its own before the combined row —
+// FuseElements matches original element classes, so it needs no
+// classcompile prerequisite when run alone.
+var pgoVariants = []struct {
+	name   string
+	static bool
+	passes func(prof *mill.Profile) []mill.Pass
+}{
+	{name: "vanilla"},
+	{name: "static-mill", static: true},
+	{name: "static+hotlayout", static: true,
+		passes: func(p *mill.Profile) []mill.Pass { return []mill.Pass{mill.HotLayout{Profile: p}} }},
+	{name: "static+classcompile", static: true,
+		passes: func(p *mill.Profile) []mill.Pass { return []mill.Pass{mill.CompileClassifiers{Profile: p}} }},
+	{name: "static+fuse", static: true,
+		passes: func(p *mill.Profile) []mill.Pass { return []mill.Pass{mill.FuseElements{Profile: p}} }},
+	{name: "static+all", static: true, passes: mill.ProfileGuided},
+}
+
+// ablPGO builds each variant, checks it byte-equivalent to the vanilla
+// graph under headroom load, then measures it at line rate.
+func ablPGO(scale float64) *Plan {
+	perf := &Table{
+		ID:      "abl-pgo",
+		Title:   "profile-guided milling (router @1.6 GHz, X-Change model)",
+		Columns: []string{"build", "throughput_gbps", "mpps_per_core", "elements", "equivalent"},
+	}
+	deltas := &Table{
+		ID:      "abl-pgo-passes",
+		Title:   "per-pass graph deltas (static+all build)",
+		Columns: []string{"pass", "elements_before", "elements_after", "conns_before", "conns_after"},
+	}
+	p := &Plan{Tables: []*Table{perf, deltas}}
+	for _, v := range pgoVariants {
+		v := v
+		p.Unit(func(u *U) {
+			o := campusOpts(1.6, 100, pkts(12000, scale))
+			o.Model = click.XChange
+			o.Seed = u.Seed
+			pp, err := core.Parse(nf.Router(32))
+			if err != nil {
+				panic(fmt.Sprintf("abl-pgo %s: %v", v.name, err))
+			}
+			pp.Model = click.XChange
+			if v.static {
+				if err := pp.Mill(); err != nil {
+					panic(fmt.Sprintf("abl-pgo %s: %v", v.name, err))
+				}
+			}
+			if v.passes != nil {
+				profOpts := o
+				profOpts.Packets = pkts(4000, scale)
+				prof, err := pp.CaptureProfile(profOpts)
+				if err != nil {
+					panic(fmt.Sprintf("abl-pgo %s: profile: %v", v.name, err))
+				}
+				if err := pp.Plan.Apply(v.passes(prof)...); err != nil {
+					panic(fmt.Sprintf("abl-pgo %s: %v", v.name, err))
+				}
+			}
+
+			// Equivalence gate: the transformed graph must emit the same
+			// bytes as the untouched one. Low rate keeps both builds
+			// congestion-free so the diff is pure semantics.
+			vp, err := core.Parse(nf.Router(32))
+			if err != nil {
+				panic(fmt.Sprintf("abl-pgo %s: %v", v.name, err))
+			}
+			eq := testbed.Options{
+				FreqGHz: 3.0, Model: click.XChange, RateGbps: 5,
+				Packets: 2000, Seed: u.Seed,
+			}
+			eqB := eq
+			eqB.Opt = pp.Plan.Opt
+			if pp.Plan.MetaLayout != nil {
+				eqB.MetaLayout = pp.Plan.MetaLayout
+			}
+			rep, err := verify.DifferentialGraphs(vp.Plan.Graph, pp.Plan.Graph, eq, eqB)
+			if err != nil {
+				panic(fmt.Sprintf("abl-pgo %s: differential: %v", v.name, err))
+			}
+			equiv := "yes"
+			if !rep.Equivalent() {
+				equiv = "NO: " + rep.String()
+			}
+
+			res, err := pp.Run(o)
+			if err != nil {
+				panic(fmt.Sprintf("abl-pgo %s: %v", v.name, err))
+			}
+			u.Add(v.name, f1(res.Gbps()), f2(res.Mpps()),
+				fmt.Sprint(len(pp.Plan.Graph.Elements)), equiv)
+			if v.name == "static+all" {
+				for _, st := range pp.Plan.PassStats {
+					u.AddTo(1, st.Pass,
+						fmt.Sprint(st.ElementsBefore), fmt.Sprint(st.ElementsAfter),
+						fmt.Sprint(st.ConnsBefore), fmt.Sprint(st.ConnsAfter))
+				}
+			}
+		})
+	}
+	return p
+}

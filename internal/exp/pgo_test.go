@@ -1,0 +1,89 @@
+package exp
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestAblPGOShape checks structure and the ungated invariants: every row
+// equivalent, the pass-delta table populated, fusion shrinking the graph.
+// The throughput ordering (fused ≥ static) is asserted by the armed gate
+// and by benchcheck; at tiny scale it holds too but the gate owns it.
+func TestAblPGOShape(t *testing.T) {
+	tbs := runExp(t, "abl-pgo")
+	if len(tbs) != 2 {
+		t.Fatalf("abl-pgo produced %d tables, want 2", len(tbs))
+	}
+	perf, deltas := tbs[0], tbs[1]
+	if len(perf.Rows) != len(pgoVariants) {
+		t.Fatalf("perf table has %d rows, want %d", len(perf.Rows), len(pgoVariants))
+	}
+	for _, r := range perf.Rows {
+		if r[4] != "yes" {
+			t.Errorf("build %s not byte-equivalent to vanilla: %s", r[0], r[4])
+		}
+		if g := cell(t, perf, map[int]string{0: r[0]}, 1); g <= 0 {
+			t.Errorf("build %s throughput %.1f, want positive", r[0], g)
+		}
+	}
+	if len(deltas.Rows) == 0 {
+		t.Fatal("pass-delta table empty; static+all recorded no PassStats")
+	}
+	var sawFuse bool
+	for _, r := range deltas.Rows {
+		if r[0] == "fuse" {
+			sawFuse = true
+			before, _ := strconv.Atoi(r[1])
+			after, _ := strconv.Atoi(r[2])
+			if after >= before {
+				t.Errorf("fuse pass did not shrink the graph: %d -> %d", before, after)
+			}
+		}
+	}
+	if !sawFuse {
+		t.Errorf("no fuse row in pass-delta table: %v", deltas.Rows)
+	}
+	// The fused build's element count is strictly below the static mill's.
+	es := cell(t, perf, map[int]string{0: "static-mill"}, 3)
+	ea := cell(t, perf, map[int]string{0: "static+all"}, 3)
+	if ea >= es {
+		t.Errorf("static+all has %d elements, static-mill %d — fusion vacuous", int(ea), int(es))
+	}
+}
+
+// TestMillAblationGate is the armed acceptance bar for the profile-guided
+// mill, run by the dedicated CI job: the combined feedback passes must
+// beat the static mill on throughput while every variant stays
+// byte-equivalent. The exhibit tables (including the per-pass delta
+// table) land in PACKETMILL_MILL_ABLATION_ARTIFACTS either way; CI
+// uploads them when the gate fails.
+func TestMillAblationGate(t *testing.T) {
+	if os.Getenv("PACKETMILL_MILL_ABLATION_GATE") != "1" {
+		t.Skip("mill ablation gate disarmed; set PACKETMILL_MILL_ABLATION_GATE=1")
+	}
+	tbs := runExp(t, "abl-pgo")
+	if dir := os.Getenv("PACKETMILL_MILL_ABLATION_ARTIFACTS"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Logf("artifact dir: %v", err)
+		} else {
+			for _, tb := range tbs {
+				path := dir + "/" + tb.ID + ".tsv"
+				if err := os.WriteFile(path, []byte(tb.TSV()), 0o644); err != nil {
+					t.Logf("artifact %s: %v", path, err)
+				}
+			}
+		}
+	}
+	perf := tbs[0]
+	for _, r := range perf.Rows {
+		if r[4] != "yes" {
+			t.Errorf("build %s not byte-equivalent to vanilla: %s", r[0], r[4])
+		}
+	}
+	static := cell(t, perf, map[int]string{0: "static-mill"}, 2)
+	all := cell(t, perf, map[int]string{0: "static+all"}, 2)
+	if all < static {
+		t.Errorf("profile-guided build %.2f Mpps/core < static mill %.2f — feedback passes lost throughput", all, static)
+	}
+}

@@ -363,12 +363,14 @@ func Reorder(l *Layout, p *OrderProfile, crit SortCriterion) *Layout {
 	})
 	name := l.name + "+reordered"
 	if l.fixedPrefix > 0 {
-		// Rebuild with the pinned prefix intact.
+		// Rebuild with the pinned prefix intact (placement order preserved,
+		// not reversed — Fields()/String() must render identically run to
+		// run for the byte-identical-output guarantee).
 		nl := newAt(name, movable, l.fixedPrefix, l.fixedPrefix)
 		for _, f := range pinned {
 			nl.offsets[f] = l.offsets[f]
-			nl.order = append([]FieldID{f}, nl.order...)
 		}
+		nl.order = append(append([]FieldID{}, pinned...), nl.order...)
 		return nl
 	}
 	return New(name, movable)

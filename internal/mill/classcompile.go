@@ -1,0 +1,83 @@
+package mill
+
+import (
+	"fmt"
+	"strings"
+
+	"packetmill/internal/click"
+	"packetmill/internal/elements"
+)
+
+// CompileClassifiers replaces every Classifier/IPClassifier with its
+// compiled counterpart (CompiledClassifier/CompiledIPClassifier): the
+// rule list becomes decision bytecode with deduplicated loads, and — when
+// a profile is available — branch order follows the observed per-port
+// match frequencies. The reorder is semantics-preserving by construction
+// (see the compiler in internal/elements), so this pass is safe even when
+// the frequency estimate is off; a bad profile costs performance, never
+// correctness.
+type CompileClassifiers struct {
+	Profile *Profile
+}
+
+// Name implements Pass.
+func (CompileClassifiers) Name() string { return "classcompile" }
+
+// Run implements Pass.
+func (cc CompileClassifiers) Run(p *Plan) error {
+	compiled := 0
+	reordered := 0
+	for _, d := range p.Graph.Elements {
+		var newClass string
+		switch d.Class {
+		case "Classifier":
+			newClass = "CompiledClassifier"
+		case "IPClassifier":
+			newClass = "CompiledIPClassifier"
+		default:
+			continue
+		}
+		hot := portFrequencies(p.Graph, d, cc.Profile)
+		d.Class = newClass
+		if hot != "" {
+			d.Args = append(d.Args, hot)
+			reordered++
+		}
+		compiled++
+	}
+	if compiled == 0 {
+		p.note("classcompile: no classifiers")
+		return nil
+	}
+	p.note("classcompile: compiled %d classifier(s), %d with profile-driven branch order",
+		compiled, reordered)
+	return nil
+}
+
+// portFrequencies estimates each rule's match frequency as the profiled
+// packet count of the element wired to its output port, rendered as a
+// "HOT f0 f1 ..." argument. Empty when no profile or no observations.
+func portFrequencies(g *click.Graph, d *click.ElementDecl, prof *Profile) string {
+	if prof == nil {
+		return ""
+	}
+	freqs := make([]float64, len(d.Args))
+	any := false
+	for _, c := range g.Conns {
+		if c.From != d.Name || c.FromPort >= len(freqs) {
+			continue
+		}
+		if w := float64(prof.Packets[c.To]); w > 0 {
+			freqs[c.FromPort] += w
+			any = true
+		}
+	}
+	if !any {
+		return ""
+	}
+	parts := make([]string, 0, len(freqs))
+	for _, f := range freqs {
+		parts = append(parts, fmt.Sprintf("%.6g", f))
+	}
+	return elements.HotArg + " " + strings.Join(parts, " ")
+}

@@ -1,0 +1,239 @@
+// Byte-equivalence harness for the full profile-guided mill: every
+// shipped configuration, vanilla vs profiled+milled, under the Copying
+// and X-Change models, must emit byte-identical output frame sequences.
+// This is the correctness bar the fusion and classifier-compilation
+// passes are held to.
+package mill_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"packetmill/internal/click"
+	"packetmill/internal/core"
+	_ "packetmill/internal/elements"
+	"packetmill/internal/layout"
+	"packetmill/internal/nf"
+	"packetmill/internal/testbed"
+	"packetmill/internal/verify"
+)
+
+// equivOpts leaves ample headroom so neither build drops and the diff is
+// pure functional equivalence (congestion would legitimately diverge
+// between builds of different speed).
+func equivOpts(model click.MetadataModel) testbed.Options {
+	return testbed.Options{
+		FreqGHz: 3.0, Model: model, RateGbps: 5, Packets: 2000, Seed: 7,
+	}
+}
+
+// equivalenceConfigs gathers every config the repo ships: the .click
+// files under configs/ and the nf builtins the examples use, plus a
+// synthetic IP-protocol demux that exercises CompiledIPClassifier.
+func equivalenceConfigs(t *testing.T) map[string]string {
+	t.Helper()
+	out := map[string]string{
+		"builtin-forwarder":   nf.Forwarder(0, 32),
+		"builtin-mirror":      nf.Mirror(0, 32),
+		"builtin-router":      nf.Router(32),
+		"builtin-ids":         nf.IDSRouter(32),
+		"builtin-nat":         nf.NATRouter(32),
+		"builtin-workpackage": nf.WorkPackageForwarder(32, 4, 1, 4),
+		"ipclassifier": `
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+ipc :: IPClassifier(tcp, udp, icmp, -);
+input -> ipc;
+ipc[0] -> output;
+ipc[1] -> output;
+ipc[2] -> output;
+ipc[3] -> output;
+`,
+	}
+	paths, err := filepath.Glob("../../configs/*.click")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no configs found under configs/")
+	}
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[strings.TrimSuffix(filepath.Base(p), ".click")] = string(b)
+	}
+	return out
+}
+
+// millProfiled grinds config through the static passes, captures a
+// profile from a short telemetered run, and applies the profile-guided
+// passes. Returns the pipeline for graph/opt inspection.
+func millProfiled(t *testing.T, config string, model click.MetadataModel) *core.Pipeline {
+	t.Helper()
+	p, err := core.Parse(config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Model = model
+	if err := p.Mill(); err != nil {
+		t.Fatal(err)
+	}
+	po := equivOpts(model)
+	po.Packets = 1000
+	prof, err := p.CaptureProfile(po)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MillProfileGuided(prof); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProfileGuidedMillIsByteEquivalent(t *testing.T) {
+	for name, config := range equivalenceConfigs(t) {
+		for _, model := range []click.MetadataModel{click.Copying, click.XChange} {
+			t.Run(name+"/"+model.String(), func(t *testing.T) {
+				vanilla, err := core.Parse(config)
+				if err != nil {
+					t.Fatal(err)
+				}
+				milled := millProfiled(t, config, model)
+				a := equivOpts(model)
+				b := equivOpts(model)
+				b.Opt = milled.Plan.Opt
+				if milled.Plan.MetaLayout != nil {
+					b.MetaLayout = milled.Plan.MetaLayout
+				}
+				rep, err := verify.DifferentialGraphs(vanilla.Plan.Graph, milled.Plan.Graph, a, b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.Equivalent() {
+					t.Errorf("vanilla vs profile-guided mill: %s", rep)
+					if len(rep.Mismatches) > 0 {
+						mm := rep.Mismatches[0]
+						t.Errorf("first mismatch at %d:\nA: %x\nB: %x", mm.Index, mm.A, mm.B)
+					}
+					for _, n := range milled.Notes() {
+						t.Logf("pass: %s", n)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestProfileGuidedPassesActuallyFire guards the harness against
+// vacuous equivalence: on the canonical router the fusion pass must
+// collapse the IP chain and the classifier must compile.
+func TestProfileGuidedPassesActuallyFire(t *testing.T) {
+	p := millProfiled(t, nf.Router(32), click.XChange)
+	var fused, compiled bool
+	for _, e := range p.Plan.Graph.Elements {
+		switch e.Class {
+		case "FusedIPPath", "FusedL4Check":
+			fused = true
+		case "CompiledClassifier", "CompiledIPClassifier":
+			compiled = true
+		}
+	}
+	if !fused {
+		t.Errorf("router graph has no fused element; notes: %v", p.Notes())
+	}
+	if !compiled {
+		t.Errorf("router graph has no compiled classifier; notes: %v", p.Notes())
+	}
+	// The pass ledger must record the shrink fusion caused.
+	var sawFuse bool
+	for _, st := range p.Plan.PassStats {
+		if st.Pass == "fuse" {
+			sawFuse = true
+			if st.ElementsAfter >= st.ElementsBefore {
+				t.Errorf("fuse pass did not shrink the graph: %+v", st)
+			}
+		}
+	}
+	if !sawFuse {
+		t.Errorf("no fuse entry in PassStats: %+v", p.Plan.PassStats)
+	}
+}
+
+// TestMilledOutputByteIdenticalAcrossRuns is the determinism gate: the
+// whole feedback loop — profile capture, profile-guided passes, metadata
+// reorder and prune — must produce byte-identical IR and layouts on
+// every repetition (no map-iteration order may leak into the build).
+func TestMilledOutputByteIdenticalAcrossRuns(t *testing.T) {
+	render := func() (string, string) {
+		p, err := core.Parse(nf.Router(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Model = click.XChange
+		if err := p.Mill(); err != nil {
+			t.Fatal(err)
+		}
+		po := equivOpts(click.XChange)
+		po.Packets = 1000
+		prof, err := p.CaptureProfile(po)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.MillProfileGuided(prof); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.ReorderMetadata(po, layout.ByAccessCount); err != nil {
+			t.Fatal(err)
+		}
+		return p.IR().Dump(), p.Plan.MetaLayout.String()
+	}
+	ir0, lay0 := render()
+	for run := 1; run < 3; run++ {
+		ir, lay := render()
+		if ir != ir0 {
+			t.Fatalf("run %d produced different IR:\n--- first ---\n%s\n--- run %d ---\n%s",
+				run, ir0, run, ir)
+		}
+		if lay != lay0 {
+			t.Fatalf("run %d produced different layout:\n%s\nvs\n%s", run, lay0, lay)
+		}
+	}
+}
+
+// TestReorderPreservesPinnedPrefixOrder locks the fixed-prefix rendering:
+// pinned fields must keep their declaration order in Fields()/String()
+// (the reorder pass once reversed them).
+func TestReorderPreservesPinnedPrefixOrder(t *testing.T) {
+	base := layout.OverlayPacket()
+	var prof layout.OrderProfile
+	prof.Record(layout.FieldAnnoDstIP)
+	prof.Record(layout.FieldNetworkHeader)
+	nl := layout.Reorder(base, &prof, layout.ByAccessCount)
+	bf, nf2 := base.Fields(), nl.Fields()
+	var basePinned, newPinned []layout.FieldID
+	for _, f := range bf {
+		if base.Offset(f) < base.FixedPrefix() {
+			basePinned = append(basePinned, f)
+		}
+	}
+	for _, f := range nf2 {
+		if nl.Offset(f) < nl.FixedPrefix() {
+			newPinned = append(newPinned, f)
+		}
+	}
+	if len(basePinned) != len(newPinned) {
+		t.Fatalf("pinned count changed: %d vs %d", len(basePinned), len(newPinned))
+	}
+	for i := range basePinned {
+		if basePinned[i] != newPinned[i] {
+			t.Fatalf("pinned order changed at %d: %v vs %v", i, basePinned, newPinned)
+		}
+		if base.Offset(basePinned[i]) != nl.Offset(newPinned[i]) {
+			t.Fatalf("pinned offset moved for %v", basePinned[i])
+		}
+	}
+}

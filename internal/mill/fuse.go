@@ -1,0 +1,209 @@
+package mill
+
+import (
+	"fmt"
+	"strings"
+
+	"packetmill/internal/click"
+	"packetmill/internal/elements"
+)
+
+// FuseElements is the cross-element fusion pass: linear chains matching a
+// registered fusable pattern (elements.FusableChains) collapse into one
+// fused element that walks the packet header once. Fusion is proven safe
+// structurally — every interior hand-off must be the sole wiring on both
+// sides and every side port (bad, expired) unwired, so the fused
+// element's kill path is exactly the chain's CheckedOutput-kill path.
+//
+// With a profile, only chains the profile saw moving traffic are fused,
+// and the fused declaration carries a SHARES argument so telemetry keeps
+// attributing cycles to the original instance names pro-rata.
+type FuseElements struct {
+	Profile *Profile
+}
+
+// Name implements Pass.
+func (FuseElements) Name() string { return "fuse" }
+
+// Run implements Pass.
+func (f FuseElements) Run(p *Plan) error {
+	total := 0
+	var collapsed []string
+	for {
+		m := findFusableChain(p.Graph, f.Profile)
+		if m == nil {
+			break
+		}
+		ng, desc, err := fuseChain(p.Graph, m, f.Profile)
+		if err != nil {
+			return err
+		}
+		p.Graph = ng
+		collapsed = append(collapsed, desc)
+		total++
+	}
+	if total == 0 {
+		p.note("fuse: no fusable chains")
+		return nil
+	}
+	p.note("fuse: collapsed %d chain(s): %s", total, strings.Join(collapsed, "; "))
+	return nil
+}
+
+type chainMatch struct {
+	pat   elements.FusedChain
+	decls []*click.ElementDecl
+}
+
+// findFusableChain returns the first fusable chain in the graph, trying
+// the registered patterns longest-first.
+func findFusableChain(g *click.Graph, prof *Profile) *chainMatch {
+	outBy := map[string][]click.Connection{}
+	inBy := map[string]int{}
+	for _, c := range g.Conns {
+		outBy[c.From] = append(outBy[c.From], c)
+		inBy[c.To]++
+	}
+	byName := map[string]*click.ElementDecl{}
+	for _, e := range g.Elements {
+		byName[e.Name] = e
+	}
+	for _, pat := range elements.FusableChains() {
+		for _, head := range g.Elements {
+			if head.Class != pat.Classes[0] {
+				continue
+			}
+			decls := matchChainAt(head, pat.Classes, outBy, inBy, byName)
+			if decls == nil {
+				continue
+			}
+			if prof != nil && !chainIsHot(decls, prof) {
+				continue
+			}
+			// The builder may still reject a structural match (e.g.
+			// constituents disagree on header offsets).
+			if pat.Build(fusedName(g, decls[0].Name), decls) == nil {
+				continue
+			}
+			return &chainMatch{pat: pat, decls: decls}
+		}
+	}
+	return nil
+}
+
+func chainIsHot(decls []*click.ElementDecl, prof *Profile) bool {
+	for _, d := range decls {
+		if prof.Saw(d.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+// matchChainAt checks that head begins a linear run of classes: each
+// interior hand-off is the element's only outgoing wire (port 0 to port
+// 0), each successor has exactly one incoming wire, and the last
+// element's side ports are unwired (LookupIPRoute excepted — its full
+// port space becomes the fused element's).
+func matchChainAt(head *click.ElementDecl, classes []string,
+	outBy map[string][]click.Connection, inBy map[string]int,
+	byName map[string]*click.ElementDecl) []*click.ElementDecl {
+	decls := []*click.ElementDecl{head}
+	cur := head
+	for k := 1; k < len(classes); k++ {
+		outs := outBy[cur.Name]
+		if len(outs) != 1 || outs[0].FromPort != 0 || outs[0].ToPort != 0 {
+			return nil
+		}
+		next := byName[outs[0].To]
+		if next == nil || next.Class != classes[k] || inBy[next.Name] != 1 {
+			return nil
+		}
+		decls = append(decls, next)
+		cur = next
+	}
+	last := decls[len(decls)-1]
+	if last.Class != "LookupIPRoute" {
+		for _, c := range outBy[last.Name] {
+			if c.FromPort != 0 {
+				return nil
+			}
+		}
+	}
+	return decls
+}
+
+// fusedName picks a fresh element name derived from the chain head's.
+func fusedName(g *click.Graph, base string) string {
+	taken := map[string]bool{}
+	for _, e := range g.Elements {
+		taken[e.Name] = true
+	}
+	name := "fused_" + base
+	for i := 2; taken[name]; i++ {
+		name = fmt.Sprintf("fused_%s_%d", base, i)
+	}
+	return name
+}
+
+// fuseChain rewrites the graph with the matched chain replaced by its
+// fused declaration: the fused element takes the head's position (so a
+// hot-first layout survives fusion), inherits the head's incoming wires
+// and the last element's outgoing wires, and the interior hops vanish.
+func fuseChain(g *click.Graph, m *chainMatch, prof *Profile) (*click.Graph, string, error) {
+	head := m.decls[0]
+	last := m.decls[len(m.decls)-1]
+	name := fusedName(g, head.Name)
+	fused := m.pat.Build(name, m.decls)
+	if fused == nil {
+		return nil, "", fmt.Errorf("fuse: builder rejected chain at %s", head.Name)
+	}
+	if prof != nil {
+		var total float64
+		for _, d := range m.decls {
+			total += prof.Weight(d.Name)
+		}
+		if total > 0 {
+			shares := make([]string, 0, len(m.decls))
+			for _, d := range m.decls {
+				shares = append(shares, fmt.Sprintf("%s:%.6g", d.Name, prof.Weight(d.Name)))
+			}
+			fused.Args = append(fused.Args, "SHARES "+strings.Join(shares, " "))
+		}
+	}
+	inChain := map[string]bool{}
+	chainNames := make([]string, 0, len(m.decls))
+	for _, d := range m.decls {
+		inChain[d.Name] = true
+		chainNames = append(chainNames, d.Name)
+	}
+	var elems []*click.ElementDecl
+	for _, e := range g.Elements {
+		switch {
+		case e == head:
+			elems = append(elems, fused)
+		case inChain[e.Name]:
+			// dropped: absorbed into the fused element
+		default:
+			elems = append(elems, e)
+		}
+	}
+	var conns []click.Connection
+	for _, c := range g.Conns {
+		if inChain[c.From] && inChain[c.To] {
+			continue // interior hop
+		}
+		if c.To == head.Name {
+			c.To = name
+		}
+		if c.From == last.Name {
+			c.From = name
+		}
+		conns = append(conns, c)
+	}
+	ng, err := rebuildGraph(elems, conns)
+	if err != nil {
+		return nil, "", err
+	}
+	return ng, strings.Join(chainNames, "→") + " ⇒ " + name, nil
+}

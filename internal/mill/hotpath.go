@@ -1,0 +1,111 @@
+package mill
+
+import (
+	"sort"
+
+	"packetmill/internal/click"
+)
+
+// HotLayout is the hot-path-ordered layout pass: element declarations are
+// re-ordered by a hottest-first walk from the packet sources, so the
+// profile-hottest chain becomes the fallthrough path — contiguous element
+// state in the static arena and first in the emitted ir.Module, the way a
+// PGO build lays out its hot text. Schedulable (Task) elements keep their
+// original relative order so the driver's round-robin is untouched, and
+// connections are untouched entirely: this pass changes placement, never
+// routing.
+type HotLayout struct {
+	Profile *Profile
+}
+
+// Name implements Pass.
+func (HotLayout) Name() string { return "hotlayout" }
+
+// Run implements Pass.
+func (h HotLayout) Run(p *Plan) error {
+	if h.Profile == nil || h.Profile.TotalCycles <= 0 {
+		p.note("hotlayout: no profile; element layout unchanged")
+		return nil
+	}
+	g := p.Graph
+	outBy := map[string][]click.Connection{}
+	for _, c := range g.Conns {
+		outBy[c.From] = append(outBy[c.From], c)
+	}
+	byName := map[string]*click.ElementDecl{}
+	for _, e := range g.Elements {
+		byName[e.Name] = e
+	}
+	visited := map[string]bool{}
+	var order []*click.ElementDecl
+	var walk func(d *click.ElementDecl)
+	walk = func(d *click.ElementDecl) {
+		if visited[d.Name] {
+			return
+		}
+		visited[d.Name] = true
+		order = append(order, d)
+		outs := append([]click.Connection(nil), outBy[d.Name]...)
+		sort.SliceStable(outs, func(i, j int) bool {
+			return h.Profile.Weight(outs[i].To) > h.Profile.Weight(outs[j].To)
+		})
+		for _, c := range outs {
+			if nd := byName[c.To]; nd != nil {
+				walk(nd)
+			}
+		}
+	}
+	for _, e := range g.Elements {
+		if click.IsSourceClass(e.Class) {
+			walk(e)
+		}
+	}
+	for _, e := range g.Elements {
+		if !visited[e.Name] {
+			visited[e.Name] = true
+			order = append(order, e)
+		}
+	}
+	// Pin schedulable elements at their original relative order.
+	var tasks []*click.ElementDecl
+	for _, e := range g.Elements {
+		if click.IsTaskClass(e.Class) {
+			tasks = append(tasks, e)
+		}
+	}
+	ti := 0
+	final := make([]*click.ElementDecl, 0, len(order))
+	for _, e := range order {
+		if click.IsTaskClass(e.Class) {
+			final = append(final, tasks[ti])
+			ti++
+		} else {
+			final = append(final, e)
+		}
+	}
+	same := true
+	for i := range final {
+		if final[i] != g.Elements[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		p.note("hotlayout: layout already hot-first")
+		return nil
+	}
+	ng, err := rebuildGraph(final, g.Conns)
+	if err != nil {
+		return err
+	}
+	p.Graph = ng
+	hottest := ""
+	var best float64
+	for _, e := range final {
+		if w := h.Profile.Weight(e.Name); w > best {
+			best, hottest = w, e.Name
+		}
+	}
+	p.note("hotlayout: %d elements re-laid hot-first (hottest: %s)", len(final), hottest)
+	return nil
+}

@@ -25,6 +25,18 @@ type Plan struct {
 	MetaLayout *layout.Layout
 	// Notes logs what each pass did.
 	Notes []string
+	// PassStats records each applied pass's graph-shape delta, in order,
+	// so ablation reports don't re-derive it.
+	PassStats []PassStat
+}
+
+// PassStat is one pass's before/after element and connection counts.
+type PassStat struct {
+	Pass           string
+	ElementsBefore int
+	ElementsAfter  int
+	ConnsBefore    int
+	ConnsAfter     int
 }
 
 // NewPlan parses a configuration into a vanilla plan.
@@ -46,12 +58,20 @@ type Pass interface {
 	Run(p *Plan) error
 }
 
-// Apply runs passes in order.
+// Apply runs passes in order, recording each pass's graph-shape delta.
 func (p *Plan) Apply(passes ...Pass) error {
 	for _, pass := range passes {
+		st := PassStat{
+			Pass:           pass.Name(),
+			ElementsBefore: len(p.Graph.Elements),
+			ConnsBefore:    len(p.Graph.Conns),
+		}
 		if err := pass.Run(p); err != nil {
 			return fmt.Errorf("mill: pass %s: %w", pass.Name(), err)
 		}
+		st.ElementsAfter = len(p.Graph.Elements)
+		st.ConnsAfter = len(p.Graph.Conns)
+		p.PassStats = append(p.PassStats, st)
 	}
 	return nil
 }

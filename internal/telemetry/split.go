@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"packetmill/internal/machine"
+)
+
+// SharePart names one constituent of a fused span and its share of the
+// span's cost. Shares are relative weights (typically the constituent
+// elements' cycle shares from a profile); they need not sum to 1.
+type SharePart struct {
+	Name  string
+	Share float64
+}
+
+// EnterShares opens a span like Enter, except that on Exit the span's
+// exclusive delta is distributed across parts pro-rata by Share instead
+// of being charged to a single bucket. Each part's bucket receives one
+// visit, the span's full packet count (every constituent logically saw
+// every packet), and its share of the cycles, instructions, LLC traffic,
+// and duration. The last part absorbs the rounding remainder, so the
+// distributed counters sum exactly to the span total and the coverage
+// invariant is preserved.
+//
+// This is how a fused element (one Push, one machine-level span) keeps
+// per-constituent attribution: the mill computes the shares from the
+// profile it fused against, and reports keep showing CheckIPHeader,
+// LookupIPRoute, ... as if they were never collapsed.
+//
+// name is the span's trace identity (the fused instance); with no parts
+// this degenerates to a plain Enter(stage, name).
+func (t *Tracker) EnterShares(stage Stage, name string, parts []SharePart) {
+	if t == nil {
+		return
+	}
+	if len(parts) == 0 {
+		t.Enter(stage, name)
+		return
+	}
+	now := t.core.Snapshot()
+	if n := len(t.stack); n > 0 {
+		top := &t.stack[n-1]
+		top.b.add(now.Delta(top.start))
+		top.accNS += now.WallNS - top.start.WallNS
+	}
+	sc := t.scratchBucket(stage, name)
+	t.stack = append(t.stack, frame{b: sc, start: now, parts: parts})
+	t.trace.SpanEnter()
+}
+
+// scratchBucket returns a reusable accumulator for one split-span nesting
+// level. The pool grows to the maximum nesting depth once and is reused
+// thereafter, so steady-state split spans allocate nothing.
+func (t *Tracker) scratchBucket(stage Stage, name string) *Bucket {
+	if t.splitDepth >= len(t.scratch) {
+		t.scratch = append(t.scratch, &Bucket{})
+	}
+	sc := t.scratch[t.splitDepth]
+	t.splitDepth++
+	sc.Stage = stage
+	sc.Name = name
+	sc.Visits = 0
+	sc.Packets = 0
+	sc.Delta = machine.Counters{}
+	return sc
+}
+
+// settleSplit distributes a closed split span's accumulated delta across
+// its parts. durNS is the visit's exclusive duration.
+func (t *Tracker) settleSplit(f *frame, durNS float64) {
+	sc := f.b
+	t.splitDepth--
+	total := 0.0
+	for _, p := range f.parts {
+		if p.Share > 0 {
+			total += p.Share
+		}
+	}
+	d := sc.Delta
+	n := len(f.parts)
+	var acc machine.Counters
+	accDur := 0.0
+	for i, p := range f.parts {
+		fr := 1 / float64(n)
+		if total > 0 {
+			fr = 0
+			if p.Share > 0 {
+				fr = p.Share / total
+			}
+		}
+		b := t.bucket(sc.Stage, p.Name)
+		b.Visits++
+		b.Packets += sc.Packets
+		var part machine.Counters
+		var dpart float64
+		if i == n-1 {
+			part = d.Delta(acc)
+			dpart = durNS - accDur
+		} else {
+			part = machine.Counters{
+				Instructions:   uint64(float64(d.Instructions) * fr),
+				BusyCycles:     d.BusyCycles * fr,
+				WallNS:         d.WallNS * fr,
+				IdleNS:         d.IdleNS * fr,
+				TLBMisses:      uint64(float64(d.TLBMisses) * fr),
+				LLCLoads:       uint64(float64(d.LLCLoads) * fr),
+				LLCLoadMisses:  uint64(float64(d.LLCLoadMisses) * fr),
+				LLCStores:      uint64(float64(d.LLCStores) * fr),
+				LLCStoreMisses: uint64(float64(d.LLCStoreMisses) * fr),
+			}
+			acc.Instructions += part.Instructions
+			acc.BusyCycles += part.BusyCycles
+			acc.WallNS += part.WallNS
+			acc.IdleNS += part.IdleNS
+			acc.TLBMisses += part.TLBMisses
+			acc.LLCLoads += part.LLCLoads
+			acc.LLCLoadMisses += part.LLCLoadMisses
+			acc.LLCStores += part.LLCStores
+			acc.LLCStoreMisses += part.LLCStoreMisses
+			dpart = durNS * fr
+			accDur += dpart
+		}
+		b.add(part)
+		if dpart >= 0 {
+			b.Dur.Record(dpart)
+		}
+	}
+}
+
+// LoadReport parses a JSON telemetry report (the output of -report json
+// or a /report snapshot) and validates its schema tag.
+func LoadReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("telemetry: parse report: %w", err)
+	}
+	if !strings.HasPrefix(r.Schema, "packetmill/telemetry/") {
+		return nil, fmt.Errorf("telemetry: unrecognized report schema %q", r.Schema)
+	}
+	return &r, nil
+}

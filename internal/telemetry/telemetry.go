@@ -91,6 +91,9 @@ type frame struct {
 	// bucket before nested spans paused it, so Exit can record the
 	// visit's full exclusive duration into b.Dur in one observation.
 	accNS float64
+	// parts marks a split span (EnterShares): b is then a scratch
+	// accumulator whose delta is distributed across parts at Exit.
+	parts []SharePart
 }
 
 // Tracker attributes one core's counter movement to spans. It is not
@@ -101,6 +104,10 @@ type Tracker struct {
 	buckets map[bucketKey]*Bucket
 	order   []bucketKey
 	trace   *trace.CoreTrace
+	// scratch pools split-span accumulators by nesting depth (see
+	// EnterShares); splitDepth counts the open split spans.
+	scratch    []*Bucket
+	splitDepth int
 }
 
 // NewTracker attaches a tracker to a core.
@@ -176,7 +183,12 @@ func (t *Tracker) Exit() {
 	now := t.core.Snapshot()
 	top := &t.stack[n-1]
 	top.b.add(now.Delta(top.start))
-	top.b.Dur.Record(top.accNS + now.WallNS - top.start.WallNS)
+	durNS := top.accNS + now.WallNS - top.start.WallNS
+	if top.parts != nil {
+		t.settleSplit(top, durNS)
+	} else {
+		top.b.Dur.Record(durNS)
+	}
 	t.trace.SpanExit(top.b.Stage.String(), top.b.Name)
 	t.stack = t.stack[:n-1]
 	if n > 1 {
