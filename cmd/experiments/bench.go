@@ -9,6 +9,7 @@ import (
 	"packetmill/internal/nf"
 	"packetmill/internal/overload"
 	"packetmill/internal/testbed"
+	"packetmill/internal/trafficgen"
 )
 
 // datapathEntry is one canonical forwarding loop's row in the bench
@@ -41,6 +42,7 @@ func datapathBench() ([]datapathEntry, error) {
 		freq     float64
 		cores    int
 		overload *overload.Config
+		traffic  func(nicID int, cfg trafficgen.Config) trafficgen.Source
 	}{
 		{name: "mirror-copying", config: nf.Mirror(0, 32), model: click.Copying},
 		{name: "mirror-xchange", config: nf.Mirror(0, 32), model: click.XChange},
@@ -55,6 +57,16 @@ func datapathBench() ([]datapathEntry, error) {
 			mill: true, profiled: true, freq: 1.6},
 		{name: "mirror-xchange-overload", config: nf.Mirror(0, 32), model: click.XChange,
 			overload: &overload.Config{Policy: overload.PolicyTailDrop}},
+		// The NAT on its conntrack shard under flow churn: every packet
+		// pays the flow-table lookup, new flows pay the insert + port
+		// allocation, and the timer wheel sweeps inline — the state
+		// plane's per-packet cost is gated alongside the stateless paths.
+		{name: "nat-conntrack", config: nf.NATRouter(32), model: click.XChange,
+			traffic: func(nicID int, cfg trafficgen.Config) trafficgen.Source {
+				return trafficgen.NewChurn(trafficgen.ChurnConfig{
+					Config: cfg, Concurrent: 4096, FlowPackets: 8,
+				})
+			}},
 		// The per-core datapaths must not dilute: offered load scales with
 		// the core count (100 Gbps per core), so pps/core at N cores is
 		// gated against the same 10% band as the single-core rows.
@@ -95,7 +107,7 @@ func datapathBench() ([]datapathEntry, error) {
 		nPackets := packets * cores
 		o := testbed.Options{
 			FreqGHz: freq, RateGbps: 100 * float64(cores), Packets: nPackets,
-			Seed: 1, Cores: cores, Overload: c.overload,
+			Seed: 1, Cores: cores, Overload: c.overload, Traffic: c.traffic,
 		}
 		runtime.GC()
 		runtime.GC()

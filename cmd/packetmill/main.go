@@ -47,6 +47,7 @@ import (
 	"packetmill/internal/overload"
 	"packetmill/internal/simrand"
 	"packetmill/internal/stats"
+	"packetmill/internal/telemetry"
 	"packetmill/internal/testbed"
 	"packetmill/internal/trace"
 	"packetmill/internal/trafficgen"
@@ -58,7 +59,7 @@ import (
 func main() {
 	var (
 		configPath = flag.String("config", "", "Click configuration file")
-		builtin    = flag.String("builtin", "", "built-in NF: forwarder|mirror|router|ids|nat|workpackage")
+		builtin    = flag.String("builtin", "", "built-in NF: forwarder|mirror|router|ids|nat|conntrack|workpackage")
 		model      = flag.String("model", "copying", "metadata model: copying|overlaying|x-change")
 		doMill     = flag.Bool("mill", false, "apply PacketMill source-code passes")
 		millProf   = flag.String("mill-profile", "", `apply the profile-guided passes (hot layout, classifier compilation, element fusion) driven by this telemetry report JSON (from -report json or a /report snapshot); "auto" captures a fresh profile with a short run`)
@@ -92,7 +93,7 @@ func main() {
 		wireIdle   = flag.Duration("wire-idle", 2*time.Second, "-io wire: exit after this long with no traffic (0 = never)")
 		wireCount  = flag.Int("wire-count", 0, "-io wire: exit after this many packets (0 = unlimited)")
 
-		trafficKind = flag.String("traffic", "campus", "offered traffic: campus, or priority (campus with a 10% high-precedence share, TOS 0xE0 = class 7)")
+		trafficKind = flag.String("traffic", "campus", "offered traffic: campus, priority (campus with a 10% high-precedence share, TOS 0xE0 = class 7), churn (Zipf flow churn with TCP lifecycles), synflood (distinct half-opens), or storm (handshake waves separated by idle gaps)")
 		ovlPolicy   = flag.String("overload-policy", "", "arm the overload control plane with this RX admission policy: none|tail-drop|red|priority")
 		ovlHigh     = flag.Float64("overload-high", 0, "overload: high occupancy watermark, fraction of ring (0 = default 0.85)")
 		ovlLow      = flag.Float64("overload-low", 0, "overload: low occupancy watermark (0 = default 0.35)")
@@ -161,8 +162,22 @@ func main() {
 		base.Traffic = func(nicID int, cfg trafficgen.Config) trafficgen.Source {
 			return trafficgen.NewPriorityMix(cfg, 0.1, 0xE0)
 		}
+	case "churn":
+		base.Traffic = func(nicID int, cfg trafficgen.Config) trafficgen.Source {
+			return trafficgen.NewChurn(trafficgen.ChurnConfig{
+				Config: cfg, Concurrent: 2048, FlowPackets: 8,
+			})
+		}
+	case "synflood", "syn-flood":
+		base.Traffic = func(nicID int, cfg trafficgen.Config) trafficgen.Source {
+			return trafficgen.NewSYNFlood(cfg)
+		}
+	case "storm", "expiry-storm":
+		base.Traffic = func(nicID int, cfg trafficgen.Config) trafficgen.Source {
+			return trafficgen.NewExpiryStorm(cfg, 512, 1e7)
+		}
 	default:
-		fatal(fmt.Errorf("unknown -traffic %q (want campus or priority)", *trafficKind))
+		fatal(fmt.Errorf("unknown -traffic %q (want campus, priority, churn, synflood, or storm)", *trafficKind))
 	}
 	if *ovlPolicy != "" || *ovlLossless {
 		policy, err := overload.ParsePolicy(*ovlPolicy)
@@ -561,6 +576,8 @@ func loadConfig(path, builtin string) (string, error) {
 		return nf.IDSRouter(32), nil
 	case "nat":
 		return nf.NATRouter(32), nil
+	case "conntrack":
+		return nf.ConnTrackForwarder(32, 65536), nil
 	case "workpackage":
 		return nf.WorkPackageForwarder(32, 4, 1, 4), nil
 	case "":
@@ -584,6 +601,29 @@ func report(res *testbed.Result) {
 	if fs := res.FaultStats; fs != nil {
 		fmt.Printf("injected:       wire-drops=%d link-down=%d corruptions=%d truncations=%d\n",
 			fs.WireDrops, fs.LinkDownDrops, fs.Corruptions, fs.Truncations)
+	}
+	for coreID, rt := range res.Routers {
+		if rt == nil {
+			continue
+		}
+		for _, inst := range rt.Instances {
+			fr, ok := inst.El.(telemetry.FlowReporter)
+			if !ok {
+				continue
+			}
+			ct := fr.FlowReport()
+			var evicted uint64
+			for _, v := range ct.Evictions {
+				evicted += v
+			}
+			fmt.Printf("conntrack[%d]:   %s: %d/%d flows, %d inserted, %d expired, %d evicted, %d refused\n",
+				coreID, inst.Name, ct.FlowTableEntries, ct.Capacity,
+				ct.Insertions, ct.Expirations, evicted, ct.RefusedFull+ct.RefusedInvalid)
+			if ct.PortsInUse > 0 || ct.PortsRecycled > 0 {
+				fmt.Printf("nat ports[%d]:   %s: %d in use, %d recycled\n",
+					coreID, inst.Name, ct.PortsInUse, ct.PortsRecycled)
+			}
+		}
 	}
 	for core, st := range res.Overload {
 		fmt.Printf("overload[%d]:    policy=%s state=%s transitions=%d admits=%d sheds=%d pauses=%d paused=%.1fµs\n",

@@ -1,0 +1,7 @@
+
+// Forwarder + connection tracker
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+input -> ConnTracker(CAPACITY 65536)
+      -> EtherRewrite(SRC 02:00:00:00:00:02, DST 02:00:00:00:00:01)
+      -> output;

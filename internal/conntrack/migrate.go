@@ -1,0 +1,155 @@
+// Flow migration: when wire.Fanout's rebalance moves an RSS bucket to a
+// colder core, the flows pinned under that bucket must follow — their
+// state lives in the old owner's shard, and a conntrack miss on the new
+// core would refuse (strict mode) or mistrack them. The Migrator is the
+// mailbox between the fanout's reader goroutine and the per-core serve
+// loops: the reader posts bucket moves (OnMove), the old owner exports
+// matching flows on its next collection pass (Collect), and the new
+// owner installs them before it sees the rerouted packets (Adopt).
+//
+// Steady state shares nothing: the mutex is taken only around the rare
+// rebalance events and their drain, never per packet, and shards remain
+// single-core-owned throughout — flows cross cores as values, not as
+// shared memory.
+package conntrack
+
+import (
+	"sync"
+
+	"packetmill/internal/machine"
+)
+
+// Migrator routes flow records between per-core shards on fanout bucket
+// moves. Create one per fanout with NewMigrator, hang its OnMove on the
+// fanout, and have each core call Collect/Adopt from its serve loop.
+type Migrator struct {
+	bucketOf func(Key) int
+	mu       sync.Mutex
+	pending  []map[int]int  // per-source core: bucket → new owner
+	inbox    [][]FlowRecord // per-destination core
+	posted   uint64
+	exported uint64
+	adopted  uint64
+}
+
+// NewMigrator builds a migrator for n cores. bucketOf must map a flow
+// key to the same bucket the fanout's frame hash yields (see
+// nic.HashTuple), or flows will chase the wrong moves.
+func NewMigrator(n int, bucketOf func(Key) int) *Migrator {
+	m := &Migrator{
+		bucketOf: bucketOf,
+		pending:  make([]map[int]int, n),
+		inbox:    make([][]FlowRecord, n),
+	}
+	for i := range m.pending {
+		m.pending[i] = map[int]int{}
+	}
+	return m
+}
+
+// OnMove records that bucket now belongs to core to; callable from the
+// fanout reader goroutine (this is the wire.Fanout.OnMove signature).
+func (m *Migrator) OnMove(bucket, from, to int) {
+	if from == to || from < 0 || from >= len(m.pending) || to < 0 || to >= len(m.inbox) {
+		return
+	}
+	m.mu.Lock()
+	m.pending[from][bucket] = to
+	m.posted++
+	m.mu.Unlock()
+}
+
+// Collect is run by core coreID against its own shard: every live flow
+// whose bucket has been reassigned is exported from the shard (the
+// reclaim callback sees CauseMigrated) and posted to the new owner's
+// inbox. Returns the number of flows exported. O(capacity) on the rare
+// rebalance event, never on the packet path.
+func (m *Migrator) Collect(coreID int, core *machine.Core, s *Shard) int {
+	m.mu.Lock()
+	moves := m.pending[coreID]
+	if len(moves) == 0 {
+		m.mu.Unlock()
+		return 0
+	}
+	m.pending[coreID] = map[int]int{}
+	m.mu.Unlock()
+
+	type job struct {
+		key Key
+		to  int
+	}
+	var jobs []job
+	s.ForEachLive(func(e *Entry) bool {
+		if to, ok := moves[m.bucketOf(e.Key)]; ok {
+			jobs = append(jobs, job{key: e.Key, to: to})
+		}
+		return true
+	})
+	n := 0
+	for _, j := range jobs {
+		rec, ok := s.Export(core, j.key)
+		if !ok {
+			continue
+		}
+		m.mu.Lock()
+		m.inbox[j.to] = append(m.inbox[j.to], rec)
+		m.exported++
+		m.mu.Unlock()
+		n++
+	}
+	return n
+}
+
+// Adopt is run by core coreID against its own shard: drain the inbox
+// and install every record. Returns the number adopted; records the
+// shard refuses (pressure) are dropped — the flow re-tracks on its next
+// packet like any new flow.
+func (m *Migrator) Adopt(coreID int, core *machine.Core, s *Shard, nowNS float64) int {
+	m.mu.Lock()
+	recs := m.inbox[coreID]
+	if len(recs) == 0 {
+		m.mu.Unlock()
+		return 0
+	}
+	m.inbox[coreID] = nil
+	m.mu.Unlock()
+	n := 0
+	for _, rec := range recs {
+		if _, v := s.Import(core, rec, nowNS); v == VerdictNew {
+			n++
+		}
+	}
+	m.mu.Lock()
+	m.adopted += uint64(n)
+	m.mu.Unlock()
+	return n
+}
+
+// PendingFor reports queued bucket moves (not yet collected) for a core
+// plus inbox records awaiting adoption — a health probe for tests.
+func (m *Migrator) PendingFor(coreID int) (moves, records int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending[coreID]), len(m.inbox[coreID])
+}
+
+// Counters reports lifetime posted moves, exported flows, and adopted
+// flows.
+func (m *Migrator) Counters() (posted, exported, adopted uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.posted, m.exported, m.adopted
+}
+
+// Canonical orders a bidirectional 5-tuple so both directions of a
+// conversation map to one entry; swapped reports whether this packet
+// traveled the reverse (responder→initiator) direction.
+func Canonical(k Key) (canon Key, swapped bool) {
+	a := uint64(k.SrcIP)<<16 | uint64(k.SrcPort)
+	b := uint64(k.DstIP)<<16 | uint64(k.DstPort)
+	if a <= b {
+		return k, false
+	}
+	return Key{SrcIP: k.DstIP, DstIP: k.SrcIP,
+		SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: k.Proto}, true
+}

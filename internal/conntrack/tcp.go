@@ -1,0 +1,189 @@
+// The per-entry TCP state machine. A middlebox tracker sees an arbitrary
+// cut of the conversation — often only one direction (a source NAT sees
+// outbound segments; the returns may take another path) — so transitions
+// accept unidirectional evidence: a client ACK after SYN promotes the
+// flow to established without requiring the SYN/ACK to have been
+// observed. State drives two policies: the idle timeout armed on the
+// timer wheel (embryonic flows age out in seconds, established ones
+// persist) and the eviction class under table pressure (embryonic
+// evicted first, established last — the shape that makes a SYN flood
+// cannibalize itself instead of the long-lived flows).
+package conntrack
+
+import "packetmill/internal/netpkt"
+
+// State is the tracked position of a flow in its lifecycle.
+type State uint8
+
+const (
+	// StateFree marks an unoccupied slab slot; live entries never hold it.
+	StateFree State = iota
+	// StateUntracked covers non-TCP flows (UDP, ICMP): no handshake to
+	// observe, so only the idle timeout applies.
+	StateUntracked
+	// StateSynSent: a SYN has been seen, nothing more — embryonic.
+	StateSynSent
+	// StateSynAck: the SYN/ACK came back — still embryonic until the
+	// handshake completes.
+	StateSynAck
+	// StateEstablished: handshake complete (or a mid-stream pickup in
+	// loose mode).
+	StateEstablished
+	// StateFinWait: a FIN has been seen; the flow is winding down.
+	StateFinWait
+	// StateClosed: an RST arrived (or teardown finished); the entry
+	// lingers briefly so late segments match instead of looking new.
+	StateClosed
+
+	// NumStates bounds the state space.
+	NumStates
+)
+
+var stateNames = [NumStates]string{
+	"free", "untracked", "syn-sent", "syn-ack", "established", "fin-wait", "closed",
+}
+
+// String names the state the way reports print it.
+func (s State) String() string {
+	if s < NumStates {
+		return stateNames[s]
+	}
+	return "invalid"
+}
+
+// Class is the eviction priority group a state maps to. Under table
+// pressure victims are taken from the lowest class with a resident
+// entry, oldest activity first.
+type Class uint8
+
+const (
+	// ClassEmbryonic: half-open handshakes — the first to go (SYN-flood
+	// entries live here).
+	ClassEmbryonic Class = iota
+	// ClassTransient: connectionless flows and closing/closed TCP.
+	ClassTransient
+	// ClassEstablished: full connections — evicted only when nothing
+	// cheaper remains.
+	ClassEstablished
+
+	// NumClasses bounds the class space.
+	NumClasses
+)
+
+var classNames = [NumClasses]string{"embryonic", "transient", "established"}
+
+// String names the class the way reports print it.
+func (c Class) String() string {
+	if c < NumClasses {
+		return classNames[c]
+	}
+	return "invalid"
+}
+
+// classOf maps a state to its eviction class.
+func classOf(s State) Class {
+	switch s {
+	case StateSynSent, StateSynAck:
+		return ClassEmbryonic
+	case StateEstablished:
+		return ClassEstablished
+	default:
+		return ClassTransient
+	}
+}
+
+// Timeouts are the state-dependent idle limits, in simulated nanoseconds.
+type Timeouts struct {
+	// Embryonic applies to SynSent/SynAck — short, so half-open floods
+	// age out on their own.
+	Embryonic float64
+	// Established applies to completed connections.
+	Established float64
+	// Closing applies to FinWait/Closed — long enough to absorb stray
+	// retransmits, short enough to free the slot promptly.
+	Closing float64
+	// Untracked applies to UDP/ICMP flows.
+	Untracked float64
+}
+
+// DefaultTimeouts mirrors the shape (not the wall-clock scale) of kernel
+// conntrack defaults, compressed so simulated runs exercise expiry.
+func DefaultTimeouts() Timeouts {
+	return Timeouts{
+		Embryonic:   5e9,   // 5 s
+		Established: 120e9, // 2 min
+		Closing:     10e9,  // 10 s
+		Untracked:   30e9,  // 30 s
+	}
+}
+
+// forState picks the idle limit for a state.
+func (t Timeouts) forState(s State) float64 {
+	switch s {
+	case StateSynSent, StateSynAck:
+		return t.Embryonic
+	case StateEstablished:
+		return t.Established
+	case StateFinWait, StateClosed:
+		return t.Closing
+	default:
+		return t.Untracked
+	}
+}
+
+// next advances the state machine by one observed segment's flags.
+// Non-TCP protocols stay untracked. The machine is deliberately loose
+// about direction: it tracks the strongest evidence seen from either
+// side, which is all a unidirectional vantage can do.
+func next(cur State, proto uint8, flags uint8) State {
+	if proto != netpkt.ProtoTCP {
+		return StateUntracked
+	}
+	if flags&netpkt.TCPFlagRST != 0 {
+		return StateClosed
+	}
+	if flags&netpkt.TCPFlagFIN != 0 {
+		if cur == StateClosed {
+			return StateClosed
+		}
+		return StateFinWait
+	}
+	switch cur {
+	case StateSynSent:
+		if flags&netpkt.TCPFlagSYN != 0 {
+			if flags&netpkt.TCPFlagACK != 0 {
+				return StateSynAck
+			}
+			return StateSynSent // retransmitted SYN
+		}
+		if flags&netpkt.TCPFlagACK != 0 {
+			return StateEstablished // third leg of the handshake
+		}
+		return StateSynSent
+	case StateSynAck:
+		if flags&netpkt.TCPFlagACK != 0 && flags&netpkt.TCPFlagSYN == 0 {
+			return StateEstablished
+		}
+		return StateSynAck
+	case StateEstablished:
+		return StateEstablished
+	case StateFinWait:
+		return StateFinWait
+	case StateClosed:
+		// A fresh SYN on a lingering closed entry is the 5-tuple being
+		// reincarnated: restart the handshake instead of resurrecting
+		// the corpse.
+		if flags&netpkt.TCPFlagSYN != 0 && flags&netpkt.TCPFlagACK == 0 {
+			return StateSynSent
+		}
+		return StateClosed
+	default:
+		// First segment of an unknown flow.
+		if flags&netpkt.TCPFlagSYN != 0 && flags&netpkt.TCPFlagACK == 0 {
+			return StateSynSent
+		}
+		// Mid-stream pickup (loose mode admits it as established; strict
+		// mode refuses before calling next).
+		return StateEstablished
+	}
+}

@@ -1,0 +1,172 @@
+// The hierarchical timer wheel that ages flows. Classic hashed-wheel
+// design (Varghese & Lauck): four levels of 256 slots, each slot an
+// intrusive doubly-linked list threaded through the shard's entry slab
+// by index — arming, cancelling, and re-arming are O(1) pointer splices
+// with no allocation, no goroutines, and no time.Timer anywhere. Level 0
+// resolves one tick (1 ms of simulated time by default); each higher
+// level is 256× coarser, so the wheel spans ~50 days of deadline at
+// millisecond resolution in 4×256 list heads.
+//
+// Expiry is lazy: the wheel fires an entry at the deadline it was armed
+// with, and the shard's expire callback re-arms it if packets have
+// arrived since (the hot path only stamps LastSeen — it never touches
+// the wheel). Advance takes a budget so a mass-expiry storm is amortized
+// across bursts: when the budget runs out mid-slot the wheel parks and
+// resumes at the same tick on the next call, and the distance between
+// wall time and wheel time is exported as the wheel-lag gauge.
+package conntrack
+
+const (
+	wheelLevelBits = 8
+	wheelSlotCount = 1 << wheelLevelBits // slots per level
+	wheelSlotMask  = wheelSlotCount - 1
+	wheelLevels    = 4
+
+	// noEntry is the nil of slab indices.
+	noEntry = int32(-1)
+)
+
+// wheel is the aging structure. It owns no entries — it links the
+// shard's slab through the wheelNext/wheelPrev/wheelPos fields.
+type wheel struct {
+	ents   []Entry
+	tickNS float64
+	cur    int64 // last fully processed tick
+	heads  [wheelLevels][wheelSlotCount]int32
+	armed  int
+}
+
+func (w *wheel) init(ents []Entry, tickNS float64) {
+	w.ents = ents
+	w.tickNS = tickNS
+	w.cur = 0
+	w.armed = 0
+	for l := range w.heads {
+		for s := range w.heads[l] {
+			w.heads[l][s] = noEntry
+		}
+	}
+}
+
+// arm links entry idx so it fires at deadlineNS. The entry must not be
+// armed already (cancel first); deadlines at or before the wheel's
+// current position are clamped to the next tick.
+func (w *wheel) arm(idx int32, deadlineNS float64) {
+	w.armAt(idx, int64(deadlineNS/w.tickNS))
+}
+
+// armAt is arm in tick units — also the cascade's re-filing path.
+// A level-l slot resolves deltas up to 256^(l+1) inclusive: a slot
+// fires when the tick counter next congruence-matches it, which for a
+// delta of exactly 256^(l+1) is one full lap away — still correct, and
+// the inclusive bound is what keeps a cascaded entry from bouncing back
+// into the slot it was just pulled from.
+func (w *wheel) armAt(idx int32, tick int64) {
+	if tick <= w.cur {
+		tick = w.cur + 1
+	}
+	e := &w.ents[idx]
+	e.deadTick = tick
+	delta := tick - w.cur
+	level := 0
+	for level < wheelLevels-1 && delta > int64(1)<<(wheelLevelBits*(level+1)) {
+		level++
+	}
+	slot := (tick >> (wheelLevelBits * level)) & wheelSlotMask
+	head := &w.heads[level][slot]
+	e.wheelPos = int32(level)<<wheelLevelBits | int32(slot)
+	e.wheelPrev = noEntry
+	e.wheelNext = *head
+	if *head != noEntry {
+		w.ents[*head].wheelPrev = idx
+	}
+	*head = idx
+	w.armed++
+}
+
+// cancel unlinks entry idx from whatever slot holds it. No-op when the
+// entry is not armed.
+func (w *wheel) cancel(idx int32) {
+	e := &w.ents[idx]
+	if e.wheelPos < 0 {
+		return
+	}
+	level := int(e.wheelPos) >> wheelLevelBits
+	slot := int(e.wheelPos) & wheelSlotMask
+	if e.wheelPrev != noEntry {
+		w.ents[e.wheelPrev].wheelNext = e.wheelNext
+	} else {
+		w.heads[level][slot] = e.wheelNext
+	}
+	if e.wheelNext != noEntry {
+		w.ents[e.wheelNext].wheelPrev = e.wheelPrev
+	}
+	e.wheelPos = -1
+	e.wheelNext, e.wheelPrev = noEntry, noEntry
+	w.armed--
+}
+
+// cascade re-files every entry parked in a higher-level slot down to the
+// level that can now resolve its deadline. The chain is detached first,
+// so an entry re-filing into the same head (delta exactly at the level
+// bound) cannot loop the iteration.
+func (w *wheel) cascade(level int, slot int64) {
+	head := &w.heads[level][slot]
+	idx := *head
+	*head = noEntry
+	for idx != noEntry {
+		e := &w.ents[idx]
+		next := e.wheelNext
+		e.wheelPos = -1
+		e.wheelNext, e.wheelPrev = noEntry, noEntry
+		w.armed--
+		w.armAt(idx, e.deadTick)
+		idx = next
+	}
+}
+
+// advance processes ticks up to nowNS, invoking fire for every armed
+// entry whose slot comes due, at most budget firings. It returns the
+// number fired. fire may re-arm the entry (lazy re-arm) or reclaim it;
+// it must not touch other armed entries. When the budget is exhausted
+// mid-tick the tick is left unprocessed, so the next call resumes
+// exactly there (re-running its cascade is harmless — the higher slots
+// are already empty).
+func (w *wheel) advance(nowNS float64, budget int, fire func(idx int32)) int {
+	target := int64(nowNS / w.tickNS)
+	fired := 0
+	for w.cur < target {
+		tick := w.cur + 1
+		// Pull coarser slots down before draining: an entry due exactly
+		// at a boundary tick cascades into the level-0 slot drained
+		// just below.
+		for level := 1; level < wheelLevels; level++ {
+			if tick&((int64(1)<<(wheelLevelBits*level))-1) != 0 {
+				break
+			}
+			w.cascade(level, (tick>>(wheelLevelBits*level))&wheelSlotMask)
+		}
+		slot := &w.heads[0][tick&wheelSlotMask]
+		for *slot != noEntry {
+			if fired >= budget {
+				return fired
+			}
+			idx := *slot
+			w.cancel(idx)
+			fire(idx)
+			fired++
+		}
+		w.cur = tick
+	}
+	return fired
+}
+
+// lagNS reports how far wheel time trails nowNS — nonzero while a
+// budgeted sweep is catching up on a storm.
+func (w *wheel) lagNS(nowNS float64) float64 {
+	lag := nowNS - float64(w.cur)*w.tickNS
+	if lag < 0 {
+		return 0
+	}
+	return lag
+}

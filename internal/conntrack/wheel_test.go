@@ -1,0 +1,143 @@
+package conntrack
+
+import "testing"
+
+// wheelRig builds a wheel over a bare slab, bypassing the shard, so the
+// timing structure is testable in isolation. tickNS = 1 for readable
+// arithmetic: deadlines are in ticks.
+func wheelRig(n int) (*wheel, []Entry) {
+	ents := make([]Entry, n)
+	for i := range ents {
+		ents[i].wheelPos = -1
+		ents[i].wheelNext, ents[i].wheelPrev = noEntry, noEntry
+	}
+	w := &wheel{}
+	w.init(ents, 1)
+	return w, ents
+}
+
+func collectFired(w *wheel, nowNS float64, budget int) []int32 {
+	var fired []int32
+	w.advance(nowNS, budget, func(idx int32) { fired = append(fired, idx) })
+	return fired
+}
+
+func TestWheelFiresAtDeadline(t *testing.T) {
+	w, _ := wheelRig(4)
+	w.arm(0, 10)
+	if f := collectFired(w, 9, 1000); len(f) != 0 {
+		t.Fatalf("fired %v before deadline", f)
+	}
+	if f := collectFired(w, 10, 1000); len(f) != 1 || f[0] != 0 {
+		t.Fatalf("at deadline fired %v, want [0]", f)
+	}
+	if w.armed != 0 {
+		t.Fatalf("armed=%d after firing", w.armed)
+	}
+}
+
+func TestWheelCancel(t *testing.T) {
+	w, _ := wheelRig(4)
+	w.arm(0, 5)
+	w.arm(1, 5)
+	w.arm(2, 5)
+	w.cancel(1)
+	f := collectFired(w, 100, 1000)
+	for _, idx := range f {
+		if idx == 1 {
+			t.Fatal("cancelled entry fired")
+		}
+	}
+	if len(f) != 2 {
+		t.Fatalf("fired %v, want two survivors", f)
+	}
+	// Double cancel is a no-op.
+	w.cancel(1)
+	if w.armed != 0 {
+		t.Fatalf("armed=%d", w.armed)
+	}
+}
+
+// Deadlines spanning every level — including the exact level bounds
+// (256, 65536) where an off-by-one strands an entry for a full lap —
+// must fire at their tick, never early, never a lap late.
+func TestWheelHierarchyBounds(t *testing.T) {
+	deadlines := []int64{1, 2, 255, 256, 257, 511, 512, 1000,
+		65535, 65536, 65537, 1 << 20, (1 << 16) * 3}
+	w, _ := wheelRig(len(deadlines))
+	for i, d := range deadlines {
+		w.arm(int32(i), float64(d))
+	}
+	for now := int64(1); now <= 1<<20+1; now <<= 1 {
+		for _, idx := range collectFired(w, float64(now), 1<<21) {
+			if d := deadlines[idx]; d > now {
+				t.Fatalf("entry %d (deadline %d) fired early at %d", idx, d, now)
+			}
+		}
+		for i, d := range deadlines {
+			if d <= now && w.ents[i].wheelPos >= 0 {
+				t.Fatalf("entry %d (deadline %d) still armed at %d", i, d, now)
+			}
+		}
+	}
+	if f := collectFired(w, 1<<21, 1<<22); len(f) != 0 && w.armed != 0 {
+		t.Fatalf("stragglers: %v, armed=%d", f, w.armed)
+	}
+	if w.armed != 0 {
+		t.Fatalf("armed=%d after full sweep", w.armed)
+	}
+}
+
+// The budget must amortize a mass-expiry storm: far fewer firings per
+// advance than armed entries, full drain across calls, monotonic lag
+// that returns to zero.
+func TestWheelBudgetAmortizesStorm(t *testing.T) {
+	const n = 10000
+	w, _ := wheelRig(n)
+	for i := 0; i < n; i++ {
+		w.arm(int32(i), float64(100+i%3)) // three adjacent ticks
+	}
+	total, calls := 0, 0
+	for total < n {
+		f := len(collectFired(w, 200, 256))
+		if f == 0 {
+			t.Fatalf("stalled at %d/%d after %d calls", total, n, calls)
+		}
+		if f > 256 {
+			t.Fatalf("budget exceeded: %d fired in one call", f)
+		}
+		total += f
+		calls++
+		if total < n && w.lagNS(200) <= 0 {
+			t.Fatal("no lag while entries remain")
+		}
+	}
+	if calls < n/256 {
+		t.Fatalf("storm drained in %d calls — budget not enforced", calls)
+	}
+	if w.lagNS(200) != 0 {
+		t.Fatalf("lag %v after full drain", w.lagNS(200))
+	}
+}
+
+// Re-arming from inside the fire callback (the lazy-expiry pattern)
+// must defer the entry, not lose it or fire it twice in one pass.
+func TestWheelRearmFromFire(t *testing.T) {
+	w, _ := wheelRig(2)
+	w.arm(0, 10)
+	rearmed := false
+	fires := 0
+	w.advance(50, 100, func(idx int32) {
+		fires++
+		if !rearmed {
+			rearmed = true
+			w.arm(idx, 40)
+		}
+	})
+	if fires != 2 {
+		t.Fatalf("fires=%d, want 2 (original + re-armed)", fires)
+	}
+	if w.armed != 0 {
+		t.Fatalf("armed=%d", w.armed)
+	}
+}

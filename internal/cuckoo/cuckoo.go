@@ -10,11 +10,17 @@
 package cuckoo
 
 import (
+	"errors"
 	"fmt"
 
 	"packetmill/internal/machine"
 	"packetmill/internal/memsim"
 )
+
+// ErrFull is wrapped by Insert's error when the cuckoo path is exhausted,
+// so callers layering an eviction policy on top can detect capacity
+// pressure with errors.Is instead of string matching.
+var ErrFull = errors.New("cuckoo: table full")
 
 // SlotsPerBucket matches rte_hash's bucket width.
 const SlotsPerBucket = 4
@@ -150,19 +156,22 @@ func (t *Table) Insert(core *machine.Core, k Key, v uint64) error {
 	}
 	// Displace along a cuckoo path starting from i1, journaling every
 	// swap so a dead-end path can be rolled back without losing any
-	// resident entry.
+	// resident entry. The journal is a fixed stack array: inserts stay
+	// allocation-free even when the path displaces.
 	type step struct {
 		idx    uint32
 		victim int
 		old    slot
 	}
-	var journal []step
+	var journal [maxDisplacements]step
+	jn := 0
 	cur := slot{occupied: true, tag: tag, key: k, value: v}
 	idx := i1
 	victim := 0
 	for hop := 0; hop < maxDisplacements; hop++ {
 		b := &t.buckets[idx]
-		journal = append(journal, step{idx: idx, victim: victim, old: b.slots[victim]})
+		journal[jn] = step{idx: idx, victim: victim, old: b.slots[victim]}
+		jn++
 		cur, b.slots[victim] = b.slots[victim], cur
 		if core != nil {
 			core.Store(t.base+memsim.Addr(idx)*bucketBytes, bucketBytes)
@@ -179,11 +188,35 @@ func (t *Table) Insert(core *machine.Core, k Key, v uint64) error {
 		victim = (victim + hop) % SlotsPerBucket
 	}
 	// Roll back: undo swaps newest-first, restoring each displaced entry.
-	for i := len(journal) - 1; i >= 0; i-- {
+	for i := jn - 1; i >= 0; i-- {
 		s := journal[i]
 		t.buckets[s.idx].slots[s.victim] = s.old
 	}
-	return fmt.Errorf("cuckoo: table full (%d/%d entries)", t.count, t.Capacity())
+	return fmt.Errorf("%w (%d/%d entries)", ErrFull, t.count, t.Capacity())
+}
+
+// InsertEvict inserts k→v like Insert, but when the bounded cuckoo path
+// is exhausted it asks evict for a resident key to remove and retries.
+// The callback returning false ends the attempt and the ErrFull-wrapped
+// error is returned; evicted keys the table does not actually hold are a
+// callback bug and surface the same way. Retries are bounded so a
+// misbehaving callback cannot loop forever.
+func (t *Table) InsertEvict(core *machine.Core, k Key, v uint64, evict func() (Key, bool)) error {
+	const maxEvictions = 8
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = t.Insert(core, k, v)
+		if err == nil || !errors.Is(err, ErrFull) {
+			return err
+		}
+		if attempt >= maxEvictions || evict == nil {
+			return err
+		}
+		victim, ok := evict()
+		if !ok || !t.Delete(core, victim) {
+			return err
+		}
+	}
 }
 
 func (t *Table) updateInBucket(idx uint32, tag uint16, k Key, v uint64) bool {

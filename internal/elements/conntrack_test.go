@@ -1,0 +1,175 @@
+package elements_test
+
+import (
+	"testing"
+
+	"packetmill/internal/click"
+	"packetmill/internal/elements"
+	"packetmill/internal/netpkt"
+	"packetmill/internal/stats"
+)
+
+func tcpFrame(src, dst netpkt.IPv4, sport uint16, flags uint8) []byte {
+	return netpkt.BuildTCP(make([]byte, 2048), netpkt.TCPPacketSpec{
+		SrcMAC: netpkt.MAC{0x02, 0, 0, 0, 0, 1}, DstMAC: netpkt.MAC{0x02, 0, 0, 0, 0, 2},
+		SrcIP: src, DstIP: dst, SrcPort: sport, DstPort: 80,
+		Flags: flags, TotalLen: 64,
+	})
+}
+
+// Strict mode must refuse a mid-stream TCP pickup (no SYN seen) under
+// the flow-table-invalid reason, while a proper SYN opens the flow.
+func TestConnTrackerStrictRefusesMidStream(t *testing.T) {
+	h := newHarness(t, ioWrap+
+		`input -> ct :: ConnTracker(CAPACITY 64, STRICT true) -> output;`,
+		click.Copying)
+	src, dst := netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1}
+
+	h.inject(tcpFrame(src, dst, 5000, netpkt.TCPFlagACK)) // mid-stream
+	h.step()
+	if len(h.captured) != 0 {
+		t.Fatalf("mid-stream pickup forwarded (%d frames)", len(h.captured))
+	}
+	if got := h.rt.DropStats.Get(stats.DropFlowTableInvalid); got != 1 {
+		t.Fatalf("flow-table-invalid drops = %d, want 1", got)
+	}
+
+	h.inject(tcpFrame(src, dst, 5001, netpkt.TCPFlagSYN)) // proper open
+	h.step()
+	if len(h.captured) != 1 {
+		t.Fatalf("SYN open not forwarded (%d frames)", len(h.captured))
+	}
+	ct := h.element("ct").(*elements.ConnTracker)
+	if ct.Tracked != 1 || ct.Refused != 1 {
+		t.Fatalf("tracked=%d refused=%d, want 1/1", ct.Tracked, ct.Refused)
+	}
+	if ct.FlowTableEntries() != 1 {
+		t.Fatalf("occupancy %d, want 1", ct.FlowTableEntries())
+	}
+}
+
+// With output 1 wired, refused packets take the refuse port instead of
+// being killed.
+func TestConnTrackerRefusePortWired(t *testing.T) {
+	h := newHarness(t, ioWrap+`
+ct :: ConnTracker(CAPACITY 64, STRICT true);
+ref :: Counter;
+input -> ct -> output;
+ct[1] -> ref -> Discard;`,
+		click.Copying)
+	h.inject(tcpFrame(netpkt.IPv4{10, 0, 0, 1}, netpkt.IPv4{10, 1, 0, 1}, 5000, netpkt.TCPFlagACK))
+	h.step()
+	if got := h.element("ref").(*elements.Counter).Packets; got != 1 {
+		t.Fatalf("refuse port saw %d packets, want 1", got)
+	}
+	if got := h.rt.DropStats.Get(stats.DropFlowTableInvalid); got != 0 {
+		t.Fatalf("refused packet double-booked as drop (%d)", got)
+	}
+}
+
+// A full table of protected established connections must refuse new
+// flows under flow-table-full, not evict them.
+func TestConnTrackerProtectedFullBooksDrop(t *testing.T) {
+	h := newHarness(t, ioWrap+
+		`input -> ct :: ConnTracker(CAPACITY 4, PROTECT true) -> output;`,
+		click.Copying)
+	src := netpkt.IPv4{10, 0, 0, 1}
+	dst := netpkt.IPv4{10, 1, 0, 1}
+	for i := 0; i < 4; i++ {
+		sport := uint16(6000 + i)
+		h.inject(tcpFrame(src, dst, sport, netpkt.TCPFlagSYN))
+		h.step()
+		h.inject(tcpFrame(src, dst, sport, netpkt.TCPFlagACK))
+		h.step()
+	}
+	ct := h.element("ct").(*elements.ConnTracker)
+	if ct.FlowTableEntries() != 4 {
+		t.Fatalf("occupancy %d, want 4", ct.FlowTableEntries())
+	}
+	h.inject(tcpFrame(src, dst, 7000, netpkt.TCPFlagSYN)) // fifth flow
+	h.step()
+	if got := h.rt.DropStats.Get(stats.DropFlowTableFull); got != 1 {
+		t.Fatalf("flow-table-full drops = %d, want 1", got)
+	}
+	if ct.FlowTableEntries() != 4 {
+		t.Fatalf("protected table changed size: %d", ct.FlowTableEntries())
+	}
+}
+
+// The NAT must expire idle flows and recycle their external ports —
+// the flow-table leak fix: under churn the table and the port pool
+// reach steady state instead of filling once and dying.
+func TestNATExpiresAndRecyclesPorts(t *testing.T) {
+	h := newHarness(t, ioWrap+
+		`input -> nat :: IPRewriter(EXTIP 192.168.9.9, CAPACITY 64, UDP_MS 1) -> output;`,
+		click.Copying)
+	dst := netpkt.IPv4{10, 1, 0, 1}
+
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, dst))
+	h.step()
+	nat := h.element("nat").(*elements.IPRewriter)
+	if nat.FlowTableEntries() != 1 {
+		t.Fatalf("occupancy %d after first flow", nat.FlowTableEntries())
+	}
+
+	// Idle past the 1 ms UDP timeout; the next Push's Advance sweeps.
+	h.dut.Cores[0].Idle(h.dut.Cores[0].NowNS() + 5e6)
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 2}, dst))
+	h.step()
+	if nat.PortsRecycled != 1 {
+		t.Fatalf("ports recycled = %d, want 1", nat.PortsRecycled)
+	}
+	if nat.FlowTableEntries() != 1 {
+		t.Fatalf("occupancy %d, want 1 (first flow expired)", nat.FlowTableEntries())
+	}
+
+	// The first flow returns: it must be treated as new (fresh port),
+	// proving its old mapping is gone, and the table must not leak.
+	h.inject(udpFrame(100, netpkt.IPv4{10, 0, 0, 1}, dst))
+	h.step()
+	if nat.Flows != 3 {
+		t.Fatalf("flows = %d, want 3 (reincarnation is a new flow)", nat.Flows)
+	}
+	if len(h.captured) != 3 {
+		t.Fatalf("captured %d frames, want 3", len(h.captured))
+	}
+	p1 := h.captured[0][netpkt.EtherHdrLen+netpkt.IPv4HdrLen:]
+	p3 := h.captured[2][netpkt.EtherHdrLen+netpkt.IPv4HdrLen:]
+	if p1[0] == p3[0] && p1[1] == p3[1] {
+		// Same source port would mean the old mapping survived expiry.
+		t.Fatal("reincarnated flow reused the expired mapping's port")
+	}
+}
+
+// Port recycling must keep the NAT alive through churn far beyond the
+// table capacity — the "survives churn indefinitely" property.
+func TestNATSurvivesChurnBeyondCapacity(t *testing.T) {
+	h := newHarness(t, ioWrap+
+		`input -> nat :: IPRewriter(EXTIP 192.168.9.9, CAPACITY 16, UDP_MS 1) -> output;`,
+		click.Copying)
+	dst := netpkt.IPv4{10, 1, 0, 1}
+	const flows = 200
+	for i := 0; i < flows; i++ {
+		src := netpkt.IPv4{10, 0, byte(i >> 8), byte(i)}
+		h.inject(udpFrame(100, src, dst))
+		h.step()
+		// Space flows out so expiry (not eviction) does most recycling.
+		if i%8 == 7 {
+			h.dut.Cores[0].Idle(h.dut.Cores[0].NowNS() + 2e6)
+		}
+	}
+	nat := h.element("nat").(*elements.IPRewriter)
+	if len(h.captured) != flows {
+		t.Fatalf("captured %d frames, want %d — NAT stalled under churn", len(h.captured), flows)
+	}
+	if nat.FlowTableEntries() > 16 {
+		t.Fatalf("table grew past capacity: %d", nat.FlowTableEntries())
+	}
+	rep := nat.FlowReport()
+	if rep.Expirations == 0 && len(rep.Evictions) == 0 {
+		t.Fatal("no expirations or evictions across 200 flows in a 16-entry table")
+	}
+	if nat.PortsRecycled == 0 {
+		t.Fatal("no ports recycled")
+	}
+}

@@ -1,44 +1,115 @@
 // IPRewriter: the stateful NAPT of Appendix A.3 — "rewrites source IP
 // addresses of outgoing packets ... stateful and uses the DPDK Cuckoo
-// hash table".
+// hash table" — rebuilt on the conntrack state plane so the flow table
+// ages, bounds, and recycles instead of leaking until full.
 package elements
 
 import (
 	"encoding/binary"
+	"fmt"
 
 	"packetmill/internal/click"
+	"packetmill/internal/conntrack"
 	"packetmill/internal/cuckoo"
+	"packetmill/internal/machine"
 	"packetmill/internal/netpkt"
 	"packetmill/internal/pktbuf"
+	"packetmill/internal/stats"
+	"packetmill/internal/telemetry"
 )
 
 func init() {
 	click.Register("IPRewriter", func() click.Element { return &IPRewriter{} })
 }
 
-// IPRewriter performs source NAPT: every new flow gets an external port
-// from the pool, and both the flow table entry and the reverse mapping
-// are installed in a cuckoo hash table (two inserts, like rte_hash-based
-// NATs — the "more lookups and higher memory usage" of A.3).
+// natFirstPort..natLastPort is the external port range, allocated in
+// ascending order like the old monotonic allocator, then recycled FIFO
+// as flows expire or are evicted.
+const (
+	natFirstPort = 1024
+	natLastPort  = 65535
+	natPortCount = natLastPort - natFirstPort + 1
+)
+
+// portPool is a fixed ring of external ports: pop from the head for a
+// new flow, recycle to the tail on reclaim. Deterministic order, zero
+// allocation, survives churn indefinitely.
+type portPool struct {
+	ports []uint16
+	head  int
+	n     int
+}
+
+func newPortPool() *portPool {
+	p := &portPool{ports: make([]uint16, natPortCount), n: natPortCount}
+	for i := range p.ports {
+		p.ports[i] = uint16(natFirstPort + i)
+	}
+	return p
+}
+
+func (p *portPool) get() (uint16, bool) {
+	if p.n == 0 {
+		return 0, false
+	}
+	port := p.ports[p.head]
+	p.head++
+	if p.head == len(p.ports) {
+		p.head = 0
+	}
+	p.n--
+	return port, true
+}
+
+func (p *portPool) put(port uint16) {
+	tail := p.head + p.n
+	if tail >= len(p.ports) {
+		tail -= len(p.ports)
+	}
+	p.ports[tail] = port
+	p.n++
+}
+
+func (p *portPool) inUse() int { return len(p.ports) - p.n }
+
+// IPRewriter performs source NAPT. Forward flows live in a conntrack
+// shard (Entry.Value holds the external port) aged by the timer wheel;
+// the reverse mapping (external 5-tuple → original src) lives in a
+// plain cuckoo table kept in lockstep by the shard's reclaim hook, so
+// expiry and eviction recycle the port and both mappings together.
 type IPRewriter struct {
 	click.Base
 	ExtIP     netpkt.IPv4
 	TableSize int
 
-	table    *cuckoo.Table
-	nextPort uint16
+	shard   *conntrack.Shard
+	reverse *cuckoo.Table
+	pool    *portPool
+
+	// cur is the core driving the current Push/Advance, so the reclaim
+	// hook can charge its cuckoo deletes to the right core.
+	cur *machine.Core
 
 	// Flows counts distinct flows seen; Rewritten counts packets.
 	Flows     uint64
 	Rewritten uint64
+	// PortsRecycled counts external ports returned to the pool by
+	// expiry, eviction, or explicit delete.
+	PortsRecycled uint64
 
-	out, dead pktbuf.Batch // per-element scratch, reset each push
+	// evictedSinceTrace edge-detects pressure waves for the flight
+	// recorder: one EvFlow event per burst, not per eviction.
+	lastEvictions uint64
+
+	out, dead, deadFull, deadNoPort pktbuf.Batch // per-element scratch, reset each push
 }
 
 // Class implements click.Element.
 func (e *IPRewriter) Class() string { return "IPRewriter" }
 
-// Configure implements click.Element. Args: EXTIP a.b.c.d [, CAPACITY n].
+// Configure implements click.Element.
+// Args: EXTIP a.b.c.d [, CAPACITY n] [, ESTABLISHED_MS n]
+// [, EMBRYONIC_MS n] [, CLOSING_MS n] [, UDP_MS n] [, PROTECT bool].
 func (e *IPRewriter) Configure(args []string, bc *click.BuildCtx) error {
 	e.InitBase(bc)
 	e.TableSize = 65536
@@ -60,19 +131,71 @@ func (e *IPRewriter) Configure(args []string, bc *click.BuildCtx) error {
 		}
 		e.TableSize = n
 	}
-	// The flow table lives in hugepages like rte_hash.
-	e.table = cuckoo.New(e.TableSize, bc.Huge, bc.Seed^0x4e4154)
-	e.nextPort = 1024
+	cfg := conntrack.Config{Capacity: e.TableSize}
+	if err := parseTimeoutArgs(kw, &cfg); err != nil {
+		return err
+	}
+	if v, ok := kw["PROTECT"]; ok {
+		cfg.ProtectEstablished = v == "true" || v == "1"
+	}
+	// Flow table and reverse mappings live in hugepages like rte_hash.
+	e.shard = conntrack.NewShard(cfg, bc.Huge, bc.Seed^0x4e4154)
+	e.shard.OnReclaim = e.onReclaim
+	e.reverse = cuckoo.New(e.TableSize, bc.Huge, bc.Seed^0x76657254)
+	e.pool = newPortPool()
 	bc.AllocState(64, 2)
 	return nil
+}
+
+// parseTimeoutArgs fills conntrack timeout knobs shared by IPRewriter
+// and ConnTracker. Values are milliseconds of simulated time.
+func parseTimeoutArgs(kw map[string]string, cfg *conntrack.Config) error {
+	for _, f := range []struct {
+		key string
+		dst *float64
+	}{
+		{"ESTABLISHED_MS", &cfg.Timeouts.Established},
+		{"EMBRYONIC_MS", &cfg.Timeouts.Embryonic},
+		{"CLOSING_MS", &cfg.Timeouts.Closing},
+		{"UDP_MS", &cfg.Timeouts.Untracked},
+	} {
+		if v, ok := kw[f.key]; ok {
+			n, err := click.ParseInt(v)
+			if err != nil {
+				return fmt.Errorf("%s: %w", f.key, err)
+			}
+			*f.dst = float64(n) * 1e6
+		}
+	}
+	return nil
+}
+
+// onReclaim is the shard's reclaim hook: when a flow leaves for any
+// reason but migration, return its external port to the pool and drop
+// the reverse mapping, keeping both tables in lockstep.
+func (e *IPRewriter) onReclaim(ent *conntrack.Entry, cause conntrack.Cause) {
+	if cause == conntrack.CauseMigrated {
+		return
+	}
+	port := uint16(ent.Value)
+	e.reverse.Delete(e.cur, cuckoo.Key{
+		SrcIP: ent.Key.DstIP, DstIP: e.ExtIP.Uint32(),
+		SrcPort: ent.Key.DstPort, DstPort: port, Proto: ent.Key.Proto,
+	})
+	e.pool.put(port)
+	e.PortsRecycled++
 }
 
 // Push implements click.Element.
 func (e *IPRewriter) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 	core := ec.Core
-	out, dead := &e.out, &e.dead
+	e.cur = core
+	e.shard.Advance(core, ec.Now)
+	out, dead, deadFull, deadNoPort := &e.out, &e.dead, &e.deadFull, &e.deadNoPort
 	out.Reset()
 	dead.Reset()
+	deadFull.Reset()
+	deadNoPort.Reset()
 	b.ForEach(core, func(p *pktbuf.Packet) bool {
 		ipOff := netpkt.EtherHdrLen
 		l4, proto, _, ok := ipHeaderAt(ec, p, ipOff)
@@ -95,30 +218,41 @@ func (e *IPRewriter) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 			DstPort: binary.BigEndian.Uint16(ports[2:4]),
 			Proto:   proto,
 		}
-		extPort64, found := e.table.Lookup(core, key)
-		extPort := uint16(extPort64)
-		if !found {
-			// New flow: allocate a port and install both directions.
-			extPort = e.nextPort
-			e.nextPort++
-			if e.nextPort < 1024 {
-				e.nextPort = 1024
+		var tcpFlags uint8
+		if proto == netpkt.ProtoTCP && p.Len() >= l4+14 {
+			tcpFlags = p.Load(core, l4+13, 1)[0]
+		}
+		ent, hit := e.shard.Update(core, key, proto, tcpFlags, ec.Now)
+		if !hit {
+			// New flow: allocate a port, then admit. Admission failure
+			// hands the port straight back.
+			extPort, ok := e.pool.get()
+			if !ok {
+				deadNoPort.Append(core, p)
+				return true
 			}
 			e.Inst.StoreState(ec, 0, 8) // port allocator state
-			if err := e.table.Insert(core, key, uint64(extPort)); err != nil {
-				dead.Append(core, p)
+			var v conntrack.Verdict
+			ent, v = e.shard.Admit(core, key, proto, tcpFlags, ec.Now, uint64(extPort))
+			if v != conntrack.VerdictNew {
+				e.pool.put(extPort)
+				deadFull.Append(core, p)
 				return true
 			}
 			reverse := cuckoo.Key{
 				SrcIP: key.DstIP, DstIP: e.ExtIP.Uint32(),
 				SrcPort: key.DstPort, DstPort: extPort, Proto: proto,
 			}
-			if err := e.table.Insert(core, reverse, uint64(key.SrcIP)<<16|uint64(key.SrcPort)); err != nil {
-				dead.Append(core, p)
+			if err := e.reverse.Insert(core, reverse, uint64(key.SrcIP)<<16|uint64(key.SrcPort)); err != nil {
+				// Reverse index refused: undo the admission (the
+				// reclaim hook recycles the port) and refuse the flow.
+				e.shard.Delete(core, key)
+				deadFull.Append(core, p)
 				return true
 			}
 			e.Flows++
 		}
+		extPort := uint16(ent.Value)
 		// Rewrite source IP and port, patching both checksums
 		// incrementally (RFC 1624 twice: IP header + pseudo-header).
 		oldIPHi := binary.BigEndian.Uint16(hdr[12:14])
@@ -137,11 +271,62 @@ func (e *IPRewriter) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 		out.Append(core, p)
 		return true
 	})
+	if !deadNoPort.Empty() {
+		ec.Tel.Trace().Flow("nat-port-pool-dry")
+	}
+	if st := e.shard.StatsSnapshot(); st.EvictionsTotal() > e.lastEvictions {
+		e.lastEvictions = st.EvictionsTotal()
+		ec.Tel.Trace().Flow("nat-flow-evicted")
+	}
 	ec.Rt.Kill(ec, dead)
+	ec.Rt.KillReason(ec, deadNoPort, stats.DropFlowTableNoPort)
+	ec.Rt.KillReason(ec, deadFull, stats.DropFlowTableFull)
+	e.cur = nil
 	if !out.Empty() {
 		e.Inst.Output(ec, 0, out)
 	}
 }
 
-// Table exposes the flow table for tests.
-func (e *IPRewriter) Table() *cuckoo.Table { return e.table }
+// Shard exposes the flow table for tests and migration wiring.
+func (e *IPRewriter) Shard() *conntrack.Shard { return e.shard }
+
+// FlowTableEntries reports current flow-table occupancy — the gauge the
+// leak satellite watches.
+func (e *IPRewriter) FlowTableEntries() int { return e.shard.Len() }
+
+// FlowReport implements the telemetry flow-table reporting seam; the
+// collector fills Core and Element.
+func (e *IPRewriter) FlowReport() telemetry.ConntrackReport {
+	r := conntrackReportFromShard(e.shard)
+	r.PortsInUse = uint64(e.pool.inUse())
+	r.PortsRecycled = e.PortsRecycled
+	return r
+}
+
+// conntrackReportFromShard maps a shard's ledger onto the report shape
+// shared by IPRewriter and ConnTracker.
+func conntrackReportFromShard(s *conntrack.Shard) telemetry.ConntrackReport {
+	st := s.StatsSnapshot()
+	r := telemetry.ConntrackReport{
+		FlowTableEntries: uint64(s.Len()),
+		Capacity:         uint64(s.Capacity()),
+		Insertions:       st.Insertions,
+		Lookups:          st.Lookups,
+		Hits:             st.Hits,
+		Expirations:      st.Expirations,
+		RefusedFull:      st.RefusedFull,
+		RefusedInvalid:   st.RefusedInvalid,
+		MigratedIn:       st.MigratedIn,
+		MigratedOut:      st.MigratedOut,
+		WheelLagUS:       st.MaxWheelLagNS / 1e3,
+	}
+	if st.EvictionsTotal() > 0 {
+		r.Evictions = make(map[string]uint64, conntrack.NumClasses)
+		for c := conntrack.ClassEmbryonic; c < conntrack.NumClasses; c++ {
+			if n := st.Evictions[c]; n > 0 {
+				r.Evictions[c.String()] = n
+			}
+		}
+	}
+	return r
+}

@@ -1,0 +1,64 @@
+package exp
+
+import "testing"
+
+// The conntrack exhibit's shape: the shard table must hold its full
+// population at every capacity and drain the mass-expiry storm within
+// the budgeted-sweep bound; the datapath table must show the eviction
+// policy's signature (flood absorbed by embryonic evictions only) and
+// the NAT recycling ports under churn.
+func TestConntrackShape(t *testing.T) {
+	tbs := runExp(t, "conntrack")
+	scaleT, churnT := tbs[0], tbs[1]
+
+	if len(scaleT.Rows) != 3 {
+		t.Fatalf("scale table has %d rows, want 3", len(scaleT.Rows))
+	}
+	for _, r := range scaleT.Rows {
+		capN := cell(t, scaleT, map[int]string{0: r[0]}, 0)
+		held := cell(t, scaleT, map[int]string{0: r[0]}, 1)
+		exps := cell(t, scaleT, map[int]string{0: r[0]}, 2)
+		sweeps := cell(t, scaleT, map[int]string{0: r[0]}, 5)
+		if held < capN*0.99 {
+			t.Errorf("capacity %v: held only %v flows", capN, held)
+		}
+		if exps+cell(t, scaleT, map[int]string{0: r[0]}, 3) < capN {
+			t.Errorf("capacity %v: storm left flows unaged (%v expired)", capN, exps)
+		}
+		// The budget (256/sweep) bounds how long a full-table storm can
+		// take; leave slack for cascades and partial sweeps.
+		if sweeps > capN/256*4+64 {
+			t.Errorf("capacity %v: drain took %v sweeps", capN, sweeps)
+		}
+	}
+
+	if len(churnT.Rows) != 4 {
+		t.Fatalf("churn table has %d rows, want 4", len(churnT.Rows))
+	}
+	for _, sc := range []string{"churn", "syn-flood", "expiry-storm", "nat-churn"} {
+		entries := cell(t, churnT, map[int]string{0: sc}, 3)
+		capN := cell(t, churnT, map[int]string{0: sc}, 4)
+		if entries > capN {
+			t.Errorf("%s: occupancy %v exceeds capacity %v", sc, entries, capN)
+		}
+		if p99 := cell(t, churnT, map[int]string{0: sc}, 2); p99 <= 0 {
+			t.Errorf("%s: p99 latency %v µs not measured", sc, p99)
+		}
+	}
+	// The flood's pressure lands on embryonic entries; the protected
+	// established population survives untouched.
+	if emb := cell(t, churnT, map[int]string{0: "syn-flood"}, 7); emb == 0 {
+		t.Error("syn-flood: no embryonic evictions")
+	}
+	if est := cell(t, churnT, map[int]string{0: "syn-flood"}, 8); est != 0 {
+		t.Errorf("syn-flood: %v established connections cannibalized", est)
+	}
+	// The storm's waves age out instead of accumulating.
+	if exps := cell(t, churnT, map[int]string{0: "expiry-storm"}, 6); exps == 0 {
+		t.Error("expiry-storm: nothing expired")
+	}
+	// The NAT leak fix: churn recycles ports instead of filling forever.
+	if rec := cell(t, churnT, map[int]string{0: "nat-churn"}, 11); rec == 0 {
+		t.Error("nat-churn: no ports recycled")
+	}
+}

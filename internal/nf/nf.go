@@ -107,6 +107,21 @@ arpq[0] -> output;
 `, burst, burst)
 }
 
+// ConnTrackForwarder is the forwarder with the standalone connection
+// tracker in the path: every packet is classified against the per-core
+// flow shard (and annotated with its TCP state) before leaving. The
+// million-flow state-plane exhibits drive this NF.
+func ConnTrackForwarder(burst, capacity int) string {
+	return fmt.Sprintf(`
+// Forwarder + connection tracker
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST %d);
+output :: ToDPDKDevice(PORT 0, BURST %d);
+input -> ConnTracker(CAPACITY %d)
+      -> EtherRewrite(SRC 02:00:00:00:00:02, DST 02:00:00:00:00:01)
+      -> output;
+`, burst, burst, capacity)
+}
+
 // WorkPackageForwarder is the synthetic NF of A.4: the forwarder with a
 // WorkPackage element of S MB, N accesses, and W random numbers.
 func WorkPackageForwarder(burst, s, n, w int) string {

@@ -18,6 +18,7 @@ func TestAllConfigsParse(t *testing.T) {
 		"router":      Router(32),
 		"ids-router":  IDSRouter(32),
 		"nat-router":  NATRouter(32),
+		"conntrack":   ConnTrackForwarder(32, 65536),
 		"workpackage": WorkPackageForwarder(32, 4, 1, 4),
 	}
 	for name, cfg := range configs {
@@ -98,6 +99,7 @@ func TestShippedConfigFilesInSync(t *testing.T) {
 		"../../configs/router.click":      Router(32),
 		"../../configs/ids-router.click":  IDSRouter(32),
 		"../../configs/nat-router.click":  NATRouter(32),
+		"../../configs/conntrack.click":   ConnTrackForwarder(32, 65536),
 		"../../configs/workpackage.click": WorkPackageForwarder(32, 4, 1, 4),
 	}
 	for path, want := range files {

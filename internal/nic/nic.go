@@ -374,6 +374,25 @@ func (n *NIC) RSSQueue(frame []byte) int {
 // on real frames).
 func HashFrame(frame []byte) uint32 { return rssHash(frame) }
 
+// HashTuple computes the RSS hash an untagged IPv4 TCP/UDP frame with
+// this 5-tuple would receive from HashFrame — the same FNV walk over
+// the network-order src/dst IP and port bytes. Flow-affine subsystems
+// (conntrack migration chasing fanout bucket moves) use it to map a
+// flow key to its RSS bucket without a frame in hand.
+func HashTuple(srcIP, dstIP uint32, srcPort, dstPort uint16, proto uint8) uint32 {
+	var h uint32 = 2166136261
+	mix := func(b byte) { h = (h ^ uint32(b)) * 16777619 }
+	mix32 := func(v uint32) { mix(byte(v >> 24)); mix(byte(v >> 16)); mix(byte(v >> 8)); mix(byte(v)) }
+	mix16 := func(v uint16) { mix(byte(v >> 8)); mix(byte(v)) }
+	mix32(srcIP)
+	mix32(dstIP)
+	if proto == netpkt.ProtoTCP || proto == netpkt.ProtoUDP {
+		mix16(srcPort)
+		mix16(dstPort)
+	}
+	return h
+}
+
 // FrameVlanTCI extracts the outer VLAN TCI the adapter strips into the
 // descriptor, or 0 for untagged (or too-short) frames. Both shim TPIDs
 // are accepted — 802.1Q (0x8100) and 802.1ad/QinQ (0x88a8) — matching

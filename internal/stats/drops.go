@@ -63,6 +63,19 @@ const (
 	// missing fragmentation element), not ring congestion, so it gets
 	// its own reason instead of polluting tx-ring-full.
 	DropTxOversize
+	// DropFlowTableFull: a stateful element's flow table refused a new
+	// flow — the table is at capacity and the eviction policy found no
+	// victim it was allowed to displace (everything resident outranked
+	// the newcomer). Bounded state instead of unbounded growth.
+	DropFlowTableFull
+	// DropFlowTableNoPort: the NAT's external-port pool was exhausted —
+	// every port is pinned by a live flow, so the new flow cannot be
+	// given a translation.
+	DropFlowTableNoPort
+	// DropFlowTableInvalid: the connection tracker refused the packet as
+	// inconsistent with tracked state (strict mode: e.g. a non-SYN TCP
+	// segment for a flow the table has never seen).
+	DropFlowTableInvalid
 
 	// NumDropReasons bounds the taxonomy.
 	NumDropReasons
@@ -83,6 +96,9 @@ var dropNames = [NumDropReasons]string{
 	"overload-restart",
 	"tx-transient",
 	"tx-oversize",
+	"flow-table-full",
+	"flow-table-no-port",
+	"flow-table-invalid",
 }
 
 // IsOverload reports whether r belongs to the DropOverload* family —
@@ -90,6 +106,14 @@ var dropNames = [NumDropReasons]string{
 // by resource exhaustion inside the datapath.
 func (r DropReason) IsOverload() bool {
 	return r >= DropOverloadShed && r <= DropOverloadRestart
+}
+
+// IsFlowTable reports whether r belongs to the DropFlowTable* family —
+// packets refused by a stateful element's bounded flow table (capacity
+// pressure, port exhaustion, or a strict-mode state verdict) rather than
+// by the forwarding datapath itself.
+func (r DropReason) IsFlowTable() bool {
+	return r >= DropFlowTableFull && r <= DropFlowTableInvalid
 }
 
 // String names the reason the way run reports print it.

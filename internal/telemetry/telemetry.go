@@ -447,6 +447,10 @@ type Report struct {
 	// Overload is present when the overload control plane ran: one entry
 	// per core with its health lifecycle and shed/backpressure ledger.
 	Overload []OverloadCoreReport `json:"overload,omitempty"`
+	// Conntrack is present when a stateful element tracked flows: one
+	// entry per (core, element instance) with the shard's occupancy,
+	// lifecycle counters, and pressure ledger.
+	Conntrack []ConntrackReport `json:"conntrack,omitempty"`
 }
 
 // OverloadCoreReport is one core's overload-control-plane summary. The
@@ -465,6 +469,43 @@ type OverloadCoreReport struct {
 	PausedUS float64            `json:"paused_us"`
 	// WatchdogRestarts counts drain-and-restart recoveries on this core.
 	WatchdogRestarts uint64 `json:"watchdog_restarts,omitempty"`
+}
+
+// FlowReporter is implemented by elements that track flows (IPRewriter,
+// ConnTracker); report assembly discovers them by interface and fills
+// Core and Element itself.
+type FlowReporter interface {
+	FlowReport() ConntrackReport
+}
+
+// ConntrackReport is one flow-table shard's summary: a (core, element)
+// pair's occupancy and lifecycle ledger. FlowTableEntries is the live
+// gauge the leak satellite watches; the eviction split shows whether
+// pressure fell on embryonic half-opens or real connections.
+type ConntrackReport struct {
+	Core    int    `json:"core"`
+	Element string `json:"element"`
+	// FlowTableEntries is current occupancy; Capacity the slab bound.
+	FlowTableEntries uint64 `json:"flow_table_entries"`
+	Capacity         uint64 `json:"capacity"`
+	Insertions       uint64 `json:"insertions"`
+	Lookups          uint64 `json:"lookups"`
+	Hits             uint64 `json:"hits"`
+	Expirations      uint64 `json:"expirations"`
+	// Evictions maps eviction class (embryonic/transient/established)
+	// to entries displaced under table pressure.
+	Evictions      map[string]uint64 `json:"evictions,omitempty"`
+	RefusedFull    uint64            `json:"refused_full,omitempty"`
+	RefusedInvalid uint64            `json:"refused_invalid,omitempty"`
+	MigratedIn     uint64            `json:"migrated_in,omitempty"`
+	MigratedOut    uint64            `json:"migrated_out,omitempty"`
+	// WheelLagUS is the worst timer-wheel lag observed (budgeted expiry
+	// sweeps park behind wall time under a storm).
+	WheelLagUS float64 `json:"wheel_lag_us,omitempty"`
+	// PortsInUse/PortsRecycled are NAT-only: live external ports and
+	// ports returned to the pool by expiry/eviction.
+	PortsInUse    uint64 `json:"ports_in_use,omitempty"`
+	PortsRecycled uint64 `json:"ports_recycled,omitempty"`
 }
 
 // JSON renders the report with stable indentation.

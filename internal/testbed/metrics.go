@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"time"
 
+	"packetmill/internal/click"
 	"packetmill/internal/machine"
 	"packetmill/internal/stats"
 	"packetmill/internal/telemetry"
@@ -138,6 +139,52 @@ func (d *DUT) wireSnapshot(engines []Engine, elapsed time.Duration) *trace.Snaps
 			"RX pause intervals entered (lossless backpressure).",
 			"counter", cl, float64(st.Pauses))
 	}
+	// Flow tables, one series set per tracking element (families appear
+	// only when a stateful element is in the graph, so configs without
+	// one keep their exposition unchanged).
+	for c, eng := range engines {
+		ce, ok := eng.(*clickEngine)
+		if !ok {
+			continue
+		}
+		for _, inst := range ce.rt.Instances {
+			fr, ok := inst.El.(telemetry.FlowReporter)
+			if !ok {
+				continue
+			}
+			crep := fr.FlowReport()
+			cl := [][2]string{{"core", strconv.Itoa(c)}, {"element", inst.Name}}
+			add("packetmill_conntrack_entries", "Live flow-table entries.",
+				"gauge", cl, float64(crep.FlowTableEntries))
+			add("packetmill_conntrack_capacity", "Flow-table slab capacity.",
+				"gauge", cl, float64(crep.Capacity))
+			add("packetmill_conntrack_insertions_total", "Flows admitted to the table.",
+				"counter", cl, float64(crep.Insertions))
+			add("packetmill_conntrack_expirations_total", "Flows aged out by the timer wheel.",
+				"counter", cl, float64(crep.Expirations))
+			// Fixed class order keeps the exposition text deterministic.
+			for _, class := range [...]string{"embryonic", "transient", "established"} {
+				if n, ok := crep.Evictions[class]; ok {
+					add("packetmill_conntrack_evictions_total",
+						"Flows displaced under table pressure, by eviction class.",
+						"counter", [][2]string{cl[0], cl[1], {"class", class}}, float64(n))
+				}
+			}
+			add("packetmill_conntrack_refused_total",
+				"Packets refused by the flow table (full or strict-invalid).",
+				"counter", cl, float64(crep.RefusedFull+crep.RefusedInvalid))
+			add("packetmill_conntrack_wheel_lag_seconds",
+				"Worst timer-wheel lag behind the element clock.",
+				"gauge", cl, crep.WheelLagUS/1e6)
+			if crep.PortsInUse > 0 || crep.PortsRecycled > 0 {
+				add("packetmill_nat_ports_in_use", "External NAT ports currently allocated.",
+					"gauge", cl, float64(crep.PortsInUse))
+				add("packetmill_nat_ports_recycled_total",
+					"External NAT ports returned to the pool by expiry/eviction.",
+					"counter", cl, float64(crep.PortsRecycled))
+			}
+		}
+	}
 	// Every reason is exported, including zero counts, so dashboards see
 	// a stable family the moment the endpoint comes up.
 	for r := stats.DropReason(0); r < stats.NumDropReasons; r++ {
@@ -181,6 +228,15 @@ func (d *DUT) wireReportJSON(engines []Engine, elapsed time.Duration,
 	}
 	res := &Result{Latency: stats.NewLatencyRecorder(1)}
 	res.Duration = float64(elapsed)
+	// Engine index == core index on every wire path, so keep nil
+	// placeholders for non-Click engines to preserve the mapping.
+	for _, e := range engines {
+		var rt *click.Router
+		if ce, ok := e.(*clickEngine); ok {
+			rt = ce.rt
+		}
+		res.Routers = append(res.Routers, rt)
+	}
 	var agg machine.Counters
 	for c := range d.PortsFor {
 		for id := 0; id < d.Opts.NICs; id++ {

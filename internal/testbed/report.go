@@ -162,6 +162,25 @@ func (d *DUT) buildReport(res *Result, lat *stats.LatencyRecorder, e2e *trace.Hi
 		})
 	}
 
+	// Flow tables: one entry per (core, element instance) that tracks
+	// flows — the NAT's conntrack shard, standalone ConnTrackers. The
+	// element fills the ledger; core and instance name are ours.
+	for c, rt := range res.Routers {
+		if rt == nil {
+			continue
+		}
+		for _, inst := range rt.Instances {
+			fr, ok := inst.El.(telemetry.FlowReporter)
+			if !ok {
+				continue
+			}
+			cr := fr.FlowReport()
+			cr.Core = c
+			cr.Element = inst.Name
+			r.Conntrack = append(r.Conntrack, cr)
+		}
+	}
+
 	r.BuildSpans(d.Trackers, coreBusy)
 	return r
 }

@@ -1260,6 +1260,17 @@ func (dr *driver) run() (*Result, error) {
 		res.ClassLat = dr.classLat
 	}
 	if o.Telemetry {
+		// Callers that drive engines directly (without Run) still get the
+		// per-element report sections keyed off the routers.
+		if res.Routers == nil {
+			for _, e := range engines {
+				var rt *click.Router
+				if ce, ok := e.(*clickEngine); ok {
+					rt = ce.rt
+				}
+				res.Routers = append(res.Routers, rt)
+			}
+		}
 		res.Telemetry = d.buildReport(res, dr.lat, dr.e2e, dr.intervals)
 	}
 	return res, nil

@@ -14,6 +14,7 @@ const (
 	EvDrop                 // sampled packet dropped; Name is the reason
 	EvFault                // fault injection fired on this core
 	EvHealth               // overload health-state transition; Name is the new state
+	EvFlow                 // flow-table lifecycle event; Name labels it (e.g. "evict-established")
 )
 
 // Event is one flight-recorder entry: {core, seq, stage/element,
@@ -260,6 +261,23 @@ func (ct *CoreTrace) Health(state string) {
 		Name:  state,
 		Stage: "health",
 		Kind:  EvHealth,
+	})
+}
+
+// Flow records a flow-table lifecycle event on this core — the edge of
+// a pressure-eviction wave, a strict-mode refusal burst, an expiry
+// sweep parking behind wall time. Like faults, these are rare and
+// post-mortem-relevant, so they bypass the sampler. Callers edge-detect
+// (first occurrence per burst) to keep the ring from flooding.
+func (ct *CoreTrace) Flow(event string) {
+	if ct == nil {
+		return
+	}
+	ct.push(Event{
+		TSNS:  ct.now(),
+		Name:  event,
+		Stage: "conntrack",
+		Kind:  EvFlow,
 	})
 }
 

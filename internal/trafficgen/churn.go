@@ -1,0 +1,306 @@
+// Flow-churn workloads: sources that stress the connection-tracking
+// state plane rather than the packet path. NewChurn holds a constant
+// population of concurrent flows with Zipf-skewed popularity, each
+// walking a full TCP lifecycle (SYN → data → FIN) before a fresh flow
+// replaces it — the steady-state insertion/expiry mill a conntrack
+// table must survive indefinitely. NewSYNFlood opens an endless stream
+// of distinct half-open handshakes and never completes one — pure
+// embryonic pressure. NewExpiryStorm opens flows in dense waves
+// separated by silence, so every wave's timers fire together — the
+// mass-expiry storm the timer wheel's sweep budget must amortize.
+//
+// Unlike the campus generator there is no per-flow template: a churn
+// population can be millions of flows, so frames are minted by patching
+// one shared template's addresses, ports, and TCP flags per packet.
+// Every source is deterministic from its seed: same seed, byte-identical
+// frame/timestamp stream.
+package trafficgen
+
+import (
+	"packetmill/internal/netpkt"
+	"packetmill/internal/simrand"
+)
+
+// ChurnConfig shapes a flow-churn source.
+type ChurnConfig struct {
+	Config
+	// Concurrent is the live-flow population held at steady state
+	// (default 1024).
+	Concurrent int
+	// FlowPackets is the mean data-packet count per flow lifetime
+	// (default 12); actual lengths are uniform in [1, 2*FlowPackets).
+	FlowPackets int
+	// ZipfS is the popularity skew across the live population
+	// (default 1.2, the campus generator's exponent).
+	ZipfS float64
+	// FrameSize is the fixed frame size (default 64 — churn stresses
+	// state, not bandwidth).
+	FrameSize int
+}
+
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	c.Config = c.Config.withDefaults()
+	if c.Concurrent <= 0 {
+		c.Concurrent = 1024
+	}
+	if c.FlowPackets <= 0 {
+		c.FlowPackets = 12
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.2
+	}
+	if c.FrameSize < 64 {
+		c.FrameSize = 64
+	}
+	return c
+}
+
+// Flow lifecycle phases.
+const (
+	phaseSyn = iota // next packet is the SYN
+	phaseAck        // next packet completes the handshake
+	phaseData
+	phaseFin
+)
+
+// churnFlow is one live slot in the population.
+type churnFlow struct {
+	id    uint64
+	proto uint8
+	phase uint8
+	left  int // data packets remaining before FIN
+}
+
+// Churn produces the flow-churn stream. It implements Source.
+type Churn struct {
+	cfg    ChurnConfig
+	rng    *simrand.Rand
+	zipf   *simrand.Zipf
+	slots  []churnFlow
+	nextID uint64
+
+	// synOnly turns every packet into a fresh half-open SYN (SYN flood).
+	synOnly bool
+	// forceTCP pins every minted flow to TCP (flood/storm modes).
+	forceTCP bool
+	// waveSize > 0 groups flow openings into dense waves separated by
+	// silenceNS of idle wire (expiry storm).
+	waveSize  int
+	silenceNS float64
+	inWave    int
+
+	tcpTmpl, udpTmpl []byte
+	scratch          []byte
+	produced         int
+	clockNS          float64
+
+	// Opened/Completed count flow lifecycle edges, for test assertions.
+	Opened, Completed uint64
+}
+
+func newChurn(cfg ChurnConfig) *Churn {
+	cfg = cfg.withDefaults()
+	if cfg.RateGbps <= 0 {
+		panic("trafficgen: RateGbps must be positive")
+	}
+	const maxFrame = 1514
+	c := &Churn{
+		cfg:     cfg,
+		rng:     simrand.New(cfg.Seed),
+		scratch: make([]byte, 2048),
+	}
+	c.tcpTmpl = netpkt.BuildTCP(make([]byte, maxFrame), netpkt.TCPPacketSpec{
+		SrcMAC: cfg.SrcMAC, DstMAC: cfg.DstMAC,
+		SrcIP: cfg.SrcNet, DstIP: cfg.DstNet,
+		SrcPort: 1024, DstPort: 80, TotalLen: maxFrame,
+	})
+	c.udpTmpl = netpkt.BuildUDP(make([]byte, maxFrame), netpkt.UDPPacketSpec{
+		SrcMAC: cfg.SrcMAC, DstMAC: cfg.DstMAC,
+		SrcIP: cfg.SrcNet, DstIP: cfg.DstNet,
+		SrcPort: 1024, DstPort: 80, TotalLen: maxFrame,
+	})
+	if cfg.Concurrent > 1 {
+		c.zipf = simrand.NewZipf(c.rng, cfg.ZipfS, 1, uint64(cfg.Concurrent-1))
+	}
+	c.slots = make([]churnFlow, cfg.Concurrent)
+	return c
+}
+
+func (c *Churn) fill() {
+	for i := range c.slots {
+		c.slots[i] = c.openFlow()
+	}
+}
+
+// NewChurn returns the steady-state flow-churn source: Concurrent live
+// flows, Zipf-popular, each opening, exchanging data, and closing, with
+// finished flows replaced by fresh 5-tuples.
+func NewChurn(cfg ChurnConfig) *Churn {
+	c := newChurn(cfg)
+	c.fill()
+	return c
+}
+
+// NewSYNFlood returns an attack stream of distinct never-completing
+// SYNs — every frame opens a new embryonic flow.
+func NewSYNFlood(cfg Config) *Churn {
+	c := newChurn(ChurnConfig{Config: cfg, Concurrent: 1})
+	c.synOnly = true
+	c.forceTCP = true
+	c.fill()
+	return c
+}
+
+// NewExpiryStorm returns a source that opens flows in waves of wave
+// back-to-back handshakes, then goes silent for silenceNS before the
+// next wave — so each wave's idle timers all mature together.
+func NewExpiryStorm(cfg Config, wave int, silenceNS float64) *Churn {
+	if wave <= 0 {
+		wave = 1024
+	}
+	c := newChurn(ChurnConfig{Config: cfg, Concurrent: 1, FlowPackets: 1})
+	c.waveSize = wave
+	c.silenceNS = silenceNS
+	c.forceTCP = true
+	c.fill()
+	return c
+}
+
+// openFlow mints a fresh flow in its opening phase.
+func (c *Churn) openFlow() churnFlow {
+	f := churnFlow{id: c.nextID, phase: phaseSyn}
+	c.nextID++
+	c.Opened++
+	if c.forceTCP || c.rng.Float64() < c.cfg.TCPShare {
+		f.proto = netpkt.ProtoTCP
+	} else {
+		f.proto = netpkt.ProtoUDP
+		f.phase = phaseData // no handshake to perform
+	}
+	f.left = 1 + c.rng.Intn(2*c.cfg.FlowPackets)
+	return f
+}
+
+// tuple derives flow id i's deterministic 5-tuple endpoints. The low 16
+// bits walk the /16 host space; higher bits rotate the source port, so
+// populations far beyond 65536 stay distinct.
+func (c *Churn) tuple(i uint64) (src, dst netpkt.IPv4, sport, dport uint16) {
+	src = c.cfg.SrcNet
+	src[2], src[3] = byte(i>>8), byte(i)
+	dst = c.cfg.DstNet
+	dst[2], dst[3] = byte((i*7)>>8), byte(i*7)
+	sport = uint16(1024 + (i>>16)%60000)
+	dport = 80
+	return
+}
+
+// Remaining implements Source.
+func (c *Churn) Remaining() int { return c.cfg.Count - c.produced }
+
+// Next implements Source.
+func (c *Churn) Next() ([]byte, float64, bool) {
+	if c.produced >= c.cfg.Count {
+		return nil, 0, false
+	}
+	var f *churnFlow
+	var slot int
+	switch {
+	case c.synOnly:
+		c.slots[0] = c.openFlow() // forceTCP: always a fresh SYN
+		f = &c.slots[0]
+	case c.waveSize > 0:
+		if c.inWave == c.waveSize {
+			c.inWave = 0
+			c.clockNS += c.silenceNS
+		}
+		f = &c.slots[0]
+	default:
+		if c.zipf != nil {
+			slot = int(c.zipf.Uint64())
+		}
+		f = &c.slots[slot]
+	}
+
+	var flags uint8
+	done := false
+	switch f.phase {
+	case phaseSyn:
+		flags = netpkt.TCPFlagSYN
+		f.phase = phaseAck
+	case phaseAck:
+		flags = netpkt.TCPFlagACK
+		f.phase = phaseData
+		if c.waveSize > 0 {
+			// A wave flow is done once established: it then goes idle
+			// and waits for the timer wheel.
+			done = true
+			c.inWave++
+		}
+	case phaseData:
+		flags = netpkt.TCPFlagACK | netpkt.TCPFlagPSH
+		f.left--
+		if f.left <= 0 {
+			if f.proto == netpkt.ProtoTCP {
+				f.phase = phaseFin
+			} else {
+				done = true
+			}
+		}
+	case phaseFin:
+		flags = netpkt.TCPFlagFIN | netpkt.TCPFlagACK
+		done = true
+	}
+
+	frame := c.mint(f.id, f.proto, flags)
+	if done {
+		c.Completed++
+		*f = c.openFlow()
+	}
+	ns := c.clockNS
+	c.clockNS += float64(len(frame)+WireOverheadBytes) * 8 / c.cfg.RateGbps
+	c.produced++
+	return frame, ns, true
+}
+
+// mint patches the shared template into a frame for flow id/proto with
+// the given TCP flags, recomputing the IP checksum.
+func (c *Churn) mint(id uint64, proto uint8, flags uint8) []byte {
+	size := c.cfg.FrameSize
+	frame := c.scratch[:size]
+	if proto == netpkt.ProtoTCP {
+		copy(frame, c.tcpTmpl[:size])
+	} else {
+		copy(frame, c.udpTmpl[:size])
+	}
+	src, dst, sport, dport := c.tuple(id)
+	ip := frame[netpkt.EtherHdrLen:]
+	copy(ip[12:16], src[:])
+	copy(ip[16:20], dst[:])
+	l4 := ip[netpkt.IPv4HdrLen:]
+	l4[0], l4[1] = byte(sport>>8), byte(sport)
+	l4[2], l4[3] = byte(dport>>8), byte(dport)
+	if proto == netpkt.ProtoTCP {
+		l4[13] = flags
+	}
+	c.patchIP(frame, proto, size)
+	return frame
+}
+
+// patchIP fixes the IP total length and checksum after address patches,
+// and the UDP length field for datagrams (mirrors Gen.patchLengths).
+func (c *Churn) patchIP(frame []byte, proto uint8, size int) {
+	ip := frame[netpkt.EtherHdrLen:]
+	ipLen := size - netpkt.EtherHdrLen
+	ip[2] = byte(ipLen >> 8)
+	ip[3] = byte(ipLen)
+	ip[10], ip[11] = 0, 0
+	ck := netpkt.Checksum(ip[:netpkt.IPv4HdrLen], 0)
+	ip[10] = byte(ck >> 8)
+	ip[11] = byte(ck)
+	if proto == netpkt.ProtoUDP {
+		ul := ipLen - netpkt.IPv4HdrLen
+		udp := ip[netpkt.IPv4HdrLen:]
+		udp[4] = byte(ul >> 8)
+		udp[5] = byte(ul)
+	}
+}

@@ -1,0 +1,193 @@
+package trafficgen
+
+import (
+	"bytes"
+	"testing"
+
+	"packetmill/internal/netpkt"
+)
+
+func churnCfg(count int) ChurnConfig {
+	return ChurnConfig{
+		Config:      Config{Seed: 42, RateGbps: 10, Count: count},
+		Concurrent:  64,
+		FlowPackets: 8,
+	}
+}
+
+// drain pulls the whole stream, copying frames (the Source contract
+// only keeps them valid until the next call).
+func drain(t *testing.T, s Source) ([][]byte, []float64) {
+	t.Helper()
+	var frames [][]byte
+	var times []float64
+	for {
+		f, ns, ok := s.Next()
+		if !ok {
+			break
+		}
+		frames = append(frames, append([]byte(nil), f...))
+		times = append(times, ns)
+	}
+	return frames, times
+}
+
+// Same seed, byte-identical trace — the determinism contract every
+// reproducible exhibit depends on.
+func TestChurnDeterministic(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		make func() Source
+	}{
+		{"churn", func() Source { return NewChurn(churnCfg(5000)) }},
+		{"synflood", func() Source {
+			return NewSYNFlood(Config{Seed: 7, RateGbps: 10, Count: 5000})
+		}},
+		{"expiry-storm", func() Source {
+			return NewExpiryStorm(Config{Seed: 7, RateGbps: 10, Count: 5000}, 256, 1e9)
+		}},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			fa, ta := drain(t, mk.make())
+			fb, tb := drain(t, mk.make())
+			if len(fa) != len(fb) || len(fa) == 0 {
+				t.Fatalf("lengths differ: %d vs %d", len(fa), len(fb))
+			}
+			for i := range fa {
+				if !bytes.Equal(fa[i], fb[i]) {
+					t.Fatalf("frame %d differs between runs", i)
+				}
+				if ta[i] != tb[i] {
+					t.Fatalf("timestamp %d differs: %v vs %v", i, ta[i], tb[i])
+				}
+			}
+		})
+	}
+}
+
+// tcpFlagsOf extracts the TCP flag byte (frames are fixed 64 B, no IP
+// options).
+func tcpFlagsOf(f []byte) (uint8, bool) {
+	if f[netpkt.EtherHdrLen+9] != netpkt.ProtoTCP {
+		return 0, false
+	}
+	return f[netpkt.EtherHdrLen+netpkt.IPv4HdrLen+13], true
+}
+
+func flowKeyOf(f []byte) string {
+	ip := f[netpkt.EtherHdrLen:]
+	return string(ip[12:20]) + string(ip[20:24])
+}
+
+// Every TCP flow in the churn stream must open with exactly one SYN and
+// close with exactly one FIN, and the live population must stay at the
+// configured concurrency.
+func TestChurnLifecycle(t *testing.T) {
+	cfg := churnCfg(20000)
+	c := NewChurn(cfg)
+	frames, _ := drain(t, c)
+	if len(frames) != cfg.Count {
+		t.Fatalf("produced %d frames, want %d", len(frames), cfg.Count)
+	}
+	syns := map[string]int{}
+	fins := map[string]int{}
+	for _, f := range frames {
+		flags, tcp := tcpFlagsOf(f)
+		if !tcp {
+			continue
+		}
+		k := flowKeyOf(f)
+		if flags&netpkt.TCPFlagSYN != 0 {
+			syns[k]++
+		}
+		if flags&netpkt.TCPFlagFIN != 0 {
+			fins[k]++
+		}
+	}
+	for k, n := range syns {
+		if n != 1 {
+			t.Fatalf("flow %x saw %d SYNs", k, n)
+		}
+	}
+	for k, n := range fins {
+		if n != 1 {
+			t.Fatalf("flow %x saw %d FINs", k, n)
+		}
+		if syns[k] != 1 {
+			t.Fatalf("flow %x closed without opening", k)
+		}
+	}
+	if c.Completed == 0 {
+		t.Fatal("no flows completed — churn is not churning")
+	}
+	// Live population == opened - completed == Concurrent.
+	if live := c.Opened - c.Completed; live != uint64(cfg.Concurrent) {
+		t.Fatalf("live population %d, want %d", live, cfg.Concurrent)
+	}
+}
+
+// A SYN flood must be all SYNs, every flow distinct — never a repeat,
+// never an established connection.
+func TestSYNFloodAllDistinctSYNs(t *testing.T) {
+	frames, _ := drain(t, NewSYNFlood(Config{Seed: 3, RateGbps: 10, Count: 8192}))
+	seen := map[string]bool{}
+	for i, f := range frames {
+		flags, tcp := tcpFlagsOf(f)
+		if !tcp || flags != netpkt.TCPFlagSYN {
+			t.Fatalf("frame %d: flags %#x, want pure SYN", i, flags)
+		}
+		k := flowKeyOf(f)
+		if seen[k] {
+			t.Fatalf("frame %d repeats flow %x", i, k)
+		}
+		seen[k] = true
+	}
+}
+
+// An expiry storm's waves must be separated by at least the configured
+// silence, and each wave's flows must complete their handshakes (so the
+// tracker holds established entries that then all age out together).
+func TestExpiryStormWaves(t *testing.T) {
+	const wave, silence = 128, 5e8
+	frames, times := drain(t, NewExpiryStorm(
+		Config{Seed: 9, RateGbps: 10, Count: wave * 2 * 3}, wave, silence))
+	gaps := 0
+	for i := 1; i < len(times); i++ {
+		if times[i]-times[i-1] >= silence {
+			gaps++
+		}
+	}
+	if gaps != 2 {
+		t.Fatalf("saw %d silence gaps, want 2 (3 waves)", gaps)
+	}
+	// Each flow: exactly one SYN and one bare ACK.
+	acks := map[string]int{}
+	for _, f := range frames {
+		flags, tcp := tcpFlagsOf(f)
+		if !tcp {
+			t.Fatal("non-TCP frame in storm")
+		}
+		if flags == netpkt.TCPFlagACK {
+			acks[flowKeyOf(f)]++
+		}
+	}
+	for k, n := range acks {
+		if n != 1 {
+			t.Fatalf("flow %x saw %d handshake ACKs", k, n)
+		}
+	}
+	if len(acks) != wave*3 {
+		t.Fatalf("%d flows completed handshakes, want %d", len(acks), wave*3)
+	}
+}
+
+// Frames must carry valid IPv4 header checksums after per-packet
+// template patching.
+func TestChurnChecksums(t *testing.T) {
+	frames, _ := drain(t, NewChurn(churnCfg(2000)))
+	for i, f := range frames {
+		if !netpkt.VerifyIPv4Checksum(f[netpkt.EtherHdrLen:]) {
+			t.Fatalf("frame %d: bad IP checksum", i)
+		}
+	}
+}

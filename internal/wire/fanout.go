@@ -59,6 +59,14 @@ type Fanout struct {
 	bucketN [FanoutBuckets]uint32
 	loads   []uint64
 
+	// OnMove, when set before traffic starts, observes every rebalance
+	// migration (bucket b moved from queue `from` to queue `to`). It is
+	// invoked on the reader goroutine between windows — flow-affine
+	// state planes (conntrack) hang their migration mailbox here so a
+	// moved bucket's flows follow it to the new owning core. It must
+	// not block: the reader is the shared RX path.
+	OnMove func(bucket, from, to int)
+
 	rebalances atomic.Uint64
 }
 
@@ -243,6 +251,9 @@ func (f *Fanout) rebalance() {
 			f.loads[qMax] -= bestN
 			f.loads[qMin] += bestN
 			f.rebalances.Add(1)
+			if f.OnMove != nil {
+				f.OnMove(best, qMax, qMin)
+			}
 		}
 	}
 	for b := range f.bucketN {
