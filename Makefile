@@ -61,7 +61,7 @@ pcap-demo:
 	rm -rf $(DEMO) && mkdir -p $(DEMO)
 	$(GO) build -o $(DEMO)/pktgen ./cmd/pktgen
 	$(GO) build -o $(DEMO)/packetmill ./cmd/packetmill
-	$(DEMO)/pktgen -write $(DEMO)/in.pcap -trace campus -count 2000 -flows 64 -seed 7 -rate 1
+	$(DEMO)/pktgen -write $(DEMO)/in.pcap -trace campus -count 2000 -flow-count 64 -seed 7 -rate 1
 	$(DEMO)/packetmill -config configs/nat-router.click -mill -model x-change \
 		-io pcap -pcap-in $(DEMO)/in.pcap -pcap-out $(DEMO)/expected.pcap
 	set -e; \

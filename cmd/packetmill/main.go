@@ -40,6 +40,8 @@ import (
 	"packetmill/internal/core"
 	_ "packetmill/internal/elements"
 	"packetmill/internal/faults"
+	"packetmill/internal/flowlog"
+	"packetmill/internal/flowlog/diagnose"
 	"packetmill/internal/layout"
 	"packetmill/internal/mill"
 	"packetmill/internal/nf"
@@ -82,7 +84,8 @@ func main() {
 
 		traceOut    = flag.String("trace-out", "", "write a Chrome/Perfetto trace of sampled packets to this file (enables the flight recorder; also the stall-dump path)")
 		traceSample = flag.Int("trace-sample", 64, "with -trace-out: trace one in N received packets")
-		metricsAddr = flag.String("metrics", "", "-io wire: serve live Prometheus metrics on this address (e.g. :9100) at /metrics, full JSON report at /report")
+		metricsAddr = flag.String("metrics", "", "-io wire: serve live Prometheus metrics on this address (e.g. :9100) at /metrics, full JSON report at /report, flow records at /flows")
+		flowsOut    = flag.String("flows-out", "", "arm the flow log and write the run's conntrack-enriched flow records to this file as JSON lines, with a scenario diagnosis on the note stream")
 
 		ioMode     = flag.String("io", "sim", "packet I/O backend: sim|wire|pcap")
 		pcapIn     = flag.String("pcap-in", "", "-io pcap: input capture (pcap/pcapng/native trace)")
@@ -155,6 +158,9 @@ func main() {
 	if *traceOut != "" {
 		base.Trace = trace.NewRecorder(trace.Config{SampleEvery: *traceSample, Seed: *seed})
 		base.StallTracePath = *traceOut
+	}
+	if *flowsOut != "" {
+		base.FlowLog = flowlog.New(flowlog.Config{})
 	}
 	switch strings.ToLower(*trafficKind) {
 	case "campus", "":
@@ -252,11 +258,11 @@ func main() {
 	switch strings.ToLower(*ioMode) {
 	case "sim":
 	case "wire":
-		runWire(p, base, *wireRx, *wireTx, *metricsAddr, *wireIdle, *wireCount, note)
+		runWire(p, base, *wireRx, *wireTx, *metricsAddr, *wireIdle, *wireCount, *flowsOut, note)
 		writeTrace(base.Trace, *traceOut, note)
 		return
 	case "pcap":
-		runPcap(p, base, *pcapIn, *pcapOut, *pcapRepeat, jsonReport, *configPath, *builtin)
+		runPcap(p, base, *pcapIn, *pcapOut, *pcapRepeat, jsonReport, *configPath, *builtin, *flowsOut, note)
 		writeTrace(base.Trace, *traceOut, note)
 		return
 	default:
@@ -315,6 +321,7 @@ func main() {
 				*repeats, spread.MinGbps, spread.MaxGbps)
 		}
 		writeTrace(base.Trace, *traceOut, note)
+		writeFlows(res.Flows, *flowsOut, note)
 		return
 	}
 	res, err := p.Run(base)
@@ -327,6 +334,29 @@ func main() {
 		report(res)
 	}
 	writeTrace(base.Trace, *traceOut, note)
+	writeFlows(res.Flows, *flowsOut, note)
+}
+
+// writeFlows dumps a run's flow records as JSON lines and prints the
+// scenario diagnosis. No-op unless -flows-out armed the flow log.
+func writeFlows(recs []flowlog.Record, path string, note func(string, ...any)) {
+	if path == "" {
+		return
+	}
+	if err := os.WriteFile(path, flowlog.JSONL(recs), 0o644); err != nil {
+		fatal(err)
+	}
+	s := flowlog.Summarize(recs)
+	note("; flows: %d records (%d tx-side pkts, %d drop-side pkts, %d unattributed) -> %s\n",
+		s.Records, s.TxSidePackets, s.DropSidePackets, s.Unattributed, path)
+	findings := diagnose.Run(recs, diagnose.Defaults())
+	if len(findings) == 0 {
+		note("; diagnosis: no scenario detected\n")
+		return
+	}
+	for _, f := range findings {
+		note("; diagnosis: %s — %s\n", f.Scenario, f.Summary)
+	}
 }
 
 // writeTrace dumps the flight recorder as Chrome trace-event JSON —
@@ -350,7 +380,7 @@ func writeTrace(rec *trace.Recorder, path string, note func(string, ...any)) {
 
 // runWire serves the build on live datagram sockets: the -io wire mode.
 func runWire(p *core.Pipeline, base testbed.Options, rxAddr, txAddr, metricsAddr string,
-	idle time.Duration, maxPackets int, note func(string, ...any)) {
+	idle time.Duration, maxPackets int, flowsOut string, note func(string, ...any)) {
 	if rxAddr == "" && txAddr == "" {
 		fatal(fmt.Errorf("-io wire needs -wire-rx and/or -wire-tx"))
 	}
@@ -362,7 +392,7 @@ func runWire(p *core.Pipeline, base testbed.Options, rxAddr, txAddr, metricsAddr
 		defer ms.Close()
 		base.Metrics = ms
 		base.Telemetry = true // /report serves the full JSON report
-		note("; metrics: http://%s/metrics (Prometheus) and /report (JSON)\n", ms.Addr())
+		note("; metrics: http://%s/metrics (Prometheus), /report (JSON), /flows (JSON lines)\n", ms.Addr())
 	}
 	var rxConn, txConn net.Conn
 	var err error
@@ -437,13 +467,15 @@ func runWire(p *core.Pipeline, base testbed.Options, rxAddr, txAddr, metricsAddr
 	if err := d.Audit(); err != nil {
 		fatal(err)
 	}
+	writeFlows(d.WireFlowRecords(), flowsOut, note)
 }
 
 // runPcap mills a capture offline: frames come from a file, traverse the
 // build on the simulated machine, and every departing frame is written
 // to the output capture. This is the -io pcap mode.
 func runPcap(p *core.Pipeline, base testbed.Options, in, out string,
-	repeat int, jsonReport bool, configPath, builtin string) {
+	repeat int, jsonReport bool, configPath, builtin, flowsOut string,
+	note func(string, ...any)) {
 	if in == "" {
 		fatal(fmt.Errorf("-io pcap needs -pcap-in FILE"))
 	}
@@ -498,6 +530,7 @@ func runPcap(p *core.Pipeline, base testbed.Options, in, out string,
 		}
 		fmt.Fprintf(os.Stderr, "; wrote %d frames to %s\n", w.Frames(), out)
 	}
+	writeFlows(res.Flows, flowsOut, note)
 	if jsonReport {
 		emitJSON(res, configName(configPath, builtin))
 		return

@@ -7,6 +7,7 @@
 //	pktgen -trace fixed -size 64 -rate 40
 //	pktgen -trace campus -count 2000 -write input.pcap
 //	pktgen -read input.pcap -json
+//	pktgen -read input.pcap -flows
 //	pktgen -replay input.pcap -to unix:/tmp/mill-rx.sock -pps 50000
 //	pktgen -capture out.pcap -on unix:/tmp/mill-tx.sock -idle 2s
 //	pktgen -compare out.pcap expected.pcap
@@ -33,6 +34,8 @@ import (
 
 	"hash/fnv"
 
+	"packetmill/internal/conntrack"
+	"packetmill/internal/flowlog"
 	"packetmill/internal/netpkt"
 	ptrace "packetmill/internal/trace"
 	"packetmill/internal/trafficgen"
@@ -87,11 +90,12 @@ func main() {
 		floodFactor = flag.Float64("flood-factor", 4, "-trace flood: pacing compression (4 = offer 4x the configured rate)")
 		rate        = flag.Float64("rate", 100, "offered wire rate (Gbps)")
 		count       = flag.Int("count", 100000, "frames to generate (or to capture with -capture)")
-		flows       = flag.Int("flows", 1024, "distinct flows")
+		flowCount   = flag.Int("flow-count", 1024, "distinct flows to generate")
 		seed        = flag.Uint64("seed", 1, "generator seed")
 		write       = flag.String("write", "", "record the trace to FILE (.pcap/.pcapng/native) and exit")
 		read        = flag.String("read", "", "analyze a recorded trace FILE instead of generating")
 		repeats     = flag.Int("repeat", 1, "replay the -read trace N times")
+		flowsMode   = flag.Bool("flows", false, "summarize per-flow packet/byte/duration stats instead of the size/protocol breakdown")
 		asJSON      = flag.Bool("json", false, "emit results as JSON")
 
 		replay     = flag.String("replay", "", "replay trace FILE onto the wire address given by -to")
@@ -122,7 +126,7 @@ func main() {
 		return
 	}
 
-	cfg := trafficgen.Config{Seed: *seed, Flows: *flows, RateGbps: *rate, Count: *count}
+	cfg := trafficgen.Config{Seed: *seed, Flows: *flowCount, RateGbps: *rate, Count: *count}
 	var src trafficgen.Source
 	switch {
 	case *read != "":
@@ -162,6 +166,10 @@ func main() {
 		return
 	}
 
+	if *flowsMode {
+		analyzeFlows(src, *asJSON)
+		return
+	}
 	analyze(src, *asJSON)
 }
 
@@ -457,6 +465,101 @@ func runCompareLatency(sentPath, recvPath string, asJSON bool) {
 		us(s.Min), us(s.Mean), us(s.Max))
 	fmt.Printf("percentiles: p50 %.1f µs, p90 %.1f µs, p99 %.1f µs, p99.9 %.1f µs\n",
 		us(s.P50), us(s.P90), us(s.P99), us(s.P999))
+}
+
+// analyzeFlows streams a source and prints a per-flow table: canonical
+// 5-tuple, packets, bytes, duration. The key extraction is the flow
+// log's (flowlog.KeyFromFrame + conntrack.Canonical), so the table
+// groups frames exactly the way a ConnTracker in the datapath would.
+func analyzeFlows(src trafficgen.Source, asJSON bool) {
+	type flowAgg struct {
+		key              conntrack.Key
+		packets, bytes   uint64
+		firstNS, lastNS  float64
+		fwdPkts, revPkts uint64
+	}
+	flows := map[conntrack.Key]*flowAgg{}
+	var order []*flowAgg
+	var frames, skipped, totalBytes uint64
+	for {
+		frame, ns, ok := src.Next()
+		if !ok {
+			break
+		}
+		frames++
+		totalBytes += uint64(len(frame))
+		k, ok := flowlog.KeyFromFrame(frame)
+		if !ok {
+			skipped++
+			continue
+		}
+		canon, swapped := conntrack.Canonical(k)
+		f := flows[canon]
+		if f == nil {
+			f = &flowAgg{key: canon, firstNS: ns}
+			flows[canon] = f
+			order = append(order, f)
+		}
+		f.packets++
+		f.bytes += uint64(len(frame))
+		f.lastNS = ns
+		if swapped {
+			f.revPkts++
+		} else {
+			f.fwdPkts++
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].bytes != order[j].bytes {
+			return order[i].bytes > order[j].bytes
+		}
+		return order[i].firstNS < order[j].firstNS
+	})
+
+	if asJSON {
+		type flowDoc struct {
+			Flow       string  `json:"flow"`
+			Packets    uint64  `json:"packets"`
+			Bytes      uint64  `json:"bytes"`
+			Forward    uint64  `json:"forward_packets"`
+			Reverse    uint64  `json:"reverse_packets"`
+			DurationUS float64 `json:"duration_us"`
+		}
+		doc := struct {
+			Frames  uint64    `json:"frames"`
+			Bytes   uint64    `json:"bytes"`
+			Flows   int       `json:"flows"`
+			Skipped uint64    `json:"skipped"`
+			Table   []flowDoc `json:"table"`
+		}{Frames: frames, Bytes: totalBytes, Flows: len(order), Skipped: skipped}
+		for _, f := range order {
+			doc.Table = append(doc.Table, flowDoc{
+				Flow: flowlog.FormatKey(f.key), Packets: f.packets,
+				Bytes: f.bytes, Forward: f.fwdPkts, Reverse: f.revPkts,
+				DurationUS: (f.lastNS - f.firstNS) / 1e3,
+			})
+		}
+		printJSON(doc)
+		return
+	}
+
+	fmt.Printf("frames:      %d (%d bytes), %d flows", frames, totalBytes, len(order))
+	if skipped > 0 {
+		fmt.Printf(", %d non-IP/truncated skipped", skipped)
+	}
+	fmt.Println()
+	fmt.Printf("%-44s %10s %12s %8s %8s %12s\n",
+		"flow", "packets", "bytes", "fwd", "rev", "duration µs")
+	const maxRows = 40
+	for i, f := range order {
+		if i == maxRows {
+			fmt.Printf("  ... %d more flows\n", len(order)-maxRows)
+			break
+		}
+		fmt.Printf("%-44s %10d %12d %8d %8d %12.1f\n",
+			flowlog.FormatKey(f.key), f.packets, f.bytes,
+			f.fwdPkts, f.revPkts, (f.lastNS-f.firstNS)/1e3)
+	}
 }
 
 // analyze streams a source and prints its statistics.

@@ -42,8 +42,15 @@ type Entry struct {
 	Value   uint64 // caller payload (the NAT keeps its external port here)
 	State   State
 	Packets uint64
+	Bytes   uint64  // wire bytes carried by the flow (element-maintained)
 	Created float64 // arrival of the first segment, simulated ns
 	Last    float64 // arrival of the most recent segment, simulated ns
+
+	// Sampled per-flow TX latency, accumulated by the flow log's depart
+	// hook. Zero when flow logging is off or the flow was never sampled.
+	LatSumNS   float64
+	LatMaxNS   float64
+	LatSamples uint32
 
 	class Class
 	live  bool
@@ -541,6 +548,7 @@ type FlowRecord struct {
 	Value   uint64
 	State   State
 	Packets uint64
+	Bytes   uint64
 	Created float64
 	Last    float64
 }
@@ -556,7 +564,7 @@ func (s *Shard) Export(core *machine.Core, k Key) (FlowRecord, bool) {
 	idx := int32(v)
 	e := &s.ents[idx]
 	rec := FlowRecord{Key: e.Key, Value: e.Value, State: e.State,
-		Packets: e.Packets, Created: e.Created, Last: e.Last}
+		Packets: e.Packets, Bytes: e.Bytes, Created: e.Created, Last: e.Last}
 	s.stats.MigratedOut++
 	s.reclaim(core, idx, CauseMigrated, true)
 	return rec, true
@@ -573,6 +581,7 @@ func (s *Shard) Import(core *machine.Core, rec FlowRecord, nowNS float64) (*Entr
 	}
 	e := &s.ents[idx]
 	e.Packets = rec.Packets
+	e.Bytes = rec.Bytes
 	e.Created = rec.Created
 	if rec.Last > 0 && rec.Last < e.Last {
 		e.Last = rec.Last

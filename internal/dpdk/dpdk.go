@@ -303,6 +303,12 @@ type Port struct {
 	// distribution behind the live exporter and report percentiles.
 	LatHist *trace.Hist
 
+	// OnTxLat, when set, observes (frame bytes, RX→TX-enqueue latency)
+	// for every packet accepted by the TX ring — the flow log's
+	// per-flow latency sampling hook. The callback must not retain the
+	// frame slice and must not allocate: it runs on the hot path.
+	OnTxLat func(frame []byte, latNS float64)
+
 	// Overload is the core's overload control plane, or nil. When set,
 	// RxBurst prices every arriving frame against the active admission
 	// policy *before* paying conversion cost; a shed frame costs one
@@ -602,6 +608,9 @@ func (pt *Port) TxBurst(core *machine.Core, nowNS float64, pkts []*pktbuf.Packet
 			break
 		}
 		pt.LatHist.Record(nowNS - p.ArrivalNS)
+		if pt.OnTxLat != nil {
+			pt.OnTxLat(p.Bytes(), nowNS-p.ArrivalNS)
+		}
 		if p.TraceID != 0 {
 			pt.Trace.Depart(p.TraceID, p.Len())
 			p.TraceID = 0

@@ -12,6 +12,7 @@ import (
 	"packetmill/internal/click"
 	"packetmill/internal/conntrack"
 	"packetmill/internal/cuckoo"
+	"packetmill/internal/flowlog"
 	"packetmill/internal/layout"
 	"packetmill/internal/netpkt"
 	"packetmill/internal/pktbuf"
@@ -33,6 +34,7 @@ type ConnTracker struct {
 	Annotate  bool
 
 	shard *conntrack.Shard
+	flog  *flowlog.Core
 
 	// Tracked counts admitted packets; Refused counts the rest.
 	Tracked uint64
@@ -105,6 +107,7 @@ func (e *ConnTracker) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 		if !ok {
 			// Non-IP traffic is outside the tracker's jurisdiction.
 			core.Compute(10)
+			e.flog.Untracked(uint64(p.Len()))
 			out.Append(core, p)
 			return true
 		}
@@ -131,13 +134,18 @@ func (e *ConnTracker) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 			if e.Annotate && p.Meta.L.Has(layout.FieldAnnoPaint) {
 				p.Meta.Set(core, layout.FieldAnnoPaint, uint64(ent.State))
 			}
+			ent.Bytes += uint64(p.Len())
 			e.Tracked++
 			out.Append(core, p)
 		case conntrack.VerdictInvalid:
 			e.Refused++
 			if refuseWired {
+				// Diverted, not killed: downstream decides its fate, so
+				// the flow log leaves it to the wire residue or the
+				// drop-ledger remainder.
 				refused.Append(core, p)
 			} else {
+				e.flog.Refused(stats.DropFlowTableInvalid, uint64(p.Len()), ec.Now)
 				deadInvalid.Append(core, p)
 			}
 		default: // VerdictFull, VerdictNoResource
@@ -145,6 +153,7 @@ func (e *ConnTracker) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 			if refuseWired {
 				refused.Append(core, p)
 			} else {
+				e.flog.Refused(stats.DropFlowTableFull, uint64(p.Len()), ec.Now)
 				deadFull.Append(core, p)
 			}
 		}
@@ -166,6 +175,21 @@ func (e *ConnTracker) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 	}
 	if !out.Empty() {
 		e.Inst.Output(ec, 0, out)
+	}
+}
+
+// BindFlowLog implements flowlog.Hookable: flow endings, refusals, and
+// untracked passthrough feed core fc's flow log, and the log's depart
+// hook samples latency into this shard's entries.
+func (e *ConnTracker) BindFlowLog(fc *flowlog.Core) {
+	e.flog = fc
+	fc.BindShard(e.shard, true, 0)
+	prev := e.shard.OnReclaim
+	e.shard.OnReclaim = func(ent *conntrack.Entry, cause conntrack.Cause) {
+		fc.FlowEnd(ent, cause)
+		if prev != nil {
+			prev(ent, cause)
+		}
 	}
 }
 

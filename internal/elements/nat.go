@@ -11,6 +11,7 @@ import (
 	"packetmill/internal/click"
 	"packetmill/internal/conntrack"
 	"packetmill/internal/cuckoo"
+	"packetmill/internal/flowlog"
 	"packetmill/internal/machine"
 	"packetmill/internal/netpkt"
 	"packetmill/internal/pktbuf"
@@ -40,8 +41,11 @@ type portPool struct {
 	n     int
 }
 
-func newPortPool() *portPool {
-	p := &portPool{ports: make([]uint16, natPortCount), n: natPortCount}
+func newPortPool(n int) *portPool {
+	if n <= 0 || n > natPortCount {
+		n = natPortCount
+	}
+	p := &portPool{ports: make([]uint16, n), n: n}
 	for i := range p.ports {
 		p.ports[i] = uint16(natFirstPort + i)
 	}
@@ -85,6 +89,7 @@ type IPRewriter struct {
 	shard   *conntrack.Shard
 	reverse *cuckoo.Table
 	pool    *portPool
+	flog    *flowlog.Core
 
 	// cur is the core driving the current Push/Advance, so the reclaim
 	// hook can charge its cuckoo deletes to the right core.
@@ -108,8 +113,11 @@ type IPRewriter struct {
 func (e *IPRewriter) Class() string { return "IPRewriter" }
 
 // Configure implements click.Element.
-// Args: EXTIP a.b.c.d [, CAPACITY n] [, ESTABLISHED_MS n]
+// Args: EXTIP a.b.c.d [, CAPACITY n] [, PORTS n] [, ESTABLISHED_MS n]
 // [, EMBRYONIC_MS n] [, CLOSING_MS n] [, UDP_MS n] [, PROTECT bool].
+// PORTS bounds the external-port pool (default the full 1024..65535
+// range) — small pools model carrier-grade NAT port budgets and the
+// port-exhaustion scenario.
 func (e *IPRewriter) Configure(args []string, bc *click.BuildCtx) error {
 	e.InitBase(bc)
 	e.TableSize = 65536
@@ -138,11 +146,19 @@ func (e *IPRewriter) Configure(args []string, bc *click.BuildCtx) error {
 	if v, ok := kw["PROTECT"]; ok {
 		cfg.ProtectEstablished = v == "true" || v == "1"
 	}
+	ports := 0
+	if v, ok := kw["PORTS"]; ok {
+		n, err := click.ParseInt(v)
+		if err != nil {
+			return err
+		}
+		ports = n
+	}
 	// Flow table and reverse mappings live in hugepages like rte_hash.
 	e.shard = conntrack.NewShard(cfg, bc.Huge, bc.Seed^0x4e4154)
 	e.shard.OnReclaim = e.onReclaim
 	e.reverse = cuckoo.New(e.TableSize, bc.Huge, bc.Seed^0x76657254)
-	e.pool = newPortPool()
+	e.pool = newPortPool(ports)
 	bc.AllocState(64, 2)
 	return nil
 }
@@ -177,6 +193,7 @@ func (e *IPRewriter) onReclaim(ent *conntrack.Entry, cause conntrack.Cause) {
 	if cause == conntrack.CauseMigrated {
 		return
 	}
+	e.flog.FlowEndNAT(ent, cause, e.ExtIP.Uint32())
 	port := uint16(ent.Value)
 	e.reverse.Delete(e.cur, cuckoo.Key{
 		SrcIP: ent.Key.DstIP, DstIP: e.ExtIP.Uint32(),
@@ -202,10 +219,12 @@ func (e *IPRewriter) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 		if !ok || (proto != netpkt.ProtoTCP && proto != netpkt.ProtoUDP) {
 			// Non-L4 traffic passes through unmodified.
 			core.Compute(10)
+			e.flog.Untracked(uint64(p.Len()))
 			out.Append(core, p)
 			return true
 		}
 		if p.Len() < l4+4 {
+			e.flog.Refused(stats.DropEngine, uint64(p.Len()), ec.Now)
 			dead.Append(core, p)
 			return true
 		}
@@ -228,6 +247,7 @@ func (e *IPRewriter) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 			// hands the port straight back.
 			extPort, ok := e.pool.get()
 			if !ok {
+				e.flog.Refused(stats.DropFlowTableNoPort, uint64(p.Len()), ec.Now)
 				deadNoPort.Append(core, p)
 				return true
 			}
@@ -236,6 +256,7 @@ func (e *IPRewriter) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 			ent, v = e.shard.Admit(core, key, proto, tcpFlags, ec.Now, uint64(extPort))
 			if v != conntrack.VerdictNew {
 				e.pool.put(extPort)
+				e.flog.Refused(stats.DropFlowTableFull, uint64(p.Len()), ec.Now)
 				deadFull.Append(core, p)
 				return true
 			}
@@ -247,11 +268,13 @@ func (e *IPRewriter) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 				// Reverse index refused: undo the admission (the
 				// reclaim hook recycles the port) and refuse the flow.
 				e.shard.Delete(core, key)
+				e.flog.Refused(stats.DropFlowTableFull, uint64(p.Len()), ec.Now)
 				deadFull.Append(core, p)
 				return true
 			}
 			e.Flows++
 		}
+		ent.Bytes += uint64(p.Len())
 		extPort := uint16(ent.Value)
 		// Rewrite source IP and port, patching both checksums
 		// incrementally (RFC 1624 twice: IP header + pseudo-header).
@@ -285,6 +308,18 @@ func (e *IPRewriter) Push(ec *click.ExecCtx, _ int, b *pktbuf.Batch) {
 	if !out.Empty() {
 		e.Inst.Output(ec, 0, out)
 	}
+}
+
+// BindFlowLog implements flowlog.Hookable: flow endings carry their NAT
+// translation into core fc's flow log, refusals (port-pool dry, table
+// full) are booked by reason, and the log joins live translations at
+// export time. The shard's keys are as-seen 5-tuples (not canonical),
+// and departing frames carry the rewritten source, so the depart-hook
+// latency sampler registers the table but rarely hits — misses are
+// counted, not chased.
+func (e *IPRewriter) BindFlowLog(fc *flowlog.Core) {
+	e.flog = fc
+	fc.BindShard(e.shard, false, e.ExtIP.Uint32())
 }
 
 // Shard exposes the flow table for tests and migration wiring.

@@ -62,7 +62,7 @@ func cell(t *testing.T, tb *Table, rowMatch map[int]string, col int) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"abl-burst", "abl-ddio", "abl-pgo", "abl-pool", "abl-reorder", "abl-vector",
 		"conntrack", "fig1", "fig10", "fig11a", "fig11b", "fig4", "fig5a", "fig5b",
-		"fig6", "fig7", "fig8", "fig9", "multicore", "overload", "tab1"}
+		"fig6", "fig7", "fig8", "fig9", "flowlog", "multicore", "overload", "tab1"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("%d experiments registered, want %d", len(all), len(want))

@@ -1,0 +1,260 @@
+// Experiment: the flow-observability pipeline end to end. Not a paper
+// figure — the acceptance exhibit for this repository's flow-record
+// subsystem: five scenarios (clean churn, SYN flood, NAT port
+// exhaustion, overload shedding, expiry storm, elephant skew) each run
+// on the full datapath with the flow log armed, and for every run (a)
+// the records must reconcile EXACTLY against the conservation ledgers —
+// TX-side packets equal the wire count, drop-side packets equal the
+// drop taxonomy — and (b) the diagnosis engine must name that run's
+// scenario and stay silent on every other's (the zero-false-positive
+// matrix). A violation panics the exhibit rather than printing a row.
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"packetmill/internal/click"
+	"packetmill/internal/flowlog"
+	"packetmill/internal/flowlog/diagnose"
+	"packetmill/internal/nf"
+	"packetmill/internal/nic"
+	"packetmill/internal/overload"
+	"packetmill/internal/testbed"
+	"packetmill/internal/trafficgen"
+)
+
+func init() {
+	register("flowlog", "flow observability: verdict reconciliation × scenario diagnosis matrix", flowlogExhibit)
+}
+
+// flTrackerCfg is the tracked forwarder; CAPACITY is spliced per
+// scenario.
+const flTrackerCfg = `
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+input -> ct :: ConnTracker(CAPACITY %s)
+      -> EtherRewrite(SRC 02:00:00:00:00:02, DST 02:00:00:00:00:01)
+      -> output;
+`
+
+// flNATCfg starves the external-port pool behind a roomy table, so
+// every refusal is a no-port, not a table-full.
+const flNATCfg = `
+input :: FromDPDKDevice(PORT 0, N_QUEUES 1, BURST 32);
+output :: ToDPDKDevice(PORT 0, BURST 32);
+input -> nat :: IPRewriter(EXTIP 192.168.100.1, CAPACITY 4096, PORTS 512)
+      -> EtherRewrite(SRC 02:00:00:00:00:02, DST 02:00:00:00:00:01)
+      -> output;
+`
+
+func flCfg(capacity string) string {
+	return strings.Replace(flTrackerCfg, "%s", capacity, 1)
+}
+
+// flowScenario is one row of the exhibit matrix.
+type flowScenario struct {
+	name   string
+	expect diagnose.Scenario // "" = the clean baseline, zero findings
+	opts   func(seed uint64, packets int) testbed.Options
+	config string
+}
+
+func churnSrc(concurrent, flowPackets int) func(int, trafficgen.Config) trafficgen.Source {
+	return func(n int, cfg trafficgen.Config) trafficgen.Source {
+		return trafficgen.NewChurn(trafficgen.ChurnConfig{
+			Config: cfg, Concurrent: concurrent, FlowPackets: flowPackets,
+		})
+	}
+}
+
+func flowScenarios(scale float64) []flowScenario {
+	base := func(seed uint64, packets int) testbed.Options {
+		return testbed.Options{
+			Model: click.XChange, FreqGHz: 2.4, RateGbps: 40,
+			Packets: packets, Telemetry: true, Seed: seed,
+		}
+	}
+	return []flowScenario{
+		{
+			// Clean churn: capacity above the live population, so no
+			// evictions, no refusals — and no findings.
+			name: "churn", expect: "",
+			config: flCfg("4096"),
+			opts: func(seed uint64, packets int) testbed.Options {
+				o := base(seed, packets)
+				o.Traffic = churnSrc(2048, 8)
+				return o
+			},
+		},
+		{
+			name: "syn-flood", expect: diagnose.SYNFlood,
+			config: flCfg("256, PROTECT true"),
+			opts: func(seed uint64, packets int) testbed.Options {
+				o := base(seed, packets)
+				o.Traffic = func(n int, cfg trafficgen.Config) trafficgen.Source {
+					return synFloodMix(cfg)
+				}
+				return o
+			},
+		},
+		{
+			name: "nat-exhaustion", expect: diagnose.NATPortExhaustion,
+			config: flNATCfg,
+			opts: func(seed uint64, packets int) testbed.Options {
+				o := base(seed, packets)
+				o.Traffic = churnSrc(2048, 8)
+				return o
+			},
+		},
+		{
+			// The CPU-bound forwarder at far past capacity with
+			// tail-drop admission: no tracking element at all, so every
+			// TX'd packet rides the wire residue and every shed the drop
+			// ledger — and the cut must still reconcile exactly.
+			name: "overload-shed", expect: diagnose.ShedStorm,
+			config: nf.WorkPackageForwarder(4, 16, 5, 200),
+			opts: func(seed uint64, packets int) testbed.Options {
+				o := base(seed, packets)
+				o.FreqGHz = 1.2
+				rings := nic.DefaultConfig("flowlog-overload")
+				rings.RXRingSize = 256
+				rings.TXRingSize = 256
+				o.NICConfig = &rings
+				o.Overload = &overload.Config{
+					Policy:    overload.PolicyTailDrop,
+					HighWater: 0.1,
+					LowWater:  0.005,
+					Health: overload.HealthConfig{
+						DegradeOcc:  0.012,
+						OverloadOcc: 0.6,
+						RecoverOcc:  0.006,
+						DwellNS:     5e3,
+					},
+				}
+				return o
+			},
+		},
+		{
+			// Handshake waves separated by 10x the compressed idle
+			// timeout: each wave's timers mature together. Wave size
+			// tracks the packet budget (2 frames per flow) so the run
+			// always holds 4 dense waves regardless of scale.
+			name: "expiry-storm", expect: diagnose.ExpiryStorm,
+			config: flCfg("4096, ESTABLISHED_MS 1, EMBRYONIC_MS 1"),
+			opts: func(seed uint64, packets int) testbed.Options {
+				o := base(seed, packets)
+				o.Traffic = func(n int, cfg trafficgen.Config) trafficgen.Source {
+					return trafficgen.NewExpiryStorm(cfg, packets/8, 1e7)
+				}
+				return o
+			},
+		},
+		{
+			// One full-size long-lived flow over a floor of 64-byte
+			// mice: the elephant carries the byte share.
+			name: "elephant-skew", expect: diagnose.ElephantSkew,
+			config: flCfg("4096"),
+			opts: func(seed uint64, packets int) testbed.Options {
+				o := base(seed, packets)
+				o.Traffic = func(n int, cfg trafficgen.Config) trafficgen.Source {
+					mice := cfg
+					mice.Count = cfg.Count * 7 / 10
+					mice.RateGbps = cfg.RateGbps / 4
+					ele := cfg
+					ele.Seed = cfg.Seed ^ 0xe1e
+					ele.Count = cfg.Count - mice.Count
+					ele.RateGbps = cfg.RateGbps - mice.RateGbps
+					return trafficgen.NewMerge(
+						trafficgen.NewChurn(trafficgen.ChurnConfig{
+							Config: mice, Concurrent: 1024, FlowPackets: 8,
+						}),
+						trafficgen.NewChurn(trafficgen.ChurnConfig{
+							// Lifetime far beyond the run so the one
+							// flow never closes.
+							Config: ele, Concurrent: 1, FlowPackets: 4 * ele.Count,
+							FrameSize: 1472,
+						}),
+					)
+				}
+				return o
+			},
+		},
+	}
+}
+
+// flowlogExhibit runs the matrix. Table one is the verdict ledger per
+// scenario with the reconciliation outcome; table two is the diagnosis
+// matrix: what each run was diagnosed as, against what it must be.
+func flowlogExhibit(scale float64) *Plan {
+	verdictT := &Table{
+		ID:    "flowlog-verdicts",
+		Title: "flow records by verdict: exact reconciliation against wire TX and the drop taxonomy",
+		Columns: []string{"scenario", "gbps", "records", "forwarded_pkts", "evicted_pkts",
+			"dropped_pkts", "shed_pkts", "refused_pkts", "unattributed", "lat_samples",
+			"records_lost", "tx_side", "tx_wire", "drop_side", "drops", "exact"},
+	}
+	diagT := &Table{
+		ID:      "flowlog-diagnosis",
+		Title:   "scenario diagnosis matrix: each run must earn exactly its own finding",
+		Columns: []string{"scenario", "expected", "diagnosed", "findings", "summary"},
+	}
+	p := &Plan{Tables: []*Table{verdictT, diagT}}
+
+	for _, sc := range flowScenarios(scale) {
+		sc := sc
+		p.Unit(func(u *U) {
+			o := sc.opts(u.Seed, pkts(16000, scale))
+			o.FlowLog = flowlog.New(flowlog.Config{})
+			res, err := testbed.Run(sc.config, o)
+			if err != nil {
+				panic(fmt.Sprintf("flowlog %s: %v", sc.name, err))
+			}
+			if len(res.Flows) == 0 {
+				panic(fmt.Sprintf("flowlog %s: no flow records", sc.name))
+			}
+			rec := flowlog.Reconcile(res.Flows, res.Offered, res.TxWire, &res.DropsByReason)
+			if !rec.Exact {
+				panic(fmt.Sprintf("flowlog %s: reconciliation inexact: tx_side=%d tx_wire=%d drop_side=%d drops=%d",
+					sc.name, rec.TxSide, rec.TxWire, rec.DropSide, rec.Drops))
+			}
+			sum := flowlog.Summarize(res.Flows)
+			u.AddTo(0, sc.name, f1(res.Gbps()), fmt.Sprint(sum.Records),
+				fmt.Sprint(sum.Packets[flowlog.VerdictForwarded]),
+				fmt.Sprint(sum.Packets[flowlog.VerdictEvicted]),
+				fmt.Sprint(sum.Packets[flowlog.VerdictDropped]),
+				fmt.Sprint(sum.Packets[flowlog.VerdictShed]),
+				fmt.Sprint(sum.Packets[flowlog.VerdictRefused]),
+				fmt.Sprint(sum.Unattributed), fmt.Sprint(sum.LatSamples),
+				fmt.Sprint(o.FlowLog.RecordsLost()),
+				fmt.Sprint(rec.TxSide), fmt.Sprint(rec.TxWire),
+				fmt.Sprint(rec.DropSide), fmt.Sprint(rec.Drops), "yes")
+
+			findings := diagnose.Run(res.Flows, diagnose.Defaults())
+			var names []string
+			summary := ""
+			for _, f := range findings {
+				names = append(names, string(f.Scenario))
+				summary = f.Summary
+			}
+			diagnosed := strings.Join(names, "+")
+			// The matrix: the expected scenario and nothing else — a
+			// cross-fire here is a detector regression, not a data point.
+			switch {
+			case sc.expect == "" && len(findings) != 0:
+				panic(fmt.Sprintf("flowlog %s: clean run diagnosed as %s", sc.name, diagnosed))
+			case sc.expect != "" && (len(findings) != 1 || findings[0].Scenario != sc.expect):
+				panic(fmt.Sprintf("flowlog %s: diagnosed as [%s], want exactly [%s]",
+					sc.name, diagnosed, sc.expect))
+			}
+			expect := string(sc.expect)
+			if expect == "" {
+				expect = "-"
+				diagnosed = "-"
+				summary = "clean baseline: no findings"
+			}
+			u.AddTo(1, sc.name, expect, diagnosed, fmt.Sprint(len(findings)), summary)
+		})
+	}
+	return p
+}

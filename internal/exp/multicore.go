@@ -55,8 +55,8 @@ func multicoreExhibit(scale float64) *Plan {
 			"per_core_kpps", "speedup"},
 	}
 	skew := &Table{
-		ID:    "multicore-skew",
-		Title: "software-RSS fanout, one elephant flow at 50% load: static table vs mice migration (share over final window)",
+		ID:      "multicore-skew",
+		Title:   "software-RSS fanout, one elephant flow at 50% load: static table vs mice migration (share over final window)",
 		Columns: []string{"table", "queues", "frames", "bucket_moves", "hot_queue_share"},
 	}
 	p := &Plan{Tables: []*Table{scaling, skew}}

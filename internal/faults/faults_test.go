@@ -21,25 +21,25 @@ func mustParse(t *testing.T, src string) *Schedule {
 
 func TestParseRejectsBadInput(t *testing.T) {
 	bad := []string{
-		"explode p=0.1",                      // unknown kind
-		"drop",                               // neither p nor burst/every
-		"drop p=0.1 burst=4 every=10",        // both forms
-		"drop burst=4",                       // burst without every
-		"drop p=2",                           // not a probability
-		"drop p=NaN",                         // NaN probability
-		"corrupt bits=3",                     // missing p
-		"corrupt p=0.1 bits=0",               // bits out of range
-		"corrupt p=0.1 p=0.2",                // duplicate key
-		"truncate p=0.1 min=-1",              // negative floor
-		"flap at=1ms",                        // missing for
-		"stall for=1ms",                      // missing at
-		"deplete target=gpu at=0 for=1ms",    // unknown target
-		"slowrx at=0 for=1ms",                // missing factor
-		"slowrx factor=0.5",                  // factor < 1
-		"drop p",                             // not key=value
-		"flap at=-5ns for=1ms",               // negative duration
-		"flap at=1xyz for=1ms",               // unparseable duration
-		"drop p=0.1 surprise=1",              // unknown key
+		"explode p=0.1",                   // unknown kind
+		"drop",                            // neither p nor burst/every
+		"drop p=0.1 burst=4 every=10",     // both forms
+		"drop burst=4",                    // burst without every
+		"drop p=2",                        // not a probability
+		"drop p=NaN",                      // NaN probability
+		"corrupt bits=3",                  // missing p
+		"corrupt p=0.1 bits=0",            // bits out of range
+		"corrupt p=0.1 p=0.2",             // duplicate key
+		"truncate p=0.1 min=-1",           // negative floor
+		"flap at=1ms",                     // missing for
+		"stall for=1ms",                   // missing at
+		"deplete target=gpu at=0 for=1ms", // unknown target
+		"slowrx at=0 for=1ms",             // missing factor
+		"slowrx factor=0.5",               // factor < 1
+		"drop p",                          // not key=value
+		"flap at=-5ns for=1ms",            // negative duration
+		"flap at=1xyz for=1ms",            // unparseable duration
+		"drop p=0.1 surprise=1",           // unknown key
 	}
 	for _, src := range bad {
 		if _, err := Parse(src); err == nil {

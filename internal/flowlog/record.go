@@ -1,0 +1,262 @@
+// Flow records: the versioned, flow-level unit of observability. One
+// Record answers the operator question "what happened to this flow and
+// why": its 5-tuple, final TCP state, packet/byte counters, NAT
+// translation, sampled TX latency, and a verdict — forwarded, dropped
+// (with the DropReason), shed by the overload plane, evicted under
+// table pressure, or refused by a stateful element. Records that stand
+// for many packets with no per-flow identity (sheds at the RX boundary,
+// NIC-level losses, untracked traffic) carry Aggregate=true and a zero
+// key; their counters still reconcile against the run's conservation
+// invariant.
+package flowlog
+
+import (
+	"strconv"
+
+	"packetmill/internal/conntrack"
+	"packetmill/internal/stats"
+)
+
+// Schema versions the JSON-lines encoding; bump it when Record's wire
+// shape changes incompatibly.
+const Schema = "packetmill/flow/v1"
+
+// Verdict is a flow record's final disposition.
+type Verdict uint8
+
+const (
+	// VerdictForwarded: the flow's packets left on the wire.
+	VerdictForwarded Verdict = iota
+	// VerdictDropped: lost in the datapath (NIC rings, pools, faults,
+	// engine policy) under a non-overload, non-flow-table reason.
+	VerdictDropped
+	// VerdictShed: refused by the overload control plane at the RX
+	// boundary (tail-drop, RED, priority, or restart flush).
+	VerdictShed
+	// VerdictEvicted: the flow's table entry was displaced by a newer
+	// flow under capacity pressure; packets already admitted were
+	// forwarded, but the flow lost its state mid-life.
+	VerdictEvicted
+	// VerdictRefused: a stateful element's flow table turned the
+	// packets away (table full, port pool dry, strict-mode invalid).
+	VerdictRefused
+
+	// NumVerdicts bounds the verdict space.
+	NumVerdicts
+)
+
+var verdictNames = [NumVerdicts]string{
+	"forwarded", "dropped", "shed", "evicted", "refused",
+}
+
+// String names the verdict the way records and metrics print it.
+func (v Verdict) String() string {
+	if v < NumVerdicts {
+		return verdictNames[v]
+	}
+	return "invalid"
+}
+
+// VerdictForReason maps a drop reason onto the verdict its packets
+// carry in flow records: overload sheds, flow-table refusals, and
+// everything else a plain drop.
+func VerdictForReason(r stats.DropReason) Verdict {
+	switch {
+	case r.IsOverload():
+		return VerdictShed
+	case r.IsFlowTable():
+		return VerdictRefused
+	default:
+		return VerdictDropped
+	}
+}
+
+// EndCause tells how a flow record was closed.
+type EndCause uint8
+
+const (
+	// EndActive: the flow was still live when the records were cut
+	// (end-of-run snapshot or a live /flows scrape).
+	EndActive EndCause = iota
+	// EndExpired: the idle timeout fired.
+	EndExpired
+	// EndEvicted: displaced under table pressure.
+	EndEvicted
+	// EndDeleted: removed explicitly.
+	EndDeleted
+	// EndAggregate: not a single flow — a counter roll-up (refusals by
+	// reason, sheds, untracked traffic, ring-overflow remainders).
+	EndAggregate
+)
+
+var endNames = [...]string{"active", "expired", "evicted", "deleted", "aggregate"}
+
+// String names the end cause.
+func (c EndCause) String() string {
+	if int(c) < len(endNames) {
+		return endNames[c]
+	}
+	return "invalid"
+}
+
+// Record is one flow-level observation. It is a fixed-size value — no
+// pointers, no maps — so per-core rings of Records are preallocated
+// once and the hot path writes them without allocating.
+type Record struct {
+	// Core is the owning core, or -1 for run-level aggregates.
+	Core int32
+	// Key is the canonical 5-tuple; zero for aggregates.
+	Key conntrack.Key
+	// State is the flow's final TCP state (flows only).
+	State conntrack.State
+	// Verdict is the final disposition.
+	Verdict Verdict
+	// End tells how the record was closed.
+	End EndCause
+	// Reason qualifies dropped/shed/refused aggregates; NumDropReasons
+	// when not applicable.
+	Reason stats.DropReason
+	// Aggregate marks counter roll-ups with no per-flow identity.
+	Aggregate bool
+
+	Packets uint64
+	Bytes   uint64
+	FirstNS float64
+	LastNS  float64
+
+	// NAT translation, when an IPRewriter owned the flow.
+	NATIP   uint32
+	NATPort uint16
+
+	// Sampled TX latency.
+	LatSamples uint32
+	LatSumNS   float64
+	LatMaxNS   float64
+}
+
+// DurationNS is the observed flow lifetime.
+func (r *Record) DurationNS() float64 { return r.LastNS - r.FirstNS }
+
+// LatAvgNS is the mean sampled TX latency, 0 when never sampled.
+func (r *Record) LatAvgNS() float64 {
+	if r.LatSamples == 0 {
+		return 0
+	}
+	return r.LatSumNS / float64(r.LatSamples)
+}
+
+// TxSide reports whether the record's packets count toward the TX side
+// of the conservation invariant (they left on the wire) rather than the
+// drop side. Evicted flows forwarded every packet they ever admitted —
+// eviction displaces state, not packets in flight.
+func (r *Record) TxSide() bool {
+	return r.Verdict == VerdictForwarded || r.Verdict == VerdictEvicted
+}
+
+func appendIP(dst []byte, ip uint32) []byte {
+	dst = strconv.AppendUint(dst, uint64(ip>>24), 10)
+	dst = append(dst, '.')
+	dst = strconv.AppendUint(dst, uint64(ip>>16&0xff), 10)
+	dst = append(dst, '.')
+	dst = strconv.AppendUint(dst, uint64(ip>>8&0xff), 10)
+	dst = append(dst, '.')
+	return strconv.AppendUint(dst, uint64(ip&0xff), 10)
+}
+
+// FormatKey renders a 5-tuple like "tcp 10.0.0.1:1024>10.1.0.2:80".
+func FormatKey(k conntrack.Key) string {
+	var proto string
+	switch k.Proto {
+	case 6:
+		proto = "tcp"
+	case 17:
+		proto = "udp"
+	case 1:
+		proto = "icmp"
+	default:
+		proto = "proto-" + strconv.Itoa(int(k.Proto))
+	}
+	b := make([]byte, 0, 48)
+	b = append(b, proto...)
+	b = append(b, ' ')
+	b = appendIP(b, k.SrcIP)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, uint64(k.SrcPort), 10)
+	b = append(b, '>')
+	b = appendIP(b, k.DstIP)
+	b = append(b, ':')
+	b = strconv.AppendUint(b, uint64(k.DstPort), 10)
+	return string(b)
+}
+
+// AppendJSON appends the record as one JSON object (no newline). Fields
+// that do not apply (reason, NAT, latency) are omitted.
+func AppendJSON(dst []byte, r *Record) []byte {
+	dst = append(dst, `{"schema":"`...)
+	dst = append(dst, Schema...)
+	dst = append(dst, `","core":`...)
+	dst = strconv.AppendInt(dst, int64(r.Core), 10)
+	dst = append(dst, `,"verdict":"`...)
+	dst = append(dst, r.Verdict.String()...)
+	dst = append(dst, `","end":"`...)
+	dst = append(dst, r.End.String()...)
+	dst = append(dst, '"')
+	if r.Aggregate {
+		dst = append(dst, `,"aggregate":true`...)
+		if r.Verdict != VerdictForwarded && r.Reason < stats.NumDropReasons {
+			dst = append(dst, `,"reason":"`...)
+			dst = append(dst, r.Reason.String()...)
+			dst = append(dst, '"')
+		}
+	} else {
+		dst = append(dst, `,"proto":`...)
+		dst = strconv.AppendUint(dst, uint64(r.Key.Proto), 10)
+		dst = append(dst, `,"src":"`...)
+		dst = appendIP(dst, r.Key.SrcIP)
+		dst = append(dst, `","sport":`...)
+		dst = strconv.AppendUint(dst, uint64(r.Key.SrcPort), 10)
+		dst = append(dst, `,"dst":"`...)
+		dst = appendIP(dst, r.Key.DstIP)
+		dst = append(dst, `","dport":`...)
+		dst = strconv.AppendUint(dst, uint64(r.Key.DstPort), 10)
+		dst = append(dst, `,"state":"`...)
+		dst = append(dst, r.State.String()...)
+		dst = append(dst, '"')
+	}
+	dst = append(dst, `,"packets":`...)
+	dst = strconv.AppendUint(dst, r.Packets, 10)
+	dst = append(dst, `,"bytes":`...)
+	dst = strconv.AppendUint(dst, r.Bytes, 10)
+	if r.FirstNS > 0 || r.LastNS > 0 {
+		dst = append(dst, `,"first_ns":`...)
+		dst = strconv.AppendFloat(dst, r.FirstNS, 'f', 0, 64)
+		dst = append(dst, `,"last_ns":`...)
+		dst = strconv.AppendFloat(dst, r.LastNS, 'f', 0, 64)
+	}
+	if r.NATIP != 0 {
+		dst = append(dst, `,"nat_ip":"`...)
+		dst = appendIP(dst, r.NATIP)
+		dst = append(dst, `","nat_port":`...)
+		dst = strconv.AppendUint(dst, uint64(r.NATPort), 10)
+	}
+	if r.LatSamples > 0 {
+		dst = append(dst, `,"lat_samples":`...)
+		dst = strconv.AppendUint(dst, uint64(r.LatSamples), 10)
+		dst = append(dst, `,"lat_avg_us":`...)
+		dst = strconv.AppendFloat(dst, r.LatAvgNS()/1e3, 'f', 3, 64)
+		dst = append(dst, `,"lat_max_us":`...)
+		dst = strconv.AppendFloat(dst, r.LatMaxNS/1e3, 'f', 3, 64)
+	}
+	return append(dst, '}')
+}
+
+// JSONL renders records as JSON lines — the /flows endpoint body and
+// the -flows-out file format.
+func JSONL(recs []Record) []byte {
+	var dst []byte
+	for i := range recs {
+		dst = AppendJSON(dst, &recs[i])
+		dst = append(dst, '\n')
+	}
+	return dst
+}

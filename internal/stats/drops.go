@@ -124,6 +124,29 @@ func (r DropReason) String() string {
 	return fmt.Sprintf("reason-%d", uint8(r))
 }
 
+// ParseDropReason inverts String for the taxonomy's members, so
+// exporters and their round-trip tests can map label values back to
+// reasons.
+func ParseDropReason(name string) (DropReason, bool) {
+	for i, n := range dropNames {
+		if n == name {
+			return DropReason(i), true
+		}
+	}
+	return NumDropReasons, false
+}
+
+// Reasons returns every member of the taxonomy in declaration order —
+// the iteration source for exporters that must emit all reasons, even
+// at zero, and for exhaustiveness tests.
+func Reasons() []DropReason {
+	out := make([]DropReason, NumDropReasons)
+	for i := range out {
+		out[i] = DropReason(i)
+	}
+	return out
+}
+
 // DropCounters is a per-reason drop ledger. The zero value is ready to
 // use; layers embed one and the testbed merges them at the end of a run.
 type DropCounters [NumDropReasons]uint64

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// The drop taxonomy is an exported contract: every reason must carry a
+// unique, stable, lint-clean name that round-trips through the parser,
+// appears as the reason's report-JSON key, and is usable verbatim as a
+// Prometheus label value. Adding a reason without wiring its name blows
+// up here instead of in a dashboard.
+func TestDropTaxonomyRoundTrip(t *testing.T) {
+	reasons := Reasons()
+	if len(reasons) != int(NumDropReasons) {
+		t.Fatalf("Reasons() returned %d members, want %d", len(reasons), NumDropReasons)
+	}
+
+	seen := map[string]DropReason{}
+	for _, r := range reasons {
+		name := r.String()
+		if name == "" {
+			t.Fatalf("reason %d has an empty name", r)
+		}
+		if strings.HasPrefix(name, "reason-") {
+			t.Fatalf("reason %d has the fallback name %q — dropNames is missing an entry", r, name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("reasons %d and %d share the name %q", prev, r, name)
+		}
+		seen[name] = r
+
+		// Round-trip through the parser.
+		back, ok := ParseDropReason(name)
+		if !ok || back != r {
+			t.Fatalf("ParseDropReason(%q) = (%d, %v), want (%d, true)", name, back, ok, r)
+		}
+
+		// Names double as Prometheus label values and JSON keys: keep
+		// them to the charset that needs no escaping in either format.
+		for i := 0; i < len(name); i++ {
+			c := name[i]
+			ok := c == '-' || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+			if !ok {
+				t.Fatalf("reason %q contains %q — not safe as a label value / JSON key", name, c)
+			}
+		}
+	}
+
+	// Unknown names must not parse.
+	if _, ok := ParseDropReason("no-such-reason"); ok {
+		t.Fatal("ParseDropReason accepted an unknown name")
+	}
+
+	// Every reason's name is its report-JSON key.
+	var c DropCounters
+	for i, r := range reasons {
+		c.Add(r, uint64(i)+1)
+	}
+	m := c.Map()
+	if len(m) != len(reasons) {
+		t.Fatalf("Map() has %d keys, want %d", len(m), len(reasons))
+	}
+	for i, r := range reasons {
+		if got := m[r.String()]; got != uint64(i)+1 {
+			t.Fatalf("Map()[%q] = %d, want %d", r.String(), got, i+1)
+		}
+	}
+}
+
+// The family predicates partition the taxonomy the way the flow log's
+// verdict mapping assumes: no reason is both overload and flow-table.
+func TestDropFamiliesDisjoint(t *testing.T) {
+	var overload, flowTable int
+	for _, r := range Reasons() {
+		if r.IsOverload() && r.IsFlowTable() {
+			t.Fatalf("reason %s claims both families", r)
+		}
+		if r.IsOverload() {
+			overload++
+		}
+		if r.IsFlowTable() {
+			flowTable++
+		}
+	}
+	if overload == 0 || flowTable == 0 {
+		t.Fatalf("family predicates match nothing (overload=%d flow-table=%d)", overload, flowTable)
+	}
+}

@@ -122,7 +122,7 @@ func (r *LatencyRecorder) P99() float64 { return r.Percentile(99) }
 // Summary is the distribution digest reports embed, in the recorder's
 // native nanoseconds.
 type Summary struct {
-	Count                              uint64
+	Count                               uint64
 	Min, Mean, P50, P90, P99, P999, Max float64
 }
 

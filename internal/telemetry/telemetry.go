@@ -341,13 +341,13 @@ type QueueReport struct {
 	Queue int    `json:"queue"`
 	Core  int    `json:"core"`
 	// NIC side.
-	RxDelivered uint64 `json:"rx_delivered"`
-	RxBytes     uint64 `json:"rx_bytes"`
-	RxDropNoBuf uint64 `json:"rx_drop_no_buf"`
-	RxDropFull  uint64 `json:"rx_drop_ring_full"`
-	RxDropRunt  uint64 `json:"rx_drop_runt"`
-	TxSent      uint64 `json:"tx_sent"`
-	TxBytes     uint64 `json:"tx_bytes"`
+	RxDelivered     uint64 `json:"rx_delivered"`
+	RxBytes         uint64 `json:"rx_bytes"`
+	RxDropNoBuf     uint64 `json:"rx_drop_no_buf"`
+	RxDropFull      uint64 `json:"rx_drop_ring_full"`
+	RxDropRunt      uint64 `json:"rx_drop_runt"`
+	TxSent          uint64 `json:"tx_sent"`
+	TxBytes         uint64 `json:"tx_bytes"`
 	TxDropFull      uint64 `json:"tx_drop_ring_full"`
 	TxDropTransient uint64 `json:"tx_drop_transient,omitempty"`
 	TxDropOversize  uint64 `json:"tx_drop_oversize,omitempty"`
@@ -451,6 +451,40 @@ type Report struct {
 	// entry per (core, element instance) with the shard's occupancy,
 	// lifecycle counters, and pressure ledger.
 	Conntrack []ConntrackReport `json:"conntrack,omitempty"`
+	// Flows is present when the flow-record pipeline ran: the verdict
+	// roll-up and top flows of the run's record stream.
+	Flows *FlowSummary `json:"flows,omitempty"`
+}
+
+// FlowSummary is the report-level roll-up of a run's flow records. The
+// maps are keyed by verdict name (forwarded/dropped/shed/evicted/
+// refused); the flowlog package fills the shape so telemetry stays free
+// of its types.
+type FlowSummary struct {
+	Records        uint64            `json:"records"`
+	VerdictFlows   map[string]uint64 `json:"verdict_flows"`
+	VerdictPackets map[string]uint64 `json:"verdict_packets"`
+	VerdictBytes   map[string]uint64 `json:"verdict_bytes"`
+	// TxSidePackets + DropSidePackets split the records along the
+	// conservation invariant; Unattributed is forwarded traffic no
+	// tracked flow claims.
+	TxSidePackets   uint64 `json:"tx_side_packets"`
+	DropSidePackets uint64 `json:"drop_side_packets"`
+	Unattributed    uint64 `json:"unattributed_packets,omitempty"`
+	LatencySamples  uint64 `json:"latency_samples,omitempty"`
+	// TopFlows are the largest flows by bytes.
+	TopFlows []TopFlow `json:"top_flows,omitempty"`
+}
+
+// TopFlow is one entry of FlowSummary.TopFlows.
+type TopFlow struct {
+	Key        string  `json:"key"`
+	Verdict    string  `json:"verdict"`
+	State      string  `json:"state,omitempty"`
+	Packets    uint64  `json:"packets"`
+	Bytes      uint64  `json:"bytes"`
+	DurationUS float64 `json:"duration_us"`
+	LatAvgUS   float64 `json:"lat_avg_us,omitempty"`
 }
 
 // OverloadCoreReport is one core's overload-control-plane summary. The

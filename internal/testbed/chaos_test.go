@@ -265,11 +265,11 @@ func TestFaultedRunMatchesCleanReplay(t *testing.T) {
 	var times []float64
 	var faultedOut [][]byte
 	res, d, err := chaosRun(nf.Mirror(0, 32), Options{
-		Model:     click.XChange,
-		Packets:   1200,
-		RateGbps:  100,
-		Faults:    sched,
-		Seed:      7,
+		Model:    click.XChange,
+		Packets:  1200,
+		RateGbps: 100,
+		Faults:   sched,
+		Seed:     7,
 		RxTap: func(nicID int, frame []byte, ns float64) {
 			frames = append(frames, append([]byte(nil), frame...))
 			times = append(times, ns)

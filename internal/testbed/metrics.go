@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"packetmill/internal/click"
+	"packetmill/internal/flowlog"
 	"packetmill/internal/machine"
 	"packetmill/internal/stats"
 	"packetmill/internal/telemetry"
@@ -191,6 +192,54 @@ func (d *DUT) wireSnapshot(engines []Engine, elapsed time.Duration) *trace.Snaps
 		add("packetmill_drops_total", "Frames lost, by drop taxonomy reason.",
 			"counter", [][2]string{{"reason", r.String()}}, float64(drops.Get(r)))
 	}
+	// Flow records: verdict roll-ups, top flows, and the /flows body
+	// (families appear only when flow logging is armed).
+	var flowRecs []flowlog.Record
+	if d.Opts.FlowLog != nil {
+		var txWire uint64
+		for c := range d.PortsFor {
+			for id := 0; id < d.Opts.NICs; id++ {
+				if port, ok := d.PortsFor[c][id]; ok {
+					txWire += port.Dev.TXStats().Sent
+				}
+			}
+		}
+		flowRecs = d.Opts.FlowLog.Records(&drops, txWire)
+		sum := flowlog.Summarize(flowRecs)
+		// One family at a time: the exposition format requires a family's
+		// samples to stay contiguous.
+		for v := flowlog.Verdict(0); v < flowlog.NumVerdicts; v++ {
+			add("packetmill_flow_records", "Flow records in the current cut, by verdict.",
+				"gauge", [][2]string{{"verdict", v.String()}}, float64(sum.Flows[v]))
+		}
+		for v := flowlog.Verdict(0); v < flowlog.NumVerdicts; v++ {
+			add("packetmill_flow_packets_total", "Packets attributed to flow records, by verdict.",
+				"counter", [][2]string{{"verdict", v.String()}}, float64(sum.Packets[v]))
+		}
+		for v := flowlog.Verdict(0); v < flowlog.NumVerdicts; v++ {
+			add("packetmill_flow_bytes_total", "Bytes attributed to flow records, by verdict.",
+				"counter", [][2]string{{"verdict", v.String()}}, float64(sum.Bytes[v]))
+		}
+		add("packetmill_flow_records_lost_total",
+			"Closed-flow records rolled into aggregates because a per-core ring wrapped.",
+			"counter", nil, float64(d.Opts.FlowLog.RecordsLost()))
+		sampled, misses := d.Opts.FlowLog.LatencySampled()
+		add("packetmill_flow_latency_samples_total",
+			"TX depart-hook latency samples folded into live flows.",
+			"counter", nil, float64(sampled))
+		add("packetmill_flow_latency_misses_total",
+			"TX depart-hook samples whose flow was no longer in any table.",
+			"counter", nil, float64(misses))
+		for rank, t := range flowlog.TopByBytes(flowRecs, 5) {
+			add("packetmill_flow_top_bytes", "Largest flows of the current cut, by bytes.",
+				"gauge", [][2]string{
+					{"rank", strconv.Itoa(rank + 1)},
+					{"flow", flowlog.FormatKey(t.Key)},
+					{"verdict", t.Verdict.String()},
+				}, float64(t.Bytes))
+		}
+		snap.FlowsJSONL = flowlog.JSONL(flowRecs)
+	}
 
 	if e2e.Count() > 0 {
 		snap.Hists = append(snap.Hists, trace.PromHist(
@@ -214,15 +263,57 @@ func (d *DUT) wireSnapshot(engines []Engine, elapsed time.Duration) *trace.Snaps
 		}
 	}
 
-	snap.ReportJSON = d.wireReportJSON(engines, elapsed, &drops, e2e)
+	snap.ReportJSON = d.wireReportJSON(engines, elapsed, &drops, e2e, flowRecs)
 	return snap
+}
+
+// wireLedger folds the wire session's device, PMD, and engine drop
+// counters into one ledger plus the wire TX total — the denominators
+// the flow log reconciles against.
+func (d *DUT) wireLedger(engines []Engine) (stats.DropCounters, uint64) {
+	var drops stats.DropCounters
+	var txWire uint64
+	for c := range d.PortsFor {
+		for id := 0; id < d.Opts.NICs; id++ {
+			port, ok := d.PortsFor[c][id]
+			if !ok {
+				continue
+			}
+			rxs, txs := port.Dev.RXStats(), port.Dev.TXStats()
+			txWire += txs.Sent
+			drops.Add(stats.DropRxNoBuf, rxs.DropNoBuf)
+			drops.Add(stats.DropRxRingFull, rxs.DropFull)
+			drops.Add(stats.DropRxRunt, rxs.DropRunt)
+			drops.Add(stats.DropTxRingFull, txs.DropFull)
+			drops.Add(stats.DropTxTransient, txs.DropTransient)
+			drops.Add(stats.DropTxOversize, txs.DropOversize)
+			drops.Merge(&port.Drops)
+		}
+	}
+	for _, e := range engines {
+		if ds, ok := e.(dropStatser); ok {
+			drops.Merge(ds.DropStats())
+		}
+	}
+	return drops, txWire
+}
+
+// WireFlowRecords assembles the flow-record cut of a finished wire
+// session, reconciled against the session's drop ledger and TX total.
+// Nil when flow logging is not armed.
+func (d *DUT) WireFlowRecords() []flowlog.Record {
+	if d.Opts.FlowLog == nil {
+		return nil
+	}
+	drops, txWire := d.wireLedger(d.wireEngines)
+	return d.Opts.FlowLog.Records(&drops, txWire)
 }
 
 // wireReportJSON renders the same telemetry.Report a -report json run
 // would emit, against the session so far, for the exporter's /report
 // endpoint. Returns nil (the exporter serves "{}") when telemetry is off.
 func (d *DUT) wireReportJSON(engines []Engine, elapsed time.Duration,
-	drops *stats.DropCounters, e2e *trace.Hist) []byte {
+	drops *stats.DropCounters, e2e *trace.Hist, flowRecs []flowlog.Record) []byte {
 	if !d.Opts.Telemetry {
 		return nil
 	}
@@ -254,6 +345,7 @@ func (d *DUT) wireReportJSON(engines []Engine, elapsed time.Duration,
 	}
 	res.DropsByReason = *drops
 	res.Dropped = drops.Total()
+	res.Flows = flowRecs
 	for _, ctl := range d.Ctls {
 		res.Overload = append(res.Overload, ctl.Status(float64(elapsed)))
 	}

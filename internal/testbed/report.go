@@ -6,6 +6,7 @@ package testbed
 import (
 	"fmt"
 
+	"packetmill/internal/flowlog"
 	"packetmill/internal/overload"
 	"packetmill/internal/stats"
 	"packetmill/internal/telemetry"
@@ -181,6 +182,46 @@ func (d *DUT) buildReport(res *Result, lat *stats.LatencyRecorder, e2e *trace.Hi
 		}
 	}
 
+	if d.Opts.FlowLog != nil {
+		r.Flows = flowSummaryReport(res.Flows)
+	}
+
 	r.BuildSpans(d.Trackers, coreBusy)
 	return r
+}
+
+// flowSummaryReport maps a record set onto the report's verdict-keyed
+// roll-up (telemetry stays free of flowlog's types).
+func flowSummaryReport(recs []flowlog.Record) *telemetry.FlowSummary {
+	s := flowlog.Summarize(recs)
+	fs := &telemetry.FlowSummary{
+		Records:         s.Records,
+		VerdictFlows:    map[string]uint64{},
+		VerdictPackets:  map[string]uint64{},
+		VerdictBytes:    map[string]uint64{},
+		TxSidePackets:   s.TxSidePackets,
+		DropSidePackets: s.DropSidePackets,
+		Unattributed:    s.Unattributed,
+		LatencySamples:  s.LatSamples,
+	}
+	for v := flowlog.Verdict(0); v < flowlog.NumVerdicts; v++ {
+		if s.Flows[v] == 0 && s.Packets[v] == 0 {
+			continue
+		}
+		fs.VerdictFlows[v.String()] = s.Flows[v]
+		fs.VerdictPackets[v.String()] = s.Packets[v]
+		fs.VerdictBytes[v.String()] = s.Bytes[v]
+	}
+	for _, t := range flowlog.TopByBytes(recs, 5) {
+		fs.TopFlows = append(fs.TopFlows, telemetry.TopFlow{
+			Key:        flowlog.FormatKey(t.Key),
+			Verdict:    t.Verdict.String(),
+			State:      t.State.String(),
+			Packets:    t.Packets,
+			Bytes:      t.Bytes,
+			DurationUS: t.DurationNS() / 1e3,
+			LatAvgUS:   t.LatAvgNS() / 1e3,
+		})
+	}
+	return fs
 }

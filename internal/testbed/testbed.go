@@ -16,6 +16,7 @@ import (
 	"packetmill/internal/click"
 	"packetmill/internal/dpdk"
 	"packetmill/internal/faults"
+	"packetmill/internal/flowlog"
 	"packetmill/internal/layout"
 	"packetmill/internal/machine"
 	"packetmill/internal/memsim"
@@ -137,6 +138,12 @@ type Options struct {
 	// watchdog escalates stalls to drain-and-restart before failing.
 	Overload *overload.Config
 
+	// FlowLog, when non-nil, arms the flow-record pipeline: stateful
+	// elements (ConnTracker, IPRewriter) bind per-core flow logs, the
+	// PMD's TX depart hook samples per-flow latency, and the run's flow
+	// records land on Result.Flows (and, with Metrics, on /flows).
+	FlowLog *flowlog.Collector
+
 	Seed uint64
 }
 
@@ -208,6 +215,9 @@ type Result struct {
 	// ClassLat are per-traffic-class wire-to-wire latency histograms
 	// (when Options.Overload), indexed by overload.ClassOf.
 	ClassLat []*trace.Hist
+	// Flows are the run's flow records (when Options.FlowLog),
+	// reconciled against the conservation invariant.
+	Flows []flowlog.Record
 }
 
 // DUT is an assembled device under test, reusable across the build-run
@@ -242,6 +252,10 @@ type DUT struct {
 	// plane is off). NewDUT attaches them to every PMD port and
 	// BuildRouters installs them into the routers.
 	Ctls []*overload.Controller
+	// wireEngines is the engine set of the current/last wire session,
+	// kept so post-session readers (WireFlowRecords) can fold engine
+	// drop ledgers without re-threading the slice.
+	wireEngines []Engine
 }
 
 // machFor returns core c's machine: its own on the multicore wire path,
@@ -355,12 +369,19 @@ func (d *DUT) buildControllers() {
 
 // attachTrace binds each core's flight recorder to its clock, its span
 // tracker, and its PMD ports. Also installs the per-port end-to-end
-// latency histogram when telemetry is on.
+// latency histogram when telemetry is on, and the flow log's TX depart
+// hook when flow logging is armed.
 func (d *DUT) attachTrace() {
 	for c, core := range d.Cores {
 		if d.Opts.Telemetry || d.Opts.Metrics != nil {
 			for _, port := range d.PortsFor[c] {
 				port.LatHist = trace.NewHist()
+			}
+		}
+		if d.Opts.FlowLog != nil {
+			fc := d.Opts.FlowLog.Core(c)
+			for _, port := range d.PortsFor[c] {
+				port.OnTxLat = fc.NoteDepart
 			}
 		}
 		if d.Opts.Trace == nil {
@@ -524,6 +545,14 @@ func (d *DUT) BuildRouters(g *click.Graph) ([]*click.Router, error) {
 		rt.Recycle = d.RecycleFor(c)
 		rt.Tel = d.Trackers[c]
 		rt.Overload = d.Ctl(c)
+		if d.Opts.FlowLog != nil {
+			fc := d.Opts.FlowLog.Core(c)
+			for _, inst := range rt.Instances {
+				if h, ok := inst.El.(flowlog.Hookable); ok {
+					h.BindFlowLog(fc)
+				}
+			}
+		}
 		if d.Opts.Model == click.XChange && rt.Prof != nil {
 			// Attach the profile to every live X-Change descriptor pool
 			// this core's ports use.
@@ -1258,6 +1287,11 @@ func (dr *driver) run() (*Result, error) {
 		}
 		res.WatchdogRestarts = dr.watchdogRestarts
 		res.ClassLat = dr.classLat
+	}
+	if o.FlowLog != nil {
+		// Cut the run's flow records against the final ledgers, before
+		// the report so the telemetry summary sees them.
+		res.Flows = o.FlowLog.Records(&res.DropsByReason, res.TxWire)
 	}
 	if o.Telemetry {
 		// Callers that drive engines directly (without Run) still get the

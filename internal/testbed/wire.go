@@ -119,6 +119,7 @@ func (d *DUT) ServeWire(ctx context.Context, engines []Engine,
 	if len(engines) != len(d.Cores) {
 		return WireServeStats{}, fmt.Errorf("testbed: %d engines for %d cores", len(engines), len(d.Cores))
 	}
+	d.wireEngines = engines
 	if len(engines) > 1 {
 		return d.serveWireMulti(ctx, engines, idleExit, maxPackets)
 	}

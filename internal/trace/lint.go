@@ -1,0 +1,241 @@
+// Prometheus exposition lint: structural conformance checks for the
+// text format (version 0.0.4) that /metrics serves. The linter is a
+// test aid — CI scrapes the in-process exporter and fails on any
+// problem — but it lives with the renderer so the format contract and
+// its checker evolve together.
+package trace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// promTypes are the sample types the text format admits.
+var promTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true,
+}
+
+// LintProm checks a text-format exposition for structural problems:
+// samples without HELP/TYPE headers, duplicate or interleaved metric
+// families, malformed metric/label names, invalid label escaping,
+// unparsable values, and duplicate series. It returns one message per
+// problem; an empty slice means the exposition is clean.
+func LintProm(text []byte) []string {
+	var problems []string
+	bad := func(line int, format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+	helpSeen := map[string]bool{}
+	typeSeen := map[string]string{}
+	closed := map[string]bool{} // families we have moved past
+	series := map[string]bool{} // name{labels} uniqueness
+	current := ""               // family of the preceding sample line
+
+	enter := func(line int, fam string) {
+		if fam == current {
+			return
+		}
+		if current != "" {
+			closed[current] = true
+		}
+		if closed[fam] {
+			bad(line, "family %s reappears after other families (samples must be grouped)", fam)
+		}
+		current = fam
+	}
+
+	for i, raw := range strings.Split(string(text), "\n") {
+		line := i + 1
+		if raw == "" {
+			continue
+		}
+		if strings.HasPrefix(raw, "# HELP ") {
+			rest := strings.TrimPrefix(raw, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				bad(line, "HELP without a metric name and text")
+				continue
+			}
+			if helpSeen[name] {
+				bad(line, "duplicate HELP for %s", name)
+			}
+			helpSeen[name] = true
+			continue
+		}
+		if strings.HasPrefix(raw, "# TYPE ") {
+			rest := strings.TrimPrefix(raw, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				bad(line, "TYPE without a metric name and type")
+				continue
+			}
+			if !promTypes[typ] {
+				bad(line, "unknown TYPE %q for %s", typ, name)
+			}
+			if _, dup := typeSeen[name]; dup {
+				bad(line, "duplicate TYPE for %s", name)
+			}
+			if closed[name] || current == name {
+				bad(line, "TYPE for %s after its samples", name)
+			}
+			typeSeen[name] = typ
+			continue
+		}
+		if strings.HasPrefix(raw, "#") {
+			continue // free-form comment
+		}
+
+		name, labels, value, err := splitSample(raw)
+		if err != nil {
+			bad(line, "%v", err)
+			continue
+		}
+		if !validMetricName(name) {
+			bad(line, "invalid metric name %q", name)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			bad(line, "unparsable value %q for %s", value, name)
+		}
+		if lerr := lintLabels(labels); lerr != "" {
+			bad(line, "%s: %s", name, lerr)
+		}
+		fam := familyOf(name, typeSeen)
+		if !helpSeen[fam] {
+			bad(line, "sample %s has no HELP header", name)
+		}
+		if _, ok := typeSeen[fam]; !ok {
+			bad(line, "sample %s has no TYPE header", name)
+		}
+		key := name + "{" + labels + "}"
+		if series[key] {
+			bad(line, "duplicate series %s{%s}", name, labels)
+		}
+		series[key] = true
+		enter(line, fam)
+	}
+	return problems
+}
+
+// splitSample cuts a sample line into name, raw label text (without the
+// braces, "" when absent), and the value field.
+func splitSample(raw string) (name, labels, value string, err error) {
+	if open := strings.IndexByte(raw, '{'); open >= 0 {
+		end := strings.LastIndexByte(raw, '}')
+		if end < open {
+			return "", "", "", fmt.Errorf("unbalanced label braces")
+		}
+		name = raw[:open]
+		labels = raw[open+1 : end]
+		value = strings.TrimSpace(raw[end+1:])
+	} else {
+		var ok bool
+		name, value, ok = strings.Cut(raw, " ")
+		if !ok {
+			return "", "", "", fmt.Errorf("sample without a value field")
+		}
+		value = strings.TrimSpace(value)
+	}
+	// A timestamp field is permitted after the value; strip it.
+	if sp := strings.IndexByte(value, ' '); sp >= 0 {
+		value = value[:sp]
+	}
+	if name == "" || value == "" {
+		return "", "", "", fmt.Errorf("sample missing name or value")
+	}
+	return name, labels, value, nil
+}
+
+// lintLabels validates the label pairs of one sample: name charset,
+// quoting, and escape sequences ("" labels text = no labels).
+func lintLabels(labels string) string {
+	rest := labels
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return fmt.Sprintf("label text %q without '='", rest)
+		}
+		lname := rest[:eq]
+		if !validLabelName(lname) {
+			return fmt.Sprintf("invalid label name %q", lname)
+		}
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Sprintf("label %s value is not quoted", lname)
+		}
+		rest = rest[1:]
+		// Scan the quoted value honoring escapes.
+		closedAt := -1
+		for j := 0; j < len(rest); j++ {
+			switch rest[j] {
+			case '\\':
+				if j+1 >= len(rest) {
+					return fmt.Sprintf("label %s value ends mid-escape", lname)
+				}
+				if c := rest[j+1]; c != '\\' && c != '"' && c != 'n' {
+					return fmt.Sprintf("label %s value has invalid escape \\%c", lname, c)
+				}
+				j++
+			case '"':
+				closedAt = j
+			}
+			if closedAt >= 0 {
+				break
+			}
+		}
+		if closedAt < 0 {
+			return fmt.Sprintf("label %s value is unterminated", lname)
+		}
+		rest = rest[closedAt+1:]
+		if rest == "" {
+			break
+		}
+		if rest[0] != ',' {
+			return fmt.Sprintf("label %s is not followed by ','", lname)
+		}
+		rest = rest[1:]
+	}
+	return ""
+}
+
+// familyOf maps a sample name onto its metric family: histogram and
+// summary member suffixes fold back onto the declared family name.
+func familyOf(name string, typeSeen map[string]string) string {
+	for _, suf := range [...]string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base == name {
+			continue
+		}
+		if t, ok := typeSeen[base]; ok && (t == "histogram" || t == "summary") {
+			return base
+		}
+	}
+	return name
+}
+
+func validMetricName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func validLabelName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}

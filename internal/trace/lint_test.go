@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// A rendered snapshot — samples, escaping-hostile labels, and a
+// histogram — must lint clean: the renderer and the linter define the
+// same format.
+func TestLintPromAcceptsRenderedSnapshot(t *testing.T) {
+	h := NewHist()
+	for i := 0; i < 100; i++ {
+		h.Record(float64(i) * 1e3)
+	}
+	s := &Snapshot{
+		Samples: []Sample{
+			{Name: "pm_up", Help: "Up.", Type: "gauge", Value: 1},
+			{Name: "pm_rx_total", Help: "RX.", Type: "counter",
+				Labels: [][2]string{{"port", "wire0"}, {"queue", "0"}}, Value: 42},
+			{Name: "pm_rx_total", Help: "RX.", Type: "counter",
+				Labels: [][2]string{{"port", "wire1"}, {"queue", "0"}}, Value: 7},
+			{Name: "pm_flow_top", Help: "Top flows.", Type: "gauge",
+				Labels: [][2]string{{"flow", `tcp "10.0.0.1:1">back\slash` + "\nnewline"}}, Value: 1},
+		},
+		Hists: []HistSample{PromHist("pm_lat_seconds", "Latency.", nil, h)},
+	}
+	text := RenderProm(s)
+	if problems := LintProm(text); len(problems) != 0 {
+		t.Fatalf("rendered exposition fails lint:\n%s", strings.Join(problems, "\n"))
+	}
+}
+
+func TestLintPromCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string // substring of the expected problem
+	}{
+		{"missing help",
+			"# TYPE a counter\na 1\n", "no HELP"},
+		{"missing type",
+			"# HELP a A.\na 1\n", "no TYPE"},
+		{"duplicate help",
+			"# HELP a A.\n# HELP a A.\n# TYPE a counter\na 1\n", "duplicate HELP"},
+		{"duplicate type",
+			"# HELP a A.\n# TYPE a counter\n# TYPE a counter\na 1\n", "duplicate TYPE"},
+		{"unknown type",
+			"# HELP a A.\n# TYPE a trend\na 1\n", "unknown TYPE"},
+		{"interleaved family",
+			"# HELP a A.\n# TYPE a counter\n# HELP b B.\n# TYPE b counter\na 1\nb 1\na 2\n",
+			"reappears"},
+		{"duplicate series",
+			"# HELP a A.\n# TYPE a counter\na{x=\"1\"} 1\na{x=\"1\"} 2\n", "duplicate series"},
+		{"bad metric name",
+			"# HELP 9a A.\n# TYPE 9a counter\n9a 1\n", "invalid metric name"},
+		{"bad label name",
+			"# HELP a A.\n# TYPE a counter\na{9x=\"1\"} 1\n", "invalid label name"},
+		{"unquoted label value",
+			"# HELP a A.\n# TYPE a counter\na{x=1} 1\n", "not quoted"},
+		{"invalid escape",
+			"# HELP a A.\n# TYPE a counter\na{x=\"\\t\"} 1\n", "invalid escape"},
+		{"unterminated label value",
+			"# HELP a A.\n# TYPE a counter\na{x=\"1} 1\n", "unterminated"},
+		{"bad value",
+			"# HELP a A.\n# TYPE a counter\na one\n", "unparsable value"},
+		{"missing value",
+			"# HELP a A.\n# TYPE a counter\na\n", "without a value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			problems := LintProm([]byte(tc.text))
+			if len(problems) == 0 {
+				t.Fatalf("lint accepted:\n%s", tc.text)
+			}
+			for _, p := range problems {
+				if strings.Contains(p, tc.want) {
+					return
+				}
+			}
+			t.Fatalf("want a problem containing %q, got:\n%s",
+				tc.want, strings.Join(problems, "\n"))
+		})
+	}
+}

@@ -45,6 +45,7 @@ type Snapshot struct {
 	Samples    []Sample
 	Hists      []HistSample
 	ReportJSON []byte // served verbatim at /report
+	FlowsJSONL []byte // served verbatim at /flows (JSON lines)
 }
 
 // promBounds is the exposition bucket ladder in seconds: a 1-2-5
@@ -213,6 +214,12 @@ func NewMetricsServer(addr string) (*MetricsServer, error) {
 			return
 		}
 		w.Write([]byte("{}\n"))
+	})
+	mux.HandleFunc("/flows", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if s := m.cur.Load(); s != nil {
+			w.Write(s.FlowsJSONL)
+		}
 	})
 	m.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go m.srv.Serve(lis)

@@ -110,9 +110,9 @@ type CoreTrace struct {
 	total uint64 // events ever pushed (total - len(ring) were lost)
 	rng   *simrand.Rand
 	clock func() float64
-	seq   uint64       // sampled packets so far on this core
-	armed int          // sampled packets currently in flight
-	spans [64]float64  // enter timestamps, one per nesting level
+	seq   uint64      // sampled packets so far on this core
+	armed int         // sampled packets currently in flight
+	spans [64]float64 // enter timestamps, one per nesting level
 	depth int
 }
 

@@ -91,11 +91,11 @@ type flow struct {
 
 // Gen is the common generator machinery.
 type Gen struct {
-	cfg      Config
-	rng      *simrand.Rand
-	zipf     *simrand.Zipf
-	flows    []flow
-	sizeOf   func(*simrand.Rand) int
+	cfg         Config
+	rng         *simrand.Rand
+	zipf        *simrand.Zipf
+	flows       []flow
+	sizeOf      func(*simrand.Rand) int
 	produced    int
 	clockNS     float64
 	scratch     []byte

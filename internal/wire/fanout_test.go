@@ -10,9 +10,9 @@ import (
 // UDP source port — distinct ports hash to (mostly) distinct buckets.
 func flowFrame(srcPort uint16) []byte {
 	f := make([]byte, 64)
-	f[12], f[13] = 0x08, 0x00 // IPv4
-	f[14] = 0x45              // version + IHL
-	f[14+9] = 17              // UDP
+	f[12], f[13] = 0x08, 0x00            // IPv4
+	f[14] = 0x45                         // version + IHL
+	f[14+9] = 17                         // UDP
 	copy(f[14+12:], []byte{10, 0, 0, 1}) // src IP
 	copy(f[14+16:], []byte{10, 0, 0, 2}) // dst IP
 	f[14+20], f[14+21] = byte(srcPort>>8), byte(srcPort)
